@@ -1,0 +1,74 @@
+// Fig 10 — memory per container for every runtime, averaged over all
+// deployment sizes (the paper's summary chart, §IV-F). Checks the overall
+// ordering: ours lowest; shim-wasmtime second; only those two under
+// Python; shim-wasmer worst.
+#include <algorithm>
+
+#include "bench_support/report.hpp"
+
+using namespace wasmctr;
+using namespace wasmctr::bench;
+using k8s::DeployConfig;
+
+int main() {
+  const std::vector<DeployConfig> configs(std::begin(k8s::kAllConfigs),
+                                          std::end(k8s::kAllConfigs));
+  const std::vector<uint32_t> densities = {10, 100, 400};
+  const auto samples = run_matrix(configs, densities);
+
+  std::printf("FIG 10: memory per container averaged over all deployment "
+              "sizes (free)\n\n");
+  struct Row {
+    DeployConfig config;
+    double avg_free;
+    double avg_metrics;
+  };
+  std::vector<Row> rows;
+  for (const DeployConfig c : configs) {
+    double free_sum = 0;
+    double metrics_sum = 0;
+    for (const uint32_t d : densities) {
+      free_sum += find(samples, c, d).free_mib;
+      metrics_sum += find(samples, c, d).metrics_mib;
+    }
+    rows.push_back({c, free_sum / densities.size(),
+                    metrics_sum / densities.size()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.avg_free < b.avg_free; });
+  const double max_v = rows.back().avg_free;
+  for (const Row& r : rows) {
+    const int bars = std::max(1, static_cast<int>(r.avg_free / max_v * 46));
+    std::printf("  %-28s |%-46s| %6.2f MiB (metrics: %6.2f)\n",
+                k8s::deploy_config_label(r.config),
+                std::string(static_cast<std::size_t>(bars), '#').c_str(),
+                r.avg_free, r.avg_metrics);
+  }
+  print_csv(samples);
+
+  ShapeChecks checks;
+  checks.check(rows.front().config == DeployConfig::kCrunWamr,
+               "ours has the lowest average memory overall");
+  checks.check(rows[1].config == DeployConfig::kShimWasmtime,
+               "containerd-shim-wasmtime is second-best overall");
+  checks.check(rows.back().config == DeployConfig::kShimWasmer,
+               "containerd-shim-wasmer is the worst overall");
+  // Exactly two Wasm configs sit below the best Python config on free.
+  double python_best = 1e9;
+  for (const Row& r : rows) {
+    if (!k8s::deploy_config_is_wasm(r.config)) {
+      python_best = std::min(python_best, r.avg_free);
+    }
+  }
+  int wasm_below_python = 0;
+  for (const Row& r : rows) {
+    if (k8s::deploy_config_is_wasm(r.config) && r.avg_free < python_best) {
+      ++wasm_below_python;
+    }
+  }
+  checks.check(wasm_below_python == 2,
+               "exactly two Wasm configs (ours + shim-wasmtime) beat Python "
+               "on free",
+               2, wasm_below_python);
+  return checks.summarize("fig10");
+}

@@ -1,0 +1,46 @@
+// Table I — software stack for the evaluation. Prints the paper's stack
+// and the wasmctr module that substitutes for each component (see
+// DESIGN.md §2 for why each substitution preserves behaviour).
+#include <cstdio>
+
+#include "k8s/cluster.hpp"
+
+int main() {
+  std::printf("TABLE I: SOFTWARE STACK FOR THE EVALUATION\n");
+  std::printf("%-14s %-18s %s\n", "Software", "Paper version",
+              "wasmctr substitute");
+  std::printf("%-14s %-18s %s\n", "--------", "-------------",
+              "------------------");
+  std::printf("%-14s %-18s %s\n", "Linux", "5.4.0-187-generic",
+              "src/sim + src/mem (processes, cgroups, page cache)");
+  std::printf("%-14s %-18s %s\n", "Kubernetes", "1.27.0",
+              "src/k8s (apiserver, scheduler, kubelet, metrics)");
+  std::printf("%-14s %-18s %s\n", "containerd", "1.1.1",
+              "src/containerd (daemon, shims, CRI, images)");
+  std::printf("%-14s %-18s %s\n", "runC", "1.6.31", "src/oci (Runc)");
+  std::printf("%-14s %-18s %s\n", "crun", "(modified)",
+              "src/oci (Crun + WAMR integration)");
+  std::printf("%-14s %-18s %s\n", "WAMR", "2.1.0",
+              "src/wasm + src/wasi (real interpreter + WASI)");
+  std::printf("%-14s %-18s %s\n", "WasmEdge", "0.14.0",
+              "src/engines profile over the same interpreter");
+  std::printf("%-14s %-18s %s\n", "Wasmer", "4.3.5",
+              "src/engines profile over the same interpreter");
+  std::printf("%-14s %-18s %s\n", "Wasmtime", "23.0.1",
+              "src/engines profile (+ shared compile cache)");
+  std::printf("%-14s %-18s %s\n", "Python", "3.x",
+              "src/pylite interpreter + CPython memory profile");
+
+  std::printf("\nTestbed (paper §IV-A): Intel Xeon Silver 4210R, 20 cores, "
+              "256 GB RAM\n");
+  wasmctr::k8s::Cluster cluster;
+  const auto& cfg = cluster.node().config();
+  std::printf("Simulated node: %u cores, %.0f GB RAM, %.1f GB base usage\n",
+              cfg.cores, cfg.ram.mib() / 1024.0, cfg.base_used.mib() / 1024.0);
+  std::printf("Registered containerd handlers:");
+  for (const auto& name : cluster.cri().handler_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

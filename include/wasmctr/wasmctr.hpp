@@ -1,0 +1,29 @@
+// wasmctr — Memory Efficient WebAssembly Containers (IPPS 2025), as a
+// library.
+//
+// Umbrella header exposing the three API layers a downstream user embeds:
+//
+//   * Engine layer   — build/decode/validate/run WebAssembly with WASI:
+//                      wasm::ModuleBuilder, wasm::Instance, wasi::WasiContext,
+//                      engines::Engine (WAMR-style interpreter + profiles).
+//   * Runtime layer  — OCI bundles and low-level runtimes, including the
+//                      paper's WAMR-in-crun integration: oci::Crun,
+//                      oci::Runc, oci::Youki, containerd::Containerd.
+//   * Cluster layer  — the simulated Kubernetes testbed and measurement
+//                      probes: k8s::Cluster, k8s::MetricsServer,
+//                      k8s::FreeProbe.
+//
+// See examples/quickstart.cpp for the 60-second tour.
+#pragma once
+
+#include "containerd/containerd.hpp"   // IWYU pragma: export
+#include "engines/engine.hpp"          // IWYU pragma: export
+#include "k8s/cluster.hpp"             // IWYU pragma: export
+#include "oci/runtime.hpp"             // IWYU pragma: export
+#include "pylite/interp.hpp"           // IWYU pragma: export
+#include "wasi/wasi.hpp"               // IWYU pragma: export
+#include "wasm/builder.hpp"            // IWYU pragma: export
+#include "wasm/decoder.hpp"            // IWYU pragma: export
+#include "wasm/exec/instance.hpp"      // IWYU pragma: export
+#include "wasm/validator.hpp"          // IWYU pragma: export
+#include "wasm/workloads.hpp"          // IWYU pragma: export

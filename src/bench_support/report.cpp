@@ -1,0 +1,103 @@
+#include "bench_support/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace wasmctr::bench {
+
+using k8s::Cluster;
+using k8s::DeployConfig;
+
+Sample run_experiment(DeployConfig config, uint32_t density) {
+  Cluster cluster;
+  Status st = cluster.deploy(config, density);
+  assert(st.is_ok());
+  (void)st;
+  cluster.run();
+  assert(cluster.running_count() == density);
+  Sample s;
+  s.config = config;
+  s.density = density;
+  s.metrics_mib = cluster.metrics_avg_per_container().mib();
+  s.free_mib = cluster.free_avg_per_container().mib();
+  s.startup_s = to_seconds(cluster.startup_makespan());
+  return s;
+}
+
+std::vector<Sample> run_matrix(const std::vector<DeployConfig>& configs,
+                               const std::vector<uint32_t>& densities) {
+  std::vector<Sample> out;
+  for (const DeployConfig c : configs) {
+    for (const uint32_t d : densities) {
+      out.push_back(run_experiment(c, d));
+    }
+  }
+  return out;
+}
+
+const Sample& find(const std::vector<Sample>& samples, DeployConfig config,
+                   uint32_t density) {
+  for (const Sample& s : samples) {
+    if (s.config == config && s.density == density) return s;
+  }
+  assert(false && "sample not measured");
+  static Sample dummy;
+  return dummy;
+}
+
+double reduction_pct(double ours, double other) {
+  return (1.0 - ours / other) * 100.0;
+}
+
+void print_bars(const std::string& title, const std::vector<Sample>& samples,
+                const std::vector<DeployConfig>& configs,
+                const std::vector<uint32_t>& densities,
+                double (*value)(const Sample&), const char* unit) {
+  std::printf("\n%s\n", title.c_str());
+  double max_value = 0;
+  for (const Sample& s : samples) max_value = std::max(max_value, value(s));
+  if (max_value <= 0) max_value = 1;
+  constexpr int kWidth = 46;
+  for (const DeployConfig c : configs) {
+    std::printf("  %-28s\n", k8s::deploy_config_label(c));
+    for (const uint32_t d : densities) {
+      const Sample& s = find(samples, c, d);
+      const double v = value(s);
+      const int bars = std::max(
+          1, static_cast<int>(v / max_value * kWidth + 0.5));
+      std::printf("    n=%-4u |%-*s| %8.2f %s\n", d, kWidth,
+                  std::string(static_cast<std::size_t>(bars), '#').c_str(), v,
+                  unit);
+    }
+  }
+}
+
+void ShapeChecks::check(bool ok, const std::string& what, double paper,
+                        double measured) {
+  std::printf("  [%s] %s (paper: %.2f, measured: %.2f)\n", ok ? "PASS" : "FAIL",
+              what.c_str(), paper, measured);
+  ok ? ++passed_ : ++failed_;
+}
+
+void ShapeChecks::check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  ok ? ++passed_ : ++failed_;
+}
+
+int ShapeChecks::summarize(const std::string& bench_name) const {
+  std::printf("\n%s shape checks: %d passed, %d failed\n", bench_name.c_str(),
+              passed_, failed_);
+  return failed_ == 0 ? 0 : 1;
+}
+
+void print_csv(const std::vector<Sample>& samples) {
+  std::printf("\nconfig,density,metrics_mib_per_ctr,free_mib_per_ctr,"
+              "startup_s\n");
+  for (const Sample& s : samples) {
+    std::printf("%s,%u,%.3f,%.3f,%.3f\n", k8s::deploy_config_name(s.config),
+                s.density, s.metrics_mib, s.free_mib, s.startup_s);
+  }
+}
+
+}  // namespace wasmctr::bench

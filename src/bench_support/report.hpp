@@ -1,0 +1,62 @@
+// Bench reporting helpers: run the paper's experiments, print each figure
+// as a table + ASCII bar chart, compare against the paper's reported
+// relative statistics, and emit PASS/FAIL shape checks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "k8s/cluster.hpp"
+
+namespace wasmctr::bench {
+
+/// One measured configuration at one density.
+struct Sample {
+  k8s::DeployConfig config;
+  uint32_t density = 0;
+  double metrics_mib = 0;
+  double free_mib = 0;
+  double startup_s = 0;
+};
+
+/// Run one deployment and measure everything (fresh cluster per run, as
+/// the paper re-provisions between experiments).
+Sample run_experiment(k8s::DeployConfig config, uint32_t density);
+
+/// Run `configs` × `densities`, printing progress.
+std::vector<Sample> run_matrix(const std::vector<k8s::DeployConfig>& configs,
+                               const std::vector<uint32_t>& densities);
+
+/// Find a sample (asserts existence).
+const Sample& find(const std::vector<Sample>& samples,
+                   k8s::DeployConfig config, uint32_t density);
+
+/// Render a grouped horizontal bar chart of `value(sample)` per config and
+/// density (the shape of the paper's figures, in ASCII).
+void print_bars(const std::string& title, const std::vector<Sample>& samples,
+                const std::vector<k8s::DeployConfig>& configs,
+                const std::vector<uint32_t>& densities,
+                double (*value)(const Sample&), const char* unit);
+
+/// Percentage reduction 1 - ours/other, in percent.
+double reduction_pct(double ours, double other);
+
+/// Record a shape check: prints PASS/FAIL and remembers failures.
+class ShapeChecks {
+ public:
+  void check(bool ok, const std::string& what, double paper, double measured);
+  /// Also usable for non-numeric assertions.
+  void check(bool ok, const std::string& what);
+  /// Prints the summary; returns the exit code for main().
+  int summarize(const std::string& bench_name) const;
+
+ private:
+  int passed_ = 0;
+  int failed_ = 0;
+};
+
+/// CSV emission for downstream plotting.
+void print_csv(const std::vector<Sample>& samples);
+
+}  // namespace wasmctr::bench

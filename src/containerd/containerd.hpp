@@ -1,0 +1,137 @@
+// containerd: the high-level container runtime Kubernetes drives through
+// the CRI. Owns pod sandboxes (pause containers), per-pod shim processes,
+// and dispatches container lifecycle to either a low-level OCI runtime
+// (containerd-shim-runc-v2 → crun/runC/youki) or a runwasi shim that runs
+// the Wasm engine in-process (paper Fig 1's two integration paths).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "containerd/image_store.hpp"
+#include "oci/runtime.hpp"
+
+namespace wasmctr::containerd {
+
+/// How a runtime handler executes containers.
+enum class HandlerPath {
+  kRuncV2,   ///< shim-runc-v2 + a low-level OCI runtime
+  kRunwasi,  ///< containerd-shim-<engine>: engine inside the shim process
+};
+
+struct HandlerConfig {
+  HandlerPath path = HandlerPath::kRuncV2;
+  /// kRuncV2: which low-level runtime ("crun", "runc", "youki").
+  std::string oci_runtime = "crun";
+  /// kRuncV2+crun: compiled-in Wasm backend; kRunwasi: the shim's engine.
+  std::optional<engines::EngineKind> engine;
+};
+
+/// What the kubelet asks containerd to run (CRI ContainerConfig subset).
+struct ContainerRequest {
+  std::string name;
+  std::string image;
+  std::vector<std::string> args;
+  std::vector<std::pair<std::string, std::string>> env;
+  uint64_t memory_limit = 0;
+};
+
+struct SandboxInfo {
+  std::string id;
+  std::string pod_name;
+  std::string cgroup_path;
+  sim::Pid pause_pid = 0;
+  std::vector<std::string> container_ids;
+};
+
+class Containerd {
+ public:
+  Containerd(sim::Node& node, ImageStore& images);
+
+  /// Register a runtime handler (containerd config.toml
+  /// [plugins."io.containerd.grpc.v1.cri".containerd.runtimes.<name>]).
+  void register_handler(const std::string& name, HandlerConfig config);
+  [[nodiscard]] bool has_handler(const std::string& name) const {
+    return handlers_.contains(name);
+  }
+  [[nodiscard]] std::vector<std::string> handler_names() const;
+
+  // --- CRI RuntimeService (subset) ---
+
+  /// RunPodSandbox: create the pod cgroup + pause container. Asynchronous;
+  /// `done` receives the sandbox id.
+  void run_pod_sandbox(const std::string& pod_name,
+                       std::function<void(Result<std::string>)> done);
+
+  /// CreateContainer + StartContainer fused (the kubelet always pairs
+  /// them): resolves the image, writes the OCI bundle, routes through the
+  /// handler's shim. `on_running` fires when workload main() executes.
+  /// Returns the container id.
+  Result<std::string> create_and_start(const std::string& sandbox_id,
+                                       const ContainerRequest& request,
+                                       const std::string& handler,
+                                       oci::OnRunning on_running);
+
+  /// StopPodSandbox + RemovePodSandbox fused: tear down containers, shim,
+  /// pause container and the pod cgroup.
+  Status remove_pod_sandbox(const std::string& sandbox_id);
+
+  [[nodiscard]] Result<const SandboxInfo*> sandbox(
+      const std::string& id) const;
+  [[nodiscard]] std::size_t sandbox_count() const noexcept {
+    return sandboxes_.size();
+  }
+
+  /// Container state passthrough (for the metrics server and tests).
+  [[nodiscard]] Result<oci::ContainerInfo> container_state(
+      const std::string& container_id) const;
+
+  [[nodiscard]] ImageStore& images() noexcept { return images_; }
+
+ private:
+  struct ShimRecord {
+    sim::Pid pid = 0;
+    HandlerPath path = HandlerPath::kRuncV2;
+    std::string handler;
+  };
+  struct ContainerRecord {
+    std::string sandbox_id;
+    std::string handler;
+    std::string image;
+    HandlerPath path;
+    // kRunwasi bookkeeping (the shim process is the workload process):
+    sim::Pid shim_pid = 0;
+    Bytes node_extra{0};
+    oci::ContainerInfo info;  // runwasi-managed state
+    oci::Bundle bundle;
+  };
+
+  oci::LowLevelRuntime* runtime_for(const HandlerConfig& config);
+
+  void start_via_runc_shim(const std::string& container_id,
+                           const std::string& bundle_path,
+                           const std::string& cgroup_path,
+                           const HandlerConfig& config,
+                           oci::OnRunning on_running);
+  void start_via_runwasi(const std::string& container_id,
+                         const std::string& cgroup_path,
+                         const HandlerConfig& config,
+                         oci::OnRunning on_running);
+
+  sim::Node& node_;
+  ImageStore& images_;
+  std::map<std::string, HandlerConfig> handlers_;
+  std::map<std::string, SandboxInfo> sandboxes_;
+  std::map<std::string, ShimRecord> shims_;        // keyed by sandbox id
+  std::map<std::string, ContainerRecord> containers_;
+  // One low-level runtime instance per distinct configuration.
+  std::map<std::string, std::unique_ptr<oci::LowLevelRuntime>> oci_runtimes_;
+  uint64_t next_id_ = 1;
+  uint64_t runwasi_connections_ = 0;
+};
+
+}  // namespace wasmctr::containerd

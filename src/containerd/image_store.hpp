@@ -1,0 +1,59 @@
+// containerd image store. Images are pre-pulled in the paper's setup
+// (§IV-A measures deltas after a baseline snapshot), so `pull` is a
+// metadata operation; image layer bytes enter the node's page cache once
+// per image when first read at container-create time.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "oci/bundle.hpp"
+#include "sim/node.hpp"
+
+namespace wasmctr::containerd {
+
+struct Image {
+  std::string name;
+  oci::Payload payload;
+  /// On-disk size of the unpacked layers (page-cached on first use).
+  Bytes disk_size{0};
+};
+
+class ImageStore {
+ public:
+  explicit ImageStore(sim::Node& node) : node_(node) {}
+
+  /// Register an image in the (local) registry.
+  void add(Image image) {
+    images_.insert_or_assign(image.name, std::move(image));
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return images_.contains(name);
+  }
+
+  Result<const Image*> get(const std::string& name) const {
+    auto it = images_.find(name);
+    if (it == images_.end()) return not_found("image " + name);
+    return &it->second;
+  }
+
+  /// First read of an image's layers populates the page cache (refcounted
+  /// per running container so teardown releases it).
+  Status acquire_layers(const std::string& name) {
+    WASMCTR_ASSIGN_OR_RETURN(const Image* img, get(name));
+    return node_.memory().cache_file(node_.file_id("image:" + name),
+                                     img->disk_size, nullptr);
+  }
+  void release_layers(const std::string& name) {
+    node_.memory().uncache_file(node_.file_id("image:" + name));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return images_.size(); }
+
+ private:
+  sim::Node& node_;
+  std::map<std::string, Image> images_;
+};
+
+}  // namespace wasmctr::containerd

@@ -1,0 +1,90 @@
+#include "engines/engine.hpp"
+
+#include "wasm/decoder.hpp"
+#include "wasm/exec/instance.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasmctr::engines {
+
+const EngineProfile& crun_engine_profile(EngineKind kind) {
+  for (const EngineProfile& p : kCrunEngineProfiles) {
+    if (p.kind == kind) return p;
+  }
+  return kCrunEngineProfiles[0];
+}
+
+const EngineProfile& shim_engine_profile(EngineKind kind) {
+  for (const EngineProfile& p : kShimEngineProfiles) {
+    if (p.kind == kind) return p;
+  }
+  return kShimEngineProfiles[0];
+}
+
+Engine make_crun_engine(EngineKind kind) {
+  return Engine(crun_engine_profile(kind), /*shim_flavor=*/false);
+}
+
+Engine make_shim_engine(EngineKind kind) {
+  return Engine(shim_engine_profile(kind), /*shim_flavor=*/true);
+}
+
+std::string Engine::library_name() const {
+  return std::string(shim_flavor_ ? "containerd-shim-" : "lib") +
+         engine_name(profile_.kind) + (shim_flavor_ ? "" : ".so");
+}
+
+Result<ExecutionReport> Engine::run_module(
+    std::span<const uint8_t> module_bytes, wasi::WasiOptions wasi_options,
+    wasi::VirtualFs& fs) const {
+  WASMCTR_ASSIGN_OR_RETURN(wasm::Module module,
+                           wasm::decode_module(module_bytes));
+  WASMCTR_RETURN_IF_ERROR(wasm::validate_module(module));
+
+  wasi::WasiContext ctx(std::move(wasi_options), fs);
+  wasm::ImportResolver resolver;
+  ctx.register_imports(resolver);
+
+  wasm::ExecLimits limits;
+  limits.fuel = 50'000'000;  // sandbox: no unbounded startup loops
+  WASMCTR_ASSIGN_OR_RETURN(
+      auto instance,
+      wasm::Instance::instantiate(std::move(module), resolver, limits));
+
+  ExecutionReport report;
+  auto r = instance->invoke("_start");
+  if (!r) {
+    if (r.status().code() == ErrorCode::kTrap &&
+        r.status().message() == "proc_exit" && ctx.exited()) {
+      report.exit_code = ctx.exit_code();
+    } else {
+      return r.status();  // genuine trap or missing export
+    }
+  }
+  report.stdout_data = ctx.stdout_data();
+  report.stderr_data = ctx.stderr_data();
+  report.instructions = instance->instructions_retired();
+  report.measured_instance =
+      Bytes(instance->resident_bytes() + ctx.resident_bytes());
+  report.modeled_instance = Bytes(static_cast<uint64_t>(
+      static_cast<double>(report.measured_instance.value) *
+      profile_.instance_multiplier));
+  return report;
+}
+
+StartupCost Engine::startup_cost(std::size_t module_size,
+                                 bool node_has_cached_module) const {
+  StartupCost cost;
+  cost.init_cpu_s = profile_.init_cpu_s;
+  const double kib = static_cast<double>(module_size) / 1024.0;
+  cost.load_cpu_s = profile_.load_cpu_s_per_kib * kib;
+  if (profile_.cached_compile_cpu_s > 0) {
+    if (node_has_cached_module) {
+      cost.cache_load_cpu_s = profile_.cache_load_cpu_s;
+    } else {
+      cost.shared_compile_cpu_s = profile_.cached_compile_cpu_s;
+    }
+  }
+  return cost;
+}
+
+}  // namespace wasmctr::engines

@@ -1,0 +1,74 @@
+// Engine execution layer: really runs Wasm modules through the interpreter
+// (with WASI) and reports measured + profile-modeled footprints.
+//
+// One Engine object per engine kind per node (engines share their .so
+// across containers); each container execution produces an
+// ExecutionReport the container runtime feeds into the memory model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/calibration.hpp"
+#include "support/status.hpp"
+#include "wasi/wasi.hpp"
+
+namespace wasmctr::engines {
+
+/// Result of executing a module to completion inside an engine.
+struct ExecutionReport {
+  uint32_t exit_code = 0;
+  std::string stdout_data;
+  std::string stderr_data;
+  uint64_t instructions = 0;
+  /// Real bytes our interpreter held for this instance (module structures,
+  /// linear memory, tables, frames, WASI context).
+  Bytes measured_instance;
+  /// measured_instance × profile multiplier: what this engine's
+  /// architecture (JIT code, arenas) would keep resident.
+  Bytes modeled_instance;
+};
+
+/// Startup CPU demand for one container using this engine.
+struct StartupCost {
+  double init_cpu_s = 0;       ///< engine runtime initialization
+  double load_cpu_s = 0;       ///< per-container module decode/compile
+  double shared_compile_cpu_s = 0;  ///< once-per-node compile (0 = none)
+  double cache_load_cpu_s = 0; ///< per-container cost after the shared compile
+};
+
+/// An engine installation on a node (crun-embedded or runwasi-shim flavor).
+class Engine {
+ public:
+  Engine(EngineProfile profile, bool shim_flavor)
+      : profile_(profile), shim_flavor_(shim_flavor) {}
+
+  [[nodiscard]] const EngineProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] EngineKind kind() const noexcept { return profile_.kind; }
+  [[nodiscard]] std::string library_name() const;
+
+  /// Decode + validate + instantiate + run `_start` under WASI. The module
+  /// actually executes; proc_exit(0) is success.
+  Result<ExecutionReport> run_module(std::span<const uint8_t> module_bytes,
+                                     wasi::WasiOptions wasi_options,
+                                     wasi::VirtualFs& fs) const;
+
+  /// CPU demand to start one container with a module of `module_bytes`
+  /// size. `node_has_cached_module` selects the cache-hit path for engines
+  /// with a shared compilation cache (wasmtime).
+  [[nodiscard]] StartupCost startup_cost(std::size_t module_size,
+                                         bool node_has_cached_module) const;
+
+ private:
+  EngineProfile profile_;
+  bool shim_flavor_;
+};
+
+/// Factories resolving the calibrated profiles.
+Engine make_crun_engine(EngineKind kind);
+Engine make_shim_engine(EngineKind kind);
+
+}  // namespace wasmctr::engines

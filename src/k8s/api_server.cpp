@@ -1,0 +1,77 @@
+#include "k8s/api_server.hpp"
+
+namespace wasmctr::k8s {
+
+Status ApiServer::create_pod(PodSpec spec) {
+  if (spec.name.empty()) return invalid_argument("pod needs a name");
+  if (pods_.contains(spec.name)) {
+    return already_exists("pod " + spec.name);
+  }
+  if (!spec.runtime_class.empty() &&
+      !runtime_classes_.contains(spec.runtime_class)) {
+    return not_found("runtimeClass " + spec.runtime_class);
+  }
+  Pod pod;
+  pod.spec = std::move(spec);
+  const std::string name = pod.spec.name;
+  auto [it, _] = pods_.emplace(name, std::move(pod));
+  for (const PodWatcher& w : created_watchers_) w(it->second);
+  return Status::ok();
+}
+
+Pod* ApiServer::pod(const std::string& name) {
+  auto it = pods_.find(name);
+  return it == pods_.end() ? nullptr : &it->second;
+}
+
+const Pod* ApiServer::pod(const std::string& name) const {
+  auto it = pods_.find(name);
+  return it == pods_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Pod*> ApiServer::pods() const {
+  std::vector<const Pod*> out;
+  out.reserve(pods_.size());
+  for (const auto& [_, p] : pods_) out.push_back(&p);
+  return out;
+}
+
+Status ApiServer::delete_pod(const std::string& name) {
+  if (pods_.erase(name) == 0) return not_found("pod " + name);
+  return Status::ok();
+}
+
+Status ApiServer::bind_pod(const std::string& name, const std::string& node) {
+  Pod* p = pod(name);
+  if (p == nullptr) return not_found("pod " + name);
+  if (p->status.phase != PodPhase::kPending) {
+    return failed_precondition("pod " + name + " already bound");
+  }
+  p->status.phase = PodPhase::kScheduled;
+  p->status.node = node;
+  for (const PodWatcher& w : bound_watchers_) w(*p);
+  return Status::ok();
+}
+
+Status ApiServer::update_pod_status(const std::string& name,
+                                    PodStatus status) {
+  Pod* p = pod(name);
+  if (p == nullptr) return not_found("pod " + name);
+  p->status = std::move(status);
+  return Status::ok();
+}
+
+Status ApiServer::create_runtime_class(RuntimeClass rc) {
+  if (runtime_classes_.contains(rc.name)) {
+    return already_exists("runtimeClass " + rc.name);
+  }
+  runtime_classes_.emplace(rc.name, std::move(rc));
+  return Status::ok();
+}
+
+const RuntimeClass* ApiServer::runtime_class(const std::string& name) const {
+  auto it = runtime_classes_.find(name);
+  return it == runtime_classes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace wasmctr::k8s

@@ -1,0 +1,50 @@
+// Kubernetes API server: the cluster's object store. The control plane
+// (scheduler) and node agents (kubelet) coordinate exclusively through it,
+// as in real Kubernetes; there is no side channel.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "k8s/objects.hpp"
+#include "support/status.hpp"
+
+namespace wasmctr::k8s {
+
+class ApiServer {
+ public:
+  using PodWatcher = std::function<void(const Pod&)>;
+
+  // --- pods ---
+  Status create_pod(PodSpec spec);
+  [[nodiscard]] Pod* pod(const std::string& name);
+  [[nodiscard]] const Pod* pod(const std::string& name) const;
+  [[nodiscard]] std::vector<const Pod*> pods() const;
+  Status delete_pod(const std::string& name);
+
+  /// Bind a pending pod to a node (what the scheduler posts).
+  Status bind_pod(const std::string& name, const std::string& node);
+
+  /// Kubelet status updates.
+  Status update_pod_status(const std::string& name, PodStatus status);
+
+  /// Watch for newly created pods (scheduler) and bindings (kubelet).
+  void watch_created(PodWatcher w) { created_watchers_.push_back(std::move(w)); }
+  void watch_bound(PodWatcher w) { bound_watchers_.push_back(std::move(w)); }
+
+  // --- runtime classes ---
+  Status create_runtime_class(RuntimeClass rc);
+  [[nodiscard]] const RuntimeClass* runtime_class(
+      const std::string& name) const;
+
+  [[nodiscard]] std::size_t pod_count() const noexcept { return pods_.size(); }
+
+ private:
+  std::map<std::string, Pod> pods_;
+  std::map<std::string, RuntimeClass> runtime_classes_;
+  std::vector<PodWatcher> created_watchers_;
+  std::vector<PodWatcher> bound_watchers_;
+};
+
+}  // namespace wasmctr::k8s

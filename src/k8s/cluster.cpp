@@ -1,0 +1,202 @@
+#include "k8s/cluster.hpp"
+
+#include "pylite/scripts.hpp"
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::k8s {
+
+const char* deploy_config_name(DeployConfig c) {
+  switch (c) {
+    case DeployConfig::kCrunWamr: return "crun-wamr";
+    case DeployConfig::kCrunWasmtime: return "crun-wasmtime";
+    case DeployConfig::kCrunWasmer: return "crun-wasmer";
+    case DeployConfig::kCrunWasmEdge: return "crun-wasmedge";
+    case DeployConfig::kShimWasmtime: return "containerd-shim-wasmtime";
+    case DeployConfig::kShimWasmer: return "containerd-shim-wasmer";
+    case DeployConfig::kShimWasmEdge: return "containerd-shim-wasmedge";
+    case DeployConfig::kCrunPython: return "crun-python";
+    case DeployConfig::kRuncPython: return "runc-python";
+  }
+  return "?";
+}
+
+const char* deploy_config_label(DeployConfig c) {
+  // Figure labels: ours is highlighted, Python baselines marked non-Wasm.
+  switch (c) {
+    case DeployConfig::kCrunWamr: return "crun-wamr (ours)";
+    case DeployConfig::kCrunPython: return "crun-python (non-wasm)";
+    case DeployConfig::kRuncPython: return "runc-python (non-wasm)";
+    default: return deploy_config_name(c);
+  }
+}
+
+bool deploy_config_is_wasm(DeployConfig c) {
+  return c != DeployConfig::kCrunPython && c != DeployConfig::kRuncPython;
+}
+
+namespace {
+
+struct ConfigRoute {
+  const char* runtime_class;
+  const char* image;
+};
+
+ConfigRoute route_for(DeployConfig c) {
+  switch (c) {
+    case DeployConfig::kCrunWamr: return {"crun-wamr", "microservice:wasm"};
+    case DeployConfig::kCrunWasmtime:
+      return {"crun-wasmtime", "microservice:wasm"};
+    case DeployConfig::kCrunWasmer:
+      return {"crun-wasmer", "microservice:wasm"};
+    case DeployConfig::kCrunWasmEdge:
+      return {"crun-wasmedge", "microservice:wasm"};
+    case DeployConfig::kShimWasmtime:
+      return {"wasmtime-shim", "microservice:wasm"};
+    case DeployConfig::kShimWasmer: return {"wasmer-shim", "microservice:wasm"};
+    case DeployConfig::kShimWasmEdge:
+      return {"wasmedge-shim", "microservice:wasm"};
+    case DeployConfig::kCrunPython: return {"crun", "microservice:python"};
+    case DeployConfig::kRuncPython: return {"runc", "microservice:python"};
+  }
+  return {"runc", "microservice:python"};
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterOptions options)
+    : node_(options.node),
+      images_(node_),
+      containerd_(node_, images_),
+      api_(),
+      scheduler_(node_.kernel(), api_),
+      kubelet_(KubeletConfig{"node-0", options.max_pods, "runc"}, node_, api_,
+               containerd_),
+      metrics_(api_, node_),
+      free_probe_(node_) {
+  scheduler_.add_node("node-0", options.max_pods);
+  register_handlers_and_classes();
+  register_images();
+  free_probe_.reset_baseline();
+}
+
+void Cluster::register_handlers_and_classes() {
+  using containerd::HandlerConfig;
+  using containerd::HandlerPath;
+  using engines::EngineKind;
+
+  const auto add = [&](const char* name, HandlerConfig config) {
+    containerd_.register_handler(name, config);
+    (void)api_.create_runtime_class({name, name});
+  };
+  add("runc", {HandlerPath::kRuncV2, "runc", std::nullopt});
+  add("crun", {HandlerPath::kRuncV2, "crun", std::nullopt});
+  add("youki", {HandlerPath::kRuncV2, "youki", std::nullopt});
+  add("crun-wamr", {HandlerPath::kRuncV2, "crun", EngineKind::kWamr});
+  add("crun-wasmtime", {HandlerPath::kRuncV2, "crun", EngineKind::kWasmtime});
+  add("crun-wasmer", {HandlerPath::kRuncV2, "crun", EngineKind::kWasmer});
+  add("crun-wasmedge", {HandlerPath::kRuncV2, "crun", EngineKind::kWasmEdge});
+  add("wasmtime-shim", {HandlerPath::kRunwasi, "", EngineKind::kWasmtime});
+  add("wasmer-shim", {HandlerPath::kRunwasi, "", EngineKind::kWasmer});
+  add("wasmedge-shim", {HandlerPath::kRunwasi, "", EngineKind::kWasmEdge});
+}
+
+void Cluster::register_images() {
+  // The paper's minimal C microservice, compiled to Wasm (§IV-A)...
+  containerd::Image wasm_image;
+  wasm_image.name = "microservice:wasm";
+  wasm_image.payload.kind = oci::Payload::Kind::kWasm;
+  wasm_image.payload.wasm = wasm::build_minimal_microservice();
+  wasm_image.disk_size = Bytes(wasm_image.payload.wasm.size() + 4096);
+  images_.add(std::move(wasm_image));
+
+  // ... and its Python twin for the non-Wasm baseline (§IV-D). The image
+  // holds the script; CPython itself is modeled via the shared libpython
+  // mapping plus interpreter private memory (engines::kPythonProfile).
+  containerd::Image py_image;
+  py_image.name = "microservice:python";
+  py_image.payload.kind = oci::Payload::Kind::kPython;
+  py_image.payload.script = pylite::minimal_microservice_script();
+  py_image.disk_size = Bytes(py_image.payload.script.size() + 16384);
+  images_.add(std::move(py_image));
+
+  // Extra workloads used by examples and ablation benches.
+  containerd::Image kernel_image;
+  kernel_image.name = "compute-kernel:wasm";
+  kernel_image.payload.kind = oci::Payload::Kind::kWasm;
+  kernel_image.payload.wasm = wasm::build_minimal_microservice();
+  kernel_image.disk_size = Bytes(kernel_image.payload.wasm.size() + 4096);
+  images_.add(std::move(kernel_image));
+
+  containerd::Image logger_image;
+  logger_image.name = "file-logger:wasm";
+  logger_image.payload.kind = oci::Payload::Kind::kWasm;
+  logger_image.payload.wasm = wasm::build_file_logger();
+  logger_image.disk_size = Bytes(logger_image.payload.wasm.size() + 4096);
+  images_.add(std::move(logger_image));
+
+  containerd::Image py_kernel;
+  py_kernel.name = "compute-kernel:python";
+  py_kernel.payload.kind = oci::Payload::Kind::kPython;
+  py_kernel.payload.script = pylite::compute_kernel_script();
+  py_kernel.disk_size = Bytes(py_kernel.payload.script.size() + 16384);
+  images_.add(std::move(py_kernel));
+}
+
+Status Cluster::deploy(DeployConfig config, uint32_t count,
+                       const std::string& name_prefix) {
+  const ConfigRoute route = route_for(config);
+  for (uint32_t i = 0; i < count; ++i) {
+    PodSpec spec;
+    spec.name = name_prefix + "-" + deploy_config_name(config) + "-" +
+                std::to_string(i);
+    spec.image = route.image;
+    spec.runtime_class = route.runtime_class;
+    spec.env = {{"SERVICE_NAME", spec.name}, {"PORT", "8080"}};
+    WASMCTR_RETURN_IF_ERROR(api_.create_pod(std::move(spec)));
+  }
+  return Status::ok();
+}
+
+Status Cluster::deploy_pod(PodSpec spec) {
+  return api_.create_pod(std::move(spec));
+}
+
+SimDuration Cluster::startup_makespan() const {
+  SimTime last{0};
+  for (const Pod* pod : api_.pods()) {
+    if (pod->status.phase == PodPhase::kRunning) {
+      last = std::max(last, pod->status.running_at);
+    }
+  }
+  return last;
+}
+
+std::size_t Cluster::running_count() const {
+  std::size_t n = 0;
+  for (const Pod* pod : api_.pods()) {
+    if (pod->status.phase == PodPhase::kRunning) ++n;
+  }
+  return n;
+}
+
+std::size_t Cluster::failed_count() const {
+  std::size_t n = 0;
+  for (const Pod* pod : api_.pods()) {
+    if (pod->status.phase == PodPhase::kFailed) ++n;
+  }
+  return n;
+}
+
+Result<std::string> Cluster::pod_stdout(const std::string& pod_name) const {
+  const Pod* pod = api_.pod(pod_name);
+  if (pod == nullptr) return not_found("pod " + pod_name);
+  if (pod->status.container_id.empty()) {
+    return failed_precondition("pod has no container yet");
+  }
+  WASMCTR_ASSIGN_OR_RETURN(oci::ContainerInfo info,
+                           containerd_.container_state(
+                               pod->status.container_id));
+  return info.stdout_data;
+}
+
+}  // namespace wasmctr::k8s

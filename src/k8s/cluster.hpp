@@ -1,0 +1,110 @@
+// Cluster facade: assembles a node, containerd, the control plane and the
+// paper's nine runtime configurations; the primary embedding API for
+// examples and benches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "containerd/containerd.hpp"
+#include "k8s/api_server.hpp"
+#include "k8s/kubelet.hpp"
+#include "k8s/metrics_server.hpp"
+#include "k8s/scheduler.hpp"
+
+namespace wasmctr::k8s {
+
+/// The runtime configurations evaluated in the paper (Table II, Fig 3–10).
+enum class DeployConfig {
+  kCrunWamr,      ///< our WAMR-in-crun integration (the contribution)
+  kCrunWasmtime,  ///< pre-existing crun Wasm integrations (Fig 3/4)
+  kCrunWasmer,
+  kCrunWasmEdge,
+  kShimWasmtime,  ///< runwasi shims (Fig 5)
+  kShimWasmer,
+  kShimWasmEdge,
+  kCrunPython,    ///< non-Wasm baselines (Fig 6/7)
+  kRuncPython,
+};
+
+inline constexpr DeployConfig kAllConfigs[] = {
+    DeployConfig::kCrunWamr,     DeployConfig::kCrunWasmtime,
+    DeployConfig::kCrunWasmer,   DeployConfig::kCrunWasmEdge,
+    DeployConfig::kShimWasmtime, DeployConfig::kShimWasmer,
+    DeployConfig::kShimWasmEdge, DeployConfig::kCrunPython,
+    DeployConfig::kRuncPython,
+};
+
+[[nodiscard]] const char* deploy_config_name(DeployConfig c);
+[[nodiscard]] const char* deploy_config_label(DeployConfig c);  // figure label
+[[nodiscard]] bool deploy_config_is_wasm(DeployConfig c);
+
+struct ClusterOptions {
+  sim::NodeConfig node;
+  /// kubelet max pods: stock 110; the paper's extended config is 500.
+  uint32_t max_pods = 500;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- deployment ---
+
+  /// Create `count` single-container pods of `config` (one container per
+  /// pod, as in every paper experiment — Table II).
+  Status deploy(DeployConfig config, uint32_t count,
+                const std::string& name_prefix = "pod");
+
+  /// Create one pod from an explicit spec (examples use this directly).
+  Status deploy_pod(PodSpec spec);
+
+  /// Run the simulation until quiescent.
+  void run() { node_.kernel().run(); }
+
+  // --- measurement (the paper's two methodologies + latency) ---
+
+  [[nodiscard]] Bytes metrics_avg_per_container() const {
+    return metrics_.average_working_set();
+  }
+  [[nodiscard]] Bytes free_avg_per_container() const {
+    return free_probe_.delta_per_container(running_count());
+  }
+  /// Time from the first pod's creation to the last workload executing —
+  /// Fig 8/9's "time to start N concurrent containers".
+  [[nodiscard]] SimDuration startup_makespan() const;
+
+  [[nodiscard]] std::size_t running_count() const;
+  [[nodiscard]] std::size_t failed_count() const;
+
+  /// Captured stdout of a pod's workload (end-to-end verification).
+  [[nodiscard]] Result<std::string> pod_stdout(
+      const std::string& pod_name) const;
+
+  // --- component access ---
+  [[nodiscard]] sim::Node& node() noexcept { return node_; }
+  [[nodiscard]] ApiServer& api() noexcept { return api_; }
+  [[nodiscard]] containerd::Containerd& cri() noexcept { return containerd_; }
+  [[nodiscard]] MetricsServer& metrics() noexcept { return metrics_; }
+  [[nodiscard]] FreeProbe& free_probe() noexcept { return free_probe_; }
+  [[nodiscard]] Kubelet& kubelet() noexcept { return kubelet_; }
+
+ private:
+  void register_handlers_and_classes();
+  void register_images();
+
+  sim::Node node_;
+  containerd::ImageStore images_;
+  containerd::Containerd containerd_;
+  ApiServer api_;
+  Scheduler scheduler_;
+  Kubelet kubelet_;
+  MetricsServer metrics_;
+  FreeProbe free_probe_;
+};
+
+}  // namespace wasmctr::k8s

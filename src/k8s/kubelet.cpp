@@ -1,0 +1,105 @@
+#include "k8s/kubelet.hpp"
+
+#include "support/log.hpp"
+
+namespace wasmctr::k8s {
+
+using engines::kInfra;
+
+Kubelet::Kubelet(KubeletConfig config, sim::Node& node, ApiServer& api,
+                 containerd::Containerd& cri)
+    : config_(std::move(config)), node_(node), api_(api), cri_(cri) {
+  api_.watch_bound([this](const Pod& pod) {
+    if (pod.status.node == config_.node_name) sync_pod(pod);
+  });
+}
+
+void Kubelet::fail_pod(const std::string& name, const Status& status) {
+  ++pods_failed_;
+  if (Pod* p = api_.pod(name)) {
+    p->status.phase = PodPhase::kFailed;
+    p->status.message = status.to_string();
+  }
+  WASMCTR_LOG(kWarn, "kubelet") << "pod " << name << " failed: "
+                                << status.to_string();
+}
+
+void Kubelet::sync_pod(const Pod& pod) {
+  const std::string name = pod.spec.name;
+  if (active_pods_ >= config_.max_pods) {
+    fail_pod(name, resource_exhausted(
+                       "node capacity: max_pods=" +
+                       std::to_string(config_.max_pods) +
+                       " reached (kubelet config, paper §III-C raises it)"));
+    return;
+  }
+  ++active_pods_;
+
+  // Resolve the runtime handler through the pod's RuntimeClass.
+  std::string handler = config_.default_runtime_handler;
+  if (!pod.spec.runtime_class.empty()) {
+    const RuntimeClass* rc = api_.runtime_class(pod.spec.runtime_class);
+    if (rc == nullptr) {
+      fail_pod(name, not_found("runtimeClass " + pod.spec.runtime_class));
+      return;
+    }
+    handler = rc->handler;
+  }
+  if (!cri_.has_handler(handler)) {
+    fail_pod(name, not_found("containerd handler " + handler));
+    return;
+  }
+
+  if (Pod* p = api_.pod(name)) {
+    p->status.phase = PodPhase::kCreating;
+    p->status.created_at = node_.kernel().now();
+  }
+
+  // Per-pod kubelet bookkeeping (probes, status cache) — kubelet process
+  // memory, outside pod cgroups.
+  (void)node_.memory().charge_anon(kInfra.kubelet_per_pod, nullptr);
+
+  // Fixed pipeline latency: watch propagation, sync loop, CNI waits.
+  const double jitter = node_.rng().uniform(0.0, 0.04);
+  node_.kernel().schedule_after(
+      sim_s(kInfra.fixed_latency_s + jitter), [this, name, handler] {
+        const Pod* pod = api_.pod(name);
+        if (pod == nullptr) return;
+        const PodSpec spec = pod->spec;
+        cri_.run_pod_sandbox(name, [this, name, handler,
+                                    spec](Result<std::string> sandbox) {
+          if (!sandbox) {
+            fail_pod(name, sandbox.status());
+            return;
+          }
+          const std::string sandbox_id = *sandbox;
+          if (Pod* p = api_.pod(name)) p->status.sandbox_id = sandbox_id;
+
+          containerd::ContainerRequest request;
+          request.name = name + "-ctr";
+          request.image = spec.image;
+          request.args = spec.args;
+          request.env = spec.env;
+          request.memory_limit = spec.memory_limit;
+          auto container_id = cri_.create_and_start(
+              sandbox_id, request, handler, [this, name](Status run_st) {
+                Pod* p = api_.pod(name);
+                if (p == nullptr) return;
+                if (!run_st.is_ok()) {
+                  fail_pod(name, run_st);
+                  return;
+                }
+                p->status.phase = PodPhase::kRunning;
+                p->status.running_at = node_.kernel().now();
+                ++pods_started_;
+              });
+          if (!container_id) {
+            fail_pod(name, container_id.status());
+          } else if (Pod* p = api_.pod(name)) {
+            p->status.container_id = *container_id;
+          }
+        });
+      });
+}
+
+}  // namespace wasmctr::k8s

@@ -1,0 +1,51 @@
+// kubelet: the per-node agent. Watches for pods bound to its node and
+// drives them through the CRI (containerd): RunPodSandbox →
+// CreateContainer → StartContainer, then reports Running with timestamps —
+// the interval the paper's startup experiments measure (§IV-E).
+//
+// The paper extends the stock kubelet configuration from 110 to 500 pods
+// per node (§III-C); `KubeletConfig::max_pods` models exactly that knob.
+#pragma once
+
+#include <string>
+
+#include "containerd/containerd.hpp"
+#include "k8s/api_server.hpp"
+#include "sim/node.hpp"
+
+namespace wasmctr::k8s {
+
+struct KubeletConfig {
+  std::string node_name = "node-0";
+  /// Stock kubelet default is 110; the paper raises it to 500 (§III-C).
+  uint32_t max_pods = 110;
+  std::string default_runtime_handler = "runc";
+};
+
+class Kubelet {
+ public:
+  Kubelet(KubeletConfig config, sim::Node& node, ApiServer& api,
+          containerd::Containerd& cri);
+
+  [[nodiscard]] const KubeletConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] uint32_t pods_started() const noexcept {
+    return pods_started_;
+  }
+  [[nodiscard]] uint32_t pods_failed() const noexcept { return pods_failed_; }
+
+ private:
+  void sync_pod(const Pod& pod);
+  void fail_pod(const std::string& name, const Status& status);
+
+  KubeletConfig config_;
+  sim::Node& node_;
+  ApiServer& api_;
+  containerd::Containerd& cri_;
+  uint32_t active_pods_ = 0;
+  uint32_t pods_started_ = 0;
+  uint32_t pods_failed_ = 0;
+};
+
+}  // namespace wasmctr::k8s

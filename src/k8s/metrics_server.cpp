@@ -1,0 +1,25 @@
+#include "k8s/metrics_server.hpp"
+
+namespace wasmctr::k8s {
+
+std::vector<PodMetrics> MetricsServer::top_pods() const {
+  std::vector<PodMetrics> out;
+  for (const Pod* pod : api_.pods()) {
+    if (pod->status.phase != PodPhase::kRunning) continue;
+    mem::Cgroup* cg =
+        node_.cgroups().find("kubepods/pod-" + pod->spec.name);
+    if (cg == nullptr) continue;
+    out.push_back({pod->spec.name, cg->working_set(), cg->usage()});
+  }
+  return out;
+}
+
+Bytes MetricsServer::average_working_set() const {
+  const std::vector<PodMetrics> metrics = top_pods();
+  if (metrics.empty()) return Bytes(0);
+  Bytes total{0};
+  for (const PodMetrics& m : metrics) total += m.working_set;
+  return total / metrics.size();
+}
+
+}  // namespace wasmctr::k8s

@@ -1,0 +1,65 @@
+// Kubernetes metrics server: reports per-pod working sets from the pod
+// cgroups — the paper's first memory measurement methodology (Fig 3/6).
+// The second one, `free(1)`, reads node-wide deltas; see FreeProbe below.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "k8s/api_server.hpp"
+#include "sim/node.hpp"
+
+namespace wasmctr::k8s {
+
+struct PodMetrics {
+  std::string pod_name;
+  Bytes working_set;
+  Bytes usage;  // includes inactive file (page cache)
+};
+
+class MetricsServer {
+ public:
+  MetricsServer(ApiServer& api, sim::Node& node) : api_(api), node_(node) {}
+
+  /// Per-pod metrics for every Running pod (kubectl top pods analogue).
+  [[nodiscard]] std::vector<PodMetrics> top_pods() const;
+
+  /// Mean working set per running pod — the paper's Fig 3/6 y-axis.
+  [[nodiscard]] Bytes average_working_set() const;
+
+ private:
+  ApiServer& api_;
+  sim::Node& node_;
+};
+
+/// The `free(1)` methodology: snapshot used memory before deployment, read
+/// it again after, divide the delta by the container count (Fig 4/5/7).
+class FreeProbe {
+ public:
+  explicit FreeProbe(sim::Node& node) : node_(node) { reset_baseline(); }
+
+  /// Take the pre-deployment snapshot (the paper's baseline, §IV-B).
+  void reset_baseline() { baseline_ = used_now(); }
+
+  [[nodiscard]] Bytes baseline() const noexcept { return baseline_; }
+  [[nodiscard]] Bytes used_now() const {
+    const mem::FreeReport r = node_.memory().free_report();
+    // `free` "used" plus buff/cache delta: the paper notes free reports
+    // include caches the metrics server excludes (§IV-B).
+    return r.used + r.buffcache;
+  }
+
+  /// Per-container delta over the baseline.
+  [[nodiscard]] Bytes delta_per_container(std::size_t containers) const {
+    if (containers == 0) return Bytes(0);
+    const Bytes now = used_now();
+    const Bytes delta = now >= baseline_ ? now - baseline_ : Bytes(0);
+    return delta / containers;
+  }
+
+ private:
+  sim::Node& node_;
+  Bytes baseline_{0};
+};
+
+}  // namespace wasmctr::k8s

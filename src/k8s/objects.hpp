@@ -1,0 +1,56 @@
+// Kubernetes API objects (the subset the reproduction needs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace wasmctr::k8s {
+
+/// RuntimeClass: maps a pod's runtimeClassName to a containerd handler.
+struct RuntimeClass {
+  std::string name;     // e.g. "crun-wamr"
+  std::string handler;  // containerd runtime handler name
+};
+
+struct PodSpec {
+  std::string name;
+  std::string image;
+  std::string runtime_class;  // empty = cluster default
+  std::vector<std::string> args;
+  std::vector<std::pair<std::string, std::string>> env;
+  uint64_t memory_limit = 0;  // bytes; 0 = none
+};
+
+enum class PodPhase { kPending, kScheduled, kCreating, kRunning, kFailed };
+
+[[nodiscard]] constexpr const char* pod_phase_name(PodPhase p) {
+  switch (p) {
+    case PodPhase::kPending: return "Pending";
+    case PodPhase::kScheduled: return "Scheduled";
+    case PodPhase::kCreating: return "ContainerCreating";
+    case PodPhase::kRunning: return "Running";
+    case PodPhase::kFailed: return "Failed";
+  }
+  return "?";
+}
+
+struct PodStatus {
+  PodPhase phase = PodPhase::kPending;
+  std::string node;
+  std::string sandbox_id;
+  std::string container_id;
+  std::string message;
+  SimTime created_at{0};
+  SimTime running_at{0};
+};
+
+struct Pod {
+  PodSpec spec;
+  PodStatus status;
+};
+
+}  // namespace wasmctr::k8s

@@ -1,0 +1,46 @@
+#include "k8s/scheduler.hpp"
+
+#include "support/log.hpp"
+
+namespace wasmctr::k8s {
+
+namespace {
+/// API round-trip + scoring cost per binding decision.
+constexpr SimDuration kBindLatency = sim_ms(int64_t{4});
+}  // namespace
+
+Scheduler::Scheduler(sim::Kernel& kernel, ApiServer& api)
+    : kernel_(kernel), api_(api) {
+  api_.watch_created([this](const Pod& pod) { schedule(pod.spec.name); });
+}
+
+void Scheduler::add_node(std::string name, uint32_t capacity) {
+  nodes_.push_back({std::move(name), capacity, 0});
+}
+
+void Scheduler::schedule(const std::string& pod_name) {
+  kernel_.schedule_after(kBindLatency, [this, pod_name] {
+    // Least-loaded node with free capacity.
+    SchedulerNode* best = nullptr;
+    for (SchedulerNode& n : nodes_) {
+      if (n.bound >= n.capacity) continue;
+      if (best == nullptr || n.bound < best->bound) best = &n;
+    }
+    if (best == nullptr) {
+      ++unschedulable_;
+      if (Pod* p = api_.pod(pod_name)) {
+        p->status.phase = PodPhase::kFailed;
+        p->status.message = "0/" + std::to_string(nodes_.size()) +
+                            " nodes available: too many pods";
+      }
+      WASMCTR_LOG(kWarn, "scheduler") << "pod " << pod_name
+                                      << " unschedulable";
+      return;
+    }
+    ++best->bound;
+    ++total_bound_;
+    (void)api_.bind_pod(pod_name, best->name);
+  });
+}
+
+}  // namespace wasmctr::k8s

@@ -1,0 +1,42 @@
+// Scheduler: watches unbound pods and binds them to a node. The paper's
+// testbed is a single worker node; the scheduler still enforces capacity
+// and models its binding latency so Fig 8/9 include control-plane time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "k8s/api_server.hpp"
+#include "sim/kernel.hpp"
+
+namespace wasmctr::k8s {
+
+struct SchedulerNode {
+  std::string name;
+  uint32_t capacity = 110;
+  uint32_t bound = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(sim::Kernel& kernel, ApiServer& api);
+
+  /// Register a schedulable node.
+  void add_node(std::string name, uint32_t capacity);
+
+  [[nodiscard]] uint32_t bound_count() const noexcept { return total_bound_; }
+  [[nodiscard]] uint32_t unschedulable_count() const noexcept {
+    return unschedulable_;
+  }
+
+ private:
+  void schedule(const std::string& pod_name);
+
+  sim::Kernel& kernel_;
+  ApiServer& api_;
+  std::vector<SchedulerNode> nodes_;
+  uint32_t total_bound_ = 0;
+  uint32_t unschedulable_ = 0;
+};
+
+}  // namespace wasmctr::k8s

@@ -1,0 +1,101 @@
+#include "mem/cgroup.hpp"
+
+#include <cassert>
+
+namespace wasmctr::mem {
+
+Status Cgroup::check_headroom(Bytes delta) const {
+  for (const Cgroup* g = this; g != nullptr; g = g->parent_) {
+    if (g->limit_.value != 0 && g->usage() + delta > g->limit_) {
+      return resource_exhausted("cgroup '" + g->name_ +
+                                "' memory.max exceeded");
+    }
+  }
+  return Status::ok();
+}
+
+Status Cgroup::charge_anon(Bytes b) {
+  WASMCTR_RETURN_IF_ERROR(check_headroom(b));
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) g->anon_ += b;
+  return Status::ok();
+}
+
+void Cgroup::uncharge_anon(Bytes b) {
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    assert(g->anon_ >= b);
+    g->anon_ -= b;
+  }
+}
+
+Status Cgroup::charge_file_active(Bytes b) {
+  WASMCTR_RETURN_IF_ERROR(check_headroom(b));
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) g->file_active_ += b;
+  return Status::ok();
+}
+
+void Cgroup::uncharge_file_active(Bytes b) {
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    assert(g->file_active_ >= b);
+    g->file_active_ -= b;
+  }
+}
+
+Status Cgroup::charge_file_inactive(Bytes b) {
+  WASMCTR_RETURN_IF_ERROR(check_headroom(b));
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) g->file_inactive_ += b;
+  return Status::ok();
+}
+
+void Cgroup::uncharge_file_inactive(Bytes b) {
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    assert(g->file_inactive_ >= b);
+    g->file_inactive_ -= b;
+  }
+}
+
+CgroupTree::CgroupTree() : root_(std::make_unique<Cgroup>("", nullptr)) {}
+
+Cgroup& CgroupTree::ensure(std::string_view path) {
+  if (path.empty()) return *root_;
+  if (auto it = nodes_.find(path); it != nodes_.end()) return *it->second;
+  // Create the parent first.
+  const auto slash = path.rfind('/');
+  Cgroup* parent = slash == std::string_view::npos
+                       ? root_.get()
+                       : &ensure(path.substr(0, slash));
+  auto node = std::make_unique<Cgroup>(std::string(path), parent);
+  Cgroup& ref = *node;
+  nodes_.emplace(std::string(path), std::move(node));
+  return ref;
+}
+
+Cgroup* CgroupTree::find(std::string_view path) {
+  if (path.empty()) return root_.get();
+  auto it = nodes_.find(path);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Status CgroupTree::remove(std::string_view path) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return not_found("cgroup " + std::string(path));
+  // Children are any paths with this prefix followed by '/'.
+  const std::string prefix = std::string(path) + "/";
+  auto next = std::next(it);
+  if (next != nodes_.end() && next->first.starts_with(prefix)) {
+    return failed_precondition("cgroup has children: " + std::string(path));
+  }
+  if (it->second->usage().value != 0) {
+    return failed_precondition("cgroup busy: " + std::string(path));
+  }
+  nodes_.erase(it);
+  return Status::ok();
+}
+
+std::vector<std::string> CgroupTree::paths() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [p, _] : nodes_) out.push_back(p);
+  return out;
+}
+
+}  // namespace wasmctr::mem

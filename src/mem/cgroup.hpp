@@ -1,0 +1,101 @@
+// cgroup v2 memory-controller model.
+//
+// Kubernetes charges container memory to a per-pod cgroup; the metrics
+// server reports a pod's *working set* (memory.current minus inactive
+// file pages). The `free` command, by contrast, sees node-wide usage
+// including processes outside pod cgroups (containerd shims, kubelet).
+// Modelling both is what reproduces the paper's dual measurements
+// (Fig 3 vs Fig 4, Fig 6 vs Fig 7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+#include "support/units.hpp"
+
+namespace wasmctr::mem {
+
+/// One cgroup node. Charges propagate to ancestors, as in the kernel.
+class Cgroup {
+ public:
+  Cgroup(std::string name, Cgroup* parent) : name_(std::move(name)), parent_(parent) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Cgroup* parent() const noexcept { return parent_; }
+
+  /// memory.max: 0 means unlimited.
+  void set_limit(Bytes limit) noexcept { limit_ = limit; }
+  [[nodiscard]] Bytes limit() const noexcept { return limit_; }
+
+  /// Charge anonymous pages. Fails with kResourceExhausted when any
+  /// ancestor's memory.max would be exceeded (the OOM-kill analogue).
+  Status charge_anon(Bytes b);
+  void uncharge_anon(Bytes b);
+
+  /// Charge active mapped file pages (shared library first-toucher).
+  Status charge_file_active(Bytes b);
+  void uncharge_file_active(Bytes b);
+
+  /// Charge inactive file pages (page cache attributed to this cgroup).
+  Status charge_file_inactive(Bytes b);
+  void uncharge_file_inactive(Bytes b);
+
+  /// memory.current.
+  [[nodiscard]] Bytes usage() const noexcept {
+    return anon_ + file_active_ + file_inactive_;
+  }
+  /// Working set = usage − inactive file (what the metrics server reports).
+  [[nodiscard]] Bytes working_set() const noexcept {
+    return anon_ + file_active_;
+  }
+  [[nodiscard]] Bytes anon() const noexcept { return anon_; }
+  [[nodiscard]] Bytes file_active() const noexcept { return file_active_; }
+  [[nodiscard]] Bytes file_inactive() const noexcept { return file_inactive_; }
+
+ private:
+  Status check_headroom(Bytes delta) const;
+
+  std::string name_;
+  Cgroup* parent_;
+  Bytes limit_{0};
+  Bytes anon_{0};
+  Bytes file_active_{0};
+  Bytes file_inactive_{0};
+};
+
+/// Hierarchy keyed by slash-separated paths ("kubepods/pod42/ctr1").
+class CgroupTree {
+ public:
+  CgroupTree();
+
+  CgroupTree(const CgroupTree&) = delete;
+  CgroupTree& operator=(const CgroupTree&) = delete;
+
+  [[nodiscard]] Cgroup& root() noexcept { return *root_; }
+
+  /// Create (or return the existing) cgroup at `path`, creating ancestors.
+  Cgroup& ensure(std::string_view path);
+
+  /// Lookup; nullptr when absent.
+  [[nodiscard]] Cgroup* find(std::string_view path);
+
+  /// Remove a leaf cgroup. Fails if it has children or non-zero usage
+  /// (matching rmdir semantics on cgroupfs).
+  Status remove(std::string_view path);
+
+  /// All live paths, sorted (for introspection/tests).
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+ private:
+  std::unique_ptr<Cgroup> root_;
+  // Path → node. Nodes own nothing hierarchical beyond the parent pointer;
+  // the map owns all non-root nodes.
+  std::map<std::string, std::unique_ptr<Cgroup>, std::less<>> nodes_;
+};
+
+}  // namespace wasmctr::mem

@@ -1,0 +1,106 @@
+#include "mem/node_memory.hpp"
+
+#include <cassert>
+
+namespace wasmctr::mem {
+
+NodeMemory::NodeMemory(Bytes total_ram, Bytes base_used)
+    : total_(total_ram), base_used_(base_used) {
+  assert(base_used <= total_ram);
+}
+
+Status NodeMemory::check_physical(Bytes delta) const {
+  const Bytes in_use = base_used_ + anon_ + shared_ + cache_;
+  if (in_use + delta > total_) {
+    return resource_exhausted("node out of physical memory");
+  }
+  return Status::ok();
+}
+
+Status NodeMemory::map_shared(FileId f, Bytes size, Cgroup* charge_to) {
+  auto it = shared_maps_.find(f.value);
+  if (it != shared_maps_.end()) {
+    ++it->second.refs;
+    return Status::ok();
+  }
+  WASMCTR_RETURN_IF_ERROR(check_physical(size));
+  if (charge_to != nullptr) {
+    WASMCTR_RETURN_IF_ERROR(charge_to->charge_file_active(size));
+  }
+  shared_ += size;
+  shared_maps_.emplace(f.value, SharedEntry{size, 1, charge_to});
+  return Status::ok();
+}
+
+void NodeMemory::unmap_shared(FileId f) {
+  auto it = shared_maps_.find(f.value);
+  assert(it != shared_maps_.end());
+  if (--it->second.refs > 0) return;
+  if (it->second.charged != nullptr) {
+    it->second.charged->uncharge_file_active(it->second.size);
+  }
+  assert(shared_ >= it->second.size);
+  shared_ -= it->second.size;
+  shared_maps_.erase(it);
+}
+
+Status NodeMemory::charge_anon(Bytes b, Cgroup* charge_to) {
+  WASMCTR_RETURN_IF_ERROR(check_physical(b));
+  if (charge_to != nullptr) {
+    WASMCTR_RETURN_IF_ERROR(charge_to->charge_anon(b));
+  }
+  anon_ += b;
+  return Status::ok();
+}
+
+void NodeMemory::uncharge_anon(Bytes b, Cgroup* charge_to) {
+  if (charge_to != nullptr) charge_to->uncharge_anon(b);
+  assert(anon_ >= b);
+  anon_ -= b;
+}
+
+Status NodeMemory::cache_file(FileId f, Bytes size, Cgroup* charge_to) {
+  auto it = cache_entries_.find(f.value);
+  if (it != cache_entries_.end()) {
+    ++it->second.refs;
+    return Status::ok();
+  }
+  WASMCTR_RETURN_IF_ERROR(check_physical(size));
+  if (charge_to != nullptr) {
+    WASMCTR_RETURN_IF_ERROR(charge_to->charge_file_inactive(size));
+  }
+  cache_ += size;
+  cache_entries_.emplace(f.value, SharedEntry{size, 1, charge_to});
+  return Status::ok();
+}
+
+void NodeMemory::uncache_file(FileId f) {
+  auto it = cache_entries_.find(f.value);
+  assert(it != cache_entries_.end());
+  if (--it->second.refs > 0) return;
+  if (it->second.charged != nullptr) {
+    it->second.charged->uncharge_file_inactive(it->second.size);
+  }
+  assert(cache_ >= it->second.size);
+  cache_ -= it->second.size;
+  cache_entries_.erase(it);
+}
+
+FreeReport NodeMemory::free_report() const {
+  FreeReport r;
+  r.total = total_;
+  r.buffcache = cache_;
+  r.used = base_used_ + anon_ + shared_;
+  r.free_mem = total_ - r.used - r.buffcache;
+  // `available` ≈ free + reclaimable cache (all of our modelled cache is
+  // clean file pages, hence reclaimable).
+  r.available = r.free_mem + r.buffcache;
+  return r;
+}
+
+uint64_t NodeMemory::shared_mappers(FileId f) const {
+  auto it = shared_maps_.find(f.value);
+  return it == shared_maps_.end() ? 0 : it->second.refs;
+}
+
+}  // namespace wasmctr::mem

@@ -1,0 +1,98 @@
+// Node-level physical memory accounting and the `free(1)` model.
+//
+// Tracks three classes of residency:
+//  * anonymous private pages (each charge is distinct physical memory),
+//  * shared file-backed mappings (resident once per file regardless of how
+//    many processes map it — how .so pages of a Wasm engine amortise
+//    across containers),
+//  * page cache (buff/cache in free; inactive file in cgroup terms).
+//
+// The paper's §IV-B measures memory twice: via the Kubernetes metrics
+// server (cgroup working sets, see cgroup.hpp) and via `free`, which sees
+// node-wide deltas including shims, kubelet bookkeeping and caches. The
+// FreeReport here reproduces the latter view.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "mem/cgroup.hpp"
+#include "support/status.hpp"
+#include "support/units.hpp"
+
+namespace wasmctr::mem {
+
+/// Identity of a file whose pages can be shared (an engine .so, an image
+/// layer, a .wasm file). Allocated by NodeMemory::new_file_id().
+struct FileId {
+  uint64_t value = 0;
+  friend auto operator<=>(FileId, FileId) = default;
+};
+
+/// Output of the `free` model, in bytes (mirrors `free -b` columns).
+struct FreeReport {
+  Bytes total;
+  Bytes used;       ///< total − free − buffcache
+  Bytes free_mem;   ///< never-touched physical memory
+  Bytes buffcache;  ///< page cache + buffers
+  Bytes available;  ///< free + reclaimable cache estimate
+};
+
+/// Physical memory of one node.
+class NodeMemory {
+ public:
+  /// `base_used` models the OS + kubelet + containerd idle footprint that
+  /// exists before any pod is scheduled (the paper's baseline snapshot).
+  NodeMemory(Bytes total_ram, Bytes base_used);
+
+  NodeMemory(const NodeMemory&) = delete;
+  NodeMemory& operator=(const NodeMemory&) = delete;
+
+  [[nodiscard]] FileId new_file_id() noexcept { return FileId{next_file_++}; }
+
+  /// Map `size` bytes of file `f` shared. Physical residency is charged only
+  /// on the first mapping; the cgroup of the first toucher is charged with
+  /// the active file pages (memcg first-touch semantics). `charge_to` may be
+  /// nullptr for processes outside any accounted cgroup.
+  Status map_shared(FileId f, Bytes size, Cgroup* charge_to);
+
+  /// Drop one reference; physical pages are released with the last one.
+  void unmap_shared(FileId f);
+
+  /// Charge/release anonymous memory (always private).
+  Status charge_anon(Bytes b, Cgroup* charge_to);
+  void uncharge_anon(Bytes b, Cgroup* charge_to);
+
+  /// Page-cache residency for file `f` (image layers read at container
+  /// start). Cached once per file; refcounted like shared mappings.
+  Status cache_file(FileId f, Bytes size, Cgroup* charge_to);
+  void uncache_file(FileId f);
+
+  [[nodiscard]] FreeReport free_report() const;
+
+  /// Introspection for tests.
+  [[nodiscard]] Bytes anon_total() const noexcept { return anon_; }
+  [[nodiscard]] Bytes shared_resident() const noexcept { return shared_; }
+  [[nodiscard]] Bytes page_cache() const noexcept { return cache_; }
+  [[nodiscard]] uint64_t shared_mappers(FileId f) const;
+
+ private:
+  struct SharedEntry {
+    Bytes size;
+    uint64_t refs = 0;
+    Cgroup* charged = nullptr;  // first toucher
+  };
+
+  Status check_physical(Bytes delta) const;
+
+  Bytes total_;
+  Bytes base_used_;
+  Bytes anon_{0};
+  Bytes shared_{0};
+  Bytes cache_{0};
+  uint64_t next_file_ = 1;
+  std::map<uint64_t, SharedEntry> shared_maps_;
+  std::map<uint64_t, SharedEntry> cache_entries_;
+};
+
+}  // namespace wasmctr::mem

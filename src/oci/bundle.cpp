@@ -1,0 +1,45 @@
+#include "oci/bundle.hpp"
+
+namespace wasmctr::oci {
+
+Status write_bundle(wasi::VirtualFs& fs, const std::string& path,
+                    const RuntimeSpec& spec, const Payload& payload) {
+  WASMCTR_RETURN_IF_ERROR(fs.mkdirs(path));
+  WASMCTR_RETURN_IF_ERROR(
+      fs.write_file(path + "/config.json", spec.to_config_json()));
+  const std::string rootfs = path + "/" + spec.root_path;
+  WASMCTR_RETURN_IF_ERROR(fs.mkdirs(rootfs));
+  if (payload.kind == Payload::Kind::kWasm) {
+    WASMCTR_RETURN_IF_ERROR(
+        fs.write_file(rootfs + "/" + payload.entrypoint(), payload.wasm));
+  } else {
+    WASMCTR_RETURN_IF_ERROR(
+        fs.write_file(rootfs + "/" + payload.entrypoint(), payload.script));
+  }
+  // Standard bundle subdirectories workloads may mount.
+  WASMCTR_RETURN_IF_ERROR(fs.mkdirs(rootfs + "/data"));
+  WASMCTR_RETURN_IF_ERROR(fs.mkdirs(rootfs + "/tmp"));
+  return Status::ok();
+}
+
+Result<Bundle> read_bundle(wasi::VirtualFs& fs, const std::string& path) {
+  Bundle b;
+  b.path = path;
+  WASMCTR_ASSIGN_OR_RETURN(std::string config,
+                           fs.read_file(path + "/config.json"));
+  WASMCTR_ASSIGN_OR_RETURN(b.spec, RuntimeSpec::parse(config));
+  if (b.spec.args.empty()) return malformed("bundle with empty args");
+  const std::string rootfs = path + "/" + b.spec.root_path;
+  const std::string entry = b.spec.args[0];
+  WASMCTR_ASSIGN_OR_RETURN(std::string data, fs.read_file(rootfs + "/" + entry));
+  if (entry.ends_with(".wasm")) {
+    b.payload.kind = Payload::Kind::kWasm;
+    b.payload.wasm.assign(data.begin(), data.end());
+  } else {
+    b.payload.kind = Payload::Kind::kPython;
+    b.payload.script = std::move(data);
+  }
+  return b;
+}
+
+}  // namespace wasmctr::oci

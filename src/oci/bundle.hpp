@@ -1,0 +1,43 @@
+// OCI bundles: a directory with config.json plus a rootfs holding the
+// workload payload (a .wasm module or a .py script), materialized in the
+// node's virtual filesystem exactly as containerd lays them out on disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "oci/spec.hpp"
+#include "wasi/vfs.hpp"
+
+namespace wasmctr::oci {
+
+/// Workload payload placed in a bundle rootfs.
+struct Payload {
+  enum class Kind { kWasm, kPython };
+  Kind kind = Kind::kWasm;
+  std::vector<uint8_t> wasm;  // kWasm
+  std::string script;        // kPython
+  /// Entrypoint filename inside the rootfs ("app.wasm" / "app.py").
+  [[nodiscard]] std::string entrypoint() const {
+    return kind == Kind::kWasm ? "app.wasm" : "app.py";
+  }
+  [[nodiscard]] std::size_t size() const {
+    return kind == Kind::kWasm ? wasm.size() : script.size();
+  }
+};
+
+/// Write a bundle under `path` (config.json + rootfs/<entrypoint>).
+Status write_bundle(wasi::VirtualFs& fs, const std::string& path,
+                    const RuntimeSpec& spec, const Payload& payload);
+
+/// Loaded view of an on-disk bundle.
+struct Bundle {
+  std::string path;
+  RuntimeSpec spec;
+  Payload payload;
+};
+
+/// Read a bundle back (as a low-level runtime does at `create`).
+Result<Bundle> read_bundle(wasi::VirtualFs& fs, const std::string& path);
+
+}  // namespace wasmctr::oci

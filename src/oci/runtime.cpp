@@ -1,0 +1,361 @@
+#include "oci/runtime.hpp"
+
+#include "support/log.hpp"
+
+namespace wasmctr::oci {
+
+using engines::kInfra;
+
+Status OciRuntimeBase::create(const std::string& id,
+                              const std::string& bundle_path,
+                              const std::string& cgroup_path) {
+  if (containers_.contains(id)) {
+    return already_exists("container " + id);
+  }
+  WASMCTR_ASSIGN_OR_RETURN(Bundle bundle, read_bundle(node_.fs(), bundle_path));
+  ContainerRecord rec;
+  rec.info.id = id;
+  rec.info.state = ContainerState::kCreated;
+  rec.info.cgroup_path =
+      cgroup_path.empty() ? bundle.spec.cgroups_path : cgroup_path;
+  if (rec.info.cgroup_path.empty()) rec.info.cgroup_path = "ctr/" + id;
+  rec.bundle = std::move(bundle);
+
+  mem::Cgroup& cg = node_.cgroups().ensure(rec.info.cgroup_path);
+  if (rec.bundle.spec.memory_limit != 0) {
+    cg.set_limit(Bytes(rec.bundle.spec.memory_limit));
+  }
+  // Kernel objects the runtime allocates at create (netns, veth, cgroup
+  // structures): node-visible (free), outside any pod cgroup.
+  const Bytes kernel = kInfra.kernel_per_pod + kernel_extra();
+  WASMCTR_RETURN_IF_ERROR(node_.memory().charge_anon(kernel, nullptr));
+  rec.kernel_charged = kernel;
+  containers_.emplace(id, std::move(rec));
+  return Status::ok();
+}
+
+Status OciRuntimeBase::start(const std::string& id, OnRunning on_running) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return not_found("container " + id);
+  ContainerRecord& rec = it->second;
+  if (rec.info.state != ContainerState::kCreated) {
+    return failed_precondition("container " + id + " is " +
+                               container_state_name(rec.info.state));
+  }
+  // The create+start exec path (clone, pivot_root, cgroup attach, exec).
+  node_.burst(exec_cpu_s(), [this, id, on_running = std::move(on_running)] {
+    auto lookup = containers_.find(id);
+    if (lookup == containers_.end()) {
+      if (on_running) on_running(not_found("container vanished: " + id));
+      return;
+    }
+    launch_workload(lookup->second, on_running);
+  });
+  return Status::ok();
+}
+
+Status OciRuntimeBase::kill(const std::string& id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return not_found("container " + id);
+  ContainerRecord& rec = it->second;
+  if (rec.info.state == ContainerState::kRunning && rec.info.pid != 0) {
+    WASMCTR_RETURN_IF_ERROR(node_.procs().kill(rec.info.pid));
+    rec.info.pid = 0;
+  }
+  rec.info.state = ContainerState::kStopped;
+  return Status::ok();
+}
+
+Status OciRuntimeBase::remove(const std::string& id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return not_found("container " + id);
+  ContainerRecord& rec = it->second;
+  if (rec.info.state == ContainerState::kRunning) {
+    return failed_precondition("container " + id + " still running");
+  }
+  if (rec.info.pid != 0) {
+    (void)node_.procs().kill(rec.info.pid);
+  }
+  node_.memory().uncharge_anon(rec.kernel_charged, nullptr);
+  (void)node_.cgroups().remove(rec.info.cgroup_path);
+  containers_.erase(it);
+  return Status::ok();
+}
+
+Result<ContainerInfo> OciRuntimeBase::state(const std::string& id) const {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return not_found("container " + id);
+  return it->second.info;
+}
+
+void OciRuntimeBase::fail(ContainerRecord& rec, Status status,
+                          const OnRunning& on_running) {
+  rec.info.state = ContainerState::kStopped;
+  rec.info.exit_code = 128;
+  WASMCTR_LOG(kError, "oci") << "container " << rec.info.id
+                             << " failed to start: " << status.to_string();
+  if (on_running) on_running(std::move(status));
+}
+
+wasi::WasiOptions OciRuntimeBase::wasi_options_for(
+    const ContainerRecord& rec) const {
+  wasi::WasiOptions opts;
+  // §III-C item 2 — WASI argument handling: OCI process config maps 1:1.
+  opts.args = rec.bundle.spec.args;
+  opts.env = rec.bundle.spec.env;
+  const std::string rootfs =
+      rec.bundle.path + "/" + rec.bundle.spec.root_path;
+  for (const Mount& m : rec.bundle.spec.mounts) {
+    opts.preopens.emplace_back(m.destination, m.source);
+  }
+  // The container's own /data and /tmp are always preopened.
+  opts.preopens.emplace_back("/data", rootfs + "/data");
+  opts.preopens.emplace_back("/tmp", rootfs + "/tmp");
+  opts.random_seed = 0x5eed ^ std::hash<std::string>{}(rec.info.id);
+  return opts;
+}
+
+void OciRuntimeBase::finish_wasm_launch(const engines::Engine& engine,
+                                        ContainerRecord& rec, bool embedded,
+                                        OnRunning on_running) {
+  // Run the module for real through the interpreter (decode → validate →
+  // instantiate → _start under WASI).
+  auto report = engine.run_module(rec.bundle.payload.wasm,
+                                  wasi_options_for(rec), node_.fs());
+  if (!report) {
+    fail(rec, report.status(), on_running);
+    return;
+  }
+
+  mem::Cgroup* cg = node_.cgroups().find(rec.info.cgroup_path);
+  auto pid = node_.procs().spawn(
+      embedded ? ("crun-wamr:" + rec.info.id)
+               : (std::string(engines::engine_name(engine.kind())) + ":" +
+                  rec.info.id),
+      cg);
+  if (!pid) {
+    fail(rec, pid.status(), on_running);
+    return;
+  }
+  sim::Process* proc = node_.procs().find(*pid);
+
+  // §III-C item 1 — dynamic library loading: the engine library is mapped
+  // only now (wasm container actually starting), shared across containers.
+  const mem::FileId lib = node_.file_id(engine.library_name());
+  Status st = proc->map_shared(lib, engine.profile().shared_lib);
+  if (st.is_ok()) {
+    const Bytes anon = kInfra.process_base + process_residual() +
+                       engine.profile().private_fixed +
+                       report->modeled_instance;
+    st = proc->add_anon(anon);
+    if (st.is_ok()) rec.anon_charged = anon;
+  }
+  if (!st.is_ok()) {
+    (void)node_.procs().kill(*pid);
+    fail(rec, std::move(st), on_running);
+    return;
+  }
+
+  rec.info.pid = *pid;
+  rec.info.state = ContainerState::kRunning;
+  rec.info.exit_code = report->exit_code;
+  rec.info.stdout_data = report->stdout_data;
+  rec.info.instructions = report->instructions;
+  if (on_running) on_running(Status::ok());
+}
+
+void OciRuntimeBase::launch_wasm_exec(const engines::Engine& engine,
+                                      ContainerRecord& rec,
+                                      OnRunning on_running) {
+  const engines::StartupCost cost =
+      engine.startup_cost(rec.bundle.payload.size(), false);
+  const std::string id = rec.info.id;
+  node_.burst(cost.init_cpu_s + cost.load_cpu_s,
+              [this, id, &engine, on_running = std::move(on_running)] {
+                auto it = containers_.find(id);
+                if (it == containers_.end()) return;
+                finish_wasm_launch(engine, it->second, /*embedded=*/false,
+                                   on_running);
+              });
+}
+
+void OciRuntimeBase::launch_python(ContainerRecord& rec,
+                                   OnRunning on_running) {
+  const std::string id = rec.info.id;
+  const double boot = engines::kPythonProfile.init_cpu_s +
+                      kInfra.python_boot_extra_cpu_s;
+  node_.burst(boot, [this, id, on_running = std::move(on_running)] {
+    auto it = containers_.find(id);
+    if (it == containers_.end()) return;
+    ContainerRecord& rec = it->second;
+
+    // Parse + execute the script for real with pylite.
+    auto program = pylite::parse_source(rec.bundle.payload.script);
+    if (!program) {
+      fail(rec, program.status(), on_running);
+      return;
+    }
+    pylite::InterpOptions opts;
+    opts.argv = rec.bundle.spec.args;
+    opts.env = rec.bundle.spec.env;
+    pylite::Interp interp(std::move(opts));
+    Status run_status = interp.run(*program);
+    if (!run_status.is_ok()) {
+      fail(rec, std::move(run_status), on_running);
+      return;
+    }
+
+    mem::Cgroup* cg = node_.cgroups().find(rec.info.cgroup_path);
+    auto pid = node_.procs().spawn("python:" + rec.info.id, cg);
+    if (!pid) {
+      fail(rec, pid.status(), on_running);
+      return;
+    }
+    sim::Process* proc = node_.procs().find(*pid);
+    const mem::FileId libpython = node_.file_id("libpython3.so");
+    Status st =
+        proc->map_shared(libpython, engines::kPythonProfile.shared_lib);
+    if (st.is_ok()) {
+      const Bytes script_heap = Bytes(static_cast<uint64_t>(
+          static_cast<double>(interp.resident_bytes() +
+                              program->resident_bytes()) *
+          engines::kPythonProfile.instance_multiplier));
+      const Bytes anon = kInfra.process_base + process_residual() +
+                         engines::kPythonProfile.private_fixed + script_heap;
+      st = proc->add_anon(anon);
+      if (st.is_ok()) rec.anon_charged = anon;
+    }
+    if (!st.is_ok()) {
+      (void)node_.procs().kill(*pid);
+      fail(rec, std::move(st), on_running);
+      return;
+    }
+    // The workload's extra kernel/socket state (fds, pycache inodes).
+    if (node_.memory().charge_anon(kInfra.python_extra, nullptr).is_ok()) {
+      rec.kernel_charged += kInfra.python_extra;
+    }
+    rec.info.pid = *pid;
+    rec.info.state = ContainerState::kRunning;
+    rec.info.stdout_data = interp.stdout_data();
+    rec.info.instructions = interp.steps_executed();
+    if (on_running) on_running(Status::ok());
+  });
+}
+
+// ---------- Crun ----------
+
+void Crun::launch_workload(ContainerRecord& rec, OnRunning on_running) {
+  if (rec.bundle.payload.kind == Payload::Kind::kPython) {
+    launch_python(rec, std::move(on_running));
+    return;
+  }
+  if (!rec.bundle.spec.wants_wasm_handler()) {
+    fail(rec,
+         invalid_argument("wasm payload without wasm handler annotation"),
+         on_running);
+    return;
+  }
+  if (!wasm_backend_) {
+    fail(rec, unimplemented("this crun build has no wasm backend"),
+         on_running);
+    return;
+  }
+  if (*wasm_backend_ == engines::EngineKind::kWamr) {
+    launch_wamr_embedded(rec, std::move(on_running));
+    return;
+  }
+  // Pre-existing integrations: crun execs the engine CLI. crun-wasmtime
+  // additionally shares a node-wide compilation cache.
+  static const engines::Engine wasmtime =
+      engines::make_crun_engine(engines::EngineKind::kWasmtime);
+  static const engines::Engine wasmer =
+      engines::make_crun_engine(engines::EngineKind::kWasmer);
+  static const engines::Engine wasmedge =
+      engines::make_crun_engine(engines::EngineKind::kWasmEdge);
+  const engines::Engine& engine = *wasm_backend_ == engines::EngineKind::kWasmtime
+                                      ? wasmtime
+                                      : (*wasm_backend_ == engines::EngineKind::kWasmer
+                                             ? wasmer
+                                             : wasmedge);
+
+  if (engine.profile().cached_compile_cpu_s > 0) {
+    const std::string id = rec.info.id;
+    const std::string key = "module:" + rec.bundle.spec.args[0] + ":" +
+                            std::to_string(rec.bundle.payload.size());
+    const auto continue_with = [this, id, &engine,
+                                on_running](double extra_cpu) {
+      node_.burst(
+          engine.profile().init_cpu_s + extra_cpu,
+          [this, id, &engine, on_running] {
+            auto it = containers_.find(id);
+            if (it == containers_.end()) return;
+            finish_wasm_launch(engine, it->second, false, on_running);
+          });
+    };
+    switch (compile_cache_.lookup(
+        key, [continue_with, &engine] {
+          continue_with(engine.profile().cache_load_cpu_s);
+        })) {
+      case engines::CompileCache::Outcome::kHit:
+        continue_with(engine.profile().cache_load_cpu_s);
+        return;
+      case engines::CompileCache::Outcome::kMiss:
+        // This container compiles; publish when the burst completes.
+        node_.burst(engine.profile().cached_compile_cpu_s,
+                    [this, key, continue_with] {
+                      compile_cache_.publish(key);
+                      continue_with(0.0);
+                    });
+        return;
+      case engines::CompileCache::Outcome::kWait:
+        return;  // queued callback fires at publish()
+    }
+  }
+  launch_wasm_exec(engine, rec, std::move(on_running));
+}
+
+void Crun::launch_wamr_embedded(ContainerRecord& rec, OnRunning on_running) {
+  // §III-C: WAMR runs inside the crun process itself — no engine exec.
+  static const engines::Engine wamr =
+      engines::make_crun_engine(engines::EngineKind::kWamr);
+  const engines::StartupCost cost =
+      wamr.startup_cost(rec.bundle.payload.size(), false);
+  const std::string id = rec.info.id;
+  node_.burst(cost.init_cpu_s + cost.load_cpu_s,
+              [this, id, on_running = std::move(on_running)] {
+                auto it = containers_.find(id);
+                if (it == containers_.end()) return;
+                finish_wasm_launch(wamr, it->second, /*embedded=*/true,
+                                   on_running);
+              });
+}
+
+// ---------- Runc ----------
+
+void Runc::launch_workload(ContainerRecord& rec, OnRunning on_running) {
+  if (rec.bundle.payload.kind != Payload::Kind::kPython) {
+    fail(rec, unimplemented("runC has no wasm handler"), on_running);
+    return;
+  }
+  launch_python(rec, std::move(on_running));
+}
+
+// ---------- Youki ----------
+
+void Youki::launch_workload(ContainerRecord& rec, OnRunning on_running) {
+  if (rec.bundle.payload.kind == Payload::Kind::kPython) {
+    launch_python(rec, std::move(on_running));
+    return;
+  }
+  if (!rec.bundle.spec.wants_wasm_handler()) {
+    fail(rec,
+         invalid_argument("wasm payload without wasm handler annotation"),
+         on_running);
+    return;
+  }
+  static const engines::Engine wasmedge =
+      engines::make_crun_engine(engines::EngineKind::kWasmEdge);
+  launch_wasm_exec(wasmedge, rec, std::move(on_running));
+}
+
+}  // namespace wasmctr::oci

@@ -1,0 +1,195 @@
+// Low-level OCI container runtimes: crun (with the paper's WAMR
+// integration), runC, and youki.
+//
+// The Crun class is the reproduction of the paper's contribution (§III-C):
+//  1. Dynamic library loading — libwamr.so is mapped into the container
+//     process only when a Wasm container starts (lazy, shared node-wide).
+//  2. WASI argument handling — OCI process args/env/mounts are translated
+//     into WASI argv/environ/preopens.
+//  3. Sandboxed execution — the module runs under fuel metering with the
+//     OCI memory limit mapped to a Wasm page cap, inside the pod cgroup.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engines/compile_cache.hpp"
+#include "engines/engine.hpp"
+#include "oci/bundle.hpp"
+#include "pylite/interp.hpp"
+#include "sim/node.hpp"
+
+namespace wasmctr::oci {
+
+enum class ContainerState { kCreated, kRunning, kStopped };
+
+[[nodiscard]] constexpr const char* container_state_name(ContainerState s) {
+  switch (s) {
+    case ContainerState::kCreated: return "created";
+    case ContainerState::kRunning: return "running";
+    case ContainerState::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+/// Public view of a container (the `crun state` analogue).
+struct ContainerInfo {
+  std::string id;
+  ContainerState state = ContainerState::kCreated;
+  sim::Pid pid = 0;
+  std::string cgroup_path;
+  uint32_t exit_code = 0;
+  std::string stdout_data;
+  uint64_t instructions = 0;
+};
+
+/// Callback fired when the container's workload begins executing (the
+/// paper's startup-latency endpoint) or when startup fails.
+using OnRunning = std::function<void(Status)>;
+
+/// Interface all low-level runtimes implement (what a shim drives).
+class LowLevelRuntime {
+ public:
+  virtual ~LowLevelRuntime() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// `crun create`: read the bundle, prepare the cgroup. Synchronous
+  /// bookkeeping; the heavy lifting happens at start().
+  virtual Status create(const std::string& id, const std::string& bundle_path,
+                        const std::string& cgroup_path) = 0;
+
+  /// `crun start`: run the startup pipeline on the node's CPU; fires
+  /// `on_running` when the workload's main() executes.
+  virtual Status start(const std::string& id, OnRunning on_running) = 0;
+
+  /// `crun kill` + reap: stop the workload process.
+  virtual Status kill(const std::string& id) = 0;
+
+  /// `crun delete`: remove the stopped container and its cgroup.
+  virtual Status remove(const std::string& id) = 0;
+
+  [[nodiscard]] virtual Result<ContainerInfo> state(
+      const std::string& id) const = 0;
+};
+
+/// Shared implementation of the three runtimes. Subclasses differ in the
+/// exec cost, the set of workload handlers, and kernel-side residuals.
+class OciRuntimeBase : public LowLevelRuntime {
+ public:
+  explicit OciRuntimeBase(sim::Node& node) : node_(node) {}
+
+  Status create(const std::string& id, const std::string& bundle_path,
+                const std::string& cgroup_path) override;
+  Status start(const std::string& id, OnRunning on_running) override;
+  Status kill(const std::string& id) override;
+  Status remove(const std::string& id) override;
+  Result<ContainerInfo> state(const std::string& id) const override;
+
+  /// Containers currently tracked (created/running/stopped).
+  [[nodiscard]] std::size_t container_count() const noexcept {
+    return containers_.size();
+  }
+
+ protected:
+  struct ContainerRecord {
+    ContainerInfo info;
+    Bundle bundle;
+    Bytes anon_charged{0};       // private memory attributed to the workload
+    Bytes kernel_charged{0};     // node-level kernel objects (netns, ...)
+  };
+
+  /// Runtime-specific: CPU seconds for the create+start exec path.
+  [[nodiscard]] virtual double exec_cpu_s() const = 0;
+  /// Runtime-specific kernel-object overhead beyond the common baseline.
+  [[nodiscard]] virtual Bytes kernel_extra() const { return Bytes(0); }
+  /// Runtime-specific residual private memory in the workload process.
+  [[nodiscard]] virtual Bytes process_residual() const { return Bytes(0); }
+
+  /// Launch dispatch once the exec burst finishes.
+  virtual void launch_workload(ContainerRecord& rec, OnRunning on_running) = 0;
+
+  /// Helpers shared by subclasses.
+  void launch_python(ContainerRecord& rec, OnRunning on_running);
+  void launch_wasm_exec(const engines::Engine& engine, ContainerRecord& rec,
+                        OnRunning on_running);
+
+  /// Translate OCI process/mounts into WASI options (§III-C item 2).
+  [[nodiscard]] wasi::WasiOptions wasi_options_for(
+      const ContainerRecord& rec) const;
+
+  /// Finalize: run the module/script for real, charge memory, flip state.
+  void finish_wasm_launch(const engines::Engine& engine, ContainerRecord& rec,
+                          bool embedded, OnRunning on_running);
+
+  void fail(ContainerRecord& rec, Status status, const OnRunning& on_running);
+
+  sim::Node& node_;
+  std::map<std::string, ContainerRecord> containers_;
+};
+
+/// crun — lightweight C runtime; supports Python workloads and one
+/// compiled-in Wasm backend. `EngineKind::kWamr` selects the paper's
+/// embedded integration; other kinds exec the engine binary as the
+/// container process (the pre-existing integrations the paper compares
+/// against in Fig 3/4).
+class Crun final : public OciRuntimeBase {
+ public:
+  Crun(sim::Node& node, std::optional<engines::EngineKind> wasm_backend)
+      : OciRuntimeBase(node), wasm_backend_(wasm_backend) {}
+
+  [[nodiscard]] std::string name() const override {
+    if (!wasm_backend_) return "crun";
+    return std::string("crun-") + engines::engine_name(*wasm_backend_);
+  }
+
+ protected:
+  [[nodiscard]] double exec_cpu_s() const override {
+    return engines::kInfra.crun_exec_cpu_s;
+  }
+  void launch_workload(ContainerRecord& rec, OnRunning on_running) override;
+
+ private:
+  /// The WAMR embedding: dlopen-once, run in-process (§III-C items 1–3).
+  void launch_wamr_embedded(ContainerRecord& rec, OnRunning on_running);
+
+  std::optional<engines::EngineKind> wasm_backend_;
+  engines::CompileCache compile_cache_;  // crun-wasmtime shared cache
+};
+
+/// runC — Kubernetes' default; no Wasm handler (paper §IV-D uses it for
+/// the Python baseline only).
+class Runc final : public OciRuntimeBase {
+ public:
+  explicit Runc(sim::Node& node) : OciRuntimeBase(node) {}
+  [[nodiscard]] std::string name() const override { return "runc"; }
+
+ protected:
+  [[nodiscard]] double exec_cpu_s() const override {
+    return engines::kInfra.runc_exec_cpu_s;
+  }
+  [[nodiscard]] Bytes kernel_extra() const override {
+    return engines::kInfra.runc_runtime_extra;
+  }
+  [[nodiscard]] Bytes process_residual() const override {
+    return engines::kInfra.runc_process_residual;
+  }
+  void launch_workload(ContainerRecord& rec, OnRunning on_running) override;
+};
+
+/// youki — Rust runtime with WasmEdge support (Fig 1's third low-level
+/// runtime); implemented for completeness and the ablation benches.
+class Youki final : public OciRuntimeBase {
+ public:
+  explicit Youki(sim::Node& node) : OciRuntimeBase(node) {}
+  [[nodiscard]] std::string name() const override { return "youki"; }
+
+ protected:
+  [[nodiscard]] double exec_cpu_s() const override { return 1.05; }
+  void launch_workload(ContainerRecord& rec, OnRunning on_running) override;
+};
+
+}  // namespace wasmctr::oci

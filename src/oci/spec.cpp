@@ -1,0 +1,148 @@
+#include "oci/spec.hpp"
+
+namespace wasmctr::oci {
+
+bool RuntimeSpec::wants_wasm_handler() const {
+  auto handler = annotations.find(std::string(kHandlerAnnotation));
+  if (handler != annotations.end() && handler->second == "wasm") return true;
+  auto variant = annotations.find(std::string(kWasmVariantAnnotation));
+  return variant != annotations.end() && variant->second == "compat";
+}
+
+json::Value RuntimeSpec::to_json() const {
+  json::Object process;
+  {
+    json::Array args_json;
+    for (const std::string& a : args) args_json.emplace_back(a);
+    process.emplace("args", std::move(args_json));
+    json::Array env_json;
+    for (const auto& [k, v] : env) env_json.emplace_back(k + "=" + v);
+    process.emplace("env", std::move(env_json));
+    process.emplace("cwd", cwd);
+    process.emplace("terminal", false);
+  }
+
+  json::Array mounts_json;
+  for (const Mount& m : mounts) {
+    json::Object mj;
+    mj.emplace("destination", m.destination);
+    mj.emplace("source", m.source);
+    mj.emplace("type", m.type);
+    json::Array opts;
+    for (const std::string& o : m.options) opts.emplace_back(o);
+    mj.emplace("options", std::move(opts));
+    mounts_json.emplace_back(std::move(mj));
+  }
+
+  json::Object annotations_json;
+  for (const auto& [k, v] : annotations) annotations_json.emplace(k, v);
+
+  json::Object linux_json;
+  if (memory_limit != 0) {
+    linux_json.emplace(
+        "resources",
+        json::Object{{"memory", json::Object{{"limit",
+                                              static_cast<int64_t>(
+                                                  memory_limit)}}}});
+  }
+  if (!cgroups_path.empty()) linux_json.emplace("cgroupsPath", cgroups_path);
+
+  json::Object root;
+  root.emplace("ociVersion", oci_version);
+  root.emplace("hostname", hostname);
+  root.emplace("process", std::move(process));
+  root.emplace("root", json::Object{{"path", root_path},
+                                    {"readonly", true}});
+  root.emplace("mounts", std::move(mounts_json));
+  root.emplace("annotations", std::move(annotations_json));
+  root.emplace("linux", std::move(linux_json));
+  return root;
+}
+
+Result<RuntimeSpec> RuntimeSpec::from_json(const json::Value& v) {
+  if (!v.is_object()) return malformed("OCI config must be an object");
+  RuntimeSpec spec;
+  spec.oci_version = v.get_string("ociVersion", "1.0.2");
+  spec.hostname = v.get_string("hostname", "wasmctr");
+
+  const json::Value* process = v.find("process");
+  if (process == nullptr || !process->is_object()) {
+    return malformed("OCI config missing process");
+  }
+  if (const json::Value* args = process->find("args");
+      args != nullptr && args->is_array()) {
+    for (const json::Value& a : args->as_array()) {
+      if (!a.is_string()) return malformed("process.args must be strings");
+      spec.args.push_back(a.as_string());
+    }
+  }
+  if (spec.args.empty()) return malformed("process.args must be non-empty");
+  if (const json::Value* env = process->find("env");
+      env != nullptr && env->is_array()) {
+    for (const json::Value& e : env->as_array()) {
+      if (!e.is_string()) return malformed("process.env must be strings");
+      const std::string& kv = e.as_string();
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        return malformed("process.env entry without '=': " + kv);
+      }
+      spec.env.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+  }
+  spec.cwd = process->get_string("cwd", "/");
+
+  if (const json::Value* root = v.find("root");
+      root != nullptr && root->is_object()) {
+    spec.root_path = root->get_string("path", "rootfs");
+  }
+
+  if (const json::Value* mounts = v.find("mounts");
+      mounts != nullptr && mounts->is_array()) {
+    for (const json::Value& mj : mounts->as_array()) {
+      if (!mj.is_object()) return malformed("mount must be an object");
+      Mount m;
+      m.destination = mj.get_string("destination");
+      m.source = mj.get_string("source");
+      m.type = mj.get_string("type", "bind");
+      if (m.destination.empty() || m.source.empty()) {
+        return malformed("mount requires destination and source");
+      }
+      if (const json::Value* opts = mj.find("options");
+          opts != nullptr && opts->is_array()) {
+        for (const json::Value& o : opts->as_array()) {
+          if (o.is_string()) m.options.push_back(o.as_string());
+        }
+      }
+      spec.mounts.push_back(std::move(m));
+    }
+  }
+
+  if (const json::Value* annotations = v.find("annotations");
+      annotations != nullptr && annotations->is_object()) {
+    for (const auto& [k, av] : annotations->as_object()) {
+      if (av.is_string()) spec.annotations.emplace(k, av.as_string());
+    }
+  }
+
+  if (const json::Value* linux_v = v.find("linux");
+      linux_v != nullptr && linux_v->is_object()) {
+    spec.cgroups_path = linux_v->get_string("cgroupsPath");
+    if (const json::Value* res = linux_v->find("resources");
+        res != nullptr && res->is_object()) {
+      if (const json::Value* memory = res->find("memory");
+          memory != nullptr && memory->is_object()) {
+        const int64_t limit = memory->get_i64("limit", 0);
+        if (limit < 0) return malformed("negative memory limit");
+        spec.memory_limit = static_cast<uint64_t>(limit);
+      }
+    }
+  }
+  return spec;
+}
+
+Result<RuntimeSpec> RuntimeSpec::parse(std::string_view config_json) {
+  WASMCTR_ASSIGN_OR_RETURN(json::Value v, json::parse(config_json));
+  return from_json(v);
+}
+
+}  // namespace wasmctr::oci

@@ -1,0 +1,56 @@
+// OCI runtime specification (config.json) — the subset the reproduction
+// exercises: process (args/env/cwd), root, mounts, annotations, and the
+// Linux memory limit. Round-trips through our JSON layer exactly as crun
+// parses the real file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace wasmctr::oci {
+
+/// Annotation keys crun inspects to route a container to a Wasm handler.
+inline constexpr std::string_view kHandlerAnnotation = "run.oci.handler";
+inline constexpr std::string_view kWasmVariantAnnotation =
+    "module.wasm.image/variant";
+
+struct Mount {
+  std::string destination;  // guest path
+  std::string source;       // host path
+  std::string type = "bind";
+  std::vector<std::string> options;
+
+  friend bool operator==(const Mount&, const Mount&) = default;
+};
+
+struct RuntimeSpec {
+  std::string oci_version = "1.0.2";
+  std::vector<std::string> args;  // args[0] = entrypoint (module / script)
+  std::vector<std::pair<std::string, std::string>> env;
+  std::string cwd = "/";
+  std::string root_path = "rootfs";
+  std::vector<Mount> mounts;
+  std::map<std::string, std::string> annotations;
+  /// linux.resources.memory.limit; 0 = unlimited.
+  uint64_t memory_limit = 0;
+  std::string cgroups_path;
+  std::string hostname = "wasmctr";
+
+  /// True when annotations mark this container as a Wasm workload
+  /// (run.oci.handler=wasm or module.wasm.image/variant=compat).
+  [[nodiscard]] bool wants_wasm_handler() const;
+
+  [[nodiscard]] json::Value to_json() const;
+  static Result<RuntimeSpec> from_json(const json::Value& v);
+
+  /// Serialize to/parse from config.json text.
+  [[nodiscard]] std::string to_config_json() const { return to_json().dump(2); }
+  static Result<RuntimeSpec> parse(std::string_view config_json);
+};
+
+}  // namespace wasmctr::oci

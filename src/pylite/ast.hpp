@@ -1,0 +1,83 @@
+// AST for pylite.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pylite/token.hpp"
+
+namespace wasmctr::pylite {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Expr {
+  enum class Kind {
+    kIntLit,
+    kFloatLit,
+    kStringLit,
+    kBoolLit,
+    kNoneLit,
+    kName,
+    kUnary,    // op in {-, not}
+    kBinary,   // arithmetic / comparison / and / or
+    kCall,     // callee(args...)
+    kMethod,   // receiver.name(args...)
+    kIndex,    // receiver[index]
+    kListLit,
+  };
+
+  Kind kind;
+  int line = 0;
+  int64_t int_value = 0;
+  double float_value = 0;
+  bool bool_value = false;
+  std::string text;          // name / string payload / method name / op
+  ExprPtr lhs;               // unary operand, binary lhs, callee, receiver
+  ExprPtr rhs;               // binary rhs, index
+  std::vector<ExprPtr> args; // call args, list elements
+};
+
+struct Stmt {
+  enum class Kind {
+    kExpr,
+    kAssign,       // name = expr  |  recv[idx] = expr
+    kAugAssign,    // name += expr / name -= expr
+    kIf,
+    kWhile,
+    kFor,          // for name in iterable:
+    kDef,
+    kReturn,
+    kBreak,
+    kContinue,
+    kPass,
+  };
+
+  Kind kind;
+  int line = 0;
+  std::string name;              // assign target / def name / for variable
+  char aug_op = 0;               // '+' or '-'
+  ExprPtr target_index;          // for subscript assignment: receiver
+  ExprPtr target_subscript;      //   and index expression
+  ExprPtr value;                 // expr stmt, assign value, condition, iterable
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> orelse;   // else branch (if/elif chains nest here)
+  std::vector<std::string> params;  // def parameters
+};
+
+struct Program {
+  std::vector<StmtPtr> body;
+  /// Rough AST footprint for the memory model.
+  [[nodiscard]] uint64_t resident_bytes() const;
+};
+
+/// Parse a token stream into a Program.
+Result<Program> parse_program(std::vector<Token> tokens);
+
+/// Convenience: tokenize + parse.
+Result<Program> parse_source(std::string_view source);
+
+}  // namespace wasmctr::pylite

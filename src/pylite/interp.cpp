@@ -1,0 +1,666 @@
+#include "pylite/interp.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace wasmctr::pylite {
+
+namespace {
+/// Range is modelled as a materialized list for simplicity; scripts in this
+/// repo use small ranges. (CPython lazily iterates; the memory model charges
+/// accordingly little because microservice loops are short.)
+std::shared_ptr<PyList> make_range(int64_t start, int64_t stop, int64_t step) {
+  auto out = std::make_shared<PyList>();
+  if (step > 0) {
+    for (int64_t i = start; i < stop; i += step) out->push_back(PyValue::integer(i));
+  } else if (step < 0) {
+    for (int64_t i = start; i > stop; i += step) out->push_back(PyValue::integer(i));
+  }
+  return out;
+}
+}  // namespace
+
+bool PyValue::truthy() const {
+  if (std::holds_alternative<std::monostate>(v)) return false;
+  if (const bool* b = std::get_if<bool>(&v)) return *b;
+  if (const int64_t* i = std::get_if<int64_t>(&v)) return *i != 0;
+  if (const double* d = std::get_if<double>(&v)) return *d != 0.0;
+  if (const std::string* s = std::get_if<std::string>(&v)) return !s->empty();
+  if (const auto* l = std::get_if<std::shared_ptr<PyList>>(&v)) {
+    return !(*l)->empty();
+  }
+  return true;  // functions
+}
+
+std::string PyValue::repr() const {
+  if (std::holds_alternative<std::monostate>(v)) return "None";
+  if (const bool* b = std::get_if<bool>(&v)) return *b ? "True" : "False";
+  if (const int64_t* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const double* d = std::get_if<double>(&v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", *d);
+    return buf;
+  }
+  if (const std::string* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* l = std::get_if<std::shared_ptr<PyList>>(&v)) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < (*l)->size(); ++i) {
+      if (i > 0) out += ", ";
+      const PyValue& item = (**l)[i];
+      if (std::holds_alternative<std::string>(item.v)) {
+        out += "'" + item.repr() + "'";
+      } else {
+        out += item.repr();
+      }
+    }
+    return out + "]";
+  }
+  return "<function>";
+}
+
+uint64_t PyValue::heap_bytes() const {
+  // Rough CPython-shaped costs: every object has a header.
+  constexpr uint64_t kObjHeader = 28;  // small int object size in CPython
+  if (const std::string* s = std::get_if<std::string>(&v)) {
+    return 49 + s->size();  // CPython str header + payload
+  }
+  if (const auto* l = std::get_if<std::shared_ptr<PyList>>(&v)) {
+    uint64_t total = 56 + (*l)->capacity() * 8;  // list header + slot array
+    for (const PyValue& item : **l) total += item.heap_bytes();
+    return total;
+  }
+  return kObjHeader;
+}
+
+Interp::Interp(InterpOptions options) : options_(std::move(options)) {}
+
+Status Interp::step_budget() {
+  if (++steps_ > options_.max_steps) {
+    return resource_exhausted("pylite: step budget exhausted");
+  }
+  return Status::ok();
+}
+
+Status Interp::run(const Program& program) {
+  // Hoist function definitions first (Python executes defs in order, but
+  // top-level scripts here may call helpers defined later; keep it simple
+  // and Pythonic: defs bind when executed, so just execute the body).
+  auto flow = exec_block(program.body, globals_);
+  if (!flow) return flow.status();
+  return Status::ok();
+}
+
+const PyValue* Interp::global(const std::string& name) const {
+  auto it = globals_.find(name);
+  return it == globals_.end() ? nullptr : &it->second;
+}
+
+uint64_t Interp::resident_bytes() const {
+  uint64_t total = stdout_.capacity();
+  for (const auto& [name, value] : globals_) {
+    total += name.size() + 64 + value.heap_bytes();  // dict entry + value
+  }
+  return total;
+}
+
+Result<Interp::Flow> Interp::exec_block(const std::vector<StmtPtr>& body,
+                                        Env& env) {
+  for (const StmtPtr& s : body) {
+    WASMCTR_ASSIGN_OR_RETURN(Flow f, exec_stmt(*s, env));
+    if (f != Flow::kNormal) return f;
+  }
+  return Flow::kNormal;
+}
+
+Result<Interp::Flow> Interp::exec_stmt(const Stmt& s, Env& env) {
+  WASMCTR_RETURN_IF_ERROR(step_budget());
+  switch (s.kind) {
+    case Stmt::Kind::kExpr: {
+      WASMCTR_ASSIGN_OR_RETURN(PyValue v, eval(*s.value, env));
+      (void)v;
+      return Flow::kNormal;
+    }
+    case Stmt::Kind::kAssign: {
+      WASMCTR_ASSIGN_OR_RETURN(PyValue v, eval(*s.value, env));
+      if (s.target_index) {
+        WASMCTR_ASSIGN_OR_RETURN(PyValue recv, eval(*s.target_index, env));
+        WASMCTR_ASSIGN_OR_RETURN(PyValue idx, eval(*s.target_subscript, env));
+        auto* list = std::get_if<std::shared_ptr<PyList>>(&recv.v);
+        const int64_t* i = std::get_if<int64_t>(&idx.v);
+        if (list == nullptr || i == nullptr) {
+          return Status(error(s.line, "subscript assignment needs list[int]"));
+        }
+        int64_t index = *i;
+        if (index < 0) index += static_cast<int64_t>((*list)->size());
+        if (index < 0 || index >= static_cast<int64_t>((*list)->size())) {
+          return Status(error(s.line, "list index out of range"));
+        }
+        (**list)[static_cast<std::size_t>(index)] = std::move(v);
+      } else {
+        env[s.name] = std::move(v);
+      }
+      return Flow::kNormal;
+    }
+    case Stmt::Kind::kAugAssign: {
+      auto it = env.find(s.name);
+      Env* scope = &env;
+      if (it == env.end() && &env != &globals_) {
+        it = globals_.find(s.name);
+        scope = &globals_;
+      }
+      if (it == scope->end()) {
+        return Status(error(s.line, "name '" + s.name + "' is not defined"));
+      }
+      WASMCTR_ASSIGN_OR_RETURN(PyValue rhs, eval(*s.value, env));
+      PyValue& target = it->second;
+      const int64_t* a = std::get_if<int64_t>(&target.v);
+      const int64_t* b = std::get_if<int64_t>(&rhs.v);
+      if (a != nullptr && b != nullptr) {
+        target = PyValue::integer(s.aug_op == '+' ? *a + *b : *a - *b);
+        return Flow::kNormal;
+      }
+      const bool num = (a != nullptr || std::get_if<double>(&target.v)) &&
+                       (b != nullptr || std::get_if<double>(&rhs.v));
+      if (num) {
+        const double da = a ? static_cast<double>(*a)
+                            : std::get<double>(target.v);
+        const double db = b ? static_cast<double>(*b)
+                            : std::get<double>(rhs.v);
+        target = PyValue::floating(s.aug_op == '+' ? da + db : da - db);
+        return Flow::kNormal;
+      }
+      if (s.aug_op == '+' && std::holds_alternative<std::string>(target.v) &&
+          std::holds_alternative<std::string>(rhs.v)) {
+        target = PyValue::str(std::get<std::string>(target.v) +
+                              std::get<std::string>(rhs.v));
+        return Flow::kNormal;
+      }
+      return Status(error(s.line, "unsupported augmented assignment"));
+    }
+    case Stmt::Kind::kIf: {
+      WASMCTR_ASSIGN_OR_RETURN(PyValue cond, eval(*s.value, env));
+      if (cond.truthy()) return exec_block(s.body, env);
+      if (!s.orelse.empty()) return exec_block(s.orelse, env);
+      return Flow::kNormal;
+    }
+    case Stmt::Kind::kWhile: {
+      for (;;) {
+        WASMCTR_RETURN_IF_ERROR(step_budget());
+        WASMCTR_ASSIGN_OR_RETURN(PyValue cond, eval(*s.value, env));
+        if (!cond.truthy()) break;
+        WASMCTR_ASSIGN_OR_RETURN(Flow f, exec_block(s.body, env));
+        if (f == Flow::kBreak) break;
+        if (f == Flow::kReturn) return f;
+      }
+      return Flow::kNormal;
+    }
+    case Stmt::Kind::kFor: {
+      WASMCTR_ASSIGN_OR_RETURN(PyValue iterable, eval(*s.value, env));
+      const auto* list = std::get_if<std::shared_ptr<PyList>>(&iterable.v);
+      if (list == nullptr) {
+        return Status(error(s.line, "for target is not iterable"));
+      }
+      // Iterate over a snapshot of the list contents (mutation-safe).
+      const PyList items = **list;
+      for (const PyValue& item : items) {
+        WASMCTR_RETURN_IF_ERROR(step_budget());
+        env[s.name] = item;
+        WASMCTR_ASSIGN_OR_RETURN(Flow f, exec_block(s.body, env));
+        if (f == Flow::kBreak) break;
+        if (f == Flow::kReturn) return f;
+      }
+      return Flow::kNormal;
+    }
+    case Stmt::Kind::kDef: {
+      PyValue fn;
+      fn.v = static_cast<PyValue::FuncRef>(&s);
+      env[s.name] = fn;
+      return Flow::kNormal;
+    }
+    case Stmt::Kind::kReturn: {
+      if (s.value) {
+        WASMCTR_ASSIGN_OR_RETURN(return_value_, eval(*s.value, env));
+      } else {
+        return_value_ = PyValue::none();
+      }
+      return Flow::kReturn;
+    }
+    case Stmt::Kind::kBreak: return Flow::kBreak;
+    case Stmt::Kind::kContinue: return Flow::kContinue;
+    case Stmt::Kind::kPass: return Flow::kNormal;
+  }
+  return Status(internal_error("unhandled statement kind"));
+}
+
+Result<PyValue> Interp::eval(const Expr& e, Env& env) {
+  WASMCTR_RETURN_IF_ERROR(step_budget());
+  switch (e.kind) {
+    case Expr::Kind::kIntLit: return PyValue::integer(e.int_value);
+    case Expr::Kind::kFloatLit: return PyValue::floating(e.float_value);
+    case Expr::Kind::kStringLit: return PyValue::str(e.text);
+    case Expr::Kind::kBoolLit: return PyValue::boolean(e.bool_value);
+    case Expr::Kind::kNoneLit: return PyValue::none();
+    case Expr::Kind::kName: {
+      auto it = env.find(e.text);
+      if (it != env.end()) return it->second;
+      if (&env != &globals_) {
+        it = globals_.find(e.text);
+        if (it != globals_.end()) return it->second;
+      }
+      return Status(error(e.line, "name '" + e.text + "' is not defined"));
+    }
+    case Expr::Kind::kUnary: {
+      WASMCTR_ASSIGN_OR_RETURN(PyValue a, eval(*e.lhs, env));
+      if (e.text == "not") return PyValue::boolean(!a.truthy());
+      // "-"
+      if (const int64_t* i = std::get_if<int64_t>(&a.v)) {
+        return PyValue::integer(-*i);
+      }
+      if (const double* d = std::get_if<double>(&a.v)) {
+        return PyValue::floating(-*d);
+      }
+      return Status(error(e.line, "bad operand for unary -"));
+    }
+    case Expr::Kind::kBinary: return eval_binary(e, env);
+    case Expr::Kind::kListLit: {
+      auto list = std::make_shared<PyList>();
+      list->reserve(e.args.size());
+      for (const ExprPtr& item : e.args) {
+        WASMCTR_ASSIGN_OR_RETURN(PyValue v, eval(*item, env));
+        list->push_back(std::move(v));
+      }
+      return PyValue::list(std::move(list));
+    }
+    case Expr::Kind::kIndex: {
+      WASMCTR_ASSIGN_OR_RETURN(PyValue recv, eval(*e.lhs, env));
+      WASMCTR_ASSIGN_OR_RETURN(PyValue idx, eval(*e.rhs, env));
+      const int64_t* i = std::get_if<int64_t>(&idx.v);
+      if (i == nullptr) return Status(error(e.line, "index must be int"));
+      if (const auto* list = std::get_if<std::shared_ptr<PyList>>(&recv.v)) {
+        int64_t index = *i;
+        if (index < 0) index += static_cast<int64_t>((*list)->size());
+        if (index < 0 || index >= static_cast<int64_t>((*list)->size())) {
+          return Status(error(e.line, "list index out of range"));
+        }
+        return (**list)[static_cast<std::size_t>(index)];
+      }
+      if (const std::string* s = std::get_if<std::string>(&recv.v)) {
+        int64_t index = *i;
+        if (index < 0) index += static_cast<int64_t>(s->size());
+        if (index < 0 || index >= static_cast<int64_t>(s->size())) {
+          return Status(error(e.line, "string index out of range"));
+        }
+        return PyValue::str(std::string(1, (*s)[static_cast<std::size_t>(index)]));
+      }
+      return Status(error(e.line, "object is not subscriptable"));
+    }
+    case Expr::Kind::kCall: {
+      std::vector<PyValue> args;
+      args.reserve(e.args.size());
+      for (const ExprPtr& a : e.args) {
+        WASMCTR_ASSIGN_OR_RETURN(PyValue v, eval(*a, env));
+        args.push_back(std::move(v));
+      }
+      // Builtins are names not shadowed in the environment.
+      if (e.lhs->kind == Expr::Kind::kName) {
+        const std::string& name = e.lhs->text;
+        const bool shadowed =
+            env.contains(name) ||
+            (&env != &globals_ && globals_.contains(name));
+        if (!shadowed) return call_builtin(name, std::move(args), e.line);
+      }
+      WASMCTR_ASSIGN_OR_RETURN(PyValue callee, eval(*e.lhs, env));
+      if (const auto* fn = std::get_if<PyValue::FuncRef>(&callee.v)) {
+        return call_function(**fn, std::move(args));
+      }
+      return Status(error(e.line, "object is not callable"));
+    }
+    case Expr::Kind::kMethod: {
+      WASMCTR_ASSIGN_OR_RETURN(PyValue recv, eval(*e.lhs, env));
+      std::vector<PyValue> args;
+      for (const ExprPtr& a : e.args) {
+        WASMCTR_ASSIGN_OR_RETURN(PyValue v, eval(*a, env));
+        args.push_back(std::move(v));
+      }
+      return call_method(std::move(recv), e.text, std::move(args), e.line);
+    }
+  }
+  return Status(internal_error("unhandled expression kind"));
+}
+
+namespace {
+bool py_equal(const PyValue& a, const PyValue& b) {
+  const int64_t* ia = std::get_if<int64_t>(&a.v);
+  const int64_t* ib = std::get_if<int64_t>(&b.v);
+  const double* da = std::get_if<double>(&a.v);
+  const double* db = std::get_if<double>(&b.v);
+  if ((ia || da) && (ib || db)) {
+    const double x = ia ? static_cast<double>(*ia) : *da;
+    const double y = ib ? static_cast<double>(*ib) : *db;
+    return x == y;
+  }
+  if (a.v.index() != b.v.index()) return false;
+  if (const std::string* s = std::get_if<std::string>(&a.v)) {
+    return *s == std::get<std::string>(b.v);
+  }
+  if (const bool* p = std::get_if<bool>(&a.v)) {
+    return *p == std::get<bool>(b.v);
+  }
+  if (std::holds_alternative<std::monostate>(a.v)) return true;
+  if (const auto* la = std::get_if<std::shared_ptr<PyList>>(&a.v)) {
+    const auto& lb = std::get<std::shared_ptr<PyList>>(b.v);
+    if ((*la)->size() != lb->size()) return false;
+    for (std::size_t i = 0; i < (*la)->size(); ++i) {
+      if (!py_equal((**la)[i], (*lb)[i])) return false;
+    }
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+Result<PyValue> Interp::eval_binary(const Expr& e, Env& env) {
+  // Short-circuit boolean operators.
+  if (e.text == "and") {
+    WASMCTR_ASSIGN_OR_RETURN(PyValue a, eval(*e.lhs, env));
+    if (!a.truthy()) return a;
+    return eval(*e.rhs, env);
+  }
+  if (e.text == "or") {
+    WASMCTR_ASSIGN_OR_RETURN(PyValue a, eval(*e.lhs, env));
+    if (a.truthy()) return a;
+    return eval(*e.rhs, env);
+  }
+
+  WASMCTR_ASSIGN_OR_RETURN(PyValue a, eval(*e.lhs, env));
+  WASMCTR_ASSIGN_OR_RETURN(PyValue b, eval(*e.rhs, env));
+
+  if (e.text == "==") return PyValue::boolean(py_equal(a, b));
+  if (e.text == "!=") return PyValue::boolean(!py_equal(a, b));
+
+  const int64_t* ia = std::get_if<int64_t>(&a.v);
+  const int64_t* ib = std::get_if<int64_t>(&b.v);
+  const double* da = std::get_if<double>(&a.v);
+  const double* db = std::get_if<double>(&b.v);
+  const std::string* sa = std::get_if<std::string>(&a.v);
+  const std::string* sb = std::get_if<std::string>(&b.v);
+
+  // String operations.
+  if (sa != nullptr && sb != nullptr) {
+    if (e.text == "+") return PyValue::str(*sa + *sb);
+    if (e.text == "<") return PyValue::boolean(*sa < *sb);
+    if (e.text == "<=") return PyValue::boolean(*sa <= *sb);
+    if (e.text == ">") return PyValue::boolean(*sa > *sb);
+    if (e.text == ">=") return PyValue::boolean(*sa >= *sb);
+    return Status(error(e.line, "unsupported string operation " + e.text));
+  }
+  if (sa != nullptr && e.text == "*" && ib != nullptr) {
+    std::string out;
+    for (int64_t k = 0; k < *ib; ++k) out += *sa;
+    return PyValue::str(std::move(out));
+  }
+  // List concatenation.
+  if (e.text == "+") {
+    const auto* la = std::get_if<std::shared_ptr<PyList>>(&a.v);
+    const auto* lb = std::get_if<std::shared_ptr<PyList>>(&b.v);
+    if (la != nullptr && lb != nullptr) {
+      auto out = std::make_shared<PyList>(**la);
+      out->insert(out->end(), (*lb)->begin(), (*lb)->end());
+      return PyValue::list(std::move(out));
+    }
+  }
+
+  const bool numeric = (ia || da) && (ib || db);
+  if (!numeric) {
+    return Status(error(e.line, "unsupported operand types for " + e.text));
+  }
+
+  // Integer arithmetic stays integral (except true division).
+  if (ia != nullptr && ib != nullptr && e.text != "/") {
+    const int64_t x = *ia;
+    const int64_t y = *ib;
+    if (e.text == "+") return PyValue::integer(x + y);
+    if (e.text == "-") return PyValue::integer(x - y);
+    if (e.text == "*") return PyValue::integer(x * y);
+    if (e.text == "//") {
+      if (y == 0) return Status(error(e.line, "integer division by zero"));
+      // Python floor division.
+      int64_t q = x / y;
+      if ((x % y != 0) && ((x < 0) != (y < 0))) --q;
+      return PyValue::integer(q);
+    }
+    if (e.text == "%") {
+      if (y == 0) return Status(error(e.line, "integer modulo by zero"));
+      int64_t r = x % y;
+      if (r != 0 && ((r < 0) != (y < 0))) r += y;  // Python sign rule
+      return PyValue::integer(r);
+    }
+    if (e.text == "<") return PyValue::boolean(x < y);
+    if (e.text == "<=") return PyValue::boolean(x <= y);
+    if (e.text == ">") return PyValue::boolean(x > y);
+    if (e.text == ">=") return PyValue::boolean(x >= y);
+  }
+
+  const double x = ia ? static_cast<double>(*ia) : *da;
+  const double y = ib ? static_cast<double>(*ib) : *db;
+  if (e.text == "+") return PyValue::floating(x + y);
+  if (e.text == "-") return PyValue::floating(x - y);
+  if (e.text == "*") return PyValue::floating(x * y);
+  if (e.text == "/") {
+    if (y == 0.0) return Status(error(e.line, "division by zero"));
+    return PyValue::floating(x / y);
+  }
+  if (e.text == "//") {
+    if (y == 0.0) return Status(error(e.line, "division by zero"));
+    return PyValue::floating(std::floor(x / y));
+  }
+  if (e.text == "%") {
+    if (y == 0.0) return Status(error(e.line, "modulo by zero"));
+    return PyValue::floating(std::fmod(std::fmod(x, y) + y, y));
+  }
+  if (e.text == "<") return PyValue::boolean(x < y);
+  if (e.text == "<=") return PyValue::boolean(x <= y);
+  if (e.text == ">") return PyValue::boolean(x > y);
+  if (e.text == ">=") return PyValue::boolean(x >= y);
+  return Status(error(e.line, "unknown operator " + e.text));
+}
+
+Result<PyValue> Interp::call_function(const Stmt& def,
+                                      std::vector<PyValue> args) {
+  if (args.size() != def.params.size()) {
+    return Status(error(def.line, def.name + "() takes " +
+                                      std::to_string(def.params.size()) +
+                                      " arguments (" +
+                                      std::to_string(args.size()) + " given)"));
+  }
+  Env locals;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    locals[def.params[i]] = std::move(args[i]);
+  }
+  WASMCTR_ASSIGN_OR_RETURN(Flow f, exec_block(def.body, locals));
+  if (f == Flow::kReturn) return std::move(return_value_);
+  return PyValue::none();
+}
+
+Result<PyValue> Interp::call_builtin(const std::string& name,
+                                     std::vector<PyValue> args, int line) {
+  if (name == "print") {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) stdout_ += ' ';
+      stdout_ += args[i].repr();
+    }
+    stdout_ += '\n';
+    return PyValue::none();
+  }
+  if (name == "len") {
+    if (args.size() != 1) return Status(error(line, "len() takes 1 argument"));
+    if (const std::string* s = std::get_if<std::string>(&args[0].v)) {
+      return PyValue::integer(static_cast<int64_t>(s->size()));
+    }
+    if (const auto* l = std::get_if<std::shared_ptr<PyList>>(&args[0].v)) {
+      return PyValue::integer(static_cast<int64_t>((*l)->size()));
+    }
+    return Status(error(line, "object has no len()"));
+  }
+  if (name == "range") {
+    auto as_int = [&](const PyValue& v) -> Result<int64_t> {
+      if (const int64_t* i = std::get_if<int64_t>(&v.v)) return *i;
+      return Status(error(line, "range() arguments must be int"));
+    };
+    if (args.size() == 1) {
+      WASMCTR_ASSIGN_OR_RETURN(int64_t stop, as_int(args[0]));
+      return PyValue::list(make_range(0, stop, 1));
+    }
+    if (args.size() == 2) {
+      WASMCTR_ASSIGN_OR_RETURN(int64_t start, as_int(args[0]));
+      WASMCTR_ASSIGN_OR_RETURN(int64_t stop, as_int(args[1]));
+      return PyValue::list(make_range(start, stop, 1));
+    }
+    if (args.size() == 3) {
+      WASMCTR_ASSIGN_OR_RETURN(int64_t start, as_int(args[0]));
+      WASMCTR_ASSIGN_OR_RETURN(int64_t stop, as_int(args[1]));
+      WASMCTR_ASSIGN_OR_RETURN(int64_t step, as_int(args[2]));
+      if (step == 0) return Status(error(line, "range() step must not be 0"));
+      return PyValue::list(make_range(start, stop, step));
+    }
+    return Status(error(line, "range() takes 1-3 arguments"));
+  }
+  if (name == "str") {
+    if (args.size() != 1) return Status(error(line, "str() takes 1 argument"));
+    return PyValue::str(args[0].repr());
+  }
+  if (name == "int") {
+    if (args.size() != 1) return Status(error(line, "int() takes 1 argument"));
+    if (const int64_t* i = std::get_if<int64_t>(&args[0].v)) {
+      return PyValue::integer(*i);
+    }
+    if (const double* d = std::get_if<double>(&args[0].v)) {
+      return PyValue::integer(static_cast<int64_t>(*d));
+    }
+    if (const std::string* s = std::get_if<std::string>(&args[0].v)) {
+      try {
+        return PyValue::integer(std::stoll(*s));
+      } catch (...) {
+        return Status(error(line, "invalid literal for int(): '" + *s + "'"));
+      }
+    }
+    return Status(error(line, "int() argument must be numeric or str"));
+  }
+  if (name == "float") {
+    if (args.size() != 1) {
+      return Status(error(line, "float() takes 1 argument"));
+    }
+    if (const int64_t* i = std::get_if<int64_t>(&args[0].v)) {
+      return PyValue::floating(static_cast<double>(*i));
+    }
+    if (const double* d = std::get_if<double>(&args[0].v)) {
+      return PyValue::floating(*d);
+    }
+    return Status(error(line, "float() argument must be numeric"));
+  }
+  if (name == "abs") {
+    if (args.size() != 1) return Status(error(line, "abs() takes 1 argument"));
+    if (const int64_t* i = std::get_if<int64_t>(&args[0].v)) {
+      return PyValue::integer(*i < 0 ? -*i : *i);
+    }
+    if (const double* d = std::get_if<double>(&args[0].v)) {
+      return PyValue::floating(std::fabs(*d));
+    }
+    return Status(error(line, "abs() argument must be numeric"));
+  }
+  if (name == "sum") {
+    if (args.size() != 1) return Status(error(line, "sum() takes 1 argument"));
+    const auto* l = std::get_if<std::shared_ptr<PyList>>(&args[0].v);
+    if (l == nullptr) return Status(error(line, "sum() needs a list"));
+    int64_t int_total = 0;
+    double float_total = 0;
+    bool any_float = false;
+    for (const PyValue& item : **l) {
+      if (const int64_t* i = std::get_if<int64_t>(&item.v)) {
+        int_total += *i;
+        float_total += static_cast<double>(*i);
+      } else if (const double* d = std::get_if<double>(&item.v)) {
+        any_float = true;
+        float_total += *d;
+      } else {
+        return Status(error(line, "sum() items must be numeric"));
+      }
+    }
+    if (any_float) return PyValue::floating(float_total);
+    return PyValue::integer(int_total);
+  }
+  if (name == "min" || name == "max") {
+    const bool want_min = name == "min";
+    if (args.empty()) return Status(error(line, name + "() needs arguments"));
+    std::vector<PyValue> items;
+    if (args.size() == 1) {
+      const auto* l = std::get_if<std::shared_ptr<PyList>>(&args[0].v);
+      if (l == nullptr) return Status(error(line, name + "() needs a list"));
+      items = **l;
+    } else {
+      items = std::move(args);
+    }
+    if (items.empty()) return Status(error(line, name + "() of empty list"));
+    auto key = [&](const PyValue& v) -> Result<double> {
+      if (const int64_t* i = std::get_if<int64_t>(&v.v)) {
+        return static_cast<double>(*i);
+      }
+      if (const double* d = std::get_if<double>(&v.v)) return *d;
+      return Status(error(line, name + "() items must be numeric"));
+    };
+    std::size_t best = 0;
+    WASMCTR_ASSIGN_OR_RETURN(double best_key, key(items[0]));
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      WASMCTR_ASSIGN_OR_RETURN(double k, key(items[i]));
+      if (want_min ? k < best_key : k > best_key) {
+        best = i;
+        best_key = k;
+      }
+    }
+    return items[best];
+  }
+  return Status(error(line, "name '" + name + "' is not defined"));
+}
+
+Result<PyValue> Interp::call_method(PyValue receiver, const std::string& name,
+                                    std::vector<PyValue> args, int line) {
+  if (auto* list = std::get_if<std::shared_ptr<PyList>>(&receiver.v)) {
+    if (name == "append") {
+      if (args.size() != 1) {
+        return Status(error(line, "append() takes 1 argument"));
+      }
+      (*list)->push_back(std::move(args[0]));
+      return PyValue::none();
+    }
+    if (name == "pop") {
+      if (!args.empty()) return Status(error(line, "pop() takes no arguments"));
+      if ((*list)->empty()) return Status(error(line, "pop from empty list"));
+      PyValue back = std::move((*list)->back());
+      (*list)->pop_back();
+      return back;
+    }
+  }
+  if (const std::string* s = std::get_if<std::string>(&receiver.v)) {
+    if (name == "upper" || name == "lower") {
+      std::string out = *s;
+      for (char& c : out) {
+        c = name == "upper"
+                ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      return PyValue::str(std::move(out));
+    }
+    if (name == "startswith" && args.size() == 1) {
+      const std::string* prefix = std::get_if<std::string>(&args[0].v);
+      if (prefix == nullptr) {
+        return Status(error(line, "startswith() needs a string"));
+      }
+      return PyValue::boolean(s->starts_with(*prefix));
+    }
+  }
+  return Status(error(line, "object has no method '" + name + "'"));
+}
+
+}  // namespace wasmctr::pylite

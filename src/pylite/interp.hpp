@@ -1,0 +1,109 @@
+// pylite evaluator — the CPython stand-in for the Python container baseline.
+//
+// Tree-walking interpreter with captured stdout, a step budget (the fuel
+// analogue), and byte-accounted values so the container memory model can
+// consume a real number for the script's working set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "pylite/ast.hpp"
+
+namespace wasmctr::pylite {
+
+struct PyValue;
+using PyList = std::vector<PyValue>;
+
+/// A pylite runtime value. Lists are shared (Python reference semantics).
+struct PyValue {
+  using FuncRef = const Stmt*;  // points into the Program's AST (kDef)
+
+  std::variant<std::monostate,            // None
+               bool, int64_t, double, std::string,
+               std::shared_ptr<PyList>, FuncRef>
+      v;
+
+  PyValue() = default;
+  static PyValue none() { return {}; }
+  static PyValue boolean(bool b) { return PyValue{b}; }
+  static PyValue integer(int64_t i) { return PyValue{i}; }
+  static PyValue floating(double d) { return PyValue{d}; }
+  static PyValue str(std::string s) { return PyValue{std::move(s)}; }
+  static PyValue list(std::shared_ptr<PyList> l) { return PyValue{std::move(l)}; }
+
+  [[nodiscard]] bool is_none() const {
+    return std::holds_alternative<std::monostate>(v);
+  }
+  [[nodiscard]] bool truthy() const;
+  /// repr used by print(): 42, 3.5, text, [1, 2].
+  [[nodiscard]] std::string repr() const;
+  /// Approximate heap footprint of this value (deep for lists).
+  [[nodiscard]] uint64_t heap_bytes() const;
+
+ private:
+  template <typename T>
+  explicit PyValue(T val) : v(std::move(val)) {}
+};
+
+/// Interpreter configuration.
+struct InterpOptions {
+  std::vector<std::string> argv;
+  std::vector<std::pair<std::string, std::string>> env;
+  uint64_t max_steps = 10'000'000;  ///< statement/expression budget
+};
+
+/// Executes a parsed Program. One Interp per "process".
+class Interp {
+ public:
+  explicit Interp(InterpOptions options = {});
+
+  /// Run a whole program top to bottom. The Program must outlive the
+  /// Interp (function values point into its AST).
+  Status run(const Program& program);
+
+  [[nodiscard]] const std::string& stdout_data() const noexcept {
+    return stdout_;
+  }
+  [[nodiscard]] uint64_t steps_executed() const noexcept { return steps_; }
+
+  /// Deep footprint of all live globals + captured stdout — what the
+  /// container memory model charges for the running script.
+  [[nodiscard]] uint64_t resident_bytes() const;
+
+  /// Read a global after run() (tests and embedders).
+  [[nodiscard]] const PyValue* global(const std::string& name) const;
+
+ private:
+  enum class Flow { kNormal, kBreak, kContinue, kReturn };
+  using Env = std::map<std::string, PyValue>;
+
+  Status step_budget();
+  Result<Flow> exec_block(const std::vector<StmtPtr>& body, Env& env);
+  Result<Flow> exec_stmt(const Stmt& s, Env& env);
+  Result<PyValue> eval(const Expr& e, Env& env);
+  Result<PyValue> eval_binary(const Expr& e, Env& env);
+  Result<PyValue> call_function(const Stmt& def, std::vector<PyValue> args);
+  Result<PyValue> call_builtin(const std::string& name,
+                               std::vector<PyValue> args, int line);
+  Result<PyValue> call_method(PyValue receiver, const std::string& name,
+                              std::vector<PyValue> args, int line);
+
+  Status error(int line, std::string msg) const {
+    return validation_error("pylite runtime: " + std::move(msg) + " at line " +
+                            std::to_string(line));
+  }
+
+  InterpOptions options_;
+  Env globals_;
+  std::string stdout_;
+  uint64_t steps_ = 0;
+  PyValue return_value_;
+};
+
+}  // namespace wasmctr::pylite

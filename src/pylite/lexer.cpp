@@ -1,0 +1,246 @@
+#include <cctype>
+#include <charconv>
+#include <map>
+
+#include "pylite/token.hpp"
+
+namespace wasmctr::pylite {
+namespace {
+
+const std::map<std::string_view, TokenType> kKeywords = {
+    {"def", TokenType::kDef},         {"return", TokenType::kReturn},
+    {"if", TokenType::kIf},           {"elif", TokenType::kElif},
+    {"else", TokenType::kElse},       {"while", TokenType::kWhile},
+    {"for", TokenType::kFor},         {"in", TokenType::kIn},
+    {"break", TokenType::kBreak},     {"continue", TokenType::kContinue},
+    {"pass", TokenType::kPass},       {"True", TokenType::kTrue},
+    {"False", TokenType::kFalse},     {"None", TokenType::kNone},
+    {"and", TokenType::kAnd},         {"or", TokenType::kOr},
+    {"not", TokenType::kNot},
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> run() {
+    indents_.push_back(0);
+    while (pos_ < src_.size()) {
+      WASMCTR_RETURN_IF_ERROR(lex_line());
+    }
+    // Close any pending indentation.
+    if (!tokens_.empty() && tokens_.back().type != TokenType::kNewline) {
+      emit(TokenType::kNewline);
+    }
+    while (indents_.back() > 0) {
+      indents_.pop_back();
+      emit(TokenType::kDedent);
+    }
+    emit(TokenType::kEof);
+    return std::move(tokens_);
+  }
+
+ private:
+  Status error(std::string msg) const {
+    return malformed("pylite: " + std::move(msg) + " at line " +
+                     std::to_string(line_));
+  }
+
+  void emit(TokenType t, std::string text = "") {
+    tokens_.push_back(Token{t, std::move(text), 0, 0, line_});
+  }
+
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  Status lex_line() {
+    // Measure indentation.
+    int indent = 0;
+    while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+      indent += src_[pos_] == '\t' ? 4 : 1;
+      ++pos_;
+    }
+    // Blank lines and comment-only lines don't affect indentation.
+    if (pos_ >= src_.size() || src_[pos_] == '\n' || src_[pos_] == '#') {
+      skip_to_eol();
+      return Status::ok();
+    }
+    WASMCTR_RETURN_IF_ERROR(handle_indent(indent));
+    // Tokens until end of line.
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      const char c = src_[pos_];
+      if (c == ' ' || c == '\t') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') break;
+      WASMCTR_RETURN_IF_ERROR(lex_token());
+    }
+    skip_to_eol();
+    emit(TokenType::kNewline);
+    return Status::ok();
+  }
+
+  void skip_to_eol() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    if (pos_ < src_.size()) {
+      ++pos_;
+      ++line_;
+    }
+  }
+
+  Status handle_indent(int indent) {
+    if (indent > indents_.back()) {
+      indents_.push_back(indent);
+      emit(TokenType::kIndent);
+      return Status::ok();
+    }
+    while (indent < indents_.back()) {
+      indents_.pop_back();
+      emit(TokenType::kDedent);
+    }
+    if (indent != indents_.back()) {
+      return error("inconsistent indentation");
+    }
+    return Status::ok();
+  }
+
+  Status lex_token() {
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_name();
+    }
+    if (c == '"' || c == '\'') return lex_string();
+    return lex_operator();
+  }
+
+  Status lex_number() {
+    const std::size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool is_float = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string_view text = src_.substr(start, pos_ - start);
+    Token tok{is_float ? TokenType::kFloat : TokenType::kInt, std::string(text),
+              0, 0, line_};
+    if (is_float) {
+      auto [p, ec] =
+          std::from_chars(text.data(), text.data() + text.size(),
+                          tok.float_value);
+      if (ec != std::errc()) return error("bad float literal");
+    } else {
+      auto [p, ec] =
+          std::from_chars(text.data(), text.data() + text.size(),
+                          tok.int_value);
+      if (ec != std::errc()) return error("integer literal out of range");
+    }
+    tokens_.push_back(std::move(tok));
+    return Status::ok();
+  }
+
+  Status lex_name() {
+    const std::size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      ++pos_;
+    }
+    const std::string_view text = src_.substr(start, pos_ - start);
+    auto kw = kKeywords.find(text);
+    if (kw != kKeywords.end()) {
+      emit(kw->second, std::string(text));
+    } else {
+      emit(TokenType::kName, std::string(text));
+    }
+    return Status::ok();
+  }
+
+  Status lex_string() {
+    const char quote = peek();
+    ++pos_;
+    std::string out;
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      char c = src_[pos_];
+      if (c == '\n') return error("unterminated string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= src_.size()) return error("unterminated escape");
+        switch (src_[pos_]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '\\': c = '\\'; break;
+          case '\'': c = '\''; break;
+          case '"': c = '"'; break;
+          case '0': c = '\0'; break;
+          default: return error("unknown escape");
+        }
+      }
+      out += c;
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) return error("unterminated string");
+    ++pos_;  // closing quote
+    Token tok{TokenType::kString, std::move(out), 0, 0, line_};
+    tokens_.push_back(std::move(tok));
+    return Status::ok();
+  }
+
+  Status lex_operator() {
+    const char c = peek();
+    const char n = peek(1);
+    auto two = [&](TokenType t) {
+      pos_ += 2;
+      emit(t);
+      return Status::ok();
+    };
+    auto one = [&](TokenType t) {
+      ++pos_;
+      emit(t);
+      return Status::ok();
+    };
+    switch (c) {
+      case '(': return one(TokenType::kLParen);
+      case ')': return one(TokenType::kRParen);
+      case '[': return one(TokenType::kLBracket);
+      case ']': return one(TokenType::kRBracket);
+      case ',': return one(TokenType::kComma);
+      case ':': return one(TokenType::kColon);
+      case '.': return one(TokenType::kDot);
+      case '+': return n == '=' ? two(TokenType::kPlusAssign)
+                                : one(TokenType::kPlus);
+      case '-': return n == '=' ? two(TokenType::kMinusAssign)
+                                : one(TokenType::kMinus);
+      case '*': return one(TokenType::kStar);
+      case '/': return n == '/' ? two(TokenType::kSlashSlash)
+                                : one(TokenType::kSlash);
+      case '%': return one(TokenType::kPercent);
+      case '=': return n == '=' ? two(TokenType::kEq)
+                                : one(TokenType::kAssign);
+      case '!':
+        if (n == '=') return two(TokenType::kNe);
+        return error("unexpected '!'");
+      case '<': return n == '=' ? two(TokenType::kLe) : one(TokenType::kLt);
+      case '>': return n == '=' ? two(TokenType::kGe) : one(TokenType::kGt);
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::vector<int> indents_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace wasmctr::pylite

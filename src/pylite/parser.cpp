@@ -1,0 +1,453 @@
+#include "pylite/ast.hpp"
+
+namespace wasmctr::pylite {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> run() {
+    Program prog;
+    while (!at(TokenType::kEof)) {
+      if (consume_if(TokenType::kNewline)) continue;
+      WASMCTR_ASSIGN_OR_RETURN(StmtPtr s, statement());
+      prog.body.push_back(std::move(s));
+    }
+    return prog;
+  }
+
+ private:
+  Status error(std::string msg) const {
+    return malformed("pylite parse: " + std::move(msg) + " at line " +
+                     std::to_string(cur().line));
+  }
+
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenType t) const { return cur().type == t; }
+
+  bool consume_if(TokenType t) {
+    if (at(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expect(TokenType t, const char* what) {
+    if (!consume_if(t)) return error(std::string("expected ") + what);
+    return Status::ok();
+  }
+
+  ExprPtr make_expr(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = cur().line;
+    return e;
+  }
+
+  StmtPtr make_stmt(Stmt::Kind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = cur().line;
+    return s;
+  }
+
+  // ---- statements ----
+
+  Result<StmtPtr> statement() {
+    switch (cur().type) {
+      case TokenType::kIf: return if_statement();
+      case TokenType::kWhile: return while_statement();
+      case TokenType::kFor: return for_statement();
+      case TokenType::kDef: return def_statement();
+      case TokenType::kReturn: return return_statement();
+      case TokenType::kBreak: {
+        ++pos_;
+        auto s = make_stmt(Stmt::Kind::kBreak);
+        WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+        return s;
+      }
+      case TokenType::kContinue: {
+        ++pos_;
+        auto s = make_stmt(Stmt::Kind::kContinue);
+        WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+        return s;
+      }
+      case TokenType::kPass: {
+        ++pos_;
+        auto s = make_stmt(Stmt::Kind::kPass);
+        WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+        return s;
+      }
+      default: return simple_statement();
+    }
+  }
+
+  /// Expression statement, assignment, or augmented assignment.
+  Result<StmtPtr> simple_statement() {
+    // Lookahead: NAME '=' / NAME '+=' / NAME '-='.
+    if (at(TokenType::kName) && pos_ + 1 < tokens_.size()) {
+      const TokenType next = tokens_[pos_ + 1].type;
+      if (next == TokenType::kAssign) {
+        auto s = make_stmt(Stmt::Kind::kAssign);
+        s->name = cur().text;
+        pos_ += 2;
+        WASMCTR_ASSIGN_OR_RETURN(s->value, expression());
+        WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+        return s;
+      }
+      if (next == TokenType::kPlusAssign || next == TokenType::kMinusAssign) {
+        auto s = make_stmt(Stmt::Kind::kAugAssign);
+        s->name = cur().text;
+        s->aug_op = next == TokenType::kPlusAssign ? '+' : '-';
+        pos_ += 2;
+        WASMCTR_ASSIGN_OR_RETURN(s->value, expression());
+        WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+        return s;
+      }
+    }
+    WASMCTR_ASSIGN_OR_RETURN(ExprPtr e, expression());
+    // Subscript assignment: expr '[' idx ']' was parsed as kIndex; '=' next?
+    if (e->kind == Expr::Kind::kIndex && at(TokenType::kAssign)) {
+      ++pos_;
+      auto s = make_stmt(Stmt::Kind::kAssign);
+      s->target_index = std::move(e->lhs);
+      s->target_subscript = std::move(e->rhs);
+      WASMCTR_ASSIGN_OR_RETURN(s->value, expression());
+      WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+      return s;
+    }
+    auto s = make_stmt(Stmt::Kind::kExpr);
+    s->value = std::move(e);
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+    return s;
+  }
+
+  Result<std::vector<StmtPtr>> block() {
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kColon, "':'"));
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kIndent, "indented block"));
+    std::vector<StmtPtr> body;
+    while (!at(TokenType::kDedent) && !at(TokenType::kEof)) {
+      if (consume_if(TokenType::kNewline)) continue;
+      WASMCTR_ASSIGN_OR_RETURN(StmtPtr s, statement());
+      body.push_back(std::move(s));
+    }
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kDedent, "dedent"));
+    if (body.empty()) return Status(error("empty block"));
+    return body;
+  }
+
+  Result<StmtPtr> if_statement() {
+    auto s = make_stmt(Stmt::Kind::kIf);
+    ++pos_;  // if / elif
+    WASMCTR_ASSIGN_OR_RETURN(s->value, expression());
+    WASMCTR_ASSIGN_OR_RETURN(s->body, block());
+    if (at(TokenType::kElif)) {
+      WASMCTR_ASSIGN_OR_RETURN(StmtPtr nested, if_statement());
+      s->orelse.push_back(std::move(nested));
+    } else if (consume_if(TokenType::kElse)) {
+      WASMCTR_ASSIGN_OR_RETURN(s->orelse, block());
+    }
+    return s;
+  }
+
+  Result<StmtPtr> while_statement() {
+    auto s = make_stmt(Stmt::Kind::kWhile);
+    ++pos_;
+    WASMCTR_ASSIGN_OR_RETURN(s->value, expression());
+    WASMCTR_ASSIGN_OR_RETURN(s->body, block());
+    return s;
+  }
+
+  Result<StmtPtr> for_statement() {
+    auto s = make_stmt(Stmt::Kind::kFor);
+    ++pos_;
+    if (!at(TokenType::kName)) return Status(error("expected loop variable"));
+    s->name = cur().text;
+    ++pos_;
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kIn, "'in'"));
+    WASMCTR_ASSIGN_OR_RETURN(s->value, expression());
+    WASMCTR_ASSIGN_OR_RETURN(s->body, block());
+    return s;
+  }
+
+  Result<StmtPtr> def_statement() {
+    auto s = make_stmt(Stmt::Kind::kDef);
+    ++pos_;
+    if (!at(TokenType::kName)) return Status(error("expected function name"));
+    s->name = cur().text;
+    ++pos_;
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kLParen, "'('"));
+    if (!at(TokenType::kRParen)) {
+      for (;;) {
+        if (!at(TokenType::kName)) return Status(error("expected parameter"));
+        s->params.push_back(cur().text);
+        ++pos_;
+        if (!consume_if(TokenType::kComma)) break;
+      }
+    }
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kRParen, "')'"));
+    WASMCTR_ASSIGN_OR_RETURN(s->body, block());
+    return s;
+  }
+
+  Result<StmtPtr> return_statement() {
+    auto s = make_stmt(Stmt::Kind::kReturn);
+    ++pos_;
+    if (!at(TokenType::kNewline)) {
+      WASMCTR_ASSIGN_OR_RETURN(s->value, expression());
+    }
+    WASMCTR_RETURN_IF_ERROR(expect(TokenType::kNewline, "newline"));
+    return s;
+  }
+
+  // ---- expressions (precedence climbing) ----
+
+  Result<ExprPtr> expression() { return or_expr(); }
+
+  Result<ExprPtr> or_expr() {
+    WASMCTR_ASSIGN_OR_RETURN(ExprPtr lhs, and_expr());
+    while (at(TokenType::kOr)) {
+      ++pos_;
+      auto e = make_expr(Expr::Kind::kBinary);
+      e->text = "or";
+      e->lhs = std::move(lhs);
+      WASMCTR_ASSIGN_OR_RETURN(e->rhs, and_expr());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> and_expr() {
+    WASMCTR_ASSIGN_OR_RETURN(ExprPtr lhs, not_expr());
+    while (at(TokenType::kAnd)) {
+      ++pos_;
+      auto e = make_expr(Expr::Kind::kBinary);
+      e->text = "and";
+      e->lhs = std::move(lhs);
+      WASMCTR_ASSIGN_OR_RETURN(e->rhs, not_expr());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> not_expr() {
+    if (consume_if(TokenType::kNot)) {
+      auto e = make_expr(Expr::Kind::kUnary);
+      e->text = "not";
+      WASMCTR_ASSIGN_OR_RETURN(e->lhs, not_expr());
+      return e;
+    }
+    return comparison();
+  }
+
+  Result<ExprPtr> comparison() {
+    WASMCTR_ASSIGN_OR_RETURN(ExprPtr lhs, arith());
+    for (;;) {
+      const char* op = nullptr;
+      switch (cur().type) {
+        case TokenType::kEq: op = "=="; break;
+        case TokenType::kNe: op = "!="; break;
+        case TokenType::kLt: op = "<"; break;
+        case TokenType::kLe: op = "<="; break;
+        case TokenType::kGt: op = ">"; break;
+        case TokenType::kGe: op = ">="; break;
+        default: return lhs;
+      }
+      ++pos_;
+      auto e = make_expr(Expr::Kind::kBinary);
+      e->text = op;
+      e->lhs = std::move(lhs);
+      WASMCTR_ASSIGN_OR_RETURN(e->rhs, arith());
+      lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> arith() {
+    WASMCTR_ASSIGN_OR_RETURN(ExprPtr lhs, term());
+    for (;;) {
+      const char* op = nullptr;
+      if (at(TokenType::kPlus)) op = "+";
+      else if (at(TokenType::kMinus)) op = "-";
+      else return lhs;
+      ++pos_;
+      auto e = make_expr(Expr::Kind::kBinary);
+      e->text = op;
+      e->lhs = std::move(lhs);
+      WASMCTR_ASSIGN_OR_RETURN(e->rhs, term());
+      lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> term() {
+    WASMCTR_ASSIGN_OR_RETURN(ExprPtr lhs, unary());
+    for (;;) {
+      const char* op = nullptr;
+      if (at(TokenType::kStar)) op = "*";
+      else if (at(TokenType::kSlash)) op = "/";
+      else if (at(TokenType::kSlashSlash)) op = "//";
+      else if (at(TokenType::kPercent)) op = "%";
+      else return lhs;
+      ++pos_;
+      auto e = make_expr(Expr::Kind::kBinary);
+      e->text = op;
+      e->lhs = std::move(lhs);
+      WASMCTR_ASSIGN_OR_RETURN(e->rhs, unary());
+      lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> unary() {
+    if (consume_if(TokenType::kMinus)) {
+      auto e = make_expr(Expr::Kind::kUnary);
+      e->text = "-";
+      WASMCTR_ASSIGN_OR_RETURN(e->lhs, unary());
+      return e;
+    }
+    return postfix();
+  }
+
+  Result<ExprPtr> postfix() {
+    WASMCTR_ASSIGN_OR_RETURN(ExprPtr e, atom());
+    for (;;) {
+      if (consume_if(TokenType::kLParen)) {
+        auto call = make_expr(Expr::Kind::kCall);
+        call->lhs = std::move(e);
+        WASMCTR_RETURN_IF_ERROR(arg_list(call->args));
+        e = std::move(call);
+      } else if (consume_if(TokenType::kLBracket)) {
+        auto idx = make_expr(Expr::Kind::kIndex);
+        idx->lhs = std::move(e);
+        WASMCTR_ASSIGN_OR_RETURN(idx->rhs, expression());
+        WASMCTR_RETURN_IF_ERROR(expect(TokenType::kRBracket, "']'"));
+        e = std::move(idx);
+      } else if (consume_if(TokenType::kDot)) {
+        if (!at(TokenType::kName)) return Status(error("expected method name"));
+        auto m = make_expr(Expr::Kind::kMethod);
+        m->text = cur().text;
+        ++pos_;
+        m->lhs = std::move(e);
+        WASMCTR_RETURN_IF_ERROR(expect(TokenType::kLParen, "'('"));
+        WASMCTR_RETURN_IF_ERROR(arg_list(m->args));
+        e = std::move(m);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Status arg_list(std::vector<ExprPtr>& out) {
+    if (consume_if(TokenType::kRParen)) return Status::ok();
+    for (;;) {
+      WASMCTR_ASSIGN_OR_RETURN(ExprPtr a, expression());
+      out.push_back(std::move(a));
+      if (!consume_if(TokenType::kComma)) break;
+    }
+    return expect(TokenType::kRParen, "')'");
+  }
+
+  Result<ExprPtr> atom() {
+    switch (cur().type) {
+      case TokenType::kInt: {
+        auto e = make_expr(Expr::Kind::kIntLit);
+        e->int_value = cur().int_value;
+        ++pos_;
+        return e;
+      }
+      case TokenType::kFloat: {
+        auto e = make_expr(Expr::Kind::kFloatLit);
+        e->float_value = cur().float_value;
+        ++pos_;
+        return e;
+      }
+      case TokenType::kString: {
+        auto e = make_expr(Expr::Kind::kStringLit);
+        e->text = cur().text;
+        ++pos_;
+        return e;
+      }
+      case TokenType::kTrue:
+      case TokenType::kFalse: {
+        auto e = make_expr(Expr::Kind::kBoolLit);
+        e->bool_value = at(TokenType::kTrue);
+        ++pos_;
+        return e;
+      }
+      case TokenType::kNone: {
+        auto e = make_expr(Expr::Kind::kNoneLit);
+        ++pos_;
+        return e;
+      }
+      case TokenType::kName: {
+        auto e = make_expr(Expr::Kind::kName);
+        e->text = cur().text;
+        ++pos_;
+        return e;
+      }
+      case TokenType::kLParen: {
+        ++pos_;
+        WASMCTR_ASSIGN_OR_RETURN(ExprPtr e, expression());
+        WASMCTR_RETURN_IF_ERROR(expect(TokenType::kRParen, "')'"));
+        return e;
+      }
+      case TokenType::kLBracket: {
+        auto e = make_expr(Expr::Kind::kListLit);
+        ++pos_;
+        if (!consume_if(TokenType::kRBracket)) {
+          for (;;) {
+            WASMCTR_ASSIGN_OR_RETURN(ExprPtr item, expression());
+            e->args.push_back(std::move(item));
+            if (!consume_if(TokenType::kComma)) break;
+          }
+          WASMCTR_RETURN_IF_ERROR(expect(TokenType::kRBracket, "']'"));
+        }
+        return e;
+      }
+      default:
+        return Status(error("unexpected token"));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+uint64_t expr_bytes(const Expr& e) {
+  uint64_t total = sizeof(Expr) + e.text.size();
+  if (e.lhs) total += expr_bytes(*e.lhs);
+  if (e.rhs) total += expr_bytes(*e.rhs);
+  for (const ExprPtr& a : e.args) total += expr_bytes(*a);
+  return total;
+}
+
+uint64_t stmt_bytes(const Stmt& s) {
+  uint64_t total = sizeof(Stmt) + s.name.size();
+  if (s.value) total += expr_bytes(*s.value);
+  if (s.target_index) total += expr_bytes(*s.target_index);
+  if (s.target_subscript) total += expr_bytes(*s.target_subscript);
+  for (const StmtPtr& b : s.body) total += stmt_bytes(*b);
+  for (const StmtPtr& b : s.orelse) total += stmt_bytes(*b);
+  for (const std::string& p : s.params) total += p.size() + sizeof(std::string);
+  return total;
+}
+
+}  // namespace
+
+uint64_t Program::resident_bytes() const {
+  uint64_t total = sizeof(Program);
+  for (const StmtPtr& s : body) total += stmt_bytes(*s);
+  return total;
+}
+
+Result<Program> parse_program(std::vector<Token> tokens) {
+  return Parser(std::move(tokens)).run();
+}
+
+Result<Program> parse_source(std::string_view source) {
+  WASMCTR_ASSIGN_OR_RETURN(auto tokens, tokenize(source));
+  return parse_program(std::move(tokens));
+}
+
+}  // namespace wasmctr::pylite

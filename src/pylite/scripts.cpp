@@ -1,0 +1,36 @@
+#include "pylite/scripts.hpp"
+
+namespace wasmctr::pylite {
+
+std::string minimal_microservice_script() {
+  return R"(# minimal microservice (Python baseline)
+print("hello from python microservice")
+data = []
+i = 0
+while i < 64:
+    data.append(i)
+    i += 1
+checksum = sum(data)
+)";
+}
+
+std::string compute_kernel_script() {
+  return R"(def mix(iterations):
+    a = 1
+    acc = 2
+    i = 0
+    while i < iterations:
+        a = (a * 31 + acc) % 2147483647
+        acc = acc + a
+        if a % 2 == 1:
+            acc = acc + 12345
+        else:
+            acc = acc // 2
+        i += 1
+    return a + acc
+
+result = mix(100)
+)";
+}
+
+}  // namespace wasmctr::pylite

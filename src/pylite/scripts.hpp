@@ -1,0 +1,16 @@
+// Canonical pylite scripts mirroring the Wasm workloads: the Python
+// container baseline runs these (paper §IV-D).
+#pragma once
+
+#include <string>
+
+namespace wasmctr::pylite {
+
+/// The Python twin of wasm::build_minimal_microservice(): prints one
+/// greeting and touches a small working set.
+std::string minimal_microservice_script();
+
+/// CPU-bound kernel mirroring wasm::build_compute_kernel().
+std::string compute_kernel_script();
+
+}  // namespace wasmctr::pylite

@@ -1,0 +1,78 @@
+// Tokens for the pylite lexer (a small Python subset).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace wasmctr::pylite {
+
+enum class TokenType {
+  // literals / names
+  kInt,
+  kFloat,
+  kString,
+  kName,
+  // keywords
+  kDef,
+  kReturn,
+  kIf,
+  kElif,
+  kElse,
+  kWhile,
+  kFor,
+  kIn,
+  kBreak,
+  kContinue,
+  kPass,
+  kTrue,
+  kFalse,
+  kNone,
+  kAnd,
+  kOr,
+  kNot,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kDot,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kSlashSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlusAssign,
+  kMinusAssign,
+  // layout
+  kNewline,
+  kIndent,
+  kDedent,
+  kEof,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // name/string payload
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 0;
+};
+
+/// Tokenize a script. Indentation produces kIndent/kDedent tokens
+/// (4-space or tab levels; mixed indentation within one block is an error).
+Result<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace wasmctr::pylite

@@ -1,0 +1,92 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace wasmctr::sim {
+
+namespace {
+// Completion times are quantised to whole nanoseconds; treat anything below
+// half a nanosecond of work as complete to avoid zero-length event storms.
+constexpr double kEpsilonSeconds = 0.5e-9;
+}  // namespace
+
+CpuScheduler::CpuScheduler(Kernel& kernel, unsigned cores)
+    : kernel_(kernel), cores_(cores == 0 ? 1 : cores) {}
+
+CpuTaskId CpuScheduler::submit(SimDuration work, std::function<void()> on_done) {
+  advance_to_now();
+  const uint64_t id = next_id_++;
+  double seconds = to_seconds(work);
+  if (seconds < 0) seconds = 0;
+  tasks_.emplace(id, Task{seconds, std::move(on_done)});
+  reschedule_completion();
+  return CpuTaskId{id};
+}
+
+void CpuScheduler::abort(CpuTaskId id) {
+  advance_to_now();
+  tasks_.erase(id.value);
+  reschedule_completion();
+}
+
+void CpuScheduler::advance_to_now() {
+  const SimTime now = kernel_.now();
+  if (now <= last_update_) {
+    last_update_ = now;
+    return;
+  }
+  const double elapsed = to_seconds(now - last_update_);
+  const double r = rate();
+  if (r > 0.0) {
+    const double progress = elapsed * r;
+    for (auto& [id, task] : tasks_) {
+      const double used = std::min(progress, task.remaining);
+      task.remaining -= used;
+      consumed_ += used;
+    }
+  }
+  last_update_ = now;
+}
+
+void CpuScheduler::reschedule_completion() {
+  if (event_scheduled_) {
+    kernel_.cancel(pending_event_);
+    event_scheduled_ = false;
+  }
+  if (tasks_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, task] : tasks_) {
+    min_remaining = std::min(min_remaining, task.remaining);
+  }
+  const double r = rate();
+  assert(r > 0.0);
+  const double wall_seconds = min_remaining / r;
+  pending_event_ = kernel_.schedule_after(
+      sim_s(std::ceil(wall_seconds * 1e9) / 1e9), [this] { on_completion_event(); });
+  event_scheduled_ = true;
+}
+
+void CpuScheduler::on_completion_event() {
+  event_scheduled_ = false;
+  advance_to_now();
+  // Collect every task that has (within epsilon) finished, then run their
+  // callbacks after the bookkeeping so re-entrant submits see a clean state.
+  std::vector<std::function<void()>> done;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if (it->second.remaining <= kEpsilonSeconds) {
+      done.push_back(std::move(it->second.on_done));
+      it = tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule_completion();
+  for (auto& cb : done) {
+    if (cb) cb();
+  }
+}
+
+}  // namespace wasmctr::sim

@@ -1,0 +1,76 @@
+// Multi-core CPU contention model (egalitarian processor sharing).
+//
+// Container startups are CPU-bound bursts (fork/exec, dynamic linking,
+// module compilation). When N startups contend for C cores, each runnable
+// task progresses at rate min(1, C/k) where k is the number of runnable
+// tasks — the fluid limit of CFS for equal-weight tasks. This is what bends
+// the startup curves between 10 and 400 containers (paper Fig 8 vs Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/kernel.hpp"
+#include "support/units.hpp"
+
+namespace wasmctr::sim {
+
+/// Identifies a task submitted to the CpuScheduler.
+struct CpuTaskId {
+  uint64_t value = 0;
+  friend bool operator==(CpuTaskId, CpuTaskId) = default;
+};
+
+/// Processor-sharing scheduler over `cores` identical cores.
+class CpuScheduler {
+ public:
+  CpuScheduler(Kernel& kernel, unsigned cores);
+
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+
+  /// Submit a burst needing `work` seconds of CPU. `on_done` fires on the
+  /// kernel when the burst completes under contention.
+  CpuTaskId submit(SimDuration work, std::function<void()> on_done);
+
+  /// Abort a running task (no completion callback). Unknown ids are no-ops.
+  void abort(CpuTaskId id);
+
+  [[nodiscard]] unsigned cores() const noexcept { return cores_; }
+  [[nodiscard]] std::size_t runnable() const noexcept { return tasks_.size(); }
+
+  /// Cumulative CPU-seconds consumed by completed tasks.
+  [[nodiscard]] double consumed_cpu_seconds() const noexcept {
+    return consumed_;
+  }
+
+ private:
+  struct Task {
+    double remaining;  // cpu-seconds still needed
+    std::function<void()> on_done;
+  };
+
+  /// Charge elapsed wall time against all runnable tasks.
+  void advance_to_now();
+  /// (Re)schedule the kernel event for the earliest task completion.
+  void reschedule_completion();
+  void on_completion_event();
+
+  [[nodiscard]] double rate() const noexcept {
+    const std::size_t k = tasks_.size();
+    if (k == 0) return 0.0;
+    return k <= cores_ ? 1.0 : static_cast<double>(cores_) / static_cast<double>(k);
+  }
+
+  Kernel& kernel_;
+  unsigned cores_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Task> tasks_;  // ordered: deterministic iteration
+  SimTime last_update_{0};
+  EventId pending_event_{};
+  bool event_scheduled_ = false;
+  double consumed_ = 0.0;
+};
+
+}  // namespace wasmctr::sim

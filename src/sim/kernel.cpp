@@ -1,0 +1,68 @@
+#include "sim/kernel.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wasmctr::sim {
+
+EventId Kernel::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+EventId Kernel::schedule_after(SimDuration d, Callback cb) {
+  if (d < SimDuration::zero()) d = SimDuration::zero();
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+void Kernel::cancel(EventId id) {
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return;  // already fired or never existed
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+}
+
+bool Kernel::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = callbacks_.find(ev.id);
+    assert(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    assert(ev.time >= now_ && "event queue went backwards");
+    now_ = ev.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Kernel::run() {
+  while (step()) {
+  }
+}
+
+void Kernel::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled tombstones without advancing time.
+    const Event ev = queue_.top();
+    if (cancelled_.contains(ev.id)) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > deadline) break;
+    step();
+  }
+}
+
+}  // namespace wasmctr::sim

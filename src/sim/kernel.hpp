@@ -1,0 +1,85 @@
+// Discrete-event simulation kernel.
+//
+// The container stack (kubelet loops, containerd daemon, shim processes,
+// engine startup) runs on virtual time: components schedule callbacks, the
+// kernel executes them in (time, insertion-order) order. Single-threaded and
+// fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace wasmctr::sim {
+
+/// Handle for a scheduled event; usable to cancel it.
+struct EventId {
+  uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// The event loop. Not thread-safe by design (Core Guidelines CP.1: the
+/// kernel is documented single-threaded; parallel sweeps run one kernel per
+/// thread).
+class Kernel {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `cb` to run at absolute virtual time `t` (clamped to now()).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` to run `d` after now(). Negative delays are clamped to 0.
+  EventId schedule_after(SimDuration d, Callback cb);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown event is
+  /// a no-op (the common race when a completion and a cancel coincide).
+  void cancel(EventId id);
+
+  /// Execute the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until no events remain.
+  void run();
+
+  /// Run events with time ≤ deadline; leaves later events queued. Virtual
+  /// time ends at min(deadline, last event time ≤ deadline).
+  void run_until(SimTime deadline);
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  /// Total events executed since construction (for test introspection).
+  [[nodiscard]] uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-breaker: FIFO within the same timestamp
+    uint64_t id;
+    // Heap orders by (time, seq) ascending.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{0};
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<uint64_t, Callback> callbacks_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace wasmctr::sim

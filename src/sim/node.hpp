@@ -1,0 +1,81 @@
+// A worker node: the bundle of simulated OS resources every layer above
+// (OCI runtimes, containerd, kubelet) operates on. Mirrors the paper's
+// testbed node: Intel Xeon Silver 4210R, 20 cores, 256 GB RAM (§IV-A).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "mem/cgroup.hpp"
+#include "mem/node_memory.hpp"
+#include "sim/cpu.hpp"
+#include "sim/kernel.hpp"
+#include "sim/process.hpp"
+#include "sim/resource.hpp"
+#include "support/rng.hpp"
+#include "wasi/vfs.hpp"
+
+namespace wasmctr::sim {
+
+struct NodeConfig {
+  unsigned cores = 20;
+  Bytes ram{256ull * 1024 * 1024 * 1024};
+  /// OS + idle kubelet/containerd footprint present before any pod runs.
+  Bytes base_used{2ull * 1024 * 1024 * 1024};
+  uint64_t seed = 42;
+};
+
+class Node {
+ public:
+  explicit Node(NodeConfig config = {})
+      : config_(config),
+        kernel_(),
+        cpu_(kernel_, config.cores),
+        memory_(config.ram, config.base_used),
+        procs_(memory_),
+        daemon_lock_(kernel_),
+        rng_(config.seed) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const NodeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] CpuScheduler& cpu() noexcept { return cpu_; }
+  [[nodiscard]] mem::NodeMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] mem::CgroupTree& cgroups() noexcept { return cgroups_; }
+  [[nodiscard]] ProcessTable& procs() noexcept { return procs_; }
+  [[nodiscard]] SerialQueue& daemon_lock() noexcept { return daemon_lock_; }
+  [[nodiscard]] wasi::VirtualFs& fs() noexcept { return fs_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Stable FileId per named file (shared libraries, images): every mapper
+  /// of "libwamr.so" shares one set of physical pages.
+  mem::FileId file_id(const std::string& name) {
+    auto it = files_.find(name);
+    if (it != files_.end()) return it->second;
+    const mem::FileId id = memory_.new_file_id();
+    files_.emplace(name, id);
+    return id;
+  }
+
+  /// Submit a CPU burst in seconds; convenience over cpu().submit.
+  void burst(double cpu_seconds, std::function<void()> on_done) {
+    cpu_.submit(sim_s(cpu_seconds), std::move(on_done));
+  }
+
+ private:
+  NodeConfig config_;
+  Kernel kernel_;
+  CpuScheduler cpu_;
+  mem::NodeMemory memory_;
+  mem::CgroupTree cgroups_;
+  ProcessTable procs_;
+  SerialQueue daemon_lock_;
+  wasi::VirtualFs fs_;
+  Rng rng_;
+  std::map<std::string, mem::FileId> files_;
+};
+
+}  // namespace wasmctr::sim

@@ -1,0 +1,85 @@
+#include "sim/process.hpp"
+
+#include <cassert>
+
+namespace wasmctr::sim {
+
+Process::~Process() {
+  for (const auto& [fid, size] : shared_) {
+    node_.unmap_shared(mem::FileId{fid});
+  }
+  if (anon_.value != 0) node_.uncharge_anon(anon_, cgroup_);
+}
+
+Status Process::map_shared(mem::FileId f, Bytes size) {
+  if (shared_.contains(f.value)) {
+    return already_exists("file already mapped in process " + name_);
+  }
+  WASMCTR_RETURN_IF_ERROR(node_.map_shared(f, size, cgroup_));
+  shared_.emplace(f.value, size);
+  return Status::ok();
+}
+
+void Process::unmap_shared(mem::FileId f) {
+  auto it = shared_.find(f.value);
+  assert(it != shared_.end());
+  node_.unmap_shared(f);
+  shared_.erase(it);
+}
+
+Status Process::add_anon(Bytes b) {
+  WASMCTR_RETURN_IF_ERROR(node_.charge_anon(b, cgroup_));
+  anon_ += b;
+  return Status::ok();
+}
+
+void Process::remove_anon(Bytes b) {
+  assert(anon_ >= b);
+  node_.uncharge_anon(b, cgroup_);
+  anon_ -= b;
+}
+
+Bytes Process::rss() const noexcept {
+  Bytes total = anon_;
+  for (const auto& [fid, size] : shared_) total += size;
+  return total;
+}
+
+Bytes Process::pss() const noexcept {
+  Bytes total = anon_;
+  for (const auto& [fid, size] : shared_) {
+    const uint64_t mappers = node_.shared_mappers(mem::FileId{fid});
+    total += size / (mappers == 0 ? 1 : mappers);
+  }
+  return total;
+}
+
+Result<Pid> ProcessTable::spawn(std::string name, mem::Cgroup* cgroup) {
+  const Pid pid = next_pid_++;
+  table_.emplace(pid,
+                 std::make_unique<Process>(pid, std::move(name), node_, cgroup));
+  return pid;
+}
+
+Status ProcessTable::kill(Pid pid) {
+  auto it = table_.find(pid);
+  if (it == table_.end()) {
+    return not_found("pid " + std::to_string(pid));
+  }
+  table_.erase(it);
+  return Status::ok();
+}
+
+Process* ProcessTable::find(Pid pid) {
+  auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Pid> ProcessTable::pids() const {
+  std::vector<Pid> out;
+  out.reserve(table_.size());
+  for (const auto& [pid, _] : table_) out.push_back(pid);
+  return out;
+}
+
+}  // namespace wasmctr::sim

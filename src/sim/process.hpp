@@ -1,0 +1,86 @@
+// Simulated OS processes: the unit that owns memory in the model.
+//
+// Container runtimes, shims, pause containers, engine processes and
+// workload processes are all Process instances. A Process charges its
+// memory against both the node (for `free`) and its cgroup (for the
+// metrics server); destruction releases everything (RAII — no leak can
+// survive a container teardown bug without a test noticing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/node_memory.hpp"
+#include "support/status.hpp"
+
+namespace wasmctr::sim {
+
+using Pid = uint64_t;
+
+class Process {
+ public:
+  Process(Pid pid, std::string name, mem::NodeMemory& node, mem::Cgroup* cgroup)
+      : pid_(pid), name_(std::move(name)), node_(node), cgroup_(cgroup) {}
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] mem::Cgroup* cgroup() const noexcept { return cgroup_; }
+
+  /// Map a shared file (engine .so, libc, ...). Ref-counted node-wide.
+  Status map_shared(mem::FileId f, Bytes size);
+  /// Unmap one previously mapped shared file.
+  void unmap_shared(mem::FileId f);
+
+  /// Grow/shrink the anonymous footprint (heap, stacks, arenas).
+  Status add_anon(Bytes b);
+  void remove_anon(Bytes b);
+
+  [[nodiscard]] Bytes anon() const noexcept { return anon_; }
+
+  /// Resident set size: anon + full size of every shared mapping.
+  [[nodiscard]] Bytes rss() const noexcept;
+
+  /// Proportional set size: anon + each shared mapping / its mapper count.
+  [[nodiscard]] Bytes pss() const noexcept;
+
+ private:
+  Pid pid_;
+  std::string name_;
+  mem::NodeMemory& node_;
+  mem::Cgroup* cgroup_;
+  Bytes anon_{0};
+  std::map<uint64_t, Bytes> shared_;  // FileId → size
+};
+
+/// Owns every live Process on a node.
+class ProcessTable {
+ public:
+  explicit ProcessTable(mem::NodeMemory& node) : node_(node) {}
+
+  /// Create a process. `cgroup` may be nullptr for system processes whose
+  /// memory should be visible to `free` but to no pod cgroup.
+  Result<Pid> spawn(std::string name, mem::Cgroup* cgroup);
+
+  /// Terminate and reap; releases all of the process's memory.
+  Status kill(Pid pid);
+
+  [[nodiscard]] Process* find(Pid pid);
+  [[nodiscard]] std::size_t count() const noexcept { return table_.size(); }
+
+  /// Pids sorted ascending (deterministic iteration for tests/reports).
+  [[nodiscard]] std::vector<Pid> pids() const;
+
+ private:
+  mem::NodeMemory& node_;
+  Pid next_pid_ = 2;  // pid 1 is the simulated init
+  std::map<Pid, std::unique_ptr<Process>> table_;
+};
+
+}  // namespace wasmctr::sim

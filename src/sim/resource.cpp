@@ -1,0 +1,25 @@
+#include "sim/resource.hpp"
+
+namespace wasmctr::sim {
+
+void SerialQueue::acquire(SimDuration hold, std::function<void()> on_done) {
+  queue_.push_back({hold, std::move(on_done)});
+  if (!busy_) start_next();
+}
+
+void SerialQueue::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Item item = std::move(queue_.front());
+  queue_.pop_front();
+  busy_time_ += item.hold;
+  kernel_.schedule_after(item.hold, [this, cb = std::move(item.on_done)] {
+    if (cb) cb();
+    start_next();
+  });
+}
+
+}  // namespace wasmctr::sim

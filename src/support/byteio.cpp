@@ -1,0 +1,134 @@
+#include "support/byteio.hpp"
+
+namespace wasmctr {
+
+Result<uint32_t> ByteReader::fixed_u32() {
+  if (remaining() < 4) return malformed("unexpected end of input");
+  uint32_t v = 0;
+  std::memcpy(&v, bytes_.data() + pos_, 4);  // host is little-endian x86-64
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::fixed_u64() {
+  if (remaining() < 8) return malformed("unexpected end of input");
+  uint64_t v = 0;
+  std::memcpy(&v, bytes_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<uint32_t> ByteReader::var_u32() {
+  auto d = leb128::decode_u32(bytes_.subspan(pos_));
+  if (!d) return d.status();
+  pos_ += d->length;
+  return d->value;
+}
+
+Result<uint64_t> ByteReader::var_u64() {
+  auto d = leb128::decode_u64(bytes_.subspan(pos_));
+  if (!d) return d.status();
+  pos_ += d->length;
+  return d->value;
+}
+
+Result<int32_t> ByteReader::var_s32() {
+  auto d = leb128::decode_s32(bytes_.subspan(pos_));
+  if (!d) return d.status();
+  pos_ += d->length;
+  return d->value;
+}
+
+Result<int64_t> ByteReader::var_s64() {
+  auto d = leb128::decode_s64(bytes_.subspan(pos_));
+  if (!d) return d.status();
+  pos_ += d->length;
+  return d->value;
+}
+
+Result<std::span<const uint8_t>> ByteReader::bytes(std::size_t n) {
+  if (remaining() < n) return malformed("unexpected end of input");
+  auto out = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::string> ByteReader::name() {
+  auto len = var_u32();
+  if (!len) return len.status();
+  auto raw = bytes(*len);
+  if (!raw) return raw.status();
+  if (!is_valid_utf8(*raw)) return malformed("invalid UTF-8 in name");
+  return std::string(reinterpret_cast<const char*>(raw->data()), raw->size());
+}
+
+Status ByteReader::skip(std::size_t n) {
+  if (remaining() < n) return malformed("unexpected end of input");
+  pos_ += n;
+  return Status::ok();
+}
+
+Result<ByteReader> ByteReader::sub_reader(std::size_t n) {
+  auto raw = bytes(n);
+  if (!raw) return raw.status();
+  return ByteReader(*raw);
+}
+
+void ByteWriter::fixed_u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::fixed_u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::name(std::string_view s) {
+  var_u32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::length_prefixed(const ByteWriter& other) {
+  var_u32(static_cast<uint32_t>(other.size()));
+  buf_.insert(buf_.end(), other.data().begin(), other.data().end());
+}
+
+bool is_valid_utf8(std::span<const uint8_t> bytes) noexcept {
+  std::size_t i = 0;
+  const std::size_t n = bytes.size();
+  while (i < n) {
+    const uint8_t b0 = bytes[i];
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    }
+    std::size_t len;
+    uint32_t cp;
+    if ((b0 & 0xe0) == 0xc0) {
+      len = 2;
+      cp = b0 & 0x1f;
+    } else if ((b0 & 0xf0) == 0xe0) {
+      len = 3;
+      cp = b0 & 0x0f;
+    } else if ((b0 & 0xf8) == 0xf0) {
+      len = 4;
+      cp = b0 & 0x07;
+    } else {
+      return false;
+    }
+    if (i + len > n) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      if ((bytes[i + k] & 0xc0) != 0x80) return false;
+      cp = (cp << 6) | (bytes[i + k] & 0x3f);
+    }
+    // Reject over-long encodings, surrogates, and out-of-range code points.
+    if (len == 2 && cp < 0x80) return false;
+    if (len == 3 && cp < 0x800) return false;
+    if (len == 4 && cp < 0x10000) return false;
+    if (cp >= 0xd800 && cp <= 0xdfff) return false;
+    if (cp > 0x10ffff) return false;
+    i += len;
+  }
+  return true;
+}
+
+}  // namespace wasmctr

@@ -1,0 +1,97 @@
+// Bounds-checked byte readers/writers used by the Wasm decoder and emitter.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/leb128.hpp"
+#include "support/status.hpp"
+
+namespace wasmctr {
+
+/// Sequential reader over a byte span. All reads are bounds-checked and
+/// return Status on overrun; the cursor only advances on success.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == bytes_.size(); }
+
+  /// Read a single byte.
+  Result<uint8_t> u8() {
+    if (remaining() < 1) return malformed("unexpected end of input");
+    return bytes_[pos_++];
+  }
+
+  /// Peek without advancing.
+  Result<uint8_t> peek() const {
+    if (remaining() < 1) return malformed("unexpected end of input");
+    return bytes_[pos_];
+  }
+
+  /// Little-endian fixed-width reads (Wasm float immediates).
+  Result<uint32_t> fixed_u32();
+  Result<uint64_t> fixed_u64();
+
+  /// LEB128 reads, advancing the cursor.
+  Result<uint32_t> var_u32();
+  Result<uint64_t> var_u64();
+  Result<int32_t> var_s32();
+  Result<int64_t> var_s64();
+
+  /// Read `n` raw bytes.
+  Result<std::span<const uint8_t>> bytes(std::size_t n);
+
+  /// Read a LEB-length-prefixed UTF-8 name. Validates UTF-8.
+  Result<std::string> name();
+
+  /// Skip forward `n` bytes.
+  Status skip(std::size_t n);
+
+  /// Create a sub-reader over the next `n` bytes and advance past them.
+  Result<ByteReader> sub_reader(std::size_t n);
+
+ private:
+  std::span<const uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only byte sink with Wasm-flavoured primitives.
+class ByteWriter {
+ public:
+  [[nodiscard]] const std::vector<uint8_t>& data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void fixed_u32(uint32_t v);
+  void fixed_u64(uint64_t v);
+  void var_u32(uint32_t v) { leb128::encode_u32(v, buf_); }
+  void var_u64(uint64_t v) { leb128::encode_u64(v, buf_); }
+  void var_s32(int32_t v) { leb128::encode_s32(v, buf_); }
+  void var_s64(int64_t v) { leb128::encode_s64(v, buf_); }
+  void raw(std::span<const uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  void name(std::string_view s);
+
+  /// Append `other` as a LEB-length-prefixed blob (section payloads).
+  void length_prefixed(const ByteWriter& other);
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// True iff `bytes` is valid UTF-8 (as required for Wasm names).
+bool is_valid_utf8(std::span<const uint8_t> bytes) noexcept;
+
+}  // namespace wasmctr

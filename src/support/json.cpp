@@ -1,0 +1,457 @@
+#include "support/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace wasmctr::json {
+
+bool Value::as_bool() const {
+  assert(type_ == Type::kBool);
+  return bool_;
+}
+int64_t Value::as_i64() const {
+  assert(is_number());
+  return type_ == Type::kInt ? int_ : static_cast<int64_t>(double_);
+}
+double Value::as_double() const {
+  assert(is_number());
+  return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+}
+const std::string& Value::as_string() const {
+  assert(type_ == Type::kString);
+  return string_;
+}
+const Array& Value::as_array() const {
+  assert(type_ == Type::kArray);
+  return array_;
+}
+Array& Value::as_array() {
+  assert(type_ == Type::kArray);
+  return array_;
+}
+const Object& Value::as_object() const {
+  assert(type_ == Type::kObject);
+  return object_;
+}
+Object& Value::as_object() {
+  assert(type_ == Type::kObject);
+  return object_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string Value::get_string(std::string_view key,
+                              std::string_view fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string()
+                                          : std::string(fallback);
+}
+
+int64_t Value::get_i64(std::string_view key, int64_t fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_i64() : fallback;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  assert(type_ == Type::kObject);
+  object_.insert_or_assign(std::move(key), std::move(v));
+  return *this;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) {
+    // Allow 1 == 1.0 comparisons across int/double representations.
+    if (a.is_number() && b.is_number()) return a.as_double() == b.as_double();
+    return false;
+  }
+  switch (a.type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return a.bool_ == b.bool_;
+    case Type::kInt: return a.int_ == b.int_;
+    case Type::kDouble: return a.double_ == b.double_;
+    case Type::kString: return a.string_ == b.string_;
+    case Type::kArray: return a.array_ == b.array_;
+    case Type::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) * d, ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    }
+    case Type::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += escape(k);
+        out += indent > 0 ? "\": " : "\":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> parse_document() {
+    skip_ws();
+    auto v = parse_value(0);
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status error(std::string_view what) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return malformed("json: " + std::string(what) + " at line " +
+                     std::to_string(line) + " column " + std::to_string(col));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (!eof() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value(int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    if (eof()) return error("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s) return s.status();
+        return Value(std::move(*s));
+      }
+      case 't':
+        if (consume_word("true")) return Value(true);
+        return error("invalid literal");
+      case 'f':
+        if (consume_word("false")) return Value(false);
+        return error("invalid literal");
+      case 'n':
+        if (consume_word("null")) return Value(nullptr);
+        return error("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Result<Value> parse_object(int depth) {
+    consume('{');
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') return error("expected object key");
+      auto key = parse_string();
+      if (!key) return key.status();
+      skip_ws();
+      if (!consume(':')) return error("expected ':'");
+      skip_ws();
+      auto val = parse_value(depth + 1);
+      if (!val) return val;
+      obj.insert_or_assign(std::move(*key), std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(obj));
+      return error("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> parse_array(int depth) {
+    consume('[');
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    for (;;) {
+      skip_ws();
+      auto val = parse_value(depth + 1);
+      if (!val) return val;
+      arr.push_back(std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(arr));
+      return error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    consume('"');
+    std::string out;
+    for (;;) {
+      if (eof()) return Status(error("unterminated string"));
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status(error("control character in string"));
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return Status(error("unterminated escape"));
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          auto cp = parse_hex4();
+          if (!cp) return cp.status();
+          uint32_t code = *cp;
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            if (!consume('\\') || !consume('u')) {
+              return Status(error("unpaired surrogate"));
+            }
+            auto lo = parse_hex4();
+            if (!lo) return lo.status();
+            if (*lo < 0xdc00 || *lo > 0xdfff) {
+              return Status(error("invalid low surrogate"));
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (*lo - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return Status(error("unpaired surrogate"));
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: return Status(error("invalid escape"));
+      }
+    }
+  }
+
+  Result<uint32_t> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return Status(error("truncated \\u escape"));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Status(error("invalid hex digit"));
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  Result<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return error("invalid number");
+    }
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        return error("leading zero");
+      }
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    bool is_integer = true;
+    if (consume('.')) {
+      is_integer = false;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return error("invalid fraction");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return error("invalid exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      int64_t i = 0;
+      auto [p, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        return Value(i);
+      }
+      // Falls through to double for integers beyond int64 range.
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc() || p != token.data() + token.size()) {
+      return error("invalid number");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace wasmctr::json

@@ -1,0 +1,107 @@
+// Self-contained JSON value, parser, and writer.
+//
+// Used for OCI runtime-spec config.json documents and for CSV/JSON experiment
+// output. Supports the full JSON grammar; numbers preserve int64 exactness
+// where possible (OCI uses 64-bit resource limits).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace wasmctr::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps object keys sorted, making serialization deterministic —
+/// the simulation relies on byte-identical configs hashing equal.
+using Object = std::map<std::string, Value, std::less<>>;
+
+enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+/// A JSON document node. Value-semantic; copies are deep.
+class Value {
+ public:
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}            // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  Value(int i) : type_(Type::kInt), int_(i) {}             // NOLINT
+  Value(int64_t i) : type_(Type::kInt), int_(i) {}         // NOLINT
+  Value(uint64_t i)                                        // NOLINT
+      : type_(Type::kInt), int_(static_cast<int64_t>(i)) {}
+  Value(double d) : type_(Type::kDouble), double_(d) {}    // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}        // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : type_(Type::kString), string_(s) {}   // NOLINT
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}     // NOLINT
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Typed accessors. Calling the wrong one is a programming error
+  /// (asserted); use the typed `get_*` lookups for fallible access.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] int64_t as_i64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object field lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Convenience typed lookups with defaults (for OCI config parsing).
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback = "") const;
+  [[nodiscard]] int64_t get_i64(std::string_view key,
+                                int64_t fallback = 0) const;
+  [[nodiscard]] bool get_bool(std::string_view key,
+                              bool fallback = false) const;
+
+  /// Set a field, converting this value to an object if null.
+  Value& set(std::string key, Value v);
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse a JSON document. Errors carry 1-based line/column information.
+Result<Value> parse(std::string_view text);
+
+/// Escape a string per JSON rules (without surrounding quotes).
+std::string escape(std::string_view s);
+
+}  // namespace wasmctr::json

@@ -1,0 +1,127 @@
+#include "support/leb128.hpp"
+
+namespace wasmctr::leb128 {
+namespace {
+
+template <typename T>
+Result<Decoded<T>> decode_unsigned(std::span<const uint8_t> bytes,
+                                   unsigned max_bits) {
+  T value = 0;
+  unsigned shift = 0;
+  std::size_t i = 0;
+  const std::size_t max_len = (max_bits + 6) / 7;
+  for (;;) {
+    if (i >= bytes.size()) return malformed("leb128: unexpected end of input");
+    if (i >= max_len) return malformed("leb128: integer representation too long");
+    const uint8_t byte = bytes[i];
+    const unsigned payload_bits = (i + 1 == max_len) ? max_bits - shift : 7;
+    const uint8_t payload = byte & 0x7f;
+    if (payload_bits < 7 &&
+        (payload >> payload_bits) != 0) {
+      return malformed("leb128: integer too large");
+    }
+    value |= static_cast<T>(payload) << shift;
+    ++i;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return Decoded<T>{value, i};
+}
+
+template <typename T>
+Result<Decoded<T>> decode_signed(std::span<const uint8_t> bytes,
+                                 unsigned max_bits) {
+  using U = std::make_unsigned_t<T>;
+  U value = 0;
+  unsigned shift = 0;
+  std::size_t i = 0;
+  const std::size_t max_len = (max_bits + 6) / 7;
+  uint8_t byte = 0;
+  for (;;) {
+    if (i >= bytes.size()) return malformed("leb128: unexpected end of input");
+    if (i >= max_len) return malformed("leb128: integer representation too long");
+    byte = bytes[i];
+    const uint8_t payload = byte & 0x7f;
+    if (i + 1 == max_len) {
+      // The final byte of a maximal-length encoding: unused bits must all
+      // equal the sign bit.
+      const unsigned used = max_bits - shift;  // payload bits still needed
+      const uint8_t sign_bit = (payload >> (used - 1)) & 1;
+      const uint8_t expect = sign_bit ? static_cast<uint8_t>(0x7f << (used - 1))
+                                      : 0;
+      if ((payload & static_cast<uint8_t>(~((1u << (used - 1)) - 1) & 0x7f)) !=
+          (expect & 0x7f)) {
+        return malformed("leb128: integer too large");
+      }
+    }
+    value |= static_cast<U>(static_cast<U>(payload)) << shift;
+    ++i;
+    shift += 7;
+    if ((byte & 0x80) == 0) break;
+  }
+  // Sign-extend from the last payload bit written.
+  if (shift < max_bits && (byte & 0x40) != 0) {
+    value |= ~U{0} << shift;
+  }
+  return Decoded<T>{static_cast<T>(value), i};
+}
+
+}  // namespace
+
+Result<Decoded<uint32_t>> decode_u32(std::span<const uint8_t> bytes) {
+  return decode_unsigned<uint32_t>(bytes, 32);
+}
+Result<Decoded<uint64_t>> decode_u64(std::span<const uint8_t> bytes) {
+  return decode_unsigned<uint64_t>(bytes, 64);
+}
+Result<Decoded<int32_t>> decode_s32(std::span<const uint8_t> bytes) {
+  return decode_signed<int32_t>(bytes, 32);
+}
+Result<Decoded<int64_t>> decode_s64(std::span<const uint8_t> bytes) {
+  return decode_signed<int64_t>(bytes, 64);
+}
+
+void encode_u32(uint32_t value, std::vector<uint8_t>& out) {
+  do {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;
+    if (value != 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+void encode_u64(uint64_t value, std::vector<uint8_t>& out) {
+  do {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;
+    if (value != 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+void encode_s32(int32_t value, std::vector<uint8_t>& out) {
+  encode_s64(static_cast<int64_t>(value), out);
+}
+
+void encode_s64(int64_t value, std::vector<uint8_t>& out) {
+  bool more = true;
+  while (more) {
+    uint8_t byte = static_cast<uint8_t>(value) & 0x7f;
+    value >>= 7;  // arithmetic shift keeps the sign
+    const bool sign = (byte & 0x40) != 0;
+    if ((value == 0 && !sign) || (value == -1 && sign)) {
+      more = false;
+    } else {
+      byte |= 0x80;
+    }
+    out.push_back(byte);
+  }
+}
+
+std::size_t encoded_size_u32(uint32_t value) noexcept {
+  std::size_t n = 1;
+  while (value >>= 7) ++n;
+  return n;
+}
+
+}  // namespace wasmctr::leb128

@@ -1,0 +1,39 @@
+// LEB128 variable-length integer encoding, as used by the WebAssembly binary
+// format (unsigned and signed, 32- and 64-bit).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace wasmctr::leb128 {
+
+/// Result of a decode: the value plus how many input bytes were consumed.
+template <typename T>
+struct Decoded {
+  T value;
+  std::size_t length;
+};
+
+/// Decode an unsigned LEB128 of at most `max_bits` payload bits.
+/// Rejects over-long encodings whose extra bits are non-zero and inputs that
+/// run past `bytes.size()` (both malformed per the Wasm spec).
+Result<Decoded<uint32_t>> decode_u32(std::span<const uint8_t> bytes);
+Result<Decoded<uint64_t>> decode_u64(std::span<const uint8_t> bytes);
+
+/// Decode a signed LEB128 (two's complement, sign-extended).
+Result<Decoded<int32_t>> decode_s32(std::span<const uint8_t> bytes);
+Result<Decoded<int64_t>> decode_s64(std::span<const uint8_t> bytes);
+
+/// Append encodings to `out`. Always emits the canonical (shortest) form.
+void encode_u32(uint32_t value, std::vector<uint8_t>& out);
+void encode_u64(uint64_t value, std::vector<uint8_t>& out);
+void encode_s32(int32_t value, std::vector<uint8_t>& out);
+void encode_s64(int64_t value, std::vector<uint8_t>& out);
+
+/// Number of bytes encode_u32 would emit.
+std::size_t encoded_size_u32(uint32_t value) noexcept;
+
+}  // namespace wasmctr::leb128

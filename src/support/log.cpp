@@ -1,0 +1,43 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace wasmctr {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::size_t> g_error_count{0};
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+std::mutex Log::mutex_;
+
+void Log::set_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel Log::level() noexcept { return g_level.load(); }
+std::size_t Log::error_count() noexcept { return g_error_count.load(); }
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (level == LogLevel::kError) g_error_count.fetch_add(1);
+  if (level < g_level.load()) return;
+  std::lock_guard lock(mutex_);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(level).size()),
+               level_name(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace wasmctr

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Intentionally tiny: the simulation is the product,
+// logging is a debugging aid. Thread-safe (single mutex around the sink).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace wasmctr {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global logger configuration and sink.
+class Log {
+ public:
+  /// Set the minimum level that is emitted. Default: kWarn (quiet benches).
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Emit one line. Used through the WASMCTR_LOG macro.
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+  /// Number of kError-level lines emitted since process start. Tests use
+  /// this to assert that green paths stay silent.
+  static std::size_t error_count() noexcept;
+
+ private:
+  static std::mutex mutex_;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::string_view component;
+  std::ostringstream stream;
+
+  LogLine(LogLevel lvl, std::string_view comp) : level(lvl), component(comp) {}
+  ~LogLine() { Log::write(level, component, stream.str()); }
+};
+}  // namespace detail
+
+}  // namespace wasmctr
+
+/// WASMCTR_LOG(kInfo, "kubelet") << "pod " << name << " started";
+#define WASMCTR_LOG(lvl, component)                                 \
+  if (::wasmctr::LogLevel::lvl < ::wasmctr::Log::level()) {         \
+  } else                                                            \
+    ::wasmctr::detail::LogLine(::wasmctr::LogLevel::lvl, component).stream

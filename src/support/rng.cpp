@@ -1,0 +1,18 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace wasmctr {
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * mag;
+}
+
+}  // namespace wasmctr

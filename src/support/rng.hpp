@@ -1,0 +1,61 @@
+// Deterministic random number generation for the simulation.
+//
+// SplitMix64 is tiny, fast, and statistically adequate for jitter modelling.
+// Every simulation component derives its stream from a master seed so runs
+// are reproducible bit-for-bit regardless of component construction order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wasmctr {
+
+/// SplitMix64 PRNG (Steele, Lea, Flood 2014).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) noexcept : state_(seed) {}
+
+  /// Derive a child stream keyed by a component label, independent of the
+  /// order other children are derived.
+  [[nodiscard]] Rng fork(std::string_view label) const noexcept {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    for (const char c : label) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    return Rng(state_ ^ h);
+  }
+
+  uint64_t next_u64() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t next_below(uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Rejection-free modulo is fine here: bias is negligible for the
+    // jitter magnitudes the simulation uses (bounds << 2^64).
+    return next_u64() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple > fast).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wasmctr

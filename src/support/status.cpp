@@ -1,0 +1,33 @@
+#include "support/status.hpp"
+
+namespace wasmctr {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid argument";
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kValidation: return "validation";
+    case ErrorCode::kNotFound: return "not found";
+    case ErrorCode::kAlreadyExists: return "already exists";
+    case ErrorCode::kFailedPrecondition: return "failed precondition";
+    case ErrorCode::kResourceExhausted: return "resource exhausted";
+    case ErrorCode::kUnimplemented: return "unimplemented";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTrap: return "trap";
+    case ErrorCode::kPermissionDenied: return "permission denied";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace wasmctr

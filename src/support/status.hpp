@@ -1,0 +1,175 @@
+// Lightweight Status / Result<T> error handling for wasmctr.
+//
+// The library reports recoverable failures (malformed Wasm binaries, invalid
+// OCI configs, lifecycle violations, ...) through values, never exceptions.
+// Exceptions remain enabled but are reserved for programming errors.
+//
+// Usage:
+//   Result<Module> decode(std::span<const uint8_t> bytes);
+//   auto mod = decode(bytes);
+//   if (!mod) return mod.status();
+//   use(mod.value());
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace wasmctr {
+
+/// Canonical error space shared by every module in the library.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a value that can never be valid.
+  kMalformed,         ///< Input bytes do not parse (Wasm binary, JSON, ...).
+  kValidation,        ///< Input parses but violates semantic rules.
+  kNotFound,          ///< Named entity does not exist.
+  kAlreadyExists,     ///< Unique name collision.
+  kFailedPrecondition,///< Operation illegal in current state (lifecycle).
+  kResourceExhausted, ///< Memory / fuel / pod-density limit hit.
+  kUnimplemented,     ///< Feature intentionally outside reproduction scope.
+  kInternal,          ///< Invariant breach; indicates a bug in wasmctr.
+  kTrap,              ///< WebAssembly trap surfaced to the embedder.
+  kPermissionDenied,  ///< Sandbox/WASI rights violation.
+};
+
+/// Human-readable name of an ErrorCode ("malformed", "trap", ...).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class [[nodiscard]] Status {
+ public:
+  /// Successful status.
+  Status() noexcept = default;
+
+  /// Error status; `code` must not be kOk when a message is meaningful.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "malformed: unexpected end of section" style rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Factory helpers, mirroring the codes above.
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status malformed(std::string msg) {
+  return {ErrorCode::kMalformed, std::move(msg)};
+}
+inline Status validation_error(std::string msg) {
+  return {ErrorCode::kValidation, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status trap_error(std::string msg) {
+  return {ErrorCode::kTrap, std::move(msg)};
+}
+inline Status permission_denied(std::string msg) {
+  return {ErrorCode::kPermissionDenied, std::move(msg)};
+}
+
+/// Value-or-Status. Accessing value() on an error is a programming bug
+/// (asserted in debug builds).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from both arms keeps call sites terse.
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT
+  Result(Status status) : storage_(std::move(status)) {    // NOLINT
+    assert(!std::get<Status>(storage_).is_ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Error status; Status::ok() when the result holds a value.
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(storage_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+
+  /// value_or: returns the contained value or `fallback` on error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace wasmctr
+
+/// Propagate an error Status from an expression returning Status.
+#define WASMCTR_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::wasmctr::Status _wasmctr_status = (expr);         \
+    if (!_wasmctr_status.is_ok()) return _wasmctr_status; \
+  } while (false)
+
+/// Assign from a Result<T> or propagate its error.
+#define WASMCTR_CONCAT_INNER_(a, b) a##b
+#define WASMCTR_CONCAT_(a, b) WASMCTR_CONCAT_INNER_(a, b)
+#define WASMCTR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp) return tmp.status();                       \
+  lhs = std::move(tmp).value()
+#define WASMCTR_ASSIGN_OR_RETURN(lhs, expr) \
+  WASMCTR_ASSIGN_OR_RETURN_IMPL_(           \
+      WASMCTR_CONCAT_(_wasmctr_result_, __LINE__), lhs, expr)

@@ -1,0 +1,23 @@
+#include "support/units.hpp"
+
+#include <cstdio>
+
+namespace wasmctr {
+
+std::string format_bytes(Bytes b) {
+  char buf[48];
+  if (b.value >= 1_GiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  static_cast<double>(b.value) / static_cast<double>(1_GiB));
+  } else if (b.value >= 1_MiB) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", b.mib());
+  } else if (b.value >= 1_KiB) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", b.kib());
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(b.value));
+  }
+  return buf;
+}
+
+}  // namespace wasmctr

@@ -1,0 +1,97 @@
+// Strongly-typed byte and time quantities used across the memory model and
+// the discrete-event simulation. Page size is fixed at 4 KiB (x86-64).
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace wasmctr {
+
+inline constexpr uint64_t kPageSize = 4096;
+
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v * 1024; }
+constexpr uint64_t operator""_MiB(unsigned long long v) {
+  return v * 1024 * 1024;
+}
+constexpr uint64_t operator""_GiB(unsigned long long v) {
+  return v * 1024 * 1024 * 1024;
+}
+
+/// Byte count. A distinct type so byte/page/MB confusion cannot compile.
+struct Bytes {
+  uint64_t value = 0;
+
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(uint64_t v) : value(v) {}
+
+  static constexpr Bytes from_kib(double kib) {
+    return Bytes(static_cast<uint64_t>(kib * 1024.0));
+  }
+  static constexpr Bytes from_mib(double mib) {
+    return Bytes(static_cast<uint64_t>(mib * 1024.0 * 1024.0));
+  }
+  static constexpr Bytes from_pages(uint64_t pages) {
+    return Bytes(pages * kPageSize);
+  }
+
+  [[nodiscard]] constexpr double mib() const {
+    return static_cast<double>(value) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] constexpr double kib() const {
+    return static_cast<double>(value) / 1024.0;
+  }
+  /// Page count, rounding up (a partial page is still resident).
+  [[nodiscard]] constexpr uint64_t pages() const {
+    return (value + kPageSize - 1) / kPageSize;
+  }
+
+  constexpr Bytes& operator+=(Bytes o) {
+    value += o.value;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    value -= o.value;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.value + b.value);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.value - b.value);
+  }
+  friend constexpr Bytes operator*(Bytes a, uint64_t k) {
+    return Bytes(a.value * k);
+  }
+  friend constexpr Bytes operator/(Bytes a, uint64_t k) {
+    return Bytes(a.value / k);
+  }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+};
+
+/// "12.34 MiB" style rendering for reports.
+std::string format_bytes(Bytes b);
+
+/// Simulated time. Nanosecond resolution, 64-bit (≈292 years of sim time).
+using SimDuration = std::chrono::nanoseconds;
+using SimTime = SimDuration;  // time since simulation start
+
+constexpr SimDuration sim_us(int64_t v) { return std::chrono::microseconds(v); }
+constexpr SimDuration sim_ms(int64_t v) { return std::chrono::milliseconds(v); }
+constexpr SimDuration sim_ms(double v) {
+  return SimDuration(static_cast<int64_t>(v * 1e6));
+}
+constexpr SimDuration sim_s(double v) {
+  return SimDuration(static_cast<int64_t>(v * 1e9));
+}
+
+/// Seconds as double, for reporting.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+}  // namespace wasmctr

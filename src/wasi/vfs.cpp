@@ -1,0 +1,159 @@
+#include "wasi/vfs.hpp"
+
+namespace wasmctr::wasi {
+
+Result<std::vector<std::string>> split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) {
+      const std::string_view part = path.substr(i, j - i);
+      if (part == ".") {
+        // skip
+      } else if (part == "..") {
+        if (parts.empty()) {
+          return permission_denied("path escapes sandbox root: " +
+                                   std::string(path));
+        }
+        parts.pop_back();
+      } else {
+        parts.emplace_back(part);
+      }
+    }
+    i = j;
+  }
+  return parts;
+}
+
+VirtualFs::VirtualFs() : root_(std::make_unique<VfsNode>(VfsNode::Kind::kDir)) {}
+
+Status VirtualFs::mkdirs(std::string_view path) {
+  WASMCTR_ASSIGN_OR_RETURN(auto parts, split_path(path));
+  VfsNode* node = root_.get();
+  for (const std::string& part : parts) {
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      it = node->children
+               .emplace(part, std::make_unique<VfsNode>(VfsNode::Kind::kDir))
+               .first;
+    } else if (!it->second->is_dir()) {
+      return already_exists("not a directory: " + part);
+    }
+    node = it->second.get();
+  }
+  return Status::ok();
+}
+
+Status VirtualFs::write_file(std::string_view path, std::string_view contents) {
+  return write_file(path,
+                    std::vector<uint8_t>(contents.begin(), contents.end()));
+}
+
+Status VirtualFs::write_file(std::string_view path,
+                             std::vector<uint8_t> contents) {
+  WASMCTR_ASSIGN_OR_RETURN(auto parts, split_path(path));
+  if (parts.empty()) return invalid_argument("cannot write to root");
+  VfsNode* node = root_.get();
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto it = node->children.find(parts[i]);
+    if (it == node->children.end()) {
+      it = node->children
+               .emplace(parts[i],
+                        std::make_unique<VfsNode>(VfsNode::Kind::kDir))
+               .first;
+    }
+    if (!it->second->is_dir()) return invalid_argument("not a directory");
+    node = it->second.get();
+  }
+  auto& slot = node->children[parts.back()];
+  if (slot == nullptr) {
+    slot = std::make_unique<VfsNode>(VfsNode::Kind::kFile);
+  } else if (slot->is_dir()) {
+    return already_exists("is a directory: " + parts.back());
+  }
+  slot->data = std::move(contents);
+  return Status::ok();
+}
+
+Status VirtualFs::append_file(std::string_view path,
+                              std::string_view contents) {
+  auto node = resolve(path);
+  if (!node) {
+    return write_file(path, contents);
+  }
+  if ((*node)->is_dir()) return invalid_argument("is a directory");
+  (*node)->data.insert((*node)->data.end(), contents.begin(), contents.end());
+  return Status::ok();
+}
+
+Result<std::string> VirtualFs::read_file(std::string_view path) const {
+  WASMCTR_ASSIGN_OR_RETURN(const VfsNode* node, resolve(path));
+  if (node->is_dir()) return invalid_argument("is a directory");
+  return std::string(node->data.begin(), node->data.end());
+}
+
+Result<VfsNode*> VirtualFs::resolve(std::string_view path) {
+  WASMCTR_ASSIGN_OR_RETURN(auto parts, split_path(path));
+  VfsNode* node = root_.get();
+  for (const std::string& part : parts) {
+    if (!node->is_dir()) return not_found(std::string(path));
+    auto it = node->children.find(part);
+    if (it == node->children.end()) return not_found(std::string(path));
+    node = it->second.get();
+  }
+  return node;
+}
+
+Result<const VfsNode*> VirtualFs::resolve(std::string_view path) const {
+  auto r = const_cast<VirtualFs*>(this)->resolve(path);
+  if (!r) return r.status();
+  return static_cast<const VfsNode*>(*r);
+}
+
+bool VirtualFs::exists(std::string_view path) const {
+  return resolve(path).is_ok();
+}
+
+Status VirtualFs::remove(std::string_view path) {
+  WASMCTR_ASSIGN_OR_RETURN(auto parts, split_path(path));
+  if (parts.empty()) return invalid_argument("cannot remove root");
+  VfsNode* node = root_.get();
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto it = node->children.find(parts[i]);
+    if (it == node->children.end() || !it->second->is_dir()) {
+      return not_found(std::string(path));
+    }
+    node = it->second.get();
+  }
+  auto it = node->children.find(parts.back());
+  if (it == node->children.end()) return not_found(std::string(path));
+  if (it->second->is_dir() && !it->second->children.empty()) {
+    return failed_precondition("directory not empty");
+  }
+  node->children.erase(it);
+  return Status::ok();
+}
+
+Result<std::vector<std::string>> VirtualFs::list(std::string_view path) const {
+  WASMCTR_ASSIGN_OR_RETURN(const VfsNode* node, resolve(path));
+  if (!node->is_dir()) return invalid_argument("not a directory");
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, _] : node->children) names.push_back(name);
+  return names;
+}
+
+namespace {
+uint64_t bytes_of(const VfsNode& node) {
+  uint64_t total = node.data.size();
+  for (const auto& [_, child] : node.children) total += bytes_of(*child);
+  return total;
+}
+}  // namespace
+
+uint64_t VirtualFs::total_bytes() const { return bytes_of(*root_); }
+
+}  // namespace wasmctr::wasi

@@ -1,0 +1,82 @@
+// In-memory virtual filesystem backing WASI preopened directories.
+//
+// The container runtime mounts OCI bundle paths into this tree; the Wasm
+// module sees them through path_open relative to its preopens (paper
+// §III-C item 2: "pre-opened directories").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace wasmctr::wasi {
+
+/// One node: a regular file or a directory.
+class VfsNode {
+ public:
+  enum class Kind { kFile, kDir };
+
+  explicit VfsNode(Kind kind) : kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_dir() const noexcept { return kind_ == Kind::kDir; }
+
+  // File payload (kFile only).
+  std::vector<uint8_t> data;
+
+  // Children (kDir only), name → node.
+  std::map<std::string, std::unique_ptr<VfsNode>, std::less<>> children;
+
+ private:
+  Kind kind_;
+};
+
+/// A rooted tree with POSIX-ish path resolution. Paths are '/'-separated;
+/// ".." never escapes the root (the WASI sandbox property).
+class VirtualFs {
+ public:
+  VirtualFs();
+
+  VirtualFs(const VirtualFs&) = delete;
+  VirtualFs& operator=(const VirtualFs&) = delete;
+
+  /// Create a directory (and ancestors). Idempotent.
+  Status mkdirs(std::string_view path);
+
+  /// Create or replace a regular file, creating parent directories.
+  Status write_file(std::string_view path, std::string_view contents);
+  Status write_file(std::string_view path, std::vector<uint8_t> contents);
+
+  /// Append to a file, creating it if absent.
+  Status append_file(std::string_view path, std::string_view contents);
+
+  Result<std::string> read_file(std::string_view path) const;
+
+  /// Lookup; kNotFound / kInvalidArgument on failure.
+  Result<VfsNode*> resolve(std::string_view path);
+  Result<const VfsNode*> resolve(std::string_view path) const;
+
+  [[nodiscard]] bool exists(std::string_view path) const;
+
+  /// Remove a file or empty directory.
+  Status remove(std::string_view path);
+
+  /// Names in a directory, sorted.
+  Result<std::vector<std::string>> list(std::string_view path) const;
+
+  /// Total bytes of file payload in the tree (memory accounting).
+  [[nodiscard]] uint64_t total_bytes() const;
+
+ private:
+  std::unique_ptr<VfsNode> root_;
+};
+
+/// Normalize a path into components, rejecting escapes above the root.
+Result<std::vector<std::string>> split_path(std::string_view path);
+
+}  // namespace wasmctr::wasi

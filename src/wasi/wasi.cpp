@@ -1,0 +1,366 @@
+#include "wasi/wasi.hpp"
+
+#include <algorithm>
+
+namespace wasmctr::wasi {
+
+using wasm::Instance;
+using wasm::ValType;
+using wasm::Value;
+
+WasiContext::WasiContext(WasiOptions options, VirtualFs& fs)
+    : options_(std::move(options)), fs_(fs), rng_(options_.random_seed) {
+  if (!options_.clock_ns) {
+    options_.clock_ns = [t = uint64_t{1'700'000'000'000'000'000}]() mutable {
+      // Fixed epoch advancing 1 µs per call: deterministic yet monotonic.
+      t += 1000;
+      return t;
+    };
+  }
+  for (const auto& [k, v] : options_.env) env_strings_.push_back(k + "=" + v);
+  fds_.emplace(0, FdEntry{FdEntry::Kind::kStdin, "", "", 0});
+  fds_.emplace(1, FdEntry{FdEntry::Kind::kStdout, "", "", 0});
+  fds_.emplace(2, FdEntry{FdEntry::Kind::kStderr, "", "", 0});
+  for (const auto& [guest, host] : options_.preopens) {
+    fds_.emplace(next_fd_++, FdEntry{FdEntry::Kind::kPreopenDir, host, guest, 0});
+  }
+}
+
+uint64_t WasiContext::resident_bytes() const {
+  uint64_t total = sizeof(WasiContext);
+  total += stdout_.capacity() + stderr_.capacity() + stdin_.capacity();
+  total += fds_.size() * (sizeof(FdEntry) + 48);
+  for (const std::string& s : env_strings_) total += s.capacity();
+  return total;
+}
+
+void WasiContext::register_imports(wasm::ImportResolver& resolver) {
+  const auto reg = [&](const char* name, std::vector<ValType> params,
+                       std::vector<ValType> results,
+                       Ret (WasiContext::*fn)(Instance&, Args)) {
+    resolver.provide(
+        "wasi_snapshot_preview1", name,
+        wasm::HostFunc{{std::move(params), std::move(results)},
+                       [this, fn](Instance& inst, Args args) {
+                         return (this->*fn)(inst, args);
+                       }});
+  };
+  using VT = ValType;
+  reg("args_sizes_get", {VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::args_sizes_get);
+  reg("args_get", {VT::kI32, VT::kI32}, {VT::kI32}, &WasiContext::args_get);
+  reg("environ_sizes_get", {VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::environ_sizes_get);
+  reg("environ_get", {VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::environ_get);
+  reg("fd_write", {VT::kI32, VT::kI32, VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::fd_write);
+  reg("fd_read", {VT::kI32, VT::kI32, VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::fd_read);
+  reg("fd_close", {VT::kI32}, {VT::kI32}, &WasiContext::fd_close);
+  reg("fd_prestat_get", {VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::fd_prestat_get);
+  reg("fd_prestat_dir_name", {VT::kI32, VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::fd_prestat_dir_name);
+  reg("fd_fdstat_get", {VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::fd_fdstat_get);
+  reg("fd_seek", {VT::kI32, VT::kI64, VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::fd_seek);
+  reg("path_open",
+      {VT::kI32, VT::kI32, VT::kI32, VT::kI32, VT::kI32, VT::kI64, VT::kI64,
+       VT::kI32, VT::kI32},
+      {VT::kI32}, &WasiContext::path_open);
+  reg("clock_time_get", {VT::kI32, VT::kI64, VT::kI32}, {VT::kI32},
+      &WasiContext::clock_time_get);
+  reg("random_get", {VT::kI32, VT::kI32}, {VT::kI32},
+      &WasiContext::random_get);
+  reg("proc_exit", {VT::kI32}, {}, &WasiContext::proc_exit);
+  reg("sched_yield", {}, {VT::kI32}, &WasiContext::sched_yield);
+}
+
+WasiContext::Ret WasiContext::copy_string_list(
+    Instance& inst, const std::vector<std::string>& items, uint32_t array_ptr,
+    uint32_t buf_ptr) {
+  wasm::LinearMemory* mem = inst.memory();
+  if (mem == nullptr) return errno_ret(kEInval);
+  uint32_t cursor = buf_ptr;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    WASMCTR_RETURN_IF_ERROR(
+        mem->store<uint32_t>(array_ptr + 4 * i, 0, cursor));
+    const std::string& s = items[i];
+    WASMCTR_RETURN_IF_ERROR(mem->write(
+        cursor, {reinterpret_cast<const uint8_t*>(s.data()), s.size()}));
+    WASMCTR_RETURN_IF_ERROR(
+        mem->store<uint8_t>(cursor + s.size(), 0, 0));
+    cursor += static_cast<uint32_t>(s.size()) + 1;
+  }
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::args_sizes_get(Instance& inst, Args a) {
+  wasm::LinearMemory* mem = inst.memory();
+  uint32_t total = 0;
+  for (const std::string& s : options_.args) {
+    total += static_cast<uint32_t>(s.size()) + 1;
+  }
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint32_t>(
+      a[0].u32(), 0, static_cast<uint32_t>(options_.args.size())));
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint32_t>(a[1].u32(), 0, total));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::args_get(Instance& inst, Args a) {
+  return copy_string_list(inst, options_.args, a[0].u32(), a[1].u32());
+}
+
+WasiContext::Ret WasiContext::environ_sizes_get(Instance& inst, Args a) {
+  wasm::LinearMemory* mem = inst.memory();
+  uint32_t total = 0;
+  for (const std::string& s : env_strings_) {
+    total += static_cast<uint32_t>(s.size()) + 1;
+  }
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint32_t>(
+      a[0].u32(), 0, static_cast<uint32_t>(env_strings_.size())));
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint32_t>(a[1].u32(), 0, total));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::environ_get(Instance& inst, Args a) {
+  return copy_string_list(inst, env_strings_, a[0].u32(), a[1].u32());
+}
+
+WasiContext::Ret WasiContext::fd_write(Instance& inst, Args a) {
+  const uint32_t fd = a[0].u32();
+  const uint32_t iovs_ptr = a[1].u32();
+  const uint32_t iovs_len = a[2].u32();
+  const uint32_t nwritten_ptr = a[3].u32();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return errno_ret(kEBadf);
+  wasm::LinearMemory* mem = inst.memory();
+  uint32_t written = 0;
+  for (uint32_t i = 0; i < iovs_len; ++i) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t buf,
+                             mem->load<uint32_t>(iovs_ptr + 8 * i, 0));
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t len,
+                             mem->load<uint32_t>(iovs_ptr + 8 * i, 4));
+    WASMCTR_ASSIGN_OR_RETURN(auto data, mem->slice(buf, len));
+    const std::string_view text(reinterpret_cast<const char*>(data.data()),
+                                data.size());
+    switch (it->second.kind) {
+      case FdEntry::Kind::kStdout: stdout_.append(text); break;
+      case FdEntry::Kind::kStderr: stderr_.append(text); break;
+      case FdEntry::Kind::kFile: {
+        WASMCTR_RETURN_IF_ERROR(fs_.append_file(it->second.vfs_path, text));
+        it->second.offset += len;
+        break;
+      }
+      default: return errno_ret(kEBadf);
+    }
+    written += len;
+  }
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint32_t>(nwritten_ptr, 0, written));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::fd_read(Instance& inst, Args a) {
+  const uint32_t fd = a[0].u32();
+  const uint32_t iovs_ptr = a[1].u32();
+  const uint32_t iovs_len = a[2].u32();
+  const uint32_t nread_ptr = a[3].u32();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return errno_ret(kEBadf);
+  wasm::LinearMemory* mem = inst.memory();
+
+  std::string_view source;
+  std::size_t* pos = nullptr;
+  std::string file_data;
+  uint64_t file_pos = 0;
+  if (it->second.kind == FdEntry::Kind::kStdin) {
+    source = stdin_;
+    pos = &stdin_pos_;
+  } else if (it->second.kind == FdEntry::Kind::kFile) {
+    auto contents = fs_.read_file(it->second.vfs_path);
+    if (!contents) return errno_ret(kENoent);
+    file_data = std::move(*contents);
+    source = file_data;
+    file_pos = it->second.offset;
+  } else {
+    return errno_ret(kEBadf);
+  }
+
+  uint64_t cursor = pos != nullptr ? *pos : file_pos;
+  uint32_t read_total = 0;
+  for (uint32_t i = 0; i < iovs_len; ++i) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t buf,
+                             mem->load<uint32_t>(iovs_ptr + 8 * i, 0));
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t len,
+                             mem->load<uint32_t>(iovs_ptr + 8 * i, 4));
+    const uint64_t avail = cursor < source.size() ? source.size() - cursor : 0;
+    const uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(len, avail));
+    if (n > 0) {
+      WASMCTR_RETURN_IF_ERROR(mem->write(
+          buf, {reinterpret_cast<const uint8_t*>(source.data()) + cursor, n}));
+      cursor += n;
+      read_total += n;
+    }
+    if (n < len) break;  // EOF
+  }
+  if (pos != nullptr) {
+    *pos = cursor;
+  } else {
+    it->second.offset = cursor;
+  }
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint32_t>(nread_ptr, 0, read_total));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::fd_close(Instance&, Args a) {
+  const uint32_t fd = a[0].u32();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return errno_ret(kEBadf);
+  if (fd <= 2 || it->second.kind == FdEntry::Kind::kPreopenDir) {
+    return errno_ret(kSuccess);  // closing std streams/preopens: tolerated
+  }
+  fds_.erase(it);
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::fd_prestat_get(Instance& inst, Args a) {
+  const uint32_t fd = a[0].u32();
+  const uint32_t buf = a[1].u32();
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.kind != FdEntry::Kind::kPreopenDir) {
+    return errno_ret(kEBadf);
+  }
+  wasm::LinearMemory* mem = inst.memory();
+  // prestat: tag u8 (0 = dir), then name length u32 at offset 4.
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint32_t>(buf, 0, 0));
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint32_t>(
+      buf, 4, static_cast<uint32_t>(it->second.guest_path.size())));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::fd_prestat_dir_name(Instance& inst, Args a) {
+  const uint32_t fd = a[0].u32();
+  const uint32_t path_ptr = a[1].u32();
+  const uint32_t path_len = a[2].u32();
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.kind != FdEntry::Kind::kPreopenDir) {
+    return errno_ret(kEBadf);
+  }
+  const std::string& name = it->second.guest_path;
+  if (path_len < name.size()) return errno_ret(kEInval);
+  WASMCTR_RETURN_IF_ERROR(inst.memory()->write(
+      path_ptr, {reinterpret_cast<const uint8_t*>(name.data()), name.size()}));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::fd_fdstat_get(Instance& inst, Args a) {
+  const uint32_t fd = a[0].u32();
+  const uint32_t buf = a[1].u32();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return errno_ret(kEBadf);
+  uint8_t filetype;
+  switch (it->second.kind) {
+    case FdEntry::Kind::kPreopenDir: filetype = 3; break;   // directory
+    case FdEntry::Kind::kFile: filetype = 4; break;         // regular file
+    default: filetype = 2; break;                           // character device
+  }
+  wasm::LinearMemory* mem = inst.memory();
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint8_t>(buf, 0, filetype));
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint8_t>(buf, 1, 0));    // flags
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint16_t>(buf, 2, 0));
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint64_t>(buf, 8, ~uint64_t{0}));   // rights
+  WASMCTR_RETURN_IF_ERROR(mem->store<uint64_t>(buf, 16, ~uint64_t{0}));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::fd_seek(Instance& inst, Args a) {
+  const uint32_t fd = a[0].u32();
+  const int64_t offset = a[1].i64();
+  const uint32_t whence = a[2].u32();
+  const uint32_t result_ptr = a[3].u32();
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.kind != FdEntry::Kind::kFile) {
+    return errno_ret(kEBadf);
+  }
+  auto contents = fs_.read_file(it->second.vfs_path);
+  const uint64_t size = contents ? contents->size() : 0;
+  int64_t base;
+  switch (whence) {
+    case 0: base = 0; break;                                   // SET
+    case 1: base = static_cast<int64_t>(it->second.offset); break;  // CUR
+    case 2: base = static_cast<int64_t>(size); break;          // END
+    default: return errno_ret(kEInval);
+  }
+  const int64_t target = base + offset;
+  if (target < 0) return errno_ret(kEInval);
+  it->second.offset = static_cast<uint64_t>(target);
+  WASMCTR_RETURN_IF_ERROR(
+      inst.memory()->store<uint64_t>(result_ptr, 0, it->second.offset));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::path_open(Instance& inst, Args a) {
+  const uint32_t dirfd = a[0].u32();
+  // a[1] = dirflags (lookup flags) — ignored (no symlinks in the VFS).
+  const uint32_t path_ptr = a[2].u32();
+  const uint32_t path_len = a[3].u32();
+  const uint32_t oflags = a[4].u32();
+  // a[5], a[6] = rights (base, inheriting) — the VFS grants all.
+  // a[7] = fdflags.
+  const uint32_t result_ptr = a[8].u32();
+
+  auto it = fds_.find(dirfd);
+  if (it == fds_.end() || it->second.kind != FdEntry::Kind::kPreopenDir) {
+    return errno_ret(kEBadf);
+  }
+  WASMCTR_ASSIGN_OR_RETURN(std::string rel,
+                           inst.memory()->read_string(path_ptr, path_len));
+  auto parts = split_path(rel);
+  if (!parts) return errno_ret(kEAccess);  // ".." escape attempt
+  const std::string full = it->second.vfs_path + "/" + rel;
+
+  constexpr uint32_t kOflagCreat = 1;
+  const bool exists = fs_.exists(full);
+  if (!exists) {
+    if ((oflags & kOflagCreat) == 0) return errno_ret(kENoent);
+    WASMCTR_RETURN_IF_ERROR(fs_.write_file(full, std::string_view{}));
+  }
+  const uint32_t fd = next_fd_++;
+  fds_.emplace(fd, FdEntry{FdEntry::Kind::kFile, full, rel, 0});
+  WASMCTR_RETURN_IF_ERROR(inst.memory()->store<uint32_t>(result_ptr, 0, fd));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::clock_time_get(Instance& inst, Args a) {
+  // a[0] = clock id, a[1] = precision: one virtual clock serves all ids.
+  const uint32_t result_ptr = a[2].u32();
+  WASMCTR_RETURN_IF_ERROR(
+      inst.memory()->store<uint64_t>(result_ptr, 0, options_.clock_ns()));
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::random_get(Instance& inst, Args a) {
+  const uint32_t buf = a[0].u32();
+  const uint32_t len = a[1].u32();
+  WASMCTR_ASSIGN_OR_RETURN(auto region, inst.memory()->slice(buf, len));
+  for (uint32_t i = 0; i < len; ++i) {
+    region[i] = static_cast<uint8_t>(rng_.next_u64());
+  }
+  return errno_ret(kSuccess);
+}
+
+WasiContext::Ret WasiContext::proc_exit(Instance&, Args a) {
+  exit_code_ = a[0].u32();
+  // Surface as a trap so the interpreter unwinds every frame; the embedder
+  // recognizes the message and consults exit_code().
+  return Status(trap_error("proc_exit"));
+}
+
+WasiContext::Ret WasiContext::sched_yield(Instance&, Args) {
+  return errno_ret(kSuccess);
+}
+
+}  // namespace wasmctr::wasi

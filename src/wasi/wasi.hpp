@@ -1,0 +1,130 @@
+// WASI preview-1 subset (`wasi_snapshot_preview1`).
+//
+// Covers what the paper's microservice workloads need: argument/environment
+// plumbing (paper §III-C item 2 — "WASI argument handling"), stdio, file
+// access through preopened directories, a monotonic clock fed by the
+// simulation's virtual time, seeded randomness, and proc_exit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "wasi/vfs.hpp"
+#include "wasm/exec/instance.hpp"
+
+namespace wasmctr::wasi {
+
+/// WASI errno values (subset).
+enum Errno : uint16_t {
+  kSuccess = 0,
+  kEAccess = 2,
+  kEBadf = 8,
+  kEExist = 20,
+  kEInval = 28,
+  kEIo = 29,
+  kENoent = 44,
+  kENotDir = 54,
+  kENotSup = 58,
+};
+
+/// Options the embedder (the container runtime) configures per module —
+/// the crun-WAMR integration maps OCI process config onto this.
+struct WasiOptions {
+  std::vector<std::string> args;                 ///< argv (argv[0] = module name)
+  std::vector<std::pair<std::string, std::string>> env;
+  /// guest path → host VFS path, exposed as preopened directory fds.
+  std::vector<std::pair<std::string, std::string>> preopens;
+  uint64_t random_seed = 0x5eed;
+  /// Virtual clock source; nanoseconds. Defaults to a fixed epoch so pure
+  /// unit tests are deterministic without a simulation attached.
+  std::function<uint64_t()> clock_ns;
+};
+
+/// Per-instance WASI state: fd table, captured stdio, exit status.
+class WasiContext {
+ public:
+  WasiContext(WasiOptions options, VirtualFs& fs);
+
+  /// Register every implemented WASI function on `resolver`.
+  void register_imports(wasm::ImportResolver& resolver);
+
+  /// Captured stream contents.
+  [[nodiscard]] const std::string& stdout_data() const noexcept {
+    return stdout_;
+  }
+  [[nodiscard]] const std::string& stderr_data() const noexcept {
+    return stderr_;
+  }
+  /// Data for fd 0 reads.
+  void set_stdin(std::string data) { stdin_ = std::move(data); }
+
+  /// proc_exit was called (invoke returns a kTrap whose message is
+  /// "proc_exit"; the embedder consults this to get the real code).
+  [[nodiscard]] bool exited() const noexcept { return exit_code_.has_value(); }
+  [[nodiscard]] uint32_t exit_code() const noexcept {
+    return exit_code_.value_or(0);
+  }
+
+  [[nodiscard]] const WasiOptions& options() const noexcept { return options_; }
+
+  /// Bytes the WASI layer itself keeps resident (fd table, buffered stdio).
+  [[nodiscard]] uint64_t resident_bytes() const;
+
+ private:
+  struct FdEntry {
+    enum class Kind { kStdin, kStdout, kStderr, kPreopenDir, kFile } kind;
+    std::string vfs_path;    // for kPreopenDir/kFile
+    std::string guest_path;  // for kPreopenDir (prestat name)
+    uint64_t offset = 0;     // for kFile
+  };
+
+  using Args = std::span<const wasm::Value>;
+  using Ret = Result<std::optional<wasm::Value>>;
+
+  static Ret errno_ret(Errno e) {
+    return std::optional<wasm::Value>(wasm::Value::from_u32(e));
+  }
+
+  Ret args_sizes_get(wasm::Instance& inst, Args a);
+  Ret args_get(wasm::Instance& inst, Args a);
+  Ret environ_sizes_get(wasm::Instance& inst, Args a);
+  Ret environ_get(wasm::Instance& inst, Args a);
+  Ret fd_write(wasm::Instance& inst, Args a);
+  Ret fd_read(wasm::Instance& inst, Args a);
+  Ret fd_close(wasm::Instance& inst, Args a);
+  Ret fd_prestat_get(wasm::Instance& inst, Args a);
+  Ret fd_prestat_dir_name(wasm::Instance& inst, Args a);
+  Ret fd_fdstat_get(wasm::Instance& inst, Args a);
+  Ret fd_seek(wasm::Instance& inst, Args a);
+  Ret path_open(wasm::Instance& inst, Args a);
+  Ret clock_time_get(wasm::Instance& inst, Args a);
+  Ret random_get(wasm::Instance& inst, Args a);
+  Ret proc_exit(wasm::Instance& inst, Args a);
+  Ret sched_yield(wasm::Instance& inst, Args a);
+
+  /// Copy a (ptr,len) list of strings into guest memory per the WASI ABI:
+  /// pointer array at `array_ptr`, packed NUL-terminated bytes at `buf_ptr`.
+  Ret copy_string_list(wasm::Instance& inst,
+                       const std::vector<std::string>& items,
+                       uint32_t array_ptr, uint32_t buf_ptr);
+
+  WasiOptions options_;
+  VirtualFs& fs_;
+  std::vector<std::string> env_strings_;  // "K=V" forms
+  std::map<uint32_t, FdEntry> fds_;
+  uint32_t next_fd_ = 3;
+  std::string stdin_;
+  std::size_t stdin_pos_ = 0;
+  std::string stdout_;
+  std::string stderr_;
+  std::optional<uint32_t> exit_code_;
+  Rng rng_;
+};
+
+}  // namespace wasmctr::wasi

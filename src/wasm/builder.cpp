@@ -1,0 +1,525 @@
+#include "wasm/builder.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+
+#include "wasm/opcodes.hpp"
+
+namespace wasmctr::wasm {
+
+// ---------- FnBuilder ----------
+
+uint32_t FnBuilder::add_local(ValType type) {
+  locals_.push_back(type);
+  // Caller adds the param count; see ModuleBuilder::add_function's contract:
+  // indices are params first, then locals in declaration order. The builder
+  // cannot know the param count here, so ModuleBuilder patches it — instead
+  // we simply require callers to use the returned index, computed later.
+  // To keep this simple and safe, the index is finalized by ModuleBuilder;
+  // we return a placeholder that equals locals-so-far and is fixed up by
+  // the only caller that knows: add_function stores the param count into
+  // param_count_hint_ at creation.
+  return param_count_hint_ + static_cast<uint32_t>(locals_.size()) - 1;
+}
+
+FnBuilder& FnBuilder::block(std::optional<ValType> result) {
+  code_.u8(kBlock);
+  code_.u8(result ? static_cast<uint8_t>(*result) : 0x40);
+  return *this;
+}
+FnBuilder& FnBuilder::loop(std::optional<ValType> result) {
+  code_.u8(kLoop);
+  code_.u8(result ? static_cast<uint8_t>(*result) : 0x40);
+  return *this;
+}
+FnBuilder& FnBuilder::if_(std::optional<ValType> result) {
+  code_.u8(kIf);
+  code_.u8(result ? static_cast<uint8_t>(*result) : 0x40);
+  return *this;
+}
+FnBuilder& FnBuilder::else_() {
+  code_.u8(kElse);
+  return *this;
+}
+FnBuilder& FnBuilder::end() {
+  code_.u8(kEnd);
+  return *this;
+}
+FnBuilder& FnBuilder::br(uint32_t depth) {
+  code_.u8(kBr);
+  code_.var_u32(depth);
+  return *this;
+}
+FnBuilder& FnBuilder::br_if(uint32_t depth) {
+  code_.u8(kBrIf);
+  code_.var_u32(depth);
+  return *this;
+}
+FnBuilder& FnBuilder::br_table(const std::vector<uint32_t>& depths,
+                               uint32_t def) {
+  code_.u8(kBrTable);
+  code_.var_u32(static_cast<uint32_t>(depths.size()));
+  for (const uint32_t d : depths) code_.var_u32(d);
+  code_.var_u32(def);
+  return *this;
+}
+FnBuilder& FnBuilder::return_() {
+  code_.u8(kReturn);
+  return *this;
+}
+FnBuilder& FnBuilder::call(uint32_t func_index) {
+  code_.u8(kCall);
+  code_.var_u32(func_index);
+  return *this;
+}
+FnBuilder& FnBuilder::call_indirect(uint32_t type_index) {
+  code_.u8(kCallIndirect);
+  code_.var_u32(type_index);
+  code_.u8(0);
+  return *this;
+}
+FnBuilder& FnBuilder::unreachable() {
+  code_.u8(kUnreachable);
+  return *this;
+}
+FnBuilder& FnBuilder::nop() {
+  code_.u8(kNop);
+  return *this;
+}
+FnBuilder& FnBuilder::drop() {
+  code_.u8(kDrop);
+  return *this;
+}
+FnBuilder& FnBuilder::select() {
+  code_.u8(kSelect);
+  return *this;
+}
+FnBuilder& FnBuilder::local_get(uint32_t i) {
+  code_.u8(kLocalGet);
+  code_.var_u32(i);
+  return *this;
+}
+FnBuilder& FnBuilder::local_set(uint32_t i) {
+  code_.u8(kLocalSet);
+  code_.var_u32(i);
+  return *this;
+}
+FnBuilder& FnBuilder::local_tee(uint32_t i) {
+  code_.u8(kLocalTee);
+  code_.var_u32(i);
+  return *this;
+}
+FnBuilder& FnBuilder::global_get(uint32_t i) {
+  code_.u8(kGlobalGet);
+  code_.var_u32(i);
+  return *this;
+}
+FnBuilder& FnBuilder::global_set(uint32_t i) {
+  code_.u8(kGlobalSet);
+  code_.var_u32(i);
+  return *this;
+}
+FnBuilder& FnBuilder::i32_const(int32_t v) {
+  code_.u8(kI32Const);
+  code_.var_s32(v);
+  return *this;
+}
+FnBuilder& FnBuilder::i64_const(int64_t v) {
+  code_.u8(kI64Const);
+  code_.var_s64(v);
+  return *this;
+}
+FnBuilder& FnBuilder::f32_const(float v) {
+  code_.u8(kF32Const);
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  code_.fixed_u32(bits);
+  return *this;
+}
+FnBuilder& FnBuilder::f64_const(double v) {
+  code_.u8(kF64Const);
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  code_.fixed_u64(bits);
+  return *this;
+}
+
+FnBuilder& FnBuilder::memarg_op(uint8_t opcode, uint32_t align,
+                                uint32_t offset) {
+  code_.u8(opcode);
+  code_.var_u32(align);
+  code_.var_u32(offset);
+  return *this;
+}
+
+FnBuilder& FnBuilder::i32_load(uint32_t offset, uint32_t align) {
+  return memarg_op(kI32Load, align, offset);
+}
+FnBuilder& FnBuilder::i64_load(uint32_t offset, uint32_t align) {
+  return memarg_op(kI64Load, align, offset);
+}
+FnBuilder& FnBuilder::f64_load(uint32_t offset, uint32_t align) {
+  return memarg_op(kF64Load, align, offset);
+}
+FnBuilder& FnBuilder::i32_load8_u(uint32_t offset) {
+  return memarg_op(kI32Load8U, 0, offset);
+}
+FnBuilder& FnBuilder::i32_store(uint32_t offset, uint32_t align) {
+  return memarg_op(kI32Store, align, offset);
+}
+FnBuilder& FnBuilder::i64_store(uint32_t offset, uint32_t align) {
+  return memarg_op(kI64Store, align, offset);
+}
+FnBuilder& FnBuilder::f64_store(uint32_t offset, uint32_t align) {
+  return memarg_op(kF64Store, align, offset);
+}
+FnBuilder& FnBuilder::i32_store8(uint32_t offset) {
+  return memarg_op(kI32Store8, 0, offset);
+}
+FnBuilder& FnBuilder::memory_size() {
+  code_.u8(kMemorySize);
+  code_.u8(0);
+  return *this;
+}
+FnBuilder& FnBuilder::memory_grow() {
+  code_.u8(kMemoryGrow);
+  code_.u8(0);
+  return *this;
+}
+FnBuilder& FnBuilder::memory_fill() {
+  code_.u8(kPrefixFC);
+  code_.var_u32(kMemoryFill);
+  code_.u8(0);
+  return *this;
+}
+FnBuilder& FnBuilder::memory_copy() {
+  code_.u8(kPrefixFC);
+  code_.var_u32(kMemoryCopy);
+  code_.u8(0);
+  code_.u8(0);
+  return *this;
+}
+
+FnBuilder& FnBuilder::op(uint8_t opcode) {
+  code_.u8(opcode);
+  return *this;
+}
+
+FnBuilder& FnBuilder::i32_add() { return op(kI32Add); }
+FnBuilder& FnBuilder::i32_sub() { return op(kI32Sub); }
+FnBuilder& FnBuilder::i32_mul() { return op(kI32Mul); }
+FnBuilder& FnBuilder::i32_div_s() { return op(kI32DivS); }
+FnBuilder& FnBuilder::i32_rem_s() { return op(kI32RemS); }
+FnBuilder& FnBuilder::i32_and() { return op(kI32And); }
+FnBuilder& FnBuilder::i32_eq() { return op(kI32Eq); }
+FnBuilder& FnBuilder::i32_ne() { return op(kI32Ne); }
+FnBuilder& FnBuilder::i32_eqz() { return op(kI32Eqz); }
+FnBuilder& FnBuilder::i32_lt_s() { return op(kI32LtS); }
+FnBuilder& FnBuilder::i32_lt_u() { return op(kI32LtU); }
+FnBuilder& FnBuilder::i32_gt_s() { return op(kI32GtS); }
+FnBuilder& FnBuilder::i32_ge_s() { return op(kI32GeS); }
+FnBuilder& FnBuilder::i32_le_s() { return op(kI32LeS); }
+FnBuilder& FnBuilder::i32_shl() { return op(kI32Shl); }
+FnBuilder& FnBuilder::i32_shr_u() { return op(kI32ShrU); }
+FnBuilder& FnBuilder::i32_xor() { return op(kI32Xor); }
+FnBuilder& FnBuilder::i32_or() { return op(kI32Or); }
+FnBuilder& FnBuilder::i32_rotl() { return op(kI32Rotl); }
+FnBuilder& FnBuilder::i64_add() { return op(kI64Add); }
+FnBuilder& FnBuilder::i64_mul() { return op(kI64Mul); }
+FnBuilder& FnBuilder::f64_add() { return op(kF64Add); }
+FnBuilder& FnBuilder::f64_mul() { return op(kF64Mul); }
+FnBuilder& FnBuilder::f64_div() { return op(kF64Div); }
+FnBuilder& FnBuilder::f64_sqrt() { return op(kF64Sqrt); }
+
+// ---------- ModuleBuilder ----------
+
+ModuleBuilder::ModuleBuilder() = default;
+ModuleBuilder::~ModuleBuilder() = default;
+
+uint32_t ModuleBuilder::add_type(std::vector<ValType> params,
+                                 std::vector<ValType> results) {
+  FuncType t{std::move(params), std::move(results)};
+  for (uint32_t i = 0; i < types_.size(); ++i) {
+    if (types_[i] == t) return i;
+  }
+  types_.push_back(std::move(t));
+  return static_cast<uint32_t>(types_.size() - 1);
+}
+
+uint32_t ModuleBuilder::import_function(std::string module, std::string name,
+                                        std::vector<ValType> params,
+                                        std::vector<ValType> results) {
+  assert(defined_.empty() &&
+         "imports must be declared before defined functions");
+  const uint32_t type_index = add_type(std::move(params), std::move(results));
+  imported_.push_back({std::move(module), std::move(name), type_index});
+  return static_cast<uint32_t>(imported_.size() - 1);
+}
+
+FnBuilder& ModuleBuilder::add_function(std::string export_name,
+                                       std::vector<ValType> params,
+                                       std::vector<ValType> results) {
+  const uint32_t param_count = static_cast<uint32_t>(params.size());
+  const uint32_t type_index = add_type(std::move(params), std::move(results));
+  auto body = std::unique_ptr<FnBuilder>(new FnBuilder());
+  body->param_count_hint_ = param_count;
+  FnBuilder& ref = *body;
+  defined_.push_back({type_index, std::move(export_name), std::move(body)});
+  return ref;
+}
+
+void ModuleBuilder::add_memory(uint32_t min_pages,
+                               std::optional<uint32_t> max_pages,
+                               bool export_it) {
+  memory_ = Limits{min_pages, max_pages};
+  export_memory_ = export_it;
+}
+
+void ModuleBuilder::add_table(uint32_t min, std::optional<uint32_t> max) {
+  table_ = Limits{min, max};
+}
+
+uint32_t ModuleBuilder::add_global(ValType type, bool mutable_,
+                                   int64_t init_value,
+                                   std::string export_name) {
+  globals_.push_back({type, mutable_, init_value, std::move(export_name)});
+  return static_cast<uint32_t>(globals_.size() - 1);
+}
+
+void ModuleBuilder::add_data(uint32_t offset, std::vector<uint8_t> bytes) {
+  datas_.push_back({offset, std::move(bytes)});
+}
+
+void ModuleBuilder::add_data(uint32_t offset, std::string_view text) {
+  datas_.push_back({offset, std::vector<uint8_t>(text.begin(), text.end())});
+}
+
+void ModuleBuilder::add_elements(uint32_t offset,
+                                 std::vector<uint32_t> func_indices) {
+  elems_.push_back({offset, std::move(func_indices)});
+}
+
+void ModuleBuilder::set_start(uint32_t func_index) { start_ = func_index; }
+
+void ModuleBuilder::add_custom_section(std::string name,
+                                       std::vector<uint8_t> bytes) {
+  customs_.push_back({std::move(name), std::move(bytes)});
+}
+
+uint32_t ModuleBuilder::next_function_index() const {
+  return static_cast<uint32_t>(imported_.size() + defined_.size());
+}
+
+namespace {
+void emit_section(ByteWriter& out, uint8_t id, const ByteWriter& payload) {
+  out.u8(id);
+  out.length_prefixed(payload);
+}
+}  // namespace
+
+std::vector<uint8_t> ModuleBuilder::build() const {
+  ByteWriter out;
+  out.raw(std::array<uint8_t, 8>{0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00,
+                                 0x00});
+
+  if (!types_.empty()) {
+    ByteWriter s;
+    s.var_u32(static_cast<uint32_t>(types_.size()));
+    for (const FuncType& t : types_) {
+      s.u8(0x60);
+      s.var_u32(static_cast<uint32_t>(t.params.size()));
+      for (const ValType v : t.params) s.u8(static_cast<uint8_t>(v));
+      s.var_u32(static_cast<uint32_t>(t.results.size()));
+      for (const ValType v : t.results) s.u8(static_cast<uint8_t>(v));
+    }
+    emit_section(out, 1, s);
+  }
+
+  if (!imported_.empty()) {
+    ByteWriter s;
+    s.var_u32(static_cast<uint32_t>(imported_.size()));
+    for (const ImportedFunction& f : imported_) {
+      s.name(f.module);
+      s.name(f.name);
+      s.u8(0);
+      s.var_u32(f.type_index);
+    }
+    emit_section(out, 2, s);
+  }
+
+  if (!defined_.empty()) {
+    ByteWriter s;
+    s.var_u32(static_cast<uint32_t>(defined_.size()));
+    for (const DefinedFunction& f : defined_) s.var_u32(f.type_index);
+    emit_section(out, 3, s);
+  }
+
+  if (table_) {
+    ByteWriter s;
+    s.var_u32(1);
+    s.u8(0x70);
+    s.u8(table_->max ? 1 : 0);
+    s.var_u32(table_->min);
+    if (table_->max) s.var_u32(*table_->max);
+    emit_section(out, 4, s);
+  }
+
+  if (memory_) {
+    ByteWriter s;
+    s.var_u32(1);
+    s.u8(memory_->max ? 1 : 0);
+    s.var_u32(memory_->min);
+    if (memory_->max) s.var_u32(*memory_->max);
+    emit_section(out, 5, s);
+  }
+
+  if (!globals_.empty()) {
+    ByteWriter s;
+    s.var_u32(static_cast<uint32_t>(globals_.size()));
+    for (const BuiltGlobal& g : globals_) {
+      s.u8(static_cast<uint8_t>(g.type));
+      s.u8(g.mutable_ ? 1 : 0);
+      switch (g.type) {
+        case ValType::kI32:
+          s.u8(kI32Const);
+          s.var_s32(static_cast<int32_t>(g.init));
+          break;
+        case ValType::kI64:
+          s.u8(kI64Const);
+          s.var_s64(g.init);
+          break;
+        case ValType::kF32: {
+          s.u8(kF32Const);
+          const float f = static_cast<float>(g.init);
+          uint32_t bits;
+          std::memcpy(&bits, &f, 4);
+          s.fixed_u32(bits);
+          break;
+        }
+        case ValType::kF64: {
+          s.u8(kF64Const);
+          const double d = static_cast<double>(g.init);
+          uint64_t bits;
+          std::memcpy(&bits, &d, 8);
+          s.fixed_u64(bits);
+          break;
+        }
+        case ValType::kFuncRef:
+          assert(false && "funcref globals unsupported");
+          break;
+      }
+      s.u8(kEnd);
+    }
+    emit_section(out, 6, s);
+  }
+
+  {
+    ByteWriter s;
+    uint32_t count = export_memory_ && memory_ ? 1 : 0;
+    for (const DefinedFunction& f : defined_) {
+      if (!f.export_name.empty()) ++count;
+    }
+    for (const BuiltGlobal& g : globals_) {
+      if (!g.export_name.empty()) ++count;
+    }
+    if (count > 0) {
+      s.var_u32(count);
+      uint32_t func_index = static_cast<uint32_t>(imported_.size());
+      for (const DefinedFunction& f : defined_) {
+        if (!f.export_name.empty()) {
+          s.name(f.export_name);
+          s.u8(0);
+          s.var_u32(func_index);
+        }
+        ++func_index;
+      }
+      if (export_memory_ && memory_) {
+        s.name("memory");
+        s.u8(2);
+        s.var_u32(0);
+      }
+      uint32_t global_index = 0;
+      for (const BuiltGlobal& g : globals_) {
+        if (!g.export_name.empty()) {
+          s.name(g.export_name);
+          s.u8(3);
+          s.var_u32(global_index);
+        }
+        ++global_index;
+      }
+      emit_section(out, 7, s);
+    }
+  }
+
+  if (start_) {
+    ByteWriter s;
+    s.var_u32(*start_);
+    emit_section(out, 8, s);
+  }
+
+  if (!elems_.empty()) {
+    ByteWriter s;
+    s.var_u32(static_cast<uint32_t>(elems_.size()));
+    for (const BuiltElem& e : elems_) {
+      s.var_u32(0);
+      s.u8(kI32Const);
+      s.var_s32(static_cast<int32_t>(e.offset));
+      s.u8(kEnd);
+      s.var_u32(static_cast<uint32_t>(e.funcs.size()));
+      for (const uint32_t f : e.funcs) s.var_u32(f);
+    }
+    emit_section(out, 9, s);
+  }
+
+  if (!defined_.empty()) {
+    ByteWriter s;
+    s.var_u32(static_cast<uint32_t>(defined_.size()));
+    for (const DefinedFunction& f : defined_) {
+      ByteWriter body;
+      // Compress locals into (count, type) runs.
+      const std::vector<ValType>& locals = f.body->locals_;
+      std::vector<std::pair<uint32_t, ValType>> runs;
+      for (const ValType t : locals) {
+        if (!runs.empty() && runs.back().second == t) {
+          ++runs.back().first;
+        } else {
+          runs.push_back({1, t});
+        }
+      }
+      body.var_u32(static_cast<uint32_t>(runs.size()));
+      for (const auto& [count, type] : runs) {
+        body.var_u32(count);
+        body.u8(static_cast<uint8_t>(type));
+      }
+      body.raw(f.body->code_.data());
+      s.length_prefixed(body);
+    }
+    emit_section(out, 10, s);
+  }
+
+  if (!datas_.empty()) {
+    ByteWriter s;
+    s.var_u32(static_cast<uint32_t>(datas_.size()));
+    for (const BuiltData& d : datas_) {
+      s.var_u32(0);
+      s.u8(kI32Const);
+      s.var_s32(static_cast<int32_t>(d.offset));
+      s.u8(kEnd);
+      s.var_u32(static_cast<uint32_t>(d.bytes.size()));
+      s.raw(d.bytes);
+    }
+    emit_section(out, 11, s);
+  }
+
+  for (const CustomSection& c : customs_) {
+    ByteWriter s;
+    s.name(c.name);
+    s.raw(c.bytes);
+    emit_section(out, 0, s);
+  }
+
+  return std::move(out).take();
+}
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,391 @@
+#include "wasm/decoder.hpp"
+
+#include <array>
+
+#include "support/byteio.hpp"
+#include "wasm/opcodes.hpp"
+
+namespace wasmctr::wasm {
+namespace {
+
+constexpr std::array<uint8_t, 4> kMagic = {0x00, 0x61, 0x73, 0x6d};
+constexpr std::array<uint8_t, 4> kVersion = {0x01, 0x00, 0x00, 0x00};
+
+// Implementation limits (defense against hostile inputs).
+constexpr uint32_t kMaxItems = 1u << 20;
+constexpr uint32_t kMaxLocals = 50000;
+
+enum SectionId : uint8_t {
+  kSectionCustom = 0,
+  kSectionType = 1,
+  kSectionImport = 2,
+  kSectionFunction = 3,
+  kSectionTable = 4,
+  kSectionMemory = 5,
+  kSectionGlobal = 6,
+  kSectionExport = 7,
+  kSectionStart = 8,
+  kSectionElement = 9,
+  kSectionCode = 10,
+  kSectionData = 11,
+};
+
+Result<ValType> read_val_type(ByteReader& r) {
+  WASMCTR_ASSIGN_OR_RETURN(uint8_t b, r.u8());
+  if (!is_num_type(b) && b != 0x70) {
+    return malformed("invalid value type 0x" + std::to_string(b));
+  }
+  return static_cast<ValType>(b);
+}
+
+Result<Limits> read_limits(ByteReader& r) {
+  WASMCTR_ASSIGN_OR_RETURN(uint8_t flags, r.u8());
+  if (flags > 1) return malformed("invalid limits flags");
+  Limits lim;
+  WASMCTR_ASSIGN_OR_RETURN(lim.min, r.var_u32());
+  if (flags == 1) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t max, r.var_u32());
+    if (max < lim.min) return malformed("limits: max < min");
+    lim.max = max;
+  }
+  return lim;
+}
+
+Result<GlobalType> read_global_type(ByteReader& r) {
+  GlobalType g;
+  WASMCTR_ASSIGN_OR_RETURN(g.value_type, read_val_type(r));
+  WASMCTR_ASSIGN_OR_RETURN(uint8_t mut, r.u8());
+  if (mut > 1) return malformed("invalid global mutability");
+  g.mutable_ = mut == 1;
+  return g;
+}
+
+Result<TableType> read_table_type(ByteReader& r) {
+  WASMCTR_ASSIGN_OR_RETURN(uint8_t elem, r.u8());
+  if (elem != 0x70) return malformed("table element type must be funcref");
+  TableType t;
+  WASMCTR_ASSIGN_OR_RETURN(t.limits, read_limits(r));
+  return t;
+}
+
+/// Read a constant expression terminated by `end`.
+Result<ConstExpr> read_const_expr(ByteReader& r) {
+  ConstExpr e;
+  WASMCTR_ASSIGN_OR_RETURN(uint8_t op, r.u8());
+  switch (op) {
+    case kI32Const: {
+      e.kind = ConstExpr::Kind::kI32;
+      WASMCTR_ASSIGN_OR_RETURN(e.i32, r.var_s32());
+      break;
+    }
+    case kI64Const: {
+      e.kind = ConstExpr::Kind::kI64;
+      WASMCTR_ASSIGN_OR_RETURN(e.i64, r.var_s64());
+      break;
+    }
+    case kF32Const: {
+      e.kind = ConstExpr::Kind::kF32;
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t bits, r.fixed_u32());
+      std::memcpy(&e.f32, &bits, 4);
+      break;
+    }
+    case kF64Const: {
+      e.kind = ConstExpr::Kind::kF64;
+      WASMCTR_ASSIGN_OR_RETURN(uint64_t bits, r.fixed_u64());
+      std::memcpy(&e.f64, &bits, 8);
+      break;
+    }
+    case kGlobalGet: {
+      e.kind = ConstExpr::Kind::kGlobalGet;
+      WASMCTR_ASSIGN_OR_RETURN(e.global_index, r.var_u32());
+      break;
+    }
+    default:
+      return malformed("unsupported constant expression opcode");
+  }
+  WASMCTR_ASSIGN_OR_RETURN(uint8_t end, r.u8());
+  if (end != kEnd) return malformed("constant expression missing end");
+  return e;
+}
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const uint8_t> bytes) : reader_(bytes) {}
+
+  Result<Module> run() {
+    WASMCTR_RETURN_IF_ERROR(check_header());
+    int last_section = -1;
+    while (!reader_.at_end()) {
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t id, reader_.u8());
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t size, reader_.var_u32());
+      WASMCTR_ASSIGN_OR_RETURN(ByteReader section, reader_.sub_reader(size));
+      if (id != kSectionCustom) {
+        if (id > kSectionData) {
+          return malformed("unknown section id " + std::to_string(id));
+        }
+        if (static_cast<int>(id) <= last_section) {
+          return malformed("section out of order: " + std::to_string(id));
+        }
+        last_section = id;
+      }
+      WASMCTR_RETURN_IF_ERROR(decode_section(id, section));
+      if (!section.at_end()) {
+        return malformed("section " + std::to_string(id) +
+                         " has trailing bytes");
+      }
+    }
+    if (module_.bodies.size() != module_.functions.size()) {
+      return malformed("function and code section counts differ");
+    }
+    return std::move(module_);
+  }
+
+ private:
+  Status check_header() {
+    auto magic = reader_.bytes(4);
+    if (!magic || !std::equal(kMagic.begin(), kMagic.end(), magic->begin())) {
+      return malformed("bad wasm magic");
+    }
+    auto version = reader_.bytes(4);
+    if (!version ||
+        !std::equal(kVersion.begin(), kVersion.end(), version->begin())) {
+      return malformed("unsupported wasm version");
+    }
+    return Status::ok();
+  }
+
+  Status decode_section(uint8_t id, ByteReader& r) {
+    switch (id) {
+      case kSectionCustom: return decode_custom(r);
+      case kSectionType: return decode_types(r);
+      case kSectionImport: return decode_imports(r);
+      case kSectionFunction: return decode_functions(r);
+      case kSectionTable: return decode_tables(r);
+      case kSectionMemory: return decode_memories(r);
+      case kSectionGlobal: return decode_globals(r);
+      case kSectionExport: return decode_exports(r);
+      case kSectionStart: return decode_start(r);
+      case kSectionElement: return decode_elements(r);
+      case kSectionCode: return decode_code(r);
+      case kSectionData: return decode_data(r);
+      default: return malformed("unknown section");
+    }
+  }
+
+  Result<uint32_t> read_count(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, r.var_u32());
+    if (n > kMaxItems) return malformed("item count exceeds limit");
+    return n;
+  }
+
+  Status decode_custom(ByteReader& r) {
+    CustomSection c;
+    WASMCTR_ASSIGN_OR_RETURN(c.name, r.name());
+    WASMCTR_ASSIGN_OR_RETURN(auto rest, r.bytes(r.remaining()));
+    c.bytes.assign(rest.begin(), rest.end());
+    module_.customs.push_back(std::move(c));
+    return Status::ok();
+  }
+
+  Status decode_types(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    module_.types.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t form, r.u8());
+      if (form != 0x60) return malformed("type form must be func (0x60)");
+      FuncType t;
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t np, read_count(r));
+      t.params.reserve(np);
+      for (uint32_t p = 0; p < np; ++p) {
+        WASMCTR_ASSIGN_OR_RETURN(ValType vt, read_val_type(r));
+        t.params.push_back(vt);
+      }
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t nr, read_count(r));
+      if (nr > 1) return malformed("multi-value results not supported");
+      for (uint32_t q = 0; q < nr; ++q) {
+        WASMCTR_ASSIGN_OR_RETURN(ValType vt, read_val_type(r));
+        t.results.push_back(vt);
+      }
+      module_.types.push_back(std::move(t));
+    }
+    return Status::ok();
+  }
+
+  Status decode_imports(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    module_.imports.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Import imp;
+      WASMCTR_ASSIGN_OR_RETURN(imp.module, r.name());
+      WASMCTR_ASSIGN_OR_RETURN(imp.name, r.name());
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t kind, r.u8());
+      switch (kind) {
+        case 0: {
+          imp.kind = ImportKind::kFunc;
+          WASMCTR_ASSIGN_OR_RETURN(imp.func_type_index, r.var_u32());
+          break;
+        }
+        case 1: {
+          imp.kind = ImportKind::kTable;
+          WASMCTR_ASSIGN_OR_RETURN(imp.table, read_table_type(r));
+          break;
+        }
+        case 2: {
+          imp.kind = ImportKind::kMemory;
+          WASMCTR_ASSIGN_OR_RETURN(imp.memory.limits, read_limits(r));
+          break;
+        }
+        case 3: {
+          imp.kind = ImportKind::kGlobal;
+          WASMCTR_ASSIGN_OR_RETURN(imp.global, read_global_type(r));
+          break;
+        }
+        default: return malformed("invalid import kind");
+      }
+      module_.imports.push_back(std::move(imp));
+    }
+    return Status::ok();
+  }
+
+  Status decode_functions(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    module_.functions.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t type_index, r.var_u32());
+      module_.functions.push_back(type_index);
+    }
+    return Status::ok();
+  }
+
+  Status decode_tables(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    for (uint32_t i = 0; i < n; ++i) {
+      WASMCTR_ASSIGN_OR_RETURN(TableType t, read_table_type(r));
+      module_.tables.push_back(t);
+    }
+    return Status::ok();
+  }
+
+  Status decode_memories(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    for (uint32_t i = 0; i < n; ++i) {
+      MemType m;
+      WASMCTR_ASSIGN_OR_RETURN(m.limits, read_limits(r));
+      if (m.limits.min > kMaxMemoryPages ||
+          (m.limits.max && *m.limits.max > kMaxMemoryPages)) {
+        return malformed("memory limits exceed 4 GiB");
+      }
+      module_.memories.push_back(m);
+    }
+    return Status::ok();
+  }
+
+  Status decode_globals(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    for (uint32_t i = 0; i < n; ++i) {
+      Global g;
+      WASMCTR_ASSIGN_OR_RETURN(g.type, read_global_type(r));
+      WASMCTR_ASSIGN_OR_RETURN(g.init, read_const_expr(r));
+      module_.globals.push_back(g);
+    }
+    return Status::ok();
+  }
+
+  Status decode_exports(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    for (uint32_t i = 0; i < n; ++i) {
+      Export e;
+      WASMCTR_ASSIGN_OR_RETURN(e.name, r.name());
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t kind, r.u8());
+      if (kind > 3) return malformed("invalid export kind");
+      e.kind = static_cast<ExportKind>(kind);
+      WASMCTR_ASSIGN_OR_RETURN(e.index, r.var_u32());
+      module_.exports.push_back(std::move(e));
+    }
+    return Status::ok();
+  }
+
+  Status decode_start(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t index, r.var_u32());
+    module_.start = index;
+    return Status::ok();
+  }
+
+  Status decode_elements(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    for (uint32_t i = 0; i < n; ++i) {
+      ElementSegment seg;
+      WASMCTR_ASSIGN_OR_RETURN(seg.table_index, r.var_u32());
+      if (seg.table_index != 0) {
+        return malformed("element segment table index must be 0 (MVP)");
+      }
+      WASMCTR_ASSIGN_OR_RETURN(seg.offset, read_const_expr(r));
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t count, read_count(r));
+      seg.func_indices.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t f, r.var_u32());
+        seg.func_indices.push_back(f);
+      }
+      module_.elements.push_back(std::move(seg));
+    }
+    return Status::ok();
+  }
+
+  Status decode_code(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    if (n != module_.functions.size()) {
+      return malformed("code count does not match function section");
+    }
+    module_.bodies.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t body_size, r.var_u32());
+      WASMCTR_ASSIGN_OR_RETURN(ByteReader body, r.sub_reader(body_size));
+      FunctionBody fb;
+      fb.type_index = module_.functions[i];
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t num_local_decls, body.var_u32());
+      uint64_t total_locals = 0;
+      for (uint32_t d = 0; d < num_local_decls; ++d) {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t count, body.var_u32());
+        WASMCTR_ASSIGN_OR_RETURN(ValType vt, read_val_type(body));
+        total_locals += count;
+        if (total_locals > kMaxLocals) return malformed("too many locals");
+        fb.locals.insert(fb.locals.end(), count, vt);
+      }
+      WASMCTR_ASSIGN_OR_RETURN(auto code, body.bytes(body.remaining()));
+      if (code.empty() || code.back() != kEnd) {
+        return malformed("function body must end with end opcode");
+      }
+      fb.code.assign(code.begin(), code.end());
+      module_.bodies.push_back(std::move(fb));
+    }
+    return Status::ok();
+  }
+
+  Status decode_data(ByteReader& r) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t n, read_count(r));
+    for (uint32_t i = 0; i < n; ++i) {
+      DataSegment seg;
+      WASMCTR_ASSIGN_OR_RETURN(seg.memory_index, r.var_u32());
+      if (seg.memory_index != 0) {
+        return malformed("data segment memory index must be 0 (MVP)");
+      }
+      WASMCTR_ASSIGN_OR_RETURN(seg.offset, read_const_expr(r));
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t len, r.var_u32());
+      WASMCTR_ASSIGN_OR_RETURN(auto bytes, r.bytes(len));
+      seg.bytes.assign(bytes.begin(), bytes.end());
+      module_.datas.push_back(std::move(seg));
+    }
+    return Status::ok();
+  }
+
+  ByteReader reader_;
+  Module module_;
+};
+
+}  // namespace
+
+Result<Module> decode_module(std::span<const uint8_t> bytes) {
+  return Decoder(bytes).run();
+}
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,19 @@
+// WebAssembly binary format decoder.
+//
+// Parses the section layout, import/export tables, and function bodies into
+// a Module. Structural errors return kMalformed. Semantic checking (types,
+// stack discipline) is the validator's job — see validator.hpp.
+#pragma once
+
+#include <span>
+
+#include "support/status.hpp"
+#include "wasm/module.hpp"
+
+namespace wasmctr::wasm {
+
+/// Decode a complete binary module. The returned Module owns copies of all
+/// data; `bytes` may be freed afterwards.
+Result<Module> decode_module(std::span<const uint8_t> bytes);
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,144 @@
+// Module instantiation and invocation — the engine's embedder API.
+//
+// This interpreter is deliberately WAMR-shaped: no JIT, compact runtime
+// structures, bytecode executed in place with a precomputed branch
+// side-table. Instance::resident_bytes() reports the engine's real
+// allocations; the container memory model consumes that number.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+#include "wasm/exec/memory.hpp"
+#include "wasm/exec/value.hpp"
+#include "wasm/module.hpp"
+
+namespace wasmctr::wasm {
+
+class Instance;
+
+/// A host (native) function callable from Wasm. Receives the instance for
+/// linear-memory access (how WASI reads/writes guest buffers).
+struct HostFunc {
+  FuncType type;
+  std::function<Result<std::optional<Value>>(Instance&,
+                                             std::span<const Value>)>
+      fn;
+};
+
+/// Resolves module imports at instantiation time. Function imports only;
+/// the reproduction's modules import nothing else.
+class ImportResolver {
+ public:
+  /// Register `module`.`name`. Later registrations override earlier ones.
+  void provide(std::string module, std::string name, HostFunc fn);
+
+  [[nodiscard]] const HostFunc* lookup(std::string_view module,
+                                       std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return funcs_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, HostFunc, std::less<>>
+      funcs_;
+};
+
+/// Execution limits enforced by the sandbox (paper §III-C item 3).
+struct ExecLimits {
+  /// Cap on memory.grow beyond the module's own max (0 = module limit only).
+  uint32_t max_memory_pages = 0;
+  /// Maximum nested call depth before "call stack exhausted".
+  uint32_t max_call_depth = 512;
+  /// Instruction budget; 0 = unmetered.
+  uint64_t fuel = 0;
+};
+
+/// Result of executing an exported function.
+using InvokeResult = Result<std::optional<Value>>;
+
+/// An instantiated module ready to run.
+class Instance {
+ public:
+  /// Instantiate: resolve imports, allocate memory/table/globals, run
+  /// element/data segments, then the start function (if any).
+  static Result<std::unique_ptr<Instance>> instantiate(
+      Module module, const ImportResolver& imports,
+      ExecLimits limits = {});
+
+  ~Instance();
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  /// Call an exported function by name.
+  InvokeResult invoke(std::string_view export_name,
+                      std::span<const Value> args);
+  InvokeResult invoke(std::string_view export_name) {
+    return invoke(export_name, {});
+  }
+
+  /// Call by function index (import-aware index space).
+  InvokeResult invoke_index(uint32_t func_index, std::span<const Value> args);
+
+  [[nodiscard]] const Module& module() const noexcept { return module_; }
+  [[nodiscard]] LinearMemory* memory() noexcept { return memory_.get(); }
+
+  /// Exported memory lookup (nullptr if the module exports none).
+  [[nodiscard]] LinearMemory* exported_memory();
+
+  [[nodiscard]] Value global(uint32_t index) const;
+  void set_global(uint32_t index, Value v);
+
+  /// Remaining fuel (meaningful when limits.fuel > 0).
+  [[nodiscard]] uint64_t fuel_remaining() const noexcept { return fuel_; }
+  /// Instructions retired since instantiation.
+  [[nodiscard]] uint64_t instructions_retired() const noexcept {
+    return retired_;
+  }
+
+  /// Engine-resident bytes for this instance: module structures, linear
+  /// memory, table, globals, side-tables, frame arena high-water mark.
+  [[nodiscard]] uint64_t resident_bytes() const;
+
+  /// Embedder data slot (WASI context hangs here).
+  void set_user_data(void* p) noexcept { user_data_ = p; }
+  [[nodiscard]] void* user_data() const noexcept { return user_data_; }
+
+ private:
+  friend class Interpreter;
+
+  explicit Instance(Module module) : module_(std::move(module)) {}
+
+  Status build_side_tables();
+
+  Module module_;
+  // Imported function slots. Copied at instantiation so the resolver need
+  // not outlive the instance.
+  std::vector<HostFunc> host_funcs_;
+  uint32_t num_imported_funcs_ = 0;
+  std::unique_ptr<LinearMemory> memory_;
+  std::vector<uint32_t> table_;  // funcref entries; ~0u = null
+  std::optional<uint32_t> table_max_;
+  std::vector<Value> globals_;
+  ExecLimits limits_;
+  uint64_t fuel_ = 0;
+  bool metered_ = false;
+  uint64_t retired_ = 0;
+  uint32_t call_depth_ = 0;
+  std::size_t frame_high_water_ = 0;
+  void* user_data_ = nullptr;
+
+  /// Per defined function: map from pc of block/loop/if to matching
+  /// (end_pc, else_pc). Built once at instantiation.
+  struct JumpTargets {
+    std::map<uint32_t, std::pair<uint32_t, uint32_t>> targets;
+  };
+  std::vector<JumpTargets> jump_tables_;
+};
+
+}  // namespace wasmctr::wasm

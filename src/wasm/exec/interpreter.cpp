@@ -1,0 +1,1272 @@
+// Bytecode interpreter: instantiation, branch side-tables, and the dispatch
+// loop. Validated modules only — the caller runs validate_module first;
+// instantiate re-checks this in debug builds.
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "support/byteio.hpp"
+#include "wasm/exec/instance.hpp"
+#include "wasm/opcodes.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasmctr::wasm {
+
+namespace {
+
+constexpr uint32_t kNullFuncRef = ~uint32_t{0};
+
+Value eval_const(const ConstExpr& e, const std::vector<Value>& globals) {
+  switch (e.kind) {
+    case ConstExpr::Kind::kI32: return Value::from_i32(e.i32);
+    case ConstExpr::Kind::kI64: return Value::from_i64(e.i64);
+    case ConstExpr::Kind::kF32: return Value::from_f32(e.f32);
+    case ConstExpr::Kind::kF64: return Value::from_f64(e.f64);
+    case ConstExpr::Kind::kGlobalGet: return globals[e.global_index];
+  }
+  return Value::from_i32(0);
+}
+
+/// Advance `r` past the immediates of `op` (used by the side-table scan).
+Status skip_immediates(ByteReader& r, uint8_t op) {
+  switch (op) {
+    case kBlock:
+    case kLoop:
+    case kIf: {
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t bt, r.u8());
+      (void)bt;
+      return Status::ok();
+    }
+    case kBr:
+    case kBrIf:
+    case kCall:
+    case kLocalGet:
+    case kLocalSet:
+    case kLocalTee:
+    case kGlobalGet:
+    case kGlobalSet: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t imm, r.var_u32());
+      (void)imm;
+      return Status::ok();
+    }
+    case kBrTable: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t n, r.var_u32());
+      for (uint32_t i = 0; i <= n; ++i) {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t d, r.var_u32());
+        (void)d;
+      }
+      return Status::ok();
+    }
+    case kCallIndirect: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t t, r.var_u32());
+      (void)t;
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t tbl, r.u8());
+      (void)tbl;
+      return Status::ok();
+    }
+    case kMemorySize:
+    case kMemoryGrow: {
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t z, r.u8());
+      (void)z;
+      return Status::ok();
+    }
+    case kI32Const: {
+      WASMCTR_ASSIGN_OR_RETURN(int32_t v, r.var_s32());
+      (void)v;
+      return Status::ok();
+    }
+    case kI64Const: {
+      WASMCTR_ASSIGN_OR_RETURN(int64_t v, r.var_s64());
+      (void)v;
+      return Status::ok();
+    }
+    case kF32Const: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t v, r.fixed_u32());
+      (void)v;
+      return Status::ok();
+    }
+    case kF64Const: {
+      WASMCTR_ASSIGN_OR_RETURN(uint64_t v, r.fixed_u64());
+      (void)v;
+      return Status::ok();
+    }
+    case kPrefixFC: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t sub, r.var_u32());
+      switch (sub) {
+        case kMemoryCopy: {
+          WASMCTR_ASSIGN_OR_RETURN(uint8_t a, r.u8());
+          WASMCTR_ASSIGN_OR_RETURN(uint8_t b, r.u8());
+          (void)a;
+          (void)b;
+          return Status::ok();
+        }
+        case kMemoryFill: {
+          WASMCTR_ASSIGN_OR_RETURN(uint8_t a, r.u8());
+          (void)a;
+          return Status::ok();
+        }
+        default: return Status::ok();  // trunc_sat: no immediates
+      }
+    }
+    default:
+      if (op >= kI32Load && op <= kI64Store32) {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t align, r.var_u32());
+        (void)align;
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t offset, r.var_u32());
+        (void)offset;
+      }
+      return Status::ok();
+  }
+}
+
+// ---- float helpers with spec semantics ----
+
+template <typename F>
+F wasm_fmin(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? a : b;  // min(-0,+0) = -0
+  return a < b ? a : b;
+}
+
+template <typename F>
+F wasm_fmax(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? b : a;  // max(-0,+0) = +0
+  return a > b ? a : b;
+}
+
+/// Checked float→int truncation. `IMin`/`IMax` are the integer bounds.
+template <typename I, typename F>
+Result<I> trunc_checked(F v) {
+  if (std::isnan(v)) return trap_error("invalid conversion to integer");
+  const F truncated = std::trunc(v);
+  // Compare in F-space against the representable range.
+  constexpr F lo = static_cast<F>(std::numeric_limits<I>::min());
+  // max+1 is exactly representable for all four (I, F) pairs in use.
+  const F hi = std::ldexp(F(1), std::numeric_limits<I>::digits +
+                                    (std::numeric_limits<I>::is_signed ? 0 : 0));
+  if (truncated < lo || truncated >= hi) {
+    return trap_error("integer overflow");
+  }
+  return static_cast<I>(truncated);
+}
+
+template <typename I, typename F>
+I trunc_sat(F v) {
+  if (std::isnan(v)) return 0;
+  if (v <= static_cast<F>(std::numeric_limits<I>::min())) {
+    return std::numeric_limits<I>::min();
+  }
+  const F hi = std::ldexp(F(1), std::numeric_limits<I>::digits);
+  if (v >= hi) return std::numeric_limits<I>::max();
+  return static_cast<I>(std::trunc(v));
+}
+
+}  // namespace
+
+// ---------- ImportResolver ----------
+
+void ImportResolver::provide(std::string module, std::string name,
+                             HostFunc fn) {
+  funcs_.insert_or_assign({std::move(module), std::move(name)}, std::move(fn));
+}
+
+const HostFunc* ImportResolver::lookup(std::string_view module,
+                                       std::string_view name) const {
+  // std::map<pair<string,string>> has no heterogeneous pair lookup; the
+  // resolver holds a handful of entries, so a linear scan is fine and
+  // avoids temporary allocations.
+  for (const auto& [key, fn] : funcs_) {
+    if (key.first == module && key.second == name) return &fn;
+  }
+  return nullptr;
+}
+
+// ---------- Instance ----------
+
+Instance::~Instance() = default;
+
+Result<std::unique_ptr<Instance>> Instance::instantiate(
+    Module module, const ImportResolver& imports, ExecLimits limits) {
+  assert(validate_module(module).is_ok() &&
+         "instantiate requires a validated module");
+  auto inst = std::unique_ptr<Instance>(new Instance(std::move(module)));
+  const Module& m = inst->module_;
+  inst->limits_ = limits;
+  inst->metered_ = limits.fuel > 0;
+  inst->fuel_ = limits.fuel;
+
+  // Resolve imports.
+  for (const Import& imp : m.imports) {
+    switch (imp.kind) {
+      case ImportKind::kFunc: {
+        const HostFunc* host = imports.lookup(imp.module, imp.name);
+        if (host == nullptr) {
+          return not_found("unresolved import " + imp.module + "." + imp.name);
+        }
+        if (!(host->type == m.types[imp.func_type_index])) {
+          return validation_error("import signature mismatch for " +
+                                  imp.module + "." + imp.name);
+        }
+        inst->host_funcs_.push_back(*host);
+        break;
+      }
+      default:
+        return unimplemented("only function imports are supported");
+    }
+  }
+  inst->num_imported_funcs_ = static_cast<uint32_t>(inst->host_funcs_.size());
+
+  // Memory.
+  if (!m.memories.empty()) {
+    const Limits& lim = m.memories[0].limits;
+    std::optional<uint32_t> max = lim.max;
+    if (limits.max_memory_pages != 0) {
+      max = max ? std::min(*max, limits.max_memory_pages)
+                : limits.max_memory_pages;
+      if (lim.min > *max) {
+        return resource_exhausted("memory min exceeds sandbox limit");
+      }
+    }
+    inst->memory_ = std::make_unique<LinearMemory>(lim.min, max);
+  }
+
+  // Table.
+  if (!m.tables.empty()) {
+    inst->table_.assign(m.tables[0].limits.min, kNullFuncRef);
+    inst->table_max_ = m.tables[0].limits.max;
+  }
+
+  // Globals (imported globals unsupported; validated above).
+  for (const Global& g : m.globals) {
+    inst->globals_.push_back(eval_const(g.init, inst->globals_));
+  }
+
+  // Element segments (bounds-check, then write).
+  for (const ElementSegment& seg : m.elements) {
+    const Value off = eval_const(seg.offset, inst->globals_);
+    const uint64_t base = off.u32();
+    if (base + seg.func_indices.size() > inst->table_.size()) {
+      return trap_error("element segment out of bounds");
+    }
+    for (std::size_t i = 0; i < seg.func_indices.size(); ++i) {
+      inst->table_[base + i] = seg.func_indices[i];
+    }
+  }
+
+  // Data segments.
+  for (const DataSegment& seg : m.datas) {
+    const Value off = eval_const(seg.offset, inst->globals_);
+    if (inst->memory_ == nullptr) {
+      return trap_error("data segment without memory");
+    }
+    WASMCTR_RETURN_IF_ERROR(inst->memory_->write(off.u32(), seg.bytes));
+  }
+
+  WASMCTR_RETURN_IF_ERROR(inst->build_side_tables());
+
+  // Start function.
+  if (m.start) {
+    auto r = inst->invoke_index(*m.start, {});
+    if (!r) return r.status();
+  }
+  return inst;
+}
+
+Status Instance::build_side_tables() {
+  jump_tables_.resize(module_.bodies.size());
+  for (std::size_t fi = 0; fi < module_.bodies.size(); ++fi) {
+    const std::vector<uint8_t>& code = module_.bodies[fi].code;
+    ByteReader r(code);
+    // Stack of (start_pc, else_pc) for open blocks; slot 0 is the implicit
+    // function block whose end is the final end opcode.
+    struct Open {
+      uint32_t start;
+      uint32_t else_pc;
+    };
+    std::vector<Open> open;
+    open.push_back({0, 0});
+    while (!r.at_end()) {
+      const uint32_t pc = static_cast<uint32_t>(r.pos());
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t op, r.u8());
+      switch (op) {
+        case kBlock:
+        case kLoop:
+        case kIf:
+          open.push_back({pc, 0});
+          WASMCTR_RETURN_IF_ERROR(skip_immediates(r, op));
+          break;
+        case kElse:
+          if (open.size() < 2) return malformed("else outside block");
+          open.back().else_pc = pc;
+          break;
+        case kEnd: {
+          const Open o = open.back();
+          open.pop_back();
+          if (!open.empty() || o.start != 0) {
+            jump_tables_[fi].targets[o.start] = {pc, o.else_pc};
+          }
+          break;
+        }
+        default:
+          WASMCTR_RETURN_IF_ERROR(skip_immediates(r, op));
+          break;
+      }
+    }
+    if (!open.empty()) return malformed("unbalanced blocks in body");
+  }
+  return Status::ok();
+}
+
+LinearMemory* Instance::exported_memory() {
+  for (const Export& e : module_.exports) {
+    if (e.kind == ExportKind::kMemory) return memory_.get();
+  }
+  return nullptr;
+}
+
+Value Instance::global(uint32_t index) const { return globals_.at(index); }
+void Instance::set_global(uint32_t index, Value v) { globals_.at(index) = v; }
+
+uint64_t Instance::resident_bytes() const {
+  uint64_t total = module_.resident_bytes();
+  if (memory_) total += memory_->resident_bytes();
+  total += table_.size() * sizeof(uint32_t);
+  total += globals_.size() * sizeof(Value);
+  for (const JumpTargets& jt : jump_tables_) {
+    // ~3 words per map node on a 64-bit libstdc++.
+    total += jt.targets.size() * (sizeof(std::pair<uint32_t, std::pair<uint32_t, uint32_t>>) + 40);
+  }
+  total += frame_high_water_;
+  return total;
+}
+
+// ---------- Interpreter ----------
+
+/// Executes defined functions. One Interpreter per top-level invoke; nested
+/// calls recurse through call_function.
+class Interpreter {
+ public:
+  explicit Interpreter(Instance& inst) : inst_(inst) {}
+
+  InvokeResult call_function(uint32_t func_index, std::span<const Value> args);
+
+ private:
+  struct Control {
+    uint8_t opcode;        // kBlock / kLoop / kIf (or kEnd for func frame)
+    uint32_t start_pc;     // pc of the structured opcode
+    uint32_t end_pc;       // pc of matching end
+    std::size_t stack_height;
+    bool has_result;
+  };
+
+  InvokeResult run_body(uint32_t defined_index, std::span<const Value> args);
+
+  Status fuel_step() {
+    ++inst_.retired_;
+    if (inst_.metered_) {
+      if (inst_.fuel_ == 0) return trap_error("all fuel consumed");
+      --inst_.fuel_;
+    }
+    return Status::ok();
+  }
+
+  Instance& inst_;
+};
+
+InvokeResult Interpreter::call_function(uint32_t func_index,
+                                        std::span<const Value> args) {
+  if (func_index < inst_.num_imported_funcs_) {
+    const HostFunc& host = inst_.host_funcs_[func_index];
+    return host.fn(inst_, args);
+  }
+  if (inst_.call_depth_ >= inst_.limits_.max_call_depth) {
+    return trap_error("call stack exhausted");
+  }
+  ++inst_.call_depth_;
+  auto result = run_body(func_index - inst_.num_imported_funcs_, args);
+  --inst_.call_depth_;
+  return result;
+}
+
+InvokeResult Interpreter::run_body(uint32_t defined_index,
+                                   std::span<const Value> args) {
+  const FunctionBody& body = inst_.module_.bodies[defined_index];
+  const FuncType& sig = inst_.module_.types[body.type_index];
+  const auto& jumps = inst_.jump_tables_[defined_index].targets;
+  const std::vector<uint8_t>& code = body.code;
+
+  std::vector<Value> locals;
+  locals.reserve(args.size() + body.locals.size());
+  locals.insert(locals.end(), args.begin(), args.end());
+  for (const ValType t : body.locals) locals.push_back(Value::zero_of(t));
+
+  std::vector<Value> stack;
+  std::vector<Control> control;
+  control.push_back({kEnd, 0, static_cast<uint32_t>(code.size() - 1), 0,
+                     !sig.results.empty()});
+
+  // Track the frame arena high-water mark for resident_bytes().
+  auto note_footprint = [&] {
+    const std::size_t frame_bytes =
+        locals.capacity() * sizeof(Value) + stack.capacity() * sizeof(Value) +
+        control.capacity() * sizeof(Control);
+    inst_.frame_high_water_ =
+        std::max(inst_.frame_high_water_, frame_bytes * inst_.call_depth_);
+  };
+
+  auto pop = [&]() -> Value {
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  // Find end/else for a structured opcode at `pc`.
+  auto jump_of = [&](uint32_t pc) -> const std::pair<uint32_t, uint32_t>& {
+    auto it = jumps.find(pc);
+    assert(it != jumps.end());
+    return it->second;
+  };
+
+  // Execute a branch to relative depth d. Returns the new pc.
+  auto do_branch = [&](uint32_t depth) -> uint32_t {
+    const std::size_t target_index = control.size() - 1 - depth;
+    const Control target = control[target_index];
+    if (target.opcode == kLoop) {
+      // Re-enter the loop: keep the target frame, drop inner frames.
+      control.resize(target_index + 1);
+      stack.resize(target.stack_height);
+      // Resume after the loop opcode + its block-type byte.
+      return target.start_pc + 2;
+    }
+    // Forward branch: carry the result value (if any), drop the frames.
+    std::optional<Value> result;
+    if (target.has_result) result = pop();
+    control.resize(target_index);
+    stack.resize(target.stack_height);
+    if (result) stack.push_back(*result);
+    return target.end_pc + 1;
+  };
+
+  ByteReader reader(code);
+  uint32_t pc = 0;
+
+#define TRAP_IF(cond, msg)            \
+  do {                                \
+    if (cond) return trap_error(msg); \
+  } while (false)
+
+  for (;;) {
+    if (pc >= code.size()) {
+      return internal_error("pc out of bounds (validator bug)");
+    }
+    const uint8_t op = code[pc];
+    WASMCTR_RETURN_IF_ERROR(fuel_step());
+    // Cursor for immediate decoding.
+    ByteReader imm(std::span<const uint8_t>(code.data() + pc + 1,
+                                            code.size() - pc - 1));
+    uint32_t next_pc = 0;  // set after immediates are read
+
+    auto advance = [&] {
+      next_pc = pc + 1 + static_cast<uint32_t>(imm.pos());
+    };
+
+    switch (op) {
+      case kUnreachable:
+        return trap_error("unreachable");
+      case kNop:
+        advance();
+        break;
+      case kBlock: {
+        WASMCTR_ASSIGN_OR_RETURN(uint8_t bt, imm.u8());
+        const auto& [end_pc, else_pc] = jump_of(pc);
+        (void)else_pc;
+        control.push_back({kBlock, pc, end_pc, stack.size(), bt != 0x40});
+        advance();
+        break;
+      }
+      case kLoop: {
+        WASMCTR_ASSIGN_OR_RETURN(uint8_t bt, imm.u8());
+        const auto& [end_pc, else_pc] = jump_of(pc);
+        (void)else_pc;
+        control.push_back({kLoop, pc, end_pc, stack.size(), bt != 0x40});
+        advance();
+        break;
+      }
+      case kIf: {
+        WASMCTR_ASSIGN_OR_RETURN(uint8_t bt, imm.u8());
+        const auto& [end_pc, else_pc] = jump_of(pc);
+        const bool cond = pop().u32() != 0;
+        control.push_back({kIf, pc, end_pc, stack.size(), bt != 0x40});
+        advance();
+        if (!cond) {
+          next_pc = else_pc != 0 ? else_pc + 1 : end_pc;
+        }
+        break;
+      }
+      case kElse: {
+        // Reached only by falling off the then-branch: jump to end.
+        next_pc = control.back().end_pc;
+        break;
+      }
+      case kEnd: {
+        if (control.size() == 1) {
+          // Function end: return the result (if any).
+          if (!sig.results.empty()) {
+            note_footprint();
+            return std::optional<Value>(pop());
+          }
+          note_footprint();
+          return std::optional<Value>();
+        }
+        control.pop_back();
+        advance();
+        break;
+      }
+      case kBr: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t depth, imm.var_u32());
+        if (depth == control.size() - 1 &&
+            control.front().opcode == kEnd) {
+          // Branch to the function frame = return.
+          if (!sig.results.empty()) return std::optional<Value>(pop());
+          return std::optional<Value>();
+        }
+        next_pc = do_branch(depth);
+        break;
+      }
+      case kBrIf: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t depth, imm.var_u32());
+        advance();
+        if (pop().u32() != 0) {
+          if (depth == control.size() - 1) {
+            if (!sig.results.empty()) return std::optional<Value>(pop());
+            return std::optional<Value>();
+          }
+          next_pc = do_branch(depth);
+        }
+        break;
+      }
+      case kBrTable: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t count, imm.var_u32());
+        std::vector<uint32_t> depths(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          WASMCTR_ASSIGN_OR_RETURN(depths[i], imm.var_u32());
+        }
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t fallback, imm.var_u32());
+        const uint32_t key = pop().u32();
+        const uint32_t depth = key < count ? depths[key] : fallback;
+        if (depth == control.size() - 1) {
+          if (!sig.results.empty()) return std::optional<Value>(pop());
+          return std::optional<Value>();
+        }
+        next_pc = do_branch(depth);
+        break;
+      }
+      case kReturn: {
+        if (!sig.results.empty()) return std::optional<Value>(pop());
+        return std::optional<Value>();
+      }
+      case kCall: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t callee, imm.var_u32());
+        advance();
+        const FuncType& callee_sig = inst_.module_.func_type(callee);
+        const std::size_t n = callee_sig.params.size();
+        std::vector<Value> call_args(n);
+        for (std::size_t i = 0; i < n; ++i) call_args[n - 1 - i] = pop();
+        note_footprint();
+        auto r = call_function(callee, call_args);
+        if (!r) return r.status();
+        if (r->has_value()) stack.push_back(**r);
+        break;
+      }
+      case kCallIndirect: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t type_index, imm.var_u32());
+        WASMCTR_ASSIGN_OR_RETURN(uint8_t tbl, imm.u8());
+        (void)tbl;
+        advance();
+        const uint32_t entry = pop().u32();
+        TRAP_IF(entry >= inst_.table_.size(), "undefined element");
+        const uint32_t callee = inst_.table_[entry];
+        TRAP_IF(callee == kNullFuncRef, "uninitialized element");
+        const FuncType& expect = inst_.module_.types[type_index];
+        const FuncType& actual = inst_.module_.func_type(callee);
+        TRAP_IF(!(expect == actual), "indirect call type mismatch");
+        const std::size_t n = expect.params.size();
+        std::vector<Value> call_args(n);
+        for (std::size_t i = 0; i < n; ++i) call_args[n - 1 - i] = pop();
+        note_footprint();
+        auto r = call_function(callee, call_args);
+        if (!r) return r.status();
+        if (r->has_value()) stack.push_back(**r);
+        break;
+      }
+
+      case kDrop:
+        pop();
+        advance();
+        break;
+      case kSelect: {
+        const uint32_t cond = pop().u32();
+        const Value b = pop();
+        const Value a = pop();
+        stack.push_back(cond != 0 ? a : b);
+        advance();
+        break;
+      }
+
+      case kLocalGet: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t i, imm.var_u32());
+        stack.push_back(locals[i]);
+        advance();
+        break;
+      }
+      case kLocalSet: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t i, imm.var_u32());
+        locals[i] = pop();
+        advance();
+        break;
+      }
+      case kLocalTee: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t i, imm.var_u32());
+        locals[i] = stack.back();
+        advance();
+        break;
+      }
+      case kGlobalGet: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t i, imm.var_u32());
+        stack.push_back(inst_.globals_[i]);
+        advance();
+        break;
+      }
+      case kGlobalSet: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t i, imm.var_u32());
+        inst_.globals_[i] = pop();
+        advance();
+        break;
+      }
+
+      case kI32Const: {
+        WASMCTR_ASSIGN_OR_RETURN(int32_t v, imm.var_s32());
+        stack.push_back(Value::from_i32(v));
+        advance();
+        break;
+      }
+      case kI64Const: {
+        WASMCTR_ASSIGN_OR_RETURN(int64_t v, imm.var_s64());
+        stack.push_back(Value::from_i64(v));
+        advance();
+        break;
+      }
+      case kF32Const: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t bits, imm.fixed_u32());
+        float f;
+        std::memcpy(&f, &bits, 4);
+        stack.push_back(Value::from_f32(f));
+        advance();
+        break;
+      }
+      case kF64Const: {
+        WASMCTR_ASSIGN_OR_RETURN(uint64_t bits, imm.fixed_u64());
+        double d;
+        std::memcpy(&d, &bits, 8);
+        stack.push_back(Value::from_f64(d));
+        advance();
+        break;
+      }
+
+      case kMemorySize: {
+        WASMCTR_ASSIGN_OR_RETURN(uint8_t z, imm.u8());
+        (void)z;
+        stack.push_back(Value::from_u32(inst_.memory_->pages()));
+        advance();
+        break;
+      }
+      case kMemoryGrow: {
+        WASMCTR_ASSIGN_OR_RETURN(uint8_t z, imm.u8());
+        (void)z;
+        const uint32_t delta = pop().u32();
+        stack.push_back(
+            Value::from_i32(static_cast<int32_t>(inst_.memory_->grow(delta))));
+        advance();
+        break;
+      }
+
+      case kPrefixFC: {
+        WASMCTR_ASSIGN_OR_RETURN(uint32_t sub, imm.var_u32());
+        switch (sub) {
+          case kI32TruncSatF32S:
+            stack.push_back(Value::from_i32(trunc_sat<int32_t>(pop().f32())));
+            break;
+          case kI32TruncSatF32U:
+            stack.push_back(Value::from_u32(trunc_sat<uint32_t>(pop().f32())));
+            break;
+          case kI32TruncSatF64S:
+            stack.push_back(Value::from_i32(trunc_sat<int32_t>(pop().f64())));
+            break;
+          case kI32TruncSatF64U:
+            stack.push_back(Value::from_u32(trunc_sat<uint32_t>(pop().f64())));
+            break;
+          case kI64TruncSatF32S:
+            stack.push_back(Value::from_i64(trunc_sat<int64_t>(pop().f32())));
+            break;
+          case kI64TruncSatF32U:
+            stack.push_back(Value::from_u64(trunc_sat<uint64_t>(pop().f32())));
+            break;
+          case kI64TruncSatF64S:
+            stack.push_back(Value::from_i64(trunc_sat<int64_t>(pop().f64())));
+            break;
+          case kI64TruncSatF64U:
+            stack.push_back(Value::from_u64(trunc_sat<uint64_t>(pop().f64())));
+            break;
+          case kMemoryCopy: {
+            WASMCTR_ASSIGN_OR_RETURN(uint8_t z1, imm.u8());
+            WASMCTR_ASSIGN_OR_RETURN(uint8_t z2, imm.u8());
+            (void)z1;
+            (void)z2;
+            const uint32_t count = pop().u32();
+            const uint32_t src = pop().u32();
+            const uint32_t dst = pop().u32();
+            WASMCTR_RETURN_IF_ERROR(inst_.memory_->copy(dst, src, count));
+            break;
+          }
+          case kMemoryFill: {
+            WASMCTR_ASSIGN_OR_RETURN(uint8_t z, imm.u8());
+            (void)z;
+            const uint32_t count = pop().u32();
+            const uint32_t value = pop().u32();
+            const uint32_t dst = pop().u32();
+            WASMCTR_RETURN_IF_ERROR(inst_.memory_->fill(
+                dst, static_cast<uint8_t>(value), count));
+            break;
+          }
+          default:
+            return internal_error("unknown 0xFC opcode at runtime");
+        }
+        advance();
+        break;
+      }
+
+      default: {
+        // Loads/stores and numeric ops.
+        if (op >= kI32Load && op <= kI64Store32) {
+          WASMCTR_ASSIGN_OR_RETURN(uint32_t align, imm.var_u32());
+          (void)align;
+          WASMCTR_ASSIGN_OR_RETURN(uint32_t offset, imm.var_u32());
+          LinearMemory& mem = *inst_.memory_;
+          if (op <= kI64Load32U) {  // loads
+            const uint32_t base = pop().u32();
+            switch (op) {
+              case kI32Load: {
+                WASMCTR_ASSIGN_OR_RETURN(uint32_t v,
+                                         mem.load<uint32_t>(base, offset));
+                stack.push_back(Value::from_u32(v));
+                break;
+              }
+              case kI64Load: {
+                WASMCTR_ASSIGN_OR_RETURN(uint64_t v,
+                                         mem.load<uint64_t>(base, offset));
+                stack.push_back(Value::from_u64(v));
+                break;
+              }
+              case kF32Load: {
+                WASMCTR_ASSIGN_OR_RETURN(float v, mem.load<float>(base, offset));
+                stack.push_back(Value::from_f32(v));
+                break;
+              }
+              case kF64Load: {
+                WASMCTR_ASSIGN_OR_RETURN(double v,
+                                         mem.load<double>(base, offset));
+                stack.push_back(Value::from_f64(v));
+                break;
+              }
+              case kI32Load8S: {
+                WASMCTR_ASSIGN_OR_RETURN(int8_t v,
+                                         mem.load<int8_t>(base, offset));
+                stack.push_back(Value::from_i32(v));
+                break;
+              }
+              case kI32Load8U: {
+                WASMCTR_ASSIGN_OR_RETURN(uint8_t v,
+                                         mem.load<uint8_t>(base, offset));
+                stack.push_back(Value::from_u32(v));
+                break;
+              }
+              case kI32Load16S: {
+                WASMCTR_ASSIGN_OR_RETURN(int16_t v,
+                                         mem.load<int16_t>(base, offset));
+                stack.push_back(Value::from_i32(v));
+                break;
+              }
+              case kI32Load16U: {
+                WASMCTR_ASSIGN_OR_RETURN(uint16_t v,
+                                         mem.load<uint16_t>(base, offset));
+                stack.push_back(Value::from_u32(v));
+                break;
+              }
+              case kI64Load8S: {
+                WASMCTR_ASSIGN_OR_RETURN(int8_t v,
+                                         mem.load<int8_t>(base, offset));
+                stack.push_back(Value::from_i64(v));
+                break;
+              }
+              case kI64Load8U: {
+                WASMCTR_ASSIGN_OR_RETURN(uint8_t v,
+                                         mem.load<uint8_t>(base, offset));
+                stack.push_back(Value::from_u64(v));
+                break;
+              }
+              case kI64Load16S: {
+                WASMCTR_ASSIGN_OR_RETURN(int16_t v,
+                                         mem.load<int16_t>(base, offset));
+                stack.push_back(Value::from_i64(v));
+                break;
+              }
+              case kI64Load16U: {
+                WASMCTR_ASSIGN_OR_RETURN(uint16_t v,
+                                         mem.load<uint16_t>(base, offset));
+                stack.push_back(Value::from_u64(v));
+                break;
+              }
+              case kI64Load32S: {
+                WASMCTR_ASSIGN_OR_RETURN(int32_t v,
+                                         mem.load<int32_t>(base, offset));
+                stack.push_back(Value::from_i64(v));
+                break;
+              }
+              case kI64Load32U: {
+                WASMCTR_ASSIGN_OR_RETURN(uint32_t v,
+                                         mem.load<uint32_t>(base, offset));
+                stack.push_back(Value::from_u64(v));
+                break;
+              }
+              default: return internal_error("unhandled load");
+            }
+          } else {  // stores
+            const Value v = pop();
+            const uint32_t base = pop().u32();
+            switch (op) {
+              case kI32Store:
+                WASMCTR_RETURN_IF_ERROR(mem.store(base, offset, v.u32()));
+                break;
+              case kI64Store:
+                WASMCTR_RETURN_IF_ERROR(mem.store(base, offset, v.u64()));
+                break;
+              case kF32Store:
+                WASMCTR_RETURN_IF_ERROR(mem.store(base, offset, v.f32()));
+                break;
+              case kF64Store:
+                WASMCTR_RETURN_IF_ERROR(mem.store(base, offset, v.f64()));
+                break;
+              case kI32Store8:
+                WASMCTR_RETURN_IF_ERROR(
+                    mem.store(base, offset, static_cast<uint8_t>(v.u32())));
+                break;
+              case kI32Store16:
+                WASMCTR_RETURN_IF_ERROR(
+                    mem.store(base, offset, static_cast<uint16_t>(v.u32())));
+                break;
+              case kI64Store8:
+                WASMCTR_RETURN_IF_ERROR(
+                    mem.store(base, offset, static_cast<uint8_t>(v.u64())));
+                break;
+              case kI64Store16:
+                WASMCTR_RETURN_IF_ERROR(
+                    mem.store(base, offset, static_cast<uint16_t>(v.u64())));
+                break;
+              case kI64Store32:
+                WASMCTR_RETURN_IF_ERROR(
+                    mem.store(base, offset, static_cast<uint32_t>(v.u64())));
+                break;
+              default: return internal_error("unhandled store");
+            }
+          }
+          advance();
+          break;
+        }
+
+        // Pure numeric ops (no immediates).
+        advance();
+        switch (op) {
+          case kI32Eqz:
+            stack.back() = Value::from_u32(stack.back().u32() == 0 ? 1 : 0);
+            break;
+          case kI64Eqz:
+            stack.back() = Value::from_u32(stack.back().u64() == 0 ? 1 : 0);
+            break;
+
+#define CMP(opcode, ty, cast, cmp)                                     \
+  case opcode: {                                                       \
+    const auto b = static_cast<cast>(pop().ty());                      \
+    const auto a = static_cast<cast>(pop().ty());                      \
+    stack.push_back(Value::from_u32((a cmp b) ? 1 : 0));               \
+    break;                                                             \
+  }
+          CMP(kI32Eq, u32, uint32_t, ==)
+          CMP(kI32Ne, u32, uint32_t, !=)
+          CMP(kI32LtS, i32, int32_t, <)
+          CMP(kI32LtU, u32, uint32_t, <)
+          CMP(kI32GtS, i32, int32_t, >)
+          CMP(kI32GtU, u32, uint32_t, >)
+          CMP(kI32LeS, i32, int32_t, <=)
+          CMP(kI32LeU, u32, uint32_t, <=)
+          CMP(kI32GeS, i32, int32_t, >=)
+          CMP(kI32GeU, u32, uint32_t, >=)
+          CMP(kI64Eq, u64, uint64_t, ==)
+          CMP(kI64Ne, u64, uint64_t, !=)
+          CMP(kI64LtS, i64, int64_t, <)
+          CMP(kI64LtU, u64, uint64_t, <)
+          CMP(kI64GtS, i64, int64_t, >)
+          CMP(kI64GtU, u64, uint64_t, >)
+          CMP(kI64LeS, i64, int64_t, <=)
+          CMP(kI64LeU, u64, uint64_t, <=)
+          CMP(kI64GeS, i64, int64_t, >=)
+          CMP(kI64GeU, u64, uint64_t, >=)
+          CMP(kF32Eq, f32, float, ==)
+          CMP(kF32Ne, f32, float, !=)
+          CMP(kF32Lt, f32, float, <)
+          CMP(kF32Gt, f32, float, >)
+          CMP(kF32Le, f32, float, <=)
+          CMP(kF32Ge, f32, float, >=)
+          CMP(kF64Eq, f64, double, ==)
+          CMP(kF64Ne, f64, double, !=)
+          CMP(kF64Lt, f64, double, <)
+          CMP(kF64Gt, f64, double, >)
+          CMP(kF64Le, f64, double, <=)
+          CMP(kF64Ge, f64, double, >=)
+#undef CMP
+
+          case kI32Clz:
+            stack.back() = Value::from_u32(
+                static_cast<uint32_t>(std::countl_zero(stack.back().u32())));
+            break;
+          case kI32Ctz:
+            stack.back() = Value::from_u32(
+                static_cast<uint32_t>(std::countr_zero(stack.back().u32())));
+            break;
+          case kI32Popcnt:
+            stack.back() = Value::from_u32(
+                static_cast<uint32_t>(std::popcount(stack.back().u32())));
+            break;
+          case kI64Clz:
+            stack.back() = Value::from_u64(
+                static_cast<uint64_t>(std::countl_zero(stack.back().u64())));
+            break;
+          case kI64Ctz:
+            stack.back() = Value::from_u64(
+                static_cast<uint64_t>(std::countr_zero(stack.back().u64())));
+            break;
+          case kI64Popcnt:
+            stack.back() = Value::from_u64(
+                static_cast<uint64_t>(std::popcount(stack.back().u64())));
+            break;
+
+#define BINOP_U(opcode, ty, from, expr)                 \
+  case opcode: {                                        \
+    const auto b = pop().ty();                          \
+    const auto a = pop().ty();                          \
+    stack.push_back(Value::from(expr));                 \
+    break;                                              \
+  }
+          BINOP_U(kI32Add, u32, from_u32, a + b)
+          BINOP_U(kI32Sub, u32, from_u32, a - b)
+          BINOP_U(kI32Mul, u32, from_u32, a * b)
+          BINOP_U(kI32And, u32, from_u32, a & b)
+          BINOP_U(kI32Or, u32, from_u32, a | b)
+          BINOP_U(kI32Xor, u32, from_u32, a ^ b)
+          BINOP_U(kI32Shl, u32, from_u32, a << (b & 31))
+          BINOP_U(kI32ShrU, u32, from_u32, a >> (b & 31))
+          BINOP_U(kI32Rotl, u32, from_u32, std::rotl(a, static_cast<int>(b & 31)))
+          BINOP_U(kI32Rotr, u32, from_u32, std::rotr(a, static_cast<int>(b & 31)))
+          BINOP_U(kI64Add, u64, from_u64, a + b)
+          BINOP_U(kI64Sub, u64, from_u64, a - b)
+          BINOP_U(kI64Mul, u64, from_u64, a * b)
+          BINOP_U(kI64And, u64, from_u64, a & b)
+          BINOP_U(kI64Or, u64, from_u64, a | b)
+          BINOP_U(kI64Xor, u64, from_u64, a ^ b)
+          BINOP_U(kI64Shl, u64, from_u64, a << (b & 63))
+          BINOP_U(kI64ShrU, u64, from_u64, a >> (b & 63))
+          BINOP_U(kI64Rotl, u64, from_u64, std::rotl(a, static_cast<int>(b & 63)))
+          BINOP_U(kI64Rotr, u64, from_u64, std::rotr(a, static_cast<int>(b & 63)))
+          BINOP_U(kF32Add, f32, from_f32, a + b)
+          BINOP_U(kF32Sub, f32, from_f32, a - b)
+          BINOP_U(kF32Mul, f32, from_f32, a * b)
+          BINOP_U(kF32Div, f32, from_f32, a / b)
+          BINOP_U(kF32Min, f32, from_f32, wasm_fmin(a, b))
+          BINOP_U(kF32Max, f32, from_f32, wasm_fmax(a, b))
+          BINOP_U(kF32Copysign, f32, from_f32, std::copysign(a, b))
+          BINOP_U(kF64Add, f64, from_f64, a + b)
+          BINOP_U(kF64Sub, f64, from_f64, a - b)
+          BINOP_U(kF64Mul, f64, from_f64, a * b)
+          BINOP_U(kF64Div, f64, from_f64, a / b)
+          BINOP_U(kF64Min, f64, from_f64, wasm_fmin(a, b))
+          BINOP_U(kF64Max, f64, from_f64, wasm_fmax(a, b))
+          BINOP_U(kF64Copysign, f64, from_f64, std::copysign(a, b))
+#undef BINOP_U
+
+          case kI32ShrS: {
+            const uint32_t b = pop().u32();
+            const int32_t a = pop().i32();
+            stack.push_back(Value::from_i32(a >> (b & 31)));
+            break;
+          }
+          case kI64ShrS: {
+            const uint64_t b = pop().u64();
+            const int64_t a = pop().i64();
+            stack.push_back(Value::from_i64(a >> (b & 63)));
+            break;
+          }
+
+          case kI32DivS: {
+            const int32_t b = pop().i32();
+            const int32_t a = pop().i32();
+            TRAP_IF(b == 0, "integer divide by zero");
+            TRAP_IF(a == std::numeric_limits<int32_t>::min() && b == -1,
+                    "integer overflow");
+            stack.push_back(Value::from_i32(a / b));
+            break;
+          }
+          case kI32DivU: {
+            const uint32_t b = pop().u32();
+            const uint32_t a = pop().u32();
+            TRAP_IF(b == 0, "integer divide by zero");
+            stack.push_back(Value::from_u32(a / b));
+            break;
+          }
+          case kI32RemS: {
+            const int32_t b = pop().i32();
+            const int32_t a = pop().i32();
+            TRAP_IF(b == 0, "integer divide by zero");
+            const int32_t r =
+                (a == std::numeric_limits<int32_t>::min() && b == -1) ? 0
+                                                                      : a % b;
+            stack.push_back(Value::from_i32(r));
+            break;
+          }
+          case kI32RemU: {
+            const uint32_t b = pop().u32();
+            const uint32_t a = pop().u32();
+            TRAP_IF(b == 0, "integer divide by zero");
+            stack.push_back(Value::from_u32(a % b));
+            break;
+          }
+          case kI64DivS: {
+            const int64_t b = pop().i64();
+            const int64_t a = pop().i64();
+            TRAP_IF(b == 0, "integer divide by zero");
+            TRAP_IF(a == std::numeric_limits<int64_t>::min() && b == -1,
+                    "integer overflow");
+            stack.push_back(Value::from_i64(a / b));
+            break;
+          }
+          case kI64DivU: {
+            const uint64_t b = pop().u64();
+            const uint64_t a = pop().u64();
+            TRAP_IF(b == 0, "integer divide by zero");
+            stack.push_back(Value::from_u64(a / b));
+            break;
+          }
+          case kI64RemS: {
+            const int64_t b = pop().i64();
+            const int64_t a = pop().i64();
+            TRAP_IF(b == 0, "integer divide by zero");
+            const int64_t r =
+                (a == std::numeric_limits<int64_t>::min() && b == -1) ? 0
+                                                                      : a % b;
+            stack.push_back(Value::from_i64(r));
+            break;
+          }
+          case kI64RemU: {
+            const uint64_t b = pop().u64();
+            const uint64_t a = pop().u64();
+            TRAP_IF(b == 0, "integer divide by zero");
+            stack.push_back(Value::from_u64(a % b));
+            break;
+          }
+
+#define UNOP(opcode, ty, from, expr)          \
+  case opcode: {                              \
+    const auto a = stack.back().ty();         \
+    stack.back() = Value::from(expr);         \
+    break;                                    \
+  }
+          UNOP(kF32Abs, f32, from_f32, std::fabs(a))
+          UNOP(kF32Neg, f32, from_f32, -a)
+          UNOP(kF32Ceil, f32, from_f32, std::ceil(a))
+          UNOP(kF32Floor, f32, from_f32, std::floor(a))
+          UNOP(kF32Trunc, f32, from_f32, std::trunc(a))
+          UNOP(kF32Nearest, f32, from_f32, std::nearbyint(a))
+          UNOP(kF32Sqrt, f32, from_f32, std::sqrt(a))
+          UNOP(kF64Abs, f64, from_f64, std::fabs(a))
+          UNOP(kF64Neg, f64, from_f64, -a)
+          UNOP(kF64Ceil, f64, from_f64, std::ceil(a))
+          UNOP(kF64Floor, f64, from_f64, std::floor(a))
+          UNOP(kF64Trunc, f64, from_f64, std::trunc(a))
+          UNOP(kF64Nearest, f64, from_f64, std::nearbyint(a))
+          UNOP(kF64Sqrt, f64, from_f64, std::sqrt(a))
+          UNOP(kI32WrapI64, u64, from_u32, static_cast<uint32_t>(a))
+          UNOP(kI64ExtendI32S, i32, from_i64, static_cast<int64_t>(a))
+          UNOP(kI64ExtendI32U, u32, from_u64, static_cast<uint64_t>(a))
+          UNOP(kF32ConvertI32S, i32, from_f32, static_cast<float>(a))
+          UNOP(kF32ConvertI32U, u32, from_f32, static_cast<float>(a))
+          UNOP(kF32ConvertI64S, i64, from_f32, static_cast<float>(a))
+          UNOP(kF32ConvertI64U, u64, from_f32, static_cast<float>(a))
+          UNOP(kF32DemoteF64, f64, from_f32, static_cast<float>(a))
+          UNOP(kF64ConvertI32S, i32, from_f64, static_cast<double>(a))
+          UNOP(kF64ConvertI32U, u32, from_f64, static_cast<double>(a))
+          UNOP(kF64ConvertI64S, i64, from_f64, static_cast<double>(a))
+          UNOP(kF64ConvertI64U, u64, from_f64, static_cast<double>(a))
+          UNOP(kF64PromoteF32, f32, from_f64, static_cast<double>(a))
+          UNOP(kI32Extend8S, i32, from_i32,
+               static_cast<int32_t>(static_cast<int8_t>(a)))
+          UNOP(kI32Extend16S, i32, from_i32,
+               static_cast<int32_t>(static_cast<int16_t>(a)))
+          UNOP(kI64Extend8S, i64, from_i64,
+               static_cast<int64_t>(static_cast<int8_t>(a)))
+          UNOP(kI64Extend16S, i64, from_i64,
+               static_cast<int64_t>(static_cast<int16_t>(a)))
+          UNOP(kI64Extend32S, i64, from_i64,
+               static_cast<int64_t>(static_cast<int32_t>(a)))
+#undef UNOP
+
+          case kI32ReinterpretF32:
+            stack.back() =
+                Value::from_u32(static_cast<uint32_t>(stack.back().raw_bits()));
+            break;
+          case kI64ReinterpretF64:
+            stack.back() = Value::from_u64(stack.back().raw_bits());
+            break;
+          case kF32ReinterpretI32: {
+            float f;
+            const uint32_t bits = stack.back().u32();
+            std::memcpy(&f, &bits, 4);
+            stack.back() = Value::from_f32(f);
+            break;
+          }
+          case kF64ReinterpretI64: {
+            double d;
+            const uint64_t bits = stack.back().u64();
+            std::memcpy(&d, &bits, 8);
+            stack.back() = Value::from_f64(d);
+            break;
+          }
+
+#define TRUNC(opcode, I, src)                              \
+  case opcode: {                                           \
+    auto r = trunc_checked<I>(pop().src());                \
+    if (!r) return r.status();                             \
+    stack.push_back(Value::from_u64(                       \
+        static_cast<uint64_t>(static_cast<std::make_unsigned_t<I>>(*r)))); \
+    break;                                                 \
+  }
+          case kI32TruncF32S: {
+            auto r = trunc_checked<int32_t>(pop().f32());
+            if (!r) return r.status();
+            stack.push_back(Value::from_i32(*r));
+            break;
+          }
+          case kI32TruncF32U: {
+            auto r = trunc_checked<uint32_t>(pop().f32());
+            if (!r) return r.status();
+            stack.push_back(Value::from_u32(*r));
+            break;
+          }
+          case kI32TruncF64S: {
+            auto r = trunc_checked<int32_t>(pop().f64());
+            if (!r) return r.status();
+            stack.push_back(Value::from_i32(*r));
+            break;
+          }
+          case kI32TruncF64U: {
+            auto r = trunc_checked<uint32_t>(pop().f64());
+            if (!r) return r.status();
+            stack.push_back(Value::from_u32(*r));
+            break;
+          }
+          case kI64TruncF32S: {
+            auto r = trunc_checked<int64_t>(pop().f32());
+            if (!r) return r.status();
+            stack.push_back(Value::from_i64(*r));
+            break;
+          }
+          case kI64TruncF32U: {
+            auto r = trunc_checked<uint64_t>(pop().f32());
+            if (!r) return r.status();
+            stack.push_back(Value::from_u64(*r));
+            break;
+          }
+          case kI64TruncF64S: {
+            auto r = trunc_checked<int64_t>(pop().f64());
+            if (!r) return r.status();
+            stack.push_back(Value::from_i64(*r));
+            break;
+          }
+          case kI64TruncF64U: {
+            auto r = trunc_checked<uint64_t>(pop().f64());
+            if (!r) return r.status();
+            stack.push_back(Value::from_u64(*r));
+            break;
+          }
+#undef TRUNC
+
+          default:
+            return internal_error("unhandled opcode 0x" + std::to_string(op));
+        }
+        break;
+      }
+    }
+    pc = next_pc;
+  }
+#undef TRAP_IF
+}
+
+// ---------- Instance invoke paths ----------
+
+InvokeResult Instance::invoke(std::string_view export_name,
+                              std::span<const Value> args) {
+  for (const Export& e : module_.exports) {
+    if (e.kind == ExportKind::kFunc && e.name == export_name) {
+      return invoke_index(e.index, args);
+    }
+  }
+  return not_found("no exported function named '" + std::string(export_name) +
+                   "'");
+}
+
+InvokeResult Instance::invoke_index(uint32_t func_index,
+                                    std::span<const Value> args) {
+  if (func_index >= module_.num_funcs()) {
+    return invalid_argument("function index out of range");
+  }
+  const FuncType& sig = module_.func_type(func_index);
+  if (sig.params.size() != args.size()) {
+    return invalid_argument("argument count mismatch: expected " +
+                            std::to_string(sig.params.size()) + ", got " +
+                            std::to_string(args.size()));
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].type() != sig.params[i]) {
+      return invalid_argument("argument " + std::to_string(i) +
+                              " type mismatch");
+    }
+  }
+  Interpreter interp(*this);
+  return interp.call_function(func_index, args);
+}
+
+std::string Value::to_string() const {
+  switch (type_) {
+    case ValType::kI32: return "i32:" + std::to_string(i32());
+    case ValType::kI64: return "i64:" + std::to_string(i64());
+    case ValType::kF32: return "f32:" + std::to_string(f32());
+    case ValType::kF64: return "f64:" + std::to_string(f64());
+    case ValType::kFuncRef:
+      return is_null_ref() ? "funcref:null"
+                           : "funcref:" + std::to_string(u32());
+  }
+  return "?";
+}
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,67 @@
+#include "wasm/exec/memory.hpp"
+
+#include <cstring>
+
+namespace wasmctr::wasm {
+
+LinearMemory::LinearMemory(uint32_t min_pages,
+                           std::optional<uint32_t> max_pages)
+    : bytes_(static_cast<std::size_t>(min_pages) * kWasmPageSize, 0),
+      max_(max_pages) {}
+
+int64_t LinearMemory::grow(uint32_t delta_pages) {
+  const uint32_t old_pages = pages();
+  const uint64_t new_pages = static_cast<uint64_t>(old_pages) + delta_pages;
+  const uint64_t cap = max_ ? *max_ : kMaxMemoryPages;
+  if (new_pages > cap) return -1;
+  bytes_.resize(new_pages * kWasmPageSize, 0);
+  return old_pages;
+}
+
+Result<std::span<uint8_t>> LinearMemory::slice(uint64_t offset,
+                                               uint64_t length) {
+  if (offset + length > bytes_.size() || offset + length < offset) {
+    return trap_error("out of bounds memory access");
+  }
+  return std::span<uint8_t>(bytes_.data() + offset, length);
+}
+
+Result<std::span<const uint8_t>> LinearMemory::slice(uint64_t offset,
+                                                     uint64_t length) const {
+  if (offset + length > bytes_.size() || offset + length < offset) {
+    return trap_error("out of bounds memory access");
+  }
+  return std::span<const uint8_t>(bytes_.data() + offset, length);
+}
+
+Status LinearMemory::fill(uint64_t dst, uint8_t value, uint64_t count) {
+  auto region = slice(dst, count);
+  if (!region) return region.status();
+  std::memset(region->data(), value, count);
+  return Status::ok();
+}
+
+Status LinearMemory::copy(uint64_t dst, uint64_t src, uint64_t count) {
+  auto to = slice(dst, count);
+  if (!to) return to.status();
+  auto from = slice(src, count);
+  if (!from) return from.status();
+  std::memmove(to->data(), from->data(), count);  // overlap-safe per spec
+  return Status::ok();
+}
+
+Status LinearMemory::write(uint64_t offset, std::span<const uint8_t> data) {
+  auto region = slice(offset, data.size());
+  if (!region) return region.status();
+  std::memcpy(region->data(), data.data(), data.size());
+  return Status::ok();
+}
+
+Result<std::string> LinearMemory::read_string(uint64_t offset,
+                                              uint64_t length) const {
+  auto region = slice(offset, length);
+  if (!region) return region.status();
+  return std::string(reinterpret_cast<const char*>(region->data()), length);
+}
+
+}  // namespace wasmctr::wasm

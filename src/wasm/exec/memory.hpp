@@ -1,0 +1,85 @@
+// WebAssembly linear memory.
+//
+// Bounds-checked loads/stores over a byte vector sized in 64 KiB Wasm pages.
+// Allocation is tracked so the engine's measured footprint (what feeds the
+// container memory model) reflects real data, not estimates.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/status.hpp"
+#include "wasm/types.hpp"
+
+namespace wasmctr::wasm {
+
+class LinearMemory {
+ public:
+  /// Construct with `min` pages committed; growth capped by `max` (or the
+  /// 4 GiB implementation limit when absent).
+  LinearMemory(uint32_t min_pages, std::optional<uint32_t> max_pages);
+
+  [[nodiscard]] uint32_t pages() const noexcept {
+    return static_cast<uint32_t>(bytes_.size() / kWasmPageSize);
+  }
+  [[nodiscard]] uint64_t byte_size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::optional<uint32_t> max_pages() const noexcept {
+    return max_;
+  }
+
+  /// memory.grow semantics: returns previous page count, or -1 (as u32 max
+  /// signal) when the request exceeds limits. Never throws.
+  int64_t grow(uint32_t delta_pages);
+
+  /// Raw access for host functions (WASI). Status-checked region views.
+  Result<std::span<uint8_t>> slice(uint64_t offset, uint64_t length);
+  Result<std::span<const uint8_t>> slice(uint64_t offset,
+                                         uint64_t length) const;
+
+  /// Typed little-endian loads/stores with effective-address overflow checks.
+  template <typename T>
+  Result<T> load(uint64_t base, uint64_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t ea = base + offset;  // both ≤ 2^32, no overflow in u64
+    if (ea + sizeof(T) > bytes_.size()) {
+      return trap_error("out of bounds memory access");
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + ea, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  Status store(uint64_t base, uint64_t offset, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t ea = base + offset;
+    if (ea + sizeof(T) > bytes_.size()) {
+      return trap_error("out of bounds memory access");
+    }
+    std::memcpy(bytes_.data() + ea, &value, sizeof(T));
+    return Status::ok();
+  }
+
+  Status fill(uint64_t dst, uint8_t value, uint64_t count);
+  Status copy(uint64_t dst, uint64_t src, uint64_t count);
+
+  /// Write raw bytes (data segment initialization, WASI results).
+  Status write(uint64_t offset, std::span<const uint8_t> data);
+
+  /// Read a NUL-free region as a string (host-side convenience).
+  Result<std::string> read_string(uint64_t offset, uint64_t length) const;
+
+  /// Bytes currently committed (capacity the engine holds for this memory).
+  [[nodiscard]] uint64_t resident_bytes() const noexcept {
+    return bytes_.capacity();
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::optional<uint32_t> max_;
+};
+
+}  // namespace wasmctr::wasm

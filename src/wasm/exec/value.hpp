@@ -1,0 +1,87 @@
+// Runtime values for the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "wasm/types.hpp"
+
+namespace wasmctr::wasm {
+
+/// A typed runtime value. 16 bytes; passed by value.
+class Value {
+ public:
+  Value() : type_(ValType::kI32), bits_(0) {}
+
+  static Value from_i32(int32_t v) {
+    return Value(ValType::kI32, static_cast<uint32_t>(v));
+  }
+  static Value from_u32(uint32_t v) { return Value(ValType::kI32, v); }
+  static Value from_i64(int64_t v) {
+    return Value(ValType::kI64, static_cast<uint64_t>(v));
+  }
+  static Value from_u64(uint64_t v) { return Value(ValType::kI64, v); }
+  static Value from_f32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    return Value(ValType::kF32, bits);
+  }
+  static Value from_f64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    return Value(ValType::kF64, bits);
+  }
+  /// Null funcref is represented as all-ones.
+  static Value null_ref() { return Value(ValType::kFuncRef, ~uint64_t{0}); }
+  static Value func_ref(uint32_t index) {
+    return Value(ValType::kFuncRef, index);
+  }
+  /// Zero value of a given type (default local/global initialization).
+  static Value zero_of(ValType t) {
+    return t == ValType::kFuncRef ? null_ref() : Value(t, 0);
+  }
+
+  [[nodiscard]] ValType type() const noexcept { return type_; }
+
+  [[nodiscard]] int32_t i32() const noexcept {
+    return static_cast<int32_t>(bits_);
+  }
+  [[nodiscard]] uint32_t u32() const noexcept {
+    return static_cast<uint32_t>(bits_);
+  }
+  [[nodiscard]] int64_t i64() const noexcept {
+    return static_cast<int64_t>(bits_);
+  }
+  [[nodiscard]] uint64_t u64() const noexcept { return bits_; }
+  [[nodiscard]] float f32() const noexcept {
+    float v;
+    const uint32_t b = static_cast<uint32_t>(bits_);
+    std::memcpy(&v, &b, 4);
+    return v;
+  }
+  [[nodiscard]] double f64() const noexcept {
+    double v;
+    std::memcpy(&v, &bits_, 8);
+    return v;
+  }
+  [[nodiscard]] bool is_null_ref() const noexcept {
+    return type_ == ValType::kFuncRef && bits_ == ~uint64_t{0};
+  }
+  [[nodiscard]] uint64_t raw_bits() const noexcept { return bits_; }
+
+  /// "i32:42" style rendering for error messages and example output.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.type_ == b.type_ && a.bits_ == b.bits_;
+  }
+
+ private:
+  Value(ValType t, uint64_t bits) : type_(t), bits_(bits) {}
+
+  ValType type_;
+  uint64_t bits_;
+};
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,60 @@
+#include "wasm/module.hpp"
+
+#include <cassert>
+
+namespace wasmctr::wasm {
+
+const FuncType& Module::func_type(uint32_t index) const {
+  uint32_t i = 0;
+  for (const Import& imp : imports) {
+    if (imp.kind != ImportKind::kFunc) continue;
+    if (i == index) return types[imp.func_type_index];
+    ++i;
+  }
+  const uint32_t defined = index - i;
+  assert(defined < functions.size());
+  return types[functions[defined]];
+}
+
+GlobalType Module::global_type(uint32_t index) const {
+  uint32_t i = 0;
+  for (const Import& imp : imports) {
+    if (imp.kind != ImportKind::kGlobal) continue;
+    if (i == index) return imp.global;
+    ++i;
+  }
+  const uint32_t defined = index - i;
+  assert(defined < globals.size());
+  return globals[defined].type;
+}
+
+uint64_t Module::resident_bytes() const {
+  uint64_t total = sizeof(Module);
+  total += types.size() * sizeof(FuncType);
+  for (const FuncType& t : types) {
+    total += t.params.size() + t.results.size();
+  }
+  for (const Import& imp : imports) {
+    total += sizeof(Import) + imp.module.size() + imp.name.size();
+  }
+  total += functions.size() * sizeof(uint32_t);
+  total += tables.size() * sizeof(TableType);
+  total += memories.size() * sizeof(MemType);
+  total += globals.size() * sizeof(Global);
+  for (const Export& e : exports) total += sizeof(Export) + e.name.size();
+  for (const ElementSegment& e : elements) {
+    total += sizeof(ElementSegment) + e.func_indices.size() * sizeof(uint32_t);
+  }
+  for (const DataSegment& d : datas) {
+    total += sizeof(DataSegment) + d.bytes.size();
+  }
+  for (const FunctionBody& b : bodies) {
+    total += sizeof(FunctionBody) + b.locals.size() + b.code.size();
+  }
+  for (const CustomSection& c : customs) {
+    total += sizeof(CustomSection) + c.name.size() + c.bytes.size();
+  }
+  return total;
+}
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,126 @@
+// Decoded WebAssembly module IR.
+//
+// The decoder fills this structure; the validator checks it; the interpreter
+// instantiates it. Function bodies stay in binary form (the interpreter
+// executes bytecode directly with a precomputed branch side-table).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/types.hpp"
+
+namespace wasmctr::wasm {
+
+struct Import {
+  std::string module;
+  std::string name;
+  ImportKind kind = ImportKind::kFunc;
+  // Exactly one of these is meaningful, per `kind`.
+  uint32_t func_type_index = 0;
+  TableType table;
+  MemType memory;
+  GlobalType global;
+};
+
+struct Export {
+  std::string name;
+  ExportKind kind = ExportKind::kFunc;
+  uint32_t index = 0;
+};
+
+/// A constant initializer expression (global init, segment offsets).
+/// MVP allows one const instruction or global.get of an imported global.
+struct ConstExpr {
+  enum class Kind { kI32, kI64, kF32, kF64, kGlobalGet } kind = Kind::kI32;
+  int32_t i32 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  uint32_t global_index = 0;
+};
+
+struct Global {
+  GlobalType type;
+  ConstExpr init;
+};
+
+struct ElementSegment {
+  uint32_t table_index = 0;
+  ConstExpr offset;
+  std::vector<uint32_t> func_indices;
+};
+
+struct DataSegment {
+  uint32_t memory_index = 0;
+  ConstExpr offset;
+  std::vector<uint8_t> bytes;
+};
+
+/// One defined (non-imported) function.
+struct FunctionBody {
+  uint32_t type_index = 0;
+  /// Expanded local declarations (not counting params).
+  std::vector<ValType> locals;
+  /// The expression bytes, ending with the terminal 0x0b `end`.
+  std::vector<uint8_t> code;
+};
+
+struct CustomSection {
+  std::string name;
+  std::vector<uint8_t> bytes;
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;
+  /// Type indices of defined functions (parallel to `bodies`).
+  std::vector<uint32_t> functions;
+  std::vector<TableType> tables;
+  std::vector<MemType> memories;
+  std::vector<Global> globals;
+  std::vector<Export> exports;
+  std::optional<uint32_t> start;
+  std::vector<ElementSegment> elements;
+  std::vector<DataSegment> datas;
+  std::vector<FunctionBody> bodies;
+  std::vector<CustomSection> customs;
+
+  /// Counts including imports (index spaces are imports-first).
+  [[nodiscard]] uint32_t num_imported(ImportKind kind) const {
+    uint32_t n = 0;
+    for (const Import& imp : imports) {
+      if (imp.kind == kind) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] uint32_t num_funcs() const {
+    return num_imported(ImportKind::kFunc) +
+           static_cast<uint32_t>(functions.size());
+  }
+  [[nodiscard]] uint32_t num_tables() const {
+    return num_imported(ImportKind::kTable) +
+           static_cast<uint32_t>(tables.size());
+  }
+  [[nodiscard]] uint32_t num_memories() const {
+    return num_imported(ImportKind::kMemory) +
+           static_cast<uint32_t>(memories.size());
+  }
+  [[nodiscard]] uint32_t num_globals() const {
+    return num_imported(ImportKind::kGlobal) +
+           static_cast<uint32_t>(globals.size());
+  }
+
+  /// Signature of function `index` (import-aware). Index must be valid.
+  [[nodiscard]] const FuncType& func_type(uint32_t index) const;
+  /// Global type of global `index` (import-aware). Index must be valid.
+  [[nodiscard]] GlobalType global_type(uint32_t index) const;
+
+  /// Estimated bytes of the decoded representation (module structures the
+  /// engine keeps resident; feeds the memory model).
+  [[nodiscard]] uint64_t resident_bytes() const;
+};
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,84 @@
+// WebAssembly core types (MVP + sign-extension + bulk-memory subset).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wasmctr::wasm {
+
+/// Value types. Encodings match the binary format.
+enum class ValType : uint8_t {
+  kI32 = 0x7f,
+  kI64 = 0x7e,
+  kF32 = 0x7d,
+  kF64 = 0x7c,
+  kFuncRef = 0x70,
+};
+
+[[nodiscard]] constexpr const char* val_type_name(ValType t) {
+  switch (t) {
+    case ValType::kI32: return "i32";
+    case ValType::kI64: return "i64";
+    case ValType::kF32: return "f32";
+    case ValType::kF64: return "f64";
+    case ValType::kFuncRef: return "funcref";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_num_type(uint8_t byte) {
+  return byte == 0x7f || byte == 0x7e || byte == 0x7d || byte == 0x7c;
+}
+
+/// Function signature. MVP: at most one result.
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  friend bool operator==(const FuncType&, const FuncType&) = default;
+};
+
+/// min/max page limits for memories and tables.
+struct Limits {
+  uint32_t min = 0;
+  std::optional<uint32_t> max;
+
+  friend bool operator==(const Limits&, const Limits&) = default;
+};
+
+struct TableType {
+  ValType elem = ValType::kFuncRef;
+  Limits limits;
+};
+
+struct MemType {
+  Limits limits;
+};
+
+struct GlobalType {
+  ValType value_type = ValType::kI32;
+  bool mutable_ = false;
+};
+
+enum class ImportKind : uint8_t {
+  kFunc = 0,
+  kTable = 1,
+  kMemory = 2,
+  kGlobal = 3,
+};
+
+enum class ExportKind : uint8_t {
+  kFunc = 0,
+  kTable = 1,
+  kMemory = 2,
+  kGlobal = 3,
+};
+
+/// WebAssembly linear-memory page size (distinct from the OS 4 KiB page).
+inline constexpr uint64_t kWasmPageSize = 65536;
+/// Implementation cap on memory size: 4 GiB worth of pages.
+inline constexpr uint32_t kMaxMemoryPages = 65536;
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,640 @@
+#include "wasm/validator.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "support/byteio.hpp"
+#include "wasm/opcodes.hpp"
+
+namespace wasmctr::wasm {
+namespace {
+
+/// A value-stack slot: a concrete type or the bottom type (after an
+/// unconditional branch, the stack is polymorphic).
+struct StackType {
+  bool unknown = false;
+  ValType type = ValType::kI32;
+};
+
+struct ControlFrame {
+  enum class Kind { kFunc, kBlock, kLoop, kIf, kElse } kind = Kind::kBlock;
+  std::optional<ValType> result;  // block type (MVP: 0 or 1 result)
+  std::size_t stack_height = 0;   // value stack height at entry
+  bool unreachable = false;
+};
+
+class FunctionValidator {
+ public:
+  FunctionValidator(const Module& module, const FunctionBody& body)
+      : module_(module), body_(body), reader_(body.code) {
+    const FuncType& sig = module_.types[body.type_index];
+    locals_.insert(locals_.end(), sig.params.begin(), sig.params.end());
+    locals_.insert(locals_.end(), body.locals.begin(), body.locals.end());
+    result_ = sig.results.empty() ? std::nullopt
+                                  : std::optional<ValType>(sig.results[0]);
+  }
+
+  Status run() {
+    control_.push_back({ControlFrame::Kind::kFunc, result_, 0, false});
+    while (!control_.empty()) {
+      if (reader_.at_end()) return err("body truncated before final end");
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t op, reader_.u8());
+      WASMCTR_RETURN_IF_ERROR(step(op));
+    }
+    if (!reader_.at_end()) return err("instructions after final end");
+    return Status::ok();
+  }
+
+ private:
+  static Status err(std::string msg) { return validation_error(std::move(msg)); }
+
+  // ---- value stack helpers (spec algorithm) ----
+
+  void push(ValType t) { stack_.push_back({false, t}); }
+  void push_unknown() { stack_.push_back({true, {}}); }
+
+  Result<StackType> pop_any() {
+    ControlFrame& frame = control_.back();
+    if (stack_.size() == frame.stack_height) {
+      if (frame.unreachable) return StackType{true, {}};
+      return Status(err("value stack underflow"));
+    }
+    StackType t = stack_.back();
+    stack_.pop_back();
+    return t;
+  }
+
+  Status pop_expect(ValType expected) {
+    WASMCTR_ASSIGN_OR_RETURN(StackType t, pop_any());
+    if (!t.unknown && t.type != expected) {
+      return err(std::string("type mismatch: expected ") +
+                 val_type_name(expected) + ", got " + val_type_name(t.type));
+    }
+    return Status::ok();
+  }
+
+  Status push_frame(ControlFrame::Kind kind, std::optional<ValType> result) {
+    control_.push_back({kind, result, stack_.size(), false});
+    return Status::ok();
+  }
+
+  Result<ControlFrame> pop_frame() {
+    ControlFrame frame = control_.back();
+    // The frame's result must be on the stack (unless unreachable covers it).
+    if (frame.result) {
+      WASMCTR_RETURN_IF_ERROR(pop_expect(*frame.result));
+    }
+    if (stack_.size() != frame.stack_height) {
+      return Status(err("values left on stack at end of block"));
+    }
+    control_.pop_back();
+    return frame;
+  }
+
+  void mark_unreachable() {
+    ControlFrame& frame = control_.back();
+    stack_.resize(frame.stack_height);
+    frame.unreachable = true;
+  }
+
+  /// The type a branch to relative `depth` must provide: loops take their
+  /// entry (no) types, everything else the result type.
+  Result<std::optional<ValType>> branch_arity(uint32_t depth) {
+    if (depth >= control_.size()) return Status(err("branch depth out of range"));
+    const ControlFrame& target = control_[control_.size() - 1 - depth];
+    if (target.kind == ControlFrame::Kind::kLoop) return std::optional<ValType>{};
+    return target.result;
+  }
+
+  Status check_branch(uint32_t depth) {
+    WASMCTR_ASSIGN_OR_RETURN(std::optional<ValType> arity, branch_arity(depth));
+    if (arity) {
+      WASMCTR_RETURN_IF_ERROR(pop_expect(*arity));
+      push(*arity);  // br_if falls through with the value intact
+    }
+    return Status::ok();
+  }
+
+  Result<std::optional<ValType>> read_block_type() {
+    WASMCTR_ASSIGN_OR_RETURN(uint8_t b, reader_.u8());
+    if (b == 0x40) return std::optional<ValType>{};
+    if (!is_num_type(b) && b != 0x70) return Status(err("invalid block type"));
+    return std::optional<ValType>{static_cast<ValType>(b)};
+  }
+
+  Result<ValType> local_type(uint32_t index) {
+    if (index >= locals_.size()) return Status(err("local index out of range"));
+    return locals_[index];
+  }
+
+  // ---- memory ops ----
+
+  Status check_memarg(uint32_t natural_align_log2) {
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t align, reader_.var_u32());
+    if (align > natural_align_log2) {
+      return err("alignment larger than natural");
+    }
+    WASMCTR_ASSIGN_OR_RETURN(uint32_t offset, reader_.var_u32());
+    (void)offset;
+    return Status::ok();
+  }
+
+  Status require_memory() {
+    if (module_.num_memories() == 0) return err("no memory defined");
+    return Status::ok();
+  }
+
+  Status load_op(ValType result, uint32_t align) {
+    WASMCTR_RETURN_IF_ERROR(require_memory());
+    WASMCTR_RETURN_IF_ERROR(check_memarg(align));
+    WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+    push(result);
+    return Status::ok();
+  }
+
+  Status store_op(ValType operand, uint32_t align) {
+    WASMCTR_RETURN_IF_ERROR(require_memory());
+    WASMCTR_RETURN_IF_ERROR(check_memarg(align));
+    WASMCTR_RETURN_IF_ERROR(pop_expect(operand));
+    WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+    return Status::ok();
+  }
+
+  Status unary(ValType in, ValType out) {
+    WASMCTR_RETURN_IF_ERROR(pop_expect(in));
+    push(out);
+    return Status::ok();
+  }
+
+  Status binary(ValType in, ValType out) {
+    WASMCTR_RETURN_IF_ERROR(pop_expect(in));
+    WASMCTR_RETURN_IF_ERROR(pop_expect(in));
+    push(out);
+    return Status::ok();
+  }
+
+  Status step(uint8_t op);
+  Status step_fc();
+
+  const Module& module_;
+  const FunctionBody& body_;
+  ByteReader reader_;
+  std::vector<ValType> locals_;
+  std::optional<ValType> result_;
+  std::vector<StackType> stack_;
+  std::vector<ControlFrame> control_;
+};
+
+Status FunctionValidator::step(uint8_t op) {
+  using K = ControlFrame::Kind;
+  switch (op) {
+    case kUnreachable:
+      mark_unreachable();
+      return Status::ok();
+    case kNop:
+      return Status::ok();
+    case kBlock: {
+      WASMCTR_ASSIGN_OR_RETURN(auto bt, read_block_type());
+      return push_frame(K::kBlock, bt);
+    }
+    case kLoop: {
+      WASMCTR_ASSIGN_OR_RETURN(auto bt, read_block_type());
+      return push_frame(K::kLoop, bt);
+    }
+    case kIf: {
+      WASMCTR_ASSIGN_OR_RETURN(auto bt, read_block_type());
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      return push_frame(K::kIf, bt);
+    }
+    case kElse: {
+      if (control_.back().kind != K::kIf) return err("else without if");
+      WASMCTR_ASSIGN_OR_RETURN(ControlFrame frame, pop_frame());
+      control_.push_back(
+          {K::kElse, frame.result, stack_.size(), false});
+      return Status::ok();
+    }
+    case kEnd: {
+      const ControlFrame::Kind kind = control_.back().kind;
+      const std::optional<ValType> result = control_.back().result;
+      const bool was_unreachable = control_.back().unreachable;
+      WASMCTR_ASSIGN_OR_RETURN(ControlFrame frame, pop_frame());
+      (void)frame;
+      // An if without else must have empty type (both arms must agree).
+      if (kind == K::kIf && result.has_value() && true) {
+        return err("if with result type requires else");
+      }
+      (void)was_unreachable;
+      if (result) push(*result);
+      return Status::ok();
+    }
+    case kBr: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t depth, reader_.var_u32());
+      WASMCTR_ASSIGN_OR_RETURN(auto arity, branch_arity(depth));
+      if (arity) WASMCTR_RETURN_IF_ERROR(pop_expect(*arity));
+      mark_unreachable();
+      return Status::ok();
+    }
+    case kBrIf: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t depth, reader_.var_u32());
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      return check_branch(depth);
+    }
+    case kBrTable: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t count, reader_.var_u32());
+      if (count > 65536) return err("br_table too large");
+      std::vector<uint32_t> depths(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        WASMCTR_ASSIGN_OR_RETURN(depths[i], reader_.var_u32());
+      }
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t default_depth, reader_.var_u32());
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      WASMCTR_ASSIGN_OR_RETURN(auto default_arity, branch_arity(default_depth));
+      for (const uint32_t d : depths) {
+        WASMCTR_ASSIGN_OR_RETURN(auto arity, branch_arity(d));
+        if (arity != default_arity) {
+          return err("br_table targets have inconsistent types");
+        }
+      }
+      if (default_arity) WASMCTR_RETURN_IF_ERROR(pop_expect(*default_arity));
+      mark_unreachable();
+      return Status::ok();
+    }
+    case kReturn: {
+      if (result_) WASMCTR_RETURN_IF_ERROR(pop_expect(*result_));
+      mark_unreachable();
+      return Status::ok();
+    }
+    case kCall: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t index, reader_.var_u32());
+      if (index >= module_.num_funcs()) return err("call index out of range");
+      const FuncType& sig = module_.func_type(index);
+      for (auto it = sig.params.rbegin(); it != sig.params.rend(); ++it) {
+        WASMCTR_RETURN_IF_ERROR(pop_expect(*it));
+      }
+      if (!sig.results.empty()) push(sig.results[0]);
+      return Status::ok();
+    }
+    case kCallIndirect: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t type_index, reader_.var_u32());
+      if (type_index >= module_.types.size()) {
+        return err("call_indirect type index out of range");
+      }
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t table, reader_.u8());
+      if (table != 0) return err("call_indirect table must be 0 (MVP)");
+      if (module_.num_tables() == 0) return err("call_indirect without table");
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      const FuncType& sig = module_.types[type_index];
+      for (auto it = sig.params.rbegin(); it != sig.params.rend(); ++it) {
+        WASMCTR_RETURN_IF_ERROR(pop_expect(*it));
+      }
+      if (!sig.results.empty()) push(sig.results[0]);
+      return Status::ok();
+    }
+    case kDrop: {
+      WASMCTR_ASSIGN_OR_RETURN(StackType t, pop_any());
+      (void)t;
+      return Status::ok();
+    }
+    case kSelect: {
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      WASMCTR_ASSIGN_OR_RETURN(StackType a, pop_any());
+      WASMCTR_ASSIGN_OR_RETURN(StackType b, pop_any());
+      if (!a.unknown && !b.unknown && a.type != b.type) {
+        return err("select operands differ in type");
+      }
+      if (!a.unknown) {
+        push(a.type);
+      } else if (!b.unknown) {
+        push(b.type);
+      } else {
+        push_unknown();
+      }
+      return Status::ok();
+    }
+    case kLocalGet: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t i, reader_.var_u32());
+      WASMCTR_ASSIGN_OR_RETURN(ValType t, local_type(i));
+      push(t);
+      return Status::ok();
+    }
+    case kLocalSet: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t i, reader_.var_u32());
+      WASMCTR_ASSIGN_OR_RETURN(ValType t, local_type(i));
+      return pop_expect(t);
+    }
+    case kLocalTee: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t i, reader_.var_u32());
+      WASMCTR_ASSIGN_OR_RETURN(ValType t, local_type(i));
+      WASMCTR_RETURN_IF_ERROR(pop_expect(t));
+      push(t);
+      return Status::ok();
+    }
+    case kGlobalGet: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t i, reader_.var_u32());
+      if (i >= module_.num_globals()) return err("global index out of range");
+      push(module_.global_type(i).value_type);
+      return Status::ok();
+    }
+    case kGlobalSet: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t i, reader_.var_u32());
+      if (i >= module_.num_globals()) return err("global index out of range");
+      const GlobalType g = module_.global_type(i);
+      if (!g.mutable_) return err("global.set of immutable global");
+      return pop_expect(g.value_type);
+    }
+
+    case kI32Load: return load_op(ValType::kI32, 2);
+    case kI64Load: return load_op(ValType::kI64, 3);
+    case kF32Load: return load_op(ValType::kF32, 2);
+    case kF64Load: return load_op(ValType::kF64, 3);
+    case kI32Load8S:
+    case kI32Load8U: return load_op(ValType::kI32, 0);
+    case kI32Load16S:
+    case kI32Load16U: return load_op(ValType::kI32, 1);
+    case kI64Load8S:
+    case kI64Load8U: return load_op(ValType::kI64, 0);
+    case kI64Load16S:
+    case kI64Load16U: return load_op(ValType::kI64, 1);
+    case kI64Load32S:
+    case kI64Load32U: return load_op(ValType::kI64, 2);
+    case kI32Store: return store_op(ValType::kI32, 2);
+    case kI64Store: return store_op(ValType::kI64, 3);
+    case kF32Store: return store_op(ValType::kF32, 2);
+    case kF64Store: return store_op(ValType::kF64, 3);
+    case kI32Store8: return store_op(ValType::kI32, 0);
+    case kI32Store16: return store_op(ValType::kI32, 1);
+    case kI64Store8: return store_op(ValType::kI64, 0);
+    case kI64Store16: return store_op(ValType::kI64, 1);
+    case kI64Store32: return store_op(ValType::kI64, 2);
+
+    case kMemorySize: {
+      WASMCTR_RETURN_IF_ERROR(require_memory());
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t zero, reader_.u8());
+      if (zero != 0) return err("memory.size reserved byte must be 0");
+      push(ValType::kI32);
+      return Status::ok();
+    }
+    case kMemoryGrow: {
+      WASMCTR_RETURN_IF_ERROR(require_memory());
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t zero, reader_.u8());
+      if (zero != 0) return err("memory.grow reserved byte must be 0");
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      push(ValType::kI32);
+      return Status::ok();
+    }
+
+    case kI32Const: {
+      WASMCTR_ASSIGN_OR_RETURN(int32_t v, reader_.var_s32());
+      (void)v;
+      push(ValType::kI32);
+      return Status::ok();
+    }
+    case kI64Const: {
+      WASMCTR_ASSIGN_OR_RETURN(int64_t v, reader_.var_s64());
+      (void)v;
+      push(ValType::kI64);
+      return Status::ok();
+    }
+    case kF32Const: {
+      WASMCTR_ASSIGN_OR_RETURN(uint32_t v, reader_.fixed_u32());
+      (void)v;
+      push(ValType::kF32);
+      return Status::ok();
+    }
+    case kF64Const: {
+      WASMCTR_ASSIGN_OR_RETURN(uint64_t v, reader_.fixed_u64());
+      (void)v;
+      push(ValType::kF64);
+      return Status::ok();
+    }
+
+    case kI32Eqz: return unary(ValType::kI32, ValType::kI32);
+    case kI64Eqz: return unary(ValType::kI64, ValType::kI32);
+
+    default:
+      if (op >= kI32Eq && op <= kI32GeU) {
+        return binary(ValType::kI32, ValType::kI32);
+      }
+      if (op >= kI64Eq && op <= kI64GeU) {
+        return binary(ValType::kI64, ValType::kI32);
+      }
+      if (op >= kF32Eq && op <= kF32Ge) {
+        return binary(ValType::kF32, ValType::kI32);
+      }
+      if (op >= kF64Eq && op <= kF64Ge) {
+        return binary(ValType::kF64, ValType::kI32);
+      }
+      if (op >= kI32Clz && op <= kI32Popcnt) {
+        return unary(ValType::kI32, ValType::kI32);
+      }
+      if (op >= kI32Add && op <= kI32Rotr) {
+        return binary(ValType::kI32, ValType::kI32);
+      }
+      if (op >= kI64Clz && op <= kI64Popcnt) {
+        return unary(ValType::kI64, ValType::kI64);
+      }
+      if (op >= kI64Add && op <= kI64Rotr) {
+        return binary(ValType::kI64, ValType::kI64);
+      }
+      if (op >= kF32Abs && op <= kF32Sqrt) {
+        return unary(ValType::kF32, ValType::kF32);
+      }
+      if (op >= kF32Add && op <= kF32Copysign) {
+        return binary(ValType::kF32, ValType::kF32);
+      }
+      if (op >= kF64Abs && op <= kF64Sqrt) {
+        return unary(ValType::kF64, ValType::kF64);
+      }
+      if (op >= kF64Add && op <= kF64Copysign) {
+        return binary(ValType::kF64, ValType::kF64);
+      }
+      switch (op) {
+        case kI32WrapI64: return unary(ValType::kI64, ValType::kI32);
+        case kI32TruncF32S:
+        case kI32TruncF32U: return unary(ValType::kF32, ValType::kI32);
+        case kI32TruncF64S:
+        case kI32TruncF64U: return unary(ValType::kF64, ValType::kI32);
+        case kI64ExtendI32S:
+        case kI64ExtendI32U: return unary(ValType::kI32, ValType::kI64);
+        case kI64TruncF32S:
+        case kI64TruncF32U: return unary(ValType::kF32, ValType::kI64);
+        case kI64TruncF64S:
+        case kI64TruncF64U: return unary(ValType::kF64, ValType::kI64);
+        case kF32ConvertI32S:
+        case kF32ConvertI32U: return unary(ValType::kI32, ValType::kF32);
+        case kF32ConvertI64S:
+        case kF32ConvertI64U: return unary(ValType::kI64, ValType::kF32);
+        case kF32DemoteF64: return unary(ValType::kF64, ValType::kF32);
+        case kF64ConvertI32S:
+        case kF64ConvertI32U: return unary(ValType::kI32, ValType::kF64);
+        case kF64ConvertI64S:
+        case kF64ConvertI64U: return unary(ValType::kI64, ValType::kF64);
+        case kF64PromoteF32: return unary(ValType::kF32, ValType::kF64);
+        case kI32ReinterpretF32: return unary(ValType::kF32, ValType::kI32);
+        case kI64ReinterpretF64: return unary(ValType::kF64, ValType::kI64);
+        case kF32ReinterpretI32: return unary(ValType::kI32, ValType::kF32);
+        case kF64ReinterpretI64: return unary(ValType::kI64, ValType::kF64);
+        case kI32Extend8S:
+        case kI32Extend16S: return unary(ValType::kI32, ValType::kI32);
+        case kI64Extend8S:
+        case kI64Extend16S:
+        case kI64Extend32S: return unary(ValType::kI64, ValType::kI64);
+        case kPrefixFC: return step_fc();
+        default:
+          return err("unknown opcode 0x" + std::to_string(op));
+      }
+  }
+}
+
+Status FunctionValidator::step_fc() {
+  WASMCTR_ASSIGN_OR_RETURN(uint32_t sub, reader_.var_u32());
+  switch (sub) {
+    case kI32TruncSatF32S:
+    case kI32TruncSatF32U: return unary(ValType::kF32, ValType::kI32);
+    case kI32TruncSatF64S:
+    case kI32TruncSatF64U: return unary(ValType::kF64, ValType::kI32);
+    case kI64TruncSatF32S:
+    case kI64TruncSatF32U: return unary(ValType::kF32, ValType::kI64);
+    case kI64TruncSatF64S:
+    case kI64TruncSatF64U: return unary(ValType::kF64, ValType::kI64);
+    case kMemoryCopy: {
+      WASMCTR_RETURN_IF_ERROR(require_memory());
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t z1, reader_.u8());
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t z2, reader_.u8());
+      if (z1 != 0 || z2 != 0) return err("memory.copy reserved bytes");
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      return Status::ok();
+    }
+    case kMemoryFill: {
+      WASMCTR_RETURN_IF_ERROR(require_memory());
+      WASMCTR_ASSIGN_OR_RETURN(uint8_t z, reader_.u8());
+      if (z != 0) return err("memory.fill reserved byte");
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      WASMCTR_RETURN_IF_ERROR(pop_expect(ValType::kI32));
+      return Status::ok();
+    }
+    default:
+      return err("unknown 0xFC opcode " + std::to_string(sub));
+  }
+}
+
+Status check_const_expr(const Module& module, const ConstExpr& e,
+                        ValType expected, uint32_t num_imported_globals) {
+  ValType actual = ValType::kI32;
+  switch (e.kind) {
+    case ConstExpr::Kind::kI32: actual = ValType::kI32; break;
+    case ConstExpr::Kind::kI64: actual = ValType::kI64; break;
+    case ConstExpr::Kind::kF32: actual = ValType::kF32; break;
+    case ConstExpr::Kind::kF64: actual = ValType::kF64; break;
+    case ConstExpr::Kind::kGlobalGet: {
+      // MVP: only imported, immutable globals are usable in const exprs.
+      if (e.global_index >= num_imported_globals) {
+        return validation_error("const expr global.get must reference import");
+      }
+      const GlobalType g = module.global_type(e.global_index);
+      if (g.mutable_) {
+        return validation_error("const expr global.get of mutable global");
+      }
+      actual = g.value_type;
+      break;
+    }
+  }
+  if (actual != expected) {
+    return validation_error("constant expression type mismatch");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate_module(const Module& module) {
+  // Type indices.
+  for (const uint32_t t : module.functions) {
+    if (t >= module.types.size()) {
+      return validation_error("function type index out of range");
+    }
+  }
+  for (const Import& imp : module.imports) {
+    if (imp.kind == ImportKind::kFunc &&
+        imp.func_type_index >= module.types.size()) {
+      return validation_error("import type index out of range");
+    }
+  }
+  // MVP: at most one table and one memory (imports included).
+  if (module.num_tables() > 1) {
+    return validation_error("at most one table allowed");
+  }
+  if (module.num_memories() > 1) {
+    return validation_error("at most one memory allowed");
+  }
+
+  const uint32_t imported_globals = module.num_imported(ImportKind::kGlobal);
+  for (const Global& g : module.globals) {
+    WASMCTR_RETURN_IF_ERROR(
+        check_const_expr(module, g.init, g.type.value_type, imported_globals));
+  }
+
+  // Exports: indices valid, names unique.
+  {
+    std::vector<std::string_view> names;
+    for (const Export& e : module.exports) {
+      uint32_t limit = 0;
+      switch (e.kind) {
+        case ExportKind::kFunc: limit = module.num_funcs(); break;
+        case ExportKind::kTable: limit = module.num_tables(); break;
+        case ExportKind::kMemory: limit = module.num_memories(); break;
+        case ExportKind::kGlobal: limit = module.num_globals(); break;
+      }
+      if (e.index >= limit) {
+        return validation_error("export index out of range: " + e.name);
+      }
+      names.push_back(e.name);
+    }
+    std::sort(names.begin(), names.end());
+    if (std::adjacent_find(names.begin(), names.end()) != names.end()) {
+      return validation_error("duplicate export name");
+    }
+  }
+
+  if (module.start) {
+    if (*module.start >= module.num_funcs()) {
+      return validation_error("start function index out of range");
+    }
+    const FuncType& sig = module.func_type(*module.start);
+    if (!sig.params.empty() || !sig.results.empty()) {
+      return validation_error("start function must have type [] -> []");
+    }
+  }
+
+  for (const ElementSegment& seg : module.elements) {
+    if (module.num_tables() == 0) {
+      return validation_error("element segment without table");
+    }
+    WASMCTR_RETURN_IF_ERROR(
+        check_const_expr(module, seg.offset, ValType::kI32, imported_globals));
+    for (const uint32_t f : seg.func_indices) {
+      if (f >= module.num_funcs()) {
+        return validation_error("element function index out of range");
+      }
+    }
+  }
+
+  for (const DataSegment& seg : module.datas) {
+    if (module.num_memories() == 0) {
+      return validation_error("data segment without memory");
+    }
+    WASMCTR_RETURN_IF_ERROR(
+        check_const_expr(module, seg.offset, ValType::kI32, imported_globals));
+  }
+
+  for (const FunctionBody& body : module.bodies) {
+    WASMCTR_RETURN_IF_ERROR(FunctionValidator(module, body).run());
+  }
+  return Status::ok();
+}
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,17 @@
+// WebAssembly module validation (type checking).
+//
+// Implements the spec's stack-polymorphic validation algorithm over the
+// binary expression encoding: a value stack of (possibly unknown) types and
+// a control stack of frames for block/loop/if. A module that validates can
+// be executed without per-instruction type checks.
+#pragma once
+
+#include "support/status.hpp"
+#include "wasm/module.hpp"
+
+namespace wasmctr::wasm {
+
+/// Validate all of `module`. Returns kValidation on the first rule breach.
+Status validate_module(const Module& module);
+
+}  // namespace wasmctr::wasm

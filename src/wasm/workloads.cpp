@@ -1,0 +1,210 @@
+#include "wasm/workloads.hpp"
+
+#include "wasm/builder.hpp"
+#include "wasm/opcodes.hpp"
+
+namespace wasmctr::wasm {
+
+namespace {
+constexpr char kGreeting[] = "hello from wasm microservice\n";
+constexpr uint32_t kGreetingLen = sizeof(kGreeting) - 1;
+}  // namespace
+
+std::vector<uint8_t> build_minimal_microservice() {
+  ModuleBuilder b;
+  const uint32_t args_sizes_get = b.import_function(
+      "wasi_snapshot_preview1", "args_sizes_get",
+      {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  const uint32_t fd_write = b.import_function(
+      "wasi_snapshot_preview1", "fd_write",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  const uint32_t proc_exit = b.import_function(
+      "wasi_snapshot_preview1", "proc_exit", {ValType::kI32}, {});
+
+  b.add_memory(2, 16);
+  b.add_data(1024, kGreeting);
+
+  FnBuilder& f = b.add_function("_start", {}, {});
+  const uint32_t i = f.add_local(ValType::kI32);
+
+  // argc/argv sizes → scratch at 64/68 (result dropped; a real C runtime
+  // would allocate argv from these).
+  f.i32_const(64).i32_const(68).call(args_sizes_get).drop();
+  // iovec{base=1024, len=greeting} at 16, then fd_write(stdout).
+  f.i32_const(16).i32_const(1024).i32_store();
+  f.i32_const(20).i32_const(static_cast<int32_t>(kGreetingLen)).i32_store();
+  f.i32_const(1).i32_const(16).i32_const(1).i32_const(80).call(fd_write).drop();
+  // Touch a small working set: 64 words starting at 4096.
+  f.i32_const(0).local_set(i);
+  f.loop();
+  {
+    f.i32_const(4096)
+        .local_get(i)
+        .i32_const(2)
+        .i32_shl()
+        .i32_add()
+        .local_get(i)
+        .i32_store();
+    f.local_get(i).i32_const(1).i32_add().local_tee(i);
+    f.i32_const(64).i32_lt_s().br_if(0);
+  }
+  f.end();
+  f.i32_const(0).call(proc_exit);
+  f.end();
+  return b.build();
+}
+
+std::vector<uint8_t> build_compute_kernel() {
+  ModuleBuilder b;
+  b.add_memory(1, 4);
+  FnBuilder& f = b.add_function("run", {ValType::kI32}, {ValType::kI32});
+  const uint32_t a = f.add_local(ValType::kI32);
+  const uint32_t acc = f.add_local(ValType::kI32);
+  const uint32_t i = f.add_local(ValType::kI32);
+
+  f.i32_const(1).local_set(a);
+  f.i32_const(2).local_set(acc);
+  f.i32_const(0).local_set(i);
+  f.block();
+  {
+    f.loop();
+    {
+      // exit when i >= iterations (param 0)
+      f.local_get(i).local_get(0).i32_ge_s().br_if(1);
+      // a = rotl(a * 31 + acc, 3) xor acc
+      f.local_get(a)
+          .i32_const(31)
+          .i32_mul()
+          .local_get(acc)
+          .i32_add()
+          .i32_const(3)
+          .i32_rotl()
+          .local_get(acc)
+          .i32_xor()
+          .local_set(a);
+      // acc += a, then a parity-dependent mix
+      f.local_get(acc).local_get(a).i32_add().local_set(acc);
+      f.local_get(a).i32_const(1).i32_and();
+      f.if_();
+      {
+        f.local_get(acc).i32_const(0x5bd1e995).i32_xor().local_set(acc);
+      }
+      f.else_();
+      {
+        f.local_get(acc).i32_const(1).i32_shr_u().local_set(acc);
+      }
+      f.end();
+      f.local_get(i).i32_const(1).i32_add().local_set(i);
+      f.br(0);
+    }
+    f.end();
+  }
+  f.end();
+  f.local_get(a).local_get(acc).i32_add();
+  f.end();
+  return b.build();
+}
+
+std::vector<uint8_t> build_memory_stress() {
+  ModuleBuilder b;
+  b.add_memory(1, 256);
+  FnBuilder& f = b.add_function("touch", {ValType::kI32}, {ValType::kI32});
+  const uint32_t addr = f.add_local(ValType::kI32);
+  const uint32_t limit = f.add_local(ValType::kI32);
+
+  // Grow to the requested page count (ignore failure; grow returns -1).
+  f.local_get(0).memory_size().i32_sub();
+  f.local_tee(addr);  // reuse local as scratch for the delta
+  f.i32_const(0).i32_gt_s();
+  f.if_();
+  {
+    f.local_get(addr).memory_grow().drop();
+  }
+  f.end();
+  // Fault in one byte per 4 KiB OS page.
+  f.memory_size().i32_const(16).i32_shl().local_set(limit);  // pages*65536
+  f.i32_const(0).local_set(addr);
+  f.loop();
+  {
+    f.local_get(addr).i32_const(1).i32_store8();
+    f.local_get(addr).i32_const(4096).i32_add().local_tee(addr);
+    f.local_get(limit).i32_lt_u().br_if(0);
+  }
+  f.end();
+  f.memory_size();
+  f.end();
+  return b.build();
+}
+
+std::vector<uint8_t> build_table_dispatch() {
+  ModuleBuilder b;
+  b.add_memory(1, 1);
+  b.add_table(4, 4);
+
+  const uint32_t unary_type = b.add_type({ValType::kI32}, {ValType::kI32});
+
+  FnBuilder& inc = b.add_function("op_inc", {ValType::kI32}, {ValType::kI32});
+  inc.local_get(0).i32_const(1).i32_add().end();
+  FnBuilder& dbl = b.add_function("op_dbl", {ValType::kI32}, {ValType::kI32});
+  dbl.local_get(0).i32_const(1).i32_shl().end();
+  FnBuilder& sq = b.add_function("op_sq", {ValType::kI32}, {ValType::kI32});
+  sq.local_get(0).local_get(0).i32_mul().end();
+  FnBuilder& neg = b.add_function("op_neg", {ValType::kI32}, {ValType::kI32});
+  neg.i32_const(0).local_get(0).i32_sub().end();
+
+  b.add_elements(0, {0, 1, 2, 3});
+
+  FnBuilder& d = b.add_function("dispatch", {ValType::kI32, ValType::kI32},
+                                {ValType::kI32});
+  d.local_get(1);          // x
+  d.local_get(0);          // table index
+  d.call_indirect(unary_type);
+  d.end();
+  return b.build();
+}
+
+std::vector<uint8_t> build_file_logger() {
+  ModuleBuilder b;
+  const uint32_t path_open = b.import_function(
+      "wasi_snapshot_preview1", "path_open",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32,
+       ValType::kI32, ValType::kI64, ValType::kI64, ValType::kI32,
+       ValType::kI32},
+      {ValType::kI32});
+  const uint32_t fd_write = b.import_function(
+      "wasi_snapshot_preview1", "fd_write",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  const uint32_t proc_exit = b.import_function(
+      "wasi_snapshot_preview1", "proc_exit", {ValType::kI32}, {});
+
+  b.add_memory(1, 4);
+  b.add_data(512, "out.log");
+  b.add_data(1024, "status=ok\n");
+
+  FnBuilder& f = b.add_function("_start", {}, {});
+  // path_open(dirfd=3, dirflags=0, path=512 len 7, O_CREAT, all rights,
+  //           fdflags=0, result @ 100)
+  f.i32_const(3)
+      .i32_const(0)
+      .i32_const(512)
+      .i32_const(7)
+      .i32_const(1)
+      .i64_const(-1)
+      .i64_const(-1)
+      .i32_const(0)
+      .i32_const(100)
+      .call(path_open)
+      .drop();
+  // iovec{1024, 10} at 16; fd_write(mem[100], 16, 1, 104)
+  f.i32_const(16).i32_const(1024).i32_store();
+  f.i32_const(20).i32_const(10).i32_store();
+  f.i32_const(100).i32_load();
+  f.i32_const(16).i32_const(1).i32_const(104).call(fd_write).drop();
+  f.i32_const(0).call(proc_exit);
+  f.end();
+  return b.build();
+}
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,37 @@
+// Canonical workload modules used across tests, examples and benches.
+//
+// The paper evaluates "a minimal C application corresponding to a very
+// small microservice" (§IV-A) so that memory and startup costs are
+// dominated by the runtime, not the app. These builders emit the Wasm
+// binaries that play that role.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wasmctr::wasm {
+
+/// The paper's minimal microservice: a WASI command module whose _start
+/// reads its argv/env sizes, prints one greeting line to stdout, writes a
+/// few words into linear memory (so the working set is non-trivial), and
+/// calls proc_exit(0).
+std::vector<uint8_t> build_minimal_microservice();
+
+/// A CPU-bound kernel: export "run" computes an iterative fibonacci-style
+/// recurrence `iterations` times and returns the low 32 bits. Exercises the
+/// numeric and control-flow paths; used by the engine microbenchmarks.
+std::vector<uint8_t> build_compute_kernel();
+
+/// A memory-heavy module: export "touch" grows memory to `pages` Wasm pages
+/// and writes one byte per 4 KiB OS page (faulting them all in).
+std::vector<uint8_t> build_memory_stress();
+
+/// A module exercising indirect calls through a funcref table: export
+/// "dispatch(i, x)" calls one of four operations on x via call_indirect.
+std::vector<uint8_t> build_table_dispatch();
+
+/// WASI file I/O workload: _start writes a record into /data/out.log via
+/// path_open + fd_write, then exits. Requires a "/data" preopen.
+std::vector<uint8_t> build_file_logger();
+
+}  // namespace wasmctr::wasm

@@ -1,0 +1,178 @@
+#include "containerd/containerd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::containerd {
+namespace {
+
+class ContainerdTest : public ::testing::Test {
+ protected:
+  ContainerdTest() : images_(node_), ctrd_(node_, images_) {
+    Image wasm_image;
+    wasm_image.name = "svc:wasm";
+    wasm_image.payload.kind = oci::Payload::Kind::kWasm;
+    wasm_image.payload.wasm = wasm::build_minimal_microservice();
+    wasm_image.disk_size = Bytes(8192);
+    images_.add(std::move(wasm_image));
+
+    ctrd_.register_handler(
+        "crun-wamr", {HandlerPath::kRuncV2, "crun", engines::EngineKind::kWamr});
+    ctrd_.register_handler(
+        "wasmtime-shim",
+        {HandlerPath::kRunwasi, "", engines::EngineKind::kWasmtime});
+  }
+
+  Result<std::string> make_sandbox(const std::string& pod) {
+    Result<std::string> out = internal_error("no callback");
+    ctrd_.run_pod_sandbox(pod, [&](Result<std::string> r) { out = std::move(r); });
+    node_.kernel().run();
+    return out;
+  }
+
+  sim::Node node_;
+  ImageStore images_;
+  Containerd ctrd_;
+};
+
+TEST_F(ContainerdTest, SandboxCreatesPauseAndCgroup) {
+  auto sb = make_sandbox("pod-a");
+  ASSERT_TRUE(sb.is_ok()) << sb.status().to_string();
+  auto info = ctrd_.sandbox(*sb);
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ((*info)->pod_name, "pod-a");
+  EXPECT_NE((*info)->pause_pid, 0u);
+  mem::Cgroup* cg = node_.cgroups().find("kubepods/pod-pod-a");
+  ASSERT_NE(cg, nullptr);
+  EXPECT_GE(cg->working_set().value, 300u * 1024)
+      << "pause container private memory charged to the pod cgroup";
+}
+
+TEST_F(ContainerdTest, RuncV2PathRunsContainer) {
+  auto sb = make_sandbox("pod-a");
+  ASSERT_TRUE(sb.is_ok());
+  ContainerRequest req;
+  req.name = "c";
+  req.image = "svc:wasm";
+  Status running = internal_error("no callback");
+  auto cid = ctrd_.create_and_start(*sb, req, "crun-wamr",
+                                    [&](Status st) { running = std::move(st); });
+  ASSERT_TRUE(cid.is_ok()) << cid.status().to_string();
+  node_.kernel().run();
+  ASSERT_TRUE(running.is_ok()) << running.to_string();
+  auto state = ctrd_.container_state(*cid);
+  ASSERT_TRUE(state.is_ok());
+  EXPECT_EQ(state->state, oci::ContainerState::kRunning);
+  EXPECT_EQ(state->stdout_data, "hello from wasm microservice\n");
+  // One shim-runc-v2 process exists, outside pod cgroups: the node's anon
+  // grew by more than the pod cgroup.
+  mem::Cgroup* cg = node_.cgroups().find("kubepods/pod-pod-a");
+  EXPECT_GT(node_.memory().anon_total(), cg->anon());
+}
+
+TEST_F(ContainerdTest, RunwasiPathRunsInPodCgroup) {
+  auto sb = make_sandbox("pod-b");
+  ASSERT_TRUE(sb.is_ok());
+  ContainerRequest req;
+  req.name = "c";
+  req.image = "svc:wasm";
+  Status running = internal_error("no callback");
+  auto cid = ctrd_.create_and_start(*sb, req, "wasmtime-shim",
+                                    [&](Status st) { running = std::move(st); });
+  ASSERT_TRUE(cid.is_ok());
+  node_.kernel().run();
+  ASSERT_TRUE(running.is_ok()) << running.to_string();
+  auto state = ctrd_.container_state(*cid);
+  ASSERT_TRUE(state.is_ok());
+  EXPECT_EQ(state->state, oci::ContainerState::kRunning);
+  EXPECT_EQ(state->exit_code, 0u);
+  // The shim process (engine included) is charged inside the pod cgroup.
+  mem::Cgroup* cg = node_.cgroups().find("kubepods/pod-pod-b");
+  ASSERT_NE(cg, nullptr);
+  EXPECT_GT(cg->working_set().value, 4u << 20)
+      << "runwasi shim footprint must land in the pod cgroup";
+}
+
+TEST_F(ContainerdTest, UnknownHandlerRejected) {
+  auto sb = make_sandbox("pod-c");
+  ASSERT_TRUE(sb.is_ok());
+  ContainerRequest req;
+  req.name = "c";
+  req.image = "svc:wasm";
+  EXPECT_EQ(ctrd_.create_and_start(*sb, req, "nonexistent", nullptr)
+                .status()
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ContainerdTest, UnknownImageRejected) {
+  auto sb = make_sandbox("pod-d");
+  ASSERT_TRUE(sb.is_ok());
+  ContainerRequest req;
+  req.name = "c";
+  req.image = "missing:latest";
+  EXPECT_EQ(ctrd_.create_and_start(*sb, req, "crun-wamr", nullptr)
+                .status()
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ContainerdTest, RemoveSandboxReleasesEverything) {
+  const mem::FreeReport before = node_.memory().free_report();
+  auto sb = make_sandbox("pod-e");
+  ASSERT_TRUE(sb.is_ok());
+  ContainerRequest req;
+  req.name = "c";
+  req.image = "svc:wasm";
+  ASSERT_TRUE(
+      ctrd_.create_and_start(*sb, req, "crun-wamr", nullptr).is_ok());
+  node_.kernel().run();
+  EXPECT_GT(node_.memory().free_report().used, before.used);
+  ASSERT_TRUE(ctrd_.remove_pod_sandbox(*sb).is_ok());
+  const mem::FreeReport after = node_.memory().free_report();
+  EXPECT_EQ(after.used, before.used) << "full teardown must restore memory";
+  EXPECT_EQ(after.buffcache, before.buffcache);
+  EXPECT_EQ(ctrd_.sandbox_count(), 0u);
+  EXPECT_EQ(node_.procs().count(), 0u);
+}
+
+TEST_F(ContainerdTest, RemoveSandboxWithRunwasiReleasesEverything) {
+  const Bytes before = node_.memory().anon_total();
+  auto sb = make_sandbox("pod-f");
+  ASSERT_TRUE(sb.is_ok());
+  ContainerRequest req;
+  req.name = "c";
+  req.image = "svc:wasm";
+  ASSERT_TRUE(
+      ctrd_.create_and_start(*sb, req, "wasmtime-shim", nullptr).is_ok());
+  node_.kernel().run();
+  ASSERT_TRUE(ctrd_.remove_pod_sandbox(*sb).is_ok());
+  EXPECT_EQ(node_.memory().anon_total(), before);
+  EXPECT_EQ(node_.memory().shared_resident().value, 0u);
+}
+
+TEST_F(ContainerdTest, ImageLayersCachedOncePerImage) {
+  auto sb1 = make_sandbox("pod-g");
+  auto sb2 = make_sandbox("pod-h");
+  ASSERT_TRUE(sb1.is_ok());
+  ASSERT_TRUE(sb2.is_ok());
+  ContainerRequest req;
+  req.name = "c";
+  req.image = "svc:wasm";
+  ASSERT_TRUE(ctrd_.create_and_start(*sb1, req, "crun-wamr", nullptr).is_ok());
+  ASSERT_TRUE(ctrd_.create_and_start(*sb2, req, "crun-wamr", nullptr).is_ok());
+  node_.kernel().run();
+  EXPECT_EQ(node_.memory().page_cache().value, 8192u)
+      << "two containers, one image: cached once";
+}
+
+TEST_F(ContainerdTest, HandlerNamesListed) {
+  auto names = ctrd_.handler_names();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(ctrd_.has_handler("crun-wamr"));
+  EXPECT_FALSE(ctrd_.has_handler("youki"));
+}
+
+}  // namespace
+}  // namespace wasmctr::containerd

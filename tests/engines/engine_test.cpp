@@ -1,0 +1,161 @@
+#include "engines/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engines/compile_cache.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::engines {
+namespace {
+
+TEST(EngineProfileTest, ProfilesResolve) {
+  for (EngineKind k : {EngineKind::kWamr, EngineKind::kWasmtime,
+                       EngineKind::kWasmer, EngineKind::kWasmEdge}) {
+    EXPECT_EQ(crun_engine_profile(k).kind, k);
+  }
+  for (EngineKind k :
+       {EngineKind::kWasmtime, EngineKind::kWasmer, EngineKind::kWasmEdge}) {
+    EXPECT_EQ(shim_engine_profile(k).kind, k);
+  }
+}
+
+TEST(EngineProfileTest, WamrIsTheLightestCrunEngine) {
+  const EngineProfile& wamr = crun_engine_profile(EngineKind::kWamr);
+  for (EngineKind k : {EngineKind::kWasmtime, EngineKind::kWasmer,
+                       EngineKind::kWasmEdge}) {
+    const EngineProfile& other = crun_engine_profile(k);
+    EXPECT_LT(wamr.private_fixed, other.private_fixed)
+        << engine_name(k);
+    EXPECT_LT(wamr.shared_lib, other.shared_lib) << engine_name(k);
+    EXPECT_LE(wamr.instance_multiplier, other.instance_multiplier)
+        << "interpreter must not hold JIT code";
+  }
+}
+
+TEST(EngineTest, LibraryNames) {
+  EXPECT_EQ(make_crun_engine(EngineKind::kWamr).library_name(), "libwamr.so");
+  EXPECT_EQ(make_shim_engine(EngineKind::kWasmtime).library_name(),
+            "containerd-shim-wasmtime");
+}
+
+TEST(EngineTest, RunsMicroserviceEndToEnd) {
+  const Engine wamr = make_crun_engine(EngineKind::kWamr);
+  wasi::VirtualFs fs;
+  wasi::WasiOptions opts;
+  opts.args = {"app.wasm"};
+  auto report = wamr.run_module(wasm::build_minimal_microservice(),
+                                std::move(opts), fs);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->exit_code, 0u);
+  EXPECT_EQ(report->stdout_data, "hello from wasm microservice\n");
+  EXPECT_GT(report->instructions, 0u);
+  EXPECT_GT(report->measured_instance.value, 128u * 1024)
+      << "two Wasm pages of linear memory must be counted";
+}
+
+TEST(EngineTest, ModeledInstanceAppliesMultiplier) {
+  wasi::VirtualFs fs;
+  wasi::WasiOptions opts;
+  opts.args = {"app.wasm"};
+  const auto bytes = wasm::build_minimal_microservice();
+  const Engine wamr = make_crun_engine(EngineKind::kWamr);
+  const Engine wasmtime = make_crun_engine(EngineKind::kWasmtime);
+  auto interp = wamr.run_module(bytes, opts, fs);
+  auto jit = wasmtime.run_module(bytes, opts, fs);
+  ASSERT_TRUE(interp.is_ok());
+  ASSERT_TRUE(jit.is_ok());
+  EXPECT_EQ(interp->measured_instance, jit->measured_instance)
+      << "same real execution underneath";
+  EXPECT_EQ(jit->modeled_instance.value, interp->measured_instance.value * 3)
+      << "wasmtime profile holds 3x (compiled code)";
+  EXPECT_EQ(interp->modeled_instance, interp->measured_instance);
+}
+
+TEST(EngineTest, RejectsMalformedModule) {
+  const Engine wamr = make_crun_engine(EngineKind::kWamr);
+  wasi::VirtualFs fs;
+  const std::vector<uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef};
+  auto report = wamr.run_module(garbage, {}, fs);
+  EXPECT_EQ(report.status().code(), ErrorCode::kMalformed);
+}
+
+TEST(EngineTest, NonZeroExitCodeSurfaces) {
+  // A module whose _start exits 7.
+  wasm::ModuleBuilder b;
+  const uint32_t proc_exit = b.import_function(
+      "wasi_snapshot_preview1", "proc_exit", {wasm::ValType::kI32}, {});
+  b.add_memory(1, 1);
+  wasm::FnBuilder& f = b.add_function("_start", {}, {});
+  f.i32_const(7).call(proc_exit).end();
+  const Engine wamr = make_crun_engine(EngineKind::kWamr);
+  wasi::VirtualFs fs;
+  auto report = wamr.run_module(b.build(), {}, fs);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->exit_code, 7u);
+}
+
+TEST(EngineTest, GenuineTrapIsAnError) {
+  wasm::ModuleBuilder b;
+  b.add_memory(1, 1);
+  wasm::FnBuilder& f = b.add_function("_start", {}, {});
+  f.unreachable().end();
+  const Engine wamr = make_crun_engine(EngineKind::kWamr);
+  wasi::VirtualFs fs;
+  auto report = wamr.run_module(b.build(), {}, fs);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kTrap);
+}
+
+TEST(StartupCostTest, CacheSplitsCompileFromLoad) {
+  const Engine wasmtime = make_crun_engine(EngineKind::kWasmtime);
+  const StartupCost cold = wasmtime.startup_cost(3000, false);
+  const StartupCost warm = wasmtime.startup_cost(3000, true);
+  EXPECT_GT(cold.shared_compile_cpu_s, 1.0);
+  EXPECT_EQ(cold.cache_load_cpu_s, 0.0);
+  EXPECT_EQ(warm.shared_compile_cpu_s, 0.0);
+  EXPECT_GT(warm.cache_load_cpu_s, 0.0);
+  EXPECT_LT(warm.cache_load_cpu_s, cold.shared_compile_cpu_s);
+}
+
+TEST(StartupCostTest, WamrHasNoCompileStage) {
+  const Engine wamr = make_crun_engine(EngineKind::kWamr);
+  const StartupCost cost = wamr.startup_cost(3000, false);
+  EXPECT_EQ(cost.shared_compile_cpu_s, 0.0);
+  EXPECT_EQ(cost.cache_load_cpu_s, 0.0);
+  EXPECT_GT(cost.init_cpu_s, 0.0);
+}
+
+TEST(StartupCostTest, LoadScalesWithModuleSize) {
+  const Engine wamr = make_crun_engine(EngineKind::kWamr);
+  EXPECT_GT(wamr.startup_cost(1 << 20, false).load_cpu_s,
+            wamr.startup_cost(1 << 10, false).load_cpu_s);
+}
+
+TEST(CompileCacheTest, MissThenHit) {
+  CompileCache cache;
+  int ready_calls = 0;
+  EXPECT_EQ(cache.lookup("m", [&] { ++ready_calls; }),
+            CompileCache::Outcome::kMiss);
+  EXPECT_EQ(cache.lookup("m", [&] { ++ready_calls; }),
+            CompileCache::Outcome::kWait);
+  EXPECT_EQ(cache.lookup("m", [&] { ++ready_calls; }),
+            CompileCache::Outcome::kWait);
+  EXPECT_FALSE(cache.is_ready("m"));
+  cache.publish("m");
+  EXPECT_EQ(ready_calls, 2) << "both waiters released";
+  EXPECT_TRUE(cache.is_ready("m"));
+  EXPECT_EQ(cache.lookup("m", [] {}), CompileCache::Outcome::kHit);
+}
+
+TEST(CompileCacheTest, KeysAreIndependent) {
+  CompileCache cache;
+  EXPECT_EQ(cache.lookup("a", [] {}), CompileCache::Outcome::kMiss);
+  EXPECT_EQ(cache.lookup("b", [] {}), CompileCache::Outcome::kMiss);
+  cache.publish("a");
+  EXPECT_EQ(cache.lookup("a", [] {}), CompileCache::Outcome::kHit);
+  EXPECT_EQ(cache.lookup("b", [] {}), CompileCache::Outcome::kWait);
+}
+
+}  // namespace
+}  // namespace wasmctr::engines

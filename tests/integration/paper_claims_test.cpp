@@ -1,0 +1,162 @@
+// Integration tests asserting the paper's headline claims (C1–C8 in
+// DESIGN.md) hold in the simulation at every density the paper evaluates.
+// These are the same checks the benches print; here they gate CI.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "k8s/cluster.hpp"
+
+namespace wasmctr::k8s {
+namespace {
+
+struct Measurement {
+  double metrics_mib;
+  double free_mib;
+  double startup_s;
+};
+
+Measurement measure(DeployConfig config, uint32_t density) {
+  Cluster cluster;
+  EXPECT_TRUE(cluster.deploy(config, density).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.running_count(), density) << deploy_config_name(config);
+  return {cluster.metrics_avg_per_container().mib(),
+          cluster.free_avg_per_container().mib(),
+          to_seconds(cluster.startup_makespan())};
+}
+
+double reduction(double ours, double other) { return 1.0 - ours / other; }
+
+class PaperClaims : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  static const std::map<DeployConfig, Measurement>& all(uint32_t density) {
+    static std::map<uint32_t, std::map<DeployConfig, Measurement>> cache;
+    auto& slot = cache[density];
+    if (slot.empty()) {
+      for (DeployConfig c : kAllConfigs) slot.emplace(c, measure(c, density));
+    }
+    return slot;
+  }
+};
+
+TEST_P(PaperClaims, C1_MemoryVsCrunEngines) {
+  const auto& m = all(GetParam());
+  const double ours_metrics = m.at(DeployConfig::kCrunWamr).metrics_mib;
+  const double ours_free = m.at(DeployConfig::kCrunWamr).free_mib;
+  for (DeployConfig c : {DeployConfig::kCrunWasmtime, DeployConfig::kCrunWasmer,
+                         DeployConfig::kCrunWasmEdge}) {
+    EXPECT_GE(reduction(ours_metrics, m.at(c).metrics_mib), 0.5034)
+        << deploy_config_name(c) << " (paper Fig 3: >=50.34% at any density)";
+    EXPECT_GE(reduction(ours_free, m.at(c).free_mib), 0.40)
+        << deploy_config_name(c) << " (paper Fig 4: >=40.0%)";
+  }
+}
+
+TEST_P(PaperClaims, C2_MemoryVsRunwasiShims) {
+  const auto& m = all(GetParam());
+  const double ours = m.at(DeployConfig::kCrunWamr).free_mib;
+  EXPECT_GE(reduction(ours, m.at(DeployConfig::kShimWasmtime).free_mib),
+            0.1087)
+      << "paper Fig 5: >=10.87% vs containerd-shim-wasmtime";
+  EXPECT_NEAR(reduction(ours, m.at(DeployConfig::kShimWasmer).free_mib),
+              0.7753, 0.02)
+      << "paper Fig 5: 77.53% vs containerd-shim-wasmer";
+  // Every shim is worse than ours.
+  for (DeployConfig c : {DeployConfig::kShimWasmtime, DeployConfig::kShimWasmer,
+                         DeployConfig::kShimWasmEdge}) {
+    EXPECT_LT(ours, m.at(c).free_mib) << deploy_config_name(c);
+  }
+}
+
+TEST_P(PaperClaims, C3_MemoryVsPython) {
+  const auto& m = all(GetParam());
+  const auto& ours = m.at(DeployConfig::kCrunWamr);
+  const auto& crun_py = m.at(DeployConfig::kCrunPython);
+  const auto& runc_py = m.at(DeployConfig::kRuncPython);
+  EXPECT_GE(reduction(ours.metrics_mib, crun_py.metrics_mib), 0.1798)
+      << "paper Fig 6: >=17.98% vs crun+Python (metrics server)";
+  EXPECT_GE(reduction(ours.metrics_mib, runc_py.metrics_mib), 0.1815)
+      << "paper Fig 6: >=18.15% vs runC+Python (metrics server)";
+  EXPECT_GE(reduction(ours.free_mib, crun_py.free_mib), 0.1638)
+      << "paper Fig 7: >=16.38% vs crun+Python (free)";
+  EXPECT_GE(reduction(ours.free_mib, runc_py.free_mib), 0.1787)
+      << "paper Fig 7: >=17.87% vs runC+Python (free)";
+
+  // Ours is the ONLY Wasm config under Python on the metrics server.
+  for (DeployConfig c :
+       {DeployConfig::kCrunWasmtime, DeployConfig::kCrunWasmer,
+        DeployConfig::kCrunWasmEdge, DeployConfig::kShimWasmtime,
+        DeployConfig::kShimWasmer, DeployConfig::kShimWasmEdge}) {
+    EXPECT_GT(m.at(c).metrics_mib, crun_py.metrics_mib)
+        << deploy_config_name(c) << " must not beat Python on metrics";
+  }
+  // On free, shim-wasmtime additionally slips under Python by >=4.66%.
+  EXPECT_GE(reduction(m.at(DeployConfig::kShimWasmtime).free_mib,
+                      crun_py.free_mib),
+            0.0466)
+      << "paper Fig 7: shim-wasmtime beats Python by >=4.66% on free";
+  EXPECT_GT(m.at(DeployConfig::kShimWasmEdge).free_mib, crun_py.free_mib)
+      << "shim-wasmedge must not beat Python on free";
+}
+
+TEST_P(PaperClaims, C7_FreeExceedsMetricsByUpTo42Percent) {
+  const auto& m = all(GetParam());
+  for (const auto& [config, meas] : m) {
+    const double ratio = meas.free_mib / meas.metrics_mib;
+    EXPECT_GT(ratio, 1.0) << deploy_config_name(config);
+    EXPECT_LE(ratio, 1.42) << deploy_config_name(config)
+                           << " (paper: up to 42% more)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, PaperClaims,
+                         ::testing::Values(10u, 100u, 400u),
+                         [](const auto& info) {
+                           return "density" + std::to_string(info.param);
+                         });
+
+TEST(PaperClaimsStartup, C5_TenContainers) {
+  std::map<DeployConfig, double> t;
+  for (DeployConfig c : kAllConfigs) t[c] = measure(c, 10).startup_s;
+  const double ours = t[DeployConfig::kCrunWamr];
+  EXPECT_NEAR(ours, 3.24, 0.25) << "paper Fig 8: ours ~3.24s";
+  // runwasi shims are the fastest at low density (up to 11.45% ahead).
+  EXPECT_LT(t[DeployConfig::kShimWasmtime], ours);
+  EXPECT_LT(t[DeployConfig::kShimWasmEdge], ours);
+  EXPECT_GE(reduction(t[DeployConfig::kShimWasmEdge], ours), 0.05);
+  EXPECT_LE(reduction(t[DeployConfig::kShimWasmEdge], ours), 0.1145 + 0.02);
+  // Ours beats every other crun engine by at least 2.66%.
+  for (DeployConfig c : {DeployConfig::kCrunWasmtime, DeployConfig::kCrunWasmer,
+                         DeployConfig::kCrunWasmEdge}) {
+    EXPECT_GE(reduction(ours, t[c]), 0.0266) << deploy_config_name(c);
+  }
+  // Ours beats Python by 3-18% (abstract).
+  for (DeployConfig c : {DeployConfig::kCrunPython, DeployConfig::kRuncPython}) {
+    const double r = reduction(ours, t[c]);
+    EXPECT_GE(r, 0.03) << deploy_config_name(c);
+    EXPECT_LE(r, 0.18) << deploy_config_name(c);
+  }
+}
+
+TEST(PaperClaimsStartup, C6_FourHundredContainers) {
+  std::map<DeployConfig, double> t;
+  for (DeployConfig c : kAllConfigs) t[c] = measure(c, 400).startup_s;
+  const double ours = t[DeployConfig::kCrunWamr];
+  // The ranking flips: ours now beats both fast shims...
+  EXPECT_NEAR(reduction(ours, t[DeployConfig::kShimWasmEdge]), 0.1882, 0.03)
+      << "paper Fig 9: 18.82% faster than shim-wasmedge";
+  EXPECT_NEAR(reduction(ours, t[DeployConfig::kShimWasmtime]), 0.2838, 0.03)
+      << "paper Fig 9: 28.38% faster than shim-wasmtime";
+  // ...but trails crun-wasmtime by ~6.93%.
+  const double vs_cwt =
+      ours / t[DeployConfig::kCrunWasmtime] - 1.0;
+  EXPECT_NEAR(vs_cwt, 0.0693, 0.02)
+      << "paper Fig 9: ours 6.93% slower than crun-wasmtime";
+  // Still ahead of Python at scale.
+  EXPECT_LT(ours, t[DeployConfig::kCrunPython]);
+  EXPECT_LT(ours, t[DeployConfig::kRuncPython]);
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

@@ -1,0 +1,180 @@
+// Cluster-level tests: scheduling, kubelet limits, metrics/free probes,
+// hybrid deployments — the end-to-end behaviours the benches rely on.
+#include "k8s/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::k8s {
+namespace {
+
+TEST(ClusterTest, DeployTenWamrPodsAllRun) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 10).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.running_count(), 10u);
+  EXPECT_EQ(cluster.failed_count(), 0u);
+  EXPECT_GT(to_seconds(cluster.startup_makespan()), 0.0);
+}
+
+TEST(ClusterTest, WorkloadStdoutReachable) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 1, "solo").is_ok());
+  cluster.run();
+  auto out = cluster.pod_stdout("solo-crun-wamr-0");
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(*out, "hello from wasm microservice\n");
+}
+
+TEST(ClusterTest, PythonPodsRunTheScript) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunPython, 3).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.running_count(), 3u);
+  auto out = cluster.pod_stdout("pod-crun-python-0");
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(*out, "hello from python microservice\n");
+}
+
+TEST(ClusterTest, EveryConfigDeploysCleanly) {
+  for (DeployConfig c : kAllConfigs) {
+    Cluster cluster;
+    ASSERT_TRUE(cluster.deploy(c, 5).is_ok()) << deploy_config_name(c);
+    cluster.run();
+    EXPECT_EQ(cluster.running_count(), 5u) << deploy_config_name(c);
+    EXPECT_EQ(cluster.failed_count(), 0u) << deploy_config_name(c);
+    EXPECT_GT(cluster.metrics_avg_per_container().value, 0u);
+    EXPECT_GT(cluster.free_avg_per_container().value, 0u);
+  }
+}
+
+TEST(ClusterTest, FreeReportsMoreThanMetrics) {
+  // Paper §IV-B: `free` sees shims/kubelet/kernel state the metrics
+  // server does not; reported values are strictly higher.
+  for (DeployConfig c : {DeployConfig::kCrunWamr, DeployConfig::kCrunPython,
+                         DeployConfig::kShimWasmtime}) {
+    Cluster cluster;
+    ASSERT_TRUE(cluster.deploy(c, 10).is_ok());
+    cluster.run();
+    EXPECT_GT(cluster.free_avg_per_container(),
+              cluster.metrics_avg_per_container())
+        << deploy_config_name(c);
+  }
+}
+
+TEST(ClusterTest, MemoryPerContainerDensityInvariant) {
+  // Paper §IV-B: "memory overhead per container does not vary
+  // significantly between deployment sizes" — under 10 % drift.
+  double at10 = 0;
+  double at400 = 0;
+  for (const uint32_t n : {10u, 400u}) {
+    Cluster cluster;
+    ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, n).is_ok());
+    cluster.run();
+    ASSERT_EQ(cluster.running_count(), n);
+    (n == 10 ? at10 : at400) = cluster.metrics_avg_per_container().mib();
+  }
+  EXPECT_LT(std::abs(at10 - at400) / at400, 0.10);
+}
+
+TEST(ClusterTest, StockKubeletCapsAt110Pods) {
+  // §III-C: the paper had to raise the kubelet limit to support 500 pods.
+  ClusterOptions stock;
+  stock.max_pods = 110;
+  Cluster cluster(stock);
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 200).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.running_count(), 110u);
+  EXPECT_EQ(cluster.failed_count(), 90u);
+}
+
+TEST(ClusterTest, ExtendedConfigRuns400Pods) {
+  Cluster cluster;  // default options use the paper's 500-pod config
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 400).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.running_count(), 400u);
+  EXPECT_EQ(cluster.failed_count(), 0u);
+}
+
+TEST(ClusterTest, HybridWasmAndPythonPodsCoexist) {
+  // §III-C: "pods can seamlessly run traditional and Wasm-based
+  // containers, enabling hybrid deployments".
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 5, "wasm").is_ok());
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kRuncPython, 5, "py").is_ok());
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kShimWasmtime, 5, "shim").is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.running_count(), 15u);
+  EXPECT_EQ(cluster.failed_count(), 0u);
+}
+
+TEST(ClusterTest, UnknownRuntimeClassFailsPod) {
+  Cluster cluster;
+  PodSpec spec;
+  spec.name = "bad";
+  spec.image = "microservice:wasm";
+  spec.runtime_class = "does-not-exist";
+  EXPECT_EQ(cluster.deploy_pod(std::move(spec)).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(ClusterTest, DuplicatePodNameRejected) {
+  Cluster cluster;
+  PodSpec spec;
+  spec.name = "dup";
+  spec.image = "microservice:wasm";
+  spec.runtime_class = "crun-wamr";
+  ASSERT_TRUE(cluster.deploy_pod(spec).is_ok());
+  EXPECT_EQ(cluster.deploy_pod(spec).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(ClusterTest, MetricsServerSeesOnlyRunningPods) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 4).is_ok());
+  EXPECT_EQ(cluster.metrics().top_pods().size(), 0u) << "nothing running yet";
+  cluster.run();
+  EXPECT_EQ(cluster.metrics().top_pods().size(), 4u);
+}
+
+TEST(ClusterTest, PodStatusTimestampsOrdered) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 3).is_ok());
+  cluster.run();
+  for (const Pod* pod : cluster.api().pods()) {
+    ASSERT_EQ(pod->status.phase, PodPhase::kRunning);
+    EXPECT_GT(pod->status.running_at, pod->status.created_at);
+    EXPECT_FALSE(pod->status.sandbox_id.empty());
+    EXPECT_FALSE(pod->status.container_id.empty());
+  }
+}
+
+TEST(ClusterTest, DeterministicAcrossRuns) {
+  auto measure = [] {
+    Cluster cluster;
+    EXPECT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 20).is_ok());
+    cluster.run();
+    return std::pair(cluster.startup_makespan(),
+                     cluster.metrics_avg_per_container());
+  };
+  const auto a = measure();
+  const auto b = measure();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(ClusterTest, MemoryLimitedPodFails) {
+  Cluster cluster;
+  PodSpec spec;
+  spec.name = "tiny";
+  spec.image = "microservice:wasm";
+  spec.runtime_class = "crun-wamr";
+  spec.memory_limit = 1 << 20;  // 1 MiB
+  ASSERT_TRUE(cluster.deploy_pod(std::move(spec)).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.failed_count(), 1u);
+  const Pod* pod = cluster.api().pod("tiny");
+  ASSERT_NE(pod, nullptr);
+  EXPECT_EQ(pod->status.phase, PodPhase::kFailed);
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

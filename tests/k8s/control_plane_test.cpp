@@ -1,0 +1,161 @@
+// Control-plane unit tests: API server object store + watches, scheduler
+// placement, metrics server filtering.
+#include <gtest/gtest.h>
+
+#include "k8s/api_server.hpp"
+#include "k8s/metrics_server.hpp"
+#include "k8s/scheduler.hpp"
+#include "sim/node.hpp"
+
+namespace wasmctr::k8s {
+namespace {
+
+PodSpec pod_named(const std::string& name) {
+  PodSpec spec;
+  spec.name = name;
+  spec.image = "img";
+  return spec;
+}
+
+TEST(ApiServerTest, CreateLookupDelete) {
+  ApiServer api;
+  ASSERT_TRUE(api.create_pod(pod_named("a")).is_ok());
+  EXPECT_NE(api.pod("a"), nullptr);
+  EXPECT_EQ(api.pod("b"), nullptr);
+  EXPECT_EQ(api.pod_count(), 1u);
+  ASSERT_TRUE(api.delete_pod("a").is_ok());
+  EXPECT_EQ(api.delete_pod("a").code(), ErrorCode::kNotFound);
+}
+
+TEST(ApiServerTest, RejectsInvalidPods) {
+  ApiServer api;
+  EXPECT_EQ(api.create_pod(pod_named("")).code(),
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(api.create_pod(pod_named("a")).is_ok());
+  EXPECT_EQ(api.create_pod(pod_named("a")).code(),
+            ErrorCode::kAlreadyExists);
+  PodSpec with_rc = pod_named("b");
+  with_rc.runtime_class = "missing";
+  EXPECT_EQ(api.create_pod(std::move(with_rc)).code(), ErrorCode::kNotFound);
+}
+
+TEST(ApiServerTest, WatchersFire) {
+  ApiServer api;
+  std::vector<std::string> created;
+  std::vector<std::string> bound;
+  api.watch_created([&](const Pod& p) { created.push_back(p.spec.name); });
+  api.watch_bound([&](const Pod& p) { bound.push_back(p.status.node); });
+  ASSERT_TRUE(api.create_pod(pod_named("a")).is_ok());
+  ASSERT_TRUE(api.bind_pod("a", "node-7").is_ok());
+  EXPECT_EQ(created, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(bound, (std::vector<std::string>{"node-7"}));
+  EXPECT_EQ(api.pod("a")->status.phase, PodPhase::kScheduled);
+}
+
+TEST(ApiServerTest, DoubleBindRejected) {
+  ApiServer api;
+  ASSERT_TRUE(api.create_pod(pod_named("a")).is_ok());
+  ASSERT_TRUE(api.bind_pod("a", "n1").is_ok());
+  EXPECT_EQ(api.bind_pod("a", "n2").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(api.bind_pod("ghost", "n1").code(), ErrorCode::kNotFound);
+}
+
+TEST(ApiServerTest, RuntimeClasses) {
+  ApiServer api;
+  ASSERT_TRUE(api.create_runtime_class({"crun-wamr", "crun-wamr"}).is_ok());
+  EXPECT_EQ(api.create_runtime_class({"crun-wamr", "x"}).code(),
+            ErrorCode::kAlreadyExists);
+  ASSERT_NE(api.runtime_class("crun-wamr"), nullptr);
+  EXPECT_EQ(api.runtime_class("nope"), nullptr);
+}
+
+TEST(SchedulerTest, SpreadsAcrossNodes) {
+  sim::Kernel kernel;
+  ApiServer api;
+  Scheduler sched(kernel, api);
+  sched.add_node("n1", 100);
+  sched.add_node("n2", 100);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(api.create_pod(pod_named("p" + std::to_string(i))).is_ok());
+  }
+  kernel.run();
+  int on_n1 = 0;
+  int on_n2 = 0;
+  for (const Pod* p : api.pods()) {
+    EXPECT_EQ(p->status.phase, PodPhase::kScheduled);
+    (p->status.node == "n1" ? on_n1 : on_n2)++;
+  }
+  EXPECT_EQ(on_n1, 5) << "least-loaded placement must balance";
+  EXPECT_EQ(on_n2, 5);
+  EXPECT_EQ(sched.bound_count(), 10u);
+}
+
+TEST(SchedulerTest, CapacityExhaustionFailsPods) {
+  sim::Kernel kernel;
+  ApiServer api;
+  Scheduler sched(kernel, api);
+  sched.add_node("n1", 3);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(api.create_pod(pod_named("p" + std::to_string(i))).is_ok());
+  }
+  kernel.run();
+  EXPECT_EQ(sched.bound_count(), 3u);
+  EXPECT_EQ(sched.unschedulable_count(), 2u);
+  int failed = 0;
+  for (const Pod* p : api.pods()) {
+    if (p->status.phase == PodPhase::kFailed) {
+      ++failed;
+      EXPECT_NE(p->status.message.find("too many pods"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(failed, 2);
+}
+
+TEST(SchedulerTest, NoNodesMeansEverythingUnschedulable) {
+  sim::Kernel kernel;
+  ApiServer api;
+  Scheduler sched(kernel, api);
+  ASSERT_TRUE(api.create_pod(pod_named("p")).is_ok());
+  kernel.run();
+  EXPECT_EQ(sched.unschedulable_count(), 1u);
+}
+
+TEST(MetricsServerTest, ReportsOnlyRunningPodsWithCgroups) {
+  sim::Node node;
+  ApiServer api;
+  MetricsServer metrics(api, node);
+  ASSERT_TRUE(api.create_pod(pod_named("p1")).is_ok());
+  EXPECT_TRUE(metrics.top_pods().empty());
+  // Fake a running pod with a charged cgroup.
+  api.pod("p1")->status.phase = PodPhase::kRunning;
+  mem::Cgroup& cg = node.cgroups().ensure("kubepods/pod-p1");
+  ASSERT_TRUE(cg.charge_anon(Bytes(5_MiB)).is_ok());
+  ASSERT_TRUE(cg.charge_file_inactive(Bytes(2_MiB)).is_ok());
+  auto top = metrics.top_pods();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].working_set.value, 5_MiB);
+  EXPECT_EQ(top[0].usage.value, 7_MiB);
+  EXPECT_EQ(metrics.average_working_set().value, 5_MiB);
+}
+
+TEST(FreeProbeTest, DeltaPerContainer) {
+  sim::Node node;
+  FreeProbe probe(node);
+  ASSERT_TRUE(node.memory().charge_anon(Bytes(30_MiB), nullptr).is_ok());
+  EXPECT_EQ(probe.delta_per_container(10).value, 3_MiB);
+  EXPECT_EQ(probe.delta_per_container(0).value, 0u);
+  probe.reset_baseline();
+  EXPECT_EQ(probe.delta_per_container(10).value, 0u);
+}
+
+TEST(FreeProbeTest, IncludesPageCache) {
+  sim::Node node;
+  FreeProbe probe(node);
+  const mem::FileId img = node.memory().new_file_id();
+  ASSERT_TRUE(node.memory().cache_file(img, Bytes(10_MiB), nullptr).is_ok());
+  EXPECT_EQ(probe.delta_per_container(10).value, 1_MiB)
+      << "free methodology counts buff/cache (paper §IV-B)";
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

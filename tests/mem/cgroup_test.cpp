@@ -1,0 +1,104 @@
+#include "mem/cgroup.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::mem {
+namespace {
+
+TEST(CgroupTest, ChargesPropagateToAncestors) {
+  CgroupTree tree;
+  Cgroup& pod = tree.ensure("kubepods/pod1");
+  Cgroup& ctr = tree.ensure("kubepods/pod1/ctr");
+  ASSERT_TRUE(ctr.charge_anon(Bytes(4096)).is_ok());
+  EXPECT_EQ(ctr.usage().value, 4096u);
+  EXPECT_EQ(pod.usage().value, 4096u);
+  EXPECT_EQ(tree.root().usage().value, 4096u);
+  ctr.uncharge_anon(Bytes(4096));
+  EXPECT_EQ(tree.root().usage().value, 0u);
+}
+
+TEST(CgroupTest, WorkingSetExcludesInactiveFile) {
+  CgroupTree tree;
+  Cgroup& g = tree.ensure("pod");
+  ASSERT_TRUE(g.charge_anon(Bytes(1000)).is_ok());
+  ASSERT_TRUE(g.charge_file_active(Bytes(500)).is_ok());
+  ASSERT_TRUE(g.charge_file_inactive(Bytes(300)).is_ok());
+  EXPECT_EQ(g.usage().value, 1800u);
+  EXPECT_EQ(g.working_set().value, 1500u)
+      << "metrics server must not count page cache";
+}
+
+TEST(CgroupTest, LimitEnforcedAtAncestor) {
+  CgroupTree tree;
+  Cgroup& pod = tree.ensure("kubepods/pod1");
+  Cgroup& ctr = tree.ensure("kubepods/pod1/ctr");
+  pod.set_limit(Bytes(8192));
+  EXPECT_TRUE(ctr.charge_anon(Bytes(8192)).is_ok());
+  auto over = ctr.charge_anon(Bytes(1));
+  EXPECT_EQ(over.code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(ctr.usage().value, 8192u) << "failed charge must not partially apply";
+}
+
+TEST(CgroupTest, ZeroLimitMeansUnlimited) {
+  CgroupTree tree;
+  Cgroup& g = tree.ensure("g");
+  EXPECT_TRUE(g.charge_anon(Bytes(1ull << 40)).is_ok());
+}
+
+TEST(CgroupTreeTest, EnsureCreatesAncestors) {
+  CgroupTree tree;
+  tree.ensure("a/b/c");
+  EXPECT_NE(tree.find("a"), nullptr);
+  EXPECT_NE(tree.find("a/b"), nullptr);
+  EXPECT_NE(tree.find("a/b/c"), nullptr);
+  EXPECT_EQ(tree.find("a/b/c")->parent(), tree.find("a/b"));
+  EXPECT_EQ(tree.find("a")->parent(), &tree.root());
+}
+
+TEST(CgroupTreeTest, EnsureIsIdempotent) {
+  CgroupTree tree;
+  Cgroup& first = tree.ensure("x/y");
+  Cgroup& second = tree.ensure("x/y");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(CgroupTreeTest, FindMissingReturnsNull) {
+  CgroupTree tree;
+  EXPECT_EQ(tree.find("nope"), nullptr);
+}
+
+TEST(CgroupTreeTest, RemoveRequiresLeafAndIdle) {
+  CgroupTree tree;
+  tree.ensure("a/b");
+  EXPECT_EQ(tree.remove("a").code(), ErrorCode::kFailedPrecondition)
+      << "non-leaf removal must fail";
+  Cgroup& b = tree.ensure("a/b");
+  ASSERT_TRUE(b.charge_anon(Bytes(10)).is_ok());
+  EXPECT_EQ(tree.remove("a/b").code(), ErrorCode::kFailedPrecondition)
+      << "busy cgroup removal must fail";
+  b.uncharge_anon(Bytes(10));
+  EXPECT_TRUE(tree.remove("a/b").is_ok());
+  EXPECT_TRUE(tree.remove("a").is_ok());
+  EXPECT_EQ(tree.remove("a").code(), ErrorCode::kNotFound);
+}
+
+TEST(CgroupTreeTest, SiblingPrefixIsNotAChild) {
+  CgroupTree tree;
+  tree.ensure("pod1");
+  tree.ensure("pod10");  // shares the "pod1" prefix but is a sibling
+  EXPECT_TRUE(tree.remove("pod1").is_ok());
+}
+
+TEST(CgroupTreeTest, PathsSorted) {
+  CgroupTree tree;
+  tree.ensure("b");
+  tree.ensure("a/x");
+  auto paths = tree.paths();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "a");
+  EXPECT_EQ(paths[1], "a/x");
+  EXPECT_EQ(paths[2], "b");
+}
+
+}  // namespace
+}  // namespace wasmctr::mem

@@ -1,0 +1,115 @@
+#include "mem/node_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::mem {
+namespace {
+
+constexpr Bytes kRam{256ull * 1024 * 1024 * 1024};
+constexpr Bytes kBase{2ull * 1024 * 1024 * 1024};
+
+TEST(NodeMemoryTest, BaselineFreeReport) {
+  NodeMemory node(kRam, kBase);
+  const FreeReport r = node.free_report();
+  EXPECT_EQ(r.total, kRam);
+  EXPECT_EQ(r.used, kBase);
+  EXPECT_EQ(r.buffcache.value, 0u);
+  EXPECT_EQ(r.free_mem, kRam - kBase);
+}
+
+TEST(NodeMemoryTest, AnonChargesUsed) {
+  NodeMemory node(kRam, kBase);
+  ASSERT_TRUE(node.charge_anon(Bytes(1_MiB), nullptr).is_ok());
+  EXPECT_EQ(node.free_report().used, kBase + Bytes(1_MiB));
+  node.uncharge_anon(Bytes(1_MiB), nullptr);
+  EXPECT_EQ(node.free_report().used, kBase);
+}
+
+TEST(NodeMemoryTest, SharedMappingResidentOnce) {
+  NodeMemory node(kRam, kBase);
+  const FileId so = node.new_file_id();
+  ASSERT_TRUE(node.map_shared(so, Bytes(2_MiB), nullptr).is_ok());
+  ASSERT_TRUE(node.map_shared(so, Bytes(2_MiB), nullptr).is_ok());
+  ASSERT_TRUE(node.map_shared(so, Bytes(2_MiB), nullptr).is_ok());
+  EXPECT_EQ(node.shared_resident().value, 2_MiB)
+      << "three mappers, one physical copy";
+  EXPECT_EQ(node.shared_mappers(so), 3u);
+  node.unmap_shared(so);
+  node.unmap_shared(so);
+  EXPECT_EQ(node.shared_resident().value, 2_MiB);
+  node.unmap_shared(so);
+  EXPECT_EQ(node.shared_resident().value, 0u);
+}
+
+TEST(NodeMemoryTest, FirstToucherCgroupCharged) {
+  NodeMemory node(kRam, kBase);
+  CgroupTree tree;
+  Cgroup& pod1 = tree.ensure("pod1");
+  Cgroup& pod2 = tree.ensure("pod2");
+  const FileId so = node.new_file_id();
+  ASSERT_TRUE(node.map_shared(so, Bytes(1_MiB), &pod1).is_ok());
+  ASSERT_TRUE(node.map_shared(so, Bytes(1_MiB), &pod2).is_ok());
+  EXPECT_EQ(pod1.working_set().value, 1_MiB);
+  EXPECT_EQ(pod2.working_set().value, 0u)
+      << "memcg charges shared pages to the first toucher only";
+  node.unmap_shared(so);
+  node.unmap_shared(so);
+  EXPECT_EQ(pod1.working_set().value, 0u);
+}
+
+TEST(NodeMemoryTest, PageCacheShowsInBuffcacheNotUsed) {
+  NodeMemory node(kRam, kBase);
+  const FileId img = node.new_file_id();
+  ASSERT_TRUE(node.cache_file(img, Bytes(10_MiB), nullptr).is_ok());
+  const FreeReport r = node.free_report();
+  EXPECT_EQ(r.buffcache.value, 10_MiB);
+  EXPECT_EQ(r.used, kBase);
+  EXPECT_EQ(r.available, r.free_mem + r.buffcache);
+  node.uncache_file(img);
+  EXPECT_EQ(node.free_report().buffcache.value, 0u);
+}
+
+TEST(NodeMemoryTest, PageCacheRefcounted) {
+  NodeMemory node(kRam, kBase);
+  const FileId img = node.new_file_id();
+  ASSERT_TRUE(node.cache_file(img, Bytes(4_MiB), nullptr).is_ok());
+  ASSERT_TRUE(node.cache_file(img, Bytes(4_MiB), nullptr).is_ok());
+  EXPECT_EQ(node.page_cache().value, 4_MiB);
+  node.uncache_file(img);
+  EXPECT_EQ(node.page_cache().value, 4_MiB);
+  node.uncache_file(img);
+  EXPECT_EQ(node.page_cache().value, 0u);
+}
+
+TEST(NodeMemoryTest, CacheChargedAsInactiveFile) {
+  NodeMemory node(kRam, kBase);
+  CgroupTree tree;
+  Cgroup& pod = tree.ensure("pod");
+  const FileId img = node.new_file_id();
+  ASSERT_TRUE(node.cache_file(img, Bytes(6_MiB), &pod).is_ok());
+  EXPECT_EQ(pod.usage().value, 6_MiB);
+  EXPECT_EQ(pod.working_set().value, 0u);
+}
+
+TEST(NodeMemoryTest, PhysicalExhaustionRejected) {
+  NodeMemory node(Bytes(10_MiB), Bytes(1_MiB));
+  EXPECT_TRUE(node.charge_anon(Bytes(9_MiB), nullptr).is_ok());
+  EXPECT_EQ(node.charge_anon(Bytes(1), nullptr).code(),
+            ErrorCode::kResourceExhausted);
+  const FileId f = node.new_file_id();
+  EXPECT_EQ(node.map_shared(f, Bytes(1_MiB), nullptr).code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(NodeMemoryTest, CgroupLimitBlocksNodeCharge) {
+  NodeMemory node(kRam, kBase);
+  CgroupTree tree;
+  Cgroup& pod = tree.ensure("pod");
+  pod.set_limit(Bytes(1_MiB));
+  EXPECT_FALSE(node.charge_anon(Bytes(2_MiB), &pod).is_ok());
+  EXPECT_EQ(node.anon_total().value, 0u)
+      << "node accounting must not leak on cgroup rejection";
+}
+
+}  // namespace
+}  // namespace wasmctr::mem

@@ -1,0 +1,77 @@
+#include "oci/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::oci {
+namespace {
+
+TEST(BundleTest, WasmBundleRoundtrip) {
+  wasi::VirtualFs fs;
+  RuntimeSpec spec;
+  spec.args = {"app.wasm", "--port", "8080"};
+  spec.annotations["run.oci.handler"] = "wasm";
+  Payload payload;
+  payload.kind = Payload::Kind::kWasm;
+  payload.wasm = wasm::build_minimal_microservice();
+
+  ASSERT_TRUE(write_bundle(fs, "bundles/b1", spec, payload).is_ok());
+  EXPECT_TRUE(fs.exists("bundles/b1/config.json"));
+  EXPECT_TRUE(fs.exists("bundles/b1/rootfs/app.wasm"));
+  EXPECT_TRUE(fs.exists("bundles/b1/rootfs/data"));
+
+  auto b = read_bundle(fs, "bundles/b1");
+  ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+  EXPECT_EQ(b->spec.args, spec.args);
+  EXPECT_TRUE(b->spec.wants_wasm_handler());
+  EXPECT_EQ(b->payload.kind, Payload::Kind::kWasm);
+  EXPECT_EQ(b->payload.wasm, payload.wasm);
+}
+
+TEST(BundleTest, PythonBundleRoundtrip) {
+  wasi::VirtualFs fs;
+  RuntimeSpec spec;
+  spec.args = {"app.py"};
+  Payload payload;
+  payload.kind = Payload::Kind::kPython;
+  payload.script = "print(1 + 1)\n";
+  ASSERT_TRUE(write_bundle(fs, "bundles/py", spec, payload).is_ok());
+  auto b = read_bundle(fs, "bundles/py");
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(b->payload.kind, Payload::Kind::kPython);
+  EXPECT_EQ(b->payload.script, "print(1 + 1)\n");
+}
+
+TEST(BundleTest, ReadMissingBundleFails) {
+  wasi::VirtualFs fs;
+  EXPECT_EQ(read_bundle(fs, "nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(BundleTest, ReadCorruptConfigFails) {
+  wasi::VirtualFs fs;
+  ASSERT_TRUE(fs.write_file("b/config.json", "{broken").is_ok());
+  EXPECT_EQ(read_bundle(fs, "b").status().code(), ErrorCode::kMalformed);
+}
+
+TEST(BundleTest, MissingEntrypointFails) {
+  wasi::VirtualFs fs;
+  RuntimeSpec spec;
+  spec.args = {"app.wasm"};
+  ASSERT_TRUE(
+      fs.write_file("b/config.json", spec.to_config_json()).is_ok());
+  ASSERT_TRUE(fs.mkdirs("b/rootfs").is_ok());
+  EXPECT_EQ(read_bundle(fs, "b").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(BundleTest, PayloadEntrypointByKind) {
+  Payload wasm_payload;
+  wasm_payload.kind = Payload::Kind::kWasm;
+  EXPECT_EQ(wasm_payload.entrypoint(), "app.wasm");
+  Payload py;
+  py.kind = Payload::Kind::kPython;
+  EXPECT_EQ(py.entrypoint(), "app.py");
+}
+
+}  // namespace
+}  // namespace wasmctr::oci

@@ -1,0 +1,237 @@
+// Low-level runtime lifecycle tests: crun (WAMR embedded + exec'd
+// engines), runC, youki, against a real simulated node.
+#include "oci/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pylite/scripts.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::oci {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void write_wasm_bundle(const std::string& path,
+                         std::vector<uint8_t> module = {}) {
+    RuntimeSpec spec;
+    spec.args = {"app.wasm"};
+    spec.env = {{"SERVICE", "test"}};
+    spec.annotations["run.oci.handler"] = "wasm";
+    Payload payload;
+    payload.kind = Payload::Kind::kWasm;
+    payload.wasm =
+        module.empty() ? wasm::build_minimal_microservice() : std::move(module);
+    ASSERT_TRUE(write_bundle(node_.fs(), path, spec, payload).is_ok());
+  }
+
+  void write_python_bundle(const std::string& path) {
+    RuntimeSpec spec;
+    spec.args = {"app.py"};
+    Payload payload;
+    payload.kind = Payload::Kind::kPython;
+    payload.script = pylite::minimal_microservice_script();
+    ASSERT_TRUE(write_bundle(node_.fs(), path, spec, payload).is_ok());
+  }
+
+  /// Start and run to completion; returns the terminal status.
+  Status start_and_run(LowLevelRuntime& rt, const std::string& id) {
+    Status result = internal_error("callback never fired");
+    EXPECT_TRUE(rt.start(id, [&](Status st) { result = std::move(st); })
+                    .is_ok());
+    node_.kernel().run();
+    return result;
+  }
+
+  sim::Node node_;
+};
+
+TEST_F(RuntimeTest, CrunWamrFullLifecycle) {
+  write_wasm_bundle("b/wamr");
+  Crun crun(node_, engines::EngineKind::kWamr);
+  EXPECT_EQ(crun.name(), "crun-wamr");
+  ASSERT_TRUE(crun.create("c1", "b/wamr", "pod/c1").is_ok());
+  auto created = crun.state("c1");
+  ASSERT_TRUE(created.is_ok());
+  EXPECT_EQ(created->state, ContainerState::kCreated);
+
+  ASSERT_TRUE(start_and_run(crun, "c1").is_ok());
+  auto running = crun.state("c1");
+  ASSERT_TRUE(running.is_ok());
+  EXPECT_EQ(running->state, ContainerState::kRunning);
+  EXPECT_NE(running->pid, 0u);
+  EXPECT_EQ(running->exit_code, 0u);
+  EXPECT_EQ(running->stdout_data, "hello from wasm microservice\n")
+      << "the module must actually have executed";
+
+  // The workload's memory is charged to the container cgroup.
+  mem::Cgroup* cg = node_.cgroups().find("pod/c1");
+  ASSERT_NE(cg, nullptr);
+  EXPECT_GT(cg->working_set().value, 3u << 20);
+
+  ASSERT_TRUE(crun.kill("c1").is_ok());
+  EXPECT_EQ(crun.state("c1")->state, ContainerState::kStopped);
+  ASSERT_TRUE(crun.remove("c1").is_ok());
+  EXPECT_EQ(crun.state("c1").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(node_.cgroups().find("pod/c1"), nullptr);
+  EXPECT_EQ(node_.memory().anon_total().value, 0u)
+      << "teardown must release every byte";
+}
+
+TEST_F(RuntimeTest, DynamicLibraryLoadingIsLazy) {
+  // §III-C item 1: libwamr pages are resident only once a Wasm container
+  // starts, and shared across containers.
+  write_wasm_bundle("b/w1");
+  write_wasm_bundle("b/w2");
+  Crun crun(node_, engines::EngineKind::kWamr);
+  const mem::FileId libwamr = node_.file_id("libwamr.so");
+  ASSERT_TRUE(crun.create("c1", "b/w1", "pod/c1").is_ok());
+  EXPECT_EQ(node_.memory().shared_mappers(libwamr), 0u)
+      << "create must not load the engine library";
+  ASSERT_TRUE(start_and_run(crun, "c1").is_ok());
+  EXPECT_EQ(node_.memory().shared_mappers(libwamr), 1u);
+  const Bytes resident_one = node_.memory().shared_resident();
+  ASSERT_TRUE(crun.create("c2", "b/w2", "pod/c2").is_ok());
+  ASSERT_TRUE(start_and_run(crun, "c2").is_ok());
+  EXPECT_EQ(node_.memory().shared_mappers(libwamr), 2u);
+  EXPECT_EQ(node_.memory().shared_resident(), resident_one)
+      << "second container shares the same physical library pages";
+}
+
+TEST_F(RuntimeTest, WasiArgumentsReachTheModule) {
+  // §III-C item 2: env from the OCI config is visible inside the module.
+  // file_logger writes through the /data preopen wired from the bundle.
+  RuntimeSpec spec;
+  spec.args = {"app.wasm"};
+  spec.annotations["run.oci.handler"] = "wasm";
+  Payload payload;
+  payload.kind = Payload::Kind::kWasm;
+  payload.wasm = wasm::build_file_logger();
+  ASSERT_TRUE(write_bundle(node_.fs(), "b/logger", spec, payload).is_ok());
+
+  Crun crun(node_, engines::EngineKind::kWamr);
+  ASSERT_TRUE(crun.create("log1", "b/logger", "pod/log1").is_ok());
+  ASSERT_TRUE(start_and_run(crun, "log1").is_ok());
+  auto contents = node_.fs().read_file("b/logger/rootfs/data/out.log");
+  ASSERT_TRUE(contents.is_ok())
+      << "preopened /data must map to the bundle rootfs";
+  EXPECT_EQ(*contents, "status=ok\n");
+}
+
+TEST_F(RuntimeTest, SandboxedExecutionStopsTrappingModule) {
+  // §III-C item 3: a trapping module fails cleanly, no memory leaks.
+  wasm::ModuleBuilder b;
+  b.add_memory(1, 1);
+  wasm::FnBuilder& f = b.add_function("_start", {}, {});
+  f.unreachable().end();
+  write_wasm_bundle("b/trap", b.build());
+  Crun crun(node_, engines::EngineKind::kWamr);
+  ASSERT_TRUE(crun.create("t1", "b/trap", "pod/t1").is_ok());
+  Status st = start_and_run(crun, "t1");
+  EXPECT_EQ(st.code(), ErrorCode::kTrap);
+  EXPECT_EQ(crun.state("t1")->state, ContainerState::kStopped);
+  EXPECT_EQ(node_.memory().anon_total(),
+            engines::kInfra.kernel_per_pod)
+      << "only the kernel objects from create remain";
+}
+
+TEST_F(RuntimeTest, CrunWithoutBackendRejectsWasm) {
+  write_wasm_bundle("b/w");
+  Crun crun(node_, std::nullopt);
+  ASSERT_TRUE(crun.create("c", "b/w", "pod/c").is_ok());
+  EXPECT_EQ(start_and_run(crun, "c").code(), ErrorCode::kUnimplemented);
+}
+
+TEST_F(RuntimeTest, RuncRejectsWasm) {
+  write_wasm_bundle("b/w");
+  Runc runc(node_);
+  ASSERT_TRUE(runc.create("c", "b/w", "pod/c").is_ok());
+  EXPECT_EQ(start_and_run(runc, "c").code(), ErrorCode::kUnimplemented);
+}
+
+TEST_F(RuntimeTest, RuncRunsPython) {
+  write_python_bundle("b/py");
+  Runc runc(node_);
+  ASSERT_TRUE(runc.create("p1", "b/py", "pod/p1").is_ok());
+  ASSERT_TRUE(start_and_run(runc, "p1").is_ok());
+  auto info = runc.state("p1");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info->state, ContainerState::kRunning);
+  EXPECT_EQ(info->stdout_data, "hello from python microservice\n");
+}
+
+TEST_F(RuntimeTest, YoukiRunsWasmViaWasmEdge) {
+  write_wasm_bundle("b/w");
+  Youki youki(node_);
+  ASSERT_TRUE(youki.create("y1", "b/w", "pod/y1").is_ok());
+  ASSERT_TRUE(start_and_run(youki, "y1").is_ok());
+  EXPECT_EQ(youki.state("y1")->stdout_data,
+            "hello from wasm microservice\n");
+}
+
+TEST_F(RuntimeTest, MemoryLimitEnforcedViaCgroup) {
+  RuntimeSpec spec;
+  spec.args = {"app.wasm"};
+  spec.annotations["run.oci.handler"] = "wasm";
+  spec.memory_limit = 1 << 20;  // 1 MiB: far below the engine footprint
+  Payload payload;
+  payload.kind = Payload::Kind::kWasm;
+  payload.wasm = wasm::build_minimal_microservice();
+  ASSERT_TRUE(write_bundle(node_.fs(), "b/small", spec, payload).is_ok());
+  Crun crun(node_, engines::EngineKind::kWamr);
+  ASSERT_TRUE(crun.create("small", "b/small", "").is_ok());
+  Status st = start_and_run(crun, "small");
+  EXPECT_EQ(st.code(), ErrorCode::kResourceExhausted)
+      << "cgroup memory.max must reject the engine's footprint";
+}
+
+TEST_F(RuntimeTest, LifecycleStateMachineEnforced) {
+  write_wasm_bundle("b/w");
+  Crun crun(node_, engines::EngineKind::kWamr);
+  EXPECT_EQ(crun.start("ghost", nullptr).code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(crun.create("c", "b/w", "pod/c").is_ok());
+  EXPECT_EQ(crun.create("c", "b/w", "pod/c").code(),
+            ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(start_and_run(crun, "c").is_ok());
+  EXPECT_EQ(crun.start("c", nullptr).code(), ErrorCode::kFailedPrecondition)
+      << "cannot start a running container";
+  EXPECT_EQ(crun.remove("c").code(), ErrorCode::kFailedPrecondition)
+      << "cannot remove a running container";
+  ASSERT_TRUE(crun.kill("c").is_ok());
+  ASSERT_TRUE(crun.remove("c").is_ok());
+}
+
+TEST_F(RuntimeTest, ExecEnginesProduceLargerFootprintThanWamr) {
+  // The crux of Fig 3: same module, same node, different engine → more
+  // private memory for JIT engines.
+  auto footprint = [&](engines::EngineKind kind) {
+    sim::Node node;
+    RuntimeSpec spec;
+    spec.args = {"app.wasm"};
+    spec.annotations["run.oci.handler"] = "wasm";
+    Payload payload;
+    payload.kind = Payload::Kind::kWasm;
+    payload.wasm = wasm::build_minimal_microservice();
+    EXPECT_TRUE(write_bundle(node.fs(), "b", spec, payload).is_ok());
+    Crun crun(node, kind);
+    EXPECT_TRUE(crun.create("c", "b", "pod/c").is_ok());
+    Status result = internal_error("no callback");
+    EXPECT_TRUE(crun.start("c", [&](Status st) { result = std::move(st); })
+                    .is_ok());
+    node.kernel().run();
+    EXPECT_TRUE(result.is_ok()) << result.to_string();
+    return node.cgroups().find("pod/c")->working_set();
+  };
+  const Bytes wamr = footprint(engines::EngineKind::kWamr);
+  const Bytes wasmtime = footprint(engines::EngineKind::kWasmtime);
+  const Bytes wasmer = footprint(engines::EngineKind::kWasmer);
+  const Bytes wasmedge = footprint(engines::EngineKind::kWasmEdge);
+  EXPECT_LT(wamr.value, wasmedge.value / 2)
+      << "paper Fig 3: ≥50.34 % reduction vs the best other crun engine";
+  EXPECT_LT(wasmedge, wasmtime);
+  EXPECT_LT(wasmtime, wasmer);
+}
+
+}  // namespace
+}  // namespace wasmctr::oci

@@ -1,0 +1,96 @@
+#include "oci/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::oci {
+namespace {
+
+RuntimeSpec sample_spec() {
+  RuntimeSpec spec;
+  spec.args = {"app.wasm", "--threads", "2"};
+  spec.env = {{"PORT", "8080"}, {"MODE", "prod"}};
+  spec.cwd = "/srv";
+  spec.mounts = {{"/data", "/var/lib/pod1/data", "bind", {"ro"}}};
+  spec.annotations = {{"run.oci.handler", "wasm"}};
+  spec.memory_limit = 128ull << 20;
+  spec.cgroups_path = "kubepods/pod1/ctr1";
+  return spec;
+}
+
+TEST(RuntimeSpecTest, JsonRoundtrip) {
+  const RuntimeSpec spec = sample_spec();
+  auto parsed = RuntimeSpec::parse(spec.to_config_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->args, spec.args);
+  EXPECT_EQ(parsed->env, spec.env);
+  EXPECT_EQ(parsed->cwd, "/srv");
+  EXPECT_EQ(parsed->mounts, spec.mounts);
+  EXPECT_EQ(parsed->annotations.at("run.oci.handler"), "wasm");
+  EXPECT_EQ(parsed->memory_limit, 128ull << 20);
+  EXPECT_EQ(parsed->cgroups_path, "kubepods/pod1/ctr1");
+}
+
+TEST(RuntimeSpecTest, WasmHandlerDetection) {
+  RuntimeSpec spec;
+  spec.args = {"a"};
+  EXPECT_FALSE(spec.wants_wasm_handler());
+  spec.annotations["run.oci.handler"] = "wasm";
+  EXPECT_TRUE(spec.wants_wasm_handler());
+  spec.annotations.clear();
+  spec.annotations["module.wasm.image/variant"] = "compat";
+  EXPECT_TRUE(spec.wants_wasm_handler());
+  spec.annotations["module.wasm.image/variant"] = "other";
+  EXPECT_FALSE(spec.wants_wasm_handler());
+}
+
+TEST(RuntimeSpecTest, ParsesRealWorldShapedConfig) {
+  const char* config = R"({
+    "ociVersion": "1.0.2",
+    "process": {
+      "args": ["app.py"],
+      "env": ["PATH=/usr/bin", "LANG=C.UTF-8"],
+      "cwd": "/"
+    },
+    "root": {"path": "rootfs", "readonly": true},
+    "linux": {"resources": {"memory": {"limit": 67108864}}}
+  })";
+  auto spec = RuntimeSpec::parse(config);
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->args[0], "app.py");
+  ASSERT_EQ(spec->env.size(), 2u);
+  EXPECT_EQ(spec->env[0].first, "PATH");
+  EXPECT_EQ(spec->env[0].second, "/usr/bin");
+  EXPECT_EQ(spec->memory_limit, 67108864u);
+  EXPECT_FALSE(spec->wants_wasm_handler());
+}
+
+TEST(RuntimeSpecTest, RejectsMissingProcess) {
+  EXPECT_EQ(RuntimeSpec::parse(R"({"ociVersion":"1.0.2"})").status().code(),
+            ErrorCode::kMalformed);
+}
+
+TEST(RuntimeSpecTest, RejectsEmptyArgs) {
+  EXPECT_FALSE(
+      RuntimeSpec::parse(R"({"process":{"args":[]}})").is_ok());
+}
+
+TEST(RuntimeSpecTest, RejectsBadEnvEntry) {
+  EXPECT_FALSE(
+      RuntimeSpec::parse(R"({"process":{"args":["a"],"env":["NOEQ"]}})")
+          .is_ok());
+}
+
+TEST(RuntimeSpecTest, RejectsNegativeMemoryLimit) {
+  EXPECT_FALSE(RuntimeSpec::parse(
+                   R"({"process":{"args":["a"]},
+                       "linux":{"resources":{"memory":{"limit":-5}}}})")
+                   .is_ok());
+}
+
+TEST(RuntimeSpecTest, RejectsInvalidJson) {
+  EXPECT_EQ(RuntimeSpec::parse("{not json").status().code(),
+            ErrorCode::kMalformed);
+}
+
+}  // namespace
+}  // namespace wasmctr::oci

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "pylite/interp.hpp"
+#include "pylite/scripts.hpp"
+
+namespace wasmctr::pylite {
+namespace {
+
+/// Parse + run; returns the interpreter for inspection.
+struct RunResult {
+  Program program;  // must outlive interp (function refs point into it)
+  std::unique_ptr<Interp> interp;
+  Status status;
+};
+
+RunResult run(std::string_view source, InterpOptions opts = {}) {
+  RunResult r{.program = {}, .interp = nullptr, .status = Status::ok()};
+  auto prog = parse_source(source);
+  if (!prog) {
+    r.status = prog.status();
+    return r;
+  }
+  r.program = std::move(*prog);
+  r.interp = std::make_unique<Interp>(std::move(opts));
+  r.status = r.interp->run(r.program);
+  return r;
+}
+
+int64_t global_int(const RunResult& r, const std::string& name) {
+  const PyValue* v = r.interp->global(name);
+  EXPECT_NE(v, nullptr) << name;
+  const int64_t* i = std::get_if<int64_t>(&v->v);
+  EXPECT_NE(i, nullptr) << name << " is not an int";
+  return i ? *i : 0;
+}
+
+TEST(PyliteTest, ArithmeticAndPrecedence) {
+  auto r = run("x = 2 + 3 * 4\ny = (2 + 3) * 4\nz = 2 - -3\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "x"), 14);
+  EXPECT_EQ(global_int(r, "y"), 20);
+  EXPECT_EQ(global_int(r, "z"), 5);
+}
+
+TEST(PyliteTest, PythonDivisionSemantics) {
+  auto r = run(
+      "a = 7 // 2\n"
+      "b = -7 // 2\n"
+      "c = 7 % 3\n"
+      "d = -7 % 3\n"
+      "e = 7 / 2\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "a"), 3);
+  EXPECT_EQ(global_int(r, "b"), -4) << "floor division";
+  EXPECT_EQ(global_int(r, "c"), 1);
+  EXPECT_EQ(global_int(r, "d"), 2) << "modulo takes divisor sign";
+  const double* e = std::get_if<double>(&r.interp->global("e")->v);
+  ASSERT_NE(e, nullptr) << "true division yields float";
+  EXPECT_DOUBLE_EQ(*e, 3.5);
+}
+
+TEST(PyliteTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(run("x = 1 // 0\n").status.is_ok());
+  EXPECT_FALSE(run("x = 1.0 / 0\n").status.is_ok());
+  EXPECT_FALSE(run("x = 5 % 0\n").status.is_ok());
+}
+
+TEST(PyliteTest, WhileLoopAndAugAssign) {
+  auto r = run(
+      "total = 0\n"
+      "i = 0\n"
+      "while i < 10:\n"
+      "    total += i\n"
+      "    i += 1\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "total"), 45);
+}
+
+TEST(PyliteTest, ForRangeAndBreakContinue) {
+  auto r = run(
+      "evens = 0\n"
+      "for i in range(100):\n"
+      "    if i >= 10:\n"
+      "        break\n"
+      "    if i % 2 == 1:\n"
+      "        continue\n"
+      "    evens += 1\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "evens"), 5);
+}
+
+TEST(PyliteTest, RangeVariants) {
+  auto r = run(
+      "a = len(range(5))\n"
+      "b = len(range(2, 8))\n"
+      "c = len(range(10, 0, -2))\n"
+      "d = range(3, 6)[1]\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "a"), 5);
+  EXPECT_EQ(global_int(r, "b"), 6);
+  EXPECT_EQ(global_int(r, "c"), 5);
+  EXPECT_EQ(global_int(r, "d"), 4);
+}
+
+TEST(PyliteTest, IfElifElseChain) {
+  const char* script =
+      "def grade(x):\n"
+      "    if x >= 90:\n"
+      "        return 1\n"
+      "    elif x >= 50:\n"
+      "        return 2\n"
+      "    else:\n"
+      "        return 3\n"
+      "a = grade(95)\n"
+      "b = grade(70)\n"
+      "c = grade(10)\n";
+  auto r = run(script);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "a"), 1);
+  EXPECT_EQ(global_int(r, "b"), 2);
+  EXPECT_EQ(global_int(r, "c"), 3);
+}
+
+TEST(PyliteTest, FunctionsAndRecursion) {
+  auto r = run(
+      "def fact(n):\n"
+      "    if n < 2:\n"
+      "        return 1\n"
+      "    return n * fact(n - 1)\n"
+      "x = fact(10)\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "x"), 3628800);
+}
+
+TEST(PyliteTest, FunctionArgCountChecked) {
+  EXPECT_FALSE(run("def f(a, b):\n    return a\nx = f(1)\n").status.is_ok());
+}
+
+TEST(PyliteTest, ListsShareReferences) {
+  auto r = run(
+      "a = [1, 2, 3]\n"
+      "b = a\n"
+      "b.append(4)\n"
+      "n = len(a)\n"
+      "last = a[3]\n"
+      "a[0] = 99\n"
+      "first = b[0]\n"
+      "neg = a[-1]\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "n"), 4) << "append through alias must be visible";
+  EXPECT_EQ(global_int(r, "last"), 4);
+  EXPECT_EQ(global_int(r, "first"), 99);
+  EXPECT_EQ(global_int(r, "neg"), 4) << "negative indexing";
+}
+
+TEST(PyliteTest, ListIndexOutOfRange) {
+  EXPECT_FALSE(run("a = [1]\nx = a[5]\n").status.is_ok());
+  EXPECT_FALSE(run("a = [1]\na[5] = 2\n").status.is_ok());
+}
+
+TEST(PyliteTest, StringOperations) {
+  auto r = run(
+      "s = \"con\" + \"tainer\"\n"
+      "n = len(s)\n"
+      "u = s.upper()\n"
+      "rep = \"ab\" * 3\n"
+      "pre = s.startswith(\"con\")\n"
+      "ch = s[0]\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "n"), 9);
+  EXPECT_EQ(std::get<std::string>(r.interp->global("u")->v), "CONTAINER");
+  EXPECT_EQ(std::get<std::string>(r.interp->global("rep")->v), "ababab");
+  EXPECT_TRUE(std::get<bool>(r.interp->global("pre")->v));
+  EXPECT_EQ(std::get<std::string>(r.interp->global("ch")->v), "c");
+}
+
+TEST(PyliteTest, BuiltinAggregates) {
+  auto r = run(
+      "xs = [3, 1, 4, 1, 5]\n"
+      "s = sum(xs)\n"
+      "lo = min(xs)\n"
+      "hi = max(xs)\n"
+      "m2 = max(2, 7, 1)\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "s"), 14);
+  EXPECT_EQ(global_int(r, "lo"), 1);
+  EXPECT_EQ(global_int(r, "hi"), 5);
+  EXPECT_EQ(global_int(r, "m2"), 7);
+}
+
+TEST(PyliteTest, PrintCapturesStdout) {
+  auto r = run("print(\"hello\", 42, [1, 2])\nprint(3.5)\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.interp->stdout_data(), "hello 42 [1, 2]\n3.5\n");
+}
+
+TEST(PyliteTest, BooleanShortCircuit) {
+  auto r = run(
+      "def boom():\n"
+      "    return 1 // 0\n"
+      "a = False and boom()\n"
+      "b = True or boom()\n");
+  ASSERT_TRUE(r.status.is_ok())
+      << "short-circuit must skip the failing call: " << r.status.to_string();
+  EXPECT_FALSE(std::get<bool>(r.interp->global("a")->v));
+  EXPECT_TRUE(std::get<bool>(r.interp->global("b")->v));
+}
+
+TEST(PyliteTest, ComparisonChainsViaAnd) {
+  auto r = run("x = 5\nok = 0 < x and x < 10\n");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_TRUE(std::get<bool>(r.interp->global("ok")->v));
+}
+
+TEST(PyliteTest, UndefinedNameIsError) {
+  auto r = run("x = nope + 1\n");
+  ASSERT_FALSE(r.status.is_ok());
+  EXPECT_NE(r.status.message().find("not defined"), std::string::npos);
+}
+
+TEST(PyliteTest, SyntaxErrors) {
+  EXPECT_FALSE(run("x = \n").status.is_ok());
+  EXPECT_FALSE(run("if True\n    pass\n").status.is_ok());
+  EXPECT_FALSE(run("def f(:\n    pass\n").status.is_ok());
+  EXPECT_FALSE(run("x = 'unterminated\n").status.is_ok());
+  EXPECT_FALSE(run("while True:\npass\n").status.is_ok())
+      << "body must be indented";
+}
+
+TEST(PyliteTest, InconsistentIndentRejected) {
+  EXPECT_FALSE(run("if True:\n        x = 1\n      y = 2\n").status.is_ok());
+}
+
+TEST(PyliteTest, StepBudgetStopsInfiniteLoop) {
+  InterpOptions opts;
+  opts.max_steps = 10'000;
+  auto r = run("while True:\n    pass\n", std::move(opts));
+  ASSERT_FALSE(r.status.is_ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(PyliteTest, MicroserviceScriptRuns) {
+  auto r = run(minimal_microservice_script());
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.interp->stdout_data(), "hello from python microservice\n");
+  EXPECT_EQ(global_int(r, "checksum"), 2016);  // 0+..+63
+}
+
+TEST(PyliteTest, ComputeKernelScriptMatchesShape) {
+  auto r = run(compute_kernel_script());
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_NE(global_int(r, "result"), 0);
+  // Determinism.
+  auto r2 = run(compute_kernel_script());
+  EXPECT_EQ(global_int(r, "result"), global_int(r2, "result"));
+}
+
+TEST(PyliteTest, ResidentBytesGrowsWithData) {
+  auto small = run("x = 1\n");
+  auto big = run(
+      "data = []\n"
+      "for i in range(1000):\n"
+      "    data.append(i)\n");
+  ASSERT_TRUE(small.status.is_ok());
+  ASSERT_TRUE(big.status.is_ok());
+  EXPECT_GT(big.interp->resident_bytes(),
+            small.interp->resident_bytes() + 8000)
+      << "1000-element list must show up in the footprint";
+}
+
+TEST(PyliteTest, GlobalsVisibleInFunctions) {
+  auto r = run(
+      "base = 100\n"
+      "def add(x):\n"
+      "    return base + x\n"
+      "y = add(5)\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "y"), 105);
+}
+
+TEST(PyliteTest, CommentsAndBlankLinesIgnored) {
+  auto r = run(
+      "# leading comment\n"
+      "\n"
+      "x = 1  # trailing comment\n"
+      "\n"
+      "   \n"
+      "y = x + 1\n");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(global_int(r, "y"), 2);
+}
+
+}  // namespace
+}  // namespace wasmctr::pylite

@@ -1,0 +1,143 @@
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::sim {
+namespace {
+
+TEST(CpuTest, SingleTaskRunsAtFullSpeed) {
+  Kernel k;
+  CpuScheduler cpu(k, 4);
+  SimTime done{};
+  cpu.submit(sim_s(2.0), [&] { done = k.now(); });
+  k.run();
+  EXPECT_NEAR(to_seconds(done), 2.0, 1e-6);
+}
+
+TEST(CpuTest, UnderCommittedTasksDoNotContend) {
+  Kernel k;
+  CpuScheduler cpu(k, 4);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.submit(sim_s(1.0), [&] { done.push_back(to_seconds(k.now())); });
+  }
+  k.run();
+  ASSERT_EQ(done.size(), 4u);
+  for (const double t : done) EXPECT_NEAR(t, 1.0, 1e-6);
+}
+
+TEST(CpuTest, OverCommittedTasksShareProportionally) {
+  // 8 equal tasks on 4 cores: each runs at rate 1/2 → all finish at 2 s.
+  Kernel k;
+  CpuScheduler cpu(k, 4);
+  std::vector<double> done;
+  for (int i = 0; i < 8; ++i) {
+    cpu.submit(sim_s(1.0), [&] { done.push_back(to_seconds(k.now())); });
+  }
+  k.run();
+  ASSERT_EQ(done.size(), 8u);
+  for (const double t : done) EXPECT_NEAR(t, 2.0, 1e-6);
+}
+
+TEST(CpuTest, ShortTaskFinishesFirstThenRateRecovers) {
+  // Tasks of 1 s and 3 s on 1 core: short ends at 2 s (half rate), long at 4 s
+  // (1 s remaining at full rate after the short one leaves... worked example:
+  // [0,2]: both at rate 1/2 → short done (1.0), long has 2.0 left;
+  // [2,4]: long at rate 1 → done at 4.0).
+  Kernel k;
+  CpuScheduler cpu(k, 1);
+  double short_done = 0;
+  double long_done = 0;
+  cpu.submit(sim_s(1.0), [&] { short_done = to_seconds(k.now()); });
+  cpu.submit(sim_s(3.0), [&] { long_done = to_seconds(k.now()); });
+  k.run();
+  EXPECT_NEAR(short_done, 2.0, 1e-6);
+  EXPECT_NEAR(long_done, 4.0, 1e-6);
+}
+
+TEST(CpuTest, LateArrivalSlowsExisting) {
+  // 1 core. Task A (2 s) starts at t=0; task B (1 s) arrives at t=1.
+  // [0,1]: A alone, 1 s progress (1 s left). [1,3]: both at 1/2 → B done at
+  // t=3 (1 s work), A also done at t=3.
+  Kernel k;
+  CpuScheduler cpu(k, 1);
+  double a_done = 0;
+  double b_done = 0;
+  cpu.submit(sim_s(2.0), [&] { a_done = to_seconds(k.now()); });
+  k.schedule_after(sim_s(1.0), [&] {
+    cpu.submit(sim_s(1.0), [&] { b_done = to_seconds(k.now()); });
+  });
+  k.run();
+  EXPECT_NEAR(a_done, 3.0, 1e-6);
+  EXPECT_NEAR(b_done, 3.0, 1e-6);
+}
+
+TEST(CpuTest, AbortRemovesTask) {
+  Kernel k;
+  CpuScheduler cpu(k, 1);
+  bool aborted_ran = false;
+  double other_done = 0;
+  CpuTaskId id = cpu.submit(sim_s(10.0), [&] { aborted_ran = true; });
+  cpu.submit(sim_s(1.0), [&] { other_done = to_seconds(k.now()); });
+  k.schedule_after(sim_s(0.5), [&] { cpu.abort(id); });
+  k.run();
+  EXPECT_FALSE(aborted_ran);
+  // [0,0.5]: both at 1/2 → other has 0.75 left; [0.5,1.25]: alone at rate 1.
+  EXPECT_NEAR(other_done, 1.25, 1e-6);
+}
+
+TEST(CpuTest, ZeroWorkCompletesImmediately) {
+  Kernel k;
+  CpuScheduler cpu(k, 2);
+  bool ran = false;
+  cpu.submit(SimDuration::zero(), [&] { ran = true; });
+  k.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(k.now().count(), 0);
+}
+
+TEST(CpuTest, CallbackCanResubmit) {
+  // A chain of bursts models multi-phase startup (fork → exec → load).
+  Kernel k;
+  CpuScheduler cpu(k, 1);
+  double final_done = 0;
+  cpu.submit(sim_s(1.0), [&] {
+    cpu.submit(sim_s(1.0), [&] { final_done = to_seconds(k.now()); });
+  });
+  k.run();
+  EXPECT_NEAR(final_done, 2.0, 1e-6);
+}
+
+// Property: with N identical tasks on C cores, makespan = N·w/C for N ≥ C.
+class CpuMakespan : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CpuMakespan, MatchesFluidModel) {
+  const auto [cores, tasks] = GetParam();
+  Kernel k;
+  CpuScheduler cpu(k, static_cast<unsigned>(cores));
+  int completed = 0;
+  for (int i = 0; i < tasks; ++i) {
+    cpu.submit(sim_s(0.5), [&] { ++completed; });
+  }
+  k.run();
+  EXPECT_EQ(completed, tasks);
+  const double expect =
+      tasks <= cores ? 0.5 : 0.5 * static_cast<double>(tasks) / cores;
+  EXPECT_NEAR(to_seconds(k.now()), expect, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CpuMakespan,
+    ::testing::Combine(::testing::Values(1, 2, 20),
+                       ::testing::Values(1, 10, 100, 400)));
+
+TEST(CpuTest, ConsumedCpuAccounting) {
+  Kernel k;
+  CpuScheduler cpu(k, 2);
+  for (int i = 0; i < 6; ++i) cpu.submit(sim_s(0.5), [] {});
+  k.run();
+  EXPECT_NEAR(cpu.consumed_cpu_seconds(), 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace wasmctr::sim

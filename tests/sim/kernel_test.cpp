@@ -1,0 +1,120 @@
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wasmctr::sim {
+namespace {
+
+TEST(KernelTest, StartsAtZero) {
+  Kernel k;
+  EXPECT_EQ(k.now().count(), 0);
+  EXPECT_EQ(k.pending(), 0u);
+  EXPECT_FALSE(k.step());
+}
+
+TEST(KernelTest, RunsEventsInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_after(sim_ms(int64_t{30}), [&] { order.push_back(3); });
+  k.schedule_after(sim_ms(int64_t{10}), [&] { order.push_back(1); });
+  k.schedule_after(sim_ms(int64_t{20}), [&] { order.push_back(2); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), sim_ms(int64_t{30}));
+}
+
+TEST(KernelTest, FifoWithinSameTimestamp) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    k.schedule_after(sim_ms(int64_t{7}), [&order, i] { order.push_back(i); });
+  }
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(KernelTest, NestedSchedulingAdvancesTime) {
+  Kernel k;
+  SimTime inner_fired{};
+  k.schedule_after(sim_ms(int64_t{5}), [&] {
+    k.schedule_after(sim_ms(int64_t{5}), [&] { inner_fired = k.now(); });
+  });
+  k.run();
+  EXPECT_EQ(inner_fired, sim_ms(int64_t{10}));
+}
+
+TEST(KernelTest, PastDelaysClampToNow) {
+  Kernel k;
+  bool ran = false;
+  k.schedule_after(sim_ms(int64_t{10}), [&] {
+    k.schedule_at(sim_ms(int64_t{1}), [&] {
+      ran = true;
+      EXPECT_EQ(k.now(), sim_ms(int64_t{10})) << "no time travel";
+    });
+  });
+  k.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(KernelTest, CancelPreventsExecution) {
+  Kernel k;
+  bool ran = false;
+  EventId id = k.schedule_after(sim_ms(int64_t{5}), [&] { ran = true; });
+  k.cancel(id);
+  k.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(k.executed(), 0u);
+}
+
+TEST(KernelTest, CancelAfterFireIsNoop) {
+  Kernel k;
+  EventId id = k.schedule_after(sim_ms(int64_t{1}), [] {});
+  k.run();
+  k.cancel(id);  // must not crash or corrupt
+  EXPECT_EQ(k.executed(), 1u);
+}
+
+TEST(KernelTest, CancelOneOfMany) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_after(sim_ms(int64_t{1}), [&] { order.push_back(1); });
+  EventId id = k.schedule_after(sim_ms(int64_t{2}), [&] { order.push_back(2); });
+  k.schedule_after(sim_ms(int64_t{3}), [&] { order.push_back(3); });
+  k.cancel(id);
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(KernelTest, RunUntilStopsAtDeadline) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_after(sim_ms(int64_t{10}), [&] { order.push_back(1); });
+  k.schedule_after(sim_ms(int64_t{20}), [&] { order.push_back(2); });
+  k.schedule_after(sim_ms(int64_t{30}), [&] { order.push_back(3); });
+  k.run_until(sim_ms(int64_t{20}));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(k.pending(), 1u);
+  k.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(KernelTest, ManyEventsStressDeterminism) {
+  auto run_once = [] {
+    Kernel k;
+    uint64_t checksum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      k.schedule_after(sim_us((i * 37) % 211), [&checksum, i, &k] {
+        checksum = checksum * 31 + static_cast<uint64_t>(i) +
+                   static_cast<uint64_t>(k.now().count());
+      });
+    }
+    k.run();
+    return checksum;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace wasmctr::sim

@@ -1,0 +1,113 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::sim {
+namespace {
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  mem::NodeMemory node_{Bytes(1_GiB), Bytes(64_MiB)};
+  mem::CgroupTree cgroups_;
+  ProcessTable procs_{node_};
+};
+
+TEST_F(ProcessTest, SpawnAssignsIncreasingPids) {
+  auto a = procs_.spawn("crun", nullptr);
+  auto b = procs_.spawn("wamr", nullptr);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_LT(*a, *b);
+  EXPECT_EQ(procs_.count(), 2u);
+}
+
+TEST_F(ProcessTest, KillReleasesMemory) {
+  mem::Cgroup& pod = cgroups_.ensure("pod");
+  auto pid = procs_.spawn("app", &pod);
+  ASSERT_TRUE(pid.is_ok());
+  Process* p = procs_.find(*pid);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(p->add_anon(Bytes(3_MiB)).is_ok());
+  const mem::FileId so = node_.new_file_id();
+  ASSERT_TRUE(p->map_shared(so, Bytes(2_MiB)).is_ok());
+  EXPECT_EQ(pod.working_set().value, 5_MiB);
+  EXPECT_EQ(node_.anon_total().value, 3_MiB);
+  ASSERT_TRUE(procs_.kill(*pid).is_ok());
+  EXPECT_EQ(pod.working_set().value, 0u);
+  EXPECT_EQ(node_.anon_total().value, 0u);
+  EXPECT_EQ(node_.shared_resident().value, 0u);
+  EXPECT_EQ(procs_.find(*pid), nullptr);
+}
+
+TEST_F(ProcessTest, KillUnknownPidFails) {
+  EXPECT_EQ(procs_.kill(9999).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ProcessTest, RssCountsFullSharedSize) {
+  auto pid = procs_.spawn("p", nullptr);
+  Process* p = procs_.find(*pid);
+  ASSERT_TRUE(p->add_anon(Bytes(1_MiB)).is_ok());
+  const mem::FileId so = node_.new_file_id();
+  ASSERT_TRUE(p->map_shared(so, Bytes(4_MiB)).is_ok());
+  EXPECT_EQ(p->rss().value, 5_MiB);
+}
+
+TEST_F(ProcessTest, PssDividesSharedBetweenMappers) {
+  auto p1 = procs_.find(*procs_.spawn("p1", nullptr));
+  auto p2 = procs_.find(*procs_.spawn("p2", nullptr));
+  const mem::FileId so = node_.new_file_id();
+  ASSERT_TRUE(p1->map_shared(so, Bytes(4_MiB)).is_ok());
+  ASSERT_TRUE(p2->map_shared(so, Bytes(4_MiB)).is_ok());
+  EXPECT_EQ(p1->pss().value, 2_MiB);
+  EXPECT_EQ(p2->pss().value, 2_MiB);
+  EXPECT_EQ(node_.shared_resident().value, 4_MiB);
+}
+
+TEST_F(ProcessTest, DoubleMapSameFileRejected) {
+  auto p = procs_.find(*procs_.spawn("p", nullptr));
+  const mem::FileId so = node_.new_file_id();
+  ASSERT_TRUE(p->map_shared(so, Bytes(1_MiB)).is_ok());
+  EXPECT_EQ(p->map_shared(so, Bytes(1_MiB)).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(ProcessTest, AnonShrink) {
+  auto p = procs_.find(*procs_.spawn("p", nullptr));
+  ASSERT_TRUE(p->add_anon(Bytes(2_MiB)).is_ok());
+  p->remove_anon(Bytes(1_MiB));
+  EXPECT_EQ(p->anon().value, 1_MiB);
+  EXPECT_EQ(node_.anon_total().value, 1_MiB);
+}
+
+TEST_F(ProcessTest, ManyProcessesShareOneLibrary) {
+  // The crux of the paper's density scaling: engine .so pages are resident
+  // once no matter how many containers run.
+  const mem::FileId libwamr = node_.new_file_id();
+  std::vector<Pid> pids;
+  for (int i = 0; i < 100; ++i) {
+    auto pid = procs_.spawn("ctr" + std::to_string(i), nullptr);
+    ASSERT_TRUE(pid.is_ok());
+    Process* p = procs_.find(*pid);
+    ASSERT_TRUE(p->map_shared(libwamr, Bytes(3_MiB)).is_ok());
+    ASSERT_TRUE(p->add_anon(Bytes(1_MiB)).is_ok());
+    pids.push_back(*pid);
+  }
+  EXPECT_EQ(node_.shared_resident().value, 3_MiB);
+  EXPECT_EQ(node_.anon_total().value, 100_MiB);
+  for (const Pid pid : pids) ASSERT_TRUE(procs_.kill(pid).is_ok());
+  EXPECT_EQ(node_.shared_resident().value, 0u);
+  EXPECT_EQ(node_.anon_total().value, 0u);
+}
+
+TEST_F(ProcessTest, PidsSortedDeterministic) {
+  ASSERT_TRUE(procs_.spawn("a", nullptr).is_ok());
+  ASSERT_TRUE(procs_.spawn("b", nullptr).is_ok());
+  ASSERT_TRUE(procs_.spawn("c", nullptr).is_ok());
+  auto pids = procs_.pids();
+  ASSERT_EQ(pids.size(), 3u);
+  EXPECT_LT(pids[0], pids[1]);
+  EXPECT_LT(pids[1], pids[2]);
+}
+
+}  // namespace
+}  // namespace wasmctr::sim

@@ -1,0 +1,84 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::sim {
+namespace {
+
+TEST(SerialQueueTest, SingleAcquireRunsAfterHold) {
+  Kernel k;
+  SerialQueue q(k);
+  SimTime done{};
+  q.acquire(sim_ms(int64_t{50}), [&] { done = k.now(); });
+  k.run();
+  EXPECT_EQ(done, sim_ms(int64_t{50}));
+}
+
+TEST(SerialQueueTest, RequestsSerializeFifo) {
+  Kernel k;
+  SerialQueue q(k);
+  std::vector<int> order;
+  std::vector<SimTime> times;
+  for (int i = 0; i < 3; ++i) {
+    q.acquire(sim_ms(int64_t{10}), [&, i] {
+      order.push_back(i);
+      times.push_back(k.now());
+    });
+  }
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(times[0], sim_ms(int64_t{10}));
+  EXPECT_EQ(times[1], sim_ms(int64_t{20}));
+  EXPECT_EQ(times[2], sim_ms(int64_t{30}));
+}
+
+TEST(SerialQueueTest, LateArrivalQueuesBehindCurrentHold) {
+  Kernel k;
+  SerialQueue q(k);
+  SimTime second_done{};
+  q.acquire(sim_ms(int64_t{100}), [] {});
+  k.schedule_after(sim_ms(int64_t{30}), [&] {
+    q.acquire(sim_ms(int64_t{10}), [&] { second_done = k.now(); });
+  });
+  k.run();
+  EXPECT_EQ(second_done, sim_ms(int64_t{110}))
+      << "second request waits for the first hold to finish";
+}
+
+TEST(SerialQueueTest, IdleQueueServesImmediately) {
+  Kernel k;
+  SerialQueue q(k);
+  SimTime first{};
+  SimTime second{};
+  q.acquire(sim_ms(int64_t{10}), [&] { first = k.now(); });
+  k.run();
+  q.acquire(sim_ms(int64_t{10}), [&] { second = k.now(); });
+  k.run();
+  EXPECT_EQ(first, sim_ms(int64_t{10}));
+  EXPECT_EQ(second, sim_ms(int64_t{20}))
+      << "no artificial delay after the queue drained";
+}
+
+TEST(SerialQueueTest, BusyTimeAccumulates) {
+  Kernel k;
+  SerialQueue q(k);
+  for (int i = 0; i < 5; ++i) q.acquire(sim_ms(int64_t{7}), [] {});
+  EXPECT_EQ(q.queue_depth(), 5u);
+  k.run();
+  EXPECT_EQ(q.busy_time(), sim_ms(int64_t{35}));
+  EXPECT_EQ(q.queue_depth(), 0u);
+}
+
+TEST(SerialQueueTest, ReentrantAcquireFromCallback) {
+  Kernel k;
+  SerialQueue q(k);
+  SimTime nested_done{};
+  q.acquire(sim_ms(int64_t{10}), [&] {
+    q.acquire(sim_ms(int64_t{10}), [&] { nested_done = k.now(); });
+  });
+  k.run();
+  EXPECT_EQ(nested_done, sim_ms(int64_t{20}));
+}
+
+}  // namespace
+}  // namespace wasmctr::sim

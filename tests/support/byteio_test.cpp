@@ -1,0 +1,119 @@
+#include "support/byteio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr {
+namespace {
+
+TEST(ByteReaderTest, SequentialReads) {
+  const uint8_t bytes[] = {0x01, 0x02, 0x03, 0x04, 0x05};
+  ByteReader r(bytes);
+  EXPECT_EQ(r.remaining(), 5u);
+  EXPECT_EQ(*r.u8(), 0x01);
+  EXPECT_EQ(*r.peek(), 0x02);
+  EXPECT_EQ(*r.u8(), 0x02);
+  auto raw = r.bytes(3);
+  ASSERT_TRUE(raw.is_ok());
+  EXPECT_EQ((*raw)[0], 0x03);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_FALSE(r.u8().is_ok());
+}
+
+TEST(ByteReaderTest, FixedWidthLittleEndian) {
+  const uint8_t bytes[] = {0x78, 0x56, 0x34, 0x12,
+                           0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01};
+  ByteReader r(bytes);
+  EXPECT_EQ(*r.fixed_u32(), 0x12345678u);
+  EXPECT_EQ(*r.fixed_u64(), 0x0123456789abcdefull);
+}
+
+TEST(ByteReaderTest, FixedWidthOverrun) {
+  const uint8_t bytes[] = {0x01, 0x02};
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.fixed_u32().is_ok());
+  EXPECT_EQ(r.pos(), 0u) << "cursor must not advance on failure";
+}
+
+TEST(ByteReaderTest, VarIntsAdvanceCursor) {
+  ByteWriter w;
+  w.var_u32(624485);
+  w.var_s32(-12345);
+  w.var_u64(1ull << 60);
+  w.var_s64(-(1ll << 50));
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.var_u32(), 624485u);
+  EXPECT_EQ(*r.var_s32(), -12345);
+  EXPECT_EQ(*r.var_u64(), 1ull << 60);
+  EXPECT_EQ(*r.var_s64(), -(1ll << 50));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReaderTest, NameRoundtrip) {
+  ByteWriter w;
+  w.name("wasi_snapshot_preview1");
+  ByteReader r(w.data());
+  auto n = r.name();
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, "wasi_snapshot_preview1");
+}
+
+TEST(ByteReaderTest, NameRejectsInvalidUtf8) {
+  ByteWriter w;
+  w.var_u32(2);
+  w.u8(0xc0);  // over-long encoding lead byte
+  w.u8(0xaf);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.name().status().code(), ErrorCode::kMalformed);
+}
+
+TEST(ByteReaderTest, NameRejectsTruncation) {
+  ByteWriter w;
+  w.var_u32(10);
+  w.u8('a');
+  ByteReader r(w.data());
+  EXPECT_FALSE(r.name().is_ok());
+}
+
+TEST(ByteReaderTest, SubReaderIsolatesWindow) {
+  const uint8_t bytes[] = {0xaa, 0xbb, 0xcc, 0xdd};
+  ByteReader r(bytes);
+  ASSERT_TRUE(r.skip(1).is_ok());
+  auto sub = r.sub_reader(2);
+  ASSERT_TRUE(sub.is_ok());
+  EXPECT_EQ(*sub->u8(), 0xbb);
+  EXPECT_EQ(*sub->u8(), 0xcc);
+  EXPECT_TRUE(sub->at_end());
+  EXPECT_EQ(*r.u8(), 0xdd) << "outer cursor sits after the window";
+}
+
+TEST(ByteWriterTest, LengthPrefixedEmbedsBlob) {
+  ByteWriter inner;
+  inner.u8(0x01);
+  inner.u8(0x02);
+  ByteWriter outer;
+  outer.length_prefixed(inner);
+  ByteReader r(outer.data());
+  EXPECT_EQ(*r.var_u32(), 2u);
+  EXPECT_EQ(*r.u8(), 0x01);
+  EXPECT_EQ(*r.u8(), 0x02);
+}
+
+TEST(Utf8Test, AcceptsMultibyteSequences) {
+  const std::string s = "héllo \xe4\xb8\x96\xe7\x95\x8c \xf0\x9f\x98\x80";
+  EXPECT_TRUE(is_valid_utf8(
+      {reinterpret_cast<const uint8_t*>(s.data()), s.size()}));
+}
+
+TEST(Utf8Test, RejectsSurrogatesAndOverlong) {
+  const uint8_t surrogate[] = {0xed, 0xa0, 0x80};      // U+D800
+  const uint8_t overlong[] = {0xc0, 0x80};             // over-long NUL
+  const uint8_t out_of_range[] = {0xf4, 0x90, 0x80, 0x80};  // > U+10FFFF
+  const uint8_t bare_cont[] = {0x80};
+  EXPECT_FALSE(is_valid_utf8(surrogate));
+  EXPECT_FALSE(is_valid_utf8(overlong));
+  EXPECT_FALSE(is_valid_utf8(out_of_range));
+  EXPECT_FALSE(is_valid_utf8(bare_cont));
+}
+
+}  // namespace
+}  // namespace wasmctr

@@ -1,0 +1,139 @@
+#include "support/leb128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace wasmctr::leb128 {
+namespace {
+
+template <typename T, typename Enc, typename Dec>
+void roundtrip(T value, Enc enc, Dec dec) {
+  std::vector<uint8_t> buf;
+  enc(value, buf);
+  auto d = dec(buf);
+  ASSERT_TRUE(d.is_ok()) << d.status().to_string();
+  EXPECT_EQ(d->value, value);
+  EXPECT_EQ(d->length, buf.size());
+}
+
+TEST(Leb128Test, U32RoundtripBoundaries) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 16383u, 16384u, 624485u,
+                     std::numeric_limits<uint32_t>::max()}) {
+    roundtrip(v, encode_u32, decode_u32);
+  }
+}
+
+TEST(Leb128Test, U64RoundtripBoundaries) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 35, std::numeric_limits<uint64_t>::max()}) {
+    roundtrip(v, encode_u64, decode_u64);
+  }
+}
+
+TEST(Leb128Test, S32RoundtripBoundaries) {
+  for (int32_t v : {0, 1, -1, 63, 64, -64, -65, 8191, -8192,
+                    std::numeric_limits<int32_t>::min(),
+                    std::numeric_limits<int32_t>::max()}) {
+    roundtrip(v, encode_s32, decode_s32);
+  }
+}
+
+TEST(Leb128Test, S64RoundtripBoundaries) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1} << 40,
+                    -(int64_t{1} << 40), std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    roundtrip(v, encode_s64, decode_s64);
+  }
+}
+
+// Property sweep: every value in a dense window must round-trip.
+class Leb128Sweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(Leb128Sweep, SignedRoundtripWindow) {
+  const int64_t base = GetParam();
+  for (int64_t v = base - 64; v <= base + 64; ++v) {
+    roundtrip(v, encode_s64, decode_s64);
+    if (v >= std::numeric_limits<int32_t>::min() &&
+        v <= std::numeric_limits<int32_t>::max()) {
+      roundtrip(static_cast<int32_t>(v), encode_s32, decode_s32);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, Leb128Sweep,
+                         ::testing::Values(0, 127, 128, 16384, -16384,
+                                           1 << 21, -(1 << 21), 1LL << 42));
+
+TEST(Leb128Test, EmptyInputIsMalformed) {
+  EXPECT_EQ(decode_u32({}).status().code(), ErrorCode::kMalformed);
+  EXPECT_EQ(decode_s64({}).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(Leb128Test, TruncatedMultibyteIsMalformed) {
+  const uint8_t bytes[] = {0x80, 0x80};  // continuation with no terminator
+  EXPECT_FALSE(decode_u32(bytes).is_ok());
+}
+
+TEST(Leb128Test, OverlongU32Rejected) {
+  // 6 bytes for u32 (max is 5).
+  const uint8_t bytes[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  EXPECT_EQ(decode_u32(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(Leb128Test, U32ExtraBitsRejected) {
+  // Last byte contributes bits ≥ 2^32.
+  const uint8_t bytes[] = {0xff, 0xff, 0xff, 0xff, 0x1f};
+  EXPECT_EQ(decode_u32(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(Leb128Test, U32MaxBitsAccepted) {
+  const uint8_t bytes[] = {0xff, 0xff, 0xff, 0xff, 0x0f};
+  auto d = decode_u32(bytes);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d->value, std::numeric_limits<uint32_t>::max());
+}
+
+TEST(Leb128Test, S32BadSignExtensionRejected) {
+  // Per spec test suite: 0xff ff ff ff 0f is malformed for s32 (unused bits
+  // must sign-extend).
+  const uint8_t bytes[] = {0xff, 0xff, 0xff, 0xff, 0x0f};
+  EXPECT_EQ(decode_s32(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(Leb128Test, S32ProperSignExtensionAccepted) {
+  const uint8_t minus_one[] = {0xff, 0xff, 0xff, 0xff, 0x7f};
+  auto d = decode_s32(minus_one);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d->value, -1);
+}
+
+TEST(Leb128Test, NonCanonicalButValidAccepted) {
+  // 1 encoded in 2 bytes: legal per the Wasm spec (only over-length and
+  // bad high bits are malformed).
+  const uint8_t bytes[] = {0x81, 0x00};
+  auto d = decode_u32(bytes);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d->value, 1u);
+  EXPECT_EQ(d->length, 2u);
+}
+
+TEST(Leb128Test, EncodedSizeMatchesEncoding) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 16383u, 16384u, 0xffffffffu}) {
+    std::vector<uint8_t> buf;
+    encode_u32(v, buf);
+    EXPECT_EQ(encoded_size_u32(v), buf.size()) << v;
+  }
+}
+
+TEST(Leb128Test, DecodeStopsAtTerminator) {
+  // Trailing garbage after a complete encoding is not consumed.
+  const uint8_t bytes[] = {0x2a, 0xde, 0xad};
+  auto d = decode_u32(bytes);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d->value, 42u);
+  EXPECT_EQ(d->length, 1u);
+}
+
+}  // namespace
+}  // namespace wasmctr::leb128

@@ -1,0 +1,93 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wasmctr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsOrderIndependent) {
+  Rng master(7);
+  Rng a1 = master.fork("kubelet");
+  Rng b1 = master.fork("containerd");
+  Rng master2(7);
+  Rng b2 = master2.fork("containerd");
+  Rng a2 = master2.fork("kubelet");
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  EXPECT_EQ(b1.next_u64(), b2.next_u64());
+}
+
+TEST(RngTest, ForkStreamsAreDistinct) {
+  Rng master(7);
+  Rng a = master.fork("a");
+  Rng b = master.fork("b");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng r(5);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng r(12);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = r.uniform(2.0, 8.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 8.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 2.5) << "samples should approach the lower edge";
+  EXPECT_GT(hi, 7.5) << "samples should approach the upper edge";
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng r(2024);
+  const int n = 20000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace wasmctr

@@ -1,0 +1,99 @@
+#include "support/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = malformed("bad magic");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kMalformed);
+  EXPECT_EQ(s.message(), "bad magic");
+  EXPECT_EQ(s.to_string(), "malformed: bad magic");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(invalid_argument("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(malformed("").code(), ErrorCode::kMalformed);
+  EXPECT_EQ(validation_error("").code(), ErrorCode::kValidation);
+  EXPECT_EQ(not_found("").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(already_exists("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(failed_precondition("").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(resource_exhausted("").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(unimplemented("").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(internal_error("").code(), ErrorCode::kInternal);
+  EXPECT_EQ(trap_error("").code(), ErrorCode::kTrap);
+  EXPECT_EQ(permission_denied("").code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kPermissionDenied); ++c) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = not_found("x");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r = 5;
+  EXPECT_EQ(r.value_or(9), 5);
+}
+
+Status fails() { return malformed("inner"); }
+Status propagates() {
+  WASMCTR_RETURN_IF_ERROR(fails());
+  return internal_error("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(propagates().code(), ErrorCode::kMalformed);
+}
+
+Result<int> half(int v) {
+  if (v % 2 != 0) return invalid_argument("odd");
+  return v / 2;
+}
+Result<int> quarter(int v) {
+  WASMCTR_ASSIGN_OR_RETURN(int h, half(v));
+  return half(h);
+}
+
+TEST(StatusTest, AssignOrReturnPropagates) {
+  auto ok = quarter(8);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = quarter(6);  // 6/2 = 3 → odd
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wasmctr

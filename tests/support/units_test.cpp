@@ -1,0 +1,63 @@
+#include "support/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr {
+namespace {
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}
+
+TEST(BytesTest, Conversions) {
+  const Bytes b = Bytes::from_mib(1.5);
+  EXPECT_DOUBLE_EQ(b.mib(), 1.5);
+  EXPECT_DOUBLE_EQ(b.kib(), 1536.0);
+  EXPECT_EQ(Bytes::from_kib(4).value, 4096u);
+  EXPECT_EQ(Bytes::from_pages(3).value, 3 * kPageSize);
+}
+
+TEST(BytesTest, PageRoundingUp) {
+  EXPECT_EQ(Bytes(0).pages(), 0u);
+  EXPECT_EQ(Bytes(1).pages(), 1u);
+  EXPECT_EQ(Bytes(kPageSize).pages(), 1u);
+  EXPECT_EQ(Bytes(kPageSize + 1).pages(), 2u);
+}
+
+TEST(BytesTest, Arithmetic) {
+  Bytes a(1000);
+  Bytes b(24);
+  EXPECT_EQ((a + b).value, 1024u);
+  EXPECT_EQ((a - b).value, 976u);
+  EXPECT_EQ((b * 3).value, 72u);
+  EXPECT_EQ((a / 10).value, 100u);
+  a += b;
+  EXPECT_EQ(a.value, 1024u);
+  a -= b;
+  EXPECT_EQ(a.value, 1000u);
+  EXPECT_LT(b, a);
+}
+
+TEST(BytesTest, Formatting) {
+  EXPECT_EQ(format_bytes(Bytes(512)), "512 B");
+  EXPECT_EQ(format_bytes(Bytes(1536)), "1.50 KiB");
+  EXPECT_EQ(format_bytes(Bytes::from_mib(12.34)), "12.34 MiB");
+  EXPECT_EQ(format_bytes(Bytes(3ull * 1024 * 1024 * 1024)), "3.00 GiB");
+}
+
+TEST(SimTimeTest, Constructors) {
+  EXPECT_EQ(sim_us(5).count(), 5000);
+  EXPECT_EQ(sim_ms(int64_t{3}).count(), 3'000'000);
+  EXPECT_EQ(sim_ms(1.5).count(), 1'500'000);
+  EXPECT_EQ(sim_s(2.0).count(), 2'000'000'000);
+}
+
+TEST(SimTimeTest, Reporting) {
+  EXPECT_DOUBLE_EQ(to_seconds(sim_s(3.24)), 3.24);
+  EXPECT_DOUBLE_EQ(to_millis(sim_ms(int64_t{250})), 250.0);
+}
+
+}  // namespace
+}  // namespace wasmctr

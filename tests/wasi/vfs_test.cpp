@@ -1,0 +1,111 @@
+#include "wasi/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::wasi {
+namespace {
+
+TEST(SplitPathTest, Normalization) {
+  auto p = split_path("/a//b/./c/");
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(*p, (std::vector<std::string>{"a", "b", "c"}));
+  auto dotdot = split_path("a/b/../c");
+  ASSERT_TRUE(dotdot.is_ok());
+  EXPECT_EQ(*dotdot, (std::vector<std::string>{"a", "c"}));
+  auto empty = split_path("");
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(SplitPathTest, EscapeRejected) {
+  EXPECT_EQ(split_path("..").status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(split_path("a/../../b").status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(VfsTest, WriteAndReadFile) {
+  VirtualFs fs;
+  ASSERT_TRUE(fs.write_file("dir/sub/file.txt", "contents").is_ok());
+  auto r = fs.read_file("dir/sub/file.txt");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, "contents");
+  EXPECT_TRUE(fs.exists("dir"));
+  EXPECT_TRUE(fs.exists("dir/sub"));
+  EXPECT_FALSE(fs.exists("dir/other"));
+}
+
+TEST(VfsTest, OverwriteReplacesContents) {
+  VirtualFs fs;
+  ASSERT_TRUE(fs.write_file("f", "old").is_ok());
+  ASSERT_TRUE(fs.write_file("f", "new!").is_ok());
+  EXPECT_EQ(*fs.read_file("f"), "new!");
+}
+
+TEST(VfsTest, AppendCreatesAndExtends) {
+  VirtualFs fs;
+  ASSERT_TRUE(fs.append_file("log", "a").is_ok());
+  ASSERT_TRUE(fs.append_file("log", "b").is_ok());
+  EXPECT_EQ(*fs.read_file("log"), "ab");
+}
+
+TEST(VfsTest, MkdirsIdempotent) {
+  VirtualFs fs;
+  EXPECT_TRUE(fs.mkdirs("a/b/c").is_ok());
+  EXPECT_TRUE(fs.mkdirs("a/b/c").is_ok());
+  EXPECT_TRUE(fs.mkdirs("a/b").is_ok());
+  auto node = fs.resolve("a/b/c");
+  ASSERT_TRUE(node.is_ok());
+  EXPECT_TRUE((*node)->is_dir());
+}
+
+TEST(VfsTest, FileDirConflicts) {
+  VirtualFs fs;
+  ASSERT_TRUE(fs.write_file("x", "data").is_ok());
+  EXPECT_FALSE(fs.mkdirs("x").is_ok());
+  ASSERT_TRUE(fs.mkdirs("d").is_ok());
+  EXPECT_FALSE(fs.write_file("d", "data").is_ok());
+}
+
+TEST(VfsTest, ReadMissingFails) {
+  VirtualFs fs;
+  EXPECT_EQ(fs.read_file("nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(VfsTest, ReadDirectoryFails) {
+  VirtualFs fs;
+  ASSERT_TRUE(fs.mkdirs("d").is_ok());
+  EXPECT_EQ(fs.read_file("d").status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(VfsTest, RemoveSemantics) {
+  VirtualFs fs;
+  ASSERT_TRUE(fs.write_file("d/f", "x").is_ok());
+  EXPECT_EQ(fs.remove("d").code(), ErrorCode::kFailedPrecondition)
+      << "non-empty directory";
+  EXPECT_TRUE(fs.remove("d/f").is_ok());
+  EXPECT_TRUE(fs.remove("d").is_ok());
+  EXPECT_EQ(fs.remove("d").code(), ErrorCode::kNotFound);
+}
+
+TEST(VfsTest, ListSorted) {
+  VirtualFs fs;
+  ASSERT_TRUE(fs.write_file("d/b", "").is_ok());
+  ASSERT_TRUE(fs.write_file("d/a", "").is_ok());
+  ASSERT_TRUE(fs.mkdirs("d/c").is_ok());
+  auto names = fs.list("d");
+  ASSERT_TRUE(names.is_ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(VfsTest, TotalBytesAccounting) {
+  VirtualFs fs;
+  EXPECT_EQ(fs.total_bytes(), 0u);
+  ASSERT_TRUE(fs.write_file("a", "1234").is_ok());
+  ASSERT_TRUE(fs.write_file("d/b", "56789").is_ok());
+  EXPECT_EQ(fs.total_bytes(), 9u);
+  ASSERT_TRUE(fs.remove("a").is_ok());
+  EXPECT_EQ(fs.total_bytes(), 5u);
+}
+
+}  // namespace
+}  // namespace wasmctr::wasi

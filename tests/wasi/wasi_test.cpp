@@ -1,0 +1,357 @@
+// WASI host-function tests: modules built to poke each syscall directly.
+#include "wasi/wasi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasmctr::wasi {
+namespace {
+
+using wasm::FnBuilder;
+using wasm::ModuleBuilder;
+using wasm::ValType;
+using wasm::Value;
+
+struct Harness {
+  VirtualFs fs;
+  std::unique_ptr<WasiContext> ctx;
+  std::unique_ptr<wasm::Instance> inst;
+};
+
+/// Instantiate `b`'s module with WASI registered. Heap-allocated: the
+/// context holds a reference to the harness's VirtualFs.
+std::unique_ptr<Harness> make(ModuleBuilder& b, WasiOptions opts) {
+  auto h = std::make_unique<Harness>();
+  h->ctx = std::make_unique<WasiContext>(std::move(opts), h->fs);
+  auto m = wasm::decode_module(b.build());
+  EXPECT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_TRUE(validate_module(*m).is_ok()) << validate_module(*m).to_string();
+  wasm::ImportResolver resolver;
+  h->ctx->register_imports(resolver);
+  auto inst = wasm::Instance::instantiate(std::move(*m), resolver);
+  EXPECT_TRUE(inst.is_ok()) << inst.status().to_string();
+  h->inst = std::move(*inst);
+  return h;
+}
+
+TEST(WasiTest, ArgsRoundtrip) {
+  ModuleBuilder b;
+  const uint32_t sizes = b.import_function(
+      "wasi_snapshot_preview1", "args_sizes_get",
+      {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  const uint32_t get = b.import_function("wasi_snapshot_preview1", "args_get",
+                                         {ValType::kI32, ValType::kI32},
+                                         {ValType::kI32});
+  b.add_memory(1, 1);
+  // run() -> argc; also materializes argv at 200/buf at 300.
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(100).i32_const(104).call(sizes).drop();
+  f.i32_const(200).i32_const(300).call(get).drop();
+  f.i32_const(100).i32_load();
+  f.end();
+
+  WasiOptions opts;
+  opts.args = {"app.wasm", "--threads", "4"};
+  auto h = make(b, std::move(opts));
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ((**r).i32(), 3);
+  // argv[1] must point at "--threads" inside the packed buffer.
+  auto* mem = h->inst->memory();
+  auto argv1 = mem->load<uint32_t>(204, 0);
+  ASSERT_TRUE(argv1.is_ok());
+  auto s = mem->read_string(*argv1, 9);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(*s, "--threads");
+}
+
+TEST(WasiTest, EnvironRoundtrip) {
+  ModuleBuilder b;
+  const uint32_t sizes = b.import_function(
+      "wasi_snapshot_preview1", "environ_sizes_get",
+      {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  const uint32_t get = b.import_function(
+      "wasi_snapshot_preview1", "environ_get",
+      {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(100).i32_const(104).call(sizes).drop();
+  f.i32_const(200).i32_const(300).call(get).drop();
+  f.i32_const(104).i32_load();  // total byte size
+  f.end();
+
+  WasiOptions opts;
+  opts.env = {{"PORT", "8080"}, {"MODE", "prod"}};
+  auto h = make(b, std::move(opts));
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), 10 + 10);  // "PORT=8080\0" + "MODE=prod\0"
+  auto env0 = h->inst->memory()->load<uint32_t>(200, 0);
+  auto s = h->inst->memory()->read_string(*env0, 9);
+  EXPECT_EQ(*s, "PORT=8080");  // env preserves declaration order
+}
+
+TEST(WasiTest, FdWriteStdoutAndStderr) {
+  ModuleBuilder b;
+  const uint32_t fd_write = b.import_function(
+      "wasi_snapshot_preview1", "fd_write",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  b.add_memory(1, 1);
+  b.add_data(1024, "out");
+  b.add_data(1032, "err");
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(16).i32_const(1024).i32_store();
+  f.i32_const(20).i32_const(3).i32_store();
+  f.i32_const(1).i32_const(16).i32_const(1).i32_const(64).call(fd_write).drop();
+  f.i32_const(16).i32_const(1032).i32_store();
+  f.i32_const(2).i32_const(16).i32_const(1).i32_const(64).call(fd_write);
+  f.end();
+
+  auto h = make(b, {});
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), kSuccess);
+  EXPECT_EQ(h->ctx->stdout_data(), "out");
+  EXPECT_EQ(h->ctx->stderr_data(), "err");
+}
+
+TEST(WasiTest, FdWriteBadFdReturnsEbadf) {
+  ModuleBuilder b;
+  const uint32_t fd_write = b.import_function(
+      "wasi_snapshot_preview1", "fd_write",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(99).i32_const(16).i32_const(0).i32_const(64).call(fd_write);
+  f.end();
+  auto h = make(b, {});
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), kEBadf);
+}
+
+TEST(WasiTest, FdReadFromStdin) {
+  ModuleBuilder b;
+  const uint32_t fd_read = b.import_function(
+      "wasi_snapshot_preview1", "fd_read",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(16).i32_const(1024).i32_store();  // buf
+  f.i32_const(20).i32_const(64).i32_store();    // len
+  f.i32_const(0).i32_const(16).i32_const(1).i32_const(100).call(fd_read).drop();
+  f.i32_const(100).i32_load();  // nread
+  f.end();
+  auto h = make(b, {});
+  h->ctx->set_stdin("ping");
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), 4);
+  EXPECT_EQ(*h->inst->memory()->read_string(1024, 4), "ping");
+  // Second read: EOF.
+  auto r2 = h->inst->invoke("run");
+  EXPECT_EQ((**r2).i32(), 0);
+}
+
+TEST(WasiTest, PrestatEnumeratesPreopens) {
+  ModuleBuilder b;
+  const uint32_t prestat_get = b.import_function(
+      "wasi_snapshot_preview1", "fd_prestat_get",
+      {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  const uint32_t dir_name = b.import_function(
+      "wasi_snapshot_preview1", "fd_prestat_dir_name",
+      {ValType::kI32, ValType::kI32, ValType::kI32}, {ValType::kI32});
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(3).i32_const(64).call(prestat_get).drop();
+  f.i32_const(3).i32_const(128).i32_const(64).call(dir_name).drop();
+  f.i32_const(68).i32_load();  // name length from prestat
+  f.end();
+  WasiOptions opts;
+  opts.preopens = {{"/data", "bundle/data"}};
+  auto h = make(b, std::move(opts));
+  ASSERT_TRUE(h->fs.mkdirs("bundle/data").is_ok());
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), 5);
+  EXPECT_EQ(*h->inst->memory()->read_string(128, 5), "/data");
+  // fd 4 has no prestat.
+  ModuleBuilder b2;
+  (void)b2;
+}
+
+TEST(WasiTest, ClockIsMonotonicAndInjected) {
+  ModuleBuilder b;
+  const uint32_t clock = b.import_function(
+      "wasi_snapshot_preview1", "clock_time_get",
+      {ValType::kI32, ValType::kI64, ValType::kI32}, {ValType::kI32});
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI64});
+  f.i32_const(1).i64_const(0).i32_const(64).call(clock).drop();
+  f.i32_const(64).i64_load();
+  f.end();
+  WasiOptions opts;
+  uint64_t fake_now = 42'000;
+  opts.clock_ns = [&fake_now] { return fake_now; };
+  auto h = make(b, std::move(opts));
+  auto r1 = h->inst->invoke("run");
+  EXPECT_EQ((**r1).i64(), 42'000);
+  fake_now = 43'000;
+  auto r2 = h->inst->invoke("run");
+  EXPECT_EQ((**r2).i64(), 43'000);
+}
+
+TEST(WasiTest, RandomIsSeededDeterministic) {
+  auto run_with_seed = [](uint64_t seed) {
+    ModuleBuilder b;
+    const uint32_t random = b.import_function(
+        "wasi_snapshot_preview1", "random_get",
+        {ValType::kI32, ValType::kI32}, {ValType::kI32});
+    b.add_memory(1, 1);
+    FnBuilder& f = b.add_function("run", {}, {ValType::kI64});
+    f.i32_const(64).i32_const(8).call(random).drop();
+    f.i32_const(64).i64_load();
+    f.end();
+    WasiOptions opts;
+    opts.random_seed = seed;
+    VirtualFs fs;
+    WasiContext ctx(std::move(opts), fs);
+    auto m = wasm::decode_module(b.build());
+    wasm::ImportResolver resolver;
+    ctx.register_imports(resolver);
+    auto inst = wasm::Instance::instantiate(std::move(*m), resolver);
+    auto r = (*inst)->invoke("run");
+    return (**r).u64();
+  };
+  EXPECT_EQ(run_with_seed(7), run_with_seed(7));
+  EXPECT_NE(run_with_seed(7), run_with_seed(8));
+}
+
+TEST(WasiTest, ProcExitCapturesCode) {
+  ModuleBuilder b;
+  const uint32_t proc_exit = b.import_function(
+      "wasi_snapshot_preview1", "proc_exit", {ValType::kI32}, {});
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("run", {}, {});
+  f.i32_const(17).call(proc_exit);
+  f.end();
+  auto h = make(b, {});
+  auto r = h->inst->invoke("run");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kTrap);
+  EXPECT_TRUE(h->ctx->exited());
+  EXPECT_EQ(h->ctx->exit_code(), 17u);
+}
+
+TEST(WasiTest, PathOpenEscapeRejected) {
+  ModuleBuilder b;
+  const uint32_t path_open = b.import_function(
+      "wasi_snapshot_preview1", "path_open",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32,
+       ValType::kI32, ValType::kI64, ValType::kI64, ValType::kI32,
+       ValType::kI32},
+      {ValType::kI32});
+  b.add_memory(1, 1);
+  b.add_data(512, "../../etc/passwd");
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(3)
+      .i32_const(0)
+      .i32_const(512)
+      .i32_const(16)
+      .i32_const(0)
+      .i64_const(-1)
+      .i64_const(-1)
+      .i32_const(0)
+      .i32_const(100)
+      .call(path_open);
+  f.end();
+  WasiOptions opts;
+  opts.preopens = {{"/data", "bundle/data"}};
+  auto h = make(b, std::move(opts));
+  ASSERT_TRUE(h->fs.mkdirs("bundle/data").is_ok());
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), kEAccess) << "sandbox escape must be refused";
+}
+
+TEST(WasiTest, PathOpenReadExistingFile) {
+  ModuleBuilder b;
+  const uint32_t path_open = b.import_function(
+      "wasi_snapshot_preview1", "path_open",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32,
+       ValType::kI32, ValType::kI64, ValType::kI64, ValType::kI32,
+       ValType::kI32},
+      {ValType::kI32});
+  const uint32_t fd_read = b.import_function(
+      "wasi_snapshot_preview1", "fd_read",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  b.add_memory(1, 1);
+  b.add_data(512, "config.json");
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(3)
+      .i32_const(0)
+      .i32_const(512)
+      .i32_const(11)
+      .i32_const(0)
+      .i64_const(-1)
+      .i64_const(-1)
+      .i32_const(0)
+      .i32_const(100)
+      .call(path_open)
+      .drop();
+  f.i32_const(16).i32_const(1024).i32_store();
+  f.i32_const(20).i32_const(64).i32_store();
+  f.i32_const(100).i32_load();
+  f.i32_const(16).i32_const(1).i32_const(104).call(fd_read).drop();
+  f.i32_const(104).i32_load();
+  f.end();
+  WasiOptions opts;
+  opts.preopens = {{"/cfg", "bundle/cfg"}};
+  auto h = make(b, std::move(opts));
+  ASSERT_TRUE(h->fs.write_file("bundle/cfg/config.json", "{\"p\":1}").is_ok());
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ((**r).i32(), 7);
+  EXPECT_EQ(*h->inst->memory()->read_string(1024, 7), "{\"p\":1}");
+}
+
+TEST(WasiTest, PathOpenMissingWithoutCreatFails) {
+  ModuleBuilder b;
+  const uint32_t path_open = b.import_function(
+      "wasi_snapshot_preview1", "path_open",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32,
+       ValType::kI32, ValType::kI64, ValType::kI64, ValType::kI32,
+       ValType::kI32},
+      {ValType::kI32});
+  b.add_memory(1, 1);
+  b.add_data(512, "absent.txt");
+  FnBuilder& f = b.add_function("run", {}, {ValType::kI32});
+  f.i32_const(3)
+      .i32_const(0)
+      .i32_const(512)
+      .i32_const(10)
+      .i32_const(0)  // no O_CREAT
+      .i64_const(-1)
+      .i64_const(-1)
+      .i32_const(0)
+      .i32_const(100)
+      .call(path_open);
+  f.end();
+  WasiOptions opts;
+  opts.preopens = {{"/d", "bundle/d"}};
+  auto h = make(b, std::move(opts));
+  ASSERT_TRUE(h->fs.mkdirs("bundle/d").is_ok());
+  auto r = h->inst->invoke("run");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), kENoent);
+}
+
+}  // namespace
+}  // namespace wasmctr::wasi

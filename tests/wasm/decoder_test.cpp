@@ -1,0 +1,192 @@
+#include "wasm/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wasm/builder.hpp"
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::wasm {
+namespace {
+
+std::vector<uint8_t> minimal_module() {
+  ModuleBuilder b;
+  return b.build();
+}
+
+TEST(DecoderTest, EmptyModuleDecodes) {
+  auto bytes = minimal_module();
+  auto m = decode_module(bytes);
+  ASSERT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_TRUE(m->types.empty());
+  EXPECT_EQ(m->num_funcs(), 0u);
+}
+
+TEST(DecoderTest, RejectsBadMagic) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x00, 0x01, 0, 0, 0};
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, RejectsBadVersion) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x02, 0, 0, 0};
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, RejectsTruncatedHeader) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73};
+  EXPECT_FALSE(decode_module(bytes).is_ok());
+}
+
+TEST(DecoderTest, DecodesFunctionWithBody) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).i32_const(1).i32_add().end();
+  auto bytes = b.build();
+  auto m = decode_module(bytes);
+  ASSERT_TRUE(m.is_ok()) << m.status().to_string();
+  ASSERT_EQ(m->functions.size(), 1u);
+  ASSERT_EQ(m->bodies.size(), 1u);
+  EXPECT_EQ(m->exports.size(), 1u);
+  EXPECT_EQ(m->exports[0].name, "f");
+  EXPECT_EQ(m->bodies[0].code.back(), 0x0b);
+}
+
+TEST(DecoderTest, DecodesImports) {
+  ModuleBuilder b;
+  b.import_function("wasi_snapshot_preview1", "proc_exit", {ValType::kI32},
+                    {});
+  auto bytes = b.build();
+  auto m = decode_module(bytes);
+  ASSERT_TRUE(m.is_ok());
+  ASSERT_EQ(m->imports.size(), 1u);
+  EXPECT_EQ(m->imports[0].module, "wasi_snapshot_preview1");
+  EXPECT_EQ(m->imports[0].name, "proc_exit");
+  EXPECT_EQ(m->num_funcs(), 1u);
+  EXPECT_EQ(m->num_imported(ImportKind::kFunc), 1u);
+}
+
+TEST(DecoderTest, DecodesMemoryAndData) {
+  ModuleBuilder b;
+  b.add_memory(2, 16);
+  b.add_data(1024, "hello");
+  auto m = decode_module(b.build());
+  ASSERT_TRUE(m.is_ok());
+  ASSERT_EQ(m->memories.size(), 1u);
+  EXPECT_EQ(m->memories[0].limits.min, 2u);
+  EXPECT_EQ(*m->memories[0].limits.max, 16u);
+  ASSERT_EQ(m->datas.size(), 1u);
+  EXPECT_EQ(m->datas[0].offset.i32, 1024);
+  EXPECT_EQ(m->datas[0].bytes.size(), 5u);
+}
+
+TEST(DecoderTest, DecodesTableAndElements) {
+  auto bytes = build_table_dispatch();
+  auto m = decode_module(bytes);
+  ASSERT_TRUE(m.is_ok()) << m.status().to_string();
+  ASSERT_EQ(m->tables.size(), 1u);
+  EXPECT_EQ(m->tables[0].limits.min, 4u);
+  ASSERT_EQ(m->elements.size(), 1u);
+  EXPECT_EQ(m->elements[0].func_indices.size(), 4u);
+}
+
+TEST(DecoderTest, DecodesGlobals) {
+  ModuleBuilder b;
+  b.add_global(ValType::kI32, true, 42, "counter");
+  b.add_global(ValType::kI64, false, -7);
+  auto m = decode_module(b.build());
+  ASSERT_TRUE(m.is_ok());
+  ASSERT_EQ(m->globals.size(), 2u);
+  EXPECT_TRUE(m->globals[0].type.mutable_);
+  EXPECT_EQ(m->globals[0].init.i32, 42);
+  EXPECT_FALSE(m->globals[1].type.mutable_);
+  EXPECT_EQ(m->globals[1].init.i64, -7);
+}
+
+TEST(DecoderTest, DecodesCustomSection) {
+  ModuleBuilder b;
+  b.add_custom_section("producers", {1, 2, 3});
+  auto m = decode_module(b.build());
+  ASSERT_TRUE(m.is_ok());
+  ASSERT_EQ(m->customs.size(), 1u);
+  EXPECT_EQ(m->customs[0].name, "producers");
+  EXPECT_EQ(m->customs[0].bytes.size(), 3u);
+}
+
+TEST(DecoderTest, RejectsOutOfOrderSections) {
+  // Memory section (5) before function section (3).
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0, 0, 0,
+                                5,    3,    1,    0,    1,           // memory
+                                1,    4,    1,    0x60, 0, 0};       // type
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, RejectsCodeCountMismatch) {
+  // One declared function, zero bodies.
+  std::vector<uint8_t> bytes = {
+      0x00, 0x61, 0x73, 0x6d, 0x01, 0, 0, 0,
+      1,    4,    1,    0x60, 0,    0,        // type () -> ()
+      3,    2,    1,    0,                    // one function of type 0
+      10,   1,    0};                         // zero bodies
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, RejectsSectionTrailingBytes) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0, 0, 0,
+                                1,    5,    1,    0x60, 0,    0, 0xff};
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, RejectsTruncatedSection) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0, 0, 0,
+                                1,    100,  1};  // claims 100 bytes
+  EXPECT_FALSE(decode_module(bytes).is_ok());
+}
+
+TEST(DecoderTest, RejectsMultiValueResults) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0,    0, 0,
+                                1,    6,    1,    0x60, 0,    2,    0x7f,
+                                0x7f};
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, RejectsBadValueType) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0,    0, 0,
+                                1,    5,    1,    0x60, 1,    0x20, 0};
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, RejectsLimitsMaxBelowMin) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0, 0, 0,
+                                5,    4,    1,    1,    5,    2};  // min 5 max 2
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, RejectsBodyWithoutEnd) {
+  std::vector<uint8_t> bytes = {
+      0x00, 0x61, 0x73, 0x6d, 0x01, 0, 0, 0,
+      1,    4,    1,    0x60, 0,    0,       // type
+      3,    2,    1,    0,                   // func
+      10,   5,    1,    3,    0,    0x41, 0};  // body: i32.const 0, no end
+  EXPECT_EQ(decode_module(bytes).status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DecoderTest, WorkloadModulesAllDecode) {
+  for (const auto& bytes :
+       {build_minimal_microservice(), build_compute_kernel(),
+        build_memory_stress(), build_table_dispatch(), build_file_logger()}) {
+    auto m = decode_module(bytes);
+    EXPECT_TRUE(m.is_ok()) << m.status().to_string();
+  }
+}
+
+TEST(DecoderTest, ResidentBytesScalesWithModule) {
+  auto small = decode_module(build_compute_kernel());
+  auto large = decode_module(build_minimal_microservice());
+  ASSERT_TRUE(small.is_ok());
+  ASSERT_TRUE(large.is_ok());
+  EXPECT_GT(small->resident_bytes(), 0u);
+  EXPECT_GT(large->resident_bytes(), small->resident_bytes())
+      << "microservice has imports + data, must be bigger";
+}
+
+}  // namespace
+}  // namespace wasmctr::wasm

@@ -1,0 +1,119 @@
+// Instantiation-time semantics: segment bounds, start-function traps,
+// sandbox memory caps.
+#include <gtest/gtest.h>
+
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/exec/instance.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasmctr::wasm {
+namespace {
+
+Result<std::unique_ptr<Instance>> try_instantiate(ModuleBuilder& b,
+                                                  ExecLimits limits = {}) {
+  auto m = decode_module(b.build());
+  EXPECT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_TRUE(validate_module(*m).is_ok()) << validate_module(*m).to_string();
+  ImportResolver empty;
+  return Instance::instantiate(std::move(*m), empty, limits);
+}
+
+TEST(InstantiateTest, DataSegmentOutOfBoundsTraps) {
+  ModuleBuilder b;
+  b.add_memory(1, 1);  // 64 KiB
+  b.add_data(65534, "ABCD");  // last byte lands at 65537 > 65536
+  auto inst = try_instantiate(b);
+  ASSERT_FALSE(inst.is_ok());
+  EXPECT_EQ(inst.status().code(), ErrorCode::kTrap);
+}
+
+TEST(InstantiateTest, DataSegmentExactFitSucceeds) {
+  ModuleBuilder b;
+  b.add_memory(1, 1);
+  b.add_data(65532, "ABCD");  // bytes 65532..65535: exactly in bounds
+  EXPECT_TRUE(try_instantiate(b).is_ok());
+}
+
+TEST(InstantiateTest, ElementSegmentOutOfBoundsTraps) {
+  ModuleBuilder b;
+  b.add_table(2, 2);
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.end();
+  b.add_elements(1, {0, 0});  // entries 1..2 in a 2-entry table: OOB
+  auto inst = try_instantiate(b);
+  ASSERT_FALSE(inst.is_ok());
+  EXPECT_EQ(inst.status().code(), ErrorCode::kTrap);
+}
+
+TEST(InstantiateTest, TrappingStartFunctionFailsInstantiation) {
+  ModuleBuilder b;
+  FnBuilder& s = b.add_function("", {}, {});
+  s.unreachable().end();
+  b.set_start(0);
+  auto inst = try_instantiate(b);
+  ASSERT_FALSE(inst.is_ok());
+  EXPECT_EQ(inst.status().code(), ErrorCode::kTrap);
+}
+
+TEST(InstantiateTest, SandboxMemoryCapBelowModuleMinRejected) {
+  ModuleBuilder b;
+  b.add_memory(8, 16);  // module wants 8 pages minimum
+  ExecLimits limits;
+  limits.max_memory_pages = 4;  // sandbox allows only 4
+  auto inst = try_instantiate(b, limits);
+  ASSERT_FALSE(inst.is_ok());
+  EXPECT_EQ(inst.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(InstantiateTest, SandboxMemoryCapLimitsGrowth) {
+  ModuleBuilder b;
+  b.add_memory(1, 256);  // module allows growth to 256 pages
+  FnBuilder& f = b.add_function("grow", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).memory_grow().end();
+  ExecLimits limits;
+  limits.max_memory_pages = 4;  // but the sandbox caps at 4
+  auto inst = try_instantiate(b, limits);
+  ASSERT_TRUE(inst.is_ok()) << inst.status().to_string();
+  const Value three = Value::from_i32(3);
+  auto ok = (*inst)->invoke("grow", std::span<const Value>(&three, 1));
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ((**ok).i32(), 1) << "growth to 4 pages allowed";
+  const Value one = Value::from_i32(1);
+  auto blocked = (*inst)->invoke("grow", std::span<const Value>(&one, 1));
+  ASSERT_TRUE(blocked.is_ok());
+  EXPECT_EQ((**blocked).i32(), -1) << "growth past the sandbox cap refused";
+}
+
+TEST(InstantiateTest, GlobalsInitializedFromConstExprs) {
+  ModuleBuilder b;
+  b.add_global(ValType::kI64, false, -99, "g");
+  auto inst = try_instantiate(b);
+  ASSERT_TRUE(inst.is_ok());
+  EXPECT_EQ((*inst)->global(0).i64(), -99);
+}
+
+TEST(InstantiateTest, TableInitializedNullThenFilled) {
+  ModuleBuilder b;
+  b.add_table(4, 4);
+  const uint32_t t = b.add_type({}, {});
+  FnBuilder& f0 = b.add_function("f0", {}, {});
+  f0.end();
+  b.add_elements(2, {0});  // only slot 2 filled
+  FnBuilder& caller = b.add_function("call_slot", {ValType::kI32}, {});
+  caller.local_get(0).call_indirect(t).end();
+  auto inst = try_instantiate(b);
+  ASSERT_TRUE(inst.is_ok());
+  const Value slot2 = Value::from_i32(2);
+  EXPECT_TRUE(
+      (*inst)->invoke("call_slot", std::span<const Value>(&slot2, 1)).is_ok());
+  const Value slot0 = Value::from_i32(0);
+  auto null_call =
+      (*inst)->invoke("call_slot", std::span<const Value>(&slot0, 1));
+  ASSERT_FALSE(null_call.is_ok());
+  EXPECT_NE(null_call.status().message().find("uninitialized element"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wasmctr::wasm

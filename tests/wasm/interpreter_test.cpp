@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/exec/instance.hpp"
+#include "wasm/opcodes.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasmctr::wasm {
+namespace {
+
+std::unique_ptr<Instance> instantiate(ModuleBuilder& b, ExecLimits limits = {}) {
+  auto bytes = b.build();
+  auto m = decode_module(bytes);
+  EXPECT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_TRUE(validate_module(*m).is_ok()) << validate_module(*m).to_string();
+  ImportResolver empty;
+  auto inst = Instance::instantiate(std::move(*m), empty, limits);
+  EXPECT_TRUE(inst.is_ok()) << inst.status().to_string();
+  return std::move(*inst);
+}
+
+Value run1(Instance& inst, std::string_view name, Value arg) {
+  auto r = inst.invoke(name, std::span<const Value>(&arg, 1));
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_TRUE(r->has_value());
+  return **r;
+}
+
+TEST(InterpreterTest, ConstAndAdd) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(40).i32_const(2).i32_add().end();
+  auto inst = instantiate(b);
+  auto r = inst->invoke("f");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), 42);
+}
+
+TEST(InterpreterTest, ParamsAndLocals) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32, ValType::kI32},
+                                {ValType::kI32});
+  const uint32_t tmp = f.add_local(ValType::kI32);
+  f.local_get(0).local_get(1).i32_mul().local_set(tmp);
+  f.local_get(tmp).local_get(0).i32_add();
+  f.end();
+  auto inst = instantiate(b);
+  const Value args[] = {Value::from_i32(6), Value::from_i32(7)};
+  auto r = inst->invoke("f", args);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), 48);
+}
+
+TEST(InterpreterTest, IfElseBothArms) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).if_(ValType::kI32);
+  f.i32_const(10);
+  f.else_();
+  f.i32_const(20);
+  f.end();
+  f.end();
+  auto inst = instantiate(b);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(1)).i32(), 10);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(0)).i32(), 20);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(-5)).i32(), 10);
+}
+
+TEST(InterpreterTest, IfWithoutElseFallthrough) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  const uint32_t acc = f.add_local(ValType::kI32);
+  f.i32_const(1).local_set(acc);
+  f.local_get(0).if_();
+  f.i32_const(99).local_set(acc);
+  f.end();
+  f.local_get(acc);
+  f.end();
+  auto inst = instantiate(b);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(1)).i32(), 99);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(0)).i32(), 1);
+}
+
+TEST(InterpreterTest, LoopCountsToN) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  const uint32_t i = f.add_local(ValType::kI32);
+  const uint32_t sum = f.add_local(ValType::kI32);
+  f.loop();
+  f.local_get(sum).local_get(i).i32_add().local_set(sum);
+  f.local_get(i).i32_const(1).i32_add().local_tee(i);
+  f.local_get(0).i32_lt_s().br_if(0);
+  f.end();
+  f.local_get(sum);
+  f.end();
+  auto inst = instantiate(b);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(10)).i32(), 45);  // 0+..+9
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(100)).i32(), 4950);
+}
+
+TEST(InterpreterTest, NestedBlocksBrTable) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.block();   // depth 2 at br_table site
+  f.block();   // depth 1
+  f.block();   // depth 0
+  f.local_get(0).br_table({0, 1}, 2);
+  f.end();
+  f.i32_const(100).return_();
+  f.end();
+  f.i32_const(200).return_();
+  f.end();
+  f.i32_const(300);
+  f.end();
+  auto inst = instantiate(b);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(0)).i32(), 100);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(1)).i32(), 200);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(2)).i32(), 300);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(9)).i32(), 300)
+      << "out-of-range selector takes the default";
+}
+
+TEST(InterpreterTest, BlockResultValue) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.block(ValType::kI32);
+  f.local_get(0).local_get(0).i32_eqz().br_if(0);
+  f.i32_const(10).i32_add();
+  f.end();
+  f.end();
+  auto inst = instantiate(b);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(0)).i32(), 0)
+      << "br_if taken carries the block result";
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(5)).i32(), 15);
+}
+
+TEST(InterpreterTest, FunctionCalls) {
+  ModuleBuilder b;
+  FnBuilder& sq = b.add_function("square", {ValType::kI32}, {ValType::kI32});
+  sq.local_get(0).local_get(0).i32_mul().end();
+  FnBuilder& f = b.add_function("sum_squares", {ValType::kI32, ValType::kI32},
+                                {ValType::kI32});
+  f.local_get(0).call(0).local_get(1).call(0).i32_add().end();
+  auto inst = instantiate(b);
+  const Value args[] = {Value::from_i32(3), Value::from_i32(4)};
+  auto r = inst->invoke("sum_squares", args);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), 25);
+}
+
+TEST(InterpreterTest, RecursionFactorial) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("fact", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).i32_const(2).i32_lt_s();
+  f.if_(ValType::kI32);
+  f.i32_const(1);
+  f.else_();
+  f.local_get(0).local_get(0).i32_const(1).i32_sub().call(0).i32_mul();
+  f.end();
+  f.end();
+  auto inst = instantiate(b);
+  EXPECT_EQ(run1(*inst, "fact", Value::from_i32(10)).i32(), 3628800);
+}
+
+TEST(InterpreterTest, CallStackExhaustionTraps) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("inf", {}, {});
+  f.call(0).end();
+  ExecLimits limits;
+  limits.max_call_depth = 64;
+  auto inst = instantiate(b, limits);
+  auto r = inst->invoke("inf");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kTrap);
+  EXPECT_NE(r.status().message().find("call stack exhausted"),
+            std::string::npos);
+}
+
+TEST(InterpreterTest, MemoryLoadStoreRoundtrip) {
+  ModuleBuilder b;
+  b.add_memory(1, 2);
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.i32_const(100).local_get(0).i32_store();
+  f.i32_const(100).i32_load();
+  f.end();
+  auto inst = instantiate(b);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(-12345)).i32(), -12345);
+}
+
+TEST(InterpreterTest, SubWordLoadsSignExtend) {
+  ModuleBuilder b;
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(0).i32_const(0xff).i32_store8();
+  f.i32_const(0).i32_load8_u();
+  f.end();
+  auto inst = instantiate(b);
+  auto r = inst->invoke("f");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).i32(), 255);
+}
+
+TEST(InterpreterTest, OutOfBoundsLoadTraps) {
+  ModuleBuilder b;
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).i32_load().end();
+  auto inst = instantiate(b);
+  const Value edge = Value::from_i32(65536 - 4);
+  auto ok = inst->invoke("f", std::span<const Value>(&edge, 1));
+  EXPECT_TRUE(ok.is_ok()) << "last aligned word is in bounds";
+  const Value past = Value::from_i32(65536 - 3);
+  auto bad = inst->invoke("f", std::span<const Value>(&past, 1));
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kTrap);
+}
+
+TEST(InterpreterTest, MemoryGrowAndSize) {
+  ModuleBuilder b;
+  b.add_memory(1, 4);
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).memory_grow().drop().memory_size().end();
+  auto inst = instantiate(b);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(2)).i32(), 3);
+  EXPECT_EQ(run1(*inst, "f", Value::from_i32(100)).i32(), 3)
+      << "growth beyond max fails, size unchanged";
+}
+
+TEST(InterpreterTest, MemoryFillAndCopy) {
+  ModuleBuilder b;
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  // fill [0,8) with 0x11, copy 4 bytes to 16, read word at 16.
+  f.i32_const(0).i32_const(0x11).i32_const(8).memory_fill();
+  f.i32_const(16).i32_const(0).i32_const(4).memory_copy();
+  f.i32_const(16).i32_load();
+  f.end();
+  auto inst = instantiate(b);
+  auto r = inst->invoke("f");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((**r).u32(), 0x11111111u);
+}
+
+TEST(InterpreterTest, DivTraps) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("div", {ValType::kI32, ValType::kI32},
+                                {ValType::kI32});
+  f.local_get(0).local_get(1).i32_div_s().end();
+  auto inst = instantiate(b);
+  const Value by_zero[] = {Value::from_i32(1), Value::from_i32(0)};
+  auto r1 = inst->invoke("div", by_zero);
+  ASSERT_FALSE(r1.is_ok());
+  EXPECT_NE(r1.status().message().find("divide by zero"), std::string::npos);
+  const Value overflow[] = {Value::from_i32(std::numeric_limits<int32_t>::min()),
+                            Value::from_i32(-1)};
+  auto r2 = inst->invoke("div", overflow);
+  ASSERT_FALSE(r2.is_ok());
+  EXPECT_NE(r2.status().message().find("integer overflow"), std::string::npos);
+  const Value fine[] = {Value::from_i32(-7), Value::from_i32(2)};
+  auto r3 = inst->invoke("div", fine);
+  ASSERT_TRUE(r3.is_ok());
+  EXPECT_EQ((**r3).i32(), -3) << "trunc toward zero";
+}
+
+TEST(InterpreterTest, UnreachableTraps) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.unreachable().end();
+  auto inst = instantiate(b);
+  auto r = inst->invoke("f");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kTrap);
+  EXPECT_EQ(r.status().message(), "unreachable");
+}
+
+TEST(InterpreterTest, GlobalsReadWrite) {
+  ModuleBuilder b;
+  b.add_global(ValType::kI32, true, 7, "counter");
+  FnBuilder& f = b.add_function("bump", {}, {ValType::kI32});
+  f.global_get(0).i32_const(1).i32_add().global_set(0);
+  f.global_get(0);
+  f.end();
+  auto inst = instantiate(b);
+  auto r1 = inst->invoke("bump");
+  ASSERT_TRUE(r1.is_ok());
+  EXPECT_EQ((**r1).i32(), 8);
+  auto r2 = inst->invoke("bump");
+  EXPECT_EQ((**r2).i32(), 9);
+  EXPECT_EQ(inst->global(0).i32(), 9);
+}
+
+TEST(InterpreterTest, DataSegmentsInitializeMemory) {
+  ModuleBuilder b;
+  b.add_memory(1, 1);
+  b.add_data(10, "AB");
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(10).i32_load8_u();
+  f.end();
+  auto inst = instantiate(b);
+  auto r = inst->invoke("f");
+  EXPECT_EQ((**r).i32(), 'A');
+}
+
+TEST(InterpreterTest, StartFunctionRunsAtInstantiation) {
+  ModuleBuilder b;
+  b.add_global(ValType::kI32, true, 0, "flag");
+  FnBuilder& s = b.add_function("", {}, {});
+  s.i32_const(123).global_set(0).end();
+  b.set_start(0);
+  auto inst = instantiate(b);
+  EXPECT_EQ(inst->global(0).i32(), 123);
+}
+
+TEST(InterpreterTest, HostFunctionRoundtrip) {
+  ModuleBuilder b;
+  const uint32_t host = b.import_function("env", "add_ten", {ValType::kI32},
+                                          {ValType::kI32});
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).call(host).end();
+  auto bytes = b.build();
+  auto m = decode_module(bytes);
+  ASSERT_TRUE(m.is_ok());
+  ImportResolver resolver;
+  int call_count = 0;
+  resolver.provide("env", "add_ten",
+                   HostFunc{{{ValType::kI32}, {ValType::kI32}},
+                            [&call_count](Instance&, std::span<const Value> a)
+                                -> Result<std::optional<Value>> {
+                              ++call_count;
+                              return std::optional<Value>(
+                                  Value::from_i32(a[0].i32() + 10));
+                            }});
+  auto inst = Instance::instantiate(std::move(*m), resolver);
+  ASSERT_TRUE(inst.is_ok()) << inst.status().to_string();
+  EXPECT_EQ(run1(**inst, "f", Value::from_i32(32)).i32(), 42);
+  EXPECT_EQ(call_count, 1);
+}
+
+TEST(InterpreterTest, UnresolvedImportFailsInstantiation) {
+  ModuleBuilder b;
+  b.import_function("env", "missing", {}, {});
+  auto m = decode_module(b.build());
+  ASSERT_TRUE(m.is_ok());
+  ImportResolver empty;
+  auto inst = Instance::instantiate(std::move(*m), empty);
+  EXPECT_EQ(inst.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(InterpreterTest, ImportSignatureMismatchFails) {
+  ModuleBuilder b;
+  b.import_function("env", "f", {ValType::kI32}, {});
+  auto m = decode_module(b.build());
+  ASSERT_TRUE(m.is_ok());
+  ImportResolver resolver;
+  resolver.provide("env", "f",
+                   HostFunc{{{ValType::kI64}, {}},
+                            [](Instance&, std::span<const Value>)
+                                -> Result<std::optional<Value>> {
+                              return std::optional<Value>();
+                            }});
+  auto inst = Instance::instantiate(std::move(*m), resolver);
+  EXPECT_EQ(inst.status().code(), ErrorCode::kValidation);
+}
+
+TEST(InterpreterTest, FuelMeteringStopsRunawayLoop) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("spin", {}, {});
+  f.loop().br(0).end().end();
+  ExecLimits limits;
+  limits.fuel = 10'000;
+  auto inst = instantiate(b, limits);
+  auto r = inst->invoke("spin");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kTrap);
+  EXPECT_NE(r.status().message().find("fuel"), std::string::npos);
+  EXPECT_EQ(inst->fuel_remaining(), 0u);
+}
+
+TEST(InterpreterTest, InstructionsRetiredCounts) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(1).i32_const(2).i32_add().end();
+  auto inst = instantiate(b);
+  ASSERT_TRUE(inst->invoke("f").is_ok());
+  EXPECT_EQ(inst->instructions_retired(), 4u);  // 2 consts, add, end
+}
+
+TEST(InterpreterTest, InvokeArgumentValidation) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).end();
+  auto inst = instantiate(b);
+  auto r0 = inst->invoke("f");
+  EXPECT_EQ(r0.status().code(), ErrorCode::kInvalidArgument);
+  const Value wrong = Value::from_i64(1);
+  auto r1 = inst->invoke("f", std::span<const Value>(&wrong, 1));
+  EXPECT_EQ(r1.status().code(), ErrorCode::kInvalidArgument);
+  auto r2 = inst->invoke("nonexistent");
+  EXPECT_EQ(r2.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(InterpreterTest, ResidentBytesGrowsWithMemoryGrow) {
+  ModuleBuilder b;
+  b.add_memory(1, 64);
+  FnBuilder& f = b.add_function("grow", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).memory_grow().end();
+  auto inst = instantiate(b);
+  const uint64_t before = inst->resident_bytes();
+  EXPECT_GE(before, 65536u);
+  run1(*inst, "grow", Value::from_i32(10));
+  EXPECT_GE(inst->resident_bytes(), before + 10 * 65536u);
+}
+
+}  // namespace
+}  // namespace wasmctr::wasm

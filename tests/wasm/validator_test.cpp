@@ -1,0 +1,275 @@
+#include "wasm/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/opcodes.hpp"
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::wasm {
+namespace {
+
+Result<Module> decode(const std::vector<uint8_t>& bytes) {
+  return decode_module(bytes);
+}
+
+Status validate_built(ModuleBuilder& b) {
+  auto m = decode(b.build());
+  if (!m) return m.status();
+  return validate_module(*m);
+}
+
+TEST(ValidatorTest, WorkloadModulesAllValidate) {
+  for (const auto& bytes :
+       {build_minimal_microservice(), build_compute_kernel(),
+        build_memory_stress(), build_table_dispatch(), build_file_logger()}) {
+    auto m = decode(bytes);
+    ASSERT_TRUE(m.is_ok());
+    EXPECT_TRUE(validate_module(*m).is_ok())
+        << validate_module(*m).to_string();
+  }
+}
+
+TEST(ValidatorTest, StackUnderflowRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_add().end();  // nothing on the stack
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, TypeMismatchRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i64_const(1).i64_const(2).i32_add().end();  // i32.add on i64s
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, MissingResultRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.end();  // returns nothing
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, ExtraValuesOnStackRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.i32_const(1).end();  // leaves a value behind
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, WrongResultTypeRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI64});
+  f.i32_const(1).end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, LocalIndexOutOfRangeRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {});
+  f.local_get(5).drop().end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, BranchDepthOutOfRangeRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.block().br(7).end().end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, BranchCarriesBlockResult) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.block(ValType::kI32);
+  f.i32_const(42).br(0);
+  f.end();
+  f.end();
+  EXPECT_TRUE(validate_built(b).is_ok());
+}
+
+TEST(ValidatorTest, BranchMissingResultRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.block(ValType::kI32);
+  f.br(0);  // branch to a value-producing block with empty stack
+  f.end();
+  f.end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, UnreachableMakesStackPolymorphic) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.unreachable().i32_add().end();  // i32.add consumes phantom values
+  EXPECT_TRUE(validate_built(b).is_ok());
+}
+
+TEST(ValidatorTest, CodeAfterReturnIsChecked) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(1).return_();
+  f.i64_const(2).end();  // dead but ill-typed for the function result
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, IfRequiresI32Condition) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.i64_const(1).if_().end().end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, IfWithResultRequiresElse) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(1).if_(ValType::kI32);
+  f.i32_const(2);
+  f.end();  // no else branch
+  f.end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, IfElseArmsMustAgree) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(1).if_(ValType::kI32);
+  f.i32_const(2);
+  f.else_();
+  f.i64_const(3);  // wrong arm type
+  f.end();
+  f.end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, ValidIfElse) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  f.local_get(0).if_(ValType::kI32);
+  f.i32_const(10);
+  f.else_();
+  f.i32_const(20);
+  f.end();
+  f.end();
+  EXPECT_TRUE(validate_built(b).is_ok());
+}
+
+TEST(ValidatorTest, SelectOperandsMustMatch) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.i32_const(1).i64_const(2).i32_const(0).select().drop().end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, GlobalSetImmutableRejected) {
+  ModuleBuilder b;
+  b.add_global(ValType::kI32, false, 1);
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.i32_const(2).global_set(0).end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, GlobalSetMutableAccepted) {
+  ModuleBuilder b;
+  b.add_global(ValType::kI32, true, 1);
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.i32_const(2).global_set(0).end();
+  EXPECT_TRUE(validate_built(b).is_ok());
+}
+
+TEST(ValidatorTest, MemoryOpWithoutMemoryRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(0).i32_load().end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, OverAlignedLoadRejected) {
+  ModuleBuilder b;
+  b.add_memory(1, 1);
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.i32_const(0).i32_load(0, /*align=*/3).end();  // natural is 2
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, CallSignatureChecked) {
+  ModuleBuilder b;
+  FnBuilder& callee = b.add_function("callee", {ValType::kI64}, {});
+  callee.end();
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.i32_const(1).call(0).end();  // i32 passed where i64 expected
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, CallIndexOutOfRangeRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.call(3).end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, CallIndirectWithoutTableRejected) {
+  ModuleBuilder b;
+  b.add_memory(1, 1);
+  const uint32_t t = b.add_type({}, {});
+  FnBuilder& f = b.add_function("f", {}, {});
+  f.i32_const(0).call_indirect(t).end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, BrTableInconsistentTargetsRejected) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {}, {ValType::kI32});
+  f.block(ValType::kI32);    // depth 1 target: i32
+  f.block();                 // depth 0 target: empty
+  f.i32_const(0).br_table({0}, 1);
+  f.end();
+  f.i32_const(1);
+  f.end();
+  f.end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, StartMustBeNullary) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {});
+  f.end();
+  b.set_start(0);
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, ExportIndexOutOfRangeRejected) {
+  // Hand-craft: export of function 5 in a module with none.
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0, 0, 0,
+                                7,    5,    1,    1,    'x',  0, 5};
+  auto m = decode_module(bytes);
+  ASSERT_TRUE(m.is_ok());
+  EXPECT_EQ(validate_module(*m).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, DuplicateExportNamesRejected) {
+  ModuleBuilder b;
+  FnBuilder& f1 = b.add_function("same", {}, {});
+  f1.end();
+  FnBuilder& f2 = b.add_function("same", {}, {});
+  f2.end();
+  EXPECT_EQ(validate_built(b).code(), ErrorCode::kValidation);
+}
+
+TEST(ValidatorTest, LoopBranchToLoopHeaderTakesNoValue) {
+  ModuleBuilder b;
+  FnBuilder& f = b.add_function("f", {ValType::kI32}, {ValType::kI32});
+  const uint32_t i = f.add_local(ValType::kI32);
+  f.loop();
+  f.local_get(i).i32_const(1).i32_add().local_tee(i);
+  f.local_get(0).i32_lt_s().br_if(0);
+  f.end();
+  f.local_get(i);
+  f.end();
+  EXPECT_TRUE(validate_built(b).is_ok());
+}
+
+}  // namespace
+}  // namespace wasmctr::wasm

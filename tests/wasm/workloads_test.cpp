@@ -1,0 +1,142 @@
+#include "wasm/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wasi/wasi.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/exec/instance.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasmctr::wasm {
+namespace {
+
+std::unique_ptr<Instance> instantiate_with_wasi(
+    const std::vector<uint8_t>& bytes, wasi::WasiContext& ctx) {
+  auto m = decode_module(bytes);
+  EXPECT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_TRUE(validate_module(*m).is_ok());
+  ImportResolver resolver;
+  ctx.register_imports(resolver);
+  auto inst = Instance::instantiate(std::move(*m), resolver);
+  EXPECT_TRUE(inst.is_ok()) << inst.status().to_string();
+  return std::move(*inst);
+}
+
+TEST(WorkloadsTest, MicroserviceRunsAndPrints) {
+  wasi::VirtualFs fs;
+  wasi::WasiOptions opts;
+  opts.args = {"microservice.wasm"};
+  wasi::WasiContext ctx(std::move(opts), fs);
+  auto inst = instantiate_with_wasi(build_minimal_microservice(), ctx);
+  auto r = inst->invoke("_start");
+  // _start ends in proc_exit(0), surfacing as the proc_exit trap.
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().message(), "proc_exit");
+  EXPECT_TRUE(ctx.exited());
+  EXPECT_EQ(ctx.exit_code(), 0u);
+  EXPECT_EQ(ctx.stdout_data(), "hello from wasm microservice\n");
+}
+
+TEST(WorkloadsTest, ComputeKernelDeterministic) {
+  auto m = decode_module(build_compute_kernel());
+  ASSERT_TRUE(m.is_ok());
+  ImportResolver empty;
+  auto inst = Instance::instantiate(std::move(*m), empty);
+  ASSERT_TRUE(inst.is_ok());
+  auto run = [&](int32_t n) {
+    const Value arg = Value::from_i32(n);
+    auto r = (*inst)->invoke("run", std::span<const Value>(&arg, 1));
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    return (**r).u32();
+  };
+  const uint32_t r100a = run(100);
+  const uint32_t r100b = run(100);
+  EXPECT_EQ(r100a, r100b) << "kernel must be deterministic";
+  EXPECT_NE(run(100), run(101));
+  EXPECT_NE(run(1000), run(100));
+}
+
+TEST(WorkloadsTest, MemoryStressGrowsAndFaults) {
+  auto m = decode_module(build_memory_stress());
+  ASSERT_TRUE(m.is_ok());
+  ImportResolver empty;
+  auto inst = Instance::instantiate(std::move(*m), empty);
+  ASSERT_TRUE(inst.is_ok());
+  const uint64_t before = (*inst)->resident_bytes();
+  const Value arg = Value::from_i32(16);
+  auto r = (*inst)->invoke("touch", std::span<const Value>(&arg, 1));
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ((**r).i32(), 16);
+  EXPECT_GE((*inst)->resident_bytes(), before + 15 * 65536)
+      << "15 new pages must be resident";
+}
+
+TEST(WorkloadsTest, TableDispatchSelectsFunctions) {
+  auto m = decode_module(build_table_dispatch());
+  ASSERT_TRUE(m.is_ok());
+  ImportResolver empty;
+  auto inst = Instance::instantiate(std::move(*m), empty);
+  ASSERT_TRUE(inst.is_ok());
+  auto run = [&](int32_t i, int32_t x) {
+    const Value args[] = {Value::from_i32(i), Value::from_i32(x)};
+    auto r = (*inst)->invoke("dispatch", args);
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    return (**r).i32();
+  };
+  EXPECT_EQ(run(0, 5), 6);    // inc
+  EXPECT_EQ(run(1, 5), 10);   // dbl
+  EXPECT_EQ(run(2, 5), 25);   // square
+  EXPECT_EQ(run(3, 5), -5);   // neg
+}
+
+TEST(WorkloadsTest, TableDispatchOutOfRangeTraps) {
+  auto m = decode_module(build_table_dispatch());
+  ImportResolver empty;
+  auto inst = Instance::instantiate(std::move(*m), empty);
+  const Value args[] = {Value::from_i32(4), Value::from_i32(1)};
+  auto r = (*inst)->invoke("dispatch", args);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kTrap);
+  EXPECT_NE(r.status().message().find("undefined element"), std::string::npos);
+}
+
+TEST(WorkloadsTest, FileLoggerWritesThroughPreopen) {
+  wasi::VirtualFs fs;
+  ASSERT_TRUE(fs.mkdirs("bundle/data").is_ok());
+  wasi::WasiOptions opts;
+  opts.args = {"logger.wasm"};
+  opts.preopens = {{"/data", "bundle/data"}};
+  wasi::WasiContext ctx(std::move(opts), fs);
+  auto inst = instantiate_with_wasi(build_file_logger(), ctx);
+  auto r = inst->invoke("_start");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().message(), "proc_exit");
+  EXPECT_EQ(ctx.exit_code(), 0u);
+  auto contents = fs.read_file("bundle/data/out.log");
+  ASSERT_TRUE(contents.is_ok()) << contents.status().to_string();
+  EXPECT_EQ(*contents, "status=ok\n");
+}
+
+TEST(WorkloadsTest, MicroserviceUnderFuelBudget) {
+  // The paper's minimal workload must be tiny: it should finish well under
+  // 100k instructions (memory/startup dominated by the runtime, §IV-A).
+  wasi::VirtualFs fs;
+  wasi::WasiOptions opts;
+  opts.args = {"m.wasm"};
+  wasi::WasiContext ctx(std::move(opts), fs);
+  auto bytes = build_minimal_microservice();
+  auto m = decode_module(bytes);
+  ASSERT_TRUE(m.is_ok());
+  ImportResolver resolver;
+  ctx.register_imports(resolver);
+  ExecLimits limits;
+  limits.fuel = 100'000;
+  auto inst = Instance::instantiate(std::move(*m), resolver, limits);
+  ASSERT_TRUE(inst.is_ok());
+  auto r = (*inst)->invoke("_start");
+  EXPECT_EQ(r.status().message(), "proc_exit") << "must not run out of fuel";
+  EXPECT_LT((*inst)->instructions_retired(), 100'000u);
+}
+
+}  // namespace
+}  // namespace wasmctr::wasm
