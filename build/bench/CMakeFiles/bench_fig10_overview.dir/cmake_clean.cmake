@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_overview.dir/bench_fig10_overview.cpp.o"
+  "CMakeFiles/bench_fig10_overview.dir/bench_fig10_overview.cpp.o.d"
+  "bench_fig10_overview"
+  "bench_fig10_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

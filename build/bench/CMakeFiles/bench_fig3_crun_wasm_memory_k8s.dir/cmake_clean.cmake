@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_crun_wasm_memory_k8s.dir/bench_fig3_crun_wasm_memory_k8s.cpp.o"
+  "CMakeFiles/bench_fig3_crun_wasm_memory_k8s.dir/bench_fig3_crun_wasm_memory_k8s.cpp.o.d"
+  "bench_fig3_crun_wasm_memory_k8s"
+  "bench_fig3_crun_wasm_memory_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_crun_wasm_memory_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_crun_wasm_memory_k8s.
+# This may be replaced when dependencies are built.

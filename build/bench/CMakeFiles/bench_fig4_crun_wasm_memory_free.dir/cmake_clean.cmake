@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_crun_wasm_memory_free.dir/bench_fig4_crun_wasm_memory_free.cpp.o"
+  "CMakeFiles/bench_fig4_crun_wasm_memory_free.dir/bench_fig4_crun_wasm_memory_free.cpp.o.d"
+  "bench_fig4_crun_wasm_memory_free"
+  "bench_fig4_crun_wasm_memory_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_crun_wasm_memory_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_startup_10.dir/bench_fig8_startup_10.cpp.o"
+  "CMakeFiles/bench_fig8_startup_10.dir/bench_fig8_startup_10.cpp.o.d"
+  "bench_fig8_startup_10"
+  "bench_fig8_startup_10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_startup_10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_startup_400.dir/bench_fig9_startup_400.cpp.o"
+  "CMakeFiles/bench_fig9_startup_400.dir/bench_fig9_startup_400.cpp.o.d"
+  "bench_fig9_startup_400"
+  "bench_fig9_startup_400.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_startup_400.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

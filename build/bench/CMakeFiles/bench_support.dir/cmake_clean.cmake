@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libbench_support.a"
+  "../lib/libbench_support.pdb"
+  "CMakeFiles/bench_support.dir/__/src/bench_support/report.cpp.o"
+  "CMakeFiles/bench_support.dir/__/src/bench_support/report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

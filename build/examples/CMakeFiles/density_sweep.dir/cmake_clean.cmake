@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_sweep.dir/density_sweep.cpp.o"
+  "CMakeFiles/density_sweep.dir/density_sweep.cpp.o.d"
+  "density_sweep"
+  "density_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

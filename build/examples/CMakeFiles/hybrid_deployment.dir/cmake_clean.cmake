@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_deployment.dir/hybrid_deployment.cpp.o"
+  "CMakeFiles/hybrid_deployment.dir/hybrid_deployment.cpp.o.d"
+  "hybrid_deployment"
+  "hybrid_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

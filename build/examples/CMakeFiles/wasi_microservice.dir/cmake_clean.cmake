@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasi_microservice.dir/wasi_microservice.cpp.o"
+  "CMakeFiles/wasi_microservice.dir/wasi_microservice.cpp.o.d"
+  "wasi_microservice"
+  "wasi_microservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasi_microservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

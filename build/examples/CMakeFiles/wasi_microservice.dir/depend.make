@@ -1,0 +1,2 @@
+# Empty dependencies file for wasi_microservice.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containerd/containerd.cpp" "src/CMakeFiles/wasmctr.dir/containerd/containerd.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/containerd/containerd.cpp.o.d"
+  "/root/repo/src/engines/engine.cpp" "src/CMakeFiles/wasmctr.dir/engines/engine.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/engines/engine.cpp.o.d"
+  "/root/repo/src/k8s/api_server.cpp" "src/CMakeFiles/wasmctr.dir/k8s/api_server.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/k8s/api_server.cpp.o.d"
+  "/root/repo/src/k8s/cluster.cpp" "src/CMakeFiles/wasmctr.dir/k8s/cluster.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/k8s/cluster.cpp.o.d"
+  "/root/repo/src/k8s/kubelet.cpp" "src/CMakeFiles/wasmctr.dir/k8s/kubelet.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/k8s/kubelet.cpp.o.d"
+  "/root/repo/src/k8s/metrics_server.cpp" "src/CMakeFiles/wasmctr.dir/k8s/metrics_server.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/k8s/metrics_server.cpp.o.d"
+  "/root/repo/src/k8s/scheduler.cpp" "src/CMakeFiles/wasmctr.dir/k8s/scheduler.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/k8s/scheduler.cpp.o.d"
+  "/root/repo/src/mem/cgroup.cpp" "src/CMakeFiles/wasmctr.dir/mem/cgroup.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/mem/cgroup.cpp.o.d"
+  "/root/repo/src/mem/node_memory.cpp" "src/CMakeFiles/wasmctr.dir/mem/node_memory.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/mem/node_memory.cpp.o.d"
+  "/root/repo/src/oci/bundle.cpp" "src/CMakeFiles/wasmctr.dir/oci/bundle.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/oci/bundle.cpp.o.d"
+  "/root/repo/src/oci/runtime.cpp" "src/CMakeFiles/wasmctr.dir/oci/runtime.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/oci/runtime.cpp.o.d"
+  "/root/repo/src/oci/spec.cpp" "src/CMakeFiles/wasmctr.dir/oci/spec.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/oci/spec.cpp.o.d"
+  "/root/repo/src/pylite/interp.cpp" "src/CMakeFiles/wasmctr.dir/pylite/interp.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/pylite/interp.cpp.o.d"
+  "/root/repo/src/pylite/lexer.cpp" "src/CMakeFiles/wasmctr.dir/pylite/lexer.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/pylite/lexer.cpp.o.d"
+  "/root/repo/src/pylite/parser.cpp" "src/CMakeFiles/wasmctr.dir/pylite/parser.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/pylite/parser.cpp.o.d"
+  "/root/repo/src/pylite/scripts.cpp" "src/CMakeFiles/wasmctr.dir/pylite/scripts.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/pylite/scripts.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/wasmctr.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/wasmctr.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/CMakeFiles/wasmctr.dir/sim/process.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/sim/process.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/wasmctr.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/support/byteio.cpp" "src/CMakeFiles/wasmctr.dir/support/byteio.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/support/byteio.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/CMakeFiles/wasmctr.dir/support/json.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/support/json.cpp.o.d"
+  "/root/repo/src/support/leb128.cpp" "src/CMakeFiles/wasmctr.dir/support/leb128.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/support/leb128.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/CMakeFiles/wasmctr.dir/support/log.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/support/log.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/wasmctr.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/status.cpp" "src/CMakeFiles/wasmctr.dir/support/status.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/support/status.cpp.o.d"
+  "/root/repo/src/support/units.cpp" "src/CMakeFiles/wasmctr.dir/support/units.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/support/units.cpp.o.d"
+  "/root/repo/src/wasi/vfs.cpp" "src/CMakeFiles/wasmctr.dir/wasi/vfs.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasi/vfs.cpp.o.d"
+  "/root/repo/src/wasi/wasi.cpp" "src/CMakeFiles/wasmctr.dir/wasi/wasi.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasi/wasi.cpp.o.d"
+  "/root/repo/src/wasm/builder.cpp" "src/CMakeFiles/wasmctr.dir/wasm/builder.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasm/builder.cpp.o.d"
+  "/root/repo/src/wasm/decoder.cpp" "src/CMakeFiles/wasmctr.dir/wasm/decoder.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasm/decoder.cpp.o.d"
+  "/root/repo/src/wasm/exec/interpreter.cpp" "src/CMakeFiles/wasmctr.dir/wasm/exec/interpreter.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasm/exec/interpreter.cpp.o.d"
+  "/root/repo/src/wasm/exec/memory.cpp" "src/CMakeFiles/wasmctr.dir/wasm/exec/memory.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasm/exec/memory.cpp.o.d"
+  "/root/repo/src/wasm/module.cpp" "src/CMakeFiles/wasmctr.dir/wasm/module.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasm/module.cpp.o.d"
+  "/root/repo/src/wasm/validator.cpp" "src/CMakeFiles/wasmctr.dir/wasm/validator.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasm/validator.cpp.o.d"
+  "/root/repo/src/wasm/workloads.cpp" "src/CMakeFiles/wasmctr.dir/wasm/workloads.cpp.o" "gcc" "src/CMakeFiles/wasmctr.dir/wasm/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_containerd.dir/containerd/containerd_test.cpp.o"
+  "CMakeFiles/test_containerd.dir/containerd/containerd_test.cpp.o.d"
+  "test_containerd"
+  "test_containerd.pdb"
+  "test_containerd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_containerd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines.dir/engines/calibration_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/calibration_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/engine_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/engine_test.cpp.o.d"
+  "test_engines"
+  "test_engines.pdb"
+  "test_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

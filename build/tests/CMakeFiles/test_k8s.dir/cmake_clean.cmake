@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_k8s.dir/k8s/cluster_test.cpp.o"
+  "CMakeFiles/test_k8s.dir/k8s/cluster_test.cpp.o.d"
+  "CMakeFiles/test_k8s.dir/k8s/control_plane_test.cpp.o"
+  "CMakeFiles/test_k8s.dir/k8s/control_plane_test.cpp.o.d"
+  "test_k8s"
+  "test_k8s.pdb"
+  "test_k8s[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

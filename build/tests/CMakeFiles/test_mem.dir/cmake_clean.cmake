@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/cgroup_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/cgroup_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/node_memory_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/node_memory_test.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

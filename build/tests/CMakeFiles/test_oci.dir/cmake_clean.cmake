@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oci.dir/oci/bundle_test.cpp.o"
+  "CMakeFiles/test_oci.dir/oci/bundle_test.cpp.o.d"
+  "CMakeFiles/test_oci.dir/oci/cache_test.cpp.o"
+  "CMakeFiles/test_oci.dir/oci/cache_test.cpp.o.d"
+  "CMakeFiles/test_oci.dir/oci/runtime_test.cpp.o"
+  "CMakeFiles/test_oci.dir/oci/runtime_test.cpp.o.d"
+  "CMakeFiles/test_oci.dir/oci/spec_test.cpp.o"
+  "CMakeFiles/test_oci.dir/oci/spec_test.cpp.o.d"
+  "test_oci"
+  "test_oci.pdb"
+  "test_oci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pylite.dir/pylite/pylite_test.cpp.o"
+  "CMakeFiles/test_pylite.dir/pylite/pylite_test.cpp.o.d"
+  "test_pylite"
+  "test_pylite.pdb"
+  "test_pylite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pylite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

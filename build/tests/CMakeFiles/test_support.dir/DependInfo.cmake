@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/byteio_test.cpp" "tests/CMakeFiles/test_support.dir/support/byteio_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/byteio_test.cpp.o.d"
+  "/root/repo/tests/support/json_test.cpp" "tests/CMakeFiles/test_support.dir/support/json_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/json_test.cpp.o.d"
+  "/root/repo/tests/support/leb128_test.cpp" "tests/CMakeFiles/test_support.dir/support/leb128_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/leb128_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/test_support.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/status_test.cpp" "tests/CMakeFiles/test_support.dir/support/status_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/status_test.cpp.o.d"
+  "/root/repo/tests/support/units_test.cpp" "tests/CMakeFiles/test_support.dir/support/units_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wasmctr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wasi.dir/wasi/vfs_test.cpp.o"
+  "CMakeFiles/test_wasi.dir/wasi/vfs_test.cpp.o.d"
+  "CMakeFiles/test_wasi.dir/wasi/wasi_test.cpp.o"
+  "CMakeFiles/test_wasi.dir/wasi/wasi_test.cpp.o.d"
+  "test_wasi"
+  "test_wasi.pdb"
+  "test_wasi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wasi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wasm/control_flow_test.cpp" "tests/CMakeFiles/test_wasm.dir/wasm/control_flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_wasm.dir/wasm/control_flow_test.cpp.o.d"
+  "/root/repo/tests/wasm/decoder_test.cpp" "tests/CMakeFiles/test_wasm.dir/wasm/decoder_test.cpp.o" "gcc" "tests/CMakeFiles/test_wasm.dir/wasm/decoder_test.cpp.o.d"
+  "/root/repo/tests/wasm/instantiate_test.cpp" "tests/CMakeFiles/test_wasm.dir/wasm/instantiate_test.cpp.o" "gcc" "tests/CMakeFiles/test_wasm.dir/wasm/instantiate_test.cpp.o.d"
+  "/root/repo/tests/wasm/interpreter_test.cpp" "tests/CMakeFiles/test_wasm.dir/wasm/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/test_wasm.dir/wasm/interpreter_test.cpp.o.d"
+  "/root/repo/tests/wasm/numeric_test.cpp" "tests/CMakeFiles/test_wasm.dir/wasm/numeric_test.cpp.o" "gcc" "tests/CMakeFiles/test_wasm.dir/wasm/numeric_test.cpp.o.d"
+  "/root/repo/tests/wasm/validator_test.cpp" "tests/CMakeFiles/test_wasm.dir/wasm/validator_test.cpp.o" "gcc" "tests/CMakeFiles/test_wasm.dir/wasm/validator_test.cpp.o.d"
+  "/root/repo/tests/wasm/workloads_test.cpp" "tests/CMakeFiles/test_wasm.dir/wasm/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/test_wasm.dir/wasm/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wasmctr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wasm.dir/wasm/control_flow_test.cpp.o"
+  "CMakeFiles/test_wasm.dir/wasm/control_flow_test.cpp.o.d"
+  "CMakeFiles/test_wasm.dir/wasm/decoder_test.cpp.o"
+  "CMakeFiles/test_wasm.dir/wasm/decoder_test.cpp.o.d"
+  "CMakeFiles/test_wasm.dir/wasm/instantiate_test.cpp.o"
+  "CMakeFiles/test_wasm.dir/wasm/instantiate_test.cpp.o.d"
+  "CMakeFiles/test_wasm.dir/wasm/interpreter_test.cpp.o"
+  "CMakeFiles/test_wasm.dir/wasm/interpreter_test.cpp.o.d"
+  "CMakeFiles/test_wasm.dir/wasm/numeric_test.cpp.o"
+  "CMakeFiles/test_wasm.dir/wasm/numeric_test.cpp.o.d"
+  "CMakeFiles/test_wasm.dir/wasm/validator_test.cpp.o"
+  "CMakeFiles/test_wasm.dir/wasm/validator_test.cpp.o.d"
+  "CMakeFiles/test_wasm.dir/wasm/workloads_test.cpp.o"
+  "CMakeFiles/test_wasm.dir/wasm/workloads_test.cpp.o.d"
+  "test_wasm"
+  "test_wasm.pdb"
+  "test_wasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

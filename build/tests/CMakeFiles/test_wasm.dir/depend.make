@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wasm.
+# This may be replaced when dependencies are built.

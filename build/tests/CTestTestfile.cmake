@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_wasm[1]_include.cmake")
+include("/root/repo/build/tests/test_wasi[1]_include.cmake")
+include("/root/repo/build/tests/test_pylite[1]_include.cmake")
+include("/root/repo/build/tests/test_engines[1]_include.cmake")
+include("/root/repo/build/tests/test_oci[1]_include.cmake")
+include("/root/repo/build/tests/test_containerd[1]_include.cmake")
+include("/root/repo/build/tests/test_k8s[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
