@@ -48,6 +48,15 @@ void Containerd::run_pod_sandbox(
   const std::string id = "sb-" + std::to_string(next_id_++);
   node_.burst(kInfra.sandbox_cpu_s, [this, id, pod_name,
                                      done = std::move(done)] {
+    // Injected sandbox-creation failure (netns/CNI setup error): nothing
+    // is allocated yet, so the kubelet can simply retry the pod.
+    if (node_.faults().enabled() &&
+        node_.faults().should_fault(sim::FaultKind::kSandboxCreate,
+                                    pod_name)) {
+      done(unavailable("RunPodSandbox " + pod_name +
+                       ": CNI setup failed (injected)"));
+      return;
+    }
     SandboxInfo sb;
     sb.id = id;
     sb.pod_name = pod_name;
@@ -81,6 +90,15 @@ Result<std::string> Containerd::create_and_start(
   if (sb == sandboxes_.end()) return not_found("sandbox " + sandbox_id);
   auto hc = handlers_.find(handler);
   if (hc == handlers_.end()) return not_found("runtime handler " + handler);
+  // Injected transient CRI error (dropped ttrpc connection, deadline
+  // exceeded): fails before any resource is acquired, so a plain retry of
+  // CreateContainer recovers.
+  if (node_.faults().enabled() &&
+      node_.faults().should_fault(sim::FaultKind::kCriTransient,
+                                  sb->second.pod_name)) {
+    return unavailable("CRI CreateContainer " + request.name +
+                       ": transient RPC failure (injected)");
+  }
   WASMCTR_ASSIGN_OR_RETURN(const Image* image, images_.get(request.image));
   WASMCTR_RETURN_IF_ERROR(images_.acquire_layers(request.image));
 
@@ -101,6 +119,10 @@ Result<std::string> Containerd::create_and_start(
     spec.annotations.emplace(std::string(oci::kWasmVariantAnnotation),
                              "compat");
   }
+  // The CRI plugin stamps the owning pod on every container; fault
+  // budgets key off it so they survive container-id churn on restart.
+  spec.annotations.emplace(std::string(oci::kSandboxNameAnnotation),
+                           sb->second.pod_name);
   WASMCTR_RETURN_IF_ERROR(
       oci::write_bundle(node_.fs(), bundle_path, spec, image->payload));
 
@@ -146,6 +168,26 @@ void Containerd::start_via_runc_shim(const std::string& container_id,
                                               on_running] {
           auto rec = containers_.find(container_id);
           if (rec == containers_.end()) return;
+          // Injected shim crash: the shim dies during task setup. Any
+          // already-spawned shim process is reaped and its record dropped
+          // so a retry spawns a fresh one.
+          if (node_.faults().enabled() &&
+              node_.faults().should_fault(sim::FaultKind::kShimCrash,
+                                          pod_name_of(rec->second))) {
+            if (auto shim_it = shims_.find(rec->second.sandbox_id);
+                shim_it != shims_.end()) {
+              if (shim_it->second.pid != 0) {
+                (void)node_.procs().kill(shim_it->second.pid);
+              }
+              shims_.erase(shim_it);
+            }
+            if (on_running) {
+              on_running(unavailable("containerd-shim-runc-v2 for " +
+                                     pod_name_of(rec->second) +
+                                     " crashed during start (injected)"));
+            }
+            return;
+          }
           // One containerd-shim-runc-v2 process per pod, in the system
           // cgroup: visible to `free`, not to the metrics server.
           auto& shim = shims_[rec->second.sandbox_id];
@@ -243,6 +285,34 @@ void Containerd::start_via_runwasi(const std::string& container_id,
           auto rec_it = containers_.find(container_id);
           if (rec_it == containers_.end()) return;
           ContainerRecord& rec = rec_it->second;
+          const std::string pod = pod_name_of(rec);
+
+          // Injected shim crash: the runwasi shim process dies while
+          // booting, before the engine ever runs.
+          if (node_.faults().enabled() &&
+              node_.faults().should_fault(sim::FaultKind::kShimCrash, pod)) {
+            rec.info.state = oci::ContainerState::kStopped;
+            rec.info.exit_code = oci::kStartFailureExitCode;
+            if (on_running) {
+              on_running(unavailable(engine.library_name() + " for " + pod +
+                                     " crashed during boot (injected)"));
+            }
+            return;
+          }
+          // Injected engine-instantiation failure inside the shim.
+          if (node_.faults().enabled() &&
+              node_.faults().should_fault(sim::FaultKind::kEngineInstantiate,
+                                          pod)) {
+            rec.info.state = oci::ContainerState::kStopped;
+            rec.info.exit_code = oci::kStartFailureExitCode;
+            if (on_running) {
+              on_running(unavailable(
+                  "engine " +
+                  std::string(engines::engine_name(engine.kind())) +
+                  " failed to instantiate (injected)"));
+            }
+            return;
+          }
 
           const std::string bundle_path =
               "run/containerd/io.containerd.runtime.v2.task/k8s.io/" +
@@ -261,9 +331,18 @@ void Containerd::start_via_runwasi(const std::string& container_id,
               rec.bundle.path + "/" + rec.bundle.spec.root_path;
           opts.preopens.emplace_back("/data", rootfs + "/data");
           opts.preopens.emplace_back("/tmp", rootfs + "/tmp");
+          // Injected wasm trap: a starved fuel budget makes the module
+          // genuinely trap inside the interpreter.
+          uint64_t fuel = engines::kDefaultStartupFuel;
+          if (node_.faults().enabled() &&
+              node_.faults().should_fault(sim::FaultKind::kWasmTrap, pod)) {
+            fuel = 64;
+          }
           auto report = engine.run_module(rec.bundle.payload.wasm,
-                                          std::move(opts), node_.fs());
+                                          std::move(opts), node_.fs(), fuel);
           if (!report) {
+            rec.info.state = oci::ContainerState::kStopped;
+            rec.info.exit_code = oci::kStartFailureExitCode;
             if (on_running) on_running(report.status());
             return;
           }
@@ -273,6 +352,15 @@ void Containerd::start_via_runwasi(const std::string& container_id,
           // server (why Fig 6's metrics-server gap to shims exceeds the
           // free-command gap in Fig 5).
           mem::Cgroup& cg = node_.cgroups().ensure(cgroup_path);
+          if (rec.bundle.spec.memory_limit != 0) {
+            cg.set_limit(Bytes(rec.bundle.spec.memory_limit));
+          }
+          // Injected OOM: tighten memory.max so the shim's first charge
+          // trips check_headroom and the kill takes the real OOM path.
+          if (node_.faults().enabled() &&
+              node_.faults().should_fault(sim::FaultKind::kOomKill, pod)) {
+            cg.set_limit(Bytes(64_KiB));
+          }
           auto pid =
               node_.procs().spawn(engine.library_name() + ":" + container_id,
                                   &cg);
@@ -298,6 +386,10 @@ void Containerd::start_via_runwasi(const std::string& container_id,
           }
           if (!st.is_ok()) {
             (void)node_.procs().kill(*pid);
+            rec.info.state = oci::ContainerState::kStopped;
+            rec.info.exit_code = st.code() == ErrorCode::kResourceExhausted
+                                     ? oci::kOomKillExitCode
+                                     : oci::kStartFailureExitCode;
             if (on_running) on_running(std::move(st));
             return;
           }
@@ -350,6 +442,65 @@ Status Containerd::remove_pod_sandbox(const std::string& sandbox_id) {
   (void)node_.cgroups().remove(sb->second.cgroup_path);
   sandboxes_.erase(sb);
   return Status::ok();
+}
+
+std::string Containerd::pod_name_of(const ContainerRecord& rec) const {
+  auto sb = sandboxes_.find(rec.sandbox_id);
+  if (sb != sandboxes_.end()) return sb->second.pod_name;
+  return rec.info.id;
+}
+
+void Containerd::notify_exit(const std::string& container_id,
+                             const Status& status) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) return;
+  const std::string pod = pod_name_of(it->second);
+  for (const ExitWatcher& w : exit_watchers_) {
+    w(pod, container_id, status);
+  }
+}
+
+Status Containerd::grow_container_memory(const std::string& container_id,
+                                         Bytes delta) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) return not_found("container " + container_id);
+  ContainerRecord& rec = it->second;
+
+  if (rec.path == HandlerPath::kRuncV2) {
+    auto hc = handlers_.find(rec.handler);
+    if (hc == handlers_.end()) return not_found("handler " + rec.handler);
+    oci::LowLevelRuntime* runtime = runtime_for(hc->second);
+    if (runtime == nullptr) {
+      return not_found("oci runtime " + hc->second.oci_runtime);
+    }
+    Status st = runtime->grow_memory(container_id, delta);
+    if (auto info = runtime->state(container_id)) rec.info = *info;
+    if (st.code() == ErrorCode::kResourceExhausted) {
+      notify_exit(container_id, st);
+    }
+    return st;
+  }
+
+  // Runwasi: the shim is the workload process; charge it directly.
+  if (rec.info.state != oci::ContainerState::kRunning || rec.shim_pid == 0) {
+    return failed_precondition("container " + container_id + " is " +
+                               oci::container_state_name(rec.info.state));
+  }
+  sim::Process* proc = node_.procs().find(rec.shim_pid);
+  if (proc == nullptr) {
+    return internal_error("container " + container_id + " has no shim");
+  }
+  Status st = proc->add_anon(delta);
+  if (st.is_ok()) return st;
+  (void)node_.procs().kill(rec.shim_pid);
+  rec.shim_pid = 0;
+  rec.info.pid = 0;
+  rec.info.state = oci::ContainerState::kStopped;
+  rec.info.exit_code = oci::kOomKillExitCode;
+  WASMCTR_LOG(kWarn, "containerd")
+      << "container " << container_id << " OOM-killed: " << st.to_string();
+  notify_exit(container_id, st);
+  return st;
 }
 
 Result<const SandboxInfo*> Containerd::sandbox(const std::string& id) const {

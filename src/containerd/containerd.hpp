@@ -40,6 +40,11 @@ struct ContainerRequest {
   uint64_t memory_limit = 0;
 };
 
+/// Observer for exits containerd detects after a container reached
+/// Running (today: OOM kills). Receives (pod_name, container_id, status).
+using ExitWatcher = std::function<void(
+    const std::string&, const std::string&, const Status&)>;
+
 struct SandboxInfo {
   std::string id;
   std::string pod_name;
@@ -90,6 +95,19 @@ class Containerd {
   [[nodiscard]] Result<oci::ContainerInfo> container_state(
       const std::string& container_id) const;
 
+  /// Subscribe to post-Running container exits (OOM kills). The kubelet
+  /// uses this to drive restart policy for containers that died after
+  /// startup succeeded.
+  void watch_container_exit(ExitWatcher watcher) {
+    exit_watchers_.push_back(std::move(watcher));
+  }
+
+  /// Grow a running container's anonymous memory (workload allocation
+  /// spike). A cgroup memory.max breach OOM-kills the container — state
+  /// flips to stopped/137, exit watchers fire — and the breaching
+  /// kResourceExhausted status is returned.
+  Status grow_container_memory(const std::string& container_id, Bytes delta);
+
   [[nodiscard]] ImageStore& images() noexcept { return images_; }
 
  private:
@@ -112,6 +130,11 @@ class Containerd {
 
   oci::LowLevelRuntime* runtime_for(const HandlerConfig& config);
 
+  /// Pod name owning a container (fault-injection target + exit events).
+  [[nodiscard]] std::string pod_name_of(const ContainerRecord& rec) const;
+
+  void notify_exit(const std::string& container_id, const Status& status);
+
   void start_via_runc_shim(const std::string& container_id,
                            const std::string& bundle_path,
                            const std::string& cgroup_path,
@@ -130,6 +153,7 @@ class Containerd {
   std::map<std::string, ContainerRecord> containers_;
   // One low-level runtime instance per distinct configuration.
   std::map<std::string, std::unique_ptr<oci::LowLevelRuntime>> oci_runtimes_;
+  std::vector<ExitWatcher> exit_watchers_;
   uint64_t next_id_ = 1;
   uint64_t runwasi_connections_ = 0;
 };

@@ -35,7 +35,7 @@ std::string Engine::library_name() const {
 
 Result<ExecutionReport> Engine::run_module(
     std::span<const uint8_t> module_bytes, wasi::WasiOptions wasi_options,
-    wasi::VirtualFs& fs) const {
+    wasi::VirtualFs& fs, uint64_t fuel) const {
   WASMCTR_ASSIGN_OR_RETURN(wasm::Module module,
                            wasm::decode_module(module_bytes));
   WASMCTR_RETURN_IF_ERROR(wasm::validate_module(module));
@@ -45,7 +45,7 @@ Result<ExecutionReport> Engine::run_module(
   ctx.register_imports(resolver);
 
   wasm::ExecLimits limits;
-  limits.fuel = 50'000'000;  // sandbox: no unbounded startup loops
+  limits.fuel = fuel;  // sandbox: no unbounded startup loops
   WASMCTR_ASSIGN_OR_RETURN(
       auto instance,
       wasm::Instance::instantiate(std::move(module), resolver, limits));

@@ -38,6 +38,10 @@ struct StartupCost {
   double cache_load_cpu_s = 0; ///< per-container cost after the shared compile
 };
 
+/// Default fuel budget for a container start: generous enough for every
+/// real workload, finite so no startup loop runs unbounded (§III-C item 3).
+inline constexpr uint64_t kDefaultStartupFuel = 50'000'000;
+
 /// An engine installation on a node (crun-embedded or runwasi-shim flavor).
 class Engine {
  public:
@@ -51,10 +55,13 @@ class Engine {
   [[nodiscard]] std::string library_name() const;
 
   /// Decode + validate + instantiate + run `_start` under WASI. The module
-  /// actually executes; proc_exit(0) is success.
+  /// actually executes; proc_exit(0) is success. `fuel` caps executed
+  /// instructions — the fault injector passes a tiny budget to force a
+  /// genuine "all fuel consumed" trap through the whole stack.
   Result<ExecutionReport> run_module(std::span<const uint8_t> module_bytes,
                                      wasi::WasiOptions wasi_options,
-                                     wasi::VirtualFs& fs) const;
+                                     wasi::VirtualFs& fs,
+                                     uint64_t fuel = kDefaultStartupFuel) const;
 
   /// CPU demand to start one container with a module of `module_bytes`
   /// size. `node_has_cached_module` selects the cache-hit path for engines

@@ -37,7 +37,13 @@ std::vector<const Pod*> ApiServer::pods() const {
 }
 
 Status ApiServer::delete_pod(const std::string& name) {
-  if (pods_.erase(name) == 0) return not_found("pod " + name);
+  auto it = pods_.find(name);
+  if (it == pods_.end()) return not_found("pod " + name);
+  // Move the pod out first so watchers see its final state and a watcher
+  // deleting pods re-entrantly cannot invalidate `it` under us.
+  Pod removed = std::move(it->second);
+  pods_.erase(it);
+  for (const PodWatcher& w : deleted_watchers_) w(removed);
   return Status::ok();
 }
 

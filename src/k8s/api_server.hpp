@@ -32,6 +32,11 @@ class ApiServer {
   /// Watch for newly created pods (scheduler) and bindings (kubelet).
   void watch_created(PodWatcher w) { created_watchers_.push_back(std::move(w)); }
   void watch_bound(PodWatcher w) { bound_watchers_.push_back(std::move(w)); }
+  /// Watch deletions (kubelet releases the slot + node memory). The
+  /// watcher receives the pod's final state before it leaves the store.
+  void watch_deleted(PodWatcher w) {
+    deleted_watchers_.push_back(std::move(w));
+  }
 
   // --- runtime classes ---
   Status create_runtime_class(RuntimeClass rc);
@@ -45,6 +50,7 @@ class ApiServer {
   std::map<std::string, RuntimeClass> runtime_classes_;
   std::vector<PodWatcher> created_watchers_;
   std::vector<PodWatcher> bound_watchers_;
+  std::vector<PodWatcher> deleted_watchers_;
 };
 
 }  // namespace wasmctr::k8s

@@ -69,8 +69,12 @@ Cluster::Cluster(ClusterOptions options)
       containerd_(node_, images_),
       api_(),
       scheduler_(node_.kernel(), api_),
-      kubelet_(KubeletConfig{"node-0", options.max_pods, "runc"}, node_, api_,
-               containerd_),
+      kubelet_(KubeletConfig{"node-0", options.max_pods, "runc",
+                             options.backoff_base, options.backoff_cap,
+                             options.backoff_reset_after,
+                             options.eviction_min_available},
+               node_, api_, containerd_),
+      restart_policy_(options.restart_policy),
       metrics_(api_, node_),
       free_probe_(node_) {
   scheduler_.add_node("node-0", options.max_pods);
@@ -152,6 +156,7 @@ Status Cluster::deploy(DeployConfig config, uint32_t count,
     spec.image = route.image;
     spec.runtime_class = route.runtime_class;
     spec.env = {{"SERVICE_NAME", spec.name}, {"PORT", "8080"}};
+    spec.restart_policy = restart_policy_;
     WASMCTR_RETURN_IF_ERROR(api_.create_pod(std::move(spec)));
   }
   return Status::ok();

@@ -44,6 +44,17 @@ struct ClusterOptions {
   sim::NodeConfig node;
   /// kubelet max pods: stock 110; the paper's extended config is 500.
   uint32_t max_pods = 500;
+  /// restartPolicy stamped on pods created by deploy(). Defaults to Never
+  /// (not Kubernetes' Always) so run-to-quiescence terminates; recovery
+  /// benches/tests opt into OnFailure/Always.
+  RestartPolicy restart_policy = RestartPolicy::kNever;
+  /// CrashLoopBackOff constants (stock kubelet: 10 s base, ×2, 5 min cap,
+  /// counter reset after 10 min healthy).
+  SimDuration backoff_base = sim_s(10.0);
+  SimDuration backoff_cap = sim_s(300.0);
+  SimDuration backoff_reset_after = sim_s(600.0);
+  /// Node-pressure eviction threshold (0 = disabled, seed behavior).
+  Bytes eviction_min_available{0};
 };
 
 class Cluster {
@@ -103,6 +114,7 @@ class Cluster {
   ApiServer api_;
   Scheduler scheduler_;
   Kubelet kubelet_;
+  RestartPolicy restart_policy_;
   MetricsServer metrics_;
   FreeProbe free_probe_;
 };

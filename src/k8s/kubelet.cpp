@@ -1,5 +1,8 @@
 #include "k8s/kubelet.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "support/log.hpp"
 
 namespace wasmctr::k8s {
@@ -12,6 +15,61 @@ Kubelet::Kubelet(KubeletConfig config, sim::Node& node, ApiServer& api,
   api_.watch_bound([this](const Pod& pod) {
     if (pod.status.node == config_.node_name) sync_pod(pod);
   });
+  api_.watch_deleted([this](const Pod& pod) {
+    if (pod.status.node != config_.node_name) return;
+    if (!pod.status.sandbox_id.empty()) {
+      (void)cri_.remove_pod_sandbox(pod.status.sandbox_id);
+    }
+    release_pod(pod.spec.name);
+  });
+  cri_.watch_container_exit([this](const std::string& pod_name,
+                                   const std::string& container_id,
+                                   const Status& status) {
+    (void)container_id;
+    const Pod* p = api_.pod(pod_name);
+    if (p == nullptr || p->status.node != config_.node_name) return;
+    // Only a Running pod has an exit to react to; anything else is a
+    // stale notification from an attempt already routed elsewhere.
+    if (p->status.phase != PodPhase::kRunning) return;
+    handle_failure(pod_name, status);
+  });
+}
+
+SimDuration Kubelet::backoff_delay(uint32_t failures) const {
+  if (failures == 0) return SimDuration{0};
+  SimDuration d = config_.backoff_base;
+  for (uint32_t i = 1; i < failures && d < config_.backoff_cap; ++i) d *= 2;
+  return std::min(d, config_.backoff_cap);
+}
+
+std::string Kubelet::backoff_trace_string() const {
+  std::string out;
+  char line[160];
+  for (const BackoffEvent& e : backoff_trace_) {
+    std::snprintf(line, sizeof(line), "%s attempt=%u delay=%.3fs at=%.6fs\n",
+                  e.pod.c_str(), e.attempt, to_seconds(e.delay),
+                  to_seconds(e.at));
+    out += line;
+  }
+  return out;
+}
+
+void Kubelet::teardown_sandbox(Pod& pod) {
+  if (!pod.status.sandbox_id.empty()) {
+    (void)cri_.remove_pod_sandbox(pod.status.sandbox_id);
+  }
+  pod.status.sandbox_id.clear();
+  pod.status.container_id.clear();
+}
+
+void Kubelet::release_pod(const std::string& name) {
+  auto it = records_.find(name);
+  if (it == records_.end()) return;
+  if (it->second.active) {
+    --active_pods_;
+    node_.memory().uncharge_anon(kInfra.kubelet_per_pod, nullptr);
+  }
+  records_.erase(it);
 }
 
 void Kubelet::fail_pod(const std::string& name, const Status& status) {
@@ -19,13 +77,63 @@ void Kubelet::fail_pod(const std::string& name, const Status& status) {
   if (Pod* p = api_.pod(name)) {
     p->status.phase = PodPhase::kFailed;
     p->status.message = status.to_string();
+    if (p->status.reason.empty()) {
+      p->status.reason =
+          status.code() == ErrorCode::kResourceExhausted ? "OOMKilled"
+                                                         : "Error";
+    }
+    teardown_sandbox(*p);
   }
+  release_pod(name);
   WASMCTR_LOG(kWarn, "kubelet") << "pod " << name << " failed: "
                                 << status.to_string();
 }
 
+void Kubelet::evict_pod(const std::string& name) {
+  Pod* p = api_.pod(name);
+  if (p == nullptr) return;
+  ++pods_evicted_;
+  p->status.phase = PodPhase::kEvicted;
+  p->status.reason = "Evicted";
+  p->status.message =
+      "node was low on memory: evicted to reclaim working set";
+  teardown_sandbox(*p);
+  release_pod(name);
+  WASMCTR_LOG(kWarn, "kubelet") << "evicted pod " << name
+                                << " (node memory pressure)";
+}
+
+void Kubelet::maybe_evict_for_pressure() {
+  if (config_.eviction_min_available.value == 0) return;
+  while (node_.memory().free_report().available.value <
+         config_.eviction_min_available.value) {
+    // Rank like the eviction manager: pods with no memory limit
+    // (BestEffort) go first, highest usage first. Limited pods keep
+    // their reservation.
+    const Pod* victim = nullptr;
+    Bytes worst{0};
+    for (const Pod* p : api_.pods()) {
+      if (p->status.node != config_.node_name) continue;
+      if (p->status.phase != PodPhase::kRunning) continue;
+      if (p->spec.memory_limit != 0) continue;
+      Bytes usage{0};
+      if (mem::Cgroup* cg =
+              node_.cgroups().find("kubepods/pod-" + p->spec.name)) {
+        usage = cg->usage();
+      }
+      if (victim == nullptr || usage.value > worst.value) {
+        victim = p;
+        worst = usage;
+      }
+    }
+    if (victim == nullptr) return;  // nothing evictable; admission may fail
+    evict_pod(victim->spec.name);
+  }
+}
+
 void Kubelet::sync_pod(const Pod& pod) {
   const std::string name = pod.spec.name;
+  maybe_evict_for_pressure();
   if (active_pods_ >= config_.max_pods) {
     fail_pod(name, resource_exhausted(
                        "node capacity: max_pods=" +
@@ -33,48 +141,67 @@ void Kubelet::sync_pod(const Pod& pod) {
                        " reached (kubelet config, paper §III-C raises it)"));
     return;
   }
-  ++active_pods_;
+
+  PodRecord rec;
+  rec.policy = pod.spec.restart_policy;
 
   // Resolve the runtime handler through the pod's RuntimeClass.
-  std::string handler = config_.default_runtime_handler;
+  rec.handler = config_.default_runtime_handler;
   if (!pod.spec.runtime_class.empty()) {
     const RuntimeClass* rc = api_.runtime_class(pod.spec.runtime_class);
     if (rc == nullptr) {
       fail_pod(name, not_found("runtimeClass " + pod.spec.runtime_class));
       return;
     }
-    handler = rc->handler;
+    rec.handler = rc->handler;
   }
-  if (!cri_.has_handler(handler)) {
-    fail_pod(name, not_found("containerd handler " + handler));
+  if (!cri_.has_handler(rec.handler)) {
+    fail_pod(name, not_found("containerd handler " + rec.handler));
     return;
   }
+
+  // Admitted: take a slot and the per-pod kubelet bookkeeping (probes,
+  // status cache) — kubelet process memory, outside pod cgroups. Both are
+  // returned by release_pod() on failure, eviction or deletion.
+  ++active_pods_;
+  (void)node_.memory().charge_anon(kInfra.kubelet_per_pod, nullptr);
+  rec.active = true;
+  records_[name] = std::move(rec);
 
   if (Pod* p = api_.pod(name)) {
     p->status.phase = PodPhase::kCreating;
     p->status.created_at = node_.kernel().now();
   }
+  start_pod(name);
+}
 
-  // Per-pod kubelet bookkeeping (probes, status cache) — kubelet process
-  // memory, outside pod cgroups.
-  (void)node_.memory().charge_anon(kInfra.kubelet_per_pod, nullptr);
-
+void Kubelet::start_pod(const std::string& name) {
   // Fixed pipeline latency: watch propagation, sync loop, CNI waits.
   const double jitter = node_.rng().uniform(0.0, 0.04);
   node_.kernel().schedule_after(
-      sim_s(kInfra.fixed_latency_s + jitter), [this, name, handler] {
+      sim_s(kInfra.fixed_latency_s + jitter), [this, name] {
         const Pod* pod = api_.pod(name);
-        if (pod == nullptr) return;
+        if (pod == nullptr || pod->status.phase != PodPhase::kCreating) {
+          return;  // deleted or re-routed while we waited
+        }
         const PodSpec spec = pod->spec;
-        cri_.run_pod_sandbox(name, [this, name, handler,
+        cri_.run_pod_sandbox(name, [this, name,
                                     spec](Result<std::string> sandbox) {
+          Pod* p = api_.pod(name);
+          if (p == nullptr || p->status.phase != PodPhase::kCreating) {
+            // Deleted mid-flight: don't leak a sandbox nobody tracks.
+            if (sandbox) (void)cri_.remove_pod_sandbox(*sandbox);
+            return;
+          }
           if (!sandbox) {
-            fail_pod(name, sandbox.status());
+            handle_failure(name, sandbox.status());
             return;
           }
           const std::string sandbox_id = *sandbox;
-          if (Pod* p = api_.pod(name)) p->status.sandbox_id = sandbox_id;
+          p->status.sandbox_id = sandbox_id;
 
+          auto rec_it = records_.find(name);
+          if (rec_it == records_.end()) return;
           containerd::ContainerRequest request;
           request.name = name + "-ctr";
           request.image = spec.image;
@@ -82,24 +209,97 @@ void Kubelet::sync_pod(const Pod& pod) {
           request.env = spec.env;
           request.memory_limit = spec.memory_limit;
           auto container_id = cri_.create_and_start(
-              sandbox_id, request, handler, [this, name](Status run_st) {
+              sandbox_id, request, rec_it->second.handler,
+              [this, name](Status run_st) {
                 Pod* p = api_.pod(name);
                 if (p == nullptr) return;
                 if (!run_st.is_ok()) {
-                  fail_pod(name, run_st);
+                  handle_failure(name, run_st);
                   return;
                 }
+                if (p->status.phase != PodPhase::kCreating) return;
                 p->status.phase = PodPhase::kRunning;
                 p->status.running_at = node_.kernel().now();
+                p->status.reason.clear();
+                p->status.message.clear();
+                if (auto it = records_.find(name); it != records_.end()) {
+                  it->second.running = true;
+                  it->second.running_since = node_.kernel().now();
+                }
                 ++pods_started_;
               });
           if (!container_id) {
-            fail_pod(name, container_id.status());
-          } else if (Pod* p = api_.pod(name)) {
-            p->status.container_id = *container_id;
+            handle_failure(name, container_id.status());
+          } else if (Pod* bound = api_.pod(name)) {
+            bound->status.container_id = *container_id;
           }
         });
       });
+}
+
+void Kubelet::handle_failure(const std::string& name, const Status& status) {
+  Pod* p = api_.pod(name);
+  if (p == nullptr) return;
+  // Only a live attempt (starting or running) routes through recovery;
+  // anything else is a stale callback from a superseded attempt.
+  if (p->status.phase != PodPhase::kCreating &&
+      p->status.phase != PodPhase::kRunning) {
+    return;
+  }
+  auto rec_it = records_.find(name);
+  if (rec_it == records_.end()) return;
+  PodRecord& rec = rec_it->second;
+
+  // Stock kubelet: the backoff counter resets once the container has run
+  // healthily for backoff_reset_after (10 min by default).
+  if (rec.running && node_.kernel().now() - rec.running_since >=
+                         config_.backoff_reset_after) {
+    rec.consecutive_failures = 0;
+  }
+  rec.running = false;
+
+  if (status.code() == ErrorCode::kResourceExhausted) {
+    p->status.oom_killed = true;
+    p->status.reason = "OOMKilled";
+  } else {
+    p->status.reason = status.is_transient() ? "Unavailable" : "Error";
+  }
+  teardown_sandbox(*p);
+
+  // restartPolicy decision: Always/OnFailure restart any retryable
+  // failure. Never still retries *transient infrastructure* errors — the
+  // sync loop re-runs regardless of policy when no container ever exited.
+  const bool restart =
+      is_retryable_failure_code(status.code()) &&
+      (rec.policy == RestartPolicy::kAlways ||
+       rec.policy == RestartPolicy::kOnFailure ||
+       (rec.policy == RestartPolicy::kNever &&
+        is_transient_code(status.code())));
+  if (!restart) {
+    fail_pod(name, status);
+    return;
+  }
+
+  ++rec.consecutive_failures;
+  ++restarts_total_;
+  p->status.restart_count += 1;
+  const SimDuration delay = backoff_delay(rec.consecutive_failures);
+  p->status.phase = PodPhase::kCrashLoopBackOff;
+  p->status.message = status.to_string();
+  backoff_trace_.push_back(
+      {name, rec.consecutive_failures, delay, node_.kernel().now()});
+  WASMCTR_LOG(kInfo, "kubelet")
+      << "pod " << name << " in CrashLoopBackOff (attempt "
+      << rec.consecutive_failures << ", retry in " << to_seconds(delay)
+      << "s): " << status.to_string();
+  node_.kernel().schedule_after(delay, [this, name] {
+    Pod* pod = api_.pod(name);
+    if (pod == nullptr || pod->status.phase != PodPhase::kCrashLoopBackOff) {
+      return;  // deleted (or evicted) while backing off
+    }
+    pod->status.phase = PodPhase::kCreating;
+    start_pod(name);
+  });
 }
 
 }  // namespace wasmctr::k8s

@@ -5,9 +5,19 @@
 //
 // The paper extends the stock kubelet configuration from 110 to 500 pods
 // per node (§III-C); `KubeletConfig::max_pods` models exactly that knob.
+//
+// Failure recovery follows stock kubelet semantics: retryable start
+// failures and post-Running OOM kills re-enter the start pipeline through
+// CrashLoopBackOff (exponential delay, 10 s base doubling to a 5 min cap,
+// reset after 10 min of healthy running), gated by the pod's
+// restartPolicy. Under node memory pressure the kubelet evicts the
+// highest-usage Running pod without a memory limit before failing new
+// admissions — the same ordering the real eviction manager applies to
+// BestEffort pods first.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "containerd/containerd.hpp"
 #include "k8s/api_server.hpp"
@@ -20,6 +30,23 @@ struct KubeletConfig {
   /// Stock kubelet default is 110; the paper raises it to 500 (§III-C).
   uint32_t max_pods = 110;
   std::string default_runtime_handler = "runc";
+  /// CrashLoopBackOff: delay = min(base · 2^(failures−1), cap); the
+  /// failure counter resets after `backoff_reset_after` of healthy
+  /// running. Defaults are the stock kubelet constants.
+  SimDuration backoff_base = sim_s(10.0);
+  SimDuration backoff_cap = sim_s(300.0);
+  SimDuration backoff_reset_after = sim_s(600.0);
+  /// Node-pressure eviction threshold on `free`'s available column;
+  /// 0 disables eviction (seed behavior).
+  Bytes eviction_min_available{0};
+};
+
+/// One CrashLoopBackOff episode (for tests and the recovery bench).
+struct BackoffEvent {
+  std::string pod;
+  uint32_t attempt = 0;  ///< consecutive-failure count, 1-based
+  SimDuration delay{0};
+  SimTime at{0};  ///< when the backoff began
 };
 
 class Kubelet {
@@ -34,18 +61,62 @@ class Kubelet {
     return pods_started_;
   }
   [[nodiscard]] uint32_t pods_failed() const noexcept { return pods_failed_; }
+  /// Pods currently holding a slot + per-pod bookkeeping charge.
+  [[nodiscard]] uint32_t active_pods() const noexcept { return active_pods_; }
+  /// Container (re)starts after a pod's first attempt, across all pods.
+  [[nodiscard]] uint32_t restarts_total() const noexcept {
+    return restarts_total_;
+  }
+  [[nodiscard]] uint32_t pods_evicted() const noexcept {
+    return pods_evicted_;
+  }
+  [[nodiscard]] const std::vector<BackoffEvent>& backoff_trace()
+      const noexcept {
+    return backoff_trace_;
+  }
+  /// Canonical text form of the backoff trace (determinism comparisons).
+  [[nodiscard]] std::string backoff_trace_string() const;
+
+  /// Exponential CrashLoopBackOff delay for the k-th consecutive failure.
+  [[nodiscard]] SimDuration backoff_delay(uint32_t failures) const;
 
  private:
+  struct PodRecord {
+    std::string handler;
+    RestartPolicy policy = RestartPolicy::kNever;
+    uint32_t consecutive_failures = 0;
+    SimTime running_since{0};
+    bool running = false;  ///< reached Running in the current attempt
+    bool active = false;   ///< holds slot + kubelet_per_pod charge
+  };
+
   void sync_pod(const Pod& pod);
+  /// The retryable section: fixed latency → RunPodSandbox →
+  /// CreateContainer+Start. Re-entered on every restart attempt.
+  void start_pod(const std::string& name);
+  /// Route a failed attempt (or post-Running exit) through restart policy.
+  void handle_failure(const std::string& name, const Status& status);
+  /// Terminal failure: mark Failed and release the pod's node resources.
   void fail_pod(const std::string& name, const Status& status);
+  /// Node-pressure eviction loop (runs at admission).
+  void maybe_evict_for_pressure();
+  void evict_pod(const std::string& name);
+  /// Tear down the pod's sandbox + containers via the CRI, if any.
+  void teardown_sandbox(Pod& pod);
+  /// Drop the slot and per-pod bookkeeping charge (idempotent).
+  void release_pod(const std::string& name);
 
   KubeletConfig config_;
   sim::Node& node_;
   ApiServer& api_;
   containerd::Containerd& cri_;
+  std::map<std::string, PodRecord> records_;
+  std::vector<BackoffEvent> backoff_trace_;
   uint32_t active_pods_ = 0;
   uint32_t pods_started_ = 0;
   uint32_t pods_failed_ = 0;
+  uint32_t restarts_total_ = 0;
+  uint32_t pods_evicted_ = 0;
 };
 
 }  // namespace wasmctr::k8s

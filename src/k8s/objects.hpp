@@ -16,6 +16,21 @@ struct RuntimeClass {
   std::string handler;  // containerd runtime handler name
 };
 
+/// spec.restartPolicy. Kubernetes defaults to Always; the simulation
+/// defaults to Never so run-to-quiescence drains (an Always pod with a
+/// persistent failure restarts forever by design). Benches and tests that
+/// exercise recovery opt into OnFailure/Always explicitly.
+enum class RestartPolicy { kNever, kOnFailure, kAlways };
+
+[[nodiscard]] constexpr const char* restart_policy_name(RestartPolicy p) {
+  switch (p) {
+    case RestartPolicy::kNever: return "Never";
+    case RestartPolicy::kOnFailure: return "OnFailure";
+    case RestartPolicy::kAlways: return "Always";
+  }
+  return "?";
+}
+
 struct PodSpec {
   std::string name;
   std::string image;
@@ -23,9 +38,18 @@ struct PodSpec {
   std::vector<std::string> args;
   std::vector<std::pair<std::string, std::string>> env;
   uint64_t memory_limit = 0;  // bytes; 0 = none
+  RestartPolicy restart_policy = RestartPolicy::kNever;
 };
 
-enum class PodPhase { kPending, kScheduled, kCreating, kRunning, kFailed };
+enum class PodPhase {
+  kPending,
+  kScheduled,
+  kCreating,
+  kRunning,
+  kCrashLoopBackOff,
+  kFailed,
+  kEvicted,
+};
 
 [[nodiscard]] constexpr const char* pod_phase_name(PodPhase p) {
   switch (p) {
@@ -33,7 +57,9 @@ enum class PodPhase { kPending, kScheduled, kCreating, kRunning, kFailed };
     case PodPhase::kScheduled: return "Scheduled";
     case PodPhase::kCreating: return "ContainerCreating";
     case PodPhase::kRunning: return "Running";
+    case PodPhase::kCrashLoopBackOff: return "CrashLoopBackOff";
     case PodPhase::kFailed: return "Failed";
+    case PodPhase::kEvicted: return "Evicted";
   }
   return "?";
 }
@@ -44,6 +70,11 @@ struct PodStatus {
   std::string sandbox_id;
   std::string container_id;
   std::string message;
+  /// Machine-readable failure reason ("OOMKilled", "Evicted", "Error", ...).
+  std::string reason;
+  /// Times the kubelet restarted the pod's container (status.restartCount).
+  uint32_t restart_count = 0;
+  bool oom_killed = false;
   SimTime created_at{0};
   SimTime running_at{0};
 };

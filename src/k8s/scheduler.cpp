@@ -12,6 +12,19 @@ constexpr SimDuration kBindLatency = sim_ms(int64_t{4});
 Scheduler::Scheduler(sim::Kernel& kernel, ApiServer& api)
     : kernel_(kernel), api_(api) {
   api_.watch_created([this](const Pod& pod) { schedule(pod.spec.name); });
+  // Deleting a bound pod returns its slot; without this, churned pods
+  // permanently consume node capacity. (Failed/Evicted pods that are never
+  // deleted still hold their slot — see ROADMAP.)
+  api_.watch_deleted([this](const Pod& pod) {
+    if (pod.status.node.empty()) return;
+    for (SchedulerNode& n : nodes_) {
+      if (n.name == pod.status.node && n.bound > 0) {
+        --n.bound;
+        --total_bound_;
+        return;
+      }
+    }
+  });
 }
 
 void Scheduler::add_node(std::string name, uint32_t capacity) {

@@ -25,6 +25,15 @@ Status OciRuntimeBase::create(const std::string& id,
   if (rec.bundle.spec.memory_limit != 0) {
     cg.set_limit(Bytes(rec.bundle.spec.memory_limit));
   }
+  // Injected OOM: tighten memory.max below any workload's footprint so the
+  // first charge trips check_headroom — the kill then travels the same
+  // OOM path a real limit breach takes. Restarts recreate the cgroup and
+  // consult the injector afresh, so the fault is transient.
+  if (node_.faults().enabled() &&
+      node_.faults().should_fault(sim::FaultKind::kOomKill,
+                                  fault_target(rec))) {
+    cg.set_limit(Bytes(64_KiB));
+  }
   // Kernel objects the runtime allocates at create (netns, veth, cgroup
   // structures): node-visible (free), outside any pod cgroup.
   const Bytes kernel = kInfra.kernel_per_pod + kernel_extra();
@@ -52,6 +61,36 @@ Status OciRuntimeBase::start(const std::string& id, OnRunning on_running) {
     launch_workload(lookup->second, on_running);
   });
   return Status::ok();
+}
+
+Status OciRuntimeBase::grow_memory(const std::string& id, Bytes delta) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return not_found("container " + id);
+  ContainerRecord& rec = it->second;
+  if (rec.info.state != ContainerState::kRunning || rec.info.pid == 0) {
+    return failed_precondition("container " + id + " is " +
+                               container_state_name(rec.info.state));
+  }
+  sim::Process* proc = node_.procs().find(rec.info.pid);
+  if (proc == nullptr) {
+    return internal_error("container " + id + " has no process");
+  }
+  Status st = proc->add_anon(delta);
+  if (st.is_ok()) {
+    rec.anon_charged += delta;
+    return st;
+  }
+  // memory.max breached: the kernel OOM-killer reaps the workload. The
+  // container does not vanish — it flips to stopped/137 so the layer above
+  // can observe the kill and restart per policy.
+  (void)node_.procs().kill(rec.info.pid);
+  rec.info.pid = 0;
+  rec.anon_charged = Bytes(0);
+  rec.info.state = ContainerState::kStopped;
+  rec.info.exit_code = kOomKillExitCode;
+  WASMCTR_LOG(kWarn, "oci") << "container " << id
+                            << " OOM-killed: " << st.to_string();
+  return st;
 }
 
 Status OciRuntimeBase::kill(const std::string& id) {
@@ -91,10 +130,20 @@ Result<ContainerInfo> OciRuntimeBase::state(const std::string& id) const {
 void OciRuntimeBase::fail(ContainerRecord& rec, Status status,
                           const OnRunning& on_running) {
   rec.info.state = ContainerState::kStopped;
-  rec.info.exit_code = 128;
+  rec.info.exit_code = status.code() == ErrorCode::kResourceExhausted
+                           ? kOomKillExitCode
+                           : kStartFailureExitCode;
   WASMCTR_LOG(kError, "oci") << "container " << rec.info.id
                              << " failed to start: " << status.to_string();
   if (on_running) on_running(std::move(status));
+}
+
+std::string_view OciRuntimeBase::fault_target(
+    const ContainerRecord& rec) const {
+  auto it = rec.bundle.spec.annotations.find(
+      std::string(kSandboxNameAnnotation));
+  if (it != rec.bundle.spec.annotations.end()) return it->second;
+  return rec.info.id;
 }
 
 wasi::WasiOptions OciRuntimeBase::wasi_options_for(
@@ -118,10 +167,31 @@ wasi::WasiOptions OciRuntimeBase::wasi_options_for(
 void OciRuntimeBase::finish_wasm_launch(const engines::Engine& engine,
                                         ContainerRecord& rec, bool embedded,
                                         OnRunning on_running) {
+  // Injected engine failure: libwamr.so (or the engine CLI) fails to
+  // initialize — e.g. a corrupt AOT artifact or dlopen error.
+  if (node_.faults().enabled() &&
+      node_.faults().should_fault(sim::FaultKind::kEngineInstantiate,
+                                  fault_target(rec))) {
+    fail(rec,
+         unavailable("engine " +
+                     std::string(engines::engine_name(engine.kind())) +
+                     " failed to instantiate (injected)"),
+         on_running);
+    return;
+  }
+  // Injected wasm trap: starve the sandbox's fuel budget so the module
+  // genuinely traps ("all fuel consumed") inside the interpreter — the
+  // trap travels the real error path, not a synthesized status.
+  uint64_t fuel = engines::kDefaultStartupFuel;
+  if (node_.faults().enabled() &&
+      node_.faults().should_fault(sim::FaultKind::kWasmTrap,
+                                  fault_target(rec))) {
+    fuel = 64;
+  }
   // Run the module for real through the interpreter (decode → validate →
   // instantiate → _start under WASI).
   auto report = engine.run_module(rec.bundle.payload.wasm,
-                                  wasi_options_for(rec), node_.fs());
+                                  wasi_options_for(rec), node_.fs(), fuel);
   if (!report) {
     fail(rec, report.status(), on_running);
     return;

@@ -35,6 +35,12 @@ enum class ContainerState { kCreated, kRunning, kStopped };
   return "?";
 }
 
+/// Exit codes the kubelet pattern-matches on (Linux conventions): 137 is
+/// SIGKILL — what the kernel OOM-killer delivers; 128 marks a start that
+/// never reached the workload's main().
+inline constexpr uint32_t kOomKillExitCode = 137;
+inline constexpr uint32_t kStartFailureExitCode = 128;
+
 /// Public view of a container (the `crun state` analogue).
 struct ContainerInfo {
   std::string id;
@@ -69,6 +75,13 @@ class LowLevelRuntime {
   /// `crun kill` + reap: stop the workload process.
   virtual Status kill(const std::string& id) = 0;
 
+  /// Grow the running workload's anonymous memory (an allocation spike).
+  /// When the charge breaches a cgroup memory.max, the kernel OOM-killer
+  /// fires: the process is reaped, the container flips to stopped with
+  /// exit code 137, and the breaching kResourceExhausted status is
+  /// returned so the caller can propagate the kill upward.
+  virtual Status grow_memory(const std::string& id, Bytes delta) = 0;
+
   /// `crun delete`: remove the stopped container and its cgroup.
   virtual Status remove(const std::string& id) = 0;
 
@@ -86,6 +99,7 @@ class OciRuntimeBase : public LowLevelRuntime {
                 const std::string& cgroup_path) override;
   Status start(const std::string& id, OnRunning on_running) override;
   Status kill(const std::string& id) override;
+  Status grow_memory(const std::string& id, Bytes delta) override;
   Status remove(const std::string& id) override;
   Result<ContainerInfo> state(const std::string& id) const override;
 
@@ -120,6 +134,10 @@ class OciRuntimeBase : public LowLevelRuntime {
   /// Translate OCI process/mounts into WASI options (§III-C item 2).
   [[nodiscard]] wasi::WasiOptions wasi_options_for(
       const ContainerRecord& rec) const;
+
+  /// Fault-injection target: the pod name containerd annotated the bundle
+  /// with, falling back to the container id for bare-runtime embeddings.
+  [[nodiscard]] std::string_view fault_target(const ContainerRecord& rec) const;
 
   /// Finalize: run the module/script for real, charge memory, flip state.
   void finish_wasm_launch(const engines::Engine& engine, ContainerRecord& rec,

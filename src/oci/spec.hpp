@@ -18,6 +18,11 @@ namespace wasmctr::oci {
 inline constexpr std::string_view kHandlerAnnotation = "run.oci.handler";
 inline constexpr std::string_view kWasmVariantAnnotation =
     "module.wasm.image/variant";
+/// Pod name containerd stamps on every container it creates (the real CRI
+/// plugin sets the same key). The fault injector targets pods through it
+/// so a fault budget survives container-id churn across restarts.
+inline constexpr std::string_view kSandboxNameAnnotation =
+    "io.kubernetes.cri.sandbox-name";
 
 struct Mount {
   std::string destination;  // guest path

@@ -1,0 +1,74 @@
+#include "sim/fault.hpp"
+
+#include <cstdio>
+
+#include "support/rng.hpp"
+
+namespace wasmctr::sim {
+
+namespace {
+
+/// FNV-1a, the same mixing the Rng::fork uses for component labels.
+uint64_t fnv1a(std::string_view s) noexcept {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(Kernel& kernel, uint64_t seed)
+    : kernel_(kernel), seed_(seed ^ fnv1a("fault-injector")) {}
+
+void FaultInjector::set_rate(FaultKind kind, double rate) {
+  rates_[static_cast<std::size_t>(kind)] = rate;
+  enabled_ = false;
+  for (const double r : rates_) enabled_ = enabled_ || r > 0.0;
+}
+
+void FaultInjector::set_rate_all(double rate) {
+  rates_.fill(rate);
+  enabled_ = rate > 0.0;
+}
+
+double FaultInjector::rate(FaultKind kind) const noexcept {
+  return rates_[static_cast<std::size_t>(kind)];
+}
+
+bool FaultInjector::should_fault(FaultKind kind, std::string_view target) {
+  const double rate = rates_[static_cast<std::size_t>(kind)];
+  if (rate <= 0.0) return false;
+
+  TargetState& state =
+      counters_[{static_cast<uint8_t>(kind), std::string(target)}];
+  const uint32_t occurrence = state.decisions++;
+  if (state.injected >= max_faults_per_target_) return false;
+
+  // A fresh SplitMix64 stream keyed by (seed, kind, target, occurrence):
+  // the verdict does not depend on what any other target drew, so the
+  // fault plan is stable under reordering of decision points.
+  Rng draw(seed_ ^ (fnv1a(target) * 0x9e3779b97f4a7c15ull) ^
+           (static_cast<uint64_t>(kind) << 56) ^ occurrence);
+  if (draw.next_double() >= rate) return false;
+
+  ++state.injected;
+  trace_.push_back({kernel_.now(), kind, std::string(target), occurrence});
+  return true;
+}
+
+std::string FaultInjector::trace_string() const {
+  std::string out;
+  char line[160];
+  for (const FaultRecord& r : trace_) {
+    std::snprintf(line, sizeof line, "t=%.6fs %s %s #%u\n",
+                  to_seconds(r.time), fault_kind_name(r.kind),
+                  r.target.c_str(), r.occurrence);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wasmctr::sim

@@ -1,0 +1,113 @@
+// Deterministic fault injection for the container stack.
+//
+// Every layer that can fail in a real deployment (CRI calls, sandbox
+// setup, shim processes, engine instantiation, Wasm execution, cgroup
+// memory) asks the node's FaultInjector at its natural decision point.
+// Decisions are a pure function of (seed, fault kind, target, occurrence
+// index), so the fault plan for a given seed is identical across runs and
+// independent of event interleaving — the property the recovery benches
+// assert when they require two same-seed runs to produce bit-identical
+// fault and backoff traces.
+//
+// All rates default to 0: a node with an untouched injector behaves
+// exactly like the pre-fault-injection simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "support/units.hpp"
+
+namespace wasmctr::sim {
+
+/// Where in the stack a fault fires (the fault taxonomy, DESIGN.md §6).
+enum class FaultKind : uint8_t {
+  kCriTransient = 0,   ///< CRI CreateContainer returns a transient error
+  kSandboxCreate,      ///< RunPodSandbox fails (CNI/pause setup)
+  kShimCrash,          ///< the per-pod shim process dies during task create
+  kEngineInstantiate,  ///< engine runtime refuses to initialize
+  kWasmTrap,           ///< workload traps (injected via the fuel limit)
+  kOomKill,            ///< container cgroup limit tightened → OOM kill
+};
+inline constexpr std::size_t kFaultKindCount = 6;
+
+[[nodiscard]] constexpr const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCriTransient: return "cri-transient";
+    case FaultKind::kSandboxCreate: return "sandbox-create";
+    case FaultKind::kShimCrash: return "shim-crash";
+    case FaultKind::kEngineInstantiate: return "engine-instantiate";
+    case FaultKind::kWasmTrap: return "wasm-trap";
+    case FaultKind::kOomKill: return "oom-kill";
+  }
+  return "?";
+}
+
+/// One injected fault, for trace comparison across same-seed runs.
+struct FaultRecord {
+  SimTime time{0};
+  FaultKind kind = FaultKind::kCriTransient;
+  std::string target;       // pod (preferred) or container identifier
+  uint32_t occurrence = 0;  // which decision for this (kind, target)
+};
+
+class FaultInjector {
+ public:
+  /// `seed` is the node seed; the injector derives its own stream so
+  /// enabling faults never perturbs the jitter RNG consumed elsewhere.
+  FaultInjector(Kernel& kernel, uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Probability in [0, 1] that one decision of `kind` fires.
+  void set_rate(FaultKind kind, double rate);
+  void set_rate_all(double rate);
+  [[nodiscard]] double rate(FaultKind kind) const noexcept;
+
+  /// Faults are transient: after this many injections for one
+  /// (kind, target) pair, further decisions pass. A finite cap guarantees
+  /// every restartable pod eventually recovers (the benches use 3).
+  void set_max_faults_per_target(uint32_t n) noexcept {
+    max_faults_per_target_ = n;
+  }
+
+  /// Fast path guard: true when any rate is non-zero.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// The decision point. Deterministic in (seed, kind, target, occurrence);
+  /// records injected faults in the trace.
+  bool should_fault(FaultKind kind, std::string_view target);
+
+  [[nodiscard]] uint64_t faults_injected() const noexcept {
+    return trace_.size();
+  }
+  [[nodiscard]] const std::vector<FaultRecord>& trace() const noexcept {
+    return trace_;
+  }
+  /// "t=12.345s cri-transient pod-3 #0" lines, for same-seed comparisons.
+  [[nodiscard]] std::string trace_string() const;
+
+ private:
+  struct TargetState {
+    uint32_t decisions = 0;  // occurrence counter
+    uint32_t injected = 0;   // faults already fired for this pair
+  };
+
+  Kernel& kernel_;
+  uint64_t seed_;
+  bool enabled_ = false;
+  std::array<double, kFaultKindCount> rates_{};
+  uint32_t max_faults_per_target_ = std::numeric_limits<uint32_t>::max();
+  std::map<std::pair<uint8_t, std::string>, TargetState, std::less<>>
+      counters_;
+  std::vector<FaultRecord> trace_;
+};
+
+}  // namespace wasmctr::sim

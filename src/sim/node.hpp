@@ -10,6 +10,7 @@
 #include "mem/cgroup.hpp"
 #include "mem/node_memory.hpp"
 #include "sim/cpu.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 #include "sim/process.hpp"
 #include "sim/resource.hpp"
@@ -35,7 +36,8 @@ class Node {
         memory_(config.ram, config.base_used),
         procs_(memory_),
         daemon_lock_(kernel_),
-        rng_(config.seed) {}
+        rng_(config.seed),
+        faults_(kernel_, config.seed) {}
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -49,6 +51,7 @@ class Node {
   [[nodiscard]] SerialQueue& daemon_lock() noexcept { return daemon_lock_; }
   [[nodiscard]] wasi::VirtualFs& fs() noexcept { return fs_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
 
   /// Stable FileId per named file (shared libraries, images): every mapper
   /// of "libwamr.so" shares one set of physical pages.
@@ -75,6 +78,7 @@ class Node {
   SerialQueue daemon_lock_;
   wasi::VirtualFs fs_;
   Rng rng_;
+  FaultInjector faults_;
   std::map<std::string, mem::FileId> files_;
 };
 

@@ -16,6 +16,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kTrap: return "trap";
     case ErrorCode::kPermissionDenied: return "permission denied";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -34,10 +34,32 @@ enum class ErrorCode {
   kInternal,          ///< Invariant breach; indicates a bug in wasmctr.
   kTrap,              ///< WebAssembly trap surfaced to the embedder.
   kPermissionDenied,  ///< Sandbox/WASI rights violation.
+  kUnavailable,       ///< Transient service failure; safe to retry.
 };
 
 /// Human-readable name of an ErrorCode ("malformed", "trap", ...).
 std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Retryability classification (the single source of truth the kubelet and
+/// containerd consult — no string matching on messages).
+///
+/// Transient: the identical call may succeed if simply retried, possibly
+/// after a backoff (a crashed shim, a CRI hiccup, an interrupted sandbox
+/// setup). Everything else either can never succeed (config errors) or
+/// needs state to change first (OOM needs headroom, a trap needs a fixed
+/// module).
+constexpr bool is_transient_code(ErrorCode code) noexcept {
+  return code == ErrorCode::kUnavailable;
+}
+
+/// Retryable-after-restart: a fresh container attempt may succeed even
+/// though the same immediate call would not — the crash-loop restart set.
+/// Supersets the transient codes with workload-death codes (OOM kills,
+/// traps, engine-internal crashes).
+constexpr bool is_retryable_failure_code(ErrorCode code) noexcept {
+  return is_transient_code(code) || code == ErrorCode::kResourceExhausted ||
+         code == ErrorCode::kTrap || code == ErrorCode::kInternal;
+}
 
 /// A success-or-error value. Cheap to copy on success (no allocation).
 class [[nodiscard]] Status {
@@ -56,6 +78,14 @@ class [[nodiscard]] Status {
 
   [[nodiscard]] ErrorCode code() const noexcept { return code_; }
   [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// See is_transient_code / is_retryable_failure_code.
+  [[nodiscard]] bool is_transient() const noexcept {
+    return is_transient_code(code_);
+  }
+  [[nodiscard]] bool is_retryable_failure() const noexcept {
+    return is_retryable_failure_code(code_);
+  }
 
   /// "malformed: unexpected end of section" style rendering.
   [[nodiscard]] std::string to_string() const;
@@ -102,6 +132,9 @@ inline Status trap_error(std::string msg) {
 }
 inline Status permission_denied(std::string msg) {
   return {ErrorCode::kPermissionDenied, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
 }
 
 /// Value-or-Status. Accessing value() on an error is a programming bug

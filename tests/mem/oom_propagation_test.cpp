@@ -1,0 +1,103 @@
+// OOM propagation through the OCI layer: a cgroup memory.max breach must
+// surface as kResourceExhausted, stop the container with exit code 137
+// (SIGKILL), release the workload process, and leave the record removable.
+#include <gtest/gtest.h>
+
+#include "oci/runtime.hpp"
+#include "pylite/scripts.hpp"
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::oci {
+namespace {
+
+class OomPropagationTest : public ::testing::Test {
+ protected:
+  void write_wasm_bundle(const std::string& path, uint64_t memory_limit) {
+    RuntimeSpec spec;
+    spec.args = {"app.wasm"};
+    spec.annotations["run.oci.handler"] = "wasm";
+    spec.memory_limit = memory_limit;
+    Payload payload;
+    payload.kind = Payload::Kind::kWasm;
+    payload.wasm = wasm::build_minimal_microservice();
+    ASSERT_TRUE(write_bundle(node_.fs(), path, spec, payload).is_ok());
+  }
+
+  Status start_and_run(LowLevelRuntime& rt, const std::string& id) {
+    Status result = internal_error("callback never fired");
+    EXPECT_TRUE(
+        rt.start(id, [&](Status st) { result = std::move(st); }).is_ok());
+    node_.kernel().run();
+    return result;
+  }
+
+  sim::Node node_;
+};
+
+TEST_F(OomPropagationTest, StartupOomStopsContainerWithExit137) {
+  // 64 KiB cannot hold any workload: the first charge breaches memory.max.
+  write_wasm_bundle("b/oom", 64 * 1024);
+  Crun crun(node_, engines::EngineKind::kWamr);
+  ASSERT_TRUE(crun.create("c1", "b/oom", "pod/c1").is_ok());
+
+  const Status st = start_and_run(crun, "c1");
+  EXPECT_EQ(st.code(), ErrorCode::kResourceExhausted);
+  EXPECT_TRUE(st.is_retryable_failure());
+  EXPECT_FALSE(st.is_transient());
+
+  auto info = crun.state("c1");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info->state, ContainerState::kStopped);
+  EXPECT_EQ(info->exit_code, kOomKillExitCode);
+  EXPECT_EQ(info->pid, 0u) << "the OOM-killed process must be reaped";
+
+  // The stopped container is removable and teardown releases everything.
+  ASSERT_TRUE(crun.remove("c1").is_ok());
+  EXPECT_EQ(node_.memory().anon_total().value, 0u);
+}
+
+TEST_F(OomPropagationTest, RunningContainerOomKilledOnGrowth) {
+  // A limit generous enough to start, too small for a later spike.
+  write_wasm_bundle("b/grow", 32ull << 20);  // 32 MiB
+  Crun crun(node_, engines::EngineKind::kWamr);
+  ASSERT_TRUE(crun.create("c1", "b/grow", "pod/c1").is_ok());
+  ASSERT_TRUE(start_and_run(crun, "c1").is_ok());
+  ASSERT_EQ(crun.state("c1")->state, ContainerState::kRunning);
+
+  // A small spike fits...
+  EXPECT_TRUE(crun.grow_memory("c1", Bytes(1ull << 20)).is_ok());
+  // ... a 64 MiB one breaches the 32 MiB memory.max.
+  const Status oom = crun.grow_memory("c1", Bytes(64ull << 20));
+  EXPECT_EQ(oom.code(), ErrorCode::kResourceExhausted);
+
+  auto info = crun.state("c1");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info->state, ContainerState::kStopped);
+  EXPECT_EQ(info->exit_code, kOomKillExitCode);
+  EXPECT_EQ(info->pid, 0u);
+  ASSERT_TRUE(crun.remove("c1").is_ok());
+  EXPECT_EQ(node_.memory().anon_total().value, 0u)
+      << "OOM teardown must not leak node memory";
+}
+
+TEST_F(OomPropagationTest, GrowWithoutLimitSucceeds) {
+  write_wasm_bundle("b/nolimit", 0);
+  Crun crun(node_, engines::EngineKind::kWamr);
+  ASSERT_TRUE(crun.create("c1", "b/nolimit", "pod/c1").is_ok());
+  ASSERT_TRUE(start_and_run(crun, "c1").is_ok());
+  EXPECT_TRUE(crun.grow_memory("c1", Bytes(256ull << 20)).is_ok());
+  EXPECT_EQ(crun.state("c1")->state, ContainerState::kRunning);
+}
+
+TEST_F(OomPropagationTest, GrowRequiresRunningContainer) {
+  write_wasm_bundle("b/created", 0);
+  Crun crun(node_, engines::EngineKind::kWamr);
+  ASSERT_TRUE(crun.create("c1", "b/created", "pod/c1").is_ok());
+  EXPECT_EQ(crun.grow_memory("c1", Bytes(1)).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(crun.grow_memory("ghost", Bytes(1)).code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace wasmctr::oci

@@ -1,0 +1,128 @@
+// FaultInjector unit tests: determinism, rate semantics, per-target caps,
+// and the trace used for same-seed comparisons.
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::sim {
+namespace {
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  EXPECT_FALSE(faults.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(faults.should_fault(FaultKind::kCriTransient, "pod-1"));
+  }
+  EXPECT_EQ(faults.faults_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, RateOneAlwaysFires) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  faults.set_rate(FaultKind::kShimCrash, 1.0);
+  EXPECT_TRUE(faults.enabled());
+  EXPECT_TRUE(faults.should_fault(FaultKind::kShimCrash, "pod-1"));
+  // Other kinds keep their zero rate.
+  EXPECT_FALSE(faults.should_fault(FaultKind::kOomKill, "pod-1"));
+  EXPECT_EQ(faults.faults_injected(), 1u);
+}
+
+TEST(FaultInjectorTest, PerTargetCapMakesFaultsTransient) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  faults.set_rate(FaultKind::kCriTransient, 1.0);
+  faults.set_max_faults_per_target(3);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (faults.should_fault(FaultKind::kCriTransient, "pod-1")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  // Caps are per (kind, target): a different pod gets its own budget, as
+  // does a different kind on the same pod.
+  EXPECT_TRUE(faults.should_fault(FaultKind::kCriTransient, "pod-2"));
+  faults.set_rate(FaultKind::kWasmTrap, 1.0);
+  EXPECT_TRUE(faults.should_fault(FaultKind::kWasmTrap, "pod-1"));
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  auto decisions = [](uint64_t seed) {
+    Kernel kernel;
+    FaultInjector faults(kernel, seed);
+    faults.set_rate_all(0.3);
+    std::vector<bool> out;
+    for (int pod = 0; pod < 20; ++pod) {
+      for (int occ = 0; occ < 5; ++occ) {
+        out.push_back(faults.should_fault(FaultKind::kSandboxCreate,
+                                          "pod-" + std::to_string(pod)));
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(decisions(7), decisions(7));
+  EXPECT_NE(decisions(7), decisions(8));
+}
+
+TEST(FaultInjectorTest, DecisionsIndependentOfInterleaving) {
+  // The verdict for (kind, target, occurrence) must not depend on the
+  // order decisions are asked in — the property that keeps same-seed
+  // event traces identical under concurrent pod startups.
+  Kernel kernel;
+  FaultInjector forward(kernel, 99);
+  FaultInjector backward(kernel, 99);
+  forward.set_rate_all(0.5);
+  backward.set_rate_all(0.5);
+
+  std::map<std::string, bool> first, second;
+  for (int pod = 0; pod < 10; ++pod) {
+    const std::string name = "pod-" + std::to_string(pod);
+    first[name] = forward.should_fault(FaultKind::kEngineInstantiate, name);
+  }
+  for (int pod = 9; pod >= 0; --pod) {
+    const std::string name = "pod-" + std::to_string(pod);
+    second[name] = backward.should_fault(FaultKind::kEngineInstantiate, name);
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectorTest, RateRoughlyHonored) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 1234);
+  faults.set_rate(FaultKind::kOomKill, 0.1);
+  int fired = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (faults.should_fault(FaultKind::kOomKill,
+                            "pod-" + std::to_string(i))) {
+      ++fired;
+    }
+  }
+  EXPECT_GT(fired, kTrials / 20);   // > 5 %
+  EXPECT_LT(fired, kTrials * 3 / 20);  // < 15 %
+}
+
+TEST(FaultInjectorTest, TraceRecordsTimeKindTargetOccurrence) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  faults.set_rate(FaultKind::kShimCrash, 1.0);
+  kernel.schedule_after(sim_s(2.5), [&] {
+    ASSERT_TRUE(faults.should_fault(FaultKind::kShimCrash, "pod-x"));
+  });
+  kernel.run();
+  ASSERT_EQ(faults.trace().size(), 1u);
+  const FaultRecord& r = faults.trace()[0];
+  EXPECT_EQ(r.time, sim_s(2.5));
+  EXPECT_EQ(r.kind, FaultKind::kShimCrash);
+  EXPECT_EQ(r.target, "pod-x");
+  EXPECT_EQ(r.occurrence, 0u);
+  EXPECT_EQ(faults.trace_string(), "t=2.500000s shim-crash pod-x #0\n");
+}
+
+TEST(FaultInjectorTest, EveryKindHasAName) {
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    EXPECT_STRNE(fault_kind_name(static_cast<FaultKind>(k)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace wasmctr::sim

@@ -33,12 +33,49 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(internal_error("").code(), ErrorCode::kInternal);
   EXPECT_EQ(trap_error("").code(), ErrorCode::kTrap);
   EXPECT_EQ(permission_denied("").code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(unavailable("").code(), ErrorCode::kUnavailable);
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kPermissionDenied); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnavailable); ++c) {
     EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "unknown");
   }
+}
+
+TEST(StatusTest, TransientClassification) {
+  // Only kUnavailable is transient: the identical call may succeed on a
+  // plain retry. Everything else needs state to change first.
+  EXPECT_TRUE(is_transient_code(ErrorCode::kUnavailable));
+  EXPECT_TRUE(unavailable("shim died").is_transient());
+  for (const ErrorCode c :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kMalformed,
+        ErrorCode::kValidation, ErrorCode::kNotFound,
+        ErrorCode::kAlreadyExists, ErrorCode::kFailedPrecondition,
+        ErrorCode::kResourceExhausted, ErrorCode::kUnimplemented,
+        ErrorCode::kInternal, ErrorCode::kTrap,
+        ErrorCode::kPermissionDenied}) {
+    EXPECT_FALSE(is_transient_code(c)) << error_code_name(c);
+  }
+}
+
+TEST(StatusTest, RetryableFailureClassification) {
+  // The crash-loop restart set: transient errors plus workload deaths
+  // (OOM kill, trap, engine-internal crash).
+  for (const ErrorCode c : {ErrorCode::kUnavailable,
+                            ErrorCode::kResourceExhausted, ErrorCode::kTrap,
+                            ErrorCode::kInternal}) {
+    EXPECT_TRUE(is_retryable_failure_code(c)) << error_code_name(c);
+  }
+  // Config/spec errors can never succeed on retry.
+  for (const ErrorCode c :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kMalformed,
+        ErrorCode::kValidation, ErrorCode::kNotFound,
+        ErrorCode::kAlreadyExists, ErrorCode::kFailedPrecondition,
+        ErrorCode::kUnimplemented, ErrorCode::kPermissionDenied}) {
+    EXPECT_FALSE(is_retryable_failure_code(c)) << error_code_name(c);
+  }
+  EXPECT_TRUE(resource_exhausted("oom").is_retryable_failure());
+  EXPECT_FALSE(resource_exhausted("oom").is_transient());
 }
 
 TEST(ResultTest, HoldsValue) {
