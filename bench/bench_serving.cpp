@@ -1,0 +1,233 @@
+// Serving bench — request traffic over live engine instances (DESIGN.md
+// §8): Deployments of Wasm (crun-wamr) and Python (runc) request services
+// behind load-balanced Services, driven by open-loop Poisson traffic at
+// the paper's densities (10/100/400 pods), with and without a 10 %
+// injected fault rate plus deterministic mid-traffic churn (an OOM-killed
+// Wasm replica, a deleted Python replica). Checks: ≥99 % of requests
+// eventually served everywhere, ready replicas back at spec with zero
+// leaked scheduler slots, cold+warm bookkeeping exact, and bit-identical
+// same-seed traces.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support/report.hpp"
+#include "serve/traffic.hpp"
+
+using namespace wasmctr;
+using namespace wasmctr::bench;
+
+namespace {
+
+struct ClassStats {
+  std::string runtime_class;
+  uint32_t replicas = 0;
+  uint32_t served = 0;
+  uint32_t failed = 0;
+  uint32_t retries = 0;
+  uint32_t cold = 0;
+  uint32_t warm = 0;
+  serve::LatencyStats lat;
+  double throughput = 0;
+  std::string trace;
+};
+
+struct ServingRun {
+  uint32_t density = 0;
+  bool faults = false;
+  uint32_t ready_wasm = 0;
+  uint32_t ready_py = 0;
+  uint32_t bound_slots = 0;
+  uint32_t kubelet_active = 0;
+  uint64_t faults_injected = 0;
+  std::string endpoints_trace;
+  ClassStats wasm;
+  ClassStats py;
+};
+
+serve::DeploymentSpec deployment(const std::string& name,
+                                 const std::string& image,
+                                 const std::string& runtime_class,
+                                 uint32_t replicas, uint64_t memory_limit) {
+  serve::DeploymentSpec spec;
+  spec.name = name;
+  spec.replicas = replicas;
+  spec.pod_template.image = image;
+  spec.pod_template.runtime_class = runtime_class;
+  spec.pod_template.restart_policy = k8s::RestartPolicy::kOnFailure;
+  spec.pod_template.memory_limit = memory_limit;
+  return spec;
+}
+
+ServingRun run_serving(uint32_t density, bool faults) {
+  k8s::ClusterOptions opts;
+  opts.restart_policy = k8s::RestartPolicy::kOnFailure;
+  k8s::Cluster cluster(opts);
+  if (faults) {
+    cluster.node().faults().set_rate_all(0.10);
+    cluster.node().faults().set_max_faults_per_target(3);
+  }
+
+  const uint32_t wasm_replicas = density / 2;
+  const uint32_t py_replicas = density - wasm_replicas;
+  k8s::Service wsvc;
+  wsvc.name = "wasm-svc";
+  wsvc.selector = {{"app", "wsrv"}};
+  wsvc.policy = k8s::LbPolicy::kLeastOutstanding;
+  k8s::Service psvc;
+  psvc.name = "py-svc";
+  psvc.selector = {{"app", "psrv"}};
+  psvc.policy = k8s::LbPolicy::kRoundRobin;
+  if (!cluster.api().create_service(wsvc).is_ok() ||
+      !cluster.api().create_service(psvc).is_ok() ||
+      !cluster.deployments()
+           .create(deployment("wsrv", "request-service:wasm", "crun-wamr",
+                              wasm_replicas, 64ull << 20))
+           .is_ok() ||
+      !cluster.deployments()
+           .create(deployment("psrv", "request-service:python", "runc",
+                              py_replicas, 0))
+           .is_ok()) {
+    std::fprintf(stderr, "setup failed at density %u\n", density);
+    std::exit(1);
+  }
+  cluster.run();  // start every replica before traffic begins
+
+  serve::TrafficOptions wopts;
+  wopts.service = "wasm-svc";
+  wopts.total_requests = 2 * density;
+  wopts.rate_rps = 2.0 * density;
+  wopts.seed = 0x7001;
+  serve::TrafficDriver wasm_driver(cluster.node().kernel(), cluster.api(),
+                                   cluster.cri(), cluster.endpoints(),
+                                   wopts);
+  serve::TrafficOptions popts = wopts;
+  popts.service = "py-svc";
+  popts.seed = 0x7002;
+  serve::TrafficDriver py_driver(cluster.node().kernel(), cluster.api(),
+                                 cluster.cri(), cluster.endpoints(), popts);
+  wasm_driver.start();
+  py_driver.start();
+
+  if (faults) {
+    // Deterministic mid-traffic churn: one Wasm replica OOM-kills while
+    // its cold instantiation (with requests queued behind it) is still in
+    // flight (cgroup breach → CrashLoopBackOff → in-place restart), and
+    // one Python replica is deleted outright (the Deployment replaces it).
+    cluster.node().kernel().schedule_after(sim_s(0.1), [&cluster] {
+      const k8s::Pod* pod = cluster.api().pod("wsrv-00000");
+      if (pod == nullptr || pod->status.container_id.empty()) return;
+      (void)cluster.cri().grow_container_memory(pod->status.container_id,
+                                                Bytes(128ull << 20));
+    });
+    cluster.node().kernel().schedule_after(sim_s(0.35), [&cluster] {
+      (void)cluster.api().delete_pod("psrv-00000");
+    });
+  }
+  cluster.run();
+
+  ServingRun r;
+  r.density = density;
+  r.faults = faults;
+  r.ready_wasm = cluster.deployments().ready_replicas("wsrv");
+  r.ready_py = cluster.deployments().ready_replicas("psrv");
+  r.bound_slots = cluster.scheduler().bound_count();
+  r.kubelet_active = cluster.kubelet().active_pods();
+  r.faults_injected = cluster.node().faults().faults_injected();
+  r.endpoints_trace = cluster.endpoints().trace_string();
+  const auto collect = [](const serve::TrafficDriver& d,
+                          const char* runtime_class, uint32_t replicas) {
+    ClassStats s;
+    s.runtime_class = runtime_class;
+    s.replicas = replicas;
+    s.served = d.served();
+    s.failed = d.failed();
+    s.retries = d.retries();
+    s.cold = d.cold_hits();
+    s.warm = d.warm_hits();
+    s.lat = d.latency();
+    s.throughput = d.throughput_rps();
+    s.trace = d.trace_string();
+    return s;
+  };
+  r.wasm = collect(wasm_driver, "crun-wamr", wasm_replicas);
+  r.py = collect(py_driver, "runc-python", py_replicas);
+  return r;
+}
+
+void print_class(const ServingRun& r, const ClassStats& s) {
+  std::printf("%8u %6s %-12s %6u %6u %7u %5u %5u %9.2f %9.2f %9.2f %9.1f\n",
+              r.density, r.faults ? "10%" : "off", s.runtime_class.c_str(),
+              s.served, s.failed, s.retries, s.cold, s.warm, s.lat.p50_ms,
+              s.lat.p95_ms, s.lat.p99_ms, s.throughput);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "serving: request traffic over Deployments (wasm=crun-wamr "
+      "least-outstanding, python=runc round-robin),\n"
+      "2*density requests/class at 2*density rps; fault mode = 10 %% "
+      "lifecycle faults + mid-traffic OOM kill + pod delete\n\n");
+  std::printf("%8s %6s %-12s %6s %6s %7s %5s %5s %9s %9s %9s %9s\n",
+              "density", "faults", "class", "served", "failed", "retries",
+              "cold", "warm", "p50-ms", "p95-ms", "p99-ms", "rps");
+
+  ShapeChecks checks;
+  std::vector<ServingRun> runs;
+  for (const uint32_t density : {10u, 100u, 400u}) {
+    for (const bool faults : {false, true}) {
+      runs.push_back(run_serving(density, faults));
+      const ServingRun& r = runs.back();
+      print_class(r, r.wasm);
+      print_class(r, r.py);
+
+      const std::string tag = "density " + std::to_string(density) +
+                              (faults ? " +faults" : "");
+      for (const ClassStats* s : {&r.wasm, &r.py}) {
+        const auto total = static_cast<double>(s->served + s->failed);
+        checks.check(s->served >= 0.99 * total,
+                     s->runtime_class + " >=99% served, " + tag, 99.0,
+                     100.0 * s->served / total);
+        checks.check(s->cold + s->warm == s->served,
+                     s->runtime_class + " cold+warm bookkeeping, " + tag);
+        checks.check(s->served == 0 || s->lat.p50_ms > 0.0,
+                     s->runtime_class + " latency recorded, " + tag);
+      }
+      checks.check(r.ready_wasm == r.wasm.replicas &&
+                       r.ready_py == r.py.replicas,
+                   "ready replicas back at spec, " + tag,
+                   r.wasm.replicas + r.py.replicas,
+                   static_cast<double>(r.ready_wasm + r.ready_py));
+      checks.check(r.bound_slots == r.ready_wasm + r.ready_py,
+                   "zero leaked scheduler slots, " + tag,
+                   r.ready_wasm + r.ready_py,
+                   static_cast<double>(r.bound_slots));
+      checks.check(r.kubelet_active == r.ready_wasm + r.ready_py,
+                   "zero leaked kubelet bookkeeping, " + tag);
+      if (faults) {
+        checks.check(r.wasm.retries + r.py.retries > 0,
+                     "churn exercised the retry path, " + tag);
+      }
+    }
+  }
+  std::printf("\n");
+
+  // Determinism: re-run the hardest cell (density 400, faults) and demand
+  // bit-identical request and endpoint traces.
+  const ServingRun again = run_serving(400, true);
+  const ServingRun& first = runs.back();
+  checks.check(again.wasm.trace == first.wasm.trace &&
+                   !again.wasm.trace.empty(),
+               "same-seed identical wasm request trace");
+  checks.check(again.py.trace == first.py.trace,
+               "same-seed identical python request trace");
+  checks.check(again.endpoints_trace == first.endpoints_trace,
+               "same-seed identical endpoint churn");
+  checks.check(again.faults_injected == first.faults_injected,
+               "same-seed identical fault plan",
+               static_cast<double>(first.faults_injected),
+               static_cast<double>(again.faults_injected));
+  return checks.summarize("serving");
+}

@@ -1,10 +1,30 @@
 #include "containerd/containerd.hpp"
 
+#include <algorithm>
+
 #include "support/log.hpp"
 
 namespace wasmctr::containerd {
 
 using engines::kInfra;
+
+namespace {
+
+/// One shim engine installation per kind per process — runwasi shims link
+/// the engine statically, and every pod's shim maps the same binary.
+const engines::Engine& shim_engine(engines::EngineKind kind) {
+  static const engines::Engine wasmtime =
+      engines::make_shim_engine(engines::EngineKind::kWasmtime);
+  static const engines::Engine wasmer =
+      engines::make_shim_engine(engines::EngineKind::kWasmer);
+  static const engines::Engine wasmedge =
+      engines::make_shim_engine(engines::EngineKind::kWasmEdge);
+  return kind == engines::EngineKind::kWasmtime
+             ? wasmtime
+             : (kind == engines::EngineKind::kWasmer ? wasmer : wasmedge);
+}
+
+}  // namespace
 
 Containerd::Containerd(sim::Node& node, ImageStore& images)
     : node_(node), images_(images) {}
@@ -259,16 +279,7 @@ void Containerd::start_via_runwasi(const std::string& container_id,
                                                         std::move(on_running)] {
     auto rec_it = containers_.find(container_id);
     if (rec_it == containers_.end()) return;
-    static const engines::Engine wasmtime =
-        engines::make_shim_engine(engines::EngineKind::kWasmtime);
-    static const engines::Engine wasmer =
-        engines::make_shim_engine(engines::EngineKind::kWasmer);
-    static const engines::Engine wasmedge =
-        engines::make_shim_engine(engines::EngineKind::kWasmEdge);
-    const engines::Engine& engine =
-        kind == engines::EngineKind::kWasmtime
-            ? wasmtime
-            : (kind == engines::EngineKind::kWasmer ? wasmer : wasmedge);
+    const engines::Engine& engine = shim_engine(kind);
 
     // The shim process boots, then loads/compiles the module in-process.
     auto image = images_.get(rec_it->second.image);
@@ -404,32 +415,50 @@ void Containerd::start_via_runwasi(const std::string& container_id,
   });
 }
 
+Status Containerd::remove_container(const std::string& container_id) {
+  auto rec_it = containers_.find(container_id);
+  if (rec_it == containers_.end()) {
+    return not_found("container " + container_id);
+  }
+  ContainerRecord& rec = rec_it->second;
+  if (rec.serve) {
+    rec.serve->close(unavailable("container " + container_id + " removed"));
+    rec.serve.reset();
+  }
+  if (rec.path == HandlerPath::kRuncV2) {
+    auto hc = handlers_.find(rec.handler);
+    if (hc != handlers_.end()) {
+      if (oci::LowLevelRuntime* runtime = runtime_for(hc->second)) {
+        (void)runtime->kill(container_id);
+        (void)runtime->remove(container_id);
+      }
+    }
+  } else {
+    if (rec.shim_pid != 0) {
+      (void)node_.procs().kill(rec.shim_pid);
+    }
+    if (rec.node_extra.value != 0) {
+      node_.memory().uncharge_anon(rec.node_extra, nullptr);
+    }
+    (void)node_.cgroups().remove(rec.info.cgroup_path);
+  }
+  images_.release_layers(rec.image);
+  if (auto sb = sandboxes_.find(rec.sandbox_id); sb != sandboxes_.end()) {
+    auto& ids = sb->second.container_ids;
+    ids.erase(std::remove(ids.begin(), ids.end(), container_id), ids.end());
+  }
+  containers_.erase(rec_it);
+  return Status::ok();
+}
+
 Status Containerd::remove_pod_sandbox(const std::string& sandbox_id) {
   auto sb = sandboxes_.find(sandbox_id);
   if (sb == sandboxes_.end()) return not_found("sandbox " + sandbox_id);
 
-  for (const std::string& cid : sb->second.container_ids) {
-    auto rec = containers_.find(cid);
-    if (rec == containers_.end()) continue;
-    if (rec->second.path == HandlerPath::kRuncV2) {
-      auto hc = handlers_.find(rec->second.handler);
-      if (hc != handlers_.end()) {
-        if (oci::LowLevelRuntime* runtime = runtime_for(hc->second)) {
-          (void)runtime->kill(cid);
-          (void)runtime->remove(cid);
-        }
-      }
-    } else {
-      if (rec->second.shim_pid != 0) {
-        (void)node_.procs().kill(rec->second.shim_pid);
-      }
-      if (rec->second.node_extra.value != 0) {
-        node_.memory().uncharge_anon(rec->second.node_extra, nullptr);
-      }
-      (void)node_.cgroups().remove(rec->second.info.cgroup_path);
-    }
-    images_.release_layers(rec->second.image);
-    containers_.erase(rec);
+  // remove_container unlinks each id from the sandbox; iterate a copy.
+  const std::vector<std::string> cids = sb->second.container_ids;
+  for (const std::string& cid : cids) {
+    (void)remove_container(cid);
   }
 
   if (auto shim = shims_.find(sandbox_id); shim != shims_.end()) {
@@ -492,6 +521,11 @@ Status Containerd::grow_container_memory(const std::string& container_id,
   }
   Status st = proc->add_anon(delta);
   if (st.is_ok()) return st;
+  if (rec.serve) {
+    rec.serve->close(unavailable("container " + container_id +
+                                 " OOM-killed"));
+    rec.serve.reset();
+  }
   (void)node_.procs().kill(rec.shim_pid);
   rec.shim_pid = 0;
   rec.info.pid = 0;
@@ -501,6 +535,72 @@ Status Containerd::grow_container_memory(const std::string& container_id,
       << "container " << container_id << " OOM-killed: " << st.to_string();
   notify_exit(container_id, st);
   return st;
+}
+
+void Containerd::invoke_container(const std::string& container_id,
+                                  int32_t arg, engines::InvokeCallback done) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) {
+    if (done) done(not_found("container " + container_id));
+    return;
+  }
+  ContainerRecord& rec = it->second;
+
+  // Cold requests grow the pod's memory by the new instance's resident
+  // bytes through the real charging path: a tight limit OOM-kills the
+  // container mid-serving and the exit watchers drive restart policy.
+  auto charging_done = [this, container_id, done = std::move(done)](
+                           Result<engines::InvokeReport> r) mutable {
+    if (r && r->cold && r->resident.value > 0) {
+      Status st = grow_container_memory(container_id, r->resident);
+      if (st.code() == ErrorCode::kResourceExhausted) {
+        if (done) {
+          done(unavailable("container " + container_id +
+                           " OOM-killed while serving"));
+        }
+        return;
+      }
+    }
+    if (done) done(std::move(r));
+  };
+
+  if (rec.path == HandlerPath::kRuncV2) {
+    auto hc = handlers_.find(rec.handler);
+    oci::LowLevelRuntime* runtime =
+        hc == handlers_.end() ? nullptr : runtime_for(hc->second);
+    if (runtime == nullptr) {
+      charging_done(not_found("oci runtime for " + container_id));
+      return;
+    }
+    runtime->invoke(container_id, arg, std::move(charging_done));
+    return;
+  }
+
+  // Runwasi: the engine lives in the shim process.
+  if (rec.info.state != oci::ContainerState::kRunning) {
+    charging_done(unavailable("container " + container_id + " is " +
+                              oci::container_state_name(rec.info.state)));
+    return;
+  }
+  if (!rec.serve) {
+    auto hc = handlers_.find(rec.handler);
+    if (hc == handlers_.end() || !hc->second.engine) {
+      charging_done(failed_precondition("container " + container_id +
+                                        " has no serving engine"));
+      return;
+    }
+    wasi::WasiOptions opts;
+    opts.args = rec.bundle.spec.args;
+    opts.env = rec.bundle.spec.env;
+    const std::string rootfs =
+        rec.bundle.path + "/" + rec.bundle.spec.root_path;
+    opts.preopens.emplace_back("/data", rootfs + "/data");
+    opts.preopens.emplace_back("/tmp", rootfs + "/tmp");
+    rec.serve = std::make_unique<engines::ServeSlot>(
+        node_, shim_engine(*hc->second.engine), rec.bundle.payload.wasm,
+        std::move(opts));
+  }
+  rec.serve->invoke(arg, std::move(charging_done));
 }
 
 Result<const SandboxInfo*> Containerd::sandbox(const std::string& id) const {

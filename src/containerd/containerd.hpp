@@ -85,6 +85,18 @@ class Containerd {
   /// pause container and the pod cgroup.
   Status remove_pod_sandbox(const std::string& sandbox_id);
 
+  /// RemoveContainer: tear down one container, leaving its sandbox (pause
+  /// container, pod cgroup, shim) intact — what an in-place restart
+  /// removes before recreating the container inside the same sandbox.
+  Status remove_container(const std::string& container_id);
+
+  /// Dispatch one request to a running container's handler (CRI → OCI →
+  /// engine, DESIGN.md §8). On a cold hit the new serving instance's
+  /// resident bytes are charged to the pod cgroup via
+  /// grow_container_memory — a tight limit can OOM-kill mid-serving.
+  void invoke_container(const std::string& container_id, int32_t arg,
+                        engines::InvokeCallback done);
+
   [[nodiscard]] Result<const SandboxInfo*> sandbox(
       const std::string& id) const;
   [[nodiscard]] std::size_t sandbox_count() const noexcept {
@@ -126,6 +138,9 @@ class Containerd {
     Bytes node_extra{0};
     oci::ContainerInfo info;  // runwasi-managed state
     oci::Bundle bundle;
+    /// Live runwasi serving instance (runc-v2 path keeps its slot in the
+    /// low-level runtime's record instead).
+    std::unique_ptr<engines::ServeSlot> serve;
   };
 
   oci::LowLevelRuntime* runtime_for(const HandlerConfig& config);

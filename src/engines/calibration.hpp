@@ -167,6 +167,27 @@ struct InfraCalibration {
   double runwasi_serial_per_conn_wasmtime_s = 0.00064;
   double runwasi_serial_per_conn_wasmedge_s = 0.00054;
   double runwasi_serial_per_conn_wasmer_s = 0.00085;
+
+  // --- restart (serving/recovery) ---
+  /// Kubelet sync latency when restarting a container inside an existing
+  /// sandbox: no scheduler round-trip, no CNI, no pause start — just the
+  /// kubelet noticing the dead container on its sync loop. Compare
+  /// fixed_latency_s + sandbox_cpu_s for the full-recreation path.
+  double restart_sync_latency_s = 0.08;
+
+  // --- request serving (invoke path) ---
+  /// Fixed per-request overhead: CRI round-trip, shim dispatch, WASI fd
+  /// setup for the response.
+  double invoke_overhead_cpu_s = 0.0003;
+  /// Per 1000 guest instructions, interpreter tier (WAMR, pylite).
+  double invoke_interp_cpu_s_per_kinst = 0.00005;
+  /// Per 1000 guest instructions, JIT tier (wasmtime/wasmer/wasmedge).
+  double invoke_jit_cpu_s_per_kinst = 0.000006;
+  /// Cold request: fraction of the engine's init paid to stand up a
+  /// serving instance inside an already-running container process.
+  double serve_instantiate_fraction = 0.35;
+  /// Cold request on the Python path: compiling the handler function.
+  double python_handler_compile_cpu_s = 0.02;
 };
 
 constexpr InfraCalibration kInfra{};

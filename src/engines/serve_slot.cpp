@@ -1,0 +1,250 @@
+#include "engines/serve_slot.hpp"
+
+#include <deque>
+#include <utility>
+#include <variant>
+
+#include "pylite/ast.hpp"
+#include "pylite/interp.hpp"
+#include "sim/node.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/exec/instance.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasmctr::engines {
+
+// Shared between the slot handle and the CPU-burst callbacks in flight:
+// a container teardown can close the slot while a request's burst is
+// still scheduled, so the state must outlive the handle.
+struct ServeSlot::State {
+  enum class Kind { kWasm, kPython };
+
+  Kind kind;
+  sim::Node* node = nullptr;
+
+  // Wasm flavor. `ctx` is declared before `instance` so the instance
+  // (whose host funcs point into the context) is destroyed first.
+  const Engine* engine = nullptr;
+  std::vector<uint8_t> module_bytes;
+  wasi::WasiOptions wasi_options;
+  std::string export_name;
+  std::unique_ptr<wasi::WasiContext> ctx;
+  std::unique_ptr<wasm::Instance> instance;
+
+  // Python flavor.
+  std::string script;
+  std::vector<std::string> argv;
+  std::vector<std::pair<std::string, std::string>> env;
+  std::unique_ptr<pylite::Program> program;
+  std::unique_ptr<pylite::Interp> interp;
+
+  bool closed = false;
+  bool busy = false;
+  Status close_reason = Status::ok();
+  std::deque<std::pair<int32_t, InvokeCallback>> queue;
+  uint64_t served = 0;
+};
+
+namespace {
+
+Result<InvokeReport> run_wasm_request(ServeSlot::State& s, int32_t arg,
+                                      double& cpu_s);
+Result<InvokeReport> run_python_request(ServeSlot::State& s, int32_t arg,
+                                        double& cpu_s);
+
+}  // namespace
+
+ServeSlot::ServeSlot(sim::Node& node, const Engine& engine,
+                     std::vector<uint8_t> module_bytes,
+                     wasi::WasiOptions wasi_options, std::string export_name)
+    : state_(std::make_shared<State>()) {
+  state_->kind = State::Kind::kWasm;
+  state_->node = &node;
+  state_->engine = &engine;
+  state_->module_bytes = std::move(module_bytes);
+  state_->wasi_options = std::move(wasi_options);
+  state_->export_name = std::move(export_name);
+}
+
+ServeSlot::ServeSlot(sim::Node& node, std::string script,
+                     std::vector<std::string> argv,
+                     std::vector<std::pair<std::string, std::string>> env)
+    : state_(std::make_shared<State>()) {
+  state_->kind = State::Kind::kPython;
+  state_->node = &node;
+  state_->script = std::move(script);
+  state_->argv = std::move(argv);
+  state_->env = std::move(env);
+}
+
+ServeSlot::~ServeSlot() {
+  close(unavailable("serving instance destroyed"));
+}
+
+void ServeSlot::invoke(int32_t arg, InvokeCallback done) {
+  if (state_->closed) {
+    if (done) done(state_->close_reason);
+    return;
+  }
+  state_->queue.emplace_back(arg, std::move(done));
+  pump(state_);
+}
+
+void ServeSlot::close(Status reason) {
+  State& s = *state_;
+  if (s.closed) return;
+  s.closed = true;
+  s.close_reason = reason.is_ok()
+                       ? unavailable("serving instance closed")
+                       : std::move(reason);
+  auto pending = std::move(s.queue);
+  s.queue.clear();
+  for (auto& [arg, done] : pending) {
+    (void)arg;
+    if (done) done(s.close_reason);
+  }
+  s.instance.reset();
+  s.ctx.reset();
+  s.interp.reset();
+  s.program.reset();
+}
+
+bool ServeSlot::warm() const noexcept {
+  return state_->instance != nullptr || state_->interp != nullptr;
+}
+
+uint32_t ServeSlot::outstanding() const noexcept {
+  return static_cast<uint32_t>(state_->queue.size()) +
+         (state_->busy ? 1u : 0u);
+}
+
+uint64_t ServeSlot::requests_served() const noexcept {
+  return state_->served;
+}
+
+void ServeSlot::pump(const std::shared_ptr<State>& st) {
+  if (st->closed || st->busy || st->queue.empty()) return;
+  st->busy = true;
+  auto [arg, done] = std::move(st->queue.front());
+  st->queue.pop_front();
+
+  // The guest code runs for real at dispatch; the measured instruction
+  // count then prices the CPU burst that delays the callback in virtual
+  // time (processor sharing with everything else on the node).
+  double cpu_s = 0.0;
+  Result<InvokeReport> result = st->kind == State::Kind::kWasm
+                                    ? run_wasm_request(*st, arg, cpu_s)
+                                    : run_python_request(*st, arg, cpu_s);
+
+  st->node->burst(cpu_s, [st, done = std::move(done),
+                          result = std::move(result)]() mutable {
+    st->busy = false;
+    if (st->closed) {
+      if (done) done(st->close_reason);
+      return;
+    }
+    if (result) ++st->served;
+    if (done) done(std::move(result));
+    pump(st);
+  });
+}
+
+namespace {
+
+Result<InvokeReport> run_wasm_request(ServeSlot::State& s, int32_t arg,
+                                      double& cpu_s) {
+  InvokeReport rep;
+  cpu_s = kInfra.invoke_overhead_cpu_s;
+  if (!s.instance) {
+    // Cold: stand up the serving instance inside the running container.
+    WASMCTR_ASSIGN_OR_RETURN(wasm::Module module,
+                             wasm::decode_module(s.module_bytes));
+    WASMCTR_RETURN_IF_ERROR(wasm::validate_module(module));
+    s.ctx = std::make_unique<wasi::WasiContext>(s.wasi_options,
+                                                s.node->fs());
+    wasm::ImportResolver resolver;
+    s.ctx->register_imports(resolver);
+    wasm::ExecLimits limits;
+    limits.fuel = kRequestFuel;
+    auto inst = wasm::Instance::instantiate(std::move(module), resolver,
+                                            limits);
+    if (!inst) {
+      s.ctx.reset();
+      return inst.status();
+    }
+    s.instance = std::move(*inst);
+    rep.cold = true;
+    const double kib =
+        static_cast<double>(s.module_bytes.size()) / 1024.0;
+    cpu_s += s.engine->profile().init_cpu_s * kInfra.serve_instantiate_fraction +
+             s.engine->profile().load_cpu_s_per_kib * kib;
+  }
+
+  s.instance->set_fuel(kRequestFuel);
+  const uint64_t before = s.instance->instructions_retired();
+  const wasm::Value args[] = {wasm::Value::from_i32(arg)};
+  auto r = s.instance->invoke(s.export_name, args);
+  const uint64_t instructions = s.instance->instructions_retired() - before;
+  rep.instructions = instructions;
+  const double per_kinst = s.engine->kind() == EngineKind::kWamr
+                               ? kInfra.invoke_interp_cpu_s_per_kinst
+                               : kInfra.invoke_jit_cpu_s_per_kinst;
+  cpu_s += per_kinst * static_cast<double>(instructions) / 1000.0;
+  if (!r) return r.status();
+  if (r->has_value()) rep.result = (*r)->i32();
+  if (rep.cold) {
+    rep.resident = Bytes(static_cast<uint64_t>(
+        static_cast<double>(s.instance->resident_bytes() +
+                            s.ctx->resident_bytes()) *
+        s.engine->profile().instance_multiplier));
+  }
+  return rep;
+}
+
+Result<InvokeReport> run_python_request(ServeSlot::State& s, int32_t arg,
+                                        double& cpu_s) {
+  InvokeReport rep;
+  cpu_s = kInfra.invoke_overhead_cpu_s;
+  if (!s.interp) {
+    WASMCTR_ASSIGN_OR_RETURN(pylite::Program program,
+                             pylite::parse_source(s.script));
+    s.program = std::make_unique<pylite::Program>(std::move(program));
+    pylite::InterpOptions opts;
+    opts.argv = s.argv;
+    opts.env = s.env;
+    auto interp = std::make_unique<pylite::Interp>(std::move(opts));
+    Status run_status = interp->run(*s.program);
+    if (!run_status.is_ok()) {
+      s.program.reset();
+      return run_status;
+    }
+    s.interp = std::move(interp);
+    rep.cold = true;
+    cpu_s += kInfra.python_handler_compile_cpu_s;
+  }
+
+  s.interp->set_step_limit(s.interp->steps_executed() + kRequestStepBudget);
+  const uint64_t before = s.interp->steps_executed();
+  std::vector<pylite::PyValue> args;
+  args.push_back(pylite::PyValue::integer(arg));
+  auto r = s.interp->call("handle", std::move(args));
+  const uint64_t steps = s.interp->steps_executed() - before;
+  rep.instructions = steps;
+  cpu_s +=
+      kInfra.invoke_interp_cpu_s_per_kinst * static_cast<double>(steps) / 1000.0;
+  if (!r) return r.status();
+  if (std::holds_alternative<int64_t>(r->v)) {
+    rep.result = static_cast<int32_t>(std::get<int64_t>(r->v));
+  }
+  if (rep.cold) {
+    rep.resident = Bytes(static_cast<uint64_t>(
+        static_cast<double>(s.interp->resident_bytes() +
+                            s.program->resident_bytes()) *
+        kPythonProfile.instance_multiplier));
+  }
+  return rep;
+}
+
+}  // namespace
+
+}  // namespace wasmctr::engines

@@ -1,0 +1,80 @@
+// A live serving instance inside a running container — the engine-layer
+// half of the request path (DESIGN.md §8).
+//
+// A ServeSlot keeps one instantiated module (or one pylite interpreter)
+// alive across requests so warm hits skip instantiation entirely; the
+// first request pays the cold cost and reports the instance's resident
+// bytes so the container layer can charge them to the pod's cgroup.
+// Per-instance concurrency is 1 (the engines here are single-threaded
+// interpreters): concurrent invokes queue FIFO and drain in order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/engine.hpp"
+#include "support/status.hpp"
+
+namespace wasmctr::sim {
+class Node;
+}
+
+namespace wasmctr::engines {
+
+/// One completed request, as seen by the container layer.
+struct InvokeReport {
+  bool cold = false;         ///< this request instantiated the instance
+  int32_t result = 0;        ///< guest handler return value
+  uint64_t instructions = 0; ///< guest instructions (or pylite steps)
+  /// Engine-resident bytes of the freshly built instance (cold only);
+  /// the container layer charges them via grow_container_memory.
+  Bytes resident{0};
+};
+
+using InvokeCallback = std::function<void(Result<InvokeReport>)>;
+
+/// Instruction budget per request — generous but finite, like the
+/// startup fuel (§III-C item 3). Refilled before every request.
+inline constexpr uint64_t kRequestFuel = 50'000'000;
+inline constexpr uint64_t kRequestStepBudget = 1'000'000;
+
+class ServeSlot {
+ public:
+  /// Wasm flavor: serve `export_name` from `module_bytes` on `engine`.
+  ServeSlot(sim::Node& node, const Engine& engine,
+            std::vector<uint8_t> module_bytes, wasi::WasiOptions wasi_options,
+            std::string export_name = "handle");
+
+  /// Python flavor: serve `handle` defined by `script` under pylite.
+  ServeSlot(sim::Node& node, std::string script,
+            std::vector<std::string> argv,
+            std::vector<std::pair<std::string, std::string>> env);
+
+  ServeSlot(const ServeSlot&) = delete;
+  ServeSlot& operator=(const ServeSlot&) = delete;
+  ~ServeSlot();
+
+  /// Run the handler with `arg`. The callback fires after the modeled CPU
+  /// burst completes (virtual time); queued if a request is in flight.
+  void invoke(int32_t arg, InvokeCallback done);
+
+  /// Tear the slot down (container killed/removed). Queued and in-flight
+  /// requests fail with `reason` so callers can retry elsewhere.
+  void close(Status reason);
+
+  [[nodiscard]] bool warm() const noexcept;
+  [[nodiscard]] uint32_t outstanding() const noexcept;
+  [[nodiscard]] uint64_t requests_served() const noexcept;
+
+  struct State;  // implementation detail, defined in serve_slot.cpp
+
+ private:
+  static void pump(const std::shared_ptr<State>& st);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace wasmctr::engines

@@ -64,7 +64,36 @@ Status ApiServer::update_pod_status(const std::string& name,
   Pod* p = pod(name);
   if (p == nullptr) return not_found("pod " + name);
   p->status = std::move(status);
+  for (const PodWatcher& w : status_watchers_) w(*p);
   return Status::ok();
+}
+
+void ApiServer::notify_status(const std::string& name) {
+  const Pod* p = pod(name);
+  if (p == nullptr) return;
+  for (const PodWatcher& w : status_watchers_) w(*p);
+}
+
+Status ApiServer::create_service(Service svc) {
+  if (svc.name.empty()) return invalid_argument("service needs a name");
+  if (services_.contains(svc.name)) {
+    return already_exists("service " + svc.name);
+  }
+  auto [it, _] = services_.emplace(svc.name, std::move(svc));
+  for (const ServiceWatcher& w : service_watchers_) w(it->second);
+  return Status::ok();
+}
+
+const Service* ApiServer::service(const std::string& name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Service*> ApiServer::services() const {
+  std::vector<const Service*> out;
+  out.reserve(services_.size());
+  for (const auto& [_, s] : services_) out.push_back(&s);
+  return out;
 }
 
 Status ApiServer::create_runtime_class(RuntimeClass rc) {

@@ -15,6 +15,7 @@ namespace wasmctr::k8s {
 class ApiServer {
  public:
   using PodWatcher = std::function<void(const Pod&)>;
+  using ServiceWatcher = std::function<void(const Service&)>;
 
   // --- pods ---
   Status create_pod(PodSpec spec);
@@ -26,16 +27,31 @@ class ApiServer {
   /// Bind a pending pod to a node (what the scheduler posts).
   Status bind_pod(const std::string& name, const std::string& node);
 
-  /// Kubelet status updates.
+  /// Kubelet status updates. Fires the status watchers.
   Status update_pod_status(const std::string& name, PodStatus status);
+
+  /// Components (kubelet, scheduler) that mutate a pod's status in place
+  /// call this afterwards so status watchers (endpoints controller,
+  /// deployment controller, scheduler slot release) observe the change.
+  void notify_status(const std::string& name);
 
   /// Watch for newly created pods (scheduler) and bindings (kubelet).
   void watch_created(PodWatcher w) { created_watchers_.push_back(std::move(w)); }
   void watch_bound(PodWatcher w) { bound_watchers_.push_back(std::move(w)); }
+  /// Watch pod status transitions (phase changes and the like).
+  void watch_status(PodWatcher w) { status_watchers_.push_back(std::move(w)); }
   /// Watch deletions (kubelet releases the slot + node memory). The
   /// watcher receives the pod's final state before it leaves the store.
   void watch_deleted(PodWatcher w) {
     deleted_watchers_.push_back(std::move(w));
+  }
+
+  // --- services ---
+  Status create_service(Service svc);
+  [[nodiscard]] const Service* service(const std::string& name) const;
+  [[nodiscard]] std::vector<const Service*> services() const;
+  void watch_service_created(ServiceWatcher w) {
+    service_watchers_.push_back(std::move(w));
   }
 
   // --- runtime classes ---
@@ -48,9 +64,12 @@ class ApiServer {
  private:
   std::map<std::string, Pod> pods_;
   std::map<std::string, RuntimeClass> runtime_classes_;
+  std::map<std::string, Service> services_;
   std::vector<PodWatcher> created_watchers_;
   std::vector<PodWatcher> bound_watchers_;
+  std::vector<PodWatcher> status_watchers_;
   std::vector<PodWatcher> deleted_watchers_;
+  std::vector<ServiceWatcher> service_watchers_;
 };
 
 }  // namespace wasmctr::k8s

@@ -72,11 +72,14 @@ Cluster::Cluster(ClusterOptions options)
       kubelet_(KubeletConfig{"node-0", options.max_pods, "runc",
                              options.backoff_base, options.backoff_cap,
                              options.backoff_reset_after,
-                             options.eviction_min_available},
+                             options.eviction_min_available,
+                             options.in_place_restart},
                node_, api_, containerd_),
       restart_policy_(options.restart_policy),
       metrics_(api_, node_),
-      free_probe_(node_) {
+      free_probe_(node_),
+      deployments_(node_.kernel(), api_),
+      endpoints_(node_.kernel(), api_) {
   scheduler_.add_node("node-0", options.max_pods);
   register_handlers_and_classes();
   register_images();
@@ -144,6 +147,23 @@ void Cluster::register_images() {
   py_kernel.payload.script = pylite::compute_kernel_script();
   py_kernel.disk_size = Bytes(py_kernel.payload.script.size() + 16384);
   images_.add(std::move(py_kernel));
+
+  // Serving workloads: a long-lived instance exporting a request handler
+  // (the traffic driver's targets, DESIGN.md §8). Separate images so the
+  // calibrated microservice:* bytes stay untouched.
+  containerd::Image serve_wasm;
+  serve_wasm.name = "request-service:wasm";
+  serve_wasm.payload.kind = oci::Payload::Kind::kWasm;
+  serve_wasm.payload.wasm = wasm::build_request_microservice();
+  serve_wasm.disk_size = Bytes(serve_wasm.payload.wasm.size() + 4096);
+  images_.add(std::move(serve_wasm));
+
+  containerd::Image serve_py;
+  serve_py.name = "request-service:python";
+  serve_py.payload.kind = oci::Payload::Kind::kPython;
+  serve_py.payload.script = pylite::request_handler_script();
+  serve_py.disk_size = Bytes(serve_py.payload.script.size() + 16384);
+  images_.add(std::move(serve_py));
 }
 
 Status Cluster::deploy(DeployConfig config, uint32_t count,

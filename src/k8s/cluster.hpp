@@ -12,6 +12,8 @@
 #include "k8s/kubelet.hpp"
 #include "k8s/metrics_server.hpp"
 #include "k8s/scheduler.hpp"
+#include "serve/deployment.hpp"
+#include "serve/endpoints.hpp"
 
 namespace wasmctr::k8s {
 
@@ -55,6 +57,9 @@ struct ClusterOptions {
   SimDuration backoff_reset_after = sim_s(600.0);
   /// Node-pressure eviction threshold (0 = disabled, seed behavior).
   Bytes eviction_min_available{0};
+  /// Restart failed containers inside their existing sandbox (stock
+  /// kubelet behavior); off recreates the full sandbox per attempt.
+  bool in_place_restart = true;
 };
 
 class Cluster {
@@ -103,6 +108,13 @@ class Cluster {
   [[nodiscard]] MetricsServer& metrics() noexcept { return metrics_; }
   [[nodiscard]] FreeProbe& free_probe() noexcept { return free_probe_; }
   [[nodiscard]] Kubelet& kubelet() noexcept { return kubelet_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] serve::DeploymentController& deployments() noexcept {
+    return deployments_;
+  }
+  [[nodiscard]] serve::EndpointsController& endpoints() noexcept {
+    return endpoints_;
+  }
 
  private:
   void register_handlers_and_classes();
@@ -117,6 +129,10 @@ class Cluster {
   RestartPolicy restart_policy_;
   MetricsServer metrics_;
   FreeProbe free_probe_;
+  // Constructed after the kubelet/scheduler so their API-server watchers
+  // fire first (slot release happens before controllers reconcile).
+  serve::DeploymentController deployments_;
+  serve::EndpointsController endpoints_;
 };
 
 }  // namespace wasmctr::k8s

@@ -62,6 +62,13 @@ void Kubelet::teardown_sandbox(Pod& pod) {
   pod.status.container_id.clear();
 }
 
+void Kubelet::teardown_container(Pod& pod) {
+  if (!pod.status.container_id.empty()) {
+    (void)cri_.remove_container(pod.status.container_id);
+  }
+  pod.status.container_id.clear();
+}
+
 void Kubelet::release_pod(const std::string& name) {
   auto it = records_.find(name);
   if (it == records_.end()) return;
@@ -85,6 +92,7 @@ void Kubelet::fail_pod(const std::string& name, const Status& status) {
     teardown_sandbox(*p);
   }
   release_pod(name);
+  api_.notify_status(name);
   WASMCTR_LOG(kWarn, "kubelet") << "pod " << name << " failed: "
                                 << status.to_string();
 }
@@ -99,6 +107,7 @@ void Kubelet::evict_pod(const std::string& name) {
       "node was low on memory: evicted to reclaim working set";
   teardown_sandbox(*p);
   release_pod(name);
+  api_.notify_status(name);
   WASMCTR_LOG(kWarn, "kubelet") << "evicted pod " << name
                                 << " (node memory pressure)";
 }
@@ -199,41 +208,65 @@ void Kubelet::start_pod(const std::string& name) {
           }
           const std::string sandbox_id = *sandbox;
           p->status.sandbox_id = sandbox_id;
-
-          auto rec_it = records_.find(name);
-          if (rec_it == records_.end()) return;
-          containerd::ContainerRequest request;
-          request.name = name + "-ctr";
-          request.image = spec.image;
-          request.args = spec.args;
-          request.env = spec.env;
-          request.memory_limit = spec.memory_limit;
-          auto container_id = cri_.create_and_start(
-              sandbox_id, request, rec_it->second.handler,
-              [this, name](Status run_st) {
-                Pod* p = api_.pod(name);
-                if (p == nullptr) return;
-                if (!run_st.is_ok()) {
-                  handle_failure(name, run_st);
-                  return;
-                }
-                if (p->status.phase != PodPhase::kCreating) return;
-                p->status.phase = PodPhase::kRunning;
-                p->status.running_at = node_.kernel().now();
-                p->status.reason.clear();
-                p->status.message.clear();
-                if (auto it = records_.find(name); it != records_.end()) {
-                  it->second.running = true;
-                  it->second.running_since = node_.kernel().now();
-                }
-                ++pods_started_;
-              });
-          if (!container_id) {
-            handle_failure(name, container_id.status());
-          } else if (Pod* bound = api_.pod(name)) {
-            bound->status.container_id = *container_id;
-          }
+          create_and_start_container(name, spec, sandbox_id);
         });
+      });
+}
+
+void Kubelet::create_and_start_container(const std::string& name,
+                                         const PodSpec& spec,
+                                         const std::string& sandbox_id) {
+  auto rec_it = records_.find(name);
+  if (rec_it == records_.end()) return;
+  containerd::ContainerRequest request;
+  request.name = name + "-ctr";
+  request.image = spec.image;
+  request.args = spec.args;
+  request.env = spec.env;
+  request.memory_limit = spec.memory_limit;
+  auto container_id = cri_.create_and_start(
+      sandbox_id, request, rec_it->second.handler,
+      [this, name](Status run_st) {
+        Pod* p = api_.pod(name);
+        if (p == nullptr) return;
+        if (!run_st.is_ok()) {
+          handle_failure(name, run_st);
+          return;
+        }
+        if (p->status.phase != PodPhase::kCreating) return;
+        p->status.phase = PodPhase::kRunning;
+        p->status.running_at = node_.kernel().now();
+        p->status.reason.clear();
+        p->status.message.clear();
+        if (auto it = records_.find(name); it != records_.end()) {
+          it->second.running = true;
+          it->second.running_since = node_.kernel().now();
+        }
+        ++pods_started_;
+        api_.notify_status(name);
+      });
+  if (!container_id) {
+    handle_failure(name, container_id.status());
+  } else if (Pod* bound = api_.pod(name)) {
+    bound->status.container_id = *container_id;
+  }
+}
+
+void Kubelet::restart_container(const std::string& name) {
+  // The in-place path pays only the sync-loop latency: no scheduler
+  // round-trip, no CNI setup, no pause-container start.
+  node_.kernel().schedule_after(
+      sim_s(kInfra.restart_sync_latency_s), [this, name] {
+        const Pod* pod = api_.pod(name);
+        if (pod == nullptr || pod->status.phase != PodPhase::kCreating) {
+          return;  // deleted or re-routed while we waited
+        }
+        if (pod->status.sandbox_id.empty() ||
+            !cri_.sandbox(pod->status.sandbox_id)) {
+          start_pod(name);  // sandbox vanished: fall back to the full path
+          return;
+        }
+        create_and_start_container(name, pod->spec, pod->status.sandbox_id);
       });
 }
 
@@ -264,7 +297,6 @@ void Kubelet::handle_failure(const std::string& name, const Status& status) {
   } else {
     p->status.reason = status.is_transient() ? "Unavailable" : "Error";
   }
-  teardown_sandbox(*p);
 
   // restartPolicy decision: Always/OnFailure restart any retryable
   // failure. Never still retries *transient infrastructure* errors — the
@@ -276,8 +308,19 @@ void Kubelet::handle_failure(const std::string& name, const Status& status) {
        (rec.policy == RestartPolicy::kNever &&
         is_transient_code(status.code())));
   if (!restart) {
-    fail_pod(name, status);
+    fail_pod(name, status);  // tears down the full sandbox
     return;
+  }
+
+  // Restarting: keep the sandbox (pause container, netns, pod cgroup)
+  // and remove only the dead container when in-place restart applies.
+  // Failures before the sandbox existed take the full path regardless.
+  const bool in_place =
+      config_.in_place_restart && !p->status.sandbox_id.empty();
+  if (in_place) {
+    teardown_container(*p);
+  } else {
+    teardown_sandbox(*p);
   }
 
   ++rec.consecutive_failures;
@@ -286,6 +329,7 @@ void Kubelet::handle_failure(const std::string& name, const Status& status) {
   const SimDuration delay = backoff_delay(rec.consecutive_failures);
   p->status.phase = PodPhase::kCrashLoopBackOff;
   p->status.message = status.to_string();
+  api_.notify_status(name);
   backoff_trace_.push_back(
       {name, rec.consecutive_failures, delay, node_.kernel().now()});
   WASMCTR_LOG(kInfo, "kubelet")
@@ -298,7 +342,12 @@ void Kubelet::handle_failure(const std::string& name, const Status& status) {
       return;  // deleted (or evicted) while backing off
     }
     pod->status.phase = PodPhase::kCreating;
-    start_pod(name);
+    if (config_.in_place_restart && !pod->status.sandbox_id.empty()) {
+      ++in_place_restarts_;
+      restart_container(name);
+    } else {
+      start_pod(name);
+    }
   });
 }
 

@@ -39,6 +39,10 @@ struct KubeletConfig {
   /// Node-pressure eviction threshold on `free`'s available column;
   /// 0 disables eviction (seed behavior).
   Bytes eviction_min_available{0};
+  /// Restart a failed container inside its existing sandbox (skipping
+  /// sandbox/CNI teardown + recreation), as the real kubelet does. Off =
+  /// the pre-PR behavior of recreating the full sandbox every attempt.
+  bool in_place_restart = true;
 };
 
 /// One CrashLoopBackOff episode (for tests and the recovery bench).
@@ -70,6 +74,10 @@ class Kubelet {
   [[nodiscard]] uint32_t pods_evicted() const noexcept {
     return pods_evicted_;
   }
+  /// Restarts that reused the existing sandbox (in-place restarts).
+  [[nodiscard]] uint32_t in_place_restarts() const noexcept {
+    return in_place_restarts_;
+  }
   [[nodiscard]] const std::vector<BackoffEvent>& backoff_trace()
       const noexcept {
     return backoff_trace_;
@@ -94,6 +102,14 @@ class Kubelet {
   /// The retryable section: fixed latency → RunPodSandbox →
   /// CreateContainer+Start. Re-entered on every restart attempt.
   void start_pod(const std::string& name);
+  /// In-place restart: recreate only the container inside the pod's
+  /// existing sandbox — no scheduler latency, no CNI, no pause start.
+  void restart_container(const std::string& name);
+  /// CreateContainer+StartContainer against a live sandbox (shared tail
+  /// of start_pod and restart_container).
+  void create_and_start_container(const std::string& name,
+                                  const PodSpec& spec,
+                                  const std::string& sandbox_id);
   /// Route a failed attempt (or post-Running exit) through restart policy.
   void handle_failure(const std::string& name, const Status& status);
   /// Terminal failure: mark Failed and release the pod's node resources.
@@ -103,6 +119,8 @@ class Kubelet {
   void evict_pod(const std::string& name);
   /// Tear down the pod's sandbox + containers via the CRI, if any.
   void teardown_sandbox(Pod& pod);
+  /// Tear down only the pod's container, keeping its sandbox alive.
+  void teardown_container(Pod& pod);
   /// Drop the slot and per-pod bookkeeping charge (idempotent).
   void release_pod(const std::string& name);
 
@@ -117,6 +135,7 @@ class Kubelet {
   uint32_t pods_failed_ = 0;
   uint32_t restarts_total_ = 0;
   uint32_t pods_evicted_ = 0;
+  uint32_t in_place_restarts_ = 0;
 };
 
 }  // namespace wasmctr::k8s

@@ -37,6 +37,8 @@ struct PodSpec {
   std::string runtime_class;  // empty = cluster default
   std::vector<std::string> args;
   std::vector<std::pair<std::string, std::string>> env;
+  /// metadata.labels — matched against Service selectors.
+  std::vector<std::pair<std::string, std::string>> labels;
   uint64_t memory_limit = 0;  // bytes; 0 = none
   RestartPolicy restart_policy = RestartPolicy::kNever;
 };
@@ -82,6 +84,31 @@ struct PodStatus {
 struct Pod {
   PodSpec spec;
   PodStatus status;
+};
+
+/// How a Service spreads requests over its Ready endpoints.
+enum class LbPolicy { kRoundRobin, kLeastOutstanding };
+
+[[nodiscard]] constexpr const char* lb_policy_name(LbPolicy p) {
+  switch (p) {
+    case LbPolicy::kRoundRobin: return "round-robin";
+    case LbPolicy::kLeastOutstanding: return "least-outstanding";
+  }
+  return "?";
+}
+
+/// Service: selects pods by label and names a load-balancing policy.
+struct Service {
+  std::string name;
+  /// Every selector pair must appear in a pod's labels for it to match.
+  std::vector<std::pair<std::string, std::string>> selector;
+  LbPolicy policy = LbPolicy::kRoundRobin;
+};
+
+/// Endpoints: the Ready pod names currently backing a Service, sorted.
+struct Endpoints {
+  std::string service;
+  std::vector<std::string> ready;
 };
 
 }  // namespace wasmctr::k8s

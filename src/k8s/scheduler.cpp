@@ -12,19 +12,33 @@ constexpr SimDuration kBindLatency = sim_ms(int64_t{4});
 Scheduler::Scheduler(sim::Kernel& kernel, ApiServer& api)
     : kernel_(kernel), api_(api) {
   api_.watch_created([this](const Pod& pod) { schedule(pod.spec.name); });
-  // Deleting a bound pod returns its slot; without this, churned pods
-  // permanently consume node capacity. (Failed/Evicted pods that are never
-  // deleted still hold their slot — see ROADMAP.)
-  api_.watch_deleted([this](const Pod& pod) {
-    if (pod.status.node.empty()) return;
-    for (SchedulerNode& n : nodes_) {
-      if (n.name == pod.status.node && n.bound > 0) {
-        --n.bound;
-        --total_bound_;
-        return;
-      }
+  // A pod that reaches a terminal phase no longer runs anything on its
+  // node: return the slot immediately so replacements can schedule even if
+  // nothing ever deletes the object (the former ROADMAP slot leak).
+  api_.watch_status([this](const Pod& pod) {
+    if (pod.status.phase == PodPhase::kFailed ||
+        pod.status.phase == PodPhase::kEvicted) {
+      release_slot(pod);
     }
   });
+  // Deleting a bound pod returns its slot (unless the terminal-phase
+  // release above already did); the name can then be reused.
+  api_.watch_deleted([this](const Pod& pod) {
+    release_slot(pod);
+    released_.erase(pod.spec.name);
+  });
+}
+
+void Scheduler::release_slot(const Pod& pod) {
+  if (pod.status.node.empty()) return;
+  if (!released_.insert(pod.spec.name).second) return;
+  for (SchedulerNode& n : nodes_) {
+    if (n.name == pod.status.node && n.bound > 0) {
+      --n.bound;
+      --total_bound_;
+      return;
+    }
+  }
 }
 
 void Scheduler::add_node(std::string name, uint32_t capacity) {
@@ -43,8 +57,10 @@ void Scheduler::schedule(const std::string& pod_name) {
       ++unschedulable_;
       if (Pod* p = api_.pod(pod_name)) {
         p->status.phase = PodPhase::kFailed;
+        p->status.reason = "Unschedulable";
         p->status.message = "0/" + std::to_string(nodes_.size()) +
                             " nodes available: too many pods";
+        api_.notify_status(pod_name);
       }
       WASMCTR_LOG(kWarn, "scheduler") << "pod " << pod_name
                                       << " unschedulable";

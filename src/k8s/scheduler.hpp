@@ -3,6 +3,7 @@
 // and models its binding latency so Fig 8/9 include control-plane time.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,15 @@ class Scheduler {
 
  private:
   void schedule(const std::string& pod_name);
+  /// Return a bound pod's slot to its node, at most once per pod lifetime
+  /// (a Failed pod later deleted must not decrement twice).
+  void release_slot(const Pod& pod);
 
   sim::Kernel& kernel_;
   ApiServer& api_;
   std::vector<SchedulerNode> nodes_;
+  /// Pods whose slot was already released by a terminal-phase transition.
+  std::set<std::string> released_;
   uint32_t total_bound_ = 0;
   uint32_t unschedulable_ = 0;
 };

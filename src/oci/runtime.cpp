@@ -83,6 +83,10 @@ Status OciRuntimeBase::grow_memory(const std::string& id, Bytes delta) {
   // memory.max breached: the kernel OOM-killer reaps the workload. The
   // container does not vanish — it flips to stopped/137 so the layer above
   // can observe the kill and restart per policy.
+  if (rec.serve) {
+    rec.serve->close(unavailable("container " + id + " OOM-killed"));
+    rec.serve.reset();
+  }
   (void)node_.procs().kill(rec.info.pid);
   rec.info.pid = 0;
   rec.anon_charged = Bytes(0);
@@ -97,6 +101,10 @@ Status OciRuntimeBase::kill(const std::string& id) {
   auto it = containers_.find(id);
   if (it == containers_.end()) return not_found("container " + id);
   ContainerRecord& rec = it->second;
+  if (rec.serve) {
+    rec.serve->close(unavailable("container " + id + " killed"));
+    rec.serve.reset();
+  }
   if (rec.info.state == ContainerState::kRunning && rec.info.pid != 0) {
     WASMCTR_RETURN_IF_ERROR(node_.procs().kill(rec.info.pid));
     rec.info.pid = 0;
@@ -112,6 +120,10 @@ Status OciRuntimeBase::remove(const std::string& id) {
   if (rec.info.state == ContainerState::kRunning) {
     return failed_precondition("container " + id + " still running");
   }
+  if (rec.serve) {
+    rec.serve->close(unavailable("container " + id + " removed"));
+    rec.serve.reset();
+  }
   if (rec.info.pid != 0) {
     (void)node_.procs().kill(rec.info.pid);
   }
@@ -119,6 +131,41 @@ Status OciRuntimeBase::remove(const std::string& id) {
   (void)node_.cgroups().remove(rec.info.cgroup_path);
   containers_.erase(it);
   return Status::ok();
+}
+
+void OciRuntimeBase::invoke(const std::string& id, int32_t arg,
+                            engines::InvokeCallback done) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    if (done) done(not_found("container " + id));
+    return;
+  }
+  ContainerRecord& rec = it->second;
+  if (rec.info.state != ContainerState::kRunning) {
+    if (done) {
+      done(unavailable("container " + id + " is " +
+                       container_state_name(rec.info.state)));
+    }
+    return;
+  }
+  if (!rec.serve) {
+    if (rec.bundle.payload.kind == Payload::Kind::kPython) {
+      rec.serve = std::make_unique<engines::ServeSlot>(
+          node_, rec.bundle.payload.script, rec.bundle.spec.args,
+          rec.bundle.spec.env);
+    } else if (rec.serve_engine != nullptr) {
+      rec.serve = std::make_unique<engines::ServeSlot>(
+          node_, *rec.serve_engine, rec.bundle.payload.wasm,
+          wasi_options_for(rec));
+    } else {
+      if (done) {
+        done(failed_precondition("container " + id +
+                                 " has no serving runtime"));
+      }
+      return;
+    }
+  }
+  rec.serve->invoke(arg, std::move(done));
 }
 
 Result<ContainerInfo> OciRuntimeBase::state(const std::string& id) const {
@@ -231,6 +278,7 @@ void OciRuntimeBase::finish_wasm_launch(const engines::Engine& engine,
   rec.info.exit_code = report->exit_code;
   rec.info.stdout_data = report->stdout_data;
   rec.info.instructions = report->instructions;
+  rec.serve_engine = &engine;  // every Engine here is a persistent static
   if (on_running) on_running(Status::ok());
 }
 
@@ -258,6 +306,20 @@ void OciRuntimeBase::launch_python(ContainerRecord& rec,
     auto it = containers_.find(id);
     if (it == containers_.end()) return;
     ContainerRecord& rec = it->second;
+
+    // Injected interpreter failure: the CPython stand-in dies during boot
+    // (bad site-packages, missing shared object) — the Python twin of the
+    // engine-instantiate fault on the Wasm paths.
+    if (node_.faults().enabled() &&
+        node_.faults().should_fault(sim::FaultKind::kInterpreterStart,
+                                    fault_target(rec))) {
+      fail(rec,
+           unavailable("python interpreter for " +
+                       std::string(fault_target(rec)) +
+                       " failed to start (injected)"),
+           on_running);
+      return;
+    }
 
     // Parse + execute the script for real with pylite.
     auto program = pylite::parse_source(rec.bundle.payload.script);

@@ -18,6 +18,7 @@
 
 #include "engines/compile_cache.hpp"
 #include "engines/engine.hpp"
+#include "engines/serve_slot.hpp"
 #include "oci/bundle.hpp"
 #include "pylite/interp.hpp"
 #include "sim/node.hpp"
@@ -85,6 +86,12 @@ class LowLevelRuntime {
   /// `crun delete`: remove the stopped container and its cgroup.
   virtual Status remove(const std::string& id) = 0;
 
+  /// Dispatch one request to the running workload's handler (the serving
+  /// path, DESIGN.md §8). The first request lazily builds the container's
+  /// ServeSlot (cold start); later requests hit the warm instance.
+  virtual void invoke(const std::string& id, int32_t arg,
+                      engines::InvokeCallback done) = 0;
+
   [[nodiscard]] virtual Result<ContainerInfo> state(
       const std::string& id) const = 0;
 };
@@ -101,6 +108,8 @@ class OciRuntimeBase : public LowLevelRuntime {
   Status kill(const std::string& id) override;
   Status grow_memory(const std::string& id, Bytes delta) override;
   Status remove(const std::string& id) override;
+  void invoke(const std::string& id, int32_t arg,
+              engines::InvokeCallback done) override;
   Result<ContainerInfo> state(const std::string& id) const override;
 
   /// Containers currently tracked (created/running/stopped).
@@ -114,6 +123,11 @@ class OciRuntimeBase : public LowLevelRuntime {
     Bundle bundle;
     Bytes anon_charged{0};       // private memory attributed to the workload
     Bytes kernel_charged{0};     // node-level kernel objects (netns, ...)
+    /// Live serving instance (built lazily by the first invoke()).
+    std::unique_ptr<engines::ServeSlot> serve;
+    /// Engine the workload launched under — all Engine objects here are
+    /// function-local statics, so the pointer stays valid for the run.
+    const engines::Engine* serve_engine = nullptr;
   };
 
   /// Runtime-specific: CPU seconds for the create+start exec path.

@@ -97,6 +97,17 @@ const PyValue* Interp::global(const std::string& name) const {
   return it == globals_.end() ? nullptr : &it->second;
 }
 
+Result<PyValue> Interp::call(const std::string& name,
+                             std::vector<PyValue> args) {
+  auto it = globals_.find(name);
+  if (it == globals_.end() ||
+      !std::holds_alternative<PyValue::FuncRef>(it->second.v)) {
+    return validation_error("pylite: '" + name + "' is not a function");
+  }
+  const Stmt* def = std::get<PyValue::FuncRef>(it->second.v);
+  return call_function(*def, std::move(args));
+}
+
 uint64_t Interp::resident_bytes() const {
   uint64_t total = stdout_.capacity();
   for (const auto& [name, value] : globals_) {

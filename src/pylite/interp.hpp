@@ -67,6 +67,16 @@ class Interp {
   /// Interp (function values point into its AST).
   Status run(const Program& program);
 
+  /// Call a function defined by a previously run() program, by global
+  /// name — the serving path's warm-request entry point.
+  Result<PyValue> call(const std::string& name, std::vector<PyValue> args);
+
+  /// Raise (or lower) the step budget. Serving embedders top up before
+  /// each request so a long-lived interpreter never exhausts its budget.
+  void set_step_limit(uint64_t max_steps) noexcept {
+    options_.max_steps = max_steps;
+  }
+
   [[nodiscard]] const std::string& stdout_data() const noexcept {
     return stdout_;
   }

@@ -33,4 +33,20 @@ result = mix(100)
 )";
 }
 
+std::string request_handler_script() {
+  return R"(print("request-service ready")
+served = 0
+
+def handle(n):
+    a = 7
+    acc = 13
+    i = 0
+    while i < n:
+        a = (a * 31 + acc) % 2147483647
+        acc = acc + a
+        i += 1
+    return a + acc
+)";
+}
+
 }  // namespace wasmctr::pylite

@@ -13,4 +13,8 @@ std::string minimal_microservice_script();
 /// CPU-bound kernel mirroring wasm::build_compute_kernel().
 std::string compute_kernel_script();
 
+/// The serving workload's Python twin: prints a ready line at startup and
+/// defines `handle(n)` for the traffic driver to call per request.
+std::string request_handler_script();
+
 }  // namespace wasmctr::pylite

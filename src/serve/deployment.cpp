@@ -1,0 +1,215 @@
+#include "serve/deployment.hpp"
+
+#include <cstdio>
+
+#include "support/log.hpp"
+
+namespace wasmctr::serve {
+
+namespace {
+
+/// Controller sync debounce: events arriving within one interval coalesce.
+constexpr SimDuration kReconcileDebounce = sim_ms(int64_t{50});
+
+[[nodiscard]] bool is_terminal(k8s::PodPhase phase) {
+  return phase == k8s::PodPhase::kFailed || phase == k8s::PodPhase::kEvicted;
+}
+
+}  // namespace
+
+DeploymentController::DeploymentController(sim::Kernel& kernel,
+                                           k8s::ApiServer& api)
+    : kernel_(kernel), api_(api) {
+  api_.watch_status([this](const k8s::Pod& pod) {
+    if (!owner_of_.contains(pod.spec.name)) return;
+    // Only terminal phases require action; Running/backoff transitions
+    // are observed lazily through ready_replicas().
+    if (is_terminal(pod.status.phase)) schedule_reconcile();
+  });
+  api_.watch_deleted([this](const k8s::Pod& pod) {
+    auto it = owner_of_.find(pod.spec.name);
+    if (it == owner_of_.end()) return;
+    // Deleted out from under us (external delete): drop ownership and
+    // reconcile so a replacement is created.
+    if (auto dep = deployments_.find(it->second); dep != deployments_.end()) {
+      dep->second.owned.erase(pod.spec.name);
+    }
+    owner_of_.erase(it);
+    schedule_reconcile();
+  });
+}
+
+Status DeploymentController::create(DeploymentSpec spec) {
+  if (spec.name.empty()) {
+    return invalid_argument("deployment name must be non-empty");
+  }
+  if (spec.pod_template.image.empty()) {
+    return invalid_argument("deployment " + spec.name +
+                            ": pod template needs an image");
+  }
+  if (deployments_.contains(spec.name)) {
+    return already_exists("deployment " + spec.name);
+  }
+  if (spec.pod_template.labels.empty()) {
+    spec.pod_template.labels.emplace_back("app", spec.name);
+  }
+  Record rec;
+  rec.spec = std::move(spec);
+  const std::string name = rec.spec.name;
+  trace("create-deployment", name,
+        "replicas=" + std::to_string(rec.spec.replicas));
+  deployments_.emplace(name, std::move(rec));
+  schedule_reconcile();
+  return Status::ok();
+}
+
+Status DeploymentController::scale(const std::string& name,
+                                   uint32_t replicas) {
+  auto it = deployments_.find(name);
+  if (it == deployments_.end()) return not_found("deployment " + name);
+  it->second.spec.replicas = replicas;
+  trace("scale", name, "replicas=" + std::to_string(replicas));
+  schedule_reconcile();
+  return Status::ok();
+}
+
+uint32_t DeploymentController::ready_replicas(const std::string& name) const {
+  auto it = deployments_.find(name);
+  if (it == deployments_.end()) return 0;
+  uint32_t ready = 0;
+  for (const std::string& pod_name : it->second.owned) {
+    const k8s::Pod* p = api_.pod(pod_name);
+    if (p != nullptr && p->status.phase == k8s::PodPhase::kRunning) ++ready;
+  }
+  return ready;
+}
+
+uint32_t DeploymentController::live_replicas(const std::string& name) const {
+  auto it = deployments_.find(name);
+  if (it == deployments_.end()) return 0;
+  uint32_t live = 0;
+  for (const std::string& pod_name : it->second.owned) {
+    const k8s::Pod* p = api_.pod(pod_name);
+    if (p != nullptr && !is_terminal(p->status.phase)) ++live;
+  }
+  return live;
+}
+
+std::vector<std::string> DeploymentController::pods_of(
+    const std::string& name) const {
+  auto it = deployments_.find(name);
+  if (it == deployments_.end()) return {};
+  return {it->second.owned.begin(), it->second.owned.end()};
+}
+
+uint32_t DeploymentController::pods_created(const std::string& name) const {
+  auto it = deployments_.find(name);
+  return it == deployments_.end() ? 0 : it->second.created;
+}
+
+uint32_t DeploymentController::pods_gced(const std::string& name) const {
+  auto it = deployments_.find(name);
+  return it == deployments_.end() ? 0 : it->second.gced;
+}
+
+bool DeploymentController::budget_exhausted(const std::string& name) const {
+  auto it = deployments_.find(name);
+  if (it == deployments_.end()) return false;
+  const Record& rec = it->second;
+  return rec.created >= rec.spec.replicas + rec.spec.replace_budget;
+}
+
+void DeploymentController::schedule_reconcile() {
+  if (reconcile_pending_) return;
+  reconcile_pending_ = true;
+  kernel_.schedule_after(kReconcileDebounce, [this] { reconcile_all(); });
+}
+
+void DeploymentController::reconcile_all() {
+  reconcile_pending_ = false;
+  for (auto& [name, rec] : deployments_) reconcile(rec);
+}
+
+void DeploymentController::reconcile(Record& rec) {
+  // 1. Garbage-collect terminal pods. Deleting through the API server is
+  // what releases the scheduler slot and the kubelet's per-pod charge.
+  std::vector<std::string> terminal;
+  for (const std::string& pod_name : rec.owned) {
+    const k8s::Pod* p = api_.pod(pod_name);
+    if (p == nullptr || is_terminal(p->status.phase)) {
+      terminal.push_back(pod_name);
+    }
+  }
+  for (const std::string& pod_name : terminal) {
+    rec.owned.erase(pod_name);
+    owner_of_.erase(pod_name);
+    if (const k8s::Pod* p = api_.pod(pod_name)) {
+      trace("gc", rec.spec.name,
+            pod_name + " phase=" + k8s::pod_phase_name(p->status.phase));
+      (void)api_.delete_pod(pod_name);
+      ++rec.gced;
+    }
+  }
+
+  // 2. Scale down: delete the highest-ordinal live pods first.
+  uint32_t live = 0;
+  for (const std::string& pod_name : rec.owned) {
+    const k8s::Pod* p = api_.pod(pod_name);
+    if (p != nullptr && !is_terminal(p->status.phase)) ++live;
+  }
+  while (live > rec.spec.replicas && !rec.owned.empty()) {
+    const std::string victim = *rec.owned.rbegin();
+    rec.owned.erase(victim);
+    owner_of_.erase(victim);
+    trace("scale-down", rec.spec.name, victim);
+    (void)api_.delete_pod(victim);
+    --live;
+  }
+
+  // 3. Scale up / replace, bounded by the replacement budget.
+  while (live < rec.spec.replicas) {
+    if (rec.created >= rec.spec.replicas + rec.spec.replace_budget) {
+      if (!rec.budget_logged) {
+        rec.budget_logged = true;
+        trace("budget-exhausted", rec.spec.name,
+              "created=" + std::to_string(rec.created));
+        WASMCTR_LOG(kWarn, "deploy")
+            << "deployment " << rec.spec.name
+            << " replacement budget exhausted after " << rec.created
+            << " pods; giving up on the template";
+      }
+      return;
+    }
+    create_pod(rec);
+    ++live;
+  }
+}
+
+void DeploymentController::create_pod(Record& rec) {
+  k8s::PodSpec spec = rec.spec.pod_template;
+  char ordinal[16];
+  std::snprintf(ordinal, sizeof(ordinal), "%05u", rec.next_ordinal++);
+  spec.name = rec.spec.name + "-" + ordinal;
+  ++rec.created;
+  rec.owned.insert(spec.name);
+  owner_of_[spec.name] = rec.spec.name;
+  trace("create", rec.spec.name, spec.name);
+  const Status st = api_.create_pod(std::move(spec));
+  if (!st.is_ok()) {
+    WASMCTR_LOG(kWarn, "deploy")
+        << "deployment " << rec.spec.name
+        << ": create failed: " << st.to_string();
+  }
+}
+
+void DeploymentController::trace(const char* event,
+                                 const std::string& deployment,
+                                 const std::string& detail) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "t=%.6fs deploy=%s %s %s\n",
+                to_seconds(kernel_.now()), deployment.c_str(), event,
+                detail.c_str());
+  trace_ += line;
+}
+
+}  // namespace wasmctr::serve

@@ -1,0 +1,90 @@
+// Deployment controller: keeps a replica count of pods reconciled against
+// observed pod status, the way kube-controller-manager's ReplicaSet
+// controller does. Pods that reach a terminal phase (Failed, Evicted) are
+// garbage-collected through the API server — which releases their
+// scheduler slot and kubelet bookkeeping — and replaced up to a
+// replacement budget, so a doomed pod template converges instead of
+// creating forever.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "k8s/api_server.hpp"
+#include "sim/kernel.hpp"
+
+namespace wasmctr::serve {
+
+struct DeploymentSpec {
+  std::string name;
+  uint32_t replicas = 1;
+  /// Template for owned pods; `name` is overwritten with
+  /// `<deployment>-<ordinal>`. When `labels` is empty the controller stamps
+  /// {"app", <deployment>} so Services can select the replicas.
+  k8s::PodSpec pod_template;
+  /// Replacement pods the controller may create beyond the initial set
+  /// before declaring the template doomed and going quiescent.
+  uint32_t replace_budget = 1000;
+};
+
+class DeploymentController {
+ public:
+  DeploymentController(sim::Kernel& kernel, k8s::ApiServer& api);
+
+  DeploymentController(const DeploymentController&) = delete;
+  DeploymentController& operator=(const DeploymentController&) = delete;
+
+  Status create(DeploymentSpec spec);
+  /// Change spec.replicas and reconcile (scale up or down).
+  Status scale(const std::string& name, uint32_t replicas);
+
+  /// Owned pods currently in phase Running.
+  [[nodiscard]] uint32_t ready_replicas(const std::string& name) const;
+  /// Owned pods in any non-terminal phase (Pending..CrashLoopBackOff).
+  [[nodiscard]] uint32_t live_replicas(const std::string& name) const;
+  /// Names of currently owned pods, sorted.
+  [[nodiscard]] std::vector<std::string> pods_of(
+      const std::string& name) const;
+  /// Total pods ever created for a deployment.
+  [[nodiscard]] uint32_t pods_created(const std::string& name) const;
+  /// Terminal pods garbage-collected (deleted through the API server).
+  [[nodiscard]] uint32_t pods_gced(const std::string& name) const;
+  /// True once the replacement budget is exhausted (doomed template).
+  [[nodiscard]] bool budget_exhausted(const std::string& name) const;
+
+  /// Canonical event log (create/gc/scale), for determinism comparisons.
+  [[nodiscard]] const std::string& trace_string() const noexcept {
+    return trace_;
+  }
+
+ private:
+  struct Record {
+    DeploymentSpec spec;
+    std::set<std::string> owned;  // sorted: ordinal order (fixed width)
+    uint32_t next_ordinal = 0;
+    uint32_t created = 0;
+    uint32_t gced = 0;
+    bool budget_logged = false;
+  };
+
+  /// Debounced: status/deletion events within one sync interval coalesce
+  /// into a single reconcile pass (the real controller's informer resync).
+  void schedule_reconcile();
+  void reconcile_all();
+  void reconcile(Record& rec);
+  void create_pod(Record& rec);
+  void trace(const char* event, const std::string& deployment,
+             const std::string& detail);
+
+  sim::Kernel& kernel_;
+  k8s::ApiServer& api_;
+  std::map<std::string, Record> deployments_;
+  std::map<std::string, std::string> owner_of_;  // pod name → deployment
+  bool reconcile_pending_ = false;
+  std::string trace_;
+};
+
+}  // namespace wasmctr::serve

@@ -1,0 +1,112 @@
+#include "serve/endpoints.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wasmctr::serve {
+
+namespace {
+
+[[nodiscard]] bool selector_matches(const k8s::Service& svc,
+                                    const k8s::Pod& pod) {
+  for (const auto& want : svc.selector) {
+    const auto& labels = pod.spec.labels;
+    if (std::find(labels.begin(), labels.end(), want) == labels.end()) {
+      return false;
+    }
+  }
+  return !svc.selector.empty();
+}
+
+}  // namespace
+
+EndpointsController::EndpointsController(sim::Kernel& kernel,
+                                         k8s::ApiServer& api)
+    : kernel_(kernel), api_(api) {
+  api_.watch_service_created([this](const k8s::Service& svc) {
+    table_[svc.name].service = svc.name;
+    resync_all();
+  });
+  api_.watch_status([this](const k8s::Pod&) { resync_all(); });
+  api_.watch_deleted([this](const k8s::Pod&) { resync_all(); });
+}
+
+const k8s::Endpoints* EndpointsController::endpoints(
+    const std::string& service) const {
+  auto it = table_.find(service);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void EndpointsController::resync_all() {
+  char line[192];
+  for (auto& [name, eps] : table_) {
+    const k8s::Service* svc = api_.service(name);
+    if (svc == nullptr) continue;
+    std::vector<std::string> ready;
+    for (const k8s::Pod* pod : api_.pods()) {
+      if (pod->status.phase != k8s::PodPhase::kRunning) continue;
+      if (selector_matches(*svc, *pod)) ready.push_back(pod->spec.name);
+    }
+    std::sort(ready.begin(), ready.end());
+    if (ready == eps.ready) continue;
+    // Trace the diff: both lists are sorted, so a two-pointer walk works.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < eps.ready.size() || j < ready.size()) {
+      const char* sign = nullptr;
+      const std::string* pod = nullptr;
+      if (j == ready.size() ||
+          (i < eps.ready.size() && eps.ready[i] < ready[j])) {
+        sign = "-";
+        pod = &eps.ready[i++];
+      } else if (i == eps.ready.size() || ready[j] < eps.ready[i]) {
+        sign = "+";
+        pod = &ready[j++];
+      } else {
+        ++i;
+        ++j;
+        continue;
+      }
+      std::snprintf(line, sizeof(line), "t=%.6fs svc=%s %s%s\n",
+                    to_seconds(kernel_.now()), name.c_str(), sign,
+                    pod->c_str());
+      trace_ += line;
+    }
+    eps.ready = std::move(ready);
+  }
+}
+
+std::optional<std::string> LoadBalancer::pick() {
+  const k8s::Endpoints* eps = endpoints_.endpoints(service_);
+  if (eps == nullptr || eps->ready.empty()) return std::nullopt;
+  const std::vector<std::string>& ready = eps->ready;
+  std::size_t best = cursor_ % ready.size();
+  if (policy_ == k8s::LbPolicy::kLeastOutstanding) {
+    // Scan from the rotating cursor so ties spread instead of piling
+    // onto the lexicographically first endpoint.
+    uint32_t best_out = outstanding(ready[best]);
+    for (std::size_t k = 1; k < ready.size(); ++k) {
+      const std::size_t i = (cursor_ + k) % ready.size();
+      const uint32_t out = outstanding(ready[i]);
+      if (out < best_out) {
+        best = i;
+        best_out = out;
+      }
+    }
+  }
+  ++cursor_;
+  return ready[best];
+}
+
+void LoadBalancer::on_complete(const std::string& pod) {
+  auto it = outstanding_.find(pod);
+  if (it == outstanding_.end() || it->second == 0) return;
+  --it->second;
+}
+
+uint32_t LoadBalancer::outstanding(const std::string& pod) const {
+  auto it = outstanding_.find(pod);
+  return it == outstanding_.end() ? 0 : it->second;
+}
+
+}  // namespace wasmctr::serve

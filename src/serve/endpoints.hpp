@@ -1,0 +1,76 @@
+// Endpoints controller + load balancer: the Service data path.
+//
+// The controller mirrors kube-controller-manager's endpoints controller —
+// it watches pod status transitions and keeps, per Service, the sorted
+// list of Ready (phase Running) pods whose labels satisfy the Service
+// selector. The LoadBalancer spreads requests over that live list under
+// the Service's policy (round-robin or least-outstanding), so it can
+// never route to a pod that is NotReady: a pod leaves the list the moment
+// it OOM-kills, crashes into backoff, is evicted, or is deleted, and
+// rejoins when its restarted container reaches Running again.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "k8s/api_server.hpp"
+#include "sim/kernel.hpp"
+
+namespace wasmctr::serve {
+
+class EndpointsController {
+ public:
+  EndpointsController(sim::Kernel& kernel, k8s::ApiServer& api);
+
+  EndpointsController(const EndpointsController&) = delete;
+  EndpointsController& operator=(const EndpointsController&) = delete;
+
+  /// Endpoints for a Service; nullptr for an unknown Service.
+  [[nodiscard]] const k8s::Endpoints* endpoints(
+      const std::string& service) const;
+
+  /// Canonical endpoint-change log ("+pod"/"-pod" per Service), for
+  /// determinism comparisons and the bookkeeping tests.
+  [[nodiscard]] const std::string& trace_string() const noexcept {
+    return trace_;
+  }
+
+ private:
+  /// Recompute every Service's ready list from current pod status and
+  /// trace the diff. Synchronous: endpoint state is pure bookkeeping.
+  void resync_all();
+
+  sim::Kernel& kernel_;
+  k8s::ApiServer& api_;
+  std::map<std::string, k8s::Endpoints> table_;
+  std::string trace_;
+};
+
+/// Client-side balancer over one Service's Ready endpoints.
+class LoadBalancer {
+ public:
+  LoadBalancer(const EndpointsController& endpoints, std::string service,
+               k8s::LbPolicy policy)
+      : endpoints_(endpoints),
+        service_(std::move(service)),
+        policy_(policy) {}
+
+  /// Pick a Ready pod, or nullopt when the Service has no endpoints.
+  [[nodiscard]] std::optional<std::string> pick();
+
+  /// In-flight accounting for the least-outstanding policy.
+  void on_dispatch(const std::string& pod) { ++outstanding_[pod]; }
+  void on_complete(const std::string& pod);
+  [[nodiscard]] uint32_t outstanding(const std::string& pod) const;
+
+ private:
+  const EndpointsController& endpoints_;
+  std::string service_;
+  k8s::LbPolicy policy_;
+  std::size_t cursor_ = 0;  // RR position; least-outstanding tie rotation
+  std::map<std::string, uint32_t> outstanding_;
+};
+
+}  // namespace wasmctr::serve

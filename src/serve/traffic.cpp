@@ -1,0 +1,165 @@
+#include "serve/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wasmctr::serve {
+
+namespace {
+
+constexpr SimDuration kRetryBackoffCap = sim_s(4.0);
+
+[[nodiscard]] k8s::LbPolicy policy_of(const k8s::ApiServer& api,
+                                      const std::string& service) {
+  const k8s::Service* svc = api.service(service);
+  return svc == nullptr ? k8s::LbPolicy::kRoundRobin : svc->policy;
+}
+
+[[nodiscard]] double percentile_ms(const std::vector<double>& sorted_ms,
+                                   double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted_ms.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n));
+  idx = std::min(sorted_ms.size() - 1, idx == 0 ? 0 : idx - 1);
+  return sorted_ms[idx];
+}
+
+}  // namespace
+
+TrafficDriver::TrafficDriver(sim::Kernel& kernel, k8s::ApiServer& api,
+                             containerd::Containerd& cri,
+                             const EndpointsController& endpoints,
+                             TrafficOptions options)
+    : kernel_(kernel),
+      api_(api),
+      cri_(cri),
+      options_(std::move(options)),
+      lb_(endpoints, options_.service, policy_of(api, options_.service)),
+      rng_(Rng(options_.seed).fork("traffic:" + options_.service)) {}
+
+void TrafficDriver::start() {
+  if (started_) return;
+  started_ = true;
+  outcomes_.resize(options_.total_requests);
+  const SimTime base = kernel_.now();
+  double t = 0.0;  // cumulative arrival offset, seconds
+  for (uint32_t id = 0; id < options_.total_requests; ++id) {
+    // Open loop: exponential inter-arrival gaps at rate_rps.
+    const double u = rng_.next_double();
+    t += -std::log(1.0 - u) / options_.rate_rps;
+    const SimDuration offset = sim_s(t);
+    outcomes_[id].id = id;
+    outcomes_[id].arrival = base + offset;
+    if (id == 0) first_arrival_ = outcomes_[id].arrival;
+    kernel_.schedule_at(base + offset, [this, id] { attempt(id); });
+  }
+}
+
+void TrafficDriver::attempt(uint32_t id) {
+  RequestOutcome& out = outcomes_[id];
+  ++out.attempts;
+  const auto picked = lb_.pick();
+  const k8s::Pod* pod = picked ? api_.pod(*picked) : nullptr;
+  if (pod == nullptr || pod->status.phase != k8s::PodPhase::kRunning ||
+      pod->status.container_id.empty()) {
+    retry(id, "no ready endpoint");
+    return;
+  }
+  const std::string pod_name = *picked;
+  out.pod = pod_name;
+  lb_.on_dispatch(pod_name);
+  cri_.invoke_container(
+      pod->status.container_id, options_.request_arg,
+      [this, id, pod_name](Result<engines::InvokeReport> r) {
+        lb_.on_complete(pod_name);
+        if (!r) {
+          retry(id, r.status().to_string());
+          return;
+        }
+        complete(id, pod_name, *r);
+      });
+}
+
+void TrafficDriver::retry(uint32_t id, const std::string& why) {
+  RequestOutcome& out = outcomes_[id];
+  out.error = why;
+  if (out.attempts >= options_.max_attempts) {
+    out.ok = false;
+    ++failed_;
+    finish(id);
+    return;
+  }
+  const uint32_t shift = std::min(out.attempts - 1, 5u);
+  const SimDuration delay =
+      std::min(options_.retry_backoff * (1 << shift), kRetryBackoffCap);
+  kernel_.schedule_after(delay, [this, id] { attempt(id); });
+}
+
+void TrafficDriver::complete(uint32_t id, const std::string& pod,
+                             const engines::InvokeReport& report) {
+  RequestOutcome& out = outcomes_[id];
+  out.ok = true;
+  out.pod = pod;
+  out.cold = report.cold;
+  out.result = report.result;
+  out.error.clear();
+  ++served_;
+  if (report.cold) {
+    ++cold_hits_;
+  } else {
+    ++warm_hits_;
+  }
+  finish(id);
+}
+
+void TrafficDriver::finish(uint32_t id) {
+  RequestOutcome& out = outcomes_[id];
+  out.completed = kernel_.now();
+  out.latency = out.completed - out.arrival;
+  last_completion_ = std::max(last_completion_, out.completed);
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "req=%04u attempts=%u pod=%s cold=%d lat=%.6fs ok=%d\n",
+                out.id, out.attempts, out.pod.c_str(), out.cold ? 1 : 0,
+                to_seconds(out.latency), out.ok ? 1 : 0);
+  trace_ += line;
+}
+
+uint32_t TrafficDriver::retries() const {
+  uint32_t extra = 0;
+  for (const RequestOutcome& out : outcomes_) {
+    if (out.attempts > 1) extra += out.attempts - 1;
+  }
+  return extra;
+}
+
+LatencyStats TrafficDriver::latency() const {
+  std::vector<double> ms;
+  ms.reserve(outcomes_.size());
+  double sum = 0.0;
+  for (const RequestOutcome& out : outcomes_) {
+    if (!out.ok) continue;
+    const double v = to_millis(out.latency);
+    ms.push_back(v);
+    sum += v;
+  }
+  std::sort(ms.begin(), ms.end());
+  LatencyStats stats;
+  if (ms.empty()) return stats;
+  stats.p50_ms = percentile_ms(ms, 0.50);
+  stats.p95_ms = percentile_ms(ms, 0.95);
+  stats.p99_ms = percentile_ms(ms, 0.99);
+  stats.mean_ms = sum / static_cast<double>(ms.size());
+  stats.max_ms = ms.back();
+  return stats;
+}
+
+double TrafficDriver::throughput_rps() const {
+  if (served_ == 0) return 0.0;
+  const double window = to_seconds(last_completion_ - first_arrival_);
+  if (window <= 0.0) return 0.0;
+  return static_cast<double>(served_) / window;
+}
+
+}  // namespace wasmctr::serve

@@ -1,0 +1,117 @@
+// Request-traffic driver: open-loop Poisson arrivals against a Service.
+//
+// Each request is load-balanced to a Ready pod and dispatched through the
+// full serving path — CRI invoke_container → OCI runtime / runwasi shim →
+// live engine instance (DESIGN.md §8) — so latency includes real guest
+// execution plus queueing at busy instances. Failed attempts (pod
+// OOM-killed mid-request, no ready endpoint during churn) retry with
+// exponential backoff up to a cap; the driver records per-request
+// latency, cold/warm hit counts, and a completion-ordered trace that is
+// bit-identical across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "containerd/containerd.hpp"
+#include "k8s/api_server.hpp"
+#include "serve/endpoints.hpp"
+#include "sim/kernel.hpp"
+#include "support/rng.hpp"
+
+namespace wasmctr::serve {
+
+struct TrafficOptions {
+  std::string service;
+  /// Open-loop arrival rate (Poisson): requests per simulated second.
+  double rate_rps = 50.0;
+  uint32_t total_requests = 100;
+  /// Argument passed to the workload handler on every request.
+  int32_t request_arg = 100;
+  /// Attempts per request before it is declared failed (first try + retries).
+  uint32_t max_attempts = 10;
+  /// Base retry delay; doubles per attempt, capped at 4 s.
+  SimDuration retry_backoff = sim_ms(int64_t{80});
+  uint64_t seed = 0x7001;
+};
+
+struct RequestOutcome {
+  uint32_t id = 0;
+  uint32_t attempts = 0;
+  std::string pod;  ///< pod that served the final attempt
+  bool ok = false;
+  bool cold = false;  ///< final attempt hit a cold instance
+  int32_t result = 0;
+  SimTime arrival{0};
+  SimTime completed{0};
+  SimDuration latency{0};  ///< arrival → completion, including retries
+  std::string error;       ///< last error when !ok (or retried attempts)
+};
+
+struct LatencyStats {
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+  double max_ms = 0;
+};
+
+class TrafficDriver {
+ public:
+  /// The Service should exist before construction (its LbPolicy is read
+  /// here); endpoints may still be empty — requests retry until pods are
+  /// Ready or their attempt budget runs out.
+  TrafficDriver(sim::Kernel& kernel, k8s::ApiServer& api,
+                containerd::Containerd& cri,
+                const EndpointsController& endpoints, TrafficOptions options);
+
+  TrafficDriver(const TrafficDriver&) = delete;
+  TrafficDriver& operator=(const TrafficDriver&) = delete;
+
+  /// Schedule every arrival on the kernel. Call once, then run the kernel.
+  void start();
+
+  [[nodiscard]] const std::vector<RequestOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+  [[nodiscard]] uint32_t served() const noexcept { return served_; }
+  [[nodiscard]] uint32_t failed() const noexcept { return failed_; }
+  [[nodiscard]] uint32_t cold_hits() const noexcept { return cold_hits_; }
+  [[nodiscard]] uint32_t warm_hits() const noexcept { return warm_hits_; }
+  /// Attempts beyond each request's first (retry pressure under faults).
+  [[nodiscard]] uint32_t retries() const;
+  /// Over successful requests only.
+  [[nodiscard]] LatencyStats latency() const;
+  /// Served / (last completion − first arrival).
+  [[nodiscard]] double throughput_rps() const;
+  /// Completion-ordered per-request log (determinism comparisons).
+  [[nodiscard]] const std::string& trace_string() const noexcept {
+    return trace_;
+  }
+
+ private:
+  void attempt(uint32_t id);
+  void retry(uint32_t id, const std::string& why);
+  void complete(uint32_t id, const std::string& pod,
+                const engines::InvokeReport& report);
+  void finish(uint32_t id);  // append trace, update completion window
+
+  sim::Kernel& kernel_;
+  k8s::ApiServer& api_;
+  containerd::Containerd& cri_;
+  TrafficOptions options_;
+  LoadBalancer lb_;
+  Rng rng_;
+  std::vector<RequestOutcome> outcomes_;
+  uint32_t served_ = 0;
+  uint32_t failed_ = 0;
+  uint32_t cold_hits_ = 0;
+  uint32_t warm_hits_ = 0;
+  SimTime first_arrival_{0};
+  SimTime last_completion_{0};
+  bool started_ = false;
+  std::string trace_;
+};
+
+}  // namespace wasmctr::serve

@@ -34,8 +34,9 @@ enum class FaultKind : uint8_t {
   kEngineInstantiate,  ///< engine runtime refuses to initialize
   kWasmTrap,           ///< workload traps (injected via the fuel limit)
   kOomKill,            ///< container cgroup limit tightened → OOM kill
+  kInterpreterStart,   ///< Python interpreter fails to start (crun/runc path)
 };
-inline constexpr std::size_t kFaultKindCount = 6;
+inline constexpr std::size_t kFaultKindCount = 7;
 
 [[nodiscard]] constexpr const char* fault_kind_name(FaultKind k) {
   switch (k) {
@@ -45,6 +46,7 @@ inline constexpr std::size_t kFaultKindCount = 6;
     case FaultKind::kEngineInstantiate: return "engine-instantiate";
     case FaultKind::kWasmTrap: return "wasm-trap";
     case FaultKind::kOomKill: return "oom-kill";
+    case FaultKind::kInterpreterStart: return "interpreter-start";
   }
   return "?";
 }

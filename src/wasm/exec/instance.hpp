@@ -96,6 +96,13 @@ class Instance {
 
   /// Remaining fuel (meaningful when limits.fuel > 0).
   [[nodiscard]] uint64_t fuel_remaining() const noexcept { return fuel_; }
+  /// Refill (or disable, fuel = 0) the instruction budget. Long-lived
+  /// serving instances top up before each request so a per-request cap
+  /// never starves a warm instance.
+  void set_fuel(uint64_t fuel) noexcept {
+    fuel_ = fuel;
+    metered_ = fuel > 0;
+  }
   /// Instructions retired since instantiation.
   [[nodiscard]] uint64_t instructions_retired() const noexcept {
     return retired_;

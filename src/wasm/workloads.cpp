@@ -164,6 +164,80 @@ std::vector<uint8_t> build_table_dispatch() {
   return b.build();
 }
 
+std::vector<uint8_t> build_request_microservice() {
+  ModuleBuilder b;
+  const uint32_t fd_write = b.import_function(
+      "wasi_snapshot_preview1", "fd_write",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  const uint32_t proc_exit = b.import_function(
+      "wasi_snapshot_preview1", "proc_exit", {ValType::kI32}, {});
+
+  b.add_memory(2, 16);
+  b.add_data(1024, "request-service ready\n");
+
+  FnBuilder& f = b.add_function("_start", {}, {});
+  const uint32_t i = f.add_local(ValType::kI32);
+  // iovec{base=1024, len=22} at 16, then fd_write(stdout).
+  f.i32_const(16).i32_const(1024).i32_store();
+  f.i32_const(20).i32_const(22).i32_store();
+  f.i32_const(1).i32_const(16).i32_const(1).i32_const(80).call(fd_write).drop();
+  // Touch a small working set: 64 words starting at 4096.
+  f.i32_const(0).local_set(i);
+  f.loop();
+  {
+    f.i32_const(4096)
+        .local_get(i)
+        .i32_const(2)
+        .i32_shl()
+        .i32_add()
+        .local_get(i)
+        .i32_store();
+    f.local_get(i).i32_const(1).i32_add().local_tee(i);
+    f.i32_const(64).i32_lt_s().br_if(0);
+  }
+  f.end();
+  f.i32_const(0).call(proc_exit);
+  f.end();
+
+  // handle(n): compute mix over n iterations; word at 8192 counts requests.
+  FnBuilder& h = b.add_function("handle", {ValType::kI32}, {ValType::kI32});
+  const uint32_t a = h.add_local(ValType::kI32);
+  const uint32_t acc = h.add_local(ValType::kI32);
+  const uint32_t j = h.add_local(ValType::kI32);
+  // ++requests_served
+  h.i32_const(8192).i32_const(8192).i32_load().i32_const(1).i32_add()
+      .i32_store();
+  h.i32_const(7).local_set(a);
+  h.i32_const(13).local_set(acc);
+  h.i32_const(0).local_set(j);
+  h.block();
+  {
+    h.loop();
+    {
+      h.local_get(j).local_get(0).i32_ge_s().br_if(1);
+      h.local_get(a)
+          .i32_const(31)
+          .i32_mul()
+          .local_get(acc)
+          .i32_add()
+          .i32_const(5)
+          .i32_rotl()
+          .local_get(acc)
+          .i32_xor()
+          .local_set(a);
+      h.local_get(acc).local_get(a).i32_add().local_set(acc);
+      h.local_get(j).i32_const(1).i32_add().local_set(j);
+      h.br(0);
+    }
+    h.end();
+  }
+  h.end();
+  h.local_get(a).local_get(acc).i32_add();
+  h.end();
+  return b.build();
+}
+
 std::vector<uint8_t> build_file_logger() {
   ModuleBuilder b;
   const uint32_t path_open = b.import_function(

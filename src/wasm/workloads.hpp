@@ -34,4 +34,12 @@ std::vector<uint8_t> build_table_dispatch();
 /// path_open + fd_write, then exits. Requires a "/data" preopen.
 std::vector<uint8_t> build_file_logger();
 
+/// The serving workload: _start behaves like the minimal microservice
+/// (greeting + working set + proc_exit 0), and an exported
+/// "handle(n) -> i32" runs an n-iteration compute mix per request and
+/// bumps a request counter in linear memory. The traffic driver invokes
+/// "handle" on the live instance; _start keeps the image deployable on
+/// every command-mode path.
+std::vector<uint8_t> build_request_microservice();
+
 }  // namespace wasmctr::wasm

@@ -1,0 +1,160 @@
+// Deployment-controller tests: replica reconciliation, terminal-pod GC,
+// the replacement budget, and the scheduler-slot regression (a node full
+// of failed pods must not block new ones).
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+
+namespace wasmctr::serve {
+namespace {
+
+using k8s::Cluster;
+using k8s::ClusterOptions;
+using k8s::DeployConfig;
+using k8s::Pod;
+using k8s::PodPhase;
+using k8s::PodSpec;
+using k8s::RestartPolicy;
+using sim::FaultKind;
+
+DeploymentSpec wasm_deployment(const std::string& name, uint32_t replicas) {
+  DeploymentSpec spec;
+  spec.name = name;
+  spec.replicas = replicas;
+  spec.pod_template.image = "request-service:wasm";
+  spec.pod_template.runtime_class = "crun-wamr";
+  spec.pod_template.restart_policy = RestartPolicy::kNever;
+  return spec;
+}
+
+TEST(DeploymentTest, KeepsReadyReplicasAtSpec) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deployments().create(wasm_deployment("web", 3)).is_ok());
+  cluster.run();
+
+  EXPECT_EQ(cluster.deployments().ready_replicas("web"), 3u);
+  EXPECT_EQ(cluster.deployments().pods_created("web"), 3u);
+  const auto pods = cluster.deployments().pods_of("web");
+  ASSERT_EQ(pods.size(), 3u);
+  EXPECT_EQ(pods[0], "web-00000");
+  EXPECT_EQ(pods[2], "web-00002");
+}
+
+TEST(DeploymentTest, FailedPodsReleaseSchedulerSlots) {
+  // Regression (ISSUE 3 satellite 1): fill a node with pods that fail
+  // terminally; their scheduler bindings must be released so fresh pods
+  // still schedule. Before the fix, bound slots leaked on Failed pods and
+  // the node wedged at capacity.
+  ClusterOptions opts;
+  opts.max_pods = 3;  // node capacity = 3 slots
+  Cluster cluster(opts);
+  cluster.node().faults().set_rate(FaultKind::kWasmTrap, 1.0);
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 3, "bad").is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.failed_count(), 3u);
+  EXPECT_EQ(cluster.scheduler().bound_count(), 0u)
+      << "terminal pods must release their scheduler bindings";
+
+  cluster.node().faults().set_rate(FaultKind::kWasmTrap, 0.0);
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 3, "good").is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.running_count(), 3u)
+      << "freed slots must be reusable without deleting the failed pods";
+  EXPECT_EQ(cluster.scheduler().unschedulable_count(), 0u);
+  EXPECT_EQ(cluster.scheduler().bound_count(), 3u);
+}
+
+TEST(DeploymentTest, ReplacesFailedPodsAndReleasesTheirSlots) {
+  // Pods OOM-kill under restartPolicy=Never → Failed → the controller
+  // GCs them (releasing slot + kubelet charge) and creates replacements.
+  Cluster cluster;
+  DeploymentSpec spec = wasm_deployment("api", 2);
+  spec.pod_template.memory_limit = 32ull << 20;
+  ASSERT_TRUE(cluster.deployments().create(std::move(spec)).is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.deployments().ready_replicas("api"), 2u);
+
+  const Pod* victim = cluster.api().pod("api-00000");
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(cluster.cri()
+                .grow_container_memory(victim->status.container_id,
+                                       Bytes(64ull << 20))
+                .code(),
+            ErrorCode::kResourceExhausted);
+  cluster.run();
+
+  EXPECT_EQ(cluster.deployments().ready_replicas("api"), 2u)
+      << "the controller must replace the OOM-killed replica";
+  EXPECT_EQ(cluster.deployments().pods_gced("api"), 1u);
+  EXPECT_EQ(cluster.deployments().pods_created("api"), 3u);
+  EXPECT_EQ(cluster.api().pod("api-00000"), nullptr)
+      << "the terminal pod must be deleted from the API server";
+  EXPECT_EQ(cluster.scheduler().bound_count(), 2u)
+      << "zero leaked slots: exactly the live replicas are bound";
+  EXPECT_EQ(cluster.kubelet().active_pods(), 2u);
+}
+
+TEST(DeploymentTest, DoomedTemplateConvergesWithinReplaceBudget) {
+  Cluster cluster;
+  cluster.node().faults().set_rate(FaultKind::kWasmTrap, 1.0);
+  DeploymentSpec spec = wasm_deployment("doomed", 2);
+  spec.replace_budget = 3;
+  ASSERT_TRUE(cluster.deployments().create(std::move(spec)).is_ok());
+  cluster.run();  // must quiesce: the budget bounds replacement creations
+
+  EXPECT_TRUE(cluster.deployments().budget_exhausted("doomed"));
+  EXPECT_EQ(cluster.deployments().pods_created("doomed"), 5u)
+      << "replicas + replace_budget pods, then give up";
+  EXPECT_EQ(cluster.deployments().ready_replicas("doomed"), 0u);
+  EXPECT_NE(cluster.deployments().trace_string().find("budget-exhausted"),
+            std::string::npos);
+  EXPECT_EQ(cluster.scheduler().bound_count(), 0u)
+      << "every failed replacement must return its slot";
+}
+
+TEST(DeploymentTest, ScaleUpAndDown) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deployments().create(wasm_deployment("web", 2)).is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.deployments().ready_replicas("web"), 2u);
+
+  ASSERT_TRUE(cluster.deployments().scale("web", 4).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.deployments().ready_replicas("web"), 4u);
+
+  ASSERT_TRUE(cluster.deployments().scale("web", 1).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.deployments().ready_replicas("web"), 1u);
+  EXPECT_EQ(cluster.deployments().pods_of("web").size(), 1u);
+  EXPECT_EQ(cluster.kubelet().active_pods(), 1u)
+      << "scaled-down pods must release kubelet bookkeeping";
+  EXPECT_EQ(cluster.scheduler().bound_count(), 1u);
+}
+
+TEST(DeploymentTest, ExternallyDeletedPodIsReplaced) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deployments().create(wasm_deployment("web", 2)).is_ok());
+  cluster.run();
+  ASSERT_TRUE(cluster.api().delete_pod("web-00001").is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.deployments().ready_replicas("web"), 2u);
+  EXPECT_EQ(cluster.deployments().pods_created("web"), 3u);
+}
+
+TEST(DeploymentTest, RejectsInvalidSpecs) {
+  Cluster cluster;
+  DeploymentSpec unnamed;
+  unnamed.pod_template.image = "request-service:wasm";
+  EXPECT_EQ(cluster.deployments().create(unnamed).code(),
+            ErrorCode::kInvalidArgument);
+  DeploymentSpec no_image;
+  no_image.name = "x";
+  EXPECT_EQ(cluster.deployments().create(no_image).code(),
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(cluster.deployments().create(wasm_deployment("web", 1)).is_ok());
+  EXPECT_EQ(cluster.deployments().create(wasm_deployment("web", 1)).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace wasmctr::serve

@@ -1,0 +1,212 @@
+// Endpoints bookkeeping + load-balancer tests (ISSUE 3 satellite 4):
+// endpoints leave on OOM-kill/eviction, rejoin after backoff recovery,
+// and the balancer never routes to a NotReady pod.
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+#include "serve/endpoints.hpp"
+
+namespace wasmctr::serve {
+namespace {
+
+using k8s::Cluster;
+using k8s::ClusterOptions;
+using k8s::LbPolicy;
+using k8s::Pod;
+using k8s::PodPhase;
+using k8s::PodSpec;
+using k8s::RestartPolicy;
+using k8s::Service;
+
+DeploymentSpec serving_deployment(const std::string& name, uint32_t replicas,
+                                  RestartPolicy policy) {
+  DeploymentSpec spec;
+  spec.name = name;
+  spec.replicas = replicas;
+  spec.pod_template.image = "request-service:wasm";
+  spec.pod_template.runtime_class = "crun-wamr";
+  spec.pod_template.restart_policy = policy;
+  return spec;
+}
+
+Service service_for(const std::string& deployment, LbPolicy policy) {
+  Service svc;
+  svc.name = deployment + "-svc";
+  svc.selector = {{"app", deployment}};
+  svc.policy = policy;
+  return svc;
+}
+
+TEST(EndpointsTest, TracksReadyPodsBySelector) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.api()
+                  .create_service(service_for("web", LbPolicy::kRoundRobin))
+                  .is_ok());
+  ASSERT_TRUE(cluster.deployments()
+                  .create(serving_deployment("web", 2, RestartPolicy::kNever))
+                  .is_ok());
+  // A pod that matches no selector must stay out of the endpoints.
+  PodSpec other;
+  other.name = "other";
+  other.image = "request-service:wasm";
+  other.runtime_class = "crun-wamr";
+  ASSERT_TRUE(cluster.deploy_pod(std::move(other)).is_ok());
+  cluster.run();
+
+  const k8s::Endpoints* eps = cluster.endpoints().endpoints("web-svc");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_EQ(eps->ready,
+            (std::vector<std::string>{"web-00000", "web-00001"}));
+  EXPECT_EQ(cluster.endpoints().endpoints("nope"), nullptr);
+}
+
+TEST(EndpointsTest, OomKilledPodLeavesAndRejoinsAfterBackoff) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.api()
+                  .create_service(service_for("web", LbPolicy::kRoundRobin))
+                  .is_ok());
+  DeploymentSpec spec =
+      serving_deployment("web", 2, RestartPolicy::kOnFailure);
+  spec.pod_template.memory_limit = 32ull << 20;
+  ASSERT_TRUE(cluster.deployments().create(std::move(spec)).is_ok());
+  cluster.run();
+  const k8s::Endpoints* eps = cluster.endpoints().endpoints("web-svc");
+  ASSERT_NE(eps, nullptr);
+  ASSERT_EQ(eps->ready.size(), 2u);
+
+  const Pod* victim = cluster.api().pod("web-00000");
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(cluster.cri()
+                .grow_container_memory(victim->status.container_id,
+                                       Bytes(64ull << 20))
+                .code(),
+            ErrorCode::kResourceExhausted);
+  // Synchronously after the OOM kill the pod is in CrashLoopBackOff and
+  // must already be out of the endpoints.
+  EXPECT_EQ(eps->ready, (std::vector<std::string>{"web-00001"}))
+      << "an OOM-killed pod must leave the endpoints immediately";
+
+  cluster.run();  // backoff expires, in-place restart reaches Running
+  EXPECT_EQ(eps->ready,
+            (std::vector<std::string>{"web-00000", "web-00001"}))
+      << "the recovered pod must rejoin";
+  const std::string& trace = cluster.endpoints().trace_string();
+  EXPECT_NE(trace.find("-web-00000"), std::string::npos);
+  EXPECT_NE(trace.rfind("+web-00000"), trace.find("+web-00000"))
+      << "web-00000 must be added twice: at startup and after recovery";
+}
+
+TEST(EndpointsTest, EvictedPodLeavesEndpoints) {
+  ClusterOptions opts;
+  opts.eviction_min_available = Bytes(250ull << 30);
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.api()
+                  .create_service(service_for("web", LbPolicy::kRoundRobin))
+                  .is_ok());
+  // Never + no memory limit: the hog is BestEffort and evictable; the
+  // deployment replaces it after eviction.
+  ASSERT_TRUE(cluster.deployments()
+                  .create(serving_deployment("web", 2, RestartPolicy::kNever))
+                  .is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.endpoints().endpoints("web-svc")->ready.size(), 2u);
+
+  ASSERT_TRUE(cluster.cri()
+                  .grow_container_memory(
+                      cluster.api().pod("web-00000")->status.container_id,
+                      Bytes(20ull << 30))
+                  .is_ok());
+  // Admission of an unrelated pod triggers the node-pressure check.
+  PodSpec late;
+  late.name = "late";
+  late.image = "request-service:wasm";
+  late.runtime_class = "crun-wamr";
+  ASSERT_TRUE(cluster.deploy_pod(std::move(late)).is_ok());
+  cluster.run();
+
+  EXPECT_EQ(cluster.kubelet().pods_evicted(), 1u);
+  EXPECT_NE(cluster.endpoints().trace_string().find("-web-00000"),
+            std::string::npos)
+      << "the evicted pod must have left the endpoints";
+  // The deployment replaced the evicted replica with a fresh Ready pod.
+  EXPECT_EQ(cluster.endpoints().endpoints("web-svc")->ready,
+            (std::vector<std::string>{"web-00001", "web-00002"}));
+}
+
+TEST(EndpointsTest, LbNeverRoutesToNotReadyPod) {
+  Cluster cluster;
+  ASSERT_TRUE(
+      cluster.api()
+          .create_service(service_for("web", LbPolicy::kLeastOutstanding))
+          .is_ok());
+  DeploymentSpec spec =
+      serving_deployment("web", 3, RestartPolicy::kOnFailure);
+  spec.pod_template.memory_limit = 32ull << 20;
+  ASSERT_TRUE(cluster.deployments().create(std::move(spec)).is_ok());
+  cluster.run();
+
+  EXPECT_EQ(cluster.cri()
+                .grow_container_memory(
+                    cluster.api().pod("web-00001")->status.container_id,
+                    Bytes(64ull << 20))
+                .code(),
+            ErrorCode::kResourceExhausted);
+  ASSERT_EQ(cluster.api().pod("web-00001")->status.phase,
+            PodPhase::kCrashLoopBackOff);
+
+  LoadBalancer lb(cluster.endpoints(), "web-svc",
+                  LbPolicy::kLeastOutstanding);
+  for (int i = 0; i < 64; ++i) {
+    const auto pick = lb.pick();
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_NE(*pick, "web-00001")
+        << "a NotReady pod must never be routed to";
+    lb.on_dispatch(*pick);
+  }
+}
+
+TEST(EndpointsTest, RoundRobinCyclesAndLeastOutstandingPicksIdle) {
+  // Pure-bookkeeping fixture: an API server + kernel, no kubelet. Pods
+  // are marked Running by hand through notify_status.
+  sim::Kernel kernel;
+  k8s::ApiServer api;
+  EndpointsController endpoints(kernel, api);
+  Service svc;
+  svc.name = "svc";
+  svc.selector = {{"app", "demo"}};
+  ASSERT_TRUE(api.create_service(svc).is_ok());
+  for (const char* name : {"a", "b", "c"}) {
+    PodSpec spec;
+    spec.name = name;
+    spec.image = "img";
+    spec.labels = {{"app", "demo"}};
+    ASSERT_TRUE(api.create_pod(std::move(spec)).is_ok());
+    api.pod(name)->status.phase = PodPhase::kRunning;
+    api.notify_status(name);
+  }
+
+  LoadBalancer rr(endpoints, "svc", LbPolicy::kRoundRobin);
+  std::vector<std::string> order;
+  for (int i = 0; i < 6; ++i) order.push_back(*rr.pick());
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a", "b", "c", "a", "b", "c"}));
+
+  LoadBalancer lo(endpoints, "svc", LbPolicy::kLeastOutstanding);
+  const auto first = lo.pick();
+  ASSERT_TRUE(first.has_value());
+  lo.on_dispatch(*first);
+  lo.on_dispatch(*first);  // pile work on the first pick
+  const auto second = lo.pick();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*second, *first)
+      << "least-outstanding must prefer the idle endpoints";
+  lo.on_complete(*first);
+  lo.on_complete(*first);
+  EXPECT_EQ(lo.outstanding(*first), 0u);
+
+  LoadBalancer empty(endpoints, "unknown-svc", LbPolicy::kRoundRobin);
+  EXPECT_FALSE(empty.pick().has_value());
+}
+
+}  // namespace
+}  // namespace wasmctr::serve

@@ -1,0 +1,198 @@
+// Traffic-driver tests: cold/warm serving through the full CRI → OCI →
+// engine path, retry behaviour under churn, and same-seed determinism.
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+#include "serve/traffic.hpp"
+
+namespace wasmctr::serve {
+namespace {
+
+using k8s::Cluster;
+using k8s::LbPolicy;
+using k8s::Pod;
+using k8s::RestartPolicy;
+using k8s::Service;
+
+struct Fixture {
+  Cluster cluster;
+
+  Fixture(const std::string& image, const std::string& runtime_class,
+          uint32_t replicas, LbPolicy policy,
+          uint64_t memory_limit = 0) {
+    Service svc;
+    svc.name = "svc";
+    svc.selector = {{"app", "srv"}};
+    svc.policy = policy;
+    EXPECT_TRUE(cluster.api().create_service(svc).is_ok());
+    DeploymentSpec spec;
+    spec.name = "srv";
+    spec.replicas = replicas;
+    spec.pod_template.image = image;
+    spec.pod_template.runtime_class = runtime_class;
+    spec.pod_template.restart_policy = RestartPolicy::kOnFailure;
+    spec.pod_template.memory_limit = memory_limit;
+    EXPECT_TRUE(cluster.deployments().create(std::move(spec)).is_ok());
+    cluster.run();
+    EXPECT_EQ(cluster.deployments().ready_replicas("srv"), replicas);
+  }
+
+  TrafficDriver drive(TrafficOptions options) {
+    options.service = "svc";
+    return TrafficDriver(cluster.node().kernel(), cluster.api(),
+                         cluster.cri(), cluster.endpoints(),
+                         std::move(options));
+  }
+};
+
+TEST(TrafficTest, WasmColdThenWarmRequests) {
+  Fixture fx("request-service:wasm", "crun-wamr", 1, LbPolicy::kRoundRobin);
+  TrafficOptions opts;
+  opts.total_requests = 6;
+  opts.rate_rps = 20.0;
+  TrafficDriver driver = fx.drive(opts);
+  driver.start();
+  fx.cluster.run();
+
+  EXPECT_EQ(driver.served(), 6u);
+  EXPECT_EQ(driver.failed(), 0u);
+  EXPECT_EQ(driver.cold_hits(), 1u)
+      << "only the first request pays instantiation";
+  EXPECT_EQ(driver.warm_hits(), 5u);
+  const auto& outcomes = driver.outcomes();
+  EXPECT_TRUE(outcomes[0].cold);
+  for (const RequestOutcome& out : outcomes) {
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.attempts, 1u);
+    EXPECT_EQ(out.pod, "srv-00000");
+    EXPECT_EQ(out.result, outcomes[0].result)
+        << "the handler is deterministic in its argument";
+    EXPECT_GT(out.latency.count(), 0);
+  }
+  // Cold instantiation dominates: the first request is the slowest.
+  EXPECT_GT(outcomes[0].latency, outcomes[1].latency);
+  const LatencyStats stats = driver.latency();
+  EXPECT_GT(stats.p50_ms, 0.0);
+  EXPECT_GE(stats.p99_ms, stats.p50_ms);
+  EXPECT_GE(stats.max_ms, stats.p99_ms);
+  EXPECT_GT(driver.throughput_rps(), 0.0);
+}
+
+TEST(TrafficTest, PythonHandlerServesThroughRuncPath) {
+  Fixture fx("request-service:python", "runc", 1, LbPolicy::kRoundRobin);
+  TrafficOptions opts;
+  opts.total_requests = 4;
+  TrafficDriver driver = fx.drive(opts);
+  driver.start();
+  fx.cluster.run();
+
+  EXPECT_EQ(driver.served(), 4u);
+  EXPECT_EQ(driver.cold_hits(), 1u);
+  EXPECT_EQ(driver.warm_hits(), 3u);
+  for (const RequestOutcome& out : driver.outcomes()) {
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.result, driver.outcomes()[0].result);
+  }
+  // The boot printed through the real interpreter.
+  const auto out = fx.cluster.pod_stdout("srv-00000");
+  ASSERT_TRUE(out);
+  EXPECT_NE(out->find("request-service ready"), std::string::npos);
+}
+
+TEST(TrafficTest, BurstQueuesOnSingleWarmInstance) {
+  // One replica, arrivals far faster than service: requests queue FIFO on
+  // the instance (concurrency 1) and all complete.
+  Fixture fx("request-service:wasm", "crun-wamr", 1, LbPolicy::kRoundRobin);
+  TrafficOptions opts;
+  opts.total_requests = 10;
+  opts.rate_rps = 5000.0;
+  TrafficDriver driver = fx.drive(opts);
+  driver.start();
+  fx.cluster.run();
+
+  EXPECT_EQ(driver.served(), 10u);
+  const auto& outcomes = driver.outcomes();
+  // FIFO queue on one instance: completions come back in arrival order,
+  // and every queued request waits at least one service time.
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_GE(outcomes[i].completed, outcomes[i - 1].completed)
+        << "request " << i << " must queue behind request " << i - 1;
+    EXPECT_GT(outcomes[i].latency.count(), 0);
+  }
+}
+
+TEST(TrafficTest, SpreadsOverReplicasLeastOutstanding) {
+  Fixture fx("request-service:wasm", "crun-wamr", 3,
+             LbPolicy::kLeastOutstanding);
+  TrafficOptions opts;
+  opts.total_requests = 30;
+  opts.rate_rps = 200.0;
+  TrafficDriver driver = fx.drive(opts);
+  driver.start();
+  fx.cluster.run();
+
+  EXPECT_EQ(driver.served(), 30u);
+  EXPECT_EQ(driver.cold_hits(), 3u) << "each replica pays one cold start";
+  std::map<std::string, uint32_t> per_pod;
+  for (const RequestOutcome& out : driver.outcomes()) ++per_pod[out.pod];
+  EXPECT_EQ(per_pod.size(), 3u) << "all replicas must serve";
+}
+
+TEST(TrafficTest, RetriesThroughMidTrafficOomChurn) {
+  // A pod OOM-kills mid-traffic: in-flight and routed-to-it requests
+  // retry (with backoff) onto surviving replicas or the recovered pod;
+  // every request is eventually served.
+  Fixture fx("request-service:wasm", "crun-wamr", 2,
+             LbPolicy::kLeastOutstanding, /*memory_limit=*/48ull << 20);
+  TrafficOptions opts;
+  opts.total_requests = 40;
+  opts.rate_rps = 5000.0;  // dense burst: deep queues during cold start
+  TrafficDriver driver = fx.drive(opts);
+  driver.start();
+  // While the cold instantiation is still in flight (and requests are
+  // queued behind it), one replica's cgroup is breached.
+  fx.cluster.node().kernel().schedule_after(sim_s(0.05), [&fx] {
+    const Pod* pod = fx.cluster.api().pod("srv-00000");
+    if (pod == nullptr || pod->status.container_id.empty()) return;
+    (void)fx.cluster.cri().grow_container_memory(pod->status.container_id,
+                                                 Bytes(96ull << 20));
+  });
+  fx.cluster.run();
+
+  EXPECT_EQ(driver.served(), 40u) << "every request must eventually land";
+  EXPECT_EQ(driver.failed(), 0u);
+  EXPECT_GT(driver.retries(), 0u) << "the kill must have forced retries";
+  EXPECT_EQ(fx.cluster.deployments().ready_replicas("srv"), 2u);
+}
+
+TEST(TrafficTest, SameSeedRunsProduceIdenticalTraces) {
+  auto run_once = [] {
+    Fixture fx("request-service:wasm", "crun-wamr", 2,
+               LbPolicy::kLeastOutstanding, /*memory_limit=*/48ull << 20);
+    TrafficOptions opts;
+    opts.total_requests = 25;
+    opts.rate_rps = 50.0;
+    opts.seed = 0xfeed;
+    TrafficDriver driver = fx.drive(opts);
+    driver.start();
+    fx.cluster.node().kernel().schedule_after(sim_s(0.3), [&fx] {
+      const Pod* pod = fx.cluster.api().pod("srv-00001");
+      if (pod == nullptr || pod->status.container_id.empty()) return;
+      (void)fx.cluster.cri().grow_container_memory(pod->status.container_id,
+                                                   Bytes(96ull << 20));
+    });
+    fx.cluster.run();
+    EXPECT_EQ(driver.served() + driver.failed(), 25u);
+    return std::tuple(std::string(driver.trace_string()),
+                      std::string(fx.cluster.endpoints().trace_string()),
+                      driver.throughput_rps());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b)) << "request traces must match";
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b)) << "endpoint churn must match";
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+}
+
+}  // namespace
+}  // namespace wasmctr::serve
