@@ -66,6 +66,8 @@ void Containerd::run_pod_sandbox(
     const std::string& pod_name,
     std::function<void(Result<std::string>)> done) {
   const std::string id = "sb-" + std::to_string(next_id_++);
+  // Covers cgroup + netns/CNI setup and the pause-container start.
+  node_.obs().tracer.pod_phase(pod_name, "sandbox.cni", "containerd");
   node_.burst(kInfra.sandbox_cpu_s, [this, id, pod_name,
                                      done = std::move(done)] {
     // Injected sandbox-creation failure (netns/CNI setup error): nothing
@@ -99,6 +101,7 @@ void Containerd::run_pod_sandbox(
     }
     sb.pause_pid = *pause;
     sandboxes_.emplace(id, std::move(sb));
+    node_.obs().metrics.counter("wasmctr_sandboxes_created_total").inc();
     done(id);
   });
 }
@@ -110,6 +113,10 @@ Result<std::string> Containerd::create_and_start(
   if (sb == sandboxes_.end()) return not_found("sandbox " + sandbox_id);
   auto hc = handlers_.find(handler);
   if (hc == handlers_.end()) return not_found("runtime handler " + handler);
+  // Image/bundle resolution is synchronous bookkeeping (≈0 virtual time);
+  // the phase still marks the CRI hand-off in the trace.
+  node_.obs().tracer.pod_phase(sb->second.pod_name, "cri.create",
+                               "containerd");
   // Injected transient CRI error (dropped ttrpc connection, deadline
   // exceeded): fails before any resource is acquired, so a plain retry of
   // CreateContainer recovers.
@@ -177,6 +184,12 @@ void Containerd::start_via_runc_shim(const std::string& container_id,
       on_running(not_found("oci runtime " + config.oci_runtime));
     }
     return;
+  }
+  if (auto rec = containers_.find(container_id); rec != containers_.end()) {
+    // Covers the daemon's serialized shim registration plus the
+    // containerd-shim-runc-v2 process spawn.
+    node_.obs().tracer.pod_phase(pod_name_of(rec->second), "shim.spawn",
+                                 "containerd");
   }
   // Registering the shim with the daemon is a short, serialized section.
   node_.daemon_lock().acquire(
@@ -274,11 +287,21 @@ void Containerd::start_via_runwasi(const std::string& container_id,
   const double serial =
       base + per_conn * static_cast<double>(runwasi_connections_++);
 
+  if (auto rec = containers_.find(container_id); rec != containers_.end()) {
+    // The wait for the daemon's serialized ttrpc section *is* the runwasi
+    // shim-spawn cost that grows with density (Fig 8 → Fig 9 flip).
+    node_.obs().tracer.pod_phase(pod_name_of(rec->second), "shim.spawn",
+                                 "containerd");
+  }
   node_.daemon_lock().acquire(sim_s(serial), [this, container_id, cgroup_path,
                                               kind, on_running =
                                                         std::move(on_running)] {
     auto rec_it = containers_.find(container_id);
     if (rec_it == containers_.end()) return;
+    // Shim boot + engine create/init/load run as one fused burst; the
+    // phase covers it all (the engine dominates, per EngineProfile).
+    node_.obs().tracer.pod_phase(pod_name_of(rec_it->second), "engine.load",
+                                 "engines");
     const engines::Engine& engine = shim_engine(kind);
 
     // The shim process boots, then loads/compiles the module in-process.
@@ -297,6 +320,7 @@ void Containerd::start_via_runwasi(const std::string& container_id,
           if (rec_it == containers_.end()) return;
           ContainerRecord& rec = rec_it->second;
           const std::string pod = pod_name_of(rec);
+          node_.obs().tracer.pod_phase(pod, "wasi.start", "engines");
 
           // Injected shim crash: the runwasi shim process dies while
           // booting, before the engine ever runs.
@@ -538,7 +562,8 @@ Status Containerd::grow_container_memory(const std::string& container_id,
 }
 
 void Containerd::invoke_container(const std::string& container_id,
-                                  int32_t arg, engines::InvokeCallback done) {
+                                  int32_t arg, engines::InvokeCallback done,
+                                  obs::SpanId parent) {
   auto it = containers_.find(container_id);
   if (it == containers_.end()) {
     if (done) done(not_found("container " + container_id));
@@ -572,7 +597,7 @@ void Containerd::invoke_container(const std::string& container_id,
       charging_done(not_found("oci runtime for " + container_id));
       return;
     }
-    runtime->invoke(container_id, arg, std::move(charging_done));
+    runtime->invoke(container_id, arg, std::move(charging_done), parent);
     return;
   }
 
@@ -600,7 +625,7 @@ void Containerd::invoke_container(const std::string& container_id,
         node_, shim_engine(*hc->second.engine), rec.bundle.payload.wasm,
         std::move(opts));
   }
-  rec.serve->invoke(arg, std::move(charging_done));
+  rec.serve->invoke(arg, std::move(charging_done), parent);
 }
 
 Result<const SandboxInfo*> Containerd::sandbox(const std::string& id) const {

@@ -94,8 +94,11 @@ class Containerd {
   /// engine, DESIGN.md §8). On a cold hit the new serving instance's
   /// resident bytes are charged to the pod cgroup via
   /// grow_container_memory — a tight limit can OOM-kill mid-serving.
+  /// `parent` (optional) nests the serving-layer spans under the caller's
+  /// request span.
   void invoke_container(const std::string& container_id, int32_t arg,
-                        engines::InvokeCallback done);
+                        engines::InvokeCallback done,
+                        obs::SpanId parent = {});
 
   [[nodiscard]] Result<const SandboxInfo*> sandbox(
       const std::string& id) const;
@@ -121,6 +124,7 @@ class Containerd {
   Status grow_container_memory(const std::string& container_id, Bytes delta);
 
   [[nodiscard]] ImageStore& images() noexcept { return images_; }
+  [[nodiscard]] sim::Node& node() noexcept { return node_; }
 
  private:
   struct ShimRecord {

@@ -41,7 +41,13 @@ struct ServeSlot::State {
   bool closed = false;
   bool busy = false;
   Status close_reason = Status::ok();
-  std::deque<std::pair<int32_t, InvokeCallback>> queue;
+  struct Pending {
+    int32_t arg = 0;
+    InvokeCallback done;
+    obs::SpanId queue_span;  ///< serve.queue: enqueue → dispatch
+    obs::SpanId parent;      ///< caller's request span
+  };
+  std::deque<Pending> queue;
   uint64_t served = 0;
 };
 
@@ -81,12 +87,18 @@ ServeSlot::~ServeSlot() {
   close(unavailable("serving instance destroyed"));
 }
 
-void ServeSlot::invoke(int32_t arg, InvokeCallback done) {
+void ServeSlot::invoke(int32_t arg, InvokeCallback done, obs::SpanId parent) {
   if (state_->closed) {
     if (done) done(state_->close_reason);
     return;
   }
-  state_->queue.emplace_back(arg, std::move(done));
+  obs::Tracer& tracer = state_->node->obs().tracer;
+  State::Pending pending;
+  pending.arg = arg;
+  pending.done = std::move(done);
+  pending.queue_span = tracer.begin_span("serve.queue", "serve", parent);
+  pending.parent = parent;
+  state_->queue.push_back(std::move(pending));
   pump(state_);
 }
 
@@ -99,9 +111,9 @@ void ServeSlot::close(Status reason) {
                        : std::move(reason);
   auto pending = std::move(s.queue);
   s.queue.clear();
-  for (auto& [arg, done] : pending) {
-    (void)arg;
-    if (done) done(s.close_reason);
+  for (auto& p : pending) {
+    s.node->obs().tracer.end_span(p.queue_span);
+    if (p.done) p.done(s.close_reason);
   }
   s.instance.reset();
   s.ctx.reset();
@@ -125,19 +137,33 @@ uint64_t ServeSlot::requests_served() const noexcept {
 void ServeSlot::pump(const std::shared_ptr<State>& st) {
   if (st->closed || st->busy || st->queue.empty()) return;
   st->busy = true;
-  auto [arg, done] = std::move(st->queue.front());
+  State::Pending next = std::move(st->queue.front());
   st->queue.pop_front();
+
+  obs::Tracer& tracer = st->node->obs().tracer;
+  tracer.end_span(next.queue_span);
+  const obs::SpanId exec_span =
+      tracer.begin_span("serve.exec", "serve", next.parent);
 
   // The guest code runs for real at dispatch; the measured instruction
   // count then prices the CPU burst that delays the callback in virtual
   // time (processor sharing with everything else on the node).
   double cpu_s = 0.0;
-  Result<InvokeReport> result = st->kind == State::Kind::kWasm
-                                    ? run_wasm_request(*st, arg, cpu_s)
-                                    : run_python_request(*st, arg, cpu_s);
+  Result<InvokeReport> result =
+      st->kind == State::Kind::kWasm
+          ? run_wasm_request(*st, next.arg, cpu_s)
+          : run_python_request(*st, next.arg, cpu_s);
+  if (result) {
+    tracer.set_attr(exec_span, "cold", result->cold ? "1" : "0");
+    tracer.set_attr(exec_span, "instructions",
+                    std::to_string(result->instructions));
+  } else {
+    tracer.set_attr(exec_span, "error", result.status().to_string());
+  }
 
-  st->node->burst(cpu_s, [st, done = std::move(done),
+  st->node->burst(cpu_s, [st, exec_span, done = std::move(next.done),
                           result = std::move(result)]() mutable {
+    st->node->obs().tracer.end_span(exec_span);
     st->busy = false;
     if (st->closed) {
       if (done) done(st->close_reason);

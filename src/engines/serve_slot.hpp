@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "engines/engine.hpp"
+#include "obs/trace.hpp"
 #include "support/status.hpp"
 
 namespace wasmctr::sim {
@@ -59,7 +60,9 @@ class ServeSlot {
 
   /// Run the handler with `arg`. The callback fires after the modeled CPU
   /// burst completes (virtual time); queued if a request is in flight.
-  void invoke(int32_t arg, InvokeCallback done);
+  /// `parent` (optional) nests the slot's serve.queue / serve.exec spans
+  /// under the caller's request span.
+  void invoke(int32_t arg, InvokeCallback done, obs::SpanId parent = {});
 
   /// Tear the slot down (container killed/removed). Queued and in-flight
   /// requests fail with `reason` so callers can retry elsewhere.

@@ -68,7 +68,7 @@ Cluster::Cluster(ClusterOptions options)
       images_(node_),
       containerd_(node_, images_),
       api_(),
-      scheduler_(node_.kernel(), api_),
+      scheduler_(node_.kernel(), api_, &node_.obs()),
       kubelet_(KubeletConfig{"node-0", options.max_pods, "runc",
                              options.backoff_base, options.backoff_cap,
                              options.backoff_reset_after,

@@ -103,6 +103,7 @@ class Cluster {
 
   // --- component access ---
   [[nodiscard]] sim::Node& node() noexcept { return node_; }
+  [[nodiscard]] obs::Observability& obs() noexcept { return node_.obs(); }
   [[nodiscard]] ApiServer& api() noexcept { return api_; }
   [[nodiscard]] containerd::Containerd& cri() noexcept { return containerd_; }
   [[nodiscard]] MetricsServer& metrics() noexcept { return metrics_; }

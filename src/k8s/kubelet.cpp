@@ -81,6 +81,8 @@ void Kubelet::release_pod(const std::string& name) {
 
 void Kubelet::fail_pod(const std::string& name, const Status& status) {
   ++pods_failed_;
+  node_.obs().tracer.pod_end(name, "Failed");
+  node_.obs().metrics.counter("wasmctr_pods_failed_total").inc();
   if (Pod* p = api_.pod(name)) {
     p->status.phase = PodPhase::kFailed;
     p->status.message = status.to_string();
@@ -101,6 +103,13 @@ void Kubelet::evict_pod(const std::string& name) {
   Pod* p = api_.pod(name);
   if (p == nullptr) return;
   ++pods_evicted_;
+  node_.obs().tracer.pod_end(name, "Evicted");
+  node_.obs().metrics.counter("wasmctr_pods_evicted_total").inc();
+  {
+    const obs::SpanId ev =
+        node_.obs().tracer.instant("pod.evicted", "k8s");
+    node_.obs().tracer.set_attr(ev, "pod", name);
+  }
   p->status.phase = PodPhase::kEvicted;
   p->status.reason = "Evicted";
   p->status.message =
@@ -142,6 +151,7 @@ void Kubelet::maybe_evict_for_pressure() {
 
 void Kubelet::sync_pod(const Pod& pod) {
   const std::string name = pod.spec.name;
+  node_.obs().tracer.pod_phase(name, "kubelet.sync", "k8s");
   maybe_evict_for_pressure();
   if (active_pods_ >= config_.max_pods) {
     fail_pod(name, resource_exhausted(
@@ -177,6 +187,8 @@ void Kubelet::sync_pod(const Pod& pod) {
   rec.active = true;
   records_[name] = std::move(rec);
 
+  node_.obs().tracer.pod_attr(name, "handler", records_[name].handler);
+  node_.obs().tracer.pod_attr(name, "image", pod.spec.image);
   if (Pod* p = api_.pod(name)) {
     p->status.phase = PodPhase::kCreating;
     p->status.created_at = node_.kernel().now();
@@ -243,6 +255,14 @@ void Kubelet::create_and_start_container(const std::string& name,
           it->second.running_since = node_.kernel().now();
         }
         ++pods_started_;
+        const SimDuration startup =
+            node_.obs().tracer.pod_end(name, "Running");
+        node_.obs().metrics.counter("wasmctr_pods_started_total").inc();
+        node_.obs()
+            .metrics
+            .histogram("wasmctr_pod_startup_seconds",
+                       obs::default_startup_buckets_s())
+            .observe(to_seconds(startup));
         api_.notify_status(name);
       });
   if (!container_id) {
@@ -329,6 +349,20 @@ void Kubelet::handle_failure(const std::string& name, const Status& status) {
   const SimDuration delay = backoff_delay(rec.consecutive_failures);
   p->status.phase = PodPhase::kCrashLoopBackOff;
   p->status.message = status.to_string();
+  // A failure mid-startup closes the open attempt timeline; the retry
+  // opens a fresh one. Failures after Running find no open timeline.
+  node_.obs().tracer.pod_end(name, "CrashLoopBackOff");
+  node_.obs().metrics.counter("wasmctr_crashloop_backoffs_total").inc();
+  {
+    const obs::SpanId ev =
+        node_.obs().tracer.instant("crashloop.backoff", "k8s");
+    node_.obs().tracer.set_attr(ev, "pod", name);
+    node_.obs().tracer.set_attr(
+        ev, "attempt", std::to_string(rec.consecutive_failures));
+    char delay_s[32];
+    std::snprintf(delay_s, sizeof(delay_s), "%.3f", to_seconds(delay));
+    node_.obs().tracer.set_attr(ev, "delay_s", delay_s);
+  }
   api_.notify_status(name);
   backoff_trace_.push_back(
       {name, rec.consecutive_failures, delay, node_.kernel().now()});
@@ -342,6 +376,9 @@ void Kubelet::handle_failure(const std::string& name, const Status& status) {
       return;  // deleted (or evicted) while backing off
     }
     pod->status.phase = PodPhase::kCreating;
+    // Fresh attempt timeline covering the restart path (not the backoff
+    // wait, which is idle time, not startup work).
+    node_.obs().tracer.pod_phase(name, "kubelet.sync", "k8s");
     if (config_.in_place_restart && !pod->status.sandbox_id.empty()) {
       ++in_place_restarts_;
       restart_container(name);

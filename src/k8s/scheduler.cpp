@@ -9,8 +9,9 @@ namespace {
 constexpr SimDuration kBindLatency = sim_ms(int64_t{4});
 }  // namespace
 
-Scheduler::Scheduler(sim::Kernel& kernel, ApiServer& api)
-    : kernel_(kernel), api_(api) {
+Scheduler::Scheduler(sim::Kernel& kernel, ApiServer& api,
+                     obs::Observability* obs)
+    : kernel_(kernel), api_(api), obs_(obs) {
   api_.watch_created([this](const Pod& pod) { schedule(pod.spec.name); });
   // A pod that reaches a terminal phase no longer runs anything on its
   // node: return the slot immediately so replacements can schedule even if
@@ -46,6 +47,9 @@ void Scheduler::add_node(std::string name, uint32_t capacity) {
 }
 
 void Scheduler::schedule(const std::string& pod_name) {
+  // The create watcher fires synchronously with pod creation, so this
+  // opens the pod's startup timeline at creation time.
+  if (obs_ != nullptr) obs_->tracer.pod_phase(pod_name, "sched.bind", "k8s");
   kernel_.schedule_after(kBindLatency, [this, pod_name] {
     // Least-loaded node with free capacity.
     SchedulerNode* best = nullptr;
@@ -55,6 +59,10 @@ void Scheduler::schedule(const std::string& pod_name) {
     }
     if (best == nullptr) {
       ++unschedulable_;
+      if (obs_ != nullptr) {
+        obs_->metrics.counter("wasmctr_scheduler_unschedulable_total").inc();
+        obs_->tracer.pod_end(pod_name, "Unschedulable");
+      }
       if (Pod* p = api_.pod(pod_name)) {
         p->status.phase = PodPhase::kFailed;
         p->status.reason = "Unschedulable";
@@ -68,6 +76,9 @@ void Scheduler::schedule(const std::string& pod_name) {
     }
     ++best->bound;
     ++total_bound_;
+    if (obs_ != nullptr) {
+      obs_->metrics.counter("wasmctr_scheduler_bound_total").inc();
+    }
     (void)api_.bind_pod(pod_name, best->name);
   });
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "k8s/api_server.hpp"
+#include "obs/observability.hpp"
 #include "sim/kernel.hpp"
 
 namespace wasmctr::k8s {
@@ -20,7 +21,10 @@ struct SchedulerNode {
 
 class Scheduler {
  public:
-  Scheduler(sim::Kernel& kernel, ApiServer& api);
+  /// `obs` (optional) starts each pod's startup timeline at binding time
+  /// and records scheduling counters.
+  Scheduler(sim::Kernel& kernel, ApiServer& api,
+            obs::Observability* obs = nullptr);
 
   /// Register a schedulable node.
   void add_node(std::string name, uint32_t capacity);
@@ -38,6 +42,7 @@ class Scheduler {
 
   sim::Kernel& kernel_;
   ApiServer& api_;
+  obs::Observability* obs_;
   std::vector<SchedulerNode> nodes_;
   /// Pods whose slot was already released by a terminal-phase transition.
   std::set<std::string> released_;

@@ -1,0 +1,152 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wasmctr::obs {
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::size_t idx =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(sorted.size())));
+  idx = std::min(sorted.size() - 1, idx == 0 ? 0 : idx - 1);
+  return sorted[idx];
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++buckets_[i];
+  samples_.push_back(v);
+  sorted_valid_ = false;
+  sum_ += v;
+  if (v > max_) max_ = v;
+}
+
+double Histogram::quantile(double q) const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return nearest_rank(sorted_, q);
+}
+
+const std::vector<double>& default_latency_buckets_ms() {
+  static const std::vector<double> kBuckets = {
+      0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+      1000, 2500, 5000, 10000, 30000, 60000};
+  return kBuckets;
+}
+
+const std::vector<double>& default_startup_buckets_s() {
+  static const std::vector<double> kBuckets = {
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250};
+  return kBuckets;
+}
+
+Counter& Registry::counter(const std::string& name,
+                           const std::string& labels) {
+  return counters_[{name, labels}];
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  return gauges_[{name, labels}];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const std::string& labels) {
+  auto& slot = histograms_[{name, labels}];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+const Counter* Registry::find_counter(const std::string& name,
+                                      const std::string& labels) const {
+  auto it = counters_.find({name, labels});
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name,
+                                          const std::string& labels) const {
+  auto it = histograms_.find({name, labels});
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+/// Fixed numeric formatting: integral values render without a decimal
+/// point, everything else with %.6g — stable across platforms for the
+/// magnitudes the simulation produces.
+void append_value(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+void append_series(std::string& out, const std::string& name,
+                   const std::string& labels, double value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  append_value(out, value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string Registry::prometheus_text() const {
+  std::string out;
+  for (const auto& [key, c] : counters_) {
+    append_series(out, key.first, key.second, c.value());
+  }
+  for (const auto& [key, g] : gauges_) {
+    append_series(out, key.first, key.second, g.value());
+  }
+  for (const auto& [key, h] : histograms_) {
+    uint64_t cumulative = 0;
+    const auto& counts = h->bucket_counts();
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += counts[i];
+      std::string le = "le=\"";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", h->bounds()[i]);
+      le += buf;
+      le += '"';
+      if (!key.second.empty()) le = key.second + "," + le;
+      append_series(out, key.first + "_bucket", le,
+                    static_cast<double>(cumulative));
+    }
+    std::string inf = "le=\"+Inf\"";
+    if (!key.second.empty()) inf = key.second + "," + inf;
+    append_series(out, key.first + "_bucket", inf,
+                  static_cast<double>(h->count()));
+    append_series(out, key.first + "_sum", key.second, h->sum());
+    append_series(out, key.first + "_count", key.second,
+                  static_cast<double>(h->count()));
+  }
+  return out;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace wasmctr::obs

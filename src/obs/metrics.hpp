@@ -1,0 +1,118 @@
+// Metrics registry shared by every layer: counters, gauges, and
+// fixed-bucket histograms with Prometheus text exposition.
+//
+// Determinism rules (DESIGN.md §9): bucket bounds are fixed at
+// construction (never derived from observed data), quantiles are
+// nearest-rank over the raw samples (no interpolation), and exposition
+// renders metrics in (name, labels) order with fixed float formatting —
+// so same-seed runs produce byte-identical exports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wasmctr::obs {
+
+/// Nearest-rank percentile over an ascending-sorted vector: the smallest
+/// element whose rank r satisfies r >= ceil(q * n). Empty input yields 0.
+/// (Matches the serving plane's historical percentile_ms behaviour — the
+/// regression test in tests/obs/metrics_test.cpp pins it.)
+[[nodiscard]] double nearest_rank(const std::vector<double>& sorted,
+                                  double q);
+
+class Counter {
+ public:
+  void inc(double d = 1.0) noexcept { value_ += d; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram that also retains raw samples so quantiles are
+/// exact nearest-rank values, not bucket upper bounds. Simulation scale
+/// (thousands of samples) makes retention cheap.
+class Histogram {
+ public:
+  /// `bounds` are ascending inclusive upper bounds; +Inf is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] uint64_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return samples_.empty() ? 0.0
+                            : sum_ / static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Nearest-rank quantile over the raw samples (q in [0, 1]).
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) counts; last entry is the +Inf bucket.
+  [[nodiscard]] const std::vector<uint64_t>& bucket_counts() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;  // bounds_.size() + 1 (+Inf)
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt for quantiles
+  mutable bool sorted_valid_ = true;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
+/// Fixed latency buckets in milliseconds (sub-ms to minutes).
+[[nodiscard]] const std::vector<double>& default_latency_buckets_ms();
+/// Fixed startup buckets in seconds.
+[[nodiscard]] const std::vector<double>& default_startup_buckets_s();
+
+/// Named metrics, optionally labelled: `labels` is the rendered inner
+/// label list (e.g. `service="svc",class="crun-wamr"`), kept verbatim so
+/// exposition is exactly reproducible.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& labels = "");
+
+  /// Lookup without creating; nullptr when absent (tests, exporters).
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const std::string& labels = "") const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name, const std::string& labels = "") const;
+
+  /// Prometheus text exposition, deterministically ordered by
+  /// (name, labels). Byte-identical across same-seed runs.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  void clear();
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace wasmctr::obs

@@ -1,0 +1,22 @@
+// Bundle of the per-node observability surfaces: one tracer and one
+// metrics registry, both on the node's virtual clock. Owned by
+// sim::Node so every layer (k8s, containerd, oci, engines, serve)
+// reaches the same instance through node.obs().
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wasmctr::obs {
+
+struct Observability {
+  explicit Observability(sim::Kernel& kernel) : tracer(kernel) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  Tracer tracer;
+  Registry metrics;
+};
+
+}  // namespace wasmctr::obs

@@ -1,0 +1,230 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wasmctr::obs {
+
+namespace {
+
+/// Microseconds with fixed 3-decimal formatting (Chrome ts/dur unit).
+void append_us(std::string& out, SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(t.count()) / 1e3);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Span* Tracer::find(SpanId id) {
+  if (id.value == 0 || id.value > spans_.size()) return nullptr;
+  return &spans_[id.value - 1];
+}
+
+const Span* Tracer::span(SpanId id) const {
+  if (id.value == 0 || id.value > spans_.size()) return nullptr;
+  return &spans_[id.value - 1];
+}
+
+SpanId Tracer::begin_span(std::string name, std::string layer,
+                          SpanId parent) {
+  Span s;
+  s.id = spans_.size() + 1;
+  s.parent = parent.value;
+  s.name = std::move(name);
+  s.layer = std::move(layer);
+  s.start = kernel_.now();
+  spans_.push_back(std::move(s));
+  return SpanId{spans_.back().id};
+}
+
+void Tracer::set_attr(SpanId id, std::string key, std::string value) {
+  if (Span* s = find(id)) {
+    s->attrs.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void Tracer::end_span(SpanId id) {
+  Span* s = find(id);
+  if (s == nullptr || s->closed) return;
+  s->end = kernel_.now();
+  s->closed = true;
+}
+
+SpanId Tracer::instant(std::string name, std::string layer, SpanId parent) {
+  const SpanId id = begin_span(std::move(name), std::move(layer), parent);
+  Span* s = find(id);
+  s->end = s->start;
+  s->closed = true;
+  s->instant = true;
+  return id;
+}
+
+void Tracer::pod_phase(const std::string& pod, std::string phase,
+                       std::string layer) {
+  auto it = timelines_.find(pod);
+  if (it == timelines_.end()) {
+    // First phase of a (re)attempt: open the root span.
+    Timeline tl;
+    tl.attempt = ++attempts_[pod];
+    tl.root = begin_span(std::string(kPodRootSpanName), "k8s");
+    set_attr(tl.root, "pod", pod);
+    set_attr(tl.root, "attempt", std::to_string(tl.attempt));
+    it = timelines_.emplace(pod, tl).first;
+  }
+  Timeline& tl = it->second;
+  end_span(tl.phase);  // no-op for the first phase
+  tl.phase = begin_span(std::move(phase), std::move(layer), tl.root);
+  set_attr(tl.phase, "pod", pod);
+}
+
+void Tracer::pod_attr(const std::string& pod, std::string key,
+                      std::string value) {
+  auto it = timelines_.find(pod);
+  if (it == timelines_.end()) return;
+  set_attr(it->second.root, std::move(key), std::move(value));
+}
+
+SimDuration Tracer::pod_end(const std::string& pod,
+                            std::string_view outcome) {
+  auto it = timelines_.find(pod);
+  if (it == timelines_.end()) return SimDuration{0};
+  Timeline tl = it->second;
+  timelines_.erase(it);
+  end_span(tl.phase);
+  end_span(tl.root);
+  set_attr(tl.root, "outcome", std::string(outcome));
+  if (outcome == "Running") ++completed_;
+  const Span* root = span(tl.root);
+  return root == nullptr ? SimDuration{0} : root->duration();
+}
+
+std::vector<PhaseStat> Tracer::pod_phase_stats() const {
+  std::vector<PhaseStat> stats;
+  for (const Span& s : spans_) {
+    if (s.parent == 0 || !s.closed || s.instant) continue;
+    const Span* parent = span(SpanId{s.parent});
+    if (parent == nullptr || parent->name != kPodRootSpanName) continue;
+    auto it = std::find_if(stats.begin(), stats.end(),
+                           [&](const PhaseStat& p) { return p.phase == s.name; });
+    if (it == stats.end()) {
+      stats.push_back({s.name, 0.0, 0});
+      it = stats.end() - 1;
+    }
+    it->total_s += to_seconds(s.duration());
+    ++it->count;
+  }
+  return stats;
+}
+
+std::vector<const Span*> Tracer::pod_roots() const {
+  std::vector<const Span*> roots;
+  for (const Span& s : spans_) {
+    if (s.parent == 0 && s.closed && s.name == kPodRootSpanName) {
+      roots.push_back(&s);
+    }
+  }
+  return roots;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  // Layer → tid, in order of first appearance (deterministic).
+  std::vector<std::string> layers;
+  const auto tid_of = [&](const std::string& layer) {
+    auto it = std::find(layers.begin(), layers.end(), layer);
+    if (it == layers.end()) {
+      layers.push_back(layer);
+      return layers.size();
+    }
+    return static_cast<std::size_t>(it - layers.begin()) + 1;
+  };
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"cat\":";
+    append_json_string(out, s.layer);
+    out += s.instant ? ",\"ph\":\"i\",\"s\":\"t\"" : ",\"ph\":\"X\"";
+    out += ",\"ts\":";
+    append_us(out, s.start);
+    if (!s.instant) {
+      out += ",\"dur\":";
+      // Open spans export with zero duration rather than a wall clock.
+      append_us(out, s.closed ? s.duration() : SimDuration{0});
+    }
+    out += ",\"pid\":1,\"tid\":" + std::to_string(tid_of(s.layer));
+    out += ",\"args\":{\"id\":" + std::to_string(s.id);
+    if (s.parent != 0) out += ",\"parent\":" + std::to_string(s.parent);
+    for (const auto& [k, v] : s.attrs) {
+      out += ',';
+      append_json_string(out, k);
+      out += ':';
+      append_json_string(out, v);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::text() const {
+  std::string out;
+  char buf[128];
+  for (const Span& s : spans_) {
+    std::snprintf(buf, sizeof(buf), "%06llu %-10s %-22s %14.6f %14.6f",
+                  static_cast<unsigned long long>(s.id), s.layer.c_str(),
+                  s.name.c_str(), to_seconds(s.start),
+                  s.closed ? to_seconds(s.end) : to_seconds(s.start));
+    out += buf;
+    if (s.parent != 0) {
+      std::snprintf(buf, sizeof(buf), " parent=%llu",
+                    static_cast<unsigned long long>(s.parent));
+      out += buf;
+    }
+    if (s.instant) out += " instant";
+    if (!s.closed) out += " open";
+    for (const auto& [k, v] : s.attrs) {
+      out += ' ';
+      out += k;
+      out += '=';
+      out += v;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  timelines_.clear();
+  attempts_.clear();
+  completed_ = 0;
+}
+
+}  // namespace wasmctr::obs

@@ -1,0 +1,145 @@
+// Virtual-time span tracer shared by every layer of the stack.
+//
+// Spans carry (name, layer, attributes, start/end on sim::Kernel::now())
+// and nest via an explicit parent handle — the kernel is single-threaded,
+// so there are no thread-locals and no ambient "current span". On top of
+// raw spans the tracer offers pod *timelines*: a root span per startup
+// attempt whose child phases tile the interval from pod creation to
+// Running with no gaps (each phase begins exactly where the previous one
+// ends), which is what lets bench_startup_breakdown account for 100 % of
+// Fig 8/9's startup makespan per runtime class.
+//
+// Determinism rules (DESIGN.md §9): no wall clock anywhere — every
+// timestamp is kernel virtual time; span ids are sequential; exports are
+// rendered with fixed formatting in id order, so same-seed runs produce
+// byte-identical trace JSON and text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace wasmctr::obs {
+
+/// Handle to a span. Value 0 is "no span" (roots have no parent).
+struct SpanId {
+  uint64_t value = 0;
+  constexpr explicit operator bool() const noexcept { return value != 0; }
+  friend constexpr bool operator==(SpanId, SpanId) = default;
+};
+
+struct Span {
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = root
+  std::string name;
+  std::string layer;  ///< "k8s", "containerd", "oci", "engines", "serve", ...
+  SimTime start{0};
+  SimTime end{0};
+  bool closed = false;
+  /// Zero-duration marker (Chrome "instant" event).
+  bool instant = false;
+  /// Insertion-ordered attributes (pod, container, runtime class, ...).
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  [[nodiscard]] SimDuration duration() const { return end - start; }
+};
+
+/// Per-phase aggregate over all pod timelines (bench_startup_breakdown).
+struct PhaseStat {
+  std::string phase;
+  double total_s = 0;  ///< summed wall-clock (virtual) seconds
+  uint64_t count = 0;  ///< number of phase spans
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Kernel& kernel) : kernel_(kernel) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- raw spans ---
+
+  /// Open a span at now(). `parent` nests it; default is a root span.
+  SpanId begin_span(std::string name, std::string layer, SpanId parent = {});
+
+  /// Attach an attribute to an open or closed span.
+  void set_attr(SpanId id, std::string key, std::string value);
+
+  /// Close a span at now(). Closing an unknown/closed span is a no-op.
+  void end_span(SpanId id);
+
+  /// Zero-duration marker event (retry fired, CrashLoopBackOff entered).
+  SpanId instant(std::string name, std::string layer, SpanId parent = {});
+
+  // --- pod startup timelines (built on spans) ---
+
+  /// Switch pod `pod` to phase `phase`: closes the current phase span (if
+  /// any) and opens the next one at the same timestamp, so phases tile.
+  /// The first call of an attempt opens the root "pod.startup" span too;
+  /// a call after pod_end() starts a fresh attempt (restart paths).
+  void pod_phase(const std::string& pod, std::string phase,
+                 std::string layer);
+
+  /// Stamp an attribute on the pod's open root span (runtime handler,
+  /// image, ...). No-op when no timeline is open.
+  void pod_attr(const std::string& pod, std::string key, std::string value);
+
+  /// Close the pod's current phase and root span. `outcome` is stamped on
+  /// the root ("Running", "Failed", "Evicted", "CrashLoopBackOff", ...).
+  /// Returns the root span's duration (zero when no timeline was open).
+  SimDuration pod_end(const std::string& pod, std::string_view outcome);
+
+  /// Timelines closed with outcome "Running".
+  [[nodiscard]] uint64_t completed_timelines() const noexcept {
+    return completed_;
+  }
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const Span* span(SpanId id) const;
+
+  /// Aggregate phase durations over every pod-timeline phase span, in
+  /// first-appearance order (deterministic).
+  [[nodiscard]] std::vector<PhaseStat> pod_phase_stats() const;
+
+  /// Closed root spans of pod timelines ("pod.startup"), in id order.
+  [[nodiscard]] std::vector<const Span*> pod_roots() const;
+
+  // --- export ---
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}): complete ("X")
+  /// events for spans, instant ("i") events for markers; ts/dur in
+  /// microseconds of virtual time. Byte-identical across same-seed runs.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Flat text form, one line per span in id order.
+  [[nodiscard]] std::string text() const;
+
+  void clear();
+
+ private:
+  struct Timeline {
+    SpanId root;
+    SpanId phase;
+    uint32_t attempt = 0;
+  };
+
+  Span* find(SpanId id);
+
+  sim::Kernel& kernel_;
+  std::vector<Span> spans_;  // id == index + 1
+  std::map<std::string, Timeline> timelines_;
+  std::map<std::string, uint32_t> attempts_;
+  uint64_t completed_ = 0;
+};
+
+/// Root span name used for pod startup timelines.
+inline constexpr std::string_view kPodRootSpanName = "pod.startup";
+
+}  // namespace wasmctr::obs

@@ -52,6 +52,8 @@ Status OciRuntimeBase::start(const std::string& id, OnRunning on_running) {
                                container_state_name(rec.info.state));
   }
   // The create+start exec path (clone, pivot_root, cgroup attach, exec).
+  node_.obs().tracer.pod_phase(std::string(fault_target(rec)), "runtime.exec",
+                               "oci");
   node_.burst(exec_cpu_s(), [this, id, on_running = std::move(on_running)] {
     auto lookup = containers_.find(id);
     if (lookup == containers_.end()) {
@@ -134,7 +136,7 @@ Status OciRuntimeBase::remove(const std::string& id) {
 }
 
 void OciRuntimeBase::invoke(const std::string& id, int32_t arg,
-                            engines::InvokeCallback done) {
+                            engines::InvokeCallback done, obs::SpanId parent) {
   auto it = containers_.find(id);
   if (it == containers_.end()) {
     if (done) done(not_found("container " + id));
@@ -165,7 +167,7 @@ void OciRuntimeBase::invoke(const std::string& id, int32_t arg,
       return;
     }
   }
-  rec.serve->invoke(arg, std::move(done));
+  rec.serve->invoke(arg, std::move(done), parent);
 }
 
 Result<ContainerInfo> OciRuntimeBase::state(const std::string& id) const {
@@ -214,6 +216,8 @@ wasi::WasiOptions OciRuntimeBase::wasi_options_for(
 void OciRuntimeBase::finish_wasm_launch(const engines::Engine& engine,
                                         ContainerRecord& rec, bool embedded,
                                         OnRunning on_running) {
+  node_.obs().tracer.pod_phase(std::string(fault_target(rec)), "wasi.start",
+                               "engines");
   // Injected engine failure: libwamr.so (or the engine CLI) fails to
   // initialize — e.g. a corrupt AOT artifact or dlopen error.
   if (node_.faults().enabled() &&
@@ -288,6 +292,8 @@ void OciRuntimeBase::launch_wasm_exec(const engines::Engine& engine,
   const engines::StartupCost cost =
       engine.startup_cost(rec.bundle.payload.size(), false);
   const std::string id = rec.info.id;
+  node_.obs().tracer.pod_phase(std::string(fault_target(rec)), "engine.load",
+                               "engines");
   node_.burst(cost.init_cpu_s + cost.load_cpu_s,
               [this, id, &engine, on_running = std::move(on_running)] {
                 auto it = containers_.find(id);
@@ -300,6 +306,8 @@ void OciRuntimeBase::launch_wasm_exec(const engines::Engine& engine,
 void OciRuntimeBase::launch_python(ContainerRecord& rec,
                                    OnRunning on_running) {
   const std::string id = rec.info.id;
+  node_.obs().tracer.pod_phase(std::string(fault_target(rec)), "interp.boot",
+                               "engines");
   const double boot = engines::kPythonProfile.init_cpu_s +
                       kInfra.python_boot_extra_cpu_s;
   node_.burst(boot, [this, id, on_running = std::move(on_running)] {
@@ -412,6 +420,9 @@ void Crun::launch_workload(ContainerRecord& rec, OnRunning on_running) {
 
   if (engine.profile().cached_compile_cpu_s > 0) {
     const std::string id = rec.info.id;
+    // Compile (or cache-wait) + init + load all count as engine.load.
+    node_.obs().tracer.pod_phase(std::string(fault_target(rec)),
+                                 "engine.load", "engines");
     const std::string key = "module:" + rec.bundle.spec.args[0] + ":" +
                             std::to_string(rec.bundle.payload.size());
     const auto continue_with = [this, id, &engine,
@@ -453,6 +464,8 @@ void Crun::launch_wamr_embedded(ContainerRecord& rec, OnRunning on_running) {
   const engines::StartupCost cost =
       wamr.startup_cost(rec.bundle.payload.size(), false);
   const std::string id = rec.info.id;
+  node_.obs().tracer.pod_phase(std::string(fault_target(rec)), "engine.load",
+                               "engines");
   node_.burst(cost.init_cpu_s + cost.load_cpu_s,
               [this, id, on_running = std::move(on_running)] {
                 auto it = containers_.find(id);

@@ -89,8 +89,10 @@ class LowLevelRuntime {
   /// Dispatch one request to the running workload's handler (the serving
   /// path, DESIGN.md §8). The first request lazily builds the container's
   /// ServeSlot (cold start); later requests hit the warm instance.
+  /// `parent` (optional) nests the serving spans under the caller's span.
   virtual void invoke(const std::string& id, int32_t arg,
-                      engines::InvokeCallback done) = 0;
+                      engines::InvokeCallback done,
+                      obs::SpanId parent = {}) = 0;
 
   [[nodiscard]] virtual Result<ContainerInfo> state(
       const std::string& id) const = 0;
@@ -108,8 +110,8 @@ class OciRuntimeBase : public LowLevelRuntime {
   Status kill(const std::string& id) override;
   Status grow_memory(const std::string& id, Bytes delta) override;
   Status remove(const std::string& id) override;
-  void invoke(const std::string& id, int32_t arg,
-              engines::InvokeCallback done) override;
+  void invoke(const std::string& id, int32_t arg, engines::InvokeCallback done,
+              obs::SpanId parent = {}) override;
   Result<ContainerInfo> state(const std::string& id) const override;
 
   /// Containers currently tracked (created/running/stopped).

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "sim/node.hpp"
+
 namespace wasmctr::serve {
 
 namespace {
@@ -14,15 +16,6 @@ constexpr SimDuration kRetryBackoffCap = sim_s(4.0);
                                       const std::string& service) {
   const k8s::Service* svc = api.service(service);
   return svc == nullptr ? k8s::LbPolicy::kRoundRobin : svc->policy;
-}
-
-[[nodiscard]] double percentile_ms(const std::vector<double>& sorted_ms,
-                                   double q) {
-  if (sorted_ms.empty()) return 0.0;
-  const auto n = static_cast<double>(sorted_ms.size());
-  auto idx = static_cast<std::size_t>(std::ceil(q * n));
-  idx = std::min(sorted_ms.size() - 1, idx == 0 ? 0 : idx - 1);
-  return sorted_ms[idx];
 }
 
 }  // namespace
@@ -42,6 +35,8 @@ void TrafficDriver::start() {
   if (started_) return;
   started_ = true;
   outcomes_.resize(options_.total_requests);
+  request_spans_.resize(options_.total_requests);
+  attempt_spans_.resize(options_.total_requests);
   const SimTime base = kernel_.now();
   double t = 0.0;  // cumulative arrival offset, seconds
   for (uint32_t id = 0; id < options_.total_requests; ++id) {
@@ -59,26 +54,40 @@ void TrafficDriver::start() {
 void TrafficDriver::attempt(uint32_t id) {
   RequestOutcome& out = outcomes_[id];
   ++out.attempts;
+  obs::Tracer& tracer = cri_.node().obs().tracer;
+  if (out.attempts == 1) {
+    request_spans_[id] = tracer.begin_span("request", "serve");
+    tracer.set_attr(request_spans_[id], "service", options_.service);
+    tracer.set_attr(request_spans_[id], "request", std::to_string(id));
+  }
+  const obs::SpanId att =
+      tracer.begin_span("request.attempt", "serve", request_spans_[id]);
+  tracer.set_attr(att, "attempt", std::to_string(out.attempts));
+  attempt_spans_[id] = att;
   const auto picked = lb_.pick();
   const k8s::Pod* pod = picked ? api_.pod(*picked) : nullptr;
   if (pod == nullptr || pod->status.phase != k8s::PodPhase::kRunning ||
       pod->status.container_id.empty()) {
+    tracer.end_span(att);
     retry(id, "no ready endpoint");
     return;
   }
   const std::string pod_name = *picked;
   out.pod = pod_name;
+  tracer.set_attr(att, "pod", pod_name);
   lb_.on_dispatch(pod_name);
   cri_.invoke_container(
       pod->status.container_id, options_.request_arg,
       [this, id, pod_name](Result<engines::InvokeReport> r) {
         lb_.on_complete(pod_name);
+        cri_.node().obs().tracer.end_span(attempt_spans_[id]);
         if (!r) {
           retry(id, r.status().to_string());
           return;
         }
         complete(id, pod_name, *r);
-      });
+      },
+      att);
 }
 
 void TrafficDriver::retry(uint32_t id, const std::string& why) {
@@ -90,6 +99,13 @@ void TrafficDriver::retry(uint32_t id, const std::string& why) {
     finish(id);
     return;
   }
+  obs::Tracer& tracer = cri_.node().obs().tracer;
+  const obs::SpanId ev =
+      tracer.instant("request.retry", "serve", request_spans_[id]);
+  tracer.set_attr(ev, "reason", why);
+  cri_.node().obs().metrics
+      .counter("wasmctr_request_retries_total", service_label())
+      .inc();
   const uint32_t shift = std::min(out.attempts - 1, 5u);
   const SimDuration delay =
       std::min(options_.retry_backoff * (1 << shift), kRetryBackoffCap);
@@ -118,6 +134,21 @@ void TrafficDriver::finish(uint32_t id) {
   out.completed = kernel_.now();
   out.latency = out.completed - out.arrival;
   last_completion_ = std::max(last_completion_, out.completed);
+  obs::Observability& obs = cri_.node().obs();
+  obs.tracer.set_attr(request_spans_[id], "ok", out.ok ? "1" : "0");
+  obs.tracer.set_attr(request_spans_[id], "attempts",
+                      std::to_string(out.attempts));
+  obs.tracer.end_span(request_spans_[id]);
+  obs.metrics.counter("wasmctr_requests_total", service_label()).inc();
+  if (out.ok) {
+    obs.metrics
+        .histogram("wasmctr_request_latency_ms",
+                   obs::default_latency_buckets_ms(), service_label())
+        .observe(to_millis(out.latency));
+  } else {
+    obs.metrics.counter("wasmctr_requests_failed_total", service_label())
+        .inc();
+  }
   char line[256];
   std::snprintf(line, sizeof(line),
                 "req=%04u attempts=%u pod=%s cold=%d lat=%.6fs ok=%d\n",
@@ -147,9 +178,11 @@ LatencyStats TrafficDriver::latency() const {
   std::sort(ms.begin(), ms.end());
   LatencyStats stats;
   if (ms.empty()) return stats;
-  stats.p50_ms = percentile_ms(ms, 0.50);
-  stats.p95_ms = percentile_ms(ms, 0.95);
-  stats.p99_ms = percentile_ms(ms, 0.99);
+  // Shared nearest-rank quantiles (obs::Histogram uses the same helper,
+  // so registry exports and driver stats can never disagree).
+  stats.p50_ms = obs::nearest_rank(ms, 0.50);
+  stats.p95_ms = obs::nearest_rank(ms, 0.95);
+  stats.p99_ms = obs::nearest_rank(ms, 0.99);
   stats.mean_ms = sum / static_cast<double>(ms.size());
   stats.max_ms = ms.back();
   return stats;

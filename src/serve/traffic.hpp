@@ -16,6 +16,7 @@
 
 #include "containerd/containerd.hpp"
 #include "k8s/api_server.hpp"
+#include "obs/trace.hpp"
 #include "serve/endpoints.hpp"
 #include "sim/kernel.hpp"
 #include "support/rng.hpp"
@@ -91,6 +92,11 @@ class TrafficDriver {
   }
 
  private:
+  /// Prometheus label set shared by every driver metric.
+  [[nodiscard]] std::string service_label() const {
+    return "service=\"" + options_.service + "\"";
+  }
+
   void attempt(uint32_t id);
   void retry(uint32_t id, const std::string& why);
   void complete(uint32_t id, const std::string& pod,
@@ -104,6 +110,10 @@ class TrafficDriver {
   LoadBalancer lb_;
   Rng rng_;
   std::vector<RequestOutcome> outcomes_;
+  /// Per-request root span (arrival → completion) and the span of the
+  /// attempt currently in flight; indexed like outcomes_.
+  std::vector<obs::SpanId> request_spans_;
+  std::vector<obs::SpanId> attempt_spans_;
   uint32_t served_ = 0;
   uint32_t failed_ = 0;
   uint32_t cold_hits_ = 0;

@@ -9,6 +9,7 @@
 
 #include "mem/cgroup.hpp"
 #include "mem/node_memory.hpp"
+#include "obs/observability.hpp"
 #include "sim/cpu.hpp"
 #include "sim/fault.hpp"
 #include "sim/kernel.hpp"
@@ -37,7 +38,8 @@ class Node {
         procs_(memory_),
         daemon_lock_(kernel_),
         rng_(config.seed),
-        faults_(kernel_, config.seed) {}
+        faults_(kernel_, config.seed),
+        obs_(kernel_) {}
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -52,6 +54,7 @@ class Node {
   [[nodiscard]] wasi::VirtualFs& fs() noexcept { return fs_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
+  [[nodiscard]] obs::Observability& obs() noexcept { return obs_; }
 
   /// Stable FileId per named file (shared libraries, images): every mapper
   /// of "libwamr.so" shares one set of physical pages.
@@ -79,6 +82,7 @@ class Node {
   wasi::VirtualFs fs_;
   Rng rng_;
   FaultInjector faults_;
+  obs::Observability obs_;
   std::map<std::string, mem::FileId> files_;
 };
 

@@ -8,6 +8,7 @@ namespace wasmctr {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::atomic<std::size_t> g_error_count{0};
+Log::Sink g_sink;  // guarded by Log::mutex_; empty = stderr default
 
 constexpr std::string_view level_name(LogLevel level) {
   switch (level) {
@@ -27,17 +28,57 @@ std::mutex Log::mutex_;
 void Log::set_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel Log::level() noexcept { return g_level.load(); }
 std::size_t Log::error_count() noexcept { return g_error_count.load(); }
+void Log::reset_error_count() noexcept { g_error_count.store(0); }
+
+Log::Sink Log::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  Sink prev = std::move(g_sink);
+  g_sink = std::move(sink);
+  return prev;
+}
 
 void Log::write(LogLevel level, std::string_view component,
                 std::string_view message) {
   if (level == LogLevel::kError) g_error_count.fetch_add(1);
   if (level < g_level.load()) return;
   std::lock_guard lock(mutex_);
+  if (g_sink) {
+    g_sink(level, component, message);
+    return;
+  }
   std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
                static_cast<int>(level_name(level).size()),
                level_name(level).data(), static_cast<int>(component.size()),
                component.data(), static_cast<int>(message.size()),
                message.data());
+}
+
+LogCapture::LogCapture(LogLevel capture_level) : saved_level_(Log::level()) {
+  Log::set_level(capture_level);
+  saved_sink_ = Log::set_sink([this](LogLevel level,
+                                     std::string_view component,
+                                     std::string_view message) {
+    std::string line = "[";
+    line += level_name(level);
+    line += "] ";
+    line += component;
+    line += ": ";
+    line += message;
+    lines_.push_back(std::move(line));
+  });
+}
+
+LogCapture::~LogCapture() {
+  Log::set_sink(std::move(saved_sink_));
+  Log::set_level(saved_level_);
+}
+
+std::size_t LogCapture::count_containing(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) ++n;
+  }
+  return n;
 }
 
 }  // namespace wasmctr

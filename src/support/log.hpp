@@ -2,10 +2,12 @@
 // logging is a debugging aid. Thread-safe (single mutex around the sink).
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace wasmctr {
 
@@ -14,9 +16,17 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Global logger configuration and sink.
 class Log {
  public:
+  /// Receives every emitted line (already level-filtered).
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
   /// Set the minimum level that is emitted. Default: kWarn (quiet benches).
   static void set_level(LogLevel level) noexcept;
   static LogLevel level() noexcept;
+
+  /// Replace the output sink and return the previously installed one;
+  /// a null sink restores the stderr default.
+  static Sink set_sink(Sink sink);
 
   /// Emit one line. Used through the WASMCTR_LOG macro.
   static void write(LogLevel level, std::string_view component,
@@ -26,8 +36,38 @@ class Log {
   /// this to assert that green paths stay silent.
   static std::size_t error_count() noexcept;
 
+  /// Zero the error counter so a test can assert its own path stays
+  /// silent without inheriting counts from earlier tests.
+  static void reset_error_count() noexcept;
+
  private:
   static std::mutex mutex_;
+};
+
+/// RAII capture sink for tests: redirects log output into a vector of
+/// formatted "[LEVEL] component: message" lines and restores the previous
+/// level and the stderr sink on destruction.
+class LogCapture {
+ public:
+  /// `capture_level` lowers the global level for the capture's lifetime
+  /// so tests can observe trace/debug lines without flag plumbing.
+  explicit LogCapture(LogLevel capture_level = LogLevel::kTrace);
+  ~LogCapture();
+
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  [[nodiscard]] const std::vector<std::string>& lines() const noexcept {
+    return lines_;
+  }
+  /// Number of captured lines whose text contains `needle`.
+  [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
+  void clear() noexcept { lines_.clear(); }
+
+ private:
+  std::vector<std::string> lines_;
+  LogLevel saved_level_;
+  Log::Sink saved_sink_;  // previous sink, restored on destruction
 };
 
 namespace detail {

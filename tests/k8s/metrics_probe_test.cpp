@@ -1,0 +1,109 @@
+// MetricsServer / FreeProbe edge cases: empty clusters, baseline resets
+// around eviction (the probe must clamp, never underflow), and top_pods
+// filtering to Running pods only.
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+#include "k8s/metrics_server.hpp"
+
+namespace wasmctr::k8s {
+namespace {
+
+TEST(MetricsProbeTest, DeltaPerContainerZeroContainersIsZero) {
+  Cluster cluster;
+  EXPECT_EQ(cluster.free_probe().delta_per_container(0), Bytes(0));
+  // The cluster facade reads through the same guard: no pods running.
+  EXPECT_EQ(cluster.free_avg_per_container(), Bytes(0));
+}
+
+TEST(MetricsProbeTest, EmptyClusterHasNoTopPodsAndZeroAverage) {
+  Cluster cluster;
+  EXPECT_TRUE(cluster.metrics().top_pods().empty());
+  EXPECT_EQ(cluster.metrics().average_working_set(), Bytes(0));
+}
+
+TEST(MetricsProbeTest, BaselineResetAfterEvictionClampsToZero) {
+  ClusterOptions opts;
+  opts.eviction_min_available = Bytes(250ull << 30);
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 3, "mem").is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.running_count(), 3u);
+
+  // Rebaseline at peak usage: a hog balloons and later gets evicted, so
+  // used_now drops back below this baseline.
+  const std::string hog = "mem-crun-wamr-0";
+  ASSERT_TRUE(cluster.cri()
+                  .grow_container_memory(
+                      cluster.api().pod(hog)->status.container_id,
+                      Bytes(20ull << 30))
+                  .is_ok());
+  cluster.free_probe().reset_baseline();
+  const Bytes peak = cluster.free_probe().baseline();
+  EXPECT_EQ(cluster.free_probe().delta_per_container(3), Bytes(0))
+      << "no growth since the reset";
+
+  // The next admission trips the pressure check and evicts the hog.
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 1, "late").is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.kubelet().pods_evicted(), 1u);
+  ASSERT_EQ(cluster.api().pod(hog)->status.phase, PodPhase::kEvicted);
+
+  // Usage fell ~20 GiB below the peak baseline: the probe must clamp to
+  // zero instead of wrapping around the unsigned delta.
+  ASSERT_LT(cluster.free_probe().used_now(), peak);
+  EXPECT_EQ(cluster.free_probe().delta_per_container(
+                cluster.running_count()),
+            Bytes(0));
+
+  // Re-baselining at the post-eviction level makes deltas meaningful again.
+  cluster.free_probe().reset_baseline();
+  EXPECT_LT(cluster.free_probe().baseline(), peak);
+  EXPECT_EQ(cluster.free_probe().delta_per_container(
+                cluster.running_count()),
+            Bytes(0));
+}
+
+TEST(MetricsProbeTest, TopPodsExcludesNonRunningPods) {
+  ClusterOptions opts;
+  opts.eviction_min_available = Bytes(250ull << 30);
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 3, "mem").is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.metrics().top_pods().size(), 3u);
+
+  const std::string hog = "mem-crun-wamr-0";
+  ASSERT_TRUE(cluster.cri()
+                  .grow_container_memory(
+                      cluster.api().pod(hog)->status.container_id,
+                      Bytes(20ull << 30))
+                  .is_ok());
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 1, "late").is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.api().pod(hog)->status.phase, PodPhase::kEvicted);
+
+  // 3 running (two survivors + the late pod); the Evicted hog is gone.
+  const auto pods = cluster.metrics().top_pods();
+  EXPECT_EQ(pods.size(), cluster.running_count());
+  for (const PodMetrics& pm : pods) {
+    EXPECT_NE(pm.pod_name, hog);
+    EXPECT_GT(pm.working_set.value, 0u);
+  }
+}
+
+TEST(MetricsProbeTest, TopPodsExcludesFailedPods) {
+  // Over the stock 110-pod kubelet cap: rejected pods go Failed and must
+  // not appear in metrics-server output or drag the average down.
+  ClusterOptions stock;
+  stock.max_pods = 5;
+  Cluster cluster(stock);
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 8).is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.running_count(), 5u);
+  ASSERT_EQ(cluster.failed_count(), 3u);
+  EXPECT_EQ(cluster.metrics().top_pods().size(), 5u);
+  EXPECT_GT(cluster.metrics().average_working_set().value, 0u);
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

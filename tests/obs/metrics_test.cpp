@@ -1,0 +1,143 @@
+// Metrics registry tests. The nearest-rank cases pin the exact behaviour
+// of the serving plane's historical percentile_ms so moving the math into
+// obs::Histogram can never change reported latency quantiles.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::obs {
+namespace {
+
+TEST(NearestRankTest, PinsHistoricalPercentileBehaviour) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(nearest_rank(v, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(nearest_rank(v, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(nearest_rank(v, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(nearest_rank(v, 1.00), 100.0);
+
+  const std::vector<double> three = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(nearest_rank(three, 0.50), 20.0);
+  EXPECT_DOUBLE_EQ(nearest_rank(three, 0.95), 30.0);
+  EXPECT_DOUBLE_EQ(nearest_rank(three, 0.99), 30.0);
+
+  const std::vector<double> one = {42};
+  EXPECT_DOUBLE_EQ(nearest_rank(one, 0.50), 42.0);
+  EXPECT_DOUBLE_EQ(nearest_rank(one, 0.99), 42.0);
+
+  EXPECT_DOUBLE_EQ(nearest_rank({}, 0.50), 0.0) << "empty input yields 0";
+  EXPECT_DOUBLE_EQ(nearest_rank(three, 0.0), 10.0) << "q=0 is the minimum";
+}
+
+TEST(CounterGaugeTest, Basics) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+
+  Gauge g;
+  g.set(7);
+  g.add(-2);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+TEST(HistogramTest, BucketCountsAndStats) {
+  Histogram h({1.0, 2.0, 5.0});
+  for (const double v : {0.5, 1.0, 1.5, 3.0, 10.0}) h.observe(v);
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.2);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  // Bounds are inclusive upper limits; the final slot is +Inf.
+  const std::vector<uint64_t> expected = {2, 1, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), expected);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.00), 10.0);
+}
+
+TEST(HistogramTest, QuantilesTrackLateObservations) {
+  Histogram h(default_latency_buckets_ms());
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 5.0);
+  h.observe(50.0);  // after a quantile call: lazy sort must invalidate
+  h.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 50.0);
+}
+
+TEST(RegistryTest, SameNameAndLabelsIsTheSameMetric) {
+  Registry reg;
+  Counter& a = reg.counter("requests_total", "service=\"svc\"");
+  Counter& b = reg.counter("requests_total", "service=\"svc\"");
+  Counter& other = reg.counter("requests_total", "service=\"other\"");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+  EXPECT_DOUBLE_EQ(other.value(), 0.0);
+
+  EXPECT_NE(reg.find_counter("requests_total", "service=\"svc\""), nullptr);
+  EXPECT_EQ(reg.find_counter("requests_total"), nullptr);
+  EXPECT_EQ(reg.find_histogram("requests_total"), nullptr);
+}
+
+TEST(RegistryTest, HistogramKeepsFirstBounds) {
+  Registry reg;
+  Histogram& a = reg.histogram("lat_ms", {1.0, 2.0});
+  Histogram& b = reg.histogram("lat_ms", {99.0});  // bounds ignored: exists
+  EXPECT_EQ(&a, &b);
+  ASSERT_EQ(a.bounds().size(), 2u);
+}
+
+std::string build_exposition() {
+  Registry reg;
+  reg.counter("wasmctr_pods_started_total").inc(12);
+  reg.gauge("wasmctr_queue_depth", "service=\"svc\"").set(3);
+  Histogram& h =
+      reg.histogram("wasmctr_request_latency_ms", {1.0, 5.0}, "service=\"svc\"");
+  h.observe(0.5);
+  h.observe(4.0);
+  h.observe(100.0);
+  return reg.prometheus_text();
+}
+
+TEST(RegistryTest, PrometheusTextIsDeterministicAndWellFormed) {
+  const std::string text = build_exposition();
+  EXPECT_EQ(text, build_exposition());
+
+  // Integral values render as integers, histogram buckets are cumulative
+  // with the label list preceding `le`, and every family is present.
+  EXPECT_NE(text.find("wasmctr_pods_started_total 12\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wasmctr_queue_depth{service=\"svc\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "wasmctr_request_latency_ms_bucket{service=\"svc\",le=\"1\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "wasmctr_request_latency_ms_bucket{service=\"svc\",le=\"5\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "wasmctr_request_latency_ms_bucket{service=\"svc\",le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("wasmctr_request_latency_ms_sum{service=\"svc\"} 104.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wasmctr_request_latency_ms_count{service=\"svc\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, ClearEmptiesTheRegistry) {
+  Registry reg;
+  reg.counter("a").inc();
+  reg.clear();
+  EXPECT_EQ(reg.find_counter("a"), nullptr);
+  EXPECT_EQ(reg.prometheus_text(), "");
+}
+
+}  // namespace
+}  // namespace wasmctr::obs

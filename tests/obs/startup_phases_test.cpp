@@ -1,0 +1,210 @@
+// Cross-layer instrumentation tests: real clusters produce pod timelines
+// whose phases tile the startup interval, carry the expected per-class
+// phase vocabulary, and export byte-identically across same-seed runs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "k8s/cluster.hpp"
+#include "serve/traffic.hpp"
+
+namespace wasmctr::obs {
+namespace {
+
+using k8s::Cluster;
+using k8s::DeployConfig;
+
+std::set<std::string> phase_names(const Tracer& tracer) {
+  std::set<std::string> names;
+  for (const PhaseStat& p : tracer.pod_phase_stats()) names.insert(p.phase);
+  return names;
+}
+
+TEST(StartupPhasesTest, TimelinesTileStartupForEveryConfig) {
+  for (const DeployConfig config : k8s::kAllConfigs) {
+    Cluster cluster;
+    ASSERT_TRUE(cluster.deploy(config, 3).is_ok());
+    cluster.run();
+    ASSERT_EQ(cluster.running_count(), 3u) << k8s::deploy_config_name(config);
+
+    const Tracer& tracer = cluster.obs().tracer;
+    EXPECT_EQ(tracer.completed_timelines(), 3u)
+        << k8s::deploy_config_name(config);
+
+    std::map<uint64_t, SimDuration> child_sum;
+    for (const Span& s : tracer.spans()) {
+      if (s.parent != 0 && s.closed && !s.instant) {
+        child_sum[s.parent] += s.duration();
+      }
+    }
+    SimTime last_end{0};
+    for (const Span* root : tracer.pod_roots()) {
+      // Integer virtual-time arithmetic: tiling is exact, not approximate.
+      EXPECT_EQ(child_sum[root->id], root->duration())
+          << k8s::deploy_config_name(config) << " root " << root->id;
+      last_end = std::max(last_end, root->end);
+      EXPECT_GT(root->duration().count(), 0);
+    }
+    // The latest timeline closes exactly at the Fig 8/9 makespan.
+    EXPECT_EQ(last_end - tracer.pod_roots().front()->start,
+              cluster.startup_makespan())
+        << k8s::deploy_config_name(config);
+  }
+}
+
+TEST(StartupPhasesTest, PhaseVocabularyPerRuntimeClass) {
+  const std::set<std::string> common = {"sched.bind", "kubelet.sync",
+                                        "sandbox.cni", "cri.create",
+                                        "shim.spawn"};
+
+  {  // crun-wamr: runc-style exec, embedded engine, no interpreter.
+    Cluster cluster;
+    ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 2).is_ok());
+    cluster.run();
+    const auto names = phase_names(cluster.obs().tracer);
+    for (const std::string& p : common) EXPECT_TRUE(names.count(p)) << p;
+    EXPECT_TRUE(names.count("runtime.exec"));
+    EXPECT_TRUE(names.count("engine.load"));
+    EXPECT_TRUE(names.count("wasi.start"));
+    EXPECT_FALSE(names.count("interp.boot"));
+  }
+  {  // runwasi: the shim *is* the runtime — no separate runtime.exec.
+    Cluster cluster;
+    ASSERT_TRUE(cluster.deploy(DeployConfig::kShimWasmtime, 2).is_ok());
+    cluster.run();
+    const auto names = phase_names(cluster.obs().tracer);
+    for (const std::string& p : common) EXPECT_TRUE(names.count(p)) << p;
+    EXPECT_FALSE(names.count("runtime.exec"));
+    EXPECT_TRUE(names.count("engine.load"));
+    EXPECT_TRUE(names.count("wasi.start"));
+  }
+  {  // python: interpreter boot instead of engine load / WASI entry.
+    Cluster cluster;
+    ASSERT_TRUE(cluster.deploy(DeployConfig::kRuncPython, 2).is_ok());
+    cluster.run();
+    const auto names = phase_names(cluster.obs().tracer);
+    EXPECT_TRUE(names.count("runtime.exec"));
+    EXPECT_TRUE(names.count("interp.boot"));
+    EXPECT_FALSE(names.count("engine.load"));
+    EXPECT_FALSE(names.count("wasi.start"));
+  }
+}
+
+TEST(StartupPhasesTest, RootSpanCarriesPodIdentity) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 1, "solo").is_ok());
+  cluster.run();
+  const auto roots = cluster.obs().tracer.pod_roots();
+  ASSERT_EQ(roots.size(), 1u);
+  std::map<std::string, std::string> attrs(roots[0]->attrs.begin(),
+                                           roots[0]->attrs.end());
+  EXPECT_EQ(attrs["pod"], "solo-crun-wamr-0");
+  EXPECT_EQ(attrs["handler"], "crun-wamr");
+  EXPECT_EQ(attrs["image"], "microservice:wasm");
+  EXPECT_EQ(attrs["outcome"], "Running");
+  EXPECT_EQ(attrs["attempt"], "1");
+}
+
+TEST(StartupPhasesTest, StartupMetricsMatchClusterCounts) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kShimWasmer, 5).is_ok());
+  cluster.run();
+  const Registry& reg = cluster.obs().metrics;
+  const Counter* bound = reg.find_counter("wasmctr_scheduler_bound_total");
+  const Counter* started = reg.find_counter("wasmctr_pods_started_total");
+  const Counter* sandboxes = reg.find_counter("wasmctr_sandboxes_created_total");
+  ASSERT_NE(bound, nullptr);
+  ASSERT_NE(started, nullptr);
+  ASSERT_NE(sandboxes, nullptr);
+  EXPECT_DOUBLE_EQ(bound->value(), 5.0);
+  EXPECT_DOUBLE_EQ(started->value(), 5.0);
+  EXPECT_DOUBLE_EQ(sandboxes->value(), 5.0);
+  const Histogram* startup = reg.find_histogram("wasmctr_pod_startup_seconds");
+  ASSERT_NE(startup, nullptr);
+  EXPECT_EQ(startup->count(), 5u);
+  EXPECT_GT(startup->quantile(0.50), 0.0);
+}
+
+TEST(StartupPhasesTest, ExportsAreByteIdenticalAcrossSameSeedRuns) {
+  auto run_once = [](std::string* chrome, std::string* prom,
+                     std::string* text) {
+    Cluster cluster;
+    ASSERT_TRUE(cluster.deploy(DeployConfig::kShimWasmtime, 5).is_ok());
+    cluster.run();
+    ASSERT_EQ(cluster.running_count(), 5u);
+    *chrome = cluster.obs().tracer.chrome_trace_json();
+    *prom = cluster.obs().metrics.prometheus_text();
+    *text = cluster.obs().tracer.text();
+  };
+  std::string chrome_a, prom_a, text_a;
+  std::string chrome_b, prom_b, text_b;
+  run_once(&chrome_a, &prom_a, &text_a);
+  run_once(&chrome_b, &prom_b, &text_b);
+  EXPECT_EQ(chrome_a, chrome_b);
+  EXPECT_EQ(prom_a, prom_b);
+  EXPECT_EQ(text_a, text_b);
+  EXPECT_FALSE(chrome_a.empty());
+  EXPECT_FALSE(prom_a.empty());
+}
+
+TEST(StartupPhasesTest, ServingPathEmitsRequestSpansAndMetrics) {
+  Cluster cluster;
+  k8s::Service svc;
+  svc.name = "svc";
+  svc.selector = {{"app", "srv"}};
+  ASSERT_TRUE(cluster.api().create_service(svc).is_ok());
+  serve::DeploymentSpec spec;
+  spec.name = "srv";
+  spec.replicas = 2;
+  spec.pod_template.image = "request-service:wasm";
+  spec.pod_template.runtime_class = "crun-wamr";
+  ASSERT_TRUE(cluster.deployments().create(std::move(spec)).is_ok());
+  cluster.run();
+
+  serve::TrafficOptions opts;
+  opts.service = "svc";
+  opts.total_requests = 8;
+  opts.rate_rps = 40.0;
+  serve::TrafficDriver driver(cluster.node().kernel(), cluster.api(),
+                              cluster.cri(), cluster.endpoints(), opts);
+  driver.start();
+  cluster.run();
+  ASSERT_EQ(driver.served(), 8u);
+
+  std::size_t requests = 0;
+  std::size_t attempts = 0;
+  std::size_t queue = 0;
+  std::size_t exec = 0;
+  for (const Span& s : cluster.obs().tracer.spans()) {
+    if (s.name == "request") ++requests;
+    if (s.name == "request.attempt") ++attempts;
+    if (s.name == "serve.queue") ++queue;
+    if (s.name == "serve.exec") ++exec;
+    if (s.name == "request" || s.name == "request.attempt" ||
+        s.name == "serve.queue" || s.name == "serve.exec") {
+      EXPECT_TRUE(s.closed) << s.name << " " << s.id;
+    }
+  }
+  EXPECT_EQ(requests, 8u);
+  EXPECT_EQ(attempts, 8u) << "no retries on a healthy service";
+  EXPECT_EQ(queue, 8u);
+  EXPECT_EQ(exec, 8u);
+
+  const Registry& reg = cluster.obs().metrics;
+  const Counter* total =
+      reg.find_counter("wasmctr_requests_total", "service=\"svc\"");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->value(), 8.0);
+  const Histogram* lat =
+      reg.find_histogram("wasmctr_request_latency_ms", "service=\"svc\"");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 8u);
+  // The driver's stats and the registry histogram share nearest-rank math.
+  EXPECT_DOUBLE_EQ(lat->quantile(0.50), driver.latency().p50_ms);
+  EXPECT_DOUBLE_EQ(lat->quantile(0.99), driver.latency().p99_ms);
+}
+
+}  // namespace
+}  // namespace wasmctr::obs

@@ -1,0 +1,221 @@
+// Tracer unit tests: span lifecycle, nesting, instants, pod timelines
+// (tiling + attempts), and byte-deterministic exports.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+#include "support/json.hpp"
+
+namespace wasmctr::obs {
+namespace {
+
+TEST(TraceTest, SpanLifecycleAndNesting) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const SpanId root = tracer.begin_span("parent", "k8s");
+  ASSERT_TRUE(static_cast<bool>(root));
+  SpanId child;
+  kernel.schedule_after(sim_ms(int64_t{5}), [&] {
+    child = tracer.begin_span("child", "oci", root);
+    tracer.set_attr(child, "pod", "p0");
+  });
+  kernel.schedule_after(sim_ms(int64_t{9}), [&] { tracer.end_span(child); });
+  kernel.schedule_after(sim_ms(int64_t{12}), [&] { tracer.end_span(root); });
+  kernel.run();
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const Span* r = tracer.span(root);
+  const Span* c = tracer.span(child);
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(r->parent, 0u);
+  EXPECT_EQ(c->parent, root.value);
+  EXPECT_TRUE(r->closed);
+  EXPECT_TRUE(c->closed);
+  EXPECT_DOUBLE_EQ(to_seconds(r->duration()), 0.012);
+  EXPECT_DOUBLE_EQ(to_seconds(c->duration()), 0.004);
+  ASSERT_EQ(c->attrs.size(), 1u);
+  EXPECT_EQ(c->attrs[0].first, "pod");
+  EXPECT_EQ(c->attrs[0].second, "p0");
+}
+
+TEST(TraceTest, EndSpanIsIdempotentAndUnknownIdsAreNoOps) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const SpanId id = tracer.begin_span("s", "k8s");
+  tracer.end_span(id);
+  const SimTime closed_at = tracer.span(id)->end;
+  kernel.schedule_after(sim_s(1.0), [&] {
+    tracer.end_span(id);                // already closed: keep first end
+    tracer.end_span(SpanId{9999});      // unknown: no-op
+    tracer.set_attr(SpanId{9999}, "k", "v");
+  });
+  kernel.run();
+  EXPECT_EQ(tracer.span(id)->end, closed_at);
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+TEST(TraceTest, InstantMarkersHaveZeroDuration) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const SpanId root = tracer.begin_span("request", "serve");
+  const SpanId ev = tracer.instant("request.retry", "serve", root);
+  const Span* s = tracer.span(ev);
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->instant);
+  EXPECT_TRUE(s->closed);
+  EXPECT_EQ(s->parent, root.value);
+  EXPECT_EQ(s->duration().count(), 0);
+}
+
+TEST(TraceTest, PodTimelinePhasesTileExactly) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.pod_phase("p0", "sched.bind", "k8s");
+  kernel.schedule_after(sim_ms(int64_t{2}),
+                        [&] { tracer.pod_phase("p0", "kubelet.sync", "k8s"); });
+  kernel.schedule_after(sim_ms(int64_t{7}), [&] {
+    tracer.pod_phase("p0", "engine.load", "engines");
+  });
+  kernel.schedule_after(sim_ms(int64_t{10}), [&] {
+    const SimDuration total = tracer.pod_end("p0", "Running");
+    EXPECT_DOUBLE_EQ(to_seconds(total), 0.010);
+  });
+  kernel.run();
+
+  EXPECT_EQ(tracer.completed_timelines(), 1u);
+  const auto roots = tracer.pod_roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0]->name, kPodRootSpanName);
+
+  // Phase children tile the root: each starts where the previous ended.
+  double child_sum = 0;
+  SimTime cursor = roots[0]->start;
+  for (const Span& s : tracer.spans()) {
+    if (s.parent != roots[0]->id) continue;
+    EXPECT_EQ(s.start, cursor) << s.name;
+    cursor = s.end;
+    child_sum += to_seconds(s.duration());
+  }
+  EXPECT_EQ(cursor, roots[0]->end);
+  EXPECT_DOUBLE_EQ(child_sum, to_seconds(roots[0]->duration()));
+
+  const auto stats = tracer.pod_phase_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].phase, "sched.bind");  // first-appearance order
+  EXPECT_EQ(stats[1].phase, "kubelet.sync");
+  EXPECT_EQ(stats[2].phase, "engine.load");
+  EXPECT_DOUBLE_EQ(stats[1].total_s, 0.005);
+}
+
+TEST(TraceTest, PodEndThenPhaseStartsFreshAttempt) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.pod_phase("p0", "kubelet.sync", "k8s");
+  kernel.schedule_after(sim_ms(int64_t{3}), [&] {
+    tracer.pod_end("p0", "CrashLoopBackOff");
+  });
+  kernel.schedule_after(sim_s(10.0), [&] {
+    tracer.pod_phase("p0", "kubelet.sync", "k8s");  // retry after backoff
+  });
+  kernel.schedule_after(sim_s(11.0), [&] { tracer.pod_end("p0", "Running"); });
+  kernel.run();
+
+  const auto roots = tracer.pod_roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(tracer.completed_timelines(), 1u) << "only the Running attempt";
+  // Backoff wait is idle time between attempts, not inside either root.
+  EXPECT_DOUBLE_EQ(to_seconds(roots[0]->duration()), 0.003);
+  EXPECT_DOUBLE_EQ(to_seconds(roots[1]->duration()), 1.0);
+  auto attr = [](const Span* s, const std::string& key) -> std::string {
+    for (const auto& [k, v] : s->attrs) {
+      if (k == key) return v;
+    }
+    return "";
+  };
+  EXPECT_EQ(attr(roots[0], "attempt"), "1");
+  EXPECT_EQ(attr(roots[1], "attempt"), "2");
+  EXPECT_EQ(attr(roots[0], "outcome"), "CrashLoopBackOff");
+  EXPECT_EQ(attr(roots[1], "outcome"), "Running");
+}
+
+TEST(TraceTest, PodAttrStampsOpenRoot) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.pod_attr("ghost", "k", "v");  // no timeline: no-op, no crash
+  tracer.pod_phase("p0", "sched.bind", "k8s");
+  tracer.pod_attr("p0", "handler", "crun-wamr");
+  tracer.pod_end("p0", "Running");
+  const auto roots = tracer.pod_roots();
+  ASSERT_EQ(roots.size(), 1u);
+  bool found = false;
+  for (const auto& [k, v] : roots[0]->attrs) {
+    if (k == "handler") {
+      EXPECT_EQ(v, "crun-wamr");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Builds the same small trace against a fresh kernel.
+std::string build_trace(bool chrome) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.pod_phase("p0", "sched.bind", "k8s");
+  kernel.schedule_after(sim_ms(int64_t{4}), [&] {
+    tracer.pod_phase("p0", "engine.load", "engines");
+    tracer.instant("crashloop.backoff", "k8s");
+  });
+  kernel.schedule_after(sim_ms(int64_t{6}),
+                        [&] { tracer.pod_end("p0", "Running"); });
+  kernel.run();
+  return chrome ? tracer.chrome_trace_json() : tracer.text();
+}
+
+TEST(TraceTest, ChromeExportIsValidJsonAndDeterministic) {
+  const std::string a = build_trace(/*chrome=*/true);
+  const std::string b = build_trace(/*chrome=*/true);
+  EXPECT_EQ(a, b) << "same build must be byte-identical";
+
+  auto doc = json::parse(a);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Root + 2 phases as "X" events, 1 instant as "i".
+  EXPECT_EQ(events->as_array().size(), 4u);
+  std::size_t complete = 0;
+  std::size_t instants = 0;
+  for (const json::Value& ev : events->as_array()) {
+    const json::Value* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->as_string() == "X") ++complete;
+    if (ph->as_string() == "i") ++instants;
+  }
+  EXPECT_EQ(complete, 3u);
+  EXPECT_EQ(instants, 1u);
+}
+
+TEST(TraceTest, TextExportIsDeterministic) {
+  const std::string a = build_trace(/*chrome=*/false);
+  const std::string b = build_trace(/*chrome=*/false);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("pod.startup"), std::string::npos);
+  EXPECT_NE(a.find("engine.load"), std::string::npos);
+}
+
+TEST(TraceTest, ClearResetsEverything) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.pod_phase("p0", "sched.bind", "k8s");
+  tracer.pod_end("p0", "Running");
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.completed_timelines(), 0u);
+  EXPECT_TRUE(tracer.pod_roots().empty());
+}
+
+}  // namespace
+}  // namespace wasmctr::obs

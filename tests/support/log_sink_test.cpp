@@ -1,0 +1,76 @@
+// Pluggable log sink + RAII capture tests.
+#include <gtest/gtest.h>
+
+#include "support/log.hpp"
+
+namespace wasmctr {
+namespace {
+
+TEST(LogSinkTest, SetSinkReceivesFilteredLines) {
+  const LogLevel saved = Log::level();
+  Log::set_level(LogLevel::kInfo);
+  std::vector<std::string> seen;
+  Log::set_sink([&seen](LogLevel, std::string_view component,
+                        std::string_view message) {
+    seen.push_back(std::string(component) + ": " + std::string(message));
+  });
+  WASMCTR_LOG(kInfo, "kubelet") << "pod " << 7 << " started";
+  WASMCTR_LOG(kDebug, "kubelet") << "below the level filter";
+  Log::set_sink(nullptr);  // restore stderr default
+  Log::set_level(saved);
+  WASMCTR_LOG(kError, "kubelet") << "after restore";  // must not hit `seen`
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "kubelet: pod 7 started");
+}
+
+TEST(LogSinkTest, LogCaptureCollectsAndRestores) {
+  const LogLevel saved = Log::level();
+  Log::set_level(LogLevel::kWarn);
+  {
+    LogCapture capture(LogLevel::kDebug);
+    EXPECT_EQ(Log::level(), LogLevel::kDebug)
+        << "capture lowers the level for its lifetime";
+    WASMCTR_LOG(kDebug, "oci") << "bundle written";
+    WASMCTR_LOG(kWarn, "oci") << "slow exec";
+    WASMCTR_LOG(kTrace, "oci") << "below capture level";
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_EQ(capture.lines()[0], "[DEBUG] oci: bundle written");
+    EXPECT_EQ(capture.lines()[1], "[WARN] oci: slow exec");
+    EXPECT_EQ(capture.count_containing("oci"), 2u);
+    EXPECT_EQ(capture.count_containing("slow"), 1u);
+    EXPECT_EQ(capture.count_containing("missing"), 0u);
+    capture.clear();
+    EXPECT_TRUE(capture.lines().empty());
+  }
+  EXPECT_EQ(Log::level(), LogLevel::kWarn) << "destructor restores level";
+  Log::set_level(saved);
+}
+
+TEST(LogSinkTest, NestedCapturesRestoreInOrder) {
+  const LogLevel saved = Log::level();
+  LogCapture outer(LogLevel::kInfo);
+  {
+    LogCapture inner(LogLevel::kTrace);
+    WASMCTR_LOG(kInfo, "sim") << "seen by inner only";
+    EXPECT_EQ(inner.count_containing("inner only"), 1u);
+    EXPECT_EQ(outer.count_containing("inner only"), 0u);
+  }
+  WASMCTR_LOG(kInfo, "sim") << "back to outer";
+  EXPECT_EQ(outer.count_containing("back to outer"), 1u);
+  Log::set_level(saved);
+}
+
+TEST(LogSinkTest, ErrorCountResets) {
+  LogCapture quiet;  // keep the error line off the test's stderr
+  WASMCTR_LOG(kError, "test") << "boom";
+  EXPECT_GE(Log::error_count(), 1u);
+  Log::reset_error_count();
+  EXPECT_EQ(Log::error_count(), 0u);
+  WASMCTR_LOG(kError, "test") << "boom again";
+  EXPECT_EQ(Log::error_count(), 1u);
+  Log::reset_error_count();
+}
+
+}  // namespace
+}  // namespace wasmctr
