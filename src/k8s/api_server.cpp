@@ -96,6 +96,57 @@ std::vector<const Service*> ApiServer::services() const {
   return out;
 }
 
+Status ApiServer::register_node(std::string name, uint32_t capacity,
+                                SimTime now) {
+  if (name.empty()) return invalid_argument("node needs a name");
+  if (nodes_.contains(name)) return already_exists("node " + name);
+  NodeObject n;
+  n.name = std::move(name);
+  n.capacity = capacity;
+  n.ready = true;
+  n.condition_reason = "KubeletReady";
+  n.registered_at = now;
+  n.last_heartbeat = now;
+  nodes_.emplace(n.name, std::move(n));
+  return Status::ok();
+}
+
+NodeObject* ApiServer::node_object(const std::string& name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const NodeObject* ApiServer::node_object(const std::string& name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<const NodeObject*> ApiServer::node_objects() const {
+  std::vector<const NodeObject*> out;
+  out.reserve(nodes_.size());
+  for (const auto& [_, n] : nodes_) out.push_back(&n);
+  return out;
+}
+
+Status ApiServer::node_heartbeat(const std::string& name, SimTime now) {
+  NodeObject* n = node_object(name);
+  if (n == nullptr) return not_found("node " + name);
+  n->last_heartbeat = now;
+  return Status::ok();
+}
+
+Status ApiServer::set_node_ready(const std::string& name, bool ready,
+                                 std::string reason, SimTime now) {
+  NodeObject* n = node_object(name);
+  if (n == nullptr) return not_found("node " + name);
+  n->condition_reason = std::move(reason);
+  if (n->ready == ready) return Status::ok();
+  n->ready = ready;
+  n->not_ready_since = ready ? SimTime{0} : now;
+  for (const NodeWatcher& w : node_watchers_) w(*n);
+  return Status::ok();
+}
+
 Status ApiServer::create_runtime_class(RuntimeClass rc) {
   if (runtime_classes_.contains(rc.name)) {
     return already_exists("runtimeClass " + rc.name);

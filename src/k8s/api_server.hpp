@@ -16,6 +16,7 @@ class ApiServer {
  public:
   using PodWatcher = std::function<void(const Pod&)>;
   using ServiceWatcher = std::function<void(const Service&)>;
+  using NodeWatcher = std::function<void(const NodeObject&)>;
 
   // --- pods ---
   Status create_pod(PodSpec spec);
@@ -54,6 +55,34 @@ class ApiServer {
     service_watchers_.push_back(std::move(w));
   }
 
+  // --- nodes ---
+
+  /// Register a worker node (kubelet startup). The node starts Ready with
+  /// a fresh heartbeat at `now`.
+  Status register_node(std::string name, uint32_t capacity, SimTime now);
+  [[nodiscard]] NodeObject* node_object(const std::string& name);
+  [[nodiscard]] const NodeObject* node_object(const std::string& name) const;
+  /// All registered nodes, in name order.
+  [[nodiscard]] std::vector<const NodeObject*> node_objects() const;
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Kubelet lease renewal. Does not fire watchers (heartbeats are high
+  /// frequency and condition-neutral; the lifecycle controller derives
+  /// Ready transitions from heartbeat age on its own cadence).
+  Status node_heartbeat(const std::string& name, SimTime now);
+
+  /// Flip a node's Ready condition (NodeLifecycleController). Fires the
+  /// node watchers when the condition actually changes.
+  Status set_node_ready(const std::string& name, bool ready,
+                        std::string reason, SimTime now);
+
+  /// Watch Ready-condition transitions of nodes.
+  void watch_node_status(NodeWatcher w) {
+    node_watchers_.push_back(std::move(w));
+  }
+
   // --- runtime classes ---
   Status create_runtime_class(RuntimeClass rc);
   [[nodiscard]] const RuntimeClass* runtime_class(
@@ -65,11 +94,13 @@ class ApiServer {
   std::map<std::string, Pod> pods_;
   std::map<std::string, RuntimeClass> runtime_classes_;
   std::map<std::string, Service> services_;
+  std::map<std::string, NodeObject> nodes_;
   std::vector<PodWatcher> created_watchers_;
   std::vector<PodWatcher> bound_watchers_;
   std::vector<PodWatcher> status_watchers_;
   std::vector<PodWatcher> deleted_watchers_;
   std::vector<ServiceWatcher> service_watchers_;
+  std::vector<NodeWatcher> node_watchers_;
 };
 
 }  // namespace wasmctr::k8s

@@ -1,5 +1,7 @@
 #include "k8s/cluster.hpp"
 
+#include <algorithm>
+
 #include "pylite/scripts.hpp"
 #include "wasm/workloads.hpp"
 
@@ -63,27 +65,71 @@ ConfigRoute route_for(DeployConfig c) {
 
 }  // namespace
 
+std::vector<Cluster::Worker> Cluster::build_workers(
+    const ClusterOptions& options) {
+  std::vector<Worker> workers;
+  const uint32_t count = std::max<uint32_t>(options.workers, 1);
+  workers.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Worker w;
+    w.name = "node-" + std::to_string(i);
+    sim::NodeConfig cfg = options.node;
+    // Worker 0 keeps the configured seed bit-for-bit (single-node runs
+    // reproduce the pre-multi-node cluster); the rest derive distinct
+    // jitter streams from it.
+    cfg.seed = options.node.seed + i;
+    w.node = std::make_unique<sim::Node>(cfg, &kernel_, &faults_, &obs_);
+    w.images = std::make_unique<containerd::ImageStore>(*w.node);
+    w.cri = std::make_unique<containerd::Containerd>(*w.node, *w.images);
+    w.kubelet = std::make_unique<Kubelet>(
+        KubeletConfig{w.name, options.max_pods, "runc",
+                      options.backoff_base, options.backoff_cap,
+                      options.backoff_reset_after,
+                      options.eviction_min_available,
+                      options.in_place_restart,
+                      /*heartbeat_interval=*/sim_s(10.0),
+                      /*partition_window=*/sim_s(30.0),
+                      options.node_restart_delay},
+        *w.node, api_, *w.cri);
+    workers.push_back(std::move(w));
+  }
+  return workers;
+}
+
 Cluster::Cluster(ClusterOptions options)
-    : node_(options.node),
-      images_(node_),
-      containerd_(node_, images_),
+    : kernel_(),
+      faults_(kernel_, options.node.seed),
+      obs_(kernel_),
       api_(),
-      scheduler_(node_.kernel(), api_, &node_.obs()),
-      kubelet_(KubeletConfig{"node-0", options.max_pods, "runc",
-                             options.backoff_base, options.backoff_cap,
-                             options.backoff_reset_after,
-                             options.eviction_min_available,
-                             options.in_place_restart},
-               node_, api_, containerd_),
+      scheduler_(kernel_, api_, &obs_),
+      workers_(build_workers(options)),
       restart_policy_(options.restart_policy),
-      metrics_(api_, node_),
-      free_probe_(node_),
-      deployments_(node_.kernel(), api_),
-      endpoints_(node_.kernel(), api_) {
-  scheduler_.add_node("node-0", options.max_pods);
+      metrics_(api_, *workers_.front().node),
+      free_probe_(*workers_.front().node),
+      lifecycle_(kernel_, api_, &obs_, options.lifecycle),
+      lifecycle_enabled_(options.workers > 1 || options.node_lifecycle),
+      deployments_(kernel_, api_),
+      endpoints_(kernel_, api_) {
+  for (const Worker& w : workers_) {
+    scheduler_.add_node(w.name, options.max_pods);
+  }
   register_handlers_and_classes();
   register_images();
   free_probe_.reset_baseline();
+  // The heartbeat/monitor loops self-reschedule forever, so they only
+  // start when lifecycle is on: the single-node default keeps the exact
+  // seed event stream and run()-to-quiescence semantics.
+  if (lifecycle_enabled_) {
+    for (const Worker& w : workers_) w.kubelet->start_heartbeats();
+    lifecycle_.start();
+  }
+}
+
+containerd::Containerd* Cluster::cri_for(const std::string& node_name) {
+  for (Worker& w : workers_) {
+    if (w.name == node_name) return w.cri.get();
+  }
+  return nullptr;
 }
 
 void Cluster::register_handlers_and_classes() {
@@ -92,7 +138,7 @@ void Cluster::register_handlers_and_classes() {
   using engines::EngineKind;
 
   const auto add = [&](const char* name, HandlerConfig config) {
-    containerd_.register_handler(name, config);
+    for (Worker& w : workers_) w.cri->register_handler(name, config);
     (void)api_.create_runtime_class({name, name});
   };
   add("runc", {HandlerPath::kRuncV2, "runc", std::nullopt});
@@ -108,13 +154,23 @@ void Cluster::register_handlers_and_classes() {
 }
 
 void Cluster::register_images() {
+  // Each worker's containerd pulls from its own store (per-node image
+  // cache); build every image once and copy it to all stores.
+  const auto add_all = [&](containerd::Image image) {
+    for (std::size_t i = 0; i + 1 < workers_.size(); ++i) {
+      containerd::Image copy = image;
+      workers_[i].images->add(std::move(copy));
+    }
+    workers_.back().images->add(std::move(image));
+  };
+
   // The paper's minimal C microservice, compiled to Wasm (§IV-A)...
   containerd::Image wasm_image;
   wasm_image.name = "microservice:wasm";
   wasm_image.payload.kind = oci::Payload::Kind::kWasm;
   wasm_image.payload.wasm = wasm::build_minimal_microservice();
   wasm_image.disk_size = Bytes(wasm_image.payload.wasm.size() + 4096);
-  images_.add(std::move(wasm_image));
+  add_all(std::move(wasm_image));
 
   // ... and its Python twin for the non-Wasm baseline (§IV-D). The image
   // holds the script; CPython itself is modeled via the shared libpython
@@ -124,7 +180,7 @@ void Cluster::register_images() {
   py_image.payload.kind = oci::Payload::Kind::kPython;
   py_image.payload.script = pylite::minimal_microservice_script();
   py_image.disk_size = Bytes(py_image.payload.script.size() + 16384);
-  images_.add(std::move(py_image));
+  add_all(std::move(py_image));
 
   // Extra workloads used by examples and ablation benches.
   containerd::Image kernel_image;
@@ -132,21 +188,21 @@ void Cluster::register_images() {
   kernel_image.payload.kind = oci::Payload::Kind::kWasm;
   kernel_image.payload.wasm = wasm::build_minimal_microservice();
   kernel_image.disk_size = Bytes(kernel_image.payload.wasm.size() + 4096);
-  images_.add(std::move(kernel_image));
+  add_all(std::move(kernel_image));
 
   containerd::Image logger_image;
   logger_image.name = "file-logger:wasm";
   logger_image.payload.kind = oci::Payload::Kind::kWasm;
   logger_image.payload.wasm = wasm::build_file_logger();
   logger_image.disk_size = Bytes(logger_image.payload.wasm.size() + 4096);
-  images_.add(std::move(logger_image));
+  add_all(std::move(logger_image));
 
   containerd::Image py_kernel;
   py_kernel.name = "compute-kernel:python";
   py_kernel.payload.kind = oci::Payload::Kind::kPython;
   py_kernel.payload.script = pylite::compute_kernel_script();
   py_kernel.disk_size = Bytes(py_kernel.payload.script.size() + 16384);
-  images_.add(std::move(py_kernel));
+  add_all(std::move(py_kernel));
 
   // Serving workloads: a long-lived instance exporting a request handler
   // (the traffic driver's targets, DESIGN.md §8). Separate images so the
@@ -156,14 +212,14 @@ void Cluster::register_images() {
   serve_wasm.payload.kind = oci::Payload::Kind::kWasm;
   serve_wasm.payload.wasm = wasm::build_request_microservice();
   serve_wasm.disk_size = Bytes(serve_wasm.payload.wasm.size() + 4096);
-  images_.add(std::move(serve_wasm));
+  add_all(std::move(serve_wasm));
 
   containerd::Image serve_py;
   serve_py.name = "request-service:python";
   serve_py.payload.kind = oci::Payload::Kind::kPython;
   serve_py.payload.script = pylite::request_handler_script();
   serve_py.disk_size = Bytes(serve_py.payload.script.size() + 16384);
-  images_.add(std::move(serve_py));
+  add_all(std::move(serve_py));
 }
 
 Status Cluster::deploy(DeployConfig config, uint32_t count,
@@ -218,9 +274,14 @@ Result<std::string> Cluster::pod_stdout(const std::string& pod_name) const {
   if (pod->status.container_id.empty()) {
     return failed_precondition("pod has no container yet");
   }
+  // Container ids are per-node: resolve against the bound node's CRI.
+  const containerd::Containerd* cri = nullptr;
+  for (const Worker& w : workers_) {
+    if (w.name == pod->status.node) cri = w.cri.get();
+  }
+  if (cri == nullptr) return not_found("node " + pod->status.node);
   WASMCTR_ASSIGN_OR_RETURN(oci::ContainerInfo info,
-                           containerd_.container_state(
-                               pod->status.container_id));
+                           cri->container_state(pod->status.container_id));
   return info.stdout_data;
 }
 

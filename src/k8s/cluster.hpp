@@ -1,6 +1,9 @@
-// Cluster facade: assembles a node, containerd, the control plane and the
-// paper's nine runtime configurations; the primary embedding API for
-// examples and benches.
+// Cluster facade: assembles N worker nodes (each node + containerd +
+// kubelet) around one control plane (API server, scheduler, node
+// lifecycle, deployment/endpoints controllers) and the paper's nine
+// runtime configurations; the primary embedding API for examples and
+// benches. The default is a single worker with node lifecycle off —
+// behaviorally identical to the pre-multi-node cluster.
 #pragma once
 
 #include <memory>
@@ -11,6 +14,7 @@
 #include "k8s/api_server.hpp"
 #include "k8s/kubelet.hpp"
 #include "k8s/metrics_server.hpp"
+#include "k8s/node_lifecycle.hpp"
 #include "k8s/scheduler.hpp"
 #include "serve/deployment.hpp"
 #include "serve/endpoints.hpp"
@@ -44,6 +48,21 @@ inline constexpr DeployConfig kAllConfigs[] = {
 
 struct ClusterOptions {
   sim::NodeConfig node;
+  /// Worker-node count. Every worker shares one virtual clock, fault
+  /// plan, and observability surface; memory/CPU/jitter-RNG stay
+  /// per-node. Worker 0 uses `node.seed` exactly (single-node runs are
+  /// bit-identical to the pre-multi-node cluster); worker i derives
+  /// seed + i.
+  uint32_t workers = 1;
+  /// Force heartbeats + the node lifecycle controller on even with one
+  /// worker. With ≥2 workers lifecycle is always on. When on, the
+  /// monitor/heartbeat loops self-reschedule forever: drive the cluster
+  /// with run_for()/run_until(), not run().
+  bool node_lifecycle = false;
+  NodeLifecycleOptions lifecycle;
+  /// Reboot delay applied after a node crash (0 = stay down until
+  /// recover_node()).
+  SimDuration node_restart_delay{0};
   /// kubelet max pods: stock 110; the paper's extended config is 500.
   uint32_t max_pods = 500;
   /// restartPolicy stamped on pods created by deploy(). Defaults to Never
@@ -79,8 +98,24 @@ class Cluster {
   /// Create one pod from an explicit spec (examples use this directly).
   Status deploy_pod(PodSpec spec);
 
-  /// Run the simulation until quiescent.
-  void run() { node_.kernel().run(); }
+  /// Run the simulation until quiescent. Only terminates when node
+  /// lifecycle is off (its loops self-reschedule); multi-node drivers use
+  /// run_for()/run_until().
+  void run() { kernel_.run(); }
+  void run_until(SimTime deadline) { kernel_.run_until(deadline); }
+  void run_for(SimDuration d) { kernel_.run_until(kernel_.now() + d); }
+
+  // --- node fault operations (multi-node) ---
+
+  /// Kill worker `i`: all its sandboxes die silently, kubelet state and
+  /// memory reset. The control plane notices via missed heartbeats.
+  void crash_node(uint32_t i) { worker(i).kubelet->crash(); }
+  /// Reboot worker `i` after a crash.
+  void recover_node(uint32_t i) { worker(i).kubelet->recover(); }
+  /// Partition worker `i` from the control plane for `window`.
+  void partition_node(uint32_t i, SimDuration window) {
+    worker(i).kubelet->partition(window);
+  }
 
   // --- measurement (the paper's two methodologies + latency) ---
 
@@ -98,18 +133,37 @@ class Cluster {
   [[nodiscard]] std::size_t failed_count() const;
 
   /// Captured stdout of a pod's workload (end-to-end verification).
+  /// Routed to the containerd instance of the pod's bound node.
   [[nodiscard]] Result<std::string> pod_stdout(
       const std::string& pod_name) const;
 
-  // --- component access ---
-  [[nodiscard]] sim::Node& node() noexcept { return node_; }
-  [[nodiscard]] obs::Observability& obs() noexcept { return node_.obs(); }
+  // --- component access (index 0 = the default worker) ---
+  [[nodiscard]] uint32_t worker_count() const noexcept {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  [[nodiscard]] sim::Node& node(uint32_t i = 0) { return *worker(i).node; }
+  [[nodiscard]] containerd::Containerd& cri(uint32_t i = 0) {
+    return *worker(i).cri;
+  }
+  [[nodiscard]] Kubelet& kubelet(uint32_t i = 0) {
+    return *worker(i).kubelet;
+  }
+  /// Containerd of the worker named `node_name` (nullptr if unknown) —
+  /// the request path routes invocations by pod.status.node.
+  [[nodiscard]] containerd::Containerd* cri_for(const std::string& node_name);
+  [[nodiscard]] obs::Observability& obs() noexcept { return obs_; }
+  [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] sim::FaultInjector& faults() noexcept { return faults_; }
   [[nodiscard]] ApiServer& api() noexcept { return api_; }
-  [[nodiscard]] containerd::Containerd& cri() noexcept { return containerd_; }
   [[nodiscard]] MetricsServer& metrics() noexcept { return metrics_; }
   [[nodiscard]] FreeProbe& free_probe() noexcept { return free_probe_; }
-  [[nodiscard]] Kubelet& kubelet() noexcept { return kubelet_; }
   [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] NodeLifecycleController& lifecycle() noexcept {
+    return lifecycle_;
+  }
+  [[nodiscard]] bool lifecycle_enabled() const noexcept {
+    return lifecycle_enabled_;
+  }
   [[nodiscard]] serve::DeploymentController& deployments() noexcept {
     return deployments_;
   }
@@ -118,20 +172,37 @@ class Cluster {
   }
 
  private:
+  /// One worker = fault domain: node resources + containerd + kubelet.
+  struct Worker {
+    std::string name;
+    std::unique_ptr<sim::Node> node;
+    std::unique_ptr<containerd::ImageStore> images;
+    std::unique_ptr<containerd::Containerd> cri;
+    std::unique_ptr<Kubelet> kubelet;
+  };
+
+  [[nodiscard]] std::vector<Worker> build_workers(
+      const ClusterOptions& options);
+  Worker& worker(uint32_t i) { return workers_.at(i); }
   void register_handlers_and_classes();
   void register_images();
 
-  sim::Node node_;
-  containerd::ImageStore images_;
-  containerd::Containerd containerd_;
+  // Cluster-wide infrastructure shared by every worker (declaration order
+  // is construction order: workers reference all three).
+  sim::Kernel kernel_;
+  sim::FaultInjector faults_;
+  obs::Observability obs_;
   ApiServer api_;
+  // Constructed before the workers so its API-server watchers fire first
+  // (slot release happens before kubelets/controllers reconcile).
   Scheduler scheduler_;
-  Kubelet kubelet_;
+  std::vector<Worker> workers_;
   RestartPolicy restart_policy_;
+  // Worker-0 scoped: the paper's measurement probes ran on one node.
   MetricsServer metrics_;
   FreeProbe free_probe_;
-  // Constructed after the kubelet/scheduler so their API-server watchers
-  // fire first (slot release happens before controllers reconcile).
+  NodeLifecycleController lifecycle_;
+  bool lifecycle_enabled_ = false;
   serve::DeploymentController deployments_;
   serve::EndpointsController endpoints_;
 };

@@ -13,10 +13,26 @@ Kubelet::Kubelet(KubeletConfig config, sim::Node& node, ApiServer& api,
                  containerd::Containerd& cri)
     : config_(std::move(config)), node_(node), api_(api), cri_(cri) {
   api_.watch_bound([this](const Pod& pod) {
-    if (pod.status.node == config_.node_name) sync_pod(pod);
+    if (pod.status.node != config_.node_name) return;
+    // A crashed node cannot see the binding; the pod sits Scheduled until
+    // the lifecycle controller evicts it or recover() picks it up. A
+    // partitioned node syncs it at rejoin.
+    if (down_) return;
+    if (partitioned_) {
+      pending_binds_.push_back(pod.spec.name);
+      return;
+    }
+    sync_pod(pod);
   });
   api_.watch_deleted([this](const Pod& pod) {
     if (pod.status.node != config_.node_name) return;
+    if (down_) return;  // local state already died with the node
+    if (partitioned_) {
+      // The API-side delete cannot reach us: the sandbox keeps running
+      // until the rejoin reconcile garbage-collects it.
+      stale_.emplace_back(pod.spec.name, pod.status.sandbox_id);
+      return;
+    }
     if (!pod.status.sandbox_id.empty()) {
       (void)cri_.remove_pod_sandbox(pod.status.sandbox_id);
     }
@@ -26,6 +42,7 @@ Kubelet::Kubelet(KubeletConfig config, sim::Node& node, ApiServer& api,
                                    const std::string& container_id,
                                    const Status& status) {
     (void)container_id;
+    if (down_) return;
     const Pod* p = api_.pod(pod_name);
     if (p == nullptr || p->status.node != config_.node_name) return;
     // Only a Running pod has an exit to react to; anything else is a
@@ -149,16 +166,14 @@ void Kubelet::maybe_evict_for_pressure() {
   }
 }
 
-void Kubelet::sync_pod(const Pod& pod) {
+bool Kubelet::admit_pod(const Pod& pod) {
   const std::string name = pod.spec.name;
-  node_.obs().tracer.pod_phase(name, "kubelet.sync", "k8s");
-  maybe_evict_for_pressure();
   if (active_pods_ >= config_.max_pods) {
     fail_pod(name, resource_exhausted(
                        "node capacity: max_pods=" +
                        std::to_string(config_.max_pods) +
                        " reached (kubelet config, paper §III-C raises it)"));
-    return;
+    return false;
   }
 
   PodRecord rec;
@@ -170,13 +185,13 @@ void Kubelet::sync_pod(const Pod& pod) {
     const RuntimeClass* rc = api_.runtime_class(pod.spec.runtime_class);
     if (rc == nullptr) {
       fail_pod(name, not_found("runtimeClass " + pod.spec.runtime_class));
-      return;
+      return false;
     }
     rec.handler = rc->handler;
   }
   if (!cri_.has_handler(rec.handler)) {
     fail_pod(name, not_found("containerd handler " + rec.handler));
-    return;
+    return false;
   }
 
   // Admitted: take a slot and the per-pod kubelet bookkeeping (probes,
@@ -189,6 +204,228 @@ void Kubelet::sync_pod(const Pod& pod) {
 
   node_.obs().tracer.pod_attr(name, "handler", records_[name].handler);
   node_.obs().tracer.pod_attr(name, "image", pod.spec.image);
+  return true;
+}
+
+void Kubelet::start_heartbeats() {
+  if (heartbeats_on_) return;
+  heartbeats_on_ = true;
+  const SimTime now = node_.kernel().now();
+  if (api_.node_object(config_.node_name) == nullptr) {
+    (void)api_.register_node(config_.node_name, config_.max_pods, now);
+  } else {
+    (void)api_.node_heartbeat(config_.node_name, now);
+  }
+  hb_event_ = node_.kernel().schedule_after(config_.heartbeat_interval,
+                                            [this] { heartbeat(); });
+}
+
+void Kubelet::stop_heartbeats() {
+  if (!heartbeats_on_) return;
+  heartbeats_on_ = false;
+  node_.kernel().cancel(hb_event_);
+}
+
+void Kubelet::heartbeat() {
+  if (down_ || !heartbeats_on_) return;
+  // Each beat is the deterministic decision point for the node-scoped
+  // fault kinds: (seed, kind, node, occurrence) fully determine whether
+  // this node dies or partitions here.
+  if (node_.faults().should_fault(sim::FaultKind::kNodeCrash,
+                                  config_.node_name)) {
+    crash();
+    return;
+  }
+  if (!partitioned_ &&
+      node_.faults().should_fault(sim::FaultKind::kNodePartition,
+                                  config_.node_name)) {
+    partition(config_.partition_window);
+  }
+  // A partitioned kubelet keeps ticking locally but its status posts
+  // never reach the API server.
+  if (!partitioned_) {
+    (void)api_.node_heartbeat(config_.node_name, node_.kernel().now());
+  }
+  hb_event_ = node_.kernel().schedule_after(config_.heartbeat_interval,
+                                            [this] { heartbeat(); });
+}
+
+void Kubelet::crash() {
+  if (down_) return;
+  down_ = true;
+  partitioned_ = false;
+  ++crashes_;
+  ++epoch_;  // invalidate every in-flight completion from before the crash
+  if (heartbeats_on_) node_.kernel().cancel(hb_event_);
+  // Every sandbox dies with the node — silently: a dead node reports no
+  // exit events. Collect ids first; removal must not alias the pod scan.
+  std::vector<std::string> sandboxes;
+  for (const Pod* p : api_.pods()) {
+    if (p->status.node != config_.node_name) continue;
+    if (!p->status.sandbox_id.empty() && cri_.sandbox(p->status.sandbox_id)) {
+      sandboxes.push_back(p->status.sandbox_id);
+    }
+  }
+  for (const std::string& id : sandboxes) (void)cri_.remove_pod_sandbox(id);
+  // Kubelet process state resets with the reboot: slots and the per-pod
+  // bookkeeping memory go back to baseline. Pod objects in the API keep
+  // their last (now stale) status until the lifecycle controller reacts.
+  for (const auto& [name, rec] : records_) {
+    if (rec.active) {
+      node_.memory().uncharge_anon(kInfra.kubelet_per_pod, nullptr);
+    }
+  }
+  records_.clear();
+  active_pods_ = 0;
+  stale_.clear();
+  pending_binds_.clear();
+  node_.obs().metrics.counter("wasmctr_node_crashes_total").inc();
+  {
+    const obs::SpanId ev = node_.obs().tracer.instant("node.crash", "k8s");
+    node_.obs().tracer.set_attr(ev, "node", config_.node_name);
+  }
+  WASMCTR_LOG(kWarn, "kubelet")
+      << "node " << config_.node_name << " crashed ("
+      << sandboxes.size() << " sandboxes lost)";
+  if (config_.restart_delay > SimDuration{0}) {
+    node_.kernel().schedule_after(config_.restart_delay,
+                                  [this] { recover(); });
+  }
+}
+
+void Kubelet::recover() {
+  if (!down_) return;
+  down_ = false;
+  const SimTime now = node_.kernel().now();
+  (void)api_.node_heartbeat(config_.node_name, now);
+  if (heartbeats_on_) {
+    hb_event_ = node_.kernel().schedule_after(config_.heartbeat_interval,
+                                              [this] { heartbeat(); });
+  }
+  {
+    const obs::SpanId ev = node_.obs().tracer.instant("node.recover", "k8s");
+    node_.obs().tracer.set_attr(ev, "node", config_.node_name);
+  }
+  // Re-admit every pod still bound here that the control plane has not
+  // evicted or deleted. Collect names first: admission failures notify
+  // controllers that mutate the pod store re-entrantly.
+  std::vector<std::string> mine;
+  for (const Pod* p : api_.pods()) {
+    if (p->status.node != config_.node_name) continue;
+    switch (p->status.phase) {
+      case PodPhase::kScheduled:
+      case PodPhase::kCreating:
+      case PodPhase::kRunning:
+      case PodPhase::kCrashLoopBackOff:
+        mine.push_back(p->spec.name);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const std::string& name : mine) {
+    Pod* p = api_.pod(name);
+    if (p == nullptr) continue;
+    // The sandboxes died with the node; stale ids would alias fresh ones.
+    p->status.sandbox_id.clear();
+    p->status.container_id.clear();
+    node_.obs().tracer.pod_phase(name, "kubelet.sync", "k8s");
+    if (!admit_pod(*p)) continue;
+    p->status.phase = PodPhase::kCreating;
+    p->status.restart_count += 1;
+    ++pods_recovered_;
+    ++restarts_total_;
+    start_pod(name);
+  }
+  WASMCTR_LOG(kInfo, "kubelet")
+      << "node " << config_.node_name << " recovered, restarting "
+      << mine.size() << " pods";
+}
+
+void Kubelet::partition(SimDuration window) {
+  if (down_ || window <= SimDuration{0}) return;
+  const SimTime until = node_.kernel().now() + window;
+  if (partitioned_) {
+    // Overlapping partitions extend the window; the pending rejoin check
+    // re-arms itself until the extended deadline passes.
+    if (until > partitioned_until_) partitioned_until_ = until;
+    return;
+  }
+  partitioned_ = true;
+  partitioned_until_ = until;
+  node_.obs().metrics.counter("wasmctr_node_partitions_total").inc();
+  {
+    const obs::SpanId ev =
+        node_.obs().tracer.instant("node.partition", "k8s");
+    node_.obs().tracer.set_attr(ev, "node", config_.node_name);
+  }
+  WASMCTR_LOG(kWarn, "kubelet")
+      << "node " << config_.node_name << " partitioned for "
+      << to_seconds(window) << "s";
+  node_.kernel().schedule_after(window, [this] { rejoin(); });
+}
+
+void Kubelet::rejoin() {
+  if (down_ || !partitioned_) return;
+  const SimTime now = node_.kernel().now();
+  if (now < partitioned_until_) {  // window was extended while waiting
+    node_.kernel().schedule_after(partitioned_until_ - now,
+                                  [this] { rejoin(); });
+    return;
+  }
+  partitioned_ = false;
+  (void)api_.node_heartbeat(config_.node_name, now);
+  {
+    const obs::SpanId ev = node_.obs().tracer.instant("node.rejoin", "k8s");
+    node_.obs().tracer.set_attr(ev, "node", config_.node_name);
+  }
+  // Reconcile pass 1: pods the API server deleted while we were
+  // unreachable — their local sandboxes kept running the whole time.
+  std::vector<std::pair<std::string, std::string>> deleted =
+      std::move(stale_);
+  stale_.clear();
+  for (const auto& [pod, sandbox] : deleted) {
+    if (!sandbox.empty() && cri_.sandbox(sandbox)) {
+      (void)cri_.remove_pod_sandbox(sandbox);
+    }
+    release_pod(pod);
+    ++stale_gced_;
+  }
+  // Reconcile pass 2: pods evicted (terminal phase, object retained)
+  // while we were unreachable — same zombie sandboxes, found by scanning
+  // our own records against current API state.
+  std::vector<std::string> names;
+  names.reserve(records_.size());
+  for (const auto& [name, rec] : records_) names.push_back(name);
+  for (const std::string& name : names) {
+    Pod* p = api_.pod(name);
+    if (p == nullptr) continue;
+    if (p->status.phase == PodPhase::kFailed ||
+        p->status.phase == PodPhase::kEvicted) {
+      teardown_sandbox(*p);
+      release_pod(name);
+      ++stale_gced_;
+    }
+  }
+  // Reconcile pass 3: bindings that arrived during the partition.
+  std::vector<std::string> binds = std::move(pending_binds_);
+  pending_binds_.clear();
+  for (const std::string& name : binds) {
+    const Pod* p = api_.pod(name);
+    if (p == nullptr || p->status.phase != PodPhase::kScheduled) continue;
+    if (p->status.node != config_.node_name) continue;
+    sync_pod(*p);
+  }
+  WASMCTR_LOG(kInfo, "kubelet")
+      << "node " << config_.node_name << " rejoined (gc="
+      << stale_gced_ << " total)";
+}
+
+void Kubelet::sync_pod(const Pod& pod) {
+  const std::string name = pod.spec.name;
+  node_.obs().tracer.pod_phase(name, "kubelet.sync", "k8s");
+  maybe_evict_for_pressure();
+  if (!admit_pod(pod)) return;
   if (Pod* p = api_.pod(name)) {
     p->status.phase = PodPhase::kCreating;
     p->status.created_at = node_.kernel().now();
@@ -199,15 +436,23 @@ void Kubelet::sync_pod(const Pod& pod) {
 void Kubelet::start_pod(const std::string& name) {
   // Fixed pipeline latency: watch propagation, sync loop, CNI waits.
   const double jitter = node_.rng().uniform(0.0, 0.04);
+  const uint32_t epoch = epoch_;
   node_.kernel().schedule_after(
-      sim_s(kInfra.fixed_latency_s + jitter), [this, name] {
+      sim_s(kInfra.fixed_latency_s + jitter), [this, name, epoch] {
+        if (down_ || epoch != epoch_) return;  // node died under us
         const Pod* pod = api_.pod(name);
         if (pod == nullptr || pod->status.phase != PodPhase::kCreating) {
           return;  // deleted or re-routed while we waited
         }
         const PodSpec spec = pod->spec;
-        cri_.run_pod_sandbox(name, [this, name,
+        cri_.run_pod_sandbox(name, [this, name, epoch,
                                     spec](Result<std::string> sandbox) {
+          if (down_ || epoch != epoch_) {
+            // The node crashed while the sandbox was coming up: the
+            // completion is from a previous boot. Don't leak the sandbox.
+            if (sandbox) (void)cri_.remove_pod_sandbox(*sandbox);
+            return;
+          }
           Pod* p = api_.pod(name);
           if (p == nullptr || p->status.phase != PodPhase::kCreating) {
             // Deleted mid-flight: don't leak a sandbox nobody tracks.
@@ -236,9 +481,11 @@ void Kubelet::create_and_start_container(const std::string& name,
   request.args = spec.args;
   request.env = spec.env;
   request.memory_limit = spec.memory_limit;
+  const uint32_t epoch = epoch_;
   auto container_id = cri_.create_and_start(
       sandbox_id, request, rec_it->second.handler,
-      [this, name](Status run_st) {
+      [this, name, epoch](Status run_st) {
+        if (down_ || epoch != epoch_) return;  // completion from a dead boot
         Pod* p = api_.pod(name);
         if (p == nullptr) return;
         if (!run_st.is_ok()) {
@@ -275,8 +522,10 @@ void Kubelet::create_and_start_container(const std::string& name,
 void Kubelet::restart_container(const std::string& name) {
   // The in-place path pays only the sync-loop latency: no scheduler
   // round-trip, no CNI setup, no pause-container start.
+  const uint32_t epoch = epoch_;
   node_.kernel().schedule_after(
-      sim_s(kInfra.restart_sync_latency_s), [this, name] {
+      sim_s(kInfra.restart_sync_latency_s), [this, name, epoch] {
+        if (down_ || epoch != epoch_) return;
         const Pod* pod = api_.pod(name);
         if (pod == nullptr || pod->status.phase != PodPhase::kCreating) {
           return;  // deleted or re-routed while we waited
@@ -291,6 +540,7 @@ void Kubelet::restart_container(const std::string& name) {
 }
 
 void Kubelet::handle_failure(const std::string& name, const Status& status) {
+  if (down_) return;  // the whole node failed; this pod's fate is moot
   Pod* p = api_.pod(name);
   if (p == nullptr) return;
   // Only a live attempt (starting or running) routes through recovery;
@@ -370,7 +620,9 @@ void Kubelet::handle_failure(const std::string& name, const Status& status) {
       << "pod " << name << " in CrashLoopBackOff (attempt "
       << rec.consecutive_failures << ", retry in " << to_seconds(delay)
       << "s): " << status.to_string();
-  node_.kernel().schedule_after(delay, [this, name] {
+  const uint32_t epoch = epoch_;
+  node_.kernel().schedule_after(delay, [this, name, epoch] {
+    if (down_ || epoch != epoch_) return;  // node crashed while backing off
     Pod* pod = api_.pod(name);
     if (pod == nullptr || pod->status.phase != PodPhase::kCrashLoopBackOff) {
       return;  // deleted (or evicted) while backing off

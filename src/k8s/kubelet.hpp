@@ -43,6 +43,15 @@ struct KubeletConfig {
   /// sandbox/CNI teardown + recreation), as the real kubelet does. Off =
   /// the pre-PR behavior of recreating the full sandbox every attempt.
   bool in_place_restart = true;
+  /// Node-lease renewal cadence once start_heartbeats() is called
+  /// (stock node-status-update-frequency: 10 s).
+  SimDuration heartbeat_interval = sim_s(10.0);
+  /// Partition length applied when the fault injector fires
+  /// kNodePartition at a heartbeat (scripted partitions pass their own).
+  SimDuration partition_window = sim_s(30.0);
+  /// Reboot time after a node crash; 0 keeps the node down until
+  /// recover() is called explicitly.
+  SimDuration restart_delay{0};
 };
 
 /// One CrashLoopBackOff episode (for tests and the recovery bench).
@@ -88,6 +97,51 @@ class Kubelet {
   /// Exponential CrashLoopBackOff delay for the k-th consecutive failure.
   [[nodiscard]] SimDuration backoff_delay(uint32_t failures) const;
 
+  // --- node fault domain (multi-node clusters) ---
+
+  /// Begin renewing this node's lease in the API server every
+  /// heartbeat_interval. Each beat is also the decision point for the
+  /// node-scoped fault kinds (kNodeCrash / kNodePartition). The loop
+  /// self-reschedules; stop_heartbeats() lets the kernel drain.
+  void start_heartbeats();
+  void stop_heartbeats();
+
+  /// Node crash: every container/sandbox on the node dies silently (no
+  /// exit events — there is nobody left to report them), kubelet
+  /// bookkeeping and per-pod memory charges reset, heartbeats stop. Pod
+  /// objects in the API server keep their last (now stale) status until
+  /// the NodeLifecycleController notices the missing heartbeats. With
+  /// config.restart_delay > 0 the node reboots itself via recover().
+  void crash();
+
+  /// Node reboot/rejoin after crash(): renews the lease, restarts
+  /// heartbeats, and re-admits every pod still bound to this node that
+  /// the control plane has not evicted (full start path — the sandboxes
+  /// died with the node).
+  void recover();
+
+  /// Control-plane partition: stop posting heartbeats for `window`; pods
+  /// keep running and serving. On rejoin the kubelet reconciles: pods
+  /// deleted or evicted while it was unreachable have their (still
+  /// running) local sandboxes garbage-collected.
+  void partition(SimDuration window);
+
+  [[nodiscard]] bool down() const noexcept { return down_; }
+  [[nodiscard]] bool partitioned() const noexcept { return partitioned_; }
+  [[nodiscard]] uint32_t crashes() const noexcept { return crashes_; }
+  /// Pods restarted by recover() after a node reboot.
+  [[nodiscard]] uint32_t pods_recovered() const noexcept {
+    return pods_recovered_;
+  }
+  /// Stale local sandboxes garbage-collected on partition rejoin.
+  [[nodiscard]] uint32_t stale_pods_gced() const noexcept {
+    return stale_gced_;
+  }
+  /// Per-pod bookkeeping entries currently held (leak checks).
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return records_.size();
+  }
+
  private:
   struct PodRecord {
     std::string handler;
@@ -99,6 +153,13 @@ class Kubelet {
   };
 
   void sync_pod(const Pod& pod);
+  /// Admission: capacity check + handler resolution + slot/bookkeeping
+  /// charge. Shared by sync_pod and the post-reboot re-admission path.
+  bool admit_pod(const Pod& pod);
+  /// Heartbeat loop body (lease renewal + node-fault decision points).
+  void heartbeat();
+  /// Partition end: rejoin the control plane and GC stale local state.
+  void rejoin();
   /// The retryable section: fixed latency → RunPodSandbox →
   /// CreateContainer+Start. Re-entered on every restart attempt.
   void start_pod(const std::string& name);
@@ -136,6 +197,23 @@ class Kubelet {
   uint32_t restarts_total_ = 0;
   uint32_t pods_evicted_ = 0;
   uint32_t in_place_restarts_ = 0;
+  // Node fault-domain state.
+  bool down_ = false;          ///< crashed and not yet recovered
+  bool partitioned_ = false;   ///< heartbeats suppressed, pods running
+  bool heartbeats_on_ = false;
+  SimTime partitioned_until_{0};
+  sim::EventId hb_event_{};
+  /// Bumped by crash(): in-flight async completions from before the crash
+  /// carry the old epoch and must not act on the rebooted node's state.
+  uint32_t epoch_ = 0;
+  uint32_t crashes_ = 0;
+  uint32_t pods_recovered_ = 0;
+  uint32_t stale_gced_ = 0;
+  /// (pod, sandbox) deleted by the API server while partitioned: their
+  /// local sandboxes stay up until the rejoin reconcile.
+  std::vector<std::pair<std::string, std::string>> stale_;
+  /// Pods bound to this node while partitioned (sync deferred to rejoin).
+  std::vector<std::string> pending_binds_;
 };
 
 }  // namespace wasmctr::k8s

@@ -1,0 +1,152 @@
+#include "k8s/node_lifecycle.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "support/log.hpp"
+
+namespace wasmctr::k8s {
+
+NodeLifecycleController::NodeLifecycleController(sim::Kernel& kernel,
+                                                 ApiServer& api,
+                                                 obs::Observability* obs,
+                                                 NodeLifecycleOptions options)
+    : kernel_(kernel), api_(api), obs_(obs), options_(options) {}
+
+void NodeLifecycleController::start() {
+  if (running_) return;
+  running_ = true;
+  for (const NodeObject* n : api_.node_objects()) {
+    set_ready_gauge(n->name, n->ready);
+  }
+  next_tick_ = kernel_.schedule_after(options_.monitor_period,
+                                      [this] { tick(); });
+}
+
+void NodeLifecycleController::stop() {
+  if (!running_) return;
+  running_ = false;
+  kernel_.cancel(next_tick_);
+}
+
+void NodeLifecycleController::tick() {
+  if (!running_) return;
+  // Names first: sync_node mutates node objects through the API server.
+  std::vector<std::string> names;
+  for (const NodeObject* n : api_.node_objects()) names.push_back(n->name);
+  for (const std::string& name : names) {
+    if (const NodeObject* n = api_.node_object(name)) sync_node(*n);
+  }
+  next_tick_ = kernel_.schedule_after(options_.monitor_period,
+                                      [this] { tick(); });
+}
+
+void NodeLifecycleController::sync_node(const NodeObject& snapshot) {
+  const SimTime now = kernel_.now();
+  const std::string node = snapshot.name;
+  const SimDuration hb_age = now - snapshot.last_heartbeat;
+  const bool stale = hb_age > options_.grace;
+
+  if (stale && snapshot.ready) {
+    ++marked_not_ready_;
+    (void)api_.set_node_ready(node, false, "KubeletHeartbeatStale", now);
+    set_ready_gauge(node, false);
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "hb_age=%.3fs",
+                  to_seconds(hb_age));
+    trace_line(node, "NotReady", detail);
+    if (obs_ != nullptr) {
+      obs_->metrics
+          .counter("wasmctr_node_transitions_total",
+                   "condition=\"NotReady\"")
+          .inc();
+      const obs::SpanId ev = obs_->tracer.instant("node.notready", "k8s");
+      obs_->tracer.set_attr(ev, "node", node);
+    }
+    WASMCTR_LOG(kWarn, "node-lifecycle")
+        << "node " << node << " NotReady (heartbeat "
+        << to_seconds(hb_age) << "s stale)";
+  } else if (!stale && !snapshot.ready) {
+    ++readmitted_;
+    (void)api_.set_node_ready(node, true, "KubeletReady", now);
+    set_ready_gauge(node, true);
+    trace_line(node, "Ready", "");
+    if (obs_ != nullptr) {
+      obs_->metrics
+          .counter("wasmctr_node_transitions_total", "condition=\"Ready\"")
+          .inc();
+      const obs::SpanId ev = obs_->tracer.instant("node.ready", "k8s");
+      obs_->tracer.set_attr(ev, "node", node);
+    }
+    WASMCTR_LOG(kInfo, "node-lifecycle")
+        << "node " << node << " Ready again (re-admitted)";
+  }
+
+  // Re-read: the transitions above updated not_ready_since.
+  const NodeObject* cur = api_.node_object(node);
+  if (cur != nullptr && !cur->ready &&
+      now - cur->not_ready_since >= options_.pod_eviction_timeout) {
+    evict_pods_of(node);
+  }
+}
+
+void NodeLifecycleController::evict_pods_of(const std::string& node) {
+  // Collect first: eviction notifications reach controllers that may
+  // mutate the pod store re-entrantly.
+  std::vector<std::string> victims;
+  for (const Pod* p : api_.pods()) {
+    if (p->status.node != node) continue;
+    switch (p->status.phase) {
+      case PodPhase::kScheduled:
+      case PodPhase::kCreating:
+      case PodPhase::kRunning:
+      case PodPhase::kCrashLoopBackOff:
+        victims.push_back(p->spec.name);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const std::string& name : victims) {
+    Pod* p = api_.pod(name);
+    if (p == nullptr) continue;
+    ++pods_evicted_;
+    p->status.phase = PodPhase::kEvicted;
+    p->status.reason = "NodeLost";
+    p->status.message =
+        "node " + node + " is NotReady past the eviction tolerance";
+    trace_line(node, "evict", "pod=" + name);
+    if (obs_ != nullptr) {
+      obs_->metrics.counter("wasmctr_node_lost_pods_total").inc();
+      obs_->tracer.pod_end(name, "Evicted");
+      const obs::SpanId ev = obs_->tracer.instant("node.evict", "k8s");
+      obs_->tracer.set_attr(ev, "node", node);
+      obs_->tracer.set_attr(ev, "pod", name);
+    }
+    api_.notify_status(name);
+  }
+  if (!victims.empty()) {
+    WASMCTR_LOG(kWarn, "node-lifecycle")
+        << "evicted " << victims.size() << " pods from NotReady node "
+        << node;
+  }
+}
+
+void NodeLifecycleController::trace_line(const std::string& node,
+                                         const char* event,
+                                         const std::string& detail) {
+  char line[224];
+  std::snprintf(line, sizeof(line), "t=%.6fs node=%s %s%s%s\n",
+                to_seconds(kernel_.now()), node.c_str(), event,
+                detail.empty() ? "" : " ", detail.c_str());
+  trace_ += line;
+}
+
+void NodeLifecycleController::set_ready_gauge(const std::string& node,
+                                              bool ready) {
+  if (obs_ == nullptr) return;
+  obs_->metrics.gauge("wasmctr_node_ready", "node=\"" + node + "\"")
+      .set(ready ? 1.0 : 0.0);
+}
+
+}  // namespace wasmctr::k8s

@@ -1,0 +1,105 @@
+// Node lifecycle controller: the control-plane half of node fault
+// domains (kube-controller-manager's nodelifecycle controller).
+//
+// Kubelets renew their node's heartbeat in the API server; this
+// controller runs on its own monitor cadence and derives the Ready
+// condition from heartbeat age: a node whose heartbeat is older than the
+// grace period goes NotReady (the scheduler stops binding to it), and
+// once it has been NotReady for the pod-eviction tolerance window every
+// pod still bound to it is evicted (phase Evicted, reason NodeLost) —
+// which releases the dead node's scheduler slots and lets the
+// DeploymentController create replacements on surviving nodes. A node
+// that heartbeats again is re-admitted: marked Ready, with any pending
+// eviction naturally cancelled, so a partition shorter than
+// grace + tolerance causes zero pod churn.
+//
+// All decisions run on virtual time with no randomness, and every
+// transition is appended to a canonical text trace, so two same-seed
+// runs produce byte-identical node-lifecycle traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "k8s/api_server.hpp"
+#include "obs/observability.hpp"
+#include "sim/kernel.hpp"
+
+namespace wasmctr::k8s {
+
+struct NodeLifecycleOptions {
+  /// How often the controller re-evaluates node conditions
+  /// (--node-monitor-period; stock 5 s).
+  SimDuration monitor_period = sim_s(5.0);
+  /// Heartbeat age after which a node goes NotReady
+  /// (--node-monitor-grace-period; stock 40 s).
+  SimDuration grace = sim_s(40.0);
+  /// How long a node may stay NotReady before its pods are evicted
+  /// (--pod-eviction-timeout; stock 5 min — shortened here so benches
+  /// exercise eviction within a short traffic window).
+  SimDuration pod_eviction_timeout = sim_s(60.0);
+};
+
+class NodeLifecycleController {
+ public:
+  /// `obs` (optional) records node lifecycle instants, the
+  /// `wasmctr_node_ready` gauge, and eviction counters.
+  NodeLifecycleController(sim::Kernel& kernel, ApiServer& api,
+                          obs::Observability* obs,
+                          NodeLifecycleOptions options = {});
+
+  NodeLifecycleController(const NodeLifecycleController&) = delete;
+  NodeLifecycleController& operator=(const NodeLifecycleController&) = delete;
+
+  /// Begin the monitor loop. The loop self-reschedules every
+  /// monitor_period; call stop() to let the kernel drain (multi-node
+  /// benches run with run_until/run_for instead).
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  [[nodiscard]] const NodeLifecycleOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Ready→NotReady transitions observed.
+  [[nodiscard]] uint32_t nodes_marked_not_ready() const noexcept {
+    return marked_not_ready_;
+  }
+  /// NotReady→Ready re-admissions observed.
+  [[nodiscard]] uint32_t nodes_readmitted() const noexcept {
+    return readmitted_;
+  }
+  /// Pods evicted off NotReady nodes (reason NodeLost).
+  [[nodiscard]] uint32_t pods_evicted() const noexcept {
+    return pods_evicted_;
+  }
+
+  /// Canonical transition log ("NotReady"/"Ready"/"evict" lines), for
+  /// same-seed determinism comparisons.
+  [[nodiscard]] const std::string& trace_string() const noexcept {
+    return trace_;
+  }
+
+ private:
+  void tick();
+  void sync_node(const NodeObject& snapshot);
+  /// Evict every non-terminal pod bound to `node` (reason NodeLost).
+  void evict_pods_of(const std::string& node);
+  void trace_line(const std::string& node, const char* event,
+                  const std::string& detail);
+  void set_ready_gauge(const std::string& node, bool ready);
+
+  sim::Kernel& kernel_;
+  ApiServer& api_;
+  obs::Observability* obs_;
+  NodeLifecycleOptions options_;
+  bool running_ = false;
+  sim::EventId next_tick_{};
+  uint32_t marked_not_ready_ = 0;
+  uint32_t readmitted_ = 0;
+  uint32_t pods_evicted_ = 0;
+  std::string trace_;
+};
+
+}  // namespace wasmctr::k8s

@@ -111,4 +111,18 @@ struct Endpoints {
   std::vector<std::string> ready;
 };
 
+/// Node object: the API server's view of one worker. The kubelet renews
+/// `last_heartbeat` (its lease); the NodeLifecycleController flips the
+/// Ready condition from heartbeat age and evicts pods from NotReady nodes.
+struct NodeObject {
+  std::string name;
+  uint32_t capacity = 110;  ///< max pods (kubelet config, mirrored here)
+  bool ready = true;
+  std::string condition_reason;  ///< "KubeletHeartbeatStale", "KubeletReady"
+  SimTime registered_at{0};
+  SimTime last_heartbeat{0};
+  /// When the Ready condition last flipped false (0 while Ready).
+  SimTime not_ready_since{0};
+};
+
 }  // namespace wasmctr::k8s

@@ -46,15 +46,33 @@ void Scheduler::add_node(std::string name, uint32_t capacity) {
   nodes_.push_back({std::move(name), capacity, 0});
 }
 
+uint32_t Scheduler::node_bound(const std::string& node) const {
+  for (const SchedulerNode& n : nodes_) {
+    if (n.name == node) return n.bound;
+  }
+  return 0;
+}
+
 void Scheduler::schedule(const std::string& pod_name) {
   // The create watcher fires synchronously with pod creation, so this
   // opens the pod's startup timeline at creation time.
   if (obs_ != nullptr) obs_->tracer.pod_phase(pod_name, "sched.bind", "k8s");
   kernel_.schedule_after(kBindLatency, [this, pod_name] {
-    // Least-loaded node with free capacity.
+    // Least-loaded Ready node with free capacity. A node with no API
+    // object (standalone scheduler tests) counts as Ready.
     SchedulerNode* best = nullptr;
+    uint32_t full = 0;
+    uint32_t not_ready = 0;
     for (SchedulerNode& n : nodes_) {
-      if (n.bound >= n.capacity) continue;
+      const NodeObject* obj = api_.node_object(n.name);
+      if (obj != nullptr && !obj->ready) {
+        ++not_ready;
+        continue;
+      }
+      if (n.bound >= n.capacity) {
+        ++full;
+        continue;
+      }
       if (best == nullptr || n.bound < best->bound) best = &n;
     }
     if (best == nullptr) {
@@ -66,8 +84,17 @@ void Scheduler::schedule(const std::string& pod_name) {
       if (Pod* p = api_.pod(pod_name)) {
         p->status.phase = PodPhase::kFailed;
         p->status.reason = "Unschedulable";
-        p->status.message = "0/" + std::to_string(nodes_.size()) +
-                            " nodes available: too many pods";
+        // Enumerate per-node reasons ("0/3 nodes available: 2 Full,
+        // 1 NotReady"), not a flat count.
+        std::string msg =
+            "0/" + std::to_string(nodes_.size()) + " nodes available:";
+        if (full > 0) msg += " " + std::to_string(full) + " Full";
+        if (not_ready > 0) {
+          if (full > 0) msg += ",";
+          msg += " " + std::to_string(not_ready) + " NotReady";
+        }
+        if (full == 0 && not_ready == 0) msg += " no registered nodes";
+        p->status.message = std::move(msg);
         api_.notify_status(pod_name);
       }
       WASMCTR_LOG(kWarn, "scheduler") << "pod " << pod_name

@@ -1,6 +1,8 @@
-// Scheduler: watches unbound pods and binds them to a node. The paper's
-// testbed is a single worker node; the scheduler still enforces capacity
-// and models its binding latency so Fig 8/9 include control-plane time.
+// Scheduler: watches unbound pods and binds them to a node. Enforces
+// per-node capacity, filters NotReady nodes (the Node objects' Ready
+// condition in the API server), spreads pods least-loaded-first across
+// the survivors, and models its binding latency so Fig 8/9 include
+// control-plane time.
 #pragma once
 
 #include <set>
@@ -33,6 +35,12 @@ class Scheduler {
   [[nodiscard]] uint32_t unschedulable_count() const noexcept {
     return unschedulable_;
   }
+  /// Per-node capacity bookkeeping (leak checks in benches/tests).
+  [[nodiscard]] const std::vector<SchedulerNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  /// Pods currently bound to `node` (0 for an unknown node).
+  [[nodiscard]] uint32_t node_bound(const std::string& node) const;
 
  private:
   void schedule(const std::string& pod_name);

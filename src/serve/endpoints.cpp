@@ -25,10 +25,13 @@ EndpointsController::EndpointsController(sim::Kernel& kernel,
     : kernel_(kernel), api_(api) {
   api_.watch_service_created([this](const k8s::Service& svc) {
     table_[svc.name].service = svc.name;
-    resync_all();
+    for (const auto& label : svc.selector) {
+      label_index_[label].insert(svc.name);
+    }
+    resync_service(svc.name);
   });
-  api_.watch_status([this](const k8s::Pod&) { resync_all(); });
-  api_.watch_deleted([this](const k8s::Pod&) { resync_all(); });
+  api_.watch_status([this](const k8s::Pod& pod) { sync_pod(pod, false); });
+  api_.watch_deleted([this](const k8s::Pod& pod) { sync_pod(pod, true); });
 }
 
 const k8s::Endpoints* EndpointsController::endpoints(
@@ -37,42 +40,81 @@ const k8s::Endpoints* EndpointsController::endpoints(
   return it == table_.end() ? nullptr : &it->second;
 }
 
-void EndpointsController::resync_all() {
+void EndpointsController::resync_service(const std::string& name) {
+  auto t = table_.find(name);
+  const k8s::Service* svc = api_.service(name);
+  if (t == table_.end() || svc == nullptr) return;
+  k8s::Endpoints& eps = t->second;
+  std::vector<std::string> ready;
+  for (const k8s::Pod* pod : api_.pods()) {
+    if (pod->status.phase != k8s::PodPhase::kRunning) continue;
+    if (selector_matches(*svc, *pod)) ready.push_back(pod->spec.name);
+  }
+  std::sort(ready.begin(), ready.end());
+  if (ready == eps.ready) return;
+  // Trace the diff: both lists are sorted, so a two-pointer walk works.
   char line[192];
-  for (auto& [name, eps] : table_) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < eps.ready.size() || j < ready.size()) {
+    const char* sign = nullptr;
+    const std::string* pod = nullptr;
+    if (j == ready.size() ||
+        (i < eps.ready.size() && eps.ready[i] < ready[j])) {
+      sign = "-";
+      pod = &eps.ready[i++];
+    } else if (i == eps.ready.size() || ready[j] < eps.ready[i]) {
+      sign = "+";
+      pod = &ready[j++];
+    } else {
+      ++i;
+      ++j;
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "t=%.6fs svc=%s %s%s\n",
+                  to_seconds(kernel_.now()), name.c_str(), sign,
+                  pod->c_str());
+    trace_ += line;
+  }
+  eps.ready = std::move(ready);
+}
+
+void EndpointsController::sync_pod(const k8s::Pod& pod, bool deleted) {
+  // Candidate services via the label index. std::set keeps them in name
+  // order, so trace lines land exactly where a full resweep (which walked
+  // table_, a sorted map) would put them.
+  std::set<std::string> candidates;
+  for (const auto& label : pod.spec.labels) {
+    auto it = label_index_.find(label);
+    if (it == label_index_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  for (const std::string& name : candidates) {
+    auto t = table_.find(name);
     const k8s::Service* svc = api_.service(name);
-    if (svc == nullptr) continue;
-    std::vector<std::string> ready;
-    for (const k8s::Pod* pod : api_.pods()) {
-      if (pod->status.phase != k8s::PodPhase::kRunning) continue;
-      if (selector_matches(*svc, *pod)) ready.push_back(pod->spec.name);
-    }
-    std::sort(ready.begin(), ready.end());
-    if (ready == eps.ready) continue;
-    // Trace the diff: both lists are sorted, so a two-pointer walk works.
-    std::size_t i = 0;
-    std::size_t j = 0;
-    while (i < eps.ready.size() || j < ready.size()) {
-      const char* sign = nullptr;
-      const std::string* pod = nullptr;
-      if (j == ready.size() ||
-          (i < eps.ready.size() && eps.ready[i] < ready[j])) {
-        sign = "-";
-        pod = &eps.ready[i++];
-      } else if (i == eps.ready.size() || ready[j] < eps.ready[i]) {
-        sign = "+";
-        pod = &ready[j++];
-      } else {
-        ++i;
-        ++j;
-        continue;
-      }
-      std::snprintf(line, sizeof(line), "t=%.6fs svc=%s %s%s\n",
-                    to_seconds(kernel_.now()), name.c_str(), sign,
-                    pod->c_str());
-      trace_ += line;
-    }
-    eps.ready = std::move(ready);
+    if (t == table_.end() || svc == nullptr) continue;
+    const bool want = !deleted &&
+                      pod.status.phase == k8s::PodPhase::kRunning &&
+                      selector_matches(*svc, pod);
+    apply(name, t->second, pod.spec.name, want);
+  }
+}
+
+void EndpointsController::apply(const std::string& service,
+                                k8s::Endpoints& eps, const std::string& pod,
+                                bool want) {
+  auto pos = std::lower_bound(eps.ready.begin(), eps.ready.end(), pod);
+  const bool present = pos != eps.ready.end() && *pos == pod;
+  if (want == present) return;
+  char line[192];
+  std::snprintf(line, sizeof(line), "t=%.6fs svc=%s %s%s\n",
+                to_seconds(kernel_.now()), service.c_str(), want ? "+" : "-",
+                pod.c_str());
+  trace_ += line;
+  if (want) {
+    eps.ready.insert(pos, pod);
+  } else {
+    eps.ready.erase(pos);
   }
 }
 

@@ -3,17 +3,22 @@
 // The controller mirrors kube-controller-manager's endpoints controller —
 // it watches pod status transitions and keeps, per Service, the sorted
 // list of Ready (phase Running) pods whose labels satisfy the Service
-// selector. The LoadBalancer spreads requests over that live list under
-// the Service's policy (round-robin or least-outstanding), so it can
-// never route to a pod that is NotReady: a pod leaves the list the moment
-// it OOM-kills, crashes into backoff, is evicted, or is deleted, and
-// rejoins when its restarted container reaches Running again.
+// selector. Pod events update incrementally through a label→services
+// index (only the services selecting on one of the pod's labels are
+// touched), not a full O(services × pods) resweep. The LoadBalancer
+// spreads requests over that live list under the Service's policy
+// (round-robin or least-outstanding), so it can never route to a pod
+// that is NotReady: a pod leaves the list the moment it OOM-kills,
+// crashes into backoff, is evicted, or is deleted, and rejoins when its
+// restarted container reaches Running again.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "k8s/api_server.hpp"
 #include "sim/kernel.hpp"
@@ -38,13 +43,23 @@ class EndpointsController {
   }
 
  private:
-  /// Recompute every Service's ready list from current pod status and
-  /// trace the diff. Synchronous: endpoint state is pure bookkeeping.
-  void resync_all();
+  /// Full recompute of one Service's ready list (service creation picks
+  /// up already-Running pods); traces the diff.
+  void resync_service(const std::string& name);
+  /// Incremental pod event: touch only services whose selector shares a
+  /// label with the pod (via label_index_), in service-name order so the
+  /// trace matches what a full resweep would emit.
+  void sync_pod(const k8s::Pod& pod, bool deleted);
+  /// Insert/remove one pod in one Service's sorted list + trace.
+  void apply(const std::string& service, k8s::Endpoints& eps,
+             const std::string& pod, bool want);
 
   sim::Kernel& kernel_;
   k8s::ApiServer& api_;
   std::map<std::string, k8s::Endpoints> table_;
+  /// label pair → names of services selecting on it.
+  std::map<std::pair<std::string, std::string>, std::set<std::string>>
+      label_index_;
   std::string trace_;
 };
 

@@ -73,10 +73,20 @@ void TrafficDriver::attempt(uint32_t id) {
     return;
   }
   const std::string pod_name = *picked;
+  // Multi-node: the container id only resolves on the pod's bound node.
+  containerd::Containerd* cri = &cri_;
+  if (resolver_) {
+    cri = resolver_(pod->status.node);
+    if (cri == nullptr) {
+      tracer.end_span(att);
+      retry(id, "pod on unknown node " + pod->status.node);
+      return;
+    }
+  }
   out.pod = pod_name;
   tracer.set_attr(att, "pod", pod_name);
   lb_.on_dispatch(pod_name);
-  cri_.invoke_container(
+  cri->invoke_container(
       pod->status.container_id, options_.request_arg,
       [this, id, pod_name](Result<engines::InvokeReport> r) {
         lb_.on_complete(pod_name);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,17 @@ class TrafficDriver {
   TrafficDriver(const TrafficDriver&) = delete;
   TrafficDriver& operator=(const TrafficDriver&) = delete;
 
+  /// Multi-node routing: container ids are per-node, so each attempt must
+  /// hit the containerd of the pod's bound node. The resolver maps a node
+  /// name to its CRI (nullptr = unknown node → the attempt retries).
+  /// Without a resolver every attempt uses the constructor's `cri`
+  /// (single-node behavior, unchanged).
+  using CriResolver =
+      std::function<containerd::Containerd*(const std::string& node_name)>;
+  void set_cri_resolver(CriResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
   /// Schedule every arrival on the kernel. Call once, then run the kernel.
   void start();
 
@@ -106,6 +118,7 @@ class TrafficDriver {
   sim::Kernel& kernel_;
   k8s::ApiServer& api_;
   containerd::Containerd& cri_;
+  CriResolver resolver_;
   TrafficOptions options_;
   LoadBalancer lb_;
   Rng rng_;

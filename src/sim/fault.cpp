@@ -1,5 +1,7 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "support/rng.hpp"
@@ -23,15 +25,30 @@ uint64_t fnv1a(std::string_view s) noexcept {
 FaultInjector::FaultInjector(Kernel& kernel, uint64_t seed)
     : kernel_(kernel), seed_(seed ^ fnv1a("fault-injector")) {}
 
+namespace {
+
+/// A probability must be a number in [0, 1]: NaN becomes 0 (no faults),
+/// anything else clamps.
+double sanitize_rate(double rate) {
+  if (std::isnan(rate)) return 0.0;
+  return std::clamp(rate, 0.0, 1.0);
+}
+
+}  // namespace
+
 void FaultInjector::set_rate(FaultKind kind, double rate) {
-  rates_[static_cast<std::size_t>(kind)] = rate;
+  rates_[static_cast<std::size_t>(kind)] = sanitize_rate(rate);
   enabled_ = false;
   for (const double r : rates_) enabled_ = enabled_ || r > 0.0;
 }
 
 void FaultInjector::set_rate_all(double rate) {
-  rates_.fill(rate);
-  enabled_ = rate > 0.0;
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (fault_kind_is_node_scoped(static_cast<FaultKind>(k))) continue;
+    rates_[k] = sanitize_rate(rate);
+  }
+  enabled_ = false;
+  for (const double r : rates_) enabled_ = enabled_ || r > 0.0;
 }
 
 double FaultInjector::rate(FaultKind kind) const noexcept {

@@ -35,8 +35,16 @@ enum class FaultKind : uint8_t {
   kWasmTrap,           ///< workload traps (injected via the fuel limit)
   kOomKill,            ///< container cgroup limit tightened → OOM kill
   kInterpreterStart,   ///< Python interpreter fails to start (crun/runc path)
+  // Node-scoped kinds (decision point: each kubelet heartbeat). These act
+  // on a whole fault domain rather than one container:
+  kNodeCrash,      ///< node dies: every pod on it dies, memory/CPU resets
+  kNodePartition,  ///< kubelet stops posting status; pods keep running
 };
-inline constexpr std::size_t kFaultKindCount = 7;
+inline constexpr std::size_t kFaultKindCount = 9;
+
+[[nodiscard]] constexpr bool fault_kind_is_node_scoped(FaultKind k) {
+  return k == FaultKind::kNodeCrash || k == FaultKind::kNodePartition;
+}
 
 [[nodiscard]] constexpr const char* fault_kind_name(FaultKind k) {
   switch (k) {
@@ -47,6 +55,8 @@ inline constexpr std::size_t kFaultKindCount = 7;
     case FaultKind::kWasmTrap: return "wasm-trap";
     case FaultKind::kOomKill: return "oom-kill";
     case FaultKind::kInterpreterStart: return "interpreter-start";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodePartition: return "node-partition";
   }
   return "?";
 }
@@ -68,8 +78,14 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Probability in [0, 1] that one decision of `kind` fires.
+  /// Probability in [0, 1] that one decision of `kind` fires. Rates are
+  /// validated: NaN is rejected (treated as 0) and out-of-range values
+  /// clamp to [0, 1], so a bad sweep parameter can never silently store a
+  /// nonsense probability.
   void set_rate(FaultKind kind, double rate);
+  /// Set every *container-scoped* kind to `rate`. Node-scoped kinds
+  /// (crash/partition) are left untouched: a "10 % lifecycle faults" sweep
+  /// should not also start killing whole nodes at that rate.
   void set_rate_all(double rate);
   [[nodiscard]] double rate(FaultKind kind) const noexcept;
 

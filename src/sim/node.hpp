@@ -30,16 +30,34 @@ struct NodeConfig {
 
 class Node {
  public:
-  explicit Node(NodeConfig config = {})
+  explicit Node(NodeConfig config = {}) : Node(config, nullptr, nullptr,
+                                               nullptr) {}
+
+  /// A worker node in a multi-node cluster: shares the cluster-wide
+  /// virtual clock, fault plan, and observability surface instead of
+  /// owning its own. Memory, CPU, processes, cgroups, and the jitter RNG
+  /// stay per-node — they are the fault domain a node crash resets.
+  /// Passing nullptr for any of the three falls back to a node-owned
+  /// instance (the single-node behavior is bit-identical either way).
+  Node(NodeConfig config, Kernel* kernel, FaultInjector* faults,
+       obs::Observability* obs)
       : config_(config),
-        kernel_(),
+        owned_kernel_(kernel == nullptr ? std::make_unique<Kernel>()
+                                        : nullptr),
+        kernel_(kernel == nullptr ? *owned_kernel_ : *kernel),
         cpu_(kernel_, config.cores),
         memory_(config.ram, config.base_used),
         procs_(memory_),
         daemon_lock_(kernel_),
         rng_(config.seed),
-        faults_(kernel_, config.seed),
-        obs_(kernel_) {}
+        owned_faults_(faults == nullptr ? std::make_unique<FaultInjector>(
+                                              kernel_, config.seed)
+                                        : nullptr),
+        faults_(faults == nullptr ? *owned_faults_ : *faults),
+        owned_obs_(obs == nullptr
+                       ? std::make_unique<obs::Observability>(kernel_)
+                       : nullptr),
+        obs_(obs == nullptr ? *owned_obs_ : *obs) {}
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -73,7 +91,10 @@ class Node {
 
  private:
   NodeConfig config_;
-  Kernel kernel_;
+  // Cluster-shareable infrastructure: owned when standalone, referenced
+  // when part of a multi-node cluster (owned_* stays null then).
+  std::unique_ptr<Kernel> owned_kernel_;
+  Kernel& kernel_;
   CpuScheduler cpu_;
   mem::NodeMemory memory_;
   mem::CgroupTree cgroups_;
@@ -81,8 +102,10 @@ class Node {
   SerialQueue daemon_lock_;
   wasi::VirtualFs fs_;
   Rng rng_;
-  FaultInjector faults_;
-  obs::Observability obs_;
+  std::unique_ptr<FaultInjector> owned_faults_;
+  FaultInjector& faults_;
+  std::unique_ptr<obs::Observability> owned_obs_;
+  obs::Observability& obs_;
   std::map<std::string, mem::FileId> files_;
 };
 

@@ -105,7 +105,8 @@ TEST(SchedulerTest, CapacityExhaustionFailsPods) {
   for (const Pod* p : api.pods()) {
     if (p->status.phase == PodPhase::kFailed) {
       ++failed;
-      EXPECT_NE(p->status.message.find("too many pods"), std::string::npos);
+      // Per-node reason enumeration, kubectl-style.
+      EXPECT_EQ(p->status.message, "0/1 nodes available: 1 Full");
     }
   }
   EXPECT_EQ(failed, 2);

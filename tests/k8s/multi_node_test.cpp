@@ -1,0 +1,208 @@
+// Multi-node cluster tests: least-loaded spreading, node crash /
+// partition / recovery through the full control plane (lifecycle
+// controller → scheduler → deployment controller), slot accounting
+// across a kill/recover cycle, and same-seed determinism.
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+
+namespace wasmctr::k8s {
+namespace {
+
+using serve::DeploymentSpec;
+using sim::FaultKind;
+
+DeploymentSpec wasm_deployment(const std::string& name, uint32_t replicas) {
+  DeploymentSpec spec;
+  spec.name = name;
+  spec.replicas = replicas;
+  spec.pod_template.image = "request-service:wasm";
+  spec.pod_template.runtime_class = "crun-wamr";
+  spec.pod_template.restart_policy = RestartPolicy::kNever;
+  return spec;
+}
+
+ClusterOptions four_workers(uint64_t seed = 42) {
+  ClusterOptions o;
+  o.workers = 4;
+  o.node.seed = seed;
+  return o;
+}
+
+TEST(MultiNodeTest, SingleNodeDefaultStaysQuiescible) {
+  // workers=1 must behave like the pre-multi-node cluster: no node
+  // objects in the API, no heartbeat/monitor loops, run() terminates.
+  Cluster cluster;
+  EXPECT_EQ(cluster.worker_count(), 1u);
+  EXPECT_FALSE(cluster.lifecycle_enabled());
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 10).is_ok());
+  cluster.run();
+  EXPECT_EQ(cluster.running_count(), 10u);
+  EXPECT_EQ(cluster.api().node_count(), 0u);
+}
+
+TEST(MultiNodeTest, SpreadsPodsLeastLoadedAcrossWorkers) {
+  Cluster cluster(four_workers());
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 80).is_ok());
+  cluster.run_for(sim_s(120.0));
+  EXPECT_EQ(cluster.running_count(), 80u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    const std::string name = "node-" + std::to_string(i);
+    EXPECT_EQ(cluster.scheduler().node_bound(name), 20u) << name;
+    EXPECT_EQ(cluster.kubelet(i).record_count(), 20u) << name;
+    EXPECT_TRUE(cluster.api().node_object(name)->ready) << name;
+  }
+  // stdout routing resolves per-node container ids correctly.
+  const auto out = cluster.pod_stdout("pod-crun-wamr-0");
+  ASSERT_TRUE(out) << out.status().to_string();
+}
+
+TEST(MultiNodeTest, ShortPartitionCausesZeroChurn) {
+  // Partition shorter than the 40 s grace: the control plane never even
+  // notices — no NotReady, no evictions, no restarts.
+  Cluster cluster(four_workers());
+  ASSERT_TRUE(
+      cluster.deployments().create(wasm_deployment("web", 40)).is_ok());
+  cluster.run_for(sim_s(60.0));
+  ASSERT_EQ(cluster.deployments().ready_replicas("web"), 40u);
+
+  cluster.partition_node(2, sim_s(20.0));
+  cluster.run_for(sim_s(120.0));
+  EXPECT_EQ(cluster.lifecycle().nodes_marked_not_ready(), 0u);
+  EXPECT_EQ(cluster.lifecycle().pods_evicted(), 0u);
+  EXPECT_EQ(cluster.deployments().pods_gced("web"), 0u);
+  EXPECT_EQ(cluster.running_count(), 40u);
+  EXPECT_EQ(cluster.kubelet(2).stale_pods_gced(), 0u);
+  EXPECT_FALSE(cluster.kubelet(2).partitioned());
+}
+
+TEST(MultiNodeTest, NotReadyNodeBackBeforeEvictionKeepsItsPods) {
+  // Partition long enough to go NotReady but back inside the eviction
+  // tolerance: the node is re-admitted and its pods never move.
+  Cluster cluster(four_workers());
+  ASSERT_TRUE(
+      cluster.deployments().create(wasm_deployment("web", 40)).is_ok());
+  cluster.run_for(sim_s(60.0));
+  ASSERT_EQ(cluster.deployments().ready_replicas("web"), 40u);
+
+  cluster.partition_node(2, sim_s(55.0));
+  cluster.run_for(sim_s(150.0));
+  EXPECT_GE(cluster.lifecycle().nodes_marked_not_ready(), 1u);
+  EXPECT_GE(cluster.lifecycle().nodes_readmitted(), 1u);
+  EXPECT_EQ(cluster.lifecycle().pods_evicted(), 0u);
+  EXPECT_EQ(cluster.running_count(), 40u);
+  EXPECT_EQ(cluster.scheduler().node_bound("node-2"), 10u)
+      << "re-admission before eviction must not move any pod";
+  EXPECT_EQ(cluster.kubelet(2).pods_recovered(), 0u);
+  EXPECT_EQ(cluster.deployments().pods_gced("web"), 0u);
+}
+
+TEST(MultiNodeTest, CrashEvictsAndReschedulesOntoSurvivors) {
+  Cluster cluster(four_workers());
+  ASSERT_TRUE(
+      cluster.deployments().create(wasm_deployment("web", 40)).is_ok());
+  cluster.run_for(sim_s(60.0));
+  ASSERT_EQ(cluster.deployments().ready_replicas("web"), 40u);
+  ASSERT_EQ(cluster.scheduler().node_bound("node-1"), 10u);
+
+  cluster.crash_node(1);
+  // NotReady after the 40 s grace, NodeLost eviction 60 s later, then the
+  // deployment controller replaces on the three surviving Ready nodes.
+  cluster.run_for(sim_s(240.0));
+  EXPECT_EQ(cluster.lifecycle().pods_evicted(), 10u);
+  EXPECT_EQ(cluster.deployments().ready_replicas("web"), 40u);
+  EXPECT_EQ(cluster.running_count(), 40u);
+  EXPECT_EQ(cluster.scheduler().node_bound("node-1"), 0u)
+      << "NodeLost evictions must release the dead node's slots";
+  EXPECT_EQ(cluster.scheduler().bound_count(), 40u);
+  EXPECT_EQ(cluster.kubelet(1).record_count(), 0u)
+      << "the crash wipes kubelet bookkeeping";
+  EXPECT_EQ(cluster.kubelet(1).active_pods(), 0u);
+  EXPECT_EQ(cluster.scheduler().unschedulable_count(), 0u);
+
+  // Recovery: the node rejoins Ready but — rebalance-free, like real
+  // Kubernetes — no running pod migrates back to it.
+  cluster.recover_node(1);
+  cluster.run_for(sim_s(60.0));
+  EXPECT_TRUE(cluster.api().node_object("node-1")->ready);
+  EXPECT_EQ(cluster.kubelet(1).pods_recovered(), 0u);
+  EXPECT_EQ(cluster.scheduler().node_bound("node-1"), 0u);
+  EXPECT_EQ(cluster.running_count(), 40u);
+
+  // ... and it is schedulable again for new work.
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 4, "fresh").is_ok());
+  cluster.run_for(sim_s(60.0));
+  EXPECT_EQ(cluster.scheduler().node_bound("node-1"), 4u)
+      << "the recovered (emptiest) node should take all new pods";
+}
+
+TEST(MultiNodeTest, NodeRebootRestartsSurvivingBoundPods) {
+  // Crash with a restart_delay shorter than grace + tolerance: the node
+  // reboots before the control plane evicts, and the kubelet re-admits
+  // every pod still bound to it (full start path — sandboxes died).
+  ClusterOptions o = four_workers();
+  o.node_restart_delay = sim_s(30.0);
+  Cluster cluster(o);
+  ASSERT_TRUE(
+      cluster.deployments().create(wasm_deployment("web", 40)).is_ok());
+  cluster.run_for(sim_s(60.0));
+  ASSERT_EQ(cluster.deployments().ready_replicas("web"), 40u);
+
+  cluster.crash_node(3);
+  EXPECT_EQ(cluster.kubelet(3).crashes(), 1u);
+  cluster.run_for(sim_s(120.0));
+  EXPECT_EQ(cluster.kubelet(3).pods_recovered(), 10u);
+  EXPECT_EQ(cluster.lifecycle().pods_evicted(), 0u);
+  EXPECT_EQ(cluster.running_count(), 40u);
+  EXPECT_EQ(cluster.scheduler().node_bound("node-3"), 10u)
+      << "pods stayed bound: reboot recovery, not rescheduling";
+  EXPECT_EQ(cluster.kubelet(3).record_count(), 10u);
+}
+
+TEST(MultiNodeTest, EvictedThenRejoinGarbageCollectsStalePods) {
+  // Partition past grace + tolerance: pods are evicted and replaced while
+  // the node is away; at rejoin the kubelet GCs its zombie sandboxes.
+  Cluster cluster(four_workers());
+  ASSERT_TRUE(
+      cluster.deployments().create(wasm_deployment("web", 40)).is_ok());
+  cluster.run_for(sim_s(60.0));
+  ASSERT_EQ(cluster.deployments().ready_replicas("web"), 40u);
+
+  cluster.partition_node(2, sim_s(130.0));
+  cluster.run_for(sim_s(300.0));
+  EXPECT_EQ(cluster.lifecycle().pods_evicted(), 10u);
+  EXPECT_GE(cluster.kubelet(2).stale_pods_gced(), 1u)
+      << "rejoin must reconcile sandboxes of pods removed while away";
+  EXPECT_EQ(cluster.kubelet(2).record_count(), 0u);
+  EXPECT_EQ(cluster.kubelet(2).active_pods(), 0u);
+  EXPECT_EQ(cluster.deployments().ready_replicas("web"), 40u);
+  EXPECT_EQ(cluster.scheduler().node_bound("node-2"), 0u);
+  EXPECT_EQ(cluster.scheduler().bound_count(), 40u);
+  EXPECT_TRUE(cluster.api().node_object("node-2")->ready);
+}
+
+TEST(MultiNodeTest, SameSeedRunsAreByteIdentical) {
+  const auto run_once = [] {
+    ClusterOptions o = four_workers(/*seed=*/7);
+    o.node_restart_delay = sim_s(45.0);
+    Cluster cluster(o);
+    cluster.faults().set_rate(FaultKind::kNodeCrash, 0.02);
+    cluster.faults().set_rate(FaultKind::kNodePartition, 0.05);
+    cluster.faults().set_rate_all(0.05);
+    cluster.faults().set_max_faults_per_target(3);
+    EXPECT_TRUE(
+        cluster.deployments().create(wasm_deployment("web", 40)).is_ok());
+    cluster.run_for(sim_s(400.0));
+    return cluster.faults().trace_string() +
+           cluster.lifecycle().trace_string() +
+           cluster.deployments().trace_string() +
+           cluster.endpoints().trace_string();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

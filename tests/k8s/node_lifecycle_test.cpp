@@ -1,0 +1,106 @@
+// NodeLifecycleController unit tests: heartbeat-age → Ready condition,
+// the eviction tolerance window, and re-admission cancelling eviction.
+#include "k8s/node_lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "k8s/api_server.hpp"
+
+namespace wasmctr::k8s {
+namespace {
+
+Pod* running_pod_on(ApiServer& api, const std::string& name,
+                    const std::string& node) {
+  PodSpec spec;
+  spec.name = name;
+  spec.image = "img";
+  EXPECT_TRUE(api.create_pod(std::move(spec)).is_ok());
+  Pod* p = api.pod(name);
+  EXPECT_NE(p, nullptr);
+  p->status.node = node;
+  p->status.phase = PodPhase::kRunning;
+  return p;
+}
+
+TEST(NodeLifecycleTest, StaleHeartbeatMarksNotReadyThenEvicts) {
+  sim::Kernel kernel;
+  ApiServer api;
+  NodeLifecycleController ctl(kernel, api, nullptr);
+  ASSERT_TRUE(api.register_node("n1", 110, kernel.now()).is_ok());
+  running_pod_on(api, "p1", "n1");
+  ctl.start();
+
+  // Heartbeat at t=0, grace 40 s: still Ready at t=30.
+  kernel.run_until(sim_s(30.0));
+  EXPECT_TRUE(api.node_object("n1")->ready);
+  EXPECT_EQ(ctl.nodes_marked_not_ready(), 0u);
+
+  // First monitor tick past t=40 flips it; the pod is not yet evicted.
+  kernel.run_until(sim_s(50.0));
+  EXPECT_FALSE(api.node_object("n1")->ready);
+  EXPECT_EQ(api.node_object("n1")->condition_reason,
+            "KubeletHeartbeatStale");
+  EXPECT_EQ(ctl.nodes_marked_not_ready(), 1u);
+  EXPECT_EQ(ctl.pods_evicted(), 0u);
+  EXPECT_EQ(api.pod("p1")->status.phase, PodPhase::kRunning);
+
+  // NotReady for the 60 s tolerance window → NodeLost eviction.
+  kernel.run_until(sim_s(120.0));
+  EXPECT_EQ(ctl.pods_evicted(), 1u);
+  EXPECT_EQ(api.pod("p1")->status.phase, PodPhase::kEvicted);
+  EXPECT_EQ(api.pod("p1")->status.reason, "NodeLost");
+  ctl.stop();
+}
+
+TEST(NodeLifecycleTest, HeartbeatBeforeToleranceReadmitsWithZeroChurn) {
+  sim::Kernel kernel;
+  ApiServer api;
+  NodeLifecycleController ctl(kernel, api, nullptr);
+  ASSERT_TRUE(api.register_node("n1", 110, kernel.now()).is_ok());
+  running_pod_on(api, "p1", "n1");
+  ctl.start();
+
+  kernel.run_until(sim_s(50.0));  // NotReady at the t=45 tick
+  ASSERT_FALSE(api.node_object("n1")->ready);
+
+  // The kubelet comes back at t=60 — before the eviction tolerance runs
+  // out. Re-admission cancels the pending eviction: zero pod churn.
+  kernel.schedule_after(sim_s(10.0),
+                        [&] { (void)api.node_heartbeat("n1", kernel.now()); });
+  kernel.run_until(sim_s(90.0));
+  EXPECT_TRUE(api.node_object("n1")->ready);
+  EXPECT_EQ(ctl.nodes_readmitted(), 1u);
+  EXPECT_EQ(ctl.pods_evicted(), 0u);
+  EXPECT_EQ(api.pod("p1")->status.phase, PodPhase::kRunning);
+  ctl.stop();
+}
+
+TEST(NodeLifecycleTest, TraceRecordsTransitionsInOrder) {
+  sim::Kernel kernel;
+  ApiServer api;
+  NodeLifecycleController ctl(kernel, api, nullptr);
+  ASSERT_TRUE(api.register_node("n1", 110, kernel.now()).is_ok());
+  ctl.start();
+  kernel.schedule_after(sim_s(50.0),
+                        [&] { (void)api.node_heartbeat("n1", kernel.now()); });
+  kernel.run_until(sim_s(60.0));
+  ctl.stop();
+  // NotReady at the t=45 tick (hb_age 45 s), Ready again at t=50 or 55.
+  EXPECT_NE(ctl.trace_string().find("node=n1 NotReady hb_age=45.000s"),
+            std::string::npos);
+  EXPECT_NE(ctl.trace_string().find("node=n1 Ready"), std::string::npos);
+}
+
+TEST(NodeLifecycleTest, StopCancelsTheMonitorLoop) {
+  sim::Kernel kernel;
+  ApiServer api;
+  NodeLifecycleController ctl(kernel, api, nullptr);
+  ASSERT_TRUE(api.register_node("n1", 110, kernel.now()).is_ok());
+  ctl.start();
+  ctl.stop();
+  kernel.run();  // must terminate: no self-rescheduling tick left
+  EXPECT_TRUE(api.node_object("n1")->ready);
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

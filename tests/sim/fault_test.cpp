@@ -118,6 +118,40 @@ TEST(FaultInjectorTest, TraceRecordsTimeKindTargetOccurrence) {
   EXPECT_EQ(faults.trace_string(), "t=2.500000s shim-crash pod-x #0\n");
 }
 
+TEST(FaultInjectorTest, SetRateValidatesInput) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  // Out-of-range rates clamp to [0, 1] instead of storing nonsense.
+  faults.set_rate(FaultKind::kOomKill, 1.7);
+  EXPECT_DOUBLE_EQ(faults.rate(FaultKind::kOomKill), 1.0);
+  EXPECT_TRUE(faults.should_fault(FaultKind::kOomKill, "pod-1"));
+  faults.set_rate(FaultKind::kOomKill, -0.3);
+  EXPECT_DOUBLE_EQ(faults.rate(FaultKind::kOomKill), 0.0);
+  EXPECT_FALSE(faults.should_fault(FaultKind::kOomKill, "pod-1"));
+  // NaN is rejected (treated as 0), so the injector stays disabled.
+  faults.set_rate(FaultKind::kShimCrash,
+                  std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(faults.rate(FaultKind::kShimCrash), 0.0);
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.should_fault(FaultKind::kShimCrash, "pod-1"));
+}
+
+TEST(FaultInjectorTest, SetRateAllLeavesNodeScopedKindsAlone) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  faults.set_rate_all(1.0);
+  // Container-scoped kinds all picked up the rate...
+  EXPECT_DOUBLE_EQ(faults.rate(FaultKind::kCriTransient), 1.0);
+  EXPECT_DOUBLE_EQ(faults.rate(FaultKind::kOomKill), 1.0);
+  // ... but a lifecycle-fault sweep must not start killing whole nodes.
+  EXPECT_DOUBLE_EQ(faults.rate(FaultKind::kNodeCrash), 0.0);
+  EXPECT_DOUBLE_EQ(faults.rate(FaultKind::kNodePartition), 0.0);
+  EXPECT_FALSE(faults.should_fault(FaultKind::kNodeCrash, "node-0"));
+  // Node kinds are still individually settable.
+  faults.set_rate(FaultKind::kNodeCrash, 1.0);
+  EXPECT_TRUE(faults.should_fault(FaultKind::kNodeCrash, "node-0"));
+}
+
 TEST(FaultInjectorTest, EveryKindHasAName) {
   for (std::size_t k = 0; k < kFaultKindCount; ++k) {
     EXPECT_STRNE(fault_kind_name(static_cast<FaultKind>(k)), "?");
