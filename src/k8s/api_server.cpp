@@ -43,6 +43,7 @@ Status ApiServer::delete_pod(const std::string& name) {
   // deleting pods re-entrantly cannot invalidate `it` under us.
   Pod removed = std::move(it->second);
   pods_.erase(it);
+  index_pod_node(name, "");
   for (const PodWatcher& w : deleted_watchers_) w(removed);
   return Status::ok();
 }
@@ -55,6 +56,7 @@ Status ApiServer::bind_pod(const std::string& name, const std::string& node) {
   }
   p->status.phase = PodPhase::kScheduled;
   p->status.node = node;
+  index_pod_node(name, node);
   for (const PodWatcher& w : bound_watchers_) w(*p);
   return Status::ok();
 }
@@ -64,6 +66,7 @@ Status ApiServer::update_pod_status(const std::string& name,
   Pod* p = pod(name);
   if (p == nullptr) return not_found("pod " + name);
   p->status = std::move(status);
+  index_pod_node(name, p->status.node);
   for (const PodWatcher& w : status_watchers_) w(*p);
   return Status::ok();
 }
@@ -71,7 +74,34 @@ Status ApiServer::update_pod_status(const std::string& name,
 void ApiServer::notify_status(const std::string& name) {
   const Pod* p = pod(name);
   if (p == nullptr) return;
+  // In-place mutators may have re-pointed status.node; reconcile before
+  // watchers observe the change so the index never lags a notification.
+  index_pod_node(name, p->status.node);
   for (const PodWatcher& w : status_watchers_) w(*p);
+}
+
+const std::set<std::string>& ApiServer::pods_on_node(
+    const std::string& node) const {
+  static const std::set<std::string> kEmpty;
+  auto it = pods_by_node_.find(node);
+  return it == pods_by_node_.end() ? kEmpty : it->second;
+}
+
+void ApiServer::index_pod_node(const std::string& name,
+                               const std::string& node) {
+  auto it = node_of_.find(name);
+  if (it != node_of_.end()) {
+    if (it->second == node) return;
+    auto set_it = pods_by_node_.find(it->second);
+    if (set_it != pods_by_node_.end()) {
+      set_it->second.erase(name);
+      if (set_it->second.empty()) pods_by_node_.erase(set_it);
+    }
+    node_of_.erase(it);
+  }
+  if (node.empty()) return;
+  node_of_.emplace(name, node);
+  pods_by_node_[node].insert(name);
 }
 
 Status ApiServer::create_service(Service svc) {

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "k8s/objects.hpp"
@@ -27,6 +28,14 @@ class ApiServer {
 
   /// Bind a pending pod to a node (what the scheduler posts).
   Status bind_pod(const std::string& name, const std::string& node);
+
+  /// Names of pods currently bound to `node`, sorted by name — the same
+  /// order a full name-ordered pod scan would visit them, so consumers
+  /// that switched from scanning to the index keep byte-identical traces.
+  /// Maintained on bind/status-change/delete: a node-lifecycle tick or a
+  /// kubelet crash walks O(pods on the node), not O(pods in the cluster).
+  [[nodiscard]] const std::set<std::string>& pods_on_node(
+      const std::string& node) const;
 
   /// Kubelet status updates. Fires the status watchers.
   Status update_pod_status(const std::string& name, PodStatus status);
@@ -91,7 +100,14 @@ class ApiServer {
   [[nodiscard]] std::size_t pod_count() const noexcept { return pods_.size(); }
 
  private:
+  /// Reconcile the node index with the pod's current status.node. Called
+  /// with the new node ("" to unindex on deletion); cheap no-op when the
+  /// binding did not change.
+  void index_pod_node(const std::string& name, const std::string& node);
+
   std::map<std::string, Pod> pods_;
+  std::map<std::string, std::set<std::string>> pods_by_node_;
+  std::map<std::string, std::string> node_of_;  // pod → indexed node
   std::map<std::string, RuntimeClass> runtime_classes_;
   std::map<std::string, Service> services_;
   std::map<std::string, NodeObject> nodes_;

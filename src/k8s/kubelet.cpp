@@ -147,8 +147,9 @@ void Kubelet::maybe_evict_for_pressure() {
     // their reservation.
     const Pod* victim = nullptr;
     Bytes worst{0};
-    for (const Pod* p : api_.pods()) {
-      if (p->status.node != config_.node_name) continue;
+    for (const std::string& pod_name : api_.pods_on_node(config_.node_name)) {
+      const Pod* p = api_.pod(pod_name);
+      if (p == nullptr) continue;
       if (p->status.phase != PodPhase::kRunning) continue;
       if (p->spec.memory_limit != 0) continue;
       Bytes usage{0};
@@ -259,9 +260,11 @@ void Kubelet::crash() {
   if (heartbeats_on_) node_.kernel().cancel(hb_event_);
   // Every sandbox dies with the node — silently: a dead node reports no
   // exit events. Collect ids first; removal must not alias the pod scan.
+  // The per-node index keeps this O(pods on this node) at cluster scale.
   std::vector<std::string> sandboxes;
-  for (const Pod* p : api_.pods()) {
-    if (p->status.node != config_.node_name) continue;
+  for (const std::string& pod_name : api_.pods_on_node(config_.node_name)) {
+    const Pod* p = api_.pod(pod_name);
+    if (p == nullptr) continue;
     if (!p->status.sandbox_id.empty() && cri_.sandbox(p->status.sandbox_id)) {
       sandboxes.push_back(p->status.sandbox_id);
     }
@@ -310,8 +313,9 @@ void Kubelet::recover() {
   // evicted or deleted. Collect names first: admission failures notify
   // controllers that mutate the pod store re-entrantly.
   std::vector<std::string> mine;
-  for (const Pod* p : api_.pods()) {
-    if (p->status.node != config_.node_name) continue;
+  for (const std::string& pod_name : api_.pods_on_node(config_.node_name)) {
+    const Pod* p = api_.pod(pod_name);
+    if (p == nullptr) continue;
     switch (p->status.phase) {
       case PodPhase::kScheduled:
       case PodPhase::kCreating:

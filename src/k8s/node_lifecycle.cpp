@@ -32,9 +32,15 @@ void NodeLifecycleController::stop() {
 void NodeLifecycleController::tick() {
   if (!running_) return;
   // Names first: sync_node mutates node objects through the API server.
-  std::vector<std::string> names;
-  for (const NodeObject* n : api_.node_objects()) names.push_back(n->name);
-  for (const std::string& name : names) {
+  // The buffer is a member so a 100k-pod sweep's 5 s cadence does not
+  // reallocate it every tick; a quiet tick does O(nodes) work and touches
+  // no pod at all (eviction walks the per-node pod index only when a node
+  // has been NotReady past the tolerance).
+  tick_names_.clear();
+  for (const NodeObject* n : api_.node_objects()) {
+    tick_names_.push_back(n->name);
+  }
+  for (const std::string& name : tick_names_) {
     if (const NodeObject* n = api_.node_object(name)) sync_node(*n);
   }
   next_tick_ = kernel_.schedule_after(options_.monitor_period,
@@ -92,10 +98,12 @@ void NodeLifecycleController::sync_node(const NodeObject& snapshot) {
 
 void NodeLifecycleController::evict_pods_of(const std::string& node) {
   // Collect first: eviction notifications reach controllers that may
-  // mutate the pod store re-entrantly.
+  // mutate the pod store re-entrantly. The per-node index makes this
+  // O(pods on the dead node); its name order matches the old full scan.
   std::vector<std::string> victims;
-  for (const Pod* p : api_.pods()) {
-    if (p->status.node != node) continue;
+  for (const std::string& name : api_.pods_on_node(node)) {
+    const Pod* p = api_.pod(name);
+    if (p == nullptr) continue;
     switch (p->status.phase) {
       case PodPhase::kScheduled:
       case PodPhase::kCreating:

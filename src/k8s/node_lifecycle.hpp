@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "k8s/api_server.hpp"
 #include "obs/observability.hpp"
@@ -99,6 +100,7 @@ class NodeLifecycleController {
   uint32_t marked_not_ready_ = 0;
   uint32_t readmitted_ = 0;
   uint32_t pods_evicted_ = 0;
+  std::vector<std::string> tick_names_;  // reused monitor-tick buffer
   std::string trace_;
 };
 

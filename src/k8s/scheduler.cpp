@@ -33,24 +33,23 @@ Scheduler::Scheduler(sim::Kernel& kernel, ApiServer& api,
 void Scheduler::release_slot(const Pod& pod) {
   if (pod.status.node.empty()) return;
   if (!released_.insert(pod.spec.name).second) return;
-  for (SchedulerNode& n : nodes_) {
-    if (n.name == pod.status.node && n.bound > 0) {
-      --n.bound;
-      --total_bound_;
-      return;
-    }
+  auto it = node_index_.find(pod.status.node);
+  if (it == node_index_.end()) return;
+  SchedulerNode& n = nodes_[it->second];
+  if (n.bound > 0) {
+    --n.bound;
+    --total_bound_;
   }
 }
 
 void Scheduler::add_node(std::string name, uint32_t capacity) {
-  nodes_.push_back({std::move(name), capacity, 0});
+  node_index_.emplace(name, nodes_.size());
+  nodes_.push_back({std::move(name), capacity, 0, nullptr});
 }
 
 uint32_t Scheduler::node_bound(const std::string& node) const {
-  for (const SchedulerNode& n : nodes_) {
-    if (n.name == node) return n.bound;
-  }
-  return 0;
+  auto it = node_index_.find(node);
+  return it == node_index_.end() ? 0 : nodes_[it->second].bound;
 }
 
 void Scheduler::schedule(const std::string& pod_name) {
@@ -64,7 +63,10 @@ void Scheduler::schedule(const std::string& pod_name) {
     uint32_t full = 0;
     uint32_t not_ready = 0;
     for (SchedulerNode& n : nodes_) {
-      const NodeObject* obj = api_.node_object(n.name);
+      // Resolve the Node object once per scheduler node, not once per
+      // binding decision (they register after add_node, hence lazily).
+      if (n.obj == nullptr) n.obj = api_.node_object(n.name);
+      const NodeObject* obj = n.obj;
       if (obj != nullptr && !obj->ready) {
         ++not_ready;
         continue;

@@ -5,6 +5,7 @@
 // control-plane time.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -19,6 +20,10 @@ struct SchedulerNode {
   std::string name;
   uint32_t capacity = 110;
   uint32_t bound = 0;
+  /// Cached API Node object for Ready filtering. Node objects live in a
+  /// std::map (stable addresses) and are never deregistered; resolved
+  /// lazily because kubelets register after the scheduler learns a node.
+  const NodeObject* obj = nullptr;
 };
 
 class Scheduler {
@@ -52,6 +57,9 @@ class Scheduler {
   ApiServer& api_;
   obs::Observability* obs_;
   std::vector<SchedulerNode> nodes_;
+  /// name → index into nodes_: slot release on a pod's terminal event is
+  /// O(log nodes), not a linear scan per pod.
+  std::map<std::string, std::size_t> node_index_;
   /// Pods whose slot was already released by a terminal-phase transition.
   std::set<std::string> released_;
   uint32_t total_bound_ = 0;

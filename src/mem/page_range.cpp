@@ -1,0 +1,83 @@
+#include "mem/page_range.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wasmctr::mem {
+
+void RangeSet::insert(uint64_t begin, uint64_t end) {
+  if (begin >= end) return;
+
+  // Start from the first existing range that could touch [begin, end):
+  // the predecessor of `begin`, if it reaches begin (overlap or adjacency).
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) it = prev;
+  }
+
+  // Absorb every range that overlaps or abuts the insertion, subtracting
+  // their old coverage; the merged range is re-inserted once at the end.
+  while (it != ranges_.end() && it->first <= end) {
+    begin = std::min(begin, it->first);
+    end = std::max(end, it->second);
+    total_ -= it->second - it->first;
+    it = ranges_.erase(it);
+  }
+
+  ranges_.emplace_hint(it, begin, end);
+  total_ += end - begin;
+}
+
+void RangeSet::erase(uint64_t begin, uint64_t end) {
+  if (begin >= end) return;
+
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) it = prev;
+  }
+
+  while (it != ranges_.end() && it->first < end) {
+    const uint64_t r_begin = it->first;
+    const uint64_t r_end = it->second;
+    it = ranges_.erase(it);
+    total_ -= r_end - r_begin;
+    if (r_begin < begin) {  // left remainder survives
+      ranges_.emplace(r_begin, begin);
+      total_ += begin - r_begin;
+    }
+    if (r_end > end) {  // right remainder survives
+      it = ranges_.emplace(end, r_end).first;
+      total_ += r_end - end;
+      ++it;
+    }
+  }
+}
+
+uint64_t RangeSet::erase_top(uint64_t bytes) {
+  uint64_t erased = 0;
+  while (erased < bytes && !ranges_.empty()) {
+    auto last = std::prev(ranges_.end());
+    const uint64_t size = last->second - last->first;
+    const uint64_t want = bytes - erased;
+    if (size <= want) {
+      total_ -= size;
+      erased += size;
+      ranges_.erase(last);
+    } else {
+      last->second -= want;
+      total_ -= want;
+      erased += want;
+    }
+  }
+  return erased;
+}
+
+bool RangeSet::contains(uint64_t addr) const {
+  auto it = ranges_.upper_bound(addr);
+  if (it == ranges_.begin()) return false;
+  return std::prev(it)->second > addr;
+}
+
+}  // namespace wasmctr::mem

@@ -1,0 +1,68 @@
+// Interval (page-range) bookkeeping for memory accounting.
+//
+// A RangeSet holds a set of disjoint half-open byte ranges [begin, end)
+// over a virtual address space, coalescing on insert and splitting on
+// erase — the VMA view of a process, instead of a per-page bitmap. Every
+// operation is O(log ranges + ranges touched), so tracking a process RSS
+// costs O(mappings) regardless of how many pages the mappings span: the
+// property the 100k-pod scale sweep depends on (DESIGN.md §11).
+//
+// Ranges are byte-granular. Callers that think in pages insert
+// page-aligned ranges; keeping bytes here means the accounted totals stay
+// bit-identical to the calibrated scalar bookkeeping they back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace wasmctr::mem {
+
+class RangeSet {
+ public:
+  /// Insert [begin, end), merging with overlapping or adjacent ranges.
+  /// Empty ranges (begin >= end) are ignored.
+  void insert(uint64_t begin, uint64_t end);
+
+  /// Erase [begin, end), splitting ranges that straddle a boundary.
+  void erase(uint64_t begin, uint64_t end);
+
+  /// Erase up to `bytes` from the top of the address space (highest
+  /// addresses first — LIFO, the malloc/brk shrink direction). Returns the
+  /// number of bytes actually erased (< `bytes` only when the set drains).
+  uint64_t erase_top(uint64_t bytes);
+
+  /// Total bytes covered. O(1): maintained incrementally.
+  [[nodiscard]] uint64_t total() const noexcept { return total_; }
+
+  /// Number of disjoint ranges — the "mappings" a scan would walk.
+  [[nodiscard]] std::size_t range_count() const noexcept {
+    return ranges_.size();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return ranges_.empty(); }
+
+  /// True when `addr` falls inside some range.
+  [[nodiscard]] bool contains(uint64_t addr) const;
+
+  /// One past the highest covered address (0 when empty) — the natural
+  /// bump-allocation cursor for a grow-from-the-top caller.
+  [[nodiscard]] uint64_t span_end() const noexcept {
+    return ranges_.empty() ? 0 : ranges_.rbegin()->second;
+  }
+
+  /// The underlying begin → end map (tests, debugging).
+  [[nodiscard]] const std::map<uint64_t, uint64_t>& ranges() const noexcept {
+    return ranges_;
+  }
+
+  void clear() {
+    ranges_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::map<uint64_t, uint64_t> ranges_;  // begin → end, disjoint, sorted
+  uint64_t total_ = 0;
+};
+
+}  // namespace wasmctr::mem

@@ -50,6 +50,7 @@ const Span* Tracer::span(SpanId id) const {
 
 SpanId Tracer::begin_span(std::string name, std::string layer,
                           SpanId parent) {
+  if (!capture_) return SpanId{};
   Span s;
   s.id = spans_.size() + 1;
   s.parent = parent.value;
@@ -75,10 +76,11 @@ void Tracer::end_span(SpanId id) {
 
 SpanId Tracer::instant(std::string name, std::string layer, SpanId parent) {
   const SpanId id = begin_span(std::move(name), std::move(layer), parent);
-  Span* s = find(id);
-  s->end = s->start;
-  s->closed = true;
-  s->instant = true;
+  if (Span* s = find(id)) {  // null in lean (capture-off) mode
+    s->end = s->start;
+    s->closed = true;
+    s->instant = true;
+  }
   return id;
 }
 
@@ -86,16 +88,21 @@ void Tracer::pod_phase(const std::string& pod, std::string phase,
                        std::string layer) {
   auto it = timelines_.find(pod);
   if (it == timelines_.end()) {
-    // First phase of a (re)attempt: open the root span.
+    // First phase of a (re)attempt: open the root span. In lean mode the
+    // timeline records only its start time, enough for pod_end's duration.
     Timeline tl;
     tl.attempt = ++attempts_[pod];
-    tl.root = begin_span(std::string(kPodRootSpanName), "k8s");
-    set_attr(tl.root, "pod", pod);
-    set_attr(tl.root, "attempt", std::to_string(tl.attempt));
+    tl.start = kernel_.now();
+    if (capture_) {
+      tl.root = begin_span(std::string(kPodRootSpanName), "k8s");
+      set_attr(tl.root, "pod", pod);
+      set_attr(tl.root, "attempt", std::to_string(tl.attempt));
+    }
     it = timelines_.emplace(pod, tl).first;
   }
   Timeline& tl = it->second;
-  end_span(tl.phase);  // no-op for the first phase
+  if (!tl.root) return;  // lean-mode timeline: no phase spans to tile
+  end_span(tl.phase);    // no-op for the first phase
   tl.phase = begin_span(std::move(phase), std::move(layer), tl.root);
   set_attr(tl.phase, "pod", pod);
 }
@@ -113,10 +120,13 @@ SimDuration Tracer::pod_end(const std::string& pod,
   if (it == timelines_.end()) return SimDuration{0};
   Timeline tl = it->second;
   timelines_.erase(it);
+  if (outcome == "Running") ++completed_;
+  if (!tl.root) {  // lean mode: exact duration, no spans were kept
+    return kernel_.now() - tl.start;
+  }
   end_span(tl.phase);
   end_span(tl.root);
   set_attr(tl.root, "outcome", std::string(outcome));
-  if (outcome == "Running") ++completed_;
   const Span* root = span(tl.root);
   return root == nullptr ? SimDuration{0} : root->duration();
 }

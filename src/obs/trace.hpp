@@ -62,6 +62,15 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
+  /// Span capture switch. On (default) every span is retained for export.
+  /// Off, begin_span/instant return the null span and pod timelines track
+  /// only their start time — pod_end still returns the exact startup
+  /// duration (the histogram feed), but a 100k-pod sweep holds O(live
+  /// pods) of tracer state instead of O(all spans ever). Set it before
+  /// driving the kernel: flipping mid-run leaves open spans open.
+  void set_span_capture(bool on) noexcept { capture_ = on; }
+  [[nodiscard]] bool span_capture() const noexcept { return capture_; }
+
   // --- raw spans ---
 
   /// Open a span at now(). `parent` nests it; default is a root span.
@@ -128,11 +137,13 @@ class Tracer {
     SpanId root;
     SpanId phase;
     uint32_t attempt = 0;
+    SimTime start{0};  // attempt start; pod_end's duration in lean mode
   };
 
   Span* find(SpanId id);
 
   sim::Kernel& kernel_;
+  bool capture_ = true;
   std::vector<Span> spans_;  // id == index + 1
   std::map<std::string, Timeline> timelines_;
   std::map<std::string, uint32_t> attempts_;

@@ -21,10 +21,15 @@ DeploymentController::DeploymentController(sim::Kernel& kernel,
                                            k8s::ApiServer& api)
     : kernel_(kernel), api_(api) {
   api_.watch_status([this](const k8s::Pod& pod) {
-    if (!owner_of_.contains(pod.spec.name)) return;
+    auto it = owner_of_.find(pod.spec.name);
+    if (it == owner_of_.end()) return;
     // Only terminal phases require action; Running/backoff transitions
     // are observed lazily through ready_replicas().
-    if (is_terminal(pod.status.phase)) schedule_reconcile();
+    if (!is_terminal(pod.status.phase)) return;
+    if (auto dep = deployments_.find(it->second); dep != deployments_.end()) {
+      dep->second.pending_terminal.insert(pod.spec.name);
+    }
+    schedule_reconcile();
   });
   api_.watch_deleted([this](const k8s::Pod& pod) {
     auto it = owner_of_.find(pod.spec.name);
@@ -33,6 +38,7 @@ DeploymentController::DeploymentController(sim::Kernel& kernel,
     // reconcile so a replacement is created.
     if (auto dep = deployments_.find(it->second); dep != deployments_.end()) {
       dep->second.owned.erase(pod.spec.name);
+      dep->second.pending_terminal.erase(pod.spec.name);
     }
     owner_of_.erase(it);
     schedule_reconcile();
@@ -133,17 +139,20 @@ void DeploymentController::reconcile_all() {
 void DeploymentController::reconcile(Record& rec) {
   // 1. Garbage-collect terminal pods. Deleting through the API server is
   // what releases the scheduler slot and the kubelet's per-pod charge.
-  std::vector<std::string> terminal;
-  for (const std::string& pod_name : rec.owned) {
-    const k8s::Pod* p = api_.pod(pod_name);
-    if (p == nullptr || is_terminal(p->status.phase)) {
-      terminal.push_back(pod_name);
-    }
-  }
+  // The status watcher queued them in pending_terminal (same sorted order
+  // a full owned scan would visit), so this walks only what changed.
+  std::vector<std::string> terminal(rec.pending_terminal.begin(),
+                                    rec.pending_terminal.end());
+  rec.pending_terminal.clear();
   for (const std::string& pod_name : terminal) {
+    if (!rec.owned.contains(pod_name)) continue;
+    const k8s::Pod* p = api_.pod(pod_name);
+    // A pod that recovered since the watch fired is no longer terminal:
+    // leave it owned.
+    if (p != nullptr && !is_terminal(p->status.phase)) continue;
     rec.owned.erase(pod_name);
     owner_of_.erase(pod_name);
-    if (const k8s::Pod* p = api_.pod(pod_name)) {
+    if (p != nullptr) {
       trace("gc", rec.spec.name,
             pod_name + " phase=" + k8s::pod_phase_name(p->status.phase));
       (void)api_.delete_pod(pod_name);
@@ -160,6 +169,7 @@ void DeploymentController::reconcile(Record& rec) {
   while (live > rec.spec.replicas && !rec.owned.empty()) {
     const std::string victim = *rec.owned.rbegin();
     rec.owned.erase(victim);
+    rec.pending_terminal.erase(victim);
     owner_of_.erase(victim);
     trace("scale-down", rec.spec.name, victim);
     (void)api_.delete_pod(victim);

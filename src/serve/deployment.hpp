@@ -64,6 +64,11 @@ class DeploymentController {
   struct Record {
     DeploymentSpec spec;
     std::set<std::string> owned;  // sorted: ordinal order (fixed width)
+    /// Owned pods observed terminal by the status watcher, awaiting GC.
+    /// Reconcile walks this instead of all of `owned`, so a pass costs
+    /// O(terminal pods), not O(replicas) — the 100k-pod sweep's GC cost.
+    /// Sorted like `owned`, so GC order (and the trace) is unchanged.
+    std::set<std::string> pending_terminal;
     uint32_t next_ordinal = 0;
     uint32_t created = 0;
     uint32_t gced = 0;

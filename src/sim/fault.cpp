@@ -59,8 +59,17 @@ bool FaultInjector::should_fault(FaultKind kind, std::string_view target) {
   const double rate = rates_[static_cast<std::size_t>(kind)];
   if (rate <= 0.0) return false;
 
-  TargetState& state =
-      counters_[{static_cast<uint8_t>(kind), std::string(target)}];
+  // Heterogeneous lookup: no string is built unless this is the first
+  // decision ever made for (kind, target).
+  const TargetKeyLess::View key{static_cast<uint8_t>(kind), target};
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(TargetKey{key.first, std::string(target)},
+                      TargetState{})
+             .first;
+  }
+  TargetState& state = it->second;
   const uint32_t occurrence = state.decisions++;
   if (state.injected >= max_faults_per_target_) return false;
 

@@ -118,13 +118,39 @@ class FaultInjector {
     uint32_t injected = 0;   // faults already fired for this pair
   };
 
+  /// Map key for the per-(kind, target) counters. A std::pair of kind and
+  /// std::string cannot be compared against a pair holding string_view
+  /// (no heterogeneous pair ordering exists, std::less<> or not), so the
+  /// key is explicit with a transparent comparator: the hot path looks up
+  /// with (kind, string_view) and allocates nothing after the first
+  /// decision for a target — the no-allocation test pins this.
+  struct TargetKey {
+    uint8_t kind;
+    std::string target;
+  };
+  struct TargetKeyLess {
+    using is_transparent = void;
+    using View = std::pair<uint8_t, std::string_view>;
+    static View view(const TargetKey& k) noexcept {
+      return {k.kind, std::string_view(k.target)};
+    }
+    bool operator()(const TargetKey& a, const TargetKey& b) const noexcept {
+      return view(a) < view(b);
+    }
+    bool operator()(const TargetKey& a, const View& b) const noexcept {
+      return view(a) < b;
+    }
+    bool operator()(const View& a, const TargetKey& b) const noexcept {
+      return a < view(b);
+    }
+  };
+
   Kernel& kernel_;
   uint64_t seed_;
   bool enabled_ = false;
   std::array<double, kFaultKindCount> rates_{};
   uint32_t max_faults_per_target_ = std::numeric_limits<uint32_t>::max();
-  std::map<std::pair<uint8_t, std::string>, TargetState, std::less<>>
-      counters_;
+  std::map<TargetKey, TargetState, TargetKeyLess> counters_;
   std::vector<FaultRecord> trace_;
 };
 

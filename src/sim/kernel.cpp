@@ -1,16 +1,48 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace wasmctr::sim {
 
+namespace {
+
+/// Below this heap size compaction is pointless: the whole heap fits in a
+/// couple of cache lines and tombstones drain via pops anyway.
+constexpr std::size_t kCompactMinHeap = 64;
+
+/// EventId layout: (gen << 32) | (slot + 1). Value 0 stays "no event" so a
+/// default-constructed EventId is always safe to cancel.
+constexpr uint64_t pack_id(uint32_t slot, uint32_t gen) {
+  return (static_cast<uint64_t>(gen) << 32) |
+         (static_cast<uint64_t>(slot) + 1);
+}
+
+}  // namespace
+
+void Kernel::release_slot(uint32_t slot) {
+  slots_[slot].cb = nullptr;  // drop captures now, not at heap drain time
+  ++slots_[slot].gen;
+  free_slots_.push_back(slot);
+}
+
 EventId Kernel::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;
-  const uint64_t id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return EventId{id};
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(cb);
+  const uint32_t gen = slots_[slot].gen;
+  heap_.push_back(Event{t, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  ++live_;
+  return EventId{pack_id(slot, gen)};
 }
 
 EventId Kernel::schedule_after(SimDuration d, Callback cb) {
@@ -19,24 +51,40 @@ EventId Kernel::schedule_after(SimDuration d, Callback cb) {
 }
 
 void Kernel::cancel(EventId id) {
-  auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return;  // already fired or never existed
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
+  if (id.value == 0) return;
+  const uint32_t slot = static_cast<uint32_t>(id.value & 0xffffffffu) - 1;
+  const uint32_t gen = static_cast<uint32_t>(id.value >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) {
+    return;  // already fired, already cancelled, or never existed
+  }
+  release_slot(slot);
+  --live_;
+  ++tombstones_;  // the heap entry stays until popped or compacted
+  compact_if_tombstone_heavy();
+}
+
+void Kernel::compact_if_tombstone_heavy() {
+  if (heap_.size() < kCompactMinHeap || tombstones_ * 2 <= heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [this](const Event& e) { return !is_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+  tombstones_ = 0;
+  ++compactions_;
 }
 
 bool Kernel::step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
-      cancelled_.erase(c);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    if (!is_live(ev)) {
+      --tombstones_;
       continue;
     }
-    auto it = callbacks_.find(ev.id);
-    assert(it != callbacks_.end());
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    Callback cb = std::move(slots_[ev.slot].cb);
+    release_slot(ev.slot);
+    --live_;
     assert(ev.time >= now_ && "event queue went backwards");
     now_ = ev.time;
     ++executed_;
@@ -52,15 +100,15 @@ void Kernel::run() {
 }
 
 void Kernel::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip cancelled tombstones without advancing time.
-    const Event ev = queue_.top();
-    if (cancelled_.contains(ev.id)) {
-      queue_.pop();
-      cancelled_.erase(ev.id);
+    if (!is_live(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+      heap_.pop_back();
+      --tombstones_;
       continue;
     }
-    if (ev.time > deadline) break;
+    if (heap_.front().time > deadline) break;
     step();
   }
 }

@@ -4,13 +4,18 @@
 // engine startup) runs on virtual time: components schedule callbacks, the
 // kernel executes them in (time, insertion-order) order. Single-threaded and
 // fully deterministic.
+//
+// Scale engine (DESIGN.md §11): callbacks live in a pooled slot table
+// indexed by the heap entries, so scheduling does not allocate once the
+// pool is warm, and cancelled events leave only a tombstone in the heap.
+// Tombstones are compacted out as soon as they outnumber live entries —
+// cancel-heavy churn (100k kubelets re-arming heartbeats) keeps the heap
+// O(pending), not O(history). Execution order depends only on (time, seq),
+// never on heap layout, so compaction cannot perturb a trace.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "support/units.hpp"
@@ -41,6 +46,7 @@ class Kernel {
 
   /// Cancel a pending event. Cancelling an already-fired or unknown event is
   /// a no-op (the common race when a completion and a cancel coincide).
+  /// The callback (and everything it captured) is released immediately.
   void cancel(EventId id);
 
   /// Execute the next event, if any. Returns false when the queue is empty.
@@ -54,9 +60,17 @@ class Kernel {
   void run_until(SimTime deadline);
 
   /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return queue_.size() - cancelled_.size();
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+  /// Heap entries including cancelled tombstones not yet compacted away.
+  /// Bounded by 2 × pending() + a small constant (the compaction
+  /// threshold), which the scale regression test pins.
+  [[nodiscard]] std::size_t heap_size() const noexcept {
+    return heap_.size();
   }
+
+  /// Tombstone compaction passes run so far (test introspection).
+  [[nodiscard]] uint64_t compactions() const noexcept { return compactions_; }
 
   /// Total events executed since construction (for test introspection).
   [[nodiscard]] uint64_t executed() const noexcept { return executed_; }
@@ -64,22 +78,39 @@ class Kernel {
  private:
   struct Event {
     SimTime time;
-    uint64_t seq;  // tie-breaker: FIFO within the same timestamp
-    uint64_t id;
-    // Heap orders by (time, seq) ascending.
-    friend bool operator>(const Event& a, const Event& b) {
+    uint64_t seq;   // tie-breaker: FIFO within the same timestamp
+    uint32_t slot;  // index into slots_
+    uint32_t gen;   // matches slots_[slot].gen while the event is live
+  };
+  // Min-heap by (time, seq): std::push_heap builds a max-heap, so "after".
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback cb;
+    uint32_t gen = 0;  // bumped on fire/cancel → stale EventIds miss
+  };
+
+  [[nodiscard]] bool is_live(const Event& e) const noexcept {
+    return slots_[e.slot].gen == e.gen;
+  }
+  /// Free a slot after its event fired or was cancelled; the slot is
+  /// recycled by the next schedule (Callback storage is pooled).
+  void release_slot(uint32_t slot);
+  void compact_if_tombstone_heavy();
 
   SimTime now_{0};
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_map<uint64_t, Callback> callbacks_;
-  std::unordered_set<uint64_t> cancelled_;
+  uint64_t compactions_ = 0;
+  std::size_t live_ = 0;        // heap entries that are not tombstones
+  std::size_t tombstones_ = 0;  // cancelled entries still in the heap
+  std::vector<Event> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace wasmctr::sim

@@ -8,7 +8,8 @@ Process::~Process() {
   for (const auto& [fid, size] : shared_) {
     node_.unmap_shared(mem::FileId{fid});
   }
-  if (anon_.value != 0) node_.uncharge_anon(anon_, cgroup_);
+  const Bytes anon = this->anon();
+  if (anon.value != 0) node_.uncharge_anon(anon, cgroup_);
 }
 
 Status Process::map_shared(mem::FileId f, Bytes size) {
@@ -29,24 +30,30 @@ void Process::unmap_shared(mem::FileId f) {
 
 Status Process::add_anon(Bytes b) {
   WASMCTR_RETURN_IF_ERROR(node_.charge_anon(b, cgroup_));
-  anon_ += b;
+  // Contiguous growth: the new range abuts the top of the last one, so the
+  // RangeSet coalesces and the VMA count stays flat under heap growth.
+  anon_ranges_.insert(anon_cursor_, anon_cursor_ + b.value);
+  anon_cursor_ += b.value;
   return Status::ok();
 }
 
 void Process::remove_anon(Bytes b) {
-  assert(anon_ >= b);
+  assert(anon() >= b);
   node_.uncharge_anon(b, cgroup_);
-  anon_ -= b;
+  // Shrink trims from the top (brk/arena-release direction). A full drain
+  // resets the cursor so the address space never creeps.
+  anon_ranges_.erase_top(b.value);
+  anon_cursor_ = anon_ranges_.span_end();
 }
 
 Bytes Process::rss() const noexcept {
-  Bytes total = anon_;
+  Bytes total = anon();
   for (const auto& [fid, size] : shared_) total += size;
   return total;
 }
 
 Bytes Process::pss() const noexcept {
-  Bytes total = anon_;
+  Bytes total = anon();
   for (const auto& [fid, size] : shared_) {
     const uint64_t mappers = node_.shared_mappers(mem::FileId{fid});
     total += size / (mappers == 0 ? 1 : mappers);

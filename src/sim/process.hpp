@@ -5,6 +5,13 @@
 // memory against both the node (for `free`) and its cgroup (for the
 // metrics server); destruction releases everything (RAII — no leak can
 // survive a container teardown bug without a test noticing).
+//
+// Anonymous memory is tracked as coalesced address ranges (mem::RangeSet)
+// rather than a bare counter: growth extends the top range in place and
+// shrink trims it, so the bookkeeping stays O(mappings) however many pages
+// a process touches, and rss()/pss() read a cached total. The range total
+// is byte-identical to the charges forwarded to the node, which the
+// page-range equivalence test pins against the fig3/fig6 workloads.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "mem/node_memory.hpp"
+#include "mem/page_range.hpp"
 #include "support/status.hpp"
 
 namespace wasmctr::sim {
@@ -42,7 +50,14 @@ class Process {
   Status add_anon(Bytes b);
   void remove_anon(Bytes b);
 
-  [[nodiscard]] Bytes anon() const noexcept { return anon_; }
+  [[nodiscard]] Bytes anon() const noexcept {
+    return Bytes{anon_ranges_.total()};
+  }
+
+  /// The anonymous VMA view (tests assert coalescing keeps this small).
+  [[nodiscard]] const mem::RangeSet& anon_ranges() const noexcept {
+    return anon_ranges_;
+  }
 
   /// Resident set size: anon + full size of every shared mapping.
   [[nodiscard]] Bytes rss() const noexcept;
@@ -55,7 +70,8 @@ class Process {
   std::string name_;
   mem::NodeMemory& node_;
   mem::Cgroup* cgroup_;
-  Bytes anon_{0};
+  mem::RangeSet anon_ranges_;         // disjoint anon VMAs, byte-granular
+  uint64_t anon_cursor_ = 0;          // bump pointer for new anon ranges
   std::map<uint64_t, Bytes> shared_;  // FileId → size
 };
 

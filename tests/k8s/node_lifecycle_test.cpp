@@ -15,9 +15,11 @@ Pod* running_pod_on(ApiServer& api, const std::string& name,
   spec.name = name;
   spec.image = "img";
   EXPECT_TRUE(api.create_pod(std::move(spec)).is_ok());
+  // Bind through the API server (like the scheduler does) so the per-node
+  // pod index the eviction path walks knows about the pod.
+  EXPECT_TRUE(api.bind_pod(name, node).is_ok());
   Pod* p = api.pod(name);
   EXPECT_NE(p, nullptr);
-  p->status.node = node;
   p->status.phase = PodPhase::kRunning;
   return p;
 }

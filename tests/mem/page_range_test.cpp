@@ -1,0 +1,206 @@
+// RangeSet (page-range accounting) unit tests, plus the equivalence
+// check the scale refactor hangs on: range-derived process anon totals
+// must match the node's scalar accounting bit-for-bit on the paper's
+// fig 3 / fig 6 workloads (DESIGN.md §11).
+#include "mem/page_range.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "k8s/cluster.hpp"
+#include "sim/process.hpp"
+#include "support/rng.hpp"
+
+namespace wasmctr::mem {
+namespace {
+
+TEST(RangeSetTest, InsertCoalescesOverlapAndAdjacency) {
+  RangeSet rs;
+  rs.insert(0, 100);
+  rs.insert(200, 300);
+  EXPECT_EQ(rs.range_count(), 2u);
+  EXPECT_EQ(rs.total(), 200u);
+
+  rs.insert(100, 200);  // exactly adjacent on both sides → one range
+  EXPECT_EQ(rs.range_count(), 1u);
+  EXPECT_EQ(rs.total(), 300u);
+
+  rs.insert(50, 250);  // fully inside: no change
+  EXPECT_EQ(rs.range_count(), 1u);
+  EXPECT_EQ(rs.total(), 300u);
+
+  rs.insert(250, 500);  // overlapping extension
+  EXPECT_EQ(rs.range_count(), 1u);
+  EXPECT_EQ(rs.total(), 500u);
+  EXPECT_EQ(rs.span_end(), 500u);
+}
+
+TEST(RangeSetTest, InsertAbsorbsMultipleRanges) {
+  RangeSet rs;
+  rs.insert(0, 10);
+  rs.insert(20, 30);
+  rs.insert(40, 50);
+  rs.insert(5, 45);  // swallows the middle range, bridges all three
+  EXPECT_EQ(rs.range_count(), 1u);
+  EXPECT_EQ(rs.total(), 50u);
+}
+
+TEST(RangeSetTest, EmptyInsertIsIgnored) {
+  RangeSet rs;
+  rs.insert(10, 10);
+  rs.insert(20, 5);
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.total(), 0u);
+}
+
+TEST(RangeSetTest, EraseSplitsStraddlingRange) {
+  RangeSet rs;
+  rs.insert(0, 100);
+  rs.erase(40, 60);  // punch a hole
+  EXPECT_EQ(rs.range_count(), 2u);
+  EXPECT_EQ(rs.total(), 80u);
+  EXPECT_TRUE(rs.contains(39));
+  EXPECT_FALSE(rs.contains(40));
+  EXPECT_FALSE(rs.contains(59));
+  EXPECT_TRUE(rs.contains(60));
+
+  rs.erase(0, 100);  // erase across both remainders
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.total(), 0u);
+}
+
+TEST(RangeSetTest, EraseAcrossRangeBoundaries) {
+  RangeSet rs;
+  rs.insert(0, 10);
+  rs.insert(20, 30);
+  rs.insert(40, 50);
+  rs.erase(5, 45);  // clips the first and last, removes the middle
+  EXPECT_EQ(rs.range_count(), 2u);
+  EXPECT_EQ(rs.total(), 10u);
+  EXPECT_TRUE(rs.contains(4));
+  EXPECT_FALSE(rs.contains(5));
+  EXPECT_FALSE(rs.contains(44));
+  EXPECT_TRUE(rs.contains(45));
+}
+
+TEST(RangeSetTest, EraseTopTrimsLifo) {
+  RangeSet rs;
+  rs.insert(0, 100);
+  rs.insert(200, 300);
+
+  EXPECT_EQ(rs.erase_top(50), 50u);  // partial trim of the top range
+  EXPECT_EQ(rs.total(), 150u);
+  EXPECT_EQ(rs.span_end(), 250u);
+
+  EXPECT_EQ(rs.erase_top(60), 60u);  // drains [200,250), dips into [0,100)
+  EXPECT_EQ(rs.total(), 90u);
+  EXPECT_EQ(rs.span_end(), 90u);
+  EXPECT_EQ(rs.range_count(), 1u);
+
+  EXPECT_EQ(rs.erase_top(500), 90u);  // over-ask drains and reports short
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.span_end(), 0u);
+}
+
+TEST(RangeSetTest, ContainsAndSpanEndOnEmptySet) {
+  RangeSet rs;
+  EXPECT_FALSE(rs.contains(0));
+  EXPECT_EQ(rs.span_end(), 0u);
+  EXPECT_EQ(rs.erase_top(10), 0u);
+}
+
+// Equivalence on real workloads: deploy the paper's fig 3 (crun-wamr) and
+// fig 6 (crun-python) cells, then check that every process's range-derived
+// anon() equals what the node's scalar counters say in aggregate, and that
+// bump-cursor insertion keeps the per-process VMA view flat (the property
+// that makes accounting O(mappings), not O(pages)).
+class PageRangeEquivalenceTest
+    : public ::testing::TestWithParam<k8s::DeployConfig> {};
+
+TEST_P(PageRangeEquivalenceTest, ProcessRangesMatchScalarNodeTotals) {
+  k8s::Cluster cluster;  // single node, lifecycle off → run() quiesces
+  ASSERT_TRUE(cluster.deploy(GetParam(), 40, "eq").is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.running_count(), 40u);
+
+  sim::Node& node = cluster.node();
+  uint64_t range_sum = 0;
+  std::size_t max_ranges = 0;
+  for (const sim::Pid pid : node.procs().pids()) {
+    sim::Process* p = node.procs().find(pid);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->anon().value, p->anon_ranges().total());
+    EXPECT_GE(p->rss().value, p->anon().value);
+    range_sum += p->anon_ranges().total();
+    max_ranges = std::max(max_ranges, p->anon_ranges().range_count());
+  }
+  // The node's scalar total also carries infra charges made without a
+  // Process (kubelet per-pod state, OCI kernel share), so the process
+  // ranges account for a strict subset of it.
+  EXPECT_GT(range_sum, 0u);
+  EXPECT_LE(range_sum, node.memory().anon_total().value);
+  // LIFO trims + bump-cursor inserts coalesce: the VMA view stays tiny.
+  EXPECT_LE(max_ranges, 2u);
+}
+
+// Direct equivalence against scalar bookkeeping: drive a process table
+// with a seeded add/remove-anon churn while maintaining the old-style
+// scalar shadow counters, and require the range-derived totals to match
+// them byte-for-byte at every step.
+TEST(PageRangeEquivalenceTest, RandomChurnMatchesScalarShadow) {
+  mem::NodeMemory node{Bytes(4ull << 30), Bytes(64ull << 20)};
+  sim::ProcessTable procs{node};
+  Rng rng(0xCAFE);
+
+  constexpr int kProcs = 16;
+  std::vector<sim::Process*> ps;
+  std::vector<uint64_t> shadow(kProcs, 0);  // the old scalar per-process anon
+  for (int i = 0; i < kProcs; ++i) {
+    auto pid = procs.spawn("p" + std::to_string(i), nullptr);
+    ASSERT_TRUE(pid.is_ok());
+    ps.push_back(procs.find(*pid));
+  }
+
+  for (int step = 0; step < 20'000; ++step) {
+    const std::size_t i = rng.next_below(kProcs);
+    const uint64_t amount = (rng.next_below(64) + 1) * 4096;
+    if (rng.next_below(3) != 0) {
+      ASSERT_TRUE(ps[i]->add_anon(Bytes(amount)).is_ok());
+      shadow[i] += amount;
+    } else {
+      const uint64_t trim = std::min(shadow[i], amount);
+      if (trim > 0) {
+        ps[i]->remove_anon(Bytes(trim));
+        shadow[i] -= trim;
+      }
+    }
+    ASSERT_EQ(ps[i]->anon().value, shadow[i]) << "step " << step;
+  }
+
+  uint64_t total = 0;
+  for (int i = 0; i < kProcs; ++i) {
+    EXPECT_EQ(ps[i]->anon().value, shadow[i]);
+    EXPECT_EQ(ps[i]->anon_ranges().total(), shadow[i]);
+    // LIFO-only removal keeps each process's anon view one coalesced VMA.
+    EXPECT_LE(ps[i]->anon_ranges().range_count(), 1u);
+    total += shadow[i];
+  }
+  EXPECT_EQ(node.anon_total().value, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig3AndFig6, PageRangeEquivalenceTest,
+                         ::testing::Values(k8s::DeployConfig::kCrunWamr,
+                                           k8s::DeployConfig::kCrunPython),
+                         [](const auto& info) {
+                           std::string name =
+                               k8s::deploy_config_name(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wasmctr::mem

@@ -1,0 +1,122 @@
+// FaultInjector hot-path allocation regression. should_fault() runs on
+// every heartbeat of every kubelet, so at 100k pods it must not allocate
+// once a target's counter exists: the heterogeneous (kind, string_view)
+// lookup has to hit the map without materialising a std::string.
+//
+// This TU replaces global operator new/delete with counting versions.
+// That is per-binary, which is why these tests live in their own
+// scale-labeled binary and why the override is compiled out under
+// sanitizers (ASan's interposed allocator must stay in charge there —
+// the sanitize CI lane still runs the functional assertions).
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "sim/kernel.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define WASMCTR_NOALLOC_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define WASMCTR_NOALLOC_DISABLED 1
+#endif
+#endif
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+#if !defined(WASMCTR_NOALLOC_DISABLED)
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // !WASMCTR_NOALLOC_DISABLED
+
+namespace wasmctr::sim {
+namespace {
+
+uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(FaultNoAllocTest, SteadyStateDecisionsDoNotAllocate) {
+  Kernel kernel;
+  FaultInjector injector(kernel, 42);
+  injector.set_rate(FaultKind::kCriTransient, 1.0);
+  injector.set_max_faults_per_target(1);
+
+  // Warm-up: the first decision per target creates its counter entry (and
+  // with rate 1.0 injects the single allowed fault, growing the trace).
+  const std::string pods[] = {"pod-0", "pod-1", "pod-2", "pod-3"};
+  for (const std::string& pod : pods) {
+    EXPECT_TRUE(injector.should_fault(FaultKind::kCriTransient, pod));
+  }
+  ASSERT_EQ(injector.faults_injected(), 4u);
+
+#if defined(WASMCTR_NOALLOC_DISABLED)
+  const bool counting = false;
+#else
+  const bool counting = true;
+#endif
+
+  // Steady state: the counter exists and the per-target cap is reached, so
+  // every further decision is a pure lookup + counter bump. The key is
+  // handed over as a string_view built from a raw char pointer — if the
+  // map lookup needed a temporary std::string, the counter would move.
+  const uint64_t before = allocations();
+  for (int round = 0; round < 1000; ++round) {
+    for (const std::string& pod : pods) {
+      const std::string_view view{pod.c_str(), pod.size()};
+      EXPECT_FALSE(injector.should_fault(FaultKind::kCriTransient, view));
+    }
+  }
+  if (counting) {
+    EXPECT_EQ(allocations(), before)
+        << "should_fault allocated on the steady-state path";
+  } else {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers; "
+                    "functional assertions above still ran";
+  }
+}
+
+TEST(FaultNoAllocTest, HeterogeneousKeySharesOccurrenceCounter) {
+  Kernel kernel;
+  FaultInjector injector(kernel, 7);
+  injector.set_rate(FaultKind::kShimCrash, 1.0);
+  injector.set_max_faults_per_target(2);
+
+  // The same target spelled via different string objects (and a bare
+  // string_view) must resolve to one counter: two injections, then pass.
+  const std::string owned = "pod-x";
+  char raw[] = "pod-x";
+  EXPECT_TRUE(injector.should_fault(FaultKind::kShimCrash, owned));
+  EXPECT_TRUE(
+      injector.should_fault(FaultKind::kShimCrash, std::string_view{raw}));
+  EXPECT_FALSE(injector.should_fault(FaultKind::kShimCrash, "pod-x"));
+  EXPECT_EQ(injector.faults_injected(), 2u);
+
+  // A different kind with the same target name is a distinct counter.
+  injector.set_rate(FaultKind::kSandboxCreate, 1.0);
+  EXPECT_TRUE(injector.should_fault(FaultKind::kSandboxCreate, owned));
+  EXPECT_EQ(injector.faults_injected(), 3u);
+}
+
+}  // namespace
+}  // namespace wasmctr::sim

@@ -1,0 +1,150 @@
+// Scale-engine kernel regressions (DESIGN.md §11): tombstone compaction
+// keeps the heap O(pending) under cancel-heavy churn, slot reuse is safe
+// against stale EventIds, and a million-event interleaved
+// cancel/reschedule storm executes in byte-identical order across
+// same-seed runs.
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace wasmctr::sim {
+namespace {
+
+// Regression for the unbounded-heap bug: before compaction landed, every
+// schedule-cancel cycle left its entry in the heap forever, so 1M cycles
+// meant a 1M-entry heap. Now tombstones are compacted as soon as they
+// outnumber live entries: with 1000 persistent events the heap must stay
+// ~2 × pending regardless of how many cancels ever happened.
+TEST(KernelScaleTest, MillionCancelCyclesKeepHeapBounded) {
+  Kernel kernel;
+  constexpr std::size_t kPersistent = 1000;
+  for (std::size_t i = 0; i < kPersistent; ++i) {
+    kernel.schedule_after(sim_s(1e6 + static_cast<double>(i)), [] {});
+  }
+  std::size_t peak_heap = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const EventId id = kernel.schedule_after(sim_s(10.0), [] {});
+    kernel.cancel(id);
+    peak_heap = std::max(peak_heap, kernel.heap_size());
+  }
+  EXPECT_EQ(kernel.pending(), kPersistent);
+  // Compaction fires once tombstones outnumber live entries, so the heap
+  // never exceeds 2 × pending + the cycle's own entry.
+  EXPECT_LE(peak_heap, 2 * kPersistent + 2);
+  EXPECT_LE(kernel.heap_size(),
+            std::max<std::size_t>(2 * kernel.pending(), 64));
+  EXPECT_GT(kernel.compactions(), 0u);
+  EXPECT_EQ(kernel.executed(), 0u);
+}
+
+// A cancelled EventId must never be able to kill the event that recycled
+// its slot: the generation check has to miss.
+TEST(KernelScaleTest, StaleIdAfterSlotReuseIsNoop) {
+  Kernel kernel;
+  bool b_fired = false;
+  const EventId a = kernel.schedule_after(sim_s(1.0), [] {});
+  kernel.cancel(a);  // frees a's slot
+  const EventId b =
+      kernel.schedule_after(sim_s(2.0), [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  kernel.cancel(a);  // stale: generation mismatch, must not touch b
+  EXPECT_EQ(kernel.pending(), 1u);
+  kernel.run();
+  EXPECT_TRUE(b_fired);
+  EXPECT_EQ(kernel.executed(), 1u);
+}
+
+// The null EventId (value 0) is "no event" and must always be ignored.
+TEST(KernelScaleTest, CancelNullIdIsNoop) {
+  Kernel kernel;
+  kernel.schedule_after(sim_s(1.0), [] {});
+  kernel.cancel(EventId{});
+  EXPECT_EQ(kernel.pending(), 1u);
+  kernel.run();
+  EXPECT_EQ(kernel.executed(), 1u);
+}
+
+struct ChurnResult {
+  uint64_t checksum = 0;
+  uint64_t executed = 0;
+  uint64_t scheduled = 0;
+  uint64_t cancelled = 0;
+  uint64_t compactions = 0;
+};
+
+// Interleaved schedule / cancel / step churn driven by a seeded Rng. The
+// checksum folds in every callback's tag and fire time, so it pins the
+// exact execution order — the determinism contract compaction must not
+// perturb.
+ChurnResult run_churn(uint64_t seed, int ops) {
+  Kernel kernel;
+  Rng rng(seed);
+  ChurnResult r;
+  std::vector<EventId> open;
+  const auto fire = [&](uint64_t tag) {
+    r.checksum = (r.checksum ^ tag) * 1099511628211ull;
+    r.checksum =
+        (r.checksum ^ static_cast<uint64_t>(kernel.now().count())) *
+        1099511628211ull;
+  };
+  for (int i = 0; i < ops; ++i) {
+    const uint64_t roll = rng.next_u64();
+    switch (roll % 4) {
+      case 0:
+      case 1: {  // schedule with a pseudo-random delay
+        const uint64_t tag = ++r.scheduled;
+        open.push_back(kernel.schedule_after(
+            SimDuration{static_cast<int64_t>(roll % 50'000)},
+            [&, tag] { fire(tag); }));
+        break;
+      }
+      case 2: {  // cancel a random open handle (may already have fired)
+        if (!open.empty()) {
+          const std::size_t j = rng.next_below(open.size());
+          const std::size_t before = kernel.pending();
+          kernel.cancel(open[j]);
+          if (kernel.pending() + 1 == before) ++r.cancelled;
+          open[j] = open.back();
+          open.pop_back();
+        }
+        break;
+      }
+      case 3:
+        kernel.step();
+        break;
+    }
+  }
+  kernel.run();
+  EXPECT_EQ(kernel.pending(), 0u);
+  r.executed = kernel.executed();
+  r.compactions = kernel.compactions();
+  return r;
+}
+
+TEST(KernelScaleTest, MillionEventChurnAccountingAndDeterminism) {
+  constexpr int kOps = 3'000'000;  // ~1.5M schedules → ≥1M executions
+  const ChurnResult a = run_churn(0x5eed, kOps);
+  EXPECT_GE(a.executed, 1'000'000u);
+  // Every scheduled event either executed or was effectively cancelled.
+  EXPECT_EQ(a.executed + a.cancelled, a.scheduled);
+
+  // Same seed → byte-identical execution order (checksum covers tag and
+  // fire-time of every callback) and an identical compaction history.
+  const ChurnResult b = run_churn(0x5eed, kOps);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.cancelled, b.cancelled);
+  EXPECT_EQ(a.compactions, b.compactions);
+
+  // A different seed takes a different trajectory.
+  const ChurnResult c = run_churn(0xd1ff, kOps);
+  EXPECT_NE(a.checksum, c.checksum);
+}
+
+}  // namespace
+}  // namespace wasmctr::sim
