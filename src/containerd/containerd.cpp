@@ -150,6 +150,11 @@ Result<std::string> Containerd::create_and_start(
   // budgets key off it so they survive container-id churn on restart.
   spec.annotations.emplace(std::string(oci::kSandboxNameAnnotation),
                            sb->second.pod_name);
+  // Tenant rides along the same way, so per-tenant attribution survives
+  // down to the OCI bundle.
+  if (!request.tenant.empty()) {
+    spec.annotations.emplace("io.kubernetes.cri.tenant", request.tenant);
+  }
   WASMCTR_RETURN_IF_ERROR(
       oci::write_bundle(node_.fs(), bundle_path, spec, image->payload));
 
@@ -572,18 +577,23 @@ void Containerd::invoke_container(const std::string& container_id,
   ContainerRecord& rec = it->second;
 
   // Cold requests grow the pod's memory by the new instance's resident
-  // bytes through the real charging path: a tight limit OOM-kills the
-  // container mid-serving and the exit watchers drive restart policy.
+  // bytes, and warm requests by any linear-memory growth the handler did
+  // (memory.grow — the thrasher aggressor's whole point), through the
+  // real charging path: a tight limit OOM-kills the container
+  // mid-serving and the exit watchers drive restart policy.
   auto charging_done = [this, container_id, done = std::move(done)](
                            Result<engines::InvokeReport> r) mutable {
-    if (r && r->cold && r->resident.value > 0) {
-      Status st = grow_container_memory(container_id, r->resident);
-      if (st.code() == ErrorCode::kResourceExhausted) {
-        if (done) {
-          done(unavailable("container " + container_id +
-                           " OOM-killed while serving"));
+    if (r) {
+      const Bytes charge{(r->cold ? r->resident.value : 0) + r->grown.value};
+      if (charge.value > 0) {
+        Status st = grow_container_memory(container_id, charge);
+        if (st.code() == ErrorCode::kResourceExhausted) {
+          if (done) {
+            done(unavailable("container " + container_id +
+                             " OOM-killed while serving"));
+          }
+          return;
         }
-        return;
       }
     }
     if (done) done(std::move(r));

@@ -38,6 +38,8 @@ struct ContainerRequest {
   std::vector<std::string> args;
   std::vector<std::pair<std::string, std::string>> env;
   uint64_t memory_limit = 0;
+  /// Owning tenant (empty = untenanted); labels the container's traces.
+  std::string tenant;
 };
 
 /// Observer for exits containerd detects after a container reached

@@ -208,6 +208,8 @@ Result<InvokeReport> run_wasm_request(ServeSlot::State& s, int32_t arg,
 
   s.instance->set_fuel(kRequestFuel);
   const uint64_t before = s.instance->instructions_retired();
+  const uint32_t pages_before =
+      s.instance->memory() != nullptr ? s.instance->memory()->pages() : 0;
   const wasm::Value args[] = {wasm::Value::from_i32(arg)};
   auto r = s.instance->invoke(s.export_name, args);
   const uint64_t instructions = s.instance->instructions_retired() - before;
@@ -222,6 +224,17 @@ Result<InvokeReport> run_wasm_request(ServeSlot::State& s, int32_t arg,
     rep.resident = Bytes(static_cast<uint64_t>(
         static_cast<double>(s.instance->resident_bytes() +
                             s.ctx->resident_bytes()) *
+        s.engine->profile().instance_multiplier));
+  } else if (s.instance->memory() != nullptr &&
+             s.instance->memory()->pages() > pages_before) {
+    // Warm memory.grow: the cold resident was measured post-invoke and
+    // already covers cold growth, so only warm deltas are reported here.
+    const uint64_t delta_bytes =
+        (static_cast<uint64_t>(s.instance->memory()->pages()) -
+         pages_before) *
+        65536ull;
+    rep.grown = Bytes(static_cast<uint64_t>(
+        static_cast<double>(delta_bytes) *
         s.engine->profile().instance_multiplier));
   }
   return rep;

@@ -33,6 +33,12 @@ struct InvokeReport {
   /// Engine-resident bytes of the freshly built instance (cold only);
   /// the container layer charges them via grow_container_memory.
   Bytes resident{0};
+  /// Linear-memory growth during a *warm* request (memory.grow in the
+  /// handler), scaled by the engine profile. Cold requests fold growth
+  /// into `resident` (measured after the invoke), so this stays 0 there.
+  /// The container layer charges it the same way as the cold resident —
+  /// how a noisy tenant's thrashing reaches its cgroup.
+  Bytes grown{0};
 };
 
 using InvokeCallback = std::function<void(Result<InvokeReport>)>;

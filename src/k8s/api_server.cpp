@@ -177,6 +177,32 @@ Status ApiServer::set_node_ready(const std::string& name, bool ready,
   return Status::ok();
 }
 
+Status ApiServer::create_pod_disruption_budget(PodDisruptionBudget pdb) {
+  if (pdb.name.empty()) return invalid_argument("pdb needs a name");
+  if (pdb.selector.empty()) {
+    return invalid_argument("pdb " + pdb.name + " needs a selector");
+  }
+  if (pdbs_.contains(pdb.name)) {
+    return already_exists("pdb " + pdb.name);
+  }
+  pdbs_.emplace(pdb.name, std::move(pdb));
+  return Status::ok();
+}
+
+const PodDisruptionBudget* ApiServer::pod_disruption_budget(
+    const std::string& name) const {
+  auto it = pdbs_.find(name);
+  return it == pdbs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const PodDisruptionBudget*> ApiServer::pod_disruption_budgets()
+    const {
+  std::vector<const PodDisruptionBudget*> out;
+  out.reserve(pdbs_.size());
+  for (const auto& [_, p] : pdbs_) out.push_back(&p);
+  return out;
+}
+
 Status ApiServer::create_runtime_class(RuntimeClass rc) {
   if (runtime_classes_.contains(rc.name)) {
     return already_exists("runtimeClass " + rc.name);

@@ -92,6 +92,14 @@ class ApiServer {
     node_watchers_.push_back(std::move(w));
   }
 
+  // --- pod disruption budgets ---
+  Status create_pod_disruption_budget(PodDisruptionBudget pdb);
+  [[nodiscard]] const PodDisruptionBudget* pod_disruption_budget(
+      const std::string& name) const;
+  /// All PDBs, in name order (the eviction gate walks them).
+  [[nodiscard]] std::vector<const PodDisruptionBudget*>
+  pod_disruption_budgets() const;
+
   // --- runtime classes ---
   Status create_runtime_class(RuntimeClass rc);
   [[nodiscard]] const RuntimeClass* runtime_class(
@@ -110,6 +118,7 @@ class ApiServer {
   std::map<std::string, std::string> node_of_;  // pod → indexed node
   std::map<std::string, RuntimeClass> runtime_classes_;
   std::map<std::string, Service> services_;
+  std::map<std::string, PodDisruptionBudget> pdbs_;
   std::map<std::string, NodeObject> nodes_;
   std::vector<PodWatcher> created_watchers_;
   std::vector<PodWatcher> bound_watchers_;

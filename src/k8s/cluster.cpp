@@ -102,6 +102,7 @@ Cluster::Cluster(ClusterOptions options)
       obs_(kernel_),
       api_(),
       scheduler_(kernel_, api_, &obs_),
+      gate_(kernel_, api_, &obs_),
       workers_(build_workers(options)),
       restart_policy_(options.restart_policy),
       metrics_(api_, *workers_.front().node),
@@ -112,7 +113,9 @@ Cluster::Cluster(ClusterOptions options)
       endpoints_(kernel_, api_) {
   for (const Worker& w : workers_) {
     scheduler_.add_node(w.name, options.max_pods);
+    w.kubelet->set_disruption_gate(&gate_);
   }
+  lifecycle_.set_disruption_gate(&gate_);
   register_handlers_and_classes();
   register_images();
   free_probe_.reset_baseline();
@@ -213,6 +216,22 @@ void Cluster::register_images() {
   serve_wasm.payload.wasm = wasm::build_request_microservice();
   serve_wasm.disk_size = Bytes(serve_wasm.payload.wasm.size() + 4096);
   add_all(std::move(serve_wasm));
+
+  // Noisy-neighbor aggressors for the isolation bench: a linear-memory
+  // thrasher and a fuel burner, both driven through the serving path.
+  containerd::Image thrasher;
+  thrasher.name = "mem-thrasher:wasm";
+  thrasher.payload.kind = oci::Payload::Kind::kWasm;
+  thrasher.payload.wasm = wasm::build_memory_thrasher();
+  thrasher.disk_size = Bytes(thrasher.payload.wasm.size() + 4096);
+  add_all(std::move(thrasher));
+
+  containerd::Image burner;
+  burner.name = "fuel-burner:wasm";
+  burner.payload.kind = oci::Payload::Kind::kWasm;
+  burner.payload.wasm = wasm::build_fuel_burner();
+  burner.disk_size = Bytes(burner.payload.wasm.size() + 4096);
+  add_all(std::move(burner));
 
   containerd::Image serve_py;
   serve_py.name = "request-service:python";

@@ -12,6 +12,7 @@
 
 #include "containerd/containerd.hpp"
 #include "k8s/api_server.hpp"
+#include "k8s/disruption.hpp"
 #include "k8s/kubelet.hpp"
 #include "k8s/metrics_server.hpp"
 #include "k8s/node_lifecycle.hpp"
@@ -158,6 +159,7 @@ class Cluster {
   [[nodiscard]] MetricsServer& metrics() noexcept { return metrics_; }
   [[nodiscard]] FreeProbe& free_probe() noexcept { return free_probe_; }
   [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] DisruptionGate& disruption_gate() noexcept { return gate_; }
   [[nodiscard]] NodeLifecycleController& lifecycle() noexcept {
     return lifecycle_;
   }
@@ -196,6 +198,9 @@ class Cluster {
   // Constructed before the workers so its API-server watchers fire first
   // (slot release happens before kubelets/controllers reconcile).
   Scheduler scheduler_;
+  // Shared PodDisruptionBudget gate, consulted by every kubelet's
+  // pressure eviction and the lifecycle controller's NodeLost eviction.
+  DisruptionGate gate_;
   std::vector<Worker> workers_;
   RestartPolicy restart_policy_;
   // Worker-0 scoped: the paper's measurement probes ran on one node.

@@ -1,0 +1,73 @@
+#include "k8s/disruption.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/log.hpp"
+
+namespace wasmctr::k8s {
+
+namespace {
+
+[[nodiscard]] bool selector_matches(const PodDisruptionBudget& pdb,
+                                    const Pod& pod) {
+  for (const auto& want : pdb.selector) {
+    const auto& labels = pod.spec.labels;
+    if (std::find(labels.begin(), labels.end(), want) == labels.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint32_t DisruptionGate::available_count(
+    const PodDisruptionBudget& pdb) const {
+  uint32_t n = 0;
+  for (const Pod* p : api_.pods()) {
+    if (p->status.phase != PodPhase::kRunning) continue;
+    if (selector_matches(pdb, *p)) ++n;
+  }
+  return n;
+}
+
+bool DisruptionGate::allow_eviction(const Pod& pod, const char* reason) {
+  for (const PodDisruptionBudget* pdb : api_.pod_disruption_budgets()) {
+    if (pdb->min_available == 0) continue;
+    if (!selector_matches(*pdb, pod)) continue;
+    // A pod that is not Running does not consume availability, so
+    // evicting it cannot breach the budget.
+    if (pod.status.phase != PodPhase::kRunning) continue;
+    const uint32_t avail = available_count(*pdb);
+    if (avail <= pdb->min_available) {
+      ++deferrals_;
+      char line[224];
+      std::snprintf(line, sizeof(line),
+                    "t=%.6fs pdb=%s defer pod=%s reason=%s avail=%u min=%u\n",
+                    to_seconds(kernel_.now()), pdb->name.c_str(),
+                    pod.spec.name.c_str(), reason, avail,
+                    pdb->min_available);
+      trace_ += line;
+      if (obs_ != nullptr) {
+        obs_->metrics
+            .counter("wasmctr_eviction_deferrals_total",
+                     "reason=\"" + std::string(reason) + "\"")
+            .inc();
+        const obs::SpanId ev =
+            obs_->tracer.instant("pod.eviction-deferred", "k8s");
+        obs_->tracer.set_attr(ev, "pod", pod.spec.name);
+        obs_->tracer.set_attr(ev, "pdb", pdb->name);
+        obs_->tracer.set_attr(ev, "reason", reason);
+      }
+      WASMCTR_LOG(kInfo, "disruption")
+          << "deferred eviction of " << pod.spec.name << " (" << reason
+          << "): pdb " << pdb->name << " at minAvailable ("
+          << avail << "/" << pdb->min_available << ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wasmctr::k8s

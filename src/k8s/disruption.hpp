@@ -1,0 +1,65 @@
+// Eviction gate enforcing PodDisruptionBudgets.
+//
+// Both eviction paths — the kubelet's node-pressure eviction and the
+// NodeLifecycleController's NodeLost eviction — consult one shared gate
+// before flipping a pod to Evicted. The gate walks the PDBs covering the
+// pod (selector ⊆ labels) and denies the eviction when any of them would
+// drop below `minAvailable` non-terminal matching pods. Denials are
+// *deferrals*, not failures: the pressure path retries on a backoff
+// timer, the NodeLost path retries on the controller's next monitor tick,
+// and each deferral bumps the `wasmctr_eviction_deferrals_total` counter
+// and a canonical trace line so same-seed runs stay byte-identical.
+//
+// Availability is counted from pod phase (kRunning), the same signal the
+// EndpointsController uses for Ready endpoints: a gate that holds
+// Running ≥ minAvailable therefore holds the Endpoints floor too. Pods on
+// a dead node still count until they are actually evicted — matching real
+// PDB semantics, where an unreachable pod consumes budget until its
+// deletion is admitted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "k8s/api_server.hpp"
+#include "obs/observability.hpp"
+#include "sim/kernel.hpp"
+
+namespace wasmctr::k8s {
+
+class DisruptionGate {
+ public:
+  /// `obs` (optional) records the per-reason deferral counter and a
+  /// pod.eviction-deferred trace instant.
+  DisruptionGate(sim::Kernel& kernel, ApiServer& api, obs::Observability* obs)
+      : kernel_(kernel), api_(api), obs_(obs) {}
+
+  DisruptionGate(const DisruptionGate&) = delete;
+  DisruptionGate& operator=(const DisruptionGate&) = delete;
+
+  /// True when evicting `pod` keeps every covering PDB at or above its
+  /// minAvailable. False records a deferral under `reason`
+  /// ("NodePressure", "NodeLost", ...) — the caller must skip the pod
+  /// and retry later.
+  [[nodiscard]] bool allow_eviction(const Pod& pod, const char* reason);
+
+  /// Evictions deferred so far (across all reasons).
+  [[nodiscard]] uint32_t deferrals() const noexcept { return deferrals_; }
+
+  /// Canonical deferral log, for determinism comparisons.
+  [[nodiscard]] const std::string& trace_string() const noexcept {
+    return trace_;
+  }
+
+ private:
+  /// Pods in phase Running matching `pdb.selector` right now.
+  [[nodiscard]] uint32_t available_count(const PodDisruptionBudget& pdb) const;
+
+  sim::Kernel& kernel_;
+  ApiServer& api_;
+  obs::Observability* obs_;
+  uint32_t deferrals_ = 0;
+  std::string trace_;
+};
+
+}  // namespace wasmctr::k8s

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
+#include "k8s/disruption.hpp"
 #include "support/log.hpp"
 
 namespace wasmctr::k8s {
@@ -100,6 +103,13 @@ void Kubelet::fail_pod(const std::string& name, const Status& status) {
   ++pods_failed_;
   node_.obs().tracer.pod_end(name, "Failed");
   node_.obs().metrics.counter("wasmctr_pods_failed_total").inc();
+  if (const Pod* p = api_.pod(name); p != nullptr && !p->spec.tenant.empty()) {
+    node_.obs()
+        .metrics
+        .counter("wasmctr_tenant_pods_failed_total",
+                 "tenant=\"" + p->spec.tenant + "\"")
+        .inc();
+  }
   if (Pod* p = api_.pod(name)) {
     p->status.phase = PodPhase::kFailed;
     p->status.message = status.to_string();
@@ -122,10 +132,20 @@ void Kubelet::evict_pod(const std::string& name) {
   ++pods_evicted_;
   node_.obs().tracer.pod_end(name, "Evicted");
   node_.obs().metrics.counter("wasmctr_pods_evicted_total").inc();
+  if (!p->spec.tenant.empty()) {
+    node_.obs()
+        .metrics
+        .counter("wasmctr_tenant_pods_evicted_total",
+                 "tenant=\"" + p->spec.tenant + "\"")
+        .inc();
+  }
   {
     const obs::SpanId ev =
         node_.obs().tracer.instant("pod.evicted", "k8s");
     node_.obs().tracer.set_attr(ev, "pod", name);
+    if (!p->spec.tenant.empty()) {
+      node_.obs().tracer.set_attr(ev, "tenant", p->spec.tenant);
+    }
   }
   p->status.phase = PodPhase::kEvicted;
   p->status.reason = "Evicted";
@@ -140,13 +160,14 @@ void Kubelet::evict_pod(const std::string& name) {
 
 void Kubelet::maybe_evict_for_pressure() {
   if (config_.eviction_min_available.value == 0) return;
+  bool deferred = false;
   while (node_.memory().free_report().available.value <
          config_.eviction_min_available.value) {
     // Rank like the eviction manager: pods with no memory limit
-    // (BestEffort) go first, highest usage first. Limited pods keep
-    // their reservation.
-    const Pod* victim = nullptr;
-    Bytes worst{0};
+    // (BestEffort) go first, highest anon usage first, pod name as the
+    // tie-break — map iteration order must never pick the victim.
+    // Limited pods keep their reservation.
+    std::vector<std::pair<Bytes, const Pod*>> candidates;
     for (const std::string& pod_name : api_.pods_on_node(config_.node_name)) {
       const Pod* p = api_.pod(pod_name);
       if (p == nullptr) continue;
@@ -157,14 +178,43 @@ void Kubelet::maybe_evict_for_pressure() {
               node_.cgroups().find("kubepods/pod-" + p->spec.name)) {
         usage = cg->usage();
       }
-      if (victim == nullptr || usage.value > worst.value) {
-        victim = p;
-        worst = usage;
-      }
+      candidates.emplace_back(usage, p);
     }
-    if (victim == nullptr) return;  // nothing evictable; admission may fail
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first.value != b.first.value) {
+                  return a.first.value > b.first.value;
+                }
+                return a.second->spec.name < b.second->spec.name;
+              });
+    const Pod* victim = nullptr;
+    for (const auto& [usage, p] : candidates) {
+      (void)usage;
+      if (gate_ != nullptr && !gate_->allow_eviction(*p, "NodePressure")) {
+        deferred = true;
+        continue;  // budget-protected: try the next-largest pod
+      }
+      victim = p;
+      break;
+    }
+    if (victim == nullptr) break;  // nothing evictable; admission may fail
     evict_pod(victim->spec.name);
   }
+  // Every candidate was budget-protected but pressure persists: retry
+  // once the budget may have freed up (replacements going Running).
+  if (deferred) schedule_eviction_retry();
+}
+
+void Kubelet::schedule_eviction_retry() {
+  if (eviction_retry_pending_) return;
+  eviction_retry_pending_ = true;
+  const uint32_t epoch = epoch_;
+  node_.kernel().schedule_after(config_.eviction_retry_period,
+                                [this, epoch] {
+                                  eviction_retry_pending_ = false;
+                                  if (down_ || epoch != epoch_) return;
+                                  maybe_evict_for_pressure();
+                                });
 }
 
 bool Kubelet::admit_pod(const Pod& pod) {
@@ -205,6 +255,9 @@ bool Kubelet::admit_pod(const Pod& pod) {
 
   node_.obs().tracer.pod_attr(name, "handler", records_[name].handler);
   node_.obs().tracer.pod_attr(name, "image", pod.spec.image);
+  if (!pod.spec.tenant.empty()) {
+    node_.obs().tracer.pod_attr(name, "tenant", pod.spec.tenant);
+  }
   return true;
 }
 
@@ -246,6 +299,10 @@ void Kubelet::heartbeat() {
   // never reach the API server.
   if (!partitioned_) {
     (void)api_.node_heartbeat(config_.node_name, node_.kernel().now());
+    // Each beat also runs the pressure scan (the real eviction manager's
+    // monitor interval): serving pods grow memory between admissions, so
+    // an admission-only check would never fire at steady state.
+    maybe_evict_for_pressure();
   }
   hb_event_ = node_.kernel().schedule_after(config_.heartbeat_interval,
                                             [this] { heartbeat(); });
@@ -485,6 +542,7 @@ void Kubelet::create_and_start_container(const std::string& name,
   request.args = spec.args;
   request.env = spec.env;
   request.memory_limit = spec.memory_limit;
+  request.tenant = spec.tenant;
   const uint32_t epoch = epoch_;
   auto container_id = cri_.create_and_start(
       sandbox_id, request, rec_it->second.handler,
@@ -509,6 +567,13 @@ void Kubelet::create_and_start_container(const std::string& name,
         const SimDuration startup =
             node_.obs().tracer.pod_end(name, "Running");
         node_.obs().metrics.counter("wasmctr_pods_started_total").inc();
+        if (!p->spec.tenant.empty()) {
+          node_.obs()
+              .metrics
+              .counter("wasmctr_tenant_pods_started_total",
+                       "tenant=\"" + p->spec.tenant + "\"")
+              .inc();
+        }
         node_.obs()
             .metrics
             .histogram("wasmctr_pod_startup_seconds",
@@ -568,6 +633,14 @@ void Kubelet::handle_failure(const std::string& name, const Status& status) {
   if (status.code() == ErrorCode::kResourceExhausted) {
     p->status.oom_killed = true;
     p->status.reason = "OOMKilled";
+    node_.obs().metrics.counter("wasmctr_oom_kills_total").inc();
+    if (!p->spec.tenant.empty()) {
+      node_.obs()
+          .metrics
+          .counter("wasmctr_oom_kills_total",
+                   "tenant=\"" + p->spec.tenant + "\"")
+          .inc();
+    }
   } else {
     p->status.reason = status.is_transient() ? "Unavailable" : "Error";
   }

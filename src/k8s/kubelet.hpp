@@ -25,6 +25,8 @@
 
 namespace wasmctr::k8s {
 
+class DisruptionGate;
+
 struct KubeletConfig {
   std::string node_name = "node-0";
   /// Stock kubelet default is 110; the paper raises it to 500 (§III-C).
@@ -52,6 +54,10 @@ struct KubeletConfig {
   /// Reboot time after a node crash; 0 keeps the node down until
   /// recover() is called explicitly.
   SimDuration restart_delay{0};
+  /// Retry cadence for pressure evictions deferred by a
+  /// PodDisruptionBudget: the gate denies the eviction, pressure
+  /// persists, and the kubelet re-runs the scan after this backoff.
+  SimDuration eviction_retry_period = sim_s(10.0);
 };
 
 /// One CrashLoopBackOff episode (for tests and the recovery bench).
@@ -142,6 +148,11 @@ class Kubelet {
     return records_.size();
   }
 
+  /// Install the shared PodDisruptionBudget gate. Pressure evictions the
+  /// gate defers are retried after config.eviction_retry_period. Null
+  /// (the default) evicts unconditionally — the pre-PDB behavior.
+  void set_disruption_gate(DisruptionGate* gate) noexcept { gate_ = gate; }
+
  private:
   struct PodRecord {
     std::string handler;
@@ -175,8 +186,13 @@ class Kubelet {
   void handle_failure(const std::string& name, const Status& status);
   /// Terminal failure: mark Failed and release the pod's node resources.
   void fail_pod(const std::string& name, const Status& status);
-  /// Node-pressure eviction loop (runs at admission).
+  /// Node-pressure eviction loop (runs at admission and on every
+  /// heartbeat — serving pods grow memory between admissions, so an
+  /// admission-only check would never fire at steady state).
   void maybe_evict_for_pressure();
+  /// Arm one epoch-guarded retry after a PDB deferred a pressure
+  /// eviction (at most one pending at a time).
+  void schedule_eviction_retry();
   void evict_pod(const std::string& name);
   /// Tear down the pod's sandbox + containers via the CRI, if any.
   void teardown_sandbox(Pod& pod);
@@ -189,6 +205,8 @@ class Kubelet {
   sim::Node& node_;
   ApiServer& api_;
   containerd::Containerd& cri_;
+  DisruptionGate* gate_ = nullptr;
+  bool eviction_retry_pending_ = false;
   std::map<std::string, PodRecord> records_;
   std::vector<BackoffEvent> backoff_trace_;
   uint32_t active_pods_ = 0;

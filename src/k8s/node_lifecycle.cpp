@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "k8s/disruption.hpp"
 #include "support/log.hpp"
 
 namespace wasmctr::k8s {
@@ -118,6 +119,14 @@ void NodeLifecycleController::evict_pods_of(const std::string& node) {
   for (const std::string& name : victims) {
     Pod* p = api_.pod(name);
     if (p == nullptr) continue;
+    if (gate_ != nullptr && !gate_->allow_eviction(*p, "NodeLost")) {
+      // Budget-protected: leave the pod bound. The node stays NotReady
+      // past the tolerance, so the next monitor tick retries — by then
+      // replacement pods may have gone Running and freed the budget.
+      ++evictions_deferred_;
+      trace_line(node, "evict-deferred", "pod=" + name);
+      continue;
+    }
     ++pods_evicted_;
     p->status.phase = PodPhase::kEvicted;
     p->status.reason = "NodeLost";
@@ -130,6 +139,9 @@ void NodeLifecycleController::evict_pods_of(const std::string& node) {
       const obs::SpanId ev = obs_->tracer.instant("node.evict", "k8s");
       obs_->tracer.set_attr(ev, "node", node);
       obs_->tracer.set_attr(ev, "pod", name);
+      if (!p->spec.tenant.empty()) {
+        obs_->tracer.set_attr(ev, "tenant", p->spec.tenant);
+      }
     }
     api_.notify_status(name);
   }

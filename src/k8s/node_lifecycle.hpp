@@ -28,6 +28,8 @@
 
 namespace wasmctr::k8s {
 
+class DisruptionGate;
+
 struct NodeLifecycleOptions {
   /// How often the controller re-evaluates node conditions
   /// (--node-monitor-period; stock 5 s).
@@ -75,6 +77,16 @@ class NodeLifecycleController {
   [[nodiscard]] uint32_t pods_evicted() const noexcept {
     return pods_evicted_;
   }
+  /// NodeLost evictions deferred by a PodDisruptionBudget (each retries
+  /// on the next monitor tick while the node stays NotReady).
+  [[nodiscard]] uint32_t evictions_deferred() const noexcept {
+    return evictions_deferred_;
+  }
+
+  /// Install the shared PodDisruptionBudget gate. Deferred NodeLost
+  /// evictions retry naturally: the node stays NotReady past the
+  /// tolerance, so every monitor tick re-attempts the remaining pods.
+  void set_disruption_gate(DisruptionGate* gate) noexcept { gate_ = gate; }
 
   /// Canonical transition log ("NotReady"/"Ready"/"evict" lines), for
   /// same-seed determinism comparisons.
@@ -94,12 +106,14 @@ class NodeLifecycleController {
   sim::Kernel& kernel_;
   ApiServer& api_;
   obs::Observability* obs_;
+  DisruptionGate* gate_ = nullptr;
   NodeLifecycleOptions options_;
   bool running_ = false;
   sim::EventId next_tick_{};
   uint32_t marked_not_ready_ = 0;
   uint32_t readmitted_ = 0;
   uint32_t pods_evicted_ = 0;
+  uint32_t evictions_deferred_ = 0;
   std::vector<std::string> tick_names_;  // reused monitor-tick buffer
   std::string trace_;
 };

@@ -39,6 +39,10 @@ struct PodSpec {
   std::vector<std::pair<std::string, std::string>> env;
   /// metadata.labels — matched against Service selectors.
   std::vector<std::pair<std::string, std::string>> labels;
+  /// Owning tenant (multi-tenant isolation). Empty = untenanted; a
+  /// non-empty tenant is threaded through scheduler/kubelet/CRI traces
+  /// and the per-tenant metrics families.
+  std::string tenant;
   uint64_t memory_limit = 0;  // bytes; 0 = none
   RestartPolicy restart_policy = RestartPolicy::kNever;
 };
@@ -109,6 +113,18 @@ struct Service {
 struct Endpoints {
   std::string service;
   std::vector<std::string> ready;
+};
+
+/// PodDisruptionBudget: caps voluntary disruptions of the pods matched by
+/// `selector` (every pair must appear in a pod's labels). The eviction
+/// gate (`DisruptionGate`) denies any eviction that would take the number
+/// of matching non-terminal pods below `min_available`; denied evictions
+/// are deferred and retried (kubelet pressure: backoff timer; NodeLost:
+/// the lifecycle controller's next monitor tick).
+struct PodDisruptionBudget {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> selector;
+  uint32_t min_available = 0;
 };
 
 /// Node object: the API server's view of one worker. The kubelet renews

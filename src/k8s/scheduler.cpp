@@ -107,6 +107,10 @@ void Scheduler::schedule(const std::string& pod_name) {
     ++total_bound_;
     if (obs_ != nullptr) {
       obs_->metrics.counter("wasmctr_scheduler_bound_total").inc();
+      if (const Pod* p = api_.pod(pod_name);
+          p != nullptr && !p->spec.tenant.empty()) {
+        obs_->tracer.pod_attr(pod_name, "tenant", p->spec.tenant);
+      }
     }
     (void)api_.bind_pod(pod_name, best->name);
   });

@@ -2,7 +2,24 @@
 
 #include <cassert>
 
+#include "support/log.hpp"
+
 namespace wasmctr::mem {
+
+void Cgroup::set_limit(Bytes limit) noexcept {
+  // A limit with the top bit set is a wrapped negative from unsigned
+  // arithmetic upstream (e.g. base - overhead gone negative). Treat it
+  // as unlimited — like 0/"max" in memory.max — rather than letting it
+  // poison every headroom comparison.
+  if (limit.value >> 63 != 0) {
+    WASMCTR_LOG(kWarn, "cgroup")
+        << "cgroup '" << name_ << "': ignoring nonsense memory.max "
+        << limit.value << " (wrapped negative); treating as unlimited";
+    limit_ = Bytes{0};
+    return;
+  }
+  limit_ = limit;
+}
 
 Status Cgroup::check_headroom(Bytes delta) const {
   for (const Cgroup* g = this; g != nullptr; g = g->parent_) {

@@ -28,8 +28,10 @@ class Cgroup {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Cgroup* parent() const noexcept { return parent_; }
 
-  /// memory.max: 0 means unlimited.
-  void set_limit(Bytes limit) noexcept { limit_ = limit; }
+  /// memory.max: 0 means unlimited. A nonsense value — a wrapped
+  /// negative (top bit set) — is clamped to unlimited with a warning
+  /// instead of silently underflowing every headroom check.
+  void set_limit(Bytes limit) noexcept;
   [[nodiscard]] Bytes limit() const noexcept { return limit_; }
 
   /// Charge anonymous pages. Fails with kResourceExhausted when any

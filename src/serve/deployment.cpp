@@ -59,6 +59,19 @@ Status DeploymentController::create(DeploymentSpec spec) {
   if (spec.pod_template.labels.empty()) {
     spec.pod_template.labels.emplace_back("app", spec.name);
   }
+  // A tenanted template is also selectable by tenant (PDBs, Services).
+  if (!spec.pod_template.tenant.empty()) {
+    const auto has_tenant_label = [&] {
+      for (const auto& [k, v] : spec.pod_template.labels) {
+        if (k == "tenant") return true;
+      }
+      return false;
+    };
+    if (!has_tenant_label()) {
+      spec.pod_template.labels.emplace_back("tenant",
+                                            spec.pod_template.tenant);
+    }
+  }
   Record rec;
   rec.spec = std::move(spec);
   const std::string name = rec.spec.name;

@@ -144,6 +144,9 @@ void LoadBalancer::on_complete(const std::string& pod) {
   auto it = outstanding_.find(pod);
   if (it == outstanding_.end() || it->second == 0) return;
   --it->second;
+  // Drop drained entries so churned pods (evicted mid-flight, replaced
+  // under a new name) don't accumulate forever in a long-lived balancer.
+  if (it->second == 0) outstanding_.erase(it);
 }
 
 uint32_t LoadBalancer::outstanding(const std::string& pod) const {

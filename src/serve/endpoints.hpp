@@ -79,6 +79,11 @@ class LoadBalancer {
   void on_dispatch(const std::string& pod) { ++outstanding_[pod]; }
   void on_complete(const std::string& pod);
   [[nodiscard]] uint32_t outstanding(const std::string& pod) const;
+  /// Pods with nonzero in-flight counts (leak checks: entries are erased
+  /// when they drain to zero).
+  [[nodiscard]] std::size_t outstanding_entries() const noexcept {
+    return outstanding_.size();
+  }
 
  private:
   const EndpointsController& endpoints_;

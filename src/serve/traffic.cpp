@@ -150,6 +150,12 @@ void TrafficDriver::finish(uint32_t id) {
                       std::to_string(out.attempts));
   obs.tracer.end_span(request_spans_[id]);
   obs.metrics.counter("wasmctr_requests_total", service_label()).inc();
+  if (!options_.tenant.empty()) {
+    obs.metrics
+        .counter("wasmctr_tenant_requests_total",
+                 "tenant=\"" + options_.tenant + "\"")
+        .inc();
+  }
   if (out.ok) {
     obs.metrics
         .histogram("wasmctr_request_latency_ms",

@@ -36,6 +36,9 @@ struct TrafficOptions {
   /// Base retry delay; doubles per attempt, capped at 4 s.
   SimDuration retry_backoff = sim_ms(int64_t{80});
   uint64_t seed = 0x7001;
+  /// Tenant generating this traffic (empty = untenanted). Adds a
+  /// per-tenant completion counter next to the per-service families.
+  std::string tenant;
 };
 
 struct RequestOutcome {

@@ -238,6 +238,125 @@ std::vector<uint8_t> build_request_microservice() {
   return b.build();
 }
 
+std::vector<uint8_t> build_memory_thrasher() {
+  ModuleBuilder b;
+  const uint32_t fd_write = b.import_function(
+      "wasi_snapshot_preview1", "fd_write",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  const uint32_t proc_exit = b.import_function(
+      "wasi_snapshot_preview1", "proc_exit", {ValType::kI32}, {});
+
+  // Max 64 pages (4 MiB): interpreter linear memory is real host memory,
+  // so the brink stays modest — benches shrink NodeConfig.ram to make
+  // this growth meaningful, instead of growing gigabytes for real.
+  b.add_memory(2, 64);
+  b.add_data(1024, "mem-thrasher ready\n");
+
+  FnBuilder& f = b.add_function("_start", {}, {});
+  f.i32_const(16).i32_const(1024).i32_store();
+  f.i32_const(20).i32_const(19).i32_store();
+  f.i32_const(1).i32_const(16).i32_const(1).i32_const(80).call(fd_write).drop();
+  f.i32_const(0).call(proc_exit);
+  f.end();
+
+  // handle(n): grow n pages toward the max, fault in what grew, return
+  // the new size. Word at 8192 counts requests.
+  FnBuilder& h = b.add_function("handle", {ValType::kI32}, {ValType::kI32});
+  const uint32_t addr = h.add_local(ValType::kI32);
+  const uint32_t limit = h.add_local(ValType::kI32);
+  // ++requests_served
+  h.i32_const(8192).i32_const(8192).i32_load().i32_const(1).i32_add()
+      .i32_store();
+  // addr = old end; grow, clamped to the headroom left under the
+  // 64-page max so the ratchet lands exactly on the brink instead of
+  // overshooting into a rejected memory.grow.
+  h.memory_size().i32_const(16).i32_shl().local_set(addr);
+  h.local_get(0).i32_const(64).memory_size().i32_sub().local_tee(limit);
+  h.local_get(0).local_get(limit).i32_lt_s().select();
+  h.memory_grow().drop();
+  h.memory_size().i32_const(16).i32_shl().local_set(limit);
+  // Fault in one byte per 4 KiB OS page of the newly grown span.
+  h.block();
+  {
+    h.loop();
+    {
+      // Addresses stay under 4 MiB (64-page max): signed compare is safe.
+      h.local_get(addr).local_get(limit).i32_ge_s().br_if(1);
+      h.local_get(addr).i32_const(1).i32_store8();
+      h.local_get(addr).i32_const(4096).i32_add().local_set(addr);
+      h.br(0);
+    }
+    h.end();
+  }
+  h.end();
+  h.memory_size();
+  h.end();
+  return b.build();
+}
+
+std::vector<uint8_t> build_fuel_burner() {
+  ModuleBuilder b;
+  const uint32_t fd_write = b.import_function(
+      "wasi_snapshot_preview1", "fd_write",
+      {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+      {ValType::kI32});
+  const uint32_t proc_exit = b.import_function(
+      "wasi_snapshot_preview1", "proc_exit", {ValType::kI32}, {});
+
+  b.add_memory(2, 4);  // no growth: this tenant is memory-innocent
+  b.add_data(1024, "fuel-burner ready\n");
+
+  FnBuilder& f = b.add_function("_start", {}, {});
+  f.i32_const(16).i32_const(1024).i32_store();
+  f.i32_const(20).i32_const(18).i32_store();
+  f.i32_const(1).i32_const(16).i32_const(1).i32_const(80).call(fd_write).drop();
+  f.i32_const(0).call(proc_exit);
+  f.end();
+
+  // handle(n): n iterations of a dense integer mix — every request burns
+  // fuel/CPU proportional to n. Word at 8192 counts requests.
+  FnBuilder& h = b.add_function("handle", {ValType::kI32}, {ValType::kI32});
+  const uint32_t a = h.add_local(ValType::kI32);
+  const uint32_t acc = h.add_local(ValType::kI32);
+  const uint32_t j = h.add_local(ValType::kI32);
+  h.i32_const(8192).i32_const(8192).i32_load().i32_const(1).i32_add()
+      .i32_store();
+  h.i32_const(0x9e3779b9).local_set(a);
+  h.i32_const(0x85ebca6b).local_set(acc);
+  h.i32_const(0).local_set(j);
+  h.block();
+  {
+    h.loop();
+    {
+      h.local_get(j).local_get(0).i32_ge_s().br_if(1);
+      h.local_get(a)
+          .i32_const(33)
+          .i32_mul()
+          .local_get(acc)
+          .i32_add()
+          .i32_const(7)
+          .i32_rotl()
+          .local_get(acc)
+          .i32_xor()
+          .local_set(a);
+      h.local_get(acc)
+          .local_get(a)
+          .i32_add()
+          .i32_const(13)
+          .i32_rotl()
+          .local_set(acc);
+      h.local_get(j).i32_const(1).i32_add().local_set(j);
+      h.br(0);
+    }
+    h.end();
+  }
+  h.end();
+  h.local_get(a).local_get(acc).i32_xor();
+  h.end();
+  return b.build();
+}
+
 std::vector<uint8_t> build_file_logger() {
   ModuleBuilder b;
   const uint32_t path_open = b.import_function(

@@ -42,4 +42,20 @@ std::vector<uint8_t> build_file_logger();
 /// every command-mode path.
 std::vector<uint8_t> build_request_microservice();
 
+/// Noisy-neighbor aggressor #1 — linear-memory thrasher. A serving
+/// module whose "handle(n) -> i32" grows linear memory by n pages toward
+/// the module maximum (64 pages; grow failures at the brink are
+/// swallowed), faults in every newly grown 4 KiB OS page, and returns the
+/// new page count. Driven at steady request rate it ratchets the
+/// instance's resident set upward until the engine cap or the pod's
+/// cgroup pushes back — the isolation bench's memory-pressure tenant.
+std::vector<uint8_t> build_memory_thrasher();
+
+/// Noisy-neighbor aggressor #2 — fuel burner. A serving module whose
+/// "handle(n) -> i32" runs a hot n-iteration compute loop with no memory
+/// growth: each request burns interpreter fuel (and sim::Cpu budget)
+/// proportional to n. Large n per request models a tenant that saturates
+/// CPU while staying memory-innocent.
+std::vector<uint8_t> build_fuel_burner();
+
 }  // namespace wasmctr::wasm

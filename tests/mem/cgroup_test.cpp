@@ -45,6 +45,25 @@ TEST(CgroupTest, ZeroLimitMeansUnlimited) {
   EXPECT_TRUE(g.charge_anon(Bytes(1ull << 40)).is_ok());
 }
 
+TEST(CgroupTest, SetLimitClampsWrappedNegativeToUnlimited) {
+  CgroupTree tree;
+  Cgroup& g = tree.ensure("pod");
+  // A base-minus-overhead computation gone negative wraps to a huge
+  // unsigned value; the limit must degrade to unlimited instead of
+  // poisoning every subsequent headroom check.
+  g.set_limit(Bytes(uint64_t{0} - uint64_t{4096}));
+  EXPECT_EQ(g.limit().value, 0u);
+  EXPECT_TRUE(g.charge_anon(Bytes(1ull << 40)).is_ok());
+  g.uncharge_anon(Bytes(1ull << 40));
+  // Zero stays the documented "unlimited" encoding.
+  g.set_limit(Bytes(0));
+  EXPECT_EQ(g.limit().value, 0u);
+  // A sane limit still enforces after the clamp.
+  g.set_limit(Bytes(4096));
+  EXPECT_EQ(g.charge_anon(Bytes(8192)).code(),
+            ErrorCode::kResourceExhausted);
+}
+
 TEST(CgroupTreeTest, EnsureCreatesAncestors) {
   CgroupTree tree;
   tree.ensure("a/b/c");

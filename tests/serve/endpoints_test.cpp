@@ -208,5 +208,56 @@ TEST(EndpointsTest, RoundRobinCyclesAndLeastOutstandingPicksIdle) {
   EXPECT_FALSE(empty.pick().has_value());
 }
 
+TEST(EndpointsTest, LbHandlesEndpointEvictedMidFlight) {
+  // An endpoint evicted while requests are still in flight: picks must
+  // never route to the removed endpoint, and the late completions must
+  // drain its outstanding entry instead of leaking it forever.
+  sim::Kernel kernel;
+  k8s::ApiServer api;
+  EndpointsController endpoints(kernel, api);
+  Service svc;
+  svc.name = "svc";
+  svc.selector = {{"app", "demo"}};
+  svc.policy = LbPolicy::kLeastOutstanding;
+  ASSERT_TRUE(api.create_service(svc).is_ok());
+  for (const char* name : {"a", "b"}) {
+    PodSpec spec;
+    spec.name = name;
+    spec.image = "img";
+    spec.labels = {{"app", "demo"}};
+    ASSERT_TRUE(api.create_pod(std::move(spec)).is_ok());
+    api.pod(name)->status.phase = PodPhase::kRunning;
+    api.notify_status(name);
+  }
+
+  LoadBalancer lb(endpoints, "svc", LbPolicy::kLeastOutstanding);
+  lb.on_dispatch("a");
+  lb.on_dispatch("a");  // two requests in flight at "a"
+
+  api.pod("a")->status.phase = PodPhase::kEvicted;
+  api.notify_status("a");  // "a" leaves the ready list mid-flight
+
+  for (int i = 0; i < 16; ++i) {
+    const auto pick = lb.pick();
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, "b")
+        << "least-outstanding must not route to a removed endpoint";
+    lb.on_dispatch(*pick);
+    lb.on_complete(*pick);
+  }
+  EXPECT_EQ(lb.outstanding_entries(), 1u)
+      << "only the evicted pod's in-flight requests remain";
+
+  // The in-flight requests complete after the eviction: the counter
+  // must drain to zero and the entry must be erased, not leak.
+  lb.on_complete("a");
+  lb.on_complete("a");
+  EXPECT_EQ(lb.outstanding("a"), 0u);
+  EXPECT_EQ(lb.outstanding_entries(), 0u)
+      << "drained entries must be erased";
+  lb.on_complete("a");  // stray duplicate completion is a no-op
+  EXPECT_EQ(lb.outstanding_entries(), 0u);
+}
+
 }  // namespace
 }  // namespace wasmctr::serve

@@ -138,5 +138,63 @@ TEST(WorkloadsTest, MicroserviceUnderFuelBudget) {
   EXPECT_LT((*inst)->instructions_retired(), 100'000u);
 }
 
+TEST(WorkloadsTest, MemoryThrasherGrowsPerRequestUpToModuleMax) {
+  // Serving workloads import wasi fd_write, so instantiate with WASI.
+  wasi::VirtualFs fs;
+  wasi::WasiOptions wopts;
+  wopts.args = {"thrasher.wasm"};
+  wasi::WasiContext ctx(std::move(wopts), fs);
+  auto inst = instantiate_with_wasi(build_memory_thrasher(), ctx);
+  ASSERT_NE(inst, nullptr);
+  auto handle = [&](int32_t n) {
+    const Value arg = Value::from_i32(n);
+    auto r = inst->invoke("handle", std::span<const Value>(&arg, 1));
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    return (**r).i32();
+  };
+  EXPECT_EQ(handle(4), 6) << "2 start pages + 4 grown";
+  const uint64_t after_first = inst->resident_bytes();
+  EXPECT_EQ(handle(4), 10) << "growth must ratchet across requests";
+  EXPECT_GE(inst->resident_bytes(), after_first + 4 * 65536)
+      << "each request's new pages must be faulted in";
+  // Thrash to the brink: growth saturates at the 64-page module max and
+  // further requests are swallowed, not trapped.
+  for (int i = 0; i < 20; ++i) handle(8);
+  EXPECT_EQ(handle(8), 64) << "growth must cap at the module max";
+  EXPECT_EQ(handle(8), 64);
+}
+
+TEST(WorkloadsTest, FuelBurnerBurnsProportionallyAndStaysFlat) {
+  wasi::VirtualFs fs;
+  wasi::WasiOptions wopts;
+  wopts.args = {"burner.wasm"};
+  wasi::WasiContext ctx(std::move(wopts), fs);
+  auto inst = instantiate_with_wasi(build_fuel_burner(), ctx);
+  ASSERT_NE(inst, nullptr);
+  auto burn = [&](int32_t n) {
+    const uint64_t before = inst->instructions_retired();
+    const Value arg = Value::from_i32(n);
+    auto r = inst->invoke("handle", std::span<const Value>(&arg, 1));
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    return inst->instructions_retired() - before;
+  };
+  // One warmup request faults in the pages the handler touches (iovec
+  // scratch, greeting); from then on the footprint must stay flat.
+  burn(10);
+  const uint64_t resident = inst->resident_bytes();
+  const uint64_t cost_1k = burn(1000);
+  const uint64_t cost_10k = burn(10000);
+  EXPECT_GT(cost_10k, 8 * cost_1k)
+      << "fuel burned must scale with the request argument";
+  EXPECT_EQ(inst->resident_bytes(), resident)
+      << "the fuel burner must stay memory-innocent";
+  // Same seed constants every invoke: the result is deterministic.
+  const Value arg = Value::from_i32(500);
+  auto a = inst->invoke("handle", std::span<const Value>(&arg, 1));
+  auto b = inst->invoke("handle", std::span<const Value>(&arg, 1));
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_EQ((**a).i32(), (**b).i32());
+}
+
 }  // namespace
 }  // namespace wasmctr::wasm
