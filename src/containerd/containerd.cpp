@@ -315,11 +315,23 @@ void Containerd::start_via_runwasi(const std::string& container_id,
       if (on_running) on_running(image.status());
       return;
     }
+    // Runwasi shims have no cross-pod artifact cache: each pod's shim
+    // compiles the module privately, priced by the measured op count.
+    engines::CompileMeasurement measured;
+    const engines::CompileMeasurement* meas_ptr = nullptr;
+    if (engine.tier() == engines::Tier::kBaseline &&
+        (*image)->payload.kind == oci::Payload::Kind::kWasm) {
+      if (auto m = engine.measure_compile((*image)->payload.wasm);
+          m.is_ok()) {
+        measured = *m;
+        meas_ptr = &measured;
+      }
+    }
     const engines::StartupCost cost =
-        engine.startup_cost((*image)->payload.size(), false);
+        engine.startup_cost((*image)->payload.size(), false, meas_ptr);
     node_.burst(
         kInfra.shim_spawn_cpu_s + kInfra.runwasi_create_cpu_s +
-            cost.init_cpu_s + cost.load_cpu_s,
+            cost.init_cpu_s + cost.load_cpu_s + cost.compile_cpu_s,
         [this, container_id, cgroup_path, &engine, on_running] {
           auto rec_it = containers_.find(container_id);
           if (rec_it == containers_.end()) return;
@@ -411,6 +423,23 @@ void Containerd::start_via_runwasi(const std::string& container_id,
           sim::Process* proc = node_.procs().find(*pid);
           Status st = proc->map_shared(node_.file_id(engine.library_name()),
                                        engine.profile().shared_lib);
+          // Baseline-tier code space: the compiled bytecode + metadata
+          // regions are file-backed and shared across pods of the same
+          // module (measured page counts from the real compile).
+          if (st.is_ok() && report->tier == engines::Tier::kBaseline &&
+              report->compile.code_pages > 0) {
+            const std::string tag =
+                engine.library_name() + ":" +
+                std::to_string(report->compile.content_hash);
+            st = proc->map_shared(
+                node_.file_id("wasmcode:" + tag),
+                Bytes(uint64_t{report->compile.code_pages} * 4096));
+            if (st.is_ok()) {
+              st = proc->map_shared(
+                  node_.file_id("wasmmeta:" + tag),
+                  Bytes(uint64_t{report->compile.meta_pages} * 4096));
+            }
+          }
           if (st.is_ok()) {
             st = proc->add_anon(kInfra.process_base +
                                 engine.profile().private_fixed +

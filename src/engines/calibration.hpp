@@ -44,10 +44,26 @@ constexpr const char* engine_name(EngineKind k) {
   return "?";
 }
 
+/// Execution tier. kInterpreter dispatches Wasm directly (WAMR's classic
+/// interpreter); kBaseline runs the singlepass compiler first and executes
+/// the resulting direct-threaded bytecode (the stand-in for Wasmtime's /
+/// Wasmer's compiled tiers and WAMR's fast-interp). The tier decides
+/// whether a pod pays a compile and maps code-space pages, and which
+/// per-instruction rate prices its requests.
+enum class Tier { kInterpreter, kBaseline };
+
+constexpr const char* tier_name(Tier t) {
+  return t == Tier::kInterpreter ? "interp" : "baseline";
+}
+
 /// Memory/startup profile of one engine when *embedded in crun* (engine
 /// runs inside the container process).
 struct EngineProfile {
   EngineKind kind;
+  /// Default execution tier. WAMR-in-crun interprets; every other engine
+  /// runs a compiled tier (modeled by our baseline bytecode compiler).
+  /// Engine::tier() lets benches override this per cell.
+  Tier tier;
   /// Size of the engine shared library (.so) — mapped shared, resident
   /// once per node no matter how many containers use it.
   Bytes shared_lib;
@@ -61,30 +77,38 @@ struct EngineProfile {
   double instance_multiplier;
   /// CPU cost of engine initialization inside the container (seconds).
   double init_cpu_s;
-  /// CPU per KiB of module for load/compile (interpreter: decode+validate;
-  /// JIT: codegen).
+  /// CPU per KiB of module for decode + validate (every tier pays this).
   double load_cpu_s_per_kib;
-  /// Whole-module JIT compilation performed once per node and shared via
-  /// an on-disk code cache (wasmtime's `--cache`; crun integration mounts
-  /// a shared cache volume). 0 = no such cache (compile folded into
-  /// load_cpu_s_per_kib for every container).
-  double cached_compile_cpu_s;
-  /// CPU to load a cache-hit precompiled artifact (only if cached_compile).
+  /// CPU per 1000 Wasm ops for the baseline-tier compile. The op count is
+  /// *measured* by running the singlepass compiler on the actual module
+  /// (Engine::measure_compile), replacing the old flat per-engine compile
+  /// constant; the rates are fitted so the standard 295-byte / 37-op
+  /// microservice module reproduces the calibrated totals the figures
+  /// were anchored to (1.20 / 1.80 / 1.50 s for the crun JIT engines).
+  double compile_cpu_s_per_kop;
+  /// CPU to load a cache-hit precompiled artifact (shared_compile_cache).
   double cache_load_cpu_s;
+  /// Whole-module compile performed once per node and shared via an
+  /// on-disk code cache (wasmtime's `--cache`; the crun integrations
+  /// mount a shared cache volume). false = every container compiles
+  /// privately (runwasi shims ship no cross-pod artifact cache).
+  bool shared_compile_cache;
 };
 
 /// Profiles for engines embedded in crun (paper Fig 3/4, our integration
 /// in red). WAMR: interpreter, small .so, no JIT arenas.
 constexpr EngineProfile kCrunEngineProfiles[] = {
-    // kind        shared_lib              private_fixed           mult  init   /KiB    compile  cacheload
+    // kind        tier                  shared_lib           private_fixed        mult  init   /KiB    s/kop  cacheload shared$
     // All three JIT engines ship a precompiled-artifact cache (wasmtime
     // --cache, wasmer's module cache, wasmedge AOT): expensive first
     // compile, near-free loads afterwards. WAMR interprets: no compile at
     // all, but each start pays full runtime init (the Fig 8/9 crossover).
-    {EngineKind::kWamr,     Bytes(1200 * 1024),  Bytes(3550 * 1024),  1.0, 0.33, 0.0004, 0.0,  0.0},
-    {EngineKind::kWasmtime, Bytes(6000 * 1024),  Bytes(8750 * 1024),  3.0, 0.09, 0.0002, 1.20, 0.02},
-    {EngineKind::kWasmer,   Bytes(7000 * 1024),  Bytes(11050 * 1024), 3.0, 0.10, 0.0002, 1.80, 0.04},
-    {EngineKind::kWasmEdge, Bytes(5000 * 1024),  Bytes(7900 * 1024),  2.0, 0.12, 0.0002, 1.50, 0.06},
+    // WAMR's rate is only charged when a bench forces the baseline tier
+    // (fast-interp ablation); it is ~0.4× wasmtime's singlepass rate.
+    {EngineKind::kWamr,     Tier::kInterpreter, Bytes(1200 * 1024),  Bytes(3550 * 1024),  1.0, 0.33, 0.0004, 13.0, 0.0,  false},
+    {EngineKind::kWasmtime, Tier::kBaseline,    Bytes(6000 * 1024),  Bytes(8750 * 1024),  3.0, 0.09, 0.0002, 32.4, 0.02, true},
+    {EngineKind::kWasmer,   Tier::kBaseline,    Bytes(7000 * 1024),  Bytes(11050 * 1024), 3.0, 0.10, 0.0002, 48.6, 0.04, true},
+    {EngineKind::kWasmEdge, Tier::kBaseline,    Bytes(5000 * 1024),  Bytes(7900 * 1024),  2.0, 0.12, 0.0002, 40.5, 0.06, true},
 };
 
 /// Profiles for the runwasi shims (containerd-shim-<engine>): the whole
@@ -93,10 +117,13 @@ constexpr EngineProfile kCrunEngineProfiles[] = {
 /// embeddings because the shim links the engine statically plus the
 /// containerd ttrpc stack (paper Fig 5: shim-wasmtime is the second-best
 /// config overall; shim-wasmer is the worst at 77.53 % above ours).
+/// No shared artifact cache: every pod compiles privately, so the old
+/// per-KiB load constant is split in half between decode+validate and a
+/// measured per-module compile (fitted on the standard module).
 constexpr EngineProfile kShimEngineProfiles[] = {
-    {EngineKind::kWasmtime, Bytes(5000 * 1024),  Bytes(4420 * 1024),  3.0, 0.22, 0.0006, 0.0, 0.0},
-    {EngineKind::kWasmer,   Bytes(10000 * 1024), Bytes(23400 * 1024), 3.0, 0.28, 0.0008, 0.0, 0.0},
-    {EngineKind::kWasmEdge, Bytes(6000 * 1024),  Bytes(6000 * 1024),  2.0, 0.19, 0.0006, 0.0, 0.0},
+    {EngineKind::kWasmtime, Tier::kBaseline, Bytes(5000 * 1024),  Bytes(4420 * 1024),  3.0, 0.22, 0.0003, 0.0023, 0.0, false},
+    {EngineKind::kWasmer,   Tier::kBaseline, Bytes(10000 * 1024), Bytes(23400 * 1024), 3.0, 0.28, 0.0004, 0.0031, 0.0, false},
+    {EngineKind::kWasmEdge, Tier::kBaseline, Bytes(6000 * 1024),  Bytes(6000 * 1024),  2.0, 0.19, 0.0003, 0.0023, 0.0, false},
 };
 
 const EngineProfile& crun_engine_profile(EngineKind kind);

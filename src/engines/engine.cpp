@@ -1,10 +1,42 @@
 #include "engines/engine.hpp"
 
+#include "wasm/baseline/bytecode.hpp"
+#include "wasm/baseline/compiler.hpp"
 #include "wasm/decoder.hpp"
 #include "wasm/exec/instance.hpp"
 #include "wasm/validator.hpp"
 
 namespace wasmctr::engines {
+
+namespace {
+
+/// Bench-controlled tier override (ScopedTierOverride). Process-global
+/// because the engines are long-lived per-node statics; the simulation is
+/// single-threaded, and benches run their cells sequentially.
+std::optional<Tier> g_tier_override;
+
+CompileMeasurement measure_of(const wasm::baseline::CompiledModule& cm) {
+  const wasm::baseline::CompileStats& s = cm.stats();
+  CompileMeasurement m;
+  m.content_hash = s.content_hash;
+  m.wasm_bytes = s.wasm_bytes;
+  m.wasm_ops = s.wasm_ops;
+  m.bytecode_bytes = s.bytecode_bytes;
+  m.meta_bytes = s.meta_bytes;
+  m.fused = s.fused;
+  m.code_pages = cm.code_pages();
+  m.meta_pages = cm.meta_pages();
+  return m;
+}
+
+}  // namespace
+
+void set_tier_override(std::optional<Tier> tier) { g_tier_override = tier; }
+std::optional<Tier> tier_override() { return g_tier_override; }
+
+Tier Engine::tier() const noexcept {
+  return g_tier_override.value_or(profile_.tier);
+}
 
 const EngineProfile& crun_engine_profile(EngineKind kind) {
   for (const EngineProfile& p : kCrunEngineProfiles) {
@@ -33,12 +65,40 @@ std::string Engine::library_name() const {
          engine_name(profile_.kind) + (shim_flavor_ ? "" : ".so");
 }
 
+Result<std::shared_ptr<const wasm::baseline::CompiledModule>>
+Engine::compiled_module(std::span<const uint8_t> module_bytes) const {
+  const uint64_t hash = wasm::baseline::content_hash(module_bytes);
+  auto it = compiled_cache_.find(hash);
+  if (it != compiled_cache_.end()) return it->second;
+  WASMCTR_ASSIGN_OR_RETURN(wasm::Module module,
+                           wasm::decode_module(module_bytes));
+  WASMCTR_RETURN_IF_ERROR(wasm::validate_module(module));
+  WASMCTR_ASSIGN_OR_RETURN(
+      auto compiled, wasm::baseline::compile_module(module, module_bytes));
+  compiled_cache_.emplace(hash, compiled);
+  return compiled;
+}
+
+Result<CompileMeasurement> Engine::measure_compile(
+    std::span<const uint8_t> module_bytes) const {
+  WASMCTR_ASSIGN_OR_RETURN(auto compiled, compiled_module(module_bytes));
+  return measure_of(*compiled);
+}
+
 Result<ExecutionReport> Engine::run_module(
     std::span<const uint8_t> module_bytes, wasi::WasiOptions wasi_options,
     wasi::VirtualFs& fs, uint64_t fuel) const {
   WASMCTR_ASSIGN_OR_RETURN(wasm::Module module,
                            wasm::decode_module(module_bytes));
   WASMCTR_RETURN_IF_ERROR(wasm::validate_module(module));
+
+  ExecutionReport report;
+  report.tier = tier();
+  std::shared_ptr<const wasm::baseline::CompiledModule> compiled;
+  if (report.tier == Tier::kBaseline) {
+    WASMCTR_ASSIGN_OR_RETURN(compiled, compiled_module(module_bytes));
+    report.compile = measure_of(*compiled);
+  }
 
   wasi::WasiContext ctx(std::move(wasi_options), fs);
   wasm::ImportResolver resolver;
@@ -47,10 +107,9 @@ Result<ExecutionReport> Engine::run_module(
   wasm::ExecLimits limits;
   limits.fuel = fuel;  // sandbox: no unbounded startup loops
   WASMCTR_ASSIGN_OR_RETURN(
-      auto instance,
-      wasm::Instance::instantiate(std::move(module), resolver, limits));
+      auto instance, wasm::Instance::instantiate(std::move(module), resolver,
+                                                 limits, compiled));
 
-  ExecutionReport report;
   auto r = instance->invoke("_start");
   if (!r) {
     if (r.status().code() == ErrorCode::kTrap &&
@@ -72,17 +131,21 @@ Result<ExecutionReport> Engine::run_module(
 }
 
 StartupCost Engine::startup_cost(std::size_t module_size,
-                                 bool node_has_cached_module) const {
+                                 bool node_has_cached_module,
+                                 const CompileMeasurement* compile) const {
   StartupCost cost;
   cost.init_cpu_s = profile_.init_cpu_s;
   const double kib = static_cast<double>(module_size) / 1024.0;
   cost.load_cpu_s = profile_.load_cpu_s_per_kib * kib;
-  if (profile_.cached_compile_cpu_s > 0) {
+  if (tier() != Tier::kBaseline || compile == nullptr) return cost;
+  if (profile_.shared_compile_cache) {
     if (node_has_cached_module) {
       cost.cache_load_cpu_s = profile_.cache_load_cpu_s;
     } else {
-      cost.shared_compile_cpu_s = profile_.cached_compile_cpu_s;
+      cost.shared_compile_cpu_s = compile_cpu_s(*compile);
     }
+  } else {
+    cost.compile_cpu_s = compile_cpu_s(*compile);
   }
   return cost;
 }

@@ -1,12 +1,16 @@
 // Engine execution layer: really runs Wasm modules through the interpreter
-// (with WASI) and reports measured + profile-modeled footprints.
+// or the baseline bytecode tier (with WASI) and reports measured +
+// profile-modeled footprints.
 //
 // One Engine object per engine kind per node (engines share their .so
 // across containers); each container execution produces an
 // ExecutionReport the container runtime feeds into the memory model.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,7 +18,26 @@
 #include "support/status.hpp"
 #include "wasi/wasi.hpp"
 
+namespace wasmctr::wasm::baseline {
+class CompiledModule;
+}
+
 namespace wasmctr::engines {
+
+/// What the singlepass compiler measured for one module: real quantities
+/// from actually compiling it, not calibrated constants. The page counts
+/// are the two caller-owned contiguous regions (bytecode + metadata) the
+/// container runtime maps as shared code-space.
+struct CompileMeasurement {
+  uint64_t content_hash = 0;
+  uint64_t wasm_bytes = 0;
+  uint64_t wasm_ops = 0;        ///< lowered Wasm opcodes (prices the compile)
+  uint64_t bytecode_bytes = 0;  ///< emitted direct-threaded bytecode
+  uint64_t meta_bytes = 0;      ///< function metadata region
+  uint64_t fused = 0;           ///< superinstruction fusions performed
+  uint32_t code_pages = 0;      ///< 4 KiB pages of the code region
+  uint32_t meta_pages = 0;      ///< 4 KiB pages of the metadata region
+};
 
 /// Result of executing a module to completion inside an engine.
 struct ExecutionReport {
@@ -22,6 +45,10 @@ struct ExecutionReport {
   std::string stdout_data;
   std::string stderr_data;
   uint64_t instructions = 0;
+  /// Tier the module actually executed under.
+  Tier tier = Tier::kInterpreter;
+  /// Filled for kBaseline: the real compile of this module.
+  CompileMeasurement compile;
   /// Real bytes our interpreter held for this instance (module structures,
   /// linear memory, tables, frames, WASI context).
   Bytes measured_instance;
@@ -33,7 +60,8 @@ struct ExecutionReport {
 /// Startup CPU demand for one container using this engine.
 struct StartupCost {
   double init_cpu_s = 0;       ///< engine runtime initialization
-  double load_cpu_s = 0;       ///< per-container module decode/compile
+  double load_cpu_s = 0;       ///< per-container module decode/validate
+  double compile_cpu_s = 0;    ///< per-container compile (no shared cache)
   double shared_compile_cpu_s = 0;  ///< once-per-node compile (0 = none)
   double cache_load_cpu_s = 0; ///< per-container cost after the shared compile
 };
@@ -41,6 +69,26 @@ struct StartupCost {
 /// Default fuel budget for a container start: generous enough for every
 /// real workload, finite so no startup loop runs unbounded (§III-C item 3).
 inline constexpr uint64_t kDefaultStartupFuel = 50'000'000;
+
+/// Process-global tier override, set by benches to sweep both tiers over
+/// the same engine profiles (the engines themselves are long-lived
+/// per-node statics). nullopt = every engine uses its profile default.
+void set_tier_override(std::optional<Tier> tier);
+[[nodiscard]] std::optional<Tier> tier_override();
+
+/// RAII tier override for one bench cell.
+class ScopedTierOverride {
+ public:
+  explicit ScopedTierOverride(Tier t) : prev_(tier_override()) {
+    set_tier_override(t);
+  }
+  ~ScopedTierOverride() { set_tier_override(prev_); }
+  ScopedTierOverride(const ScopedTierOverride&) = delete;
+  ScopedTierOverride& operator=(const ScopedTierOverride&) = delete;
+
+ private:
+  std::optional<Tier> prev_;
+};
 
 /// An engine installation on a node (crun-embedded or runwasi-shim flavor).
 class Engine {
@@ -54,8 +102,13 @@ class Engine {
   [[nodiscard]] EngineKind kind() const noexcept { return profile_.kind; }
   [[nodiscard]] std::string library_name() const;
 
+  /// Effective execution tier: the global override if set, else the
+  /// profile default.
+  [[nodiscard]] Tier tier() const noexcept;
+
   /// Decode + validate + instantiate + run `_start` under WASI. The module
-  /// actually executes; proc_exit(0) is success. `fuel` caps executed
+  /// actually executes (through the baseline bytecode when tier() is
+  /// kBaseline); proc_exit(0) is success. `fuel` caps executed
   /// instructions — the fault injector passes a tiny budget to force a
   /// genuine "all fuel consumed" trap through the whole stack.
   Result<ExecutionReport> run_module(std::span<const uint8_t> module_bytes,
@@ -63,15 +116,40 @@ class Engine {
                                      wasi::VirtualFs& fs,
                                      uint64_t fuel = kDefaultStartupFuel) const;
 
-  /// CPU demand to start one container with a module of `module_bytes`
-  /// size. `node_has_cached_module` selects the cache-hit path for engines
-  /// with a shared compilation cache (wasmtime).
-  [[nodiscard]] StartupCost startup_cost(std::size_t module_size,
-                                         bool node_has_cached_module) const;
+  /// Singlepass-compile `module_bytes` (memoized by content hash — the
+  /// node's artifact store) and return the shared compiled form.
+  Result<std::shared_ptr<const wasm::baseline::CompiledModule>>
+  compiled_module(std::span<const uint8_t> module_bytes) const;
+
+  /// Compile `module_bytes` and report the measured quantities.
+  Result<CompileMeasurement> measure_compile(
+      std::span<const uint8_t> module_bytes) const;
+
+  /// CPU demand of the baseline compile for a measured module: the
+  /// profile's per-kop rate × the module's real op count.
+  [[nodiscard]] double compile_cpu_s(const CompileMeasurement& m) const noexcept {
+    return profile_.compile_cpu_s_per_kop * static_cast<double>(m.wasm_ops) /
+           1000.0;
+  }
+
+  /// CPU demand to start one container with a module of `module_size`.
+  /// `node_has_cached_module` selects the cache-hit path for engines with
+  /// a shared compilation cache (the crun JIT integrations). `compile`
+  /// (optional) is the measured module; without it no compile stage is
+  /// charged (interpreter tier, or callers that model compile elsewhere).
+  [[nodiscard]] StartupCost startup_cost(
+      std::size_t module_size, bool node_has_cached_module,
+      const CompileMeasurement* compile = nullptr) const;
 
  private:
   EngineProfile profile_;
   bool shim_flavor_;
+  /// Content-hash-keyed compiled artifacts. Wall-clock memoization only:
+  /// the virtual-time cost of compiling is modeled by the callers (the
+  /// CompileCache for shared-cache engines, per-pod bursts otherwise).
+  mutable std::map<uint64_t,
+                   std::shared_ptr<const wasm::baseline::CompiledModule>>
+      compiled_cache_;
 };
 
 /// Factories resolving the calibrated profiles.

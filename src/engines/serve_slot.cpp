@@ -186,6 +186,13 @@ Result<InvokeReport> run_wasm_request(ServeSlot::State& s, int32_t arg,
     WASMCTR_ASSIGN_OR_RETURN(wasm::Module module,
                              wasm::decode_module(s.module_bytes));
     WASMCTR_RETURN_IF_ERROR(wasm::validate_module(module));
+    // Baseline tier serves from the node's compiled artifact (memoized in
+    // the Engine, shared with the startup path — no recompile here).
+    std::shared_ptr<const wasm::baseline::CompiledModule> compiled;
+    if (s.engine->tier() == Tier::kBaseline) {
+      WASMCTR_ASSIGN_OR_RETURN(compiled,
+                               s.engine->compiled_module(s.module_bytes));
+    }
     s.ctx = std::make_unique<wasi::WasiContext>(s.wasi_options,
                                                 s.node->fs());
     wasm::ImportResolver resolver;
@@ -193,7 +200,7 @@ Result<InvokeReport> run_wasm_request(ServeSlot::State& s, int32_t arg,
     wasm::ExecLimits limits;
     limits.fuel = kRequestFuel;
     auto inst = wasm::Instance::instantiate(std::move(module), resolver,
-                                            limits);
+                                            limits, std::move(compiled));
     if (!inst) {
       s.ctx.reset();
       return inst.status();
@@ -214,7 +221,10 @@ Result<InvokeReport> run_wasm_request(ServeSlot::State& s, int32_t arg,
   auto r = s.instance->invoke(s.export_name, args);
   const uint64_t instructions = s.instance->instructions_retired() - before;
   rep.instructions = instructions;
-  const double per_kinst = s.engine->kind() == EngineKind::kWamr
+  // The tier, not the engine brand, prices dispatch: an interpreter
+  // retires guest instructions an order of magnitude slower than the
+  // compiled bytecode tier.
+  const double per_kinst = s.engine->tier() == Tier::kInterpreter
                                ? kInfra.invoke_interp_cpu_s_per_kinst
                                : kInfra.invoke_jit_cpu_s_per_kinst;
   cpu_s += per_kinst * static_cast<double>(instructions) / 1000.0;

@@ -264,6 +264,22 @@ void OciRuntimeBase::finish_wasm_launch(const engines::Engine& engine,
   // only now (wasm container actually starting), shared across containers.
   const mem::FileId lib = node_.file_id(engine.library_name());
   Status st = proc->map_shared(lib, engine.profile().shared_lib);
+  // Baseline tier: the compiled bytecode and its metadata live in two
+  // contiguous regions backed by the node's artifact store — mapped
+  // shared, so N pods running the same module keep one resident copy per
+  // node. The page counts are measured from the real compile.
+  if (st.is_ok() && report->tier == engines::Tier::kBaseline &&
+      report->compile.code_pages > 0) {
+    const std::string tag = engine.library_name() + ":" +
+                            std::to_string(report->compile.content_hash);
+    st = proc->map_shared(node_.file_id("wasmcode:" + tag),
+                          Bytes(uint64_t{report->compile.code_pages} * 4096));
+    if (st.is_ok()) {
+      st = proc->map_shared(
+          node_.file_id("wasmmeta:" + tag),
+          Bytes(uint64_t{report->compile.meta_pages} * 4096));
+    }
+  }
   if (st.is_ok()) {
     const Bytes anon = kInfra.process_base + process_residual() +
                        engine.profile().private_fixed +
@@ -418,7 +434,14 @@ void Crun::launch_workload(ContainerRecord& rec, OnRunning on_running) {
                                              ? wasmer
                                              : wasmedge);
 
-  if (engine.profile().cached_compile_cpu_s > 0) {
+  // Shared-compile path: only a baseline-tier engine has anything to
+  // compile (a bench forcing the interpreter tier skips straight to the
+  // plain exec path), and only the crun integrations mount a shared
+  // artifact cache. The compile cost is measured from the real module —
+  // the singlepass compiler's op count × the engine's per-kop rate.
+  auto measured = engine.measure_compile(rec.bundle.payload.wasm);
+  if (engine.tier() == engines::Tier::kBaseline &&
+      engine.profile().shared_compile_cache && measured.is_ok()) {
     const std::string id = rec.info.id;
     // Compile (or cache-wait) + init + load all count as engine.load.
     node_.obs().tracer.pod_phase(std::string(fault_target(rec)),
@@ -444,7 +467,7 @@ void Crun::launch_workload(ContainerRecord& rec, OnRunning on_running) {
         return;
       case engines::CompileCache::Outcome::kMiss:
         // This container compiles; publish when the burst completes.
-        node_.burst(engine.profile().cached_compile_cpu_s,
+        node_.burst(engine.compile_cpu_s(*measured),
                     [this, key, continue_with] {
                       compile_cache_.publish(key);
                       continue_with(0.0);
@@ -461,12 +484,23 @@ void Crun::launch_wamr_embedded(ContainerRecord& rec, OnRunning on_running) {
   // §III-C: WAMR runs inside the crun process itself — no engine exec.
   static const engines::Engine wamr =
       engines::make_crun_engine(engines::EngineKind::kWamr);
+  // Default tier is the classic interpreter (no compile at all). Under a
+  // forced baseline tier (fast-interp ablation) each pod pays its own
+  // measured compile — WAMR ships no cross-pod artifact cache.
+  engines::CompileMeasurement measured;
+  const engines::CompileMeasurement* meas_ptr = nullptr;
+  if (wamr.tier() == engines::Tier::kBaseline) {
+    if (auto m = wamr.measure_compile(rec.bundle.payload.wasm); m.is_ok()) {
+      measured = *m;
+      meas_ptr = &measured;
+    }
+  }
   const engines::StartupCost cost =
-      wamr.startup_cost(rec.bundle.payload.size(), false);
+      wamr.startup_cost(rec.bundle.payload.size(), false, meas_ptr);
   const std::string id = rec.info.id;
   node_.obs().tracer.pod_phase(std::string(fault_target(rec)), "engine.load",
                                "engines");
-  node_.burst(cost.init_cpu_s + cost.load_cpu_s,
+  node_.burst(cost.init_cpu_s + cost.load_cpu_s + cost.compile_cpu_s,
               [this, id, on_running = std::move(on_running)] {
                 auto it = containers_.find(id);
                 if (it == containers_.end()) return;

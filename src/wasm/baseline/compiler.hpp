@@ -1,0 +1,27 @@
+// Singlepass baseline compiler: validated Wasm IR → direct-threaded
+// bytecode (DESIGN.md §13). One forward pass per function body with
+// backpatched branch targets; superinstruction fusion is a bounded
+// peephole over the incoming opcode stream.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "support/status.hpp"
+#include "wasm/baseline/bytecode.hpp"
+#include "wasm/module.hpp"
+
+namespace wasmctr::wasm::baseline {
+
+/// FNV-1a content hash — the compile-cache and shared-mapping key.
+[[nodiscard]] uint64_t content_hash(std::span<const uint8_t> bytes) noexcept;
+
+/// Lower every defined function of a validated module. `module_bytes` is
+/// the original binary, used only for the content hash and input-size
+/// stats. Fails with kUnimplemented on shapes outside the supported
+/// subset (e.g. >65535 locals), never on any module the validator
+/// accepts from this repo's builders.
+Result<std::shared_ptr<const CompiledModule>> compile_module(
+    const Module& module, std::span<const uint8_t> module_bytes);
+
+}  // namespace wasmctr::wasm::baseline

@@ -1,0 +1,51 @@
+// Baseline-tier bytecode executor: flat u64 frame slots in one reusable
+// arena, switch dispatch over the direct-threaded bytecode, pre-resolved
+// branches. Trap messages, fuel accounting and memory.grow behaviour are
+// bit-identical to the interpreter (the differential suite pins this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "support/status.hpp"
+#include "wasm/baseline/bytecode.hpp"
+#include "wasm/exec/value.hpp"
+
+namespace wasmctr::wasm {
+class Instance;
+}  // namespace wasmctr::wasm
+
+namespace wasmctr::wasm::baseline {
+
+using InvokeResult = Result<std::optional<Value>>;
+
+/// Executes compiled functions of one Instance. One Executor per
+/// top-level invoke; nested calls recurse through run().
+class Executor {
+ public:
+  explicit Executor(Instance& inst);
+
+  InvokeResult call_function(uint32_t func_index,
+                             std::span<const Value> args);
+
+ private:
+  /// Run defined function `func_index` (import-aware space) whose
+  /// arguments are already in slots [base, base + nparams). On success
+  /// the result (if any) is in slot `base`.
+  Status run(uint32_t func_index, std::size_t base);
+
+  /// Charge `w` fuel units under the tier-boundary rule documented in
+  /// wasm/opcodes.hpp.
+  Status charge(uint32_t w);
+
+  /// Common call path for kBCall / kBCallIndirect: arguments are the top
+  /// `nargs` slots of the caller frame at `base`. Adjusts sp and
+  /// refreshes `sl` (the arena may reallocate).
+  Status call_common(uint32_t callee, std::size_t base, uint64_t*& sl,
+                     uint32_t& sp);
+
+  Instance& inst_;
+  const CompiledModule& cm_;
+};
+
+}  // namespace wasmctr::wasm::baseline

@@ -21,6 +21,11 @@
 
 namespace wasmctr::wasm {
 
+namespace baseline {
+class CompiledModule;
+class Executor;
+}  // namespace baseline
+
 class Instance;
 
 /// A host (native) function callable from Wasm. Receives the instance for
@@ -66,10 +71,13 @@ using InvokeResult = Result<std::optional<Value>>;
 class Instance {
  public:
   /// Instantiate: resolve imports, allocate memory/table/globals, run
-  /// element/data segments, then the start function (if any).
+  /// element/data segments, then the start function (if any). When
+  /// `compiled` is non-null the instance executes that baseline-tier
+  /// bytecode (no interpreter side-tables are built); otherwise it runs
+  /// the interpreter tier.
   static Result<std::unique_ptr<Instance>> instantiate(
-      Module module, const ImportResolver& imports,
-      ExecLimits limits = {});
+      Module module, const ImportResolver& imports, ExecLimits limits = {},
+      std::shared_ptr<const baseline::CompiledModule> compiled = nullptr);
 
   ~Instance();
   Instance(const Instance&) = delete;
@@ -116,8 +124,14 @@ class Instance {
   void set_user_data(void* p) noexcept { user_data_ = p; }
   [[nodiscard]] void* user_data() const noexcept { return user_data_; }
 
+  /// Baseline-tier code this instance executes (nullptr = interpreter).
+  [[nodiscard]] const baseline::CompiledModule* compiled() const noexcept {
+    return compiled_.get();
+  }
+
  private:
   friend class Interpreter;
+  friend class baseline::Executor;
 
   explicit Instance(Module module) : module_(std::move(module)) {}
 
@@ -139,6 +153,11 @@ class Instance {
   uint32_t call_depth_ = 0;
   std::size_t frame_high_water_ = 0;
   void* user_data_ = nullptr;
+
+  /// Baseline tier: shared compiled code + the reusable frame-slot arena
+  /// (zero per-op dynamic allocation during execution).
+  std::shared_ptr<const baseline::CompiledModule> compiled_;
+  std::vector<uint64_t> slot_arena_;
 
   /// Per defined function: map from pc of block/loop/if to matching
   /// (end_pc, else_pc). Built once at instantiation.

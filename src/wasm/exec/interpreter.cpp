@@ -9,7 +9,9 @@
 #include <limits>
 
 #include "support/byteio.hpp"
+#include "wasm/baseline/executor.hpp"
 #include "wasm/exec/instance.hpp"
+#include "wasm/exec/numeric.hpp"
 #include "wasm/opcodes.hpp"
 #include "wasm/validator.hpp"
 
@@ -122,48 +124,9 @@ Status skip_immediates(ByteReader& r, uint8_t op) {
   }
 }
 
-// ---- float helpers with spec semantics ----
-
-template <typename F>
-F wasm_fmin(F a, F b) {
-  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
-  if (a == b) return std::signbit(a) ? a : b;  // min(-0,+0) = -0
-  return a < b ? a : b;
-}
-
-template <typename F>
-F wasm_fmax(F a, F b) {
-  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
-  if (a == b) return std::signbit(a) ? b : a;  // max(-0,+0) = +0
-  return a > b ? a : b;
-}
-
-/// Checked float→int truncation. `IMin`/`IMax` are the integer bounds.
-template <typename I, typename F>
-Result<I> trunc_checked(F v) {
-  if (std::isnan(v)) return trap_error("invalid conversion to integer");
-  const F truncated = std::trunc(v);
-  // Compare in F-space against the representable range.
-  constexpr F lo = static_cast<F>(std::numeric_limits<I>::min());
-  // max+1 is exactly representable for all four (I, F) pairs in use.
-  const F hi = std::ldexp(F(1), std::numeric_limits<I>::digits +
-                                    (std::numeric_limits<I>::is_signed ? 0 : 0));
-  if (truncated < lo || truncated >= hi) {
-    return trap_error("integer overflow");
-  }
-  return static_cast<I>(truncated);
-}
-
-template <typename I, typename F>
-I trunc_sat(F v) {
-  if (std::isnan(v)) return 0;
-  if (v <= static_cast<F>(std::numeric_limits<I>::min())) {
-    return std::numeric_limits<I>::min();
-  }
-  const F hi = std::ldexp(F(1), std::numeric_limits<I>::digits);
-  if (v >= hi) return std::numeric_limits<I>::max();
-  return static_cast<I>(std::trunc(v));
-}
+// Float min/max and truncation semantics live in wasm/exec/numeric.hpp,
+// shared with the baseline tier's executor so both tiers agree
+// bit-for-bit.
 
 }  // namespace
 
@@ -190,11 +153,13 @@ const HostFunc* ImportResolver::lookup(std::string_view module,
 Instance::~Instance() = default;
 
 Result<std::unique_ptr<Instance>> Instance::instantiate(
-    Module module, const ImportResolver& imports, ExecLimits limits) {
+    Module module, const ImportResolver& imports, ExecLimits limits,
+    std::shared_ptr<const baseline::CompiledModule> compiled) {
   assert(validate_module(module).is_ok() &&
          "instantiate requires a validated module");
   auto inst = std::unique_ptr<Instance>(new Instance(std::move(module)));
   const Module& m = inst->module_;
+  inst->compiled_ = std::move(compiled);
   inst->limits_ = limits;
   inst->metered_ = limits.fuel > 0;
   inst->fuel_ = limits.fuel;
@@ -266,7 +231,11 @@ Result<std::unique_ptr<Instance>> Instance::instantiate(
     WASMCTR_RETURN_IF_ERROR(inst->memory_->write(off.u32(), seg.bytes));
   }
 
-  WASMCTR_RETURN_IF_ERROR(inst->build_side_tables());
+  // The baseline tier pre-resolves every branch at compile time; the
+  // interpreter's jump side-tables would be dead weight.
+  if (inst->compiled_ == nullptr) {
+    WASMCTR_RETURN_IF_ERROR(inst->build_side_tables());
+  }
 
   // Start function.
   if (m.start) {
@@ -1251,6 +1220,10 @@ InvokeResult Instance::invoke_index(uint32_t func_index,
       return invalid_argument("argument " + std::to_string(i) +
                               " type mismatch");
     }
+  }
+  if (compiled_ != nullptr) {
+    baseline::Executor exec(*this);
+    return exec.call_function(func_index, args);
   }
   Interpreter interp(*this);
   return interp.call_function(func_index, args);

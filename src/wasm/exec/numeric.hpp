@@ -1,0 +1,56 @@
+// Numeric semantics shared by the stack interpreter and the baseline
+// tier's bytecode executor. Both tiers must agree bit-for-bit on float
+// min/max NaN handling, checked truncation bounds, and saturating
+// truncation, or the differential suite diverges.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "support/status.hpp"
+
+namespace wasmctr::wasm {
+
+template <typename F>
+F wasm_fmin(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? a : b;  // min(-0,+0) = -0
+  return a < b ? a : b;
+}
+
+template <typename F>
+F wasm_fmax(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? b : a;  // max(-0,+0) = +0
+  return a > b ? a : b;
+}
+
+/// Checked float→int truncation with spec trap semantics.
+template <typename I, typename F>
+Result<I> trunc_checked(F v) {
+  if (std::isnan(v)) return trap_error("invalid conversion to integer");
+  const F truncated = std::trunc(v);
+  // Compare in F-space against the representable range.
+  constexpr F lo = static_cast<F>(std::numeric_limits<I>::min());
+  // max+1 is exactly representable for all four (I, F) pairs in use.
+  const F hi = std::ldexp(F(1), std::numeric_limits<I>::digits +
+                                    (std::numeric_limits<I>::is_signed ? 0 : 0));
+  if (truncated < lo || truncated >= hi) {
+    return trap_error("integer overflow");
+  }
+  return static_cast<I>(truncated);
+}
+
+template <typename I, typename F>
+I trunc_sat(F v) {
+  if (std::isnan(v)) return 0;
+  if (v <= static_cast<F>(std::numeric_limits<I>::min())) {
+    return std::numeric_limits<I>::min();
+  }
+  const F hi = std::ldexp(F(1), std::numeric_limits<I>::digits);
+  if (v >= hi) return std::numeric_limits<I>::max();
+  return static_cast<I>(std::trunc(v));
+}
+
+}  // namespace wasmctr::wasm

@@ -1,5 +1,26 @@
 // WebAssembly opcode space (core MVP + sign-extension + the bulk-memory and
 // saturating-truncation subset behind the 0xFC prefix).
+//
+// Fuel charging rule (both execution tiers):
+//
+//   The interpreter charges every opcode one fuel unit before executing
+//   it, including structural opcodes (block/loop/if/else/end/br), and
+//   counts the trapping opcode as retired: with f fuel left and the next
+//   opcode reached, f == 0 retires the opcode and traps "all fuel
+//   consumed"; otherwise fuel decrements and the opcode runs.
+//
+//   The baseline tier may fuse w consecutive opcodes into one
+//   superinstruction of weight w. At the tier boundary the charge must be
+//   clamped so the fused form is indistinguishable from interpreting the
+//   w-op sequence: with fuel f, if f >= w then fuel -= w and retired += w;
+//   otherwise the interpreter would have retired the first f ops, consumed
+//   all fuel, then retired the (f+1)-th op and trapped — so retired +=
+//   f + 1, fuel = 0, trap "all fuel consumed". Fusions keep the only
+//   durable side effect (store / local write) in the final fused op, so a
+//   mid-sequence trap never exposes a partial effect. Structural opcodes
+//   the baseline compiles away are replaced by weight-1 marker
+//   instructions at the same execution points, keeping retired-instruction
+//   counts and trap points identical across tiers.
 #pragma once
 
 #include <cstdint>

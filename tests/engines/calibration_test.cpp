@@ -4,21 +4,51 @@
 // not localize — this test names the broken relationship directly.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "engines/calibration.hpp"
 #include "engines/engine.hpp"
+#include "wasm/workloads.hpp"
 
 namespace wasmctr::engines {
 namespace {
 
 TEST(CalibrationTest, InterpreterHasNoCompileJitsDo) {
-  EXPECT_EQ(crun_engine_profile(EngineKind::kWamr).cached_compile_cpu_s, 0.0)
+  const EngineProfile& wamr = crun_engine_profile(EngineKind::kWamr);
+  EXPECT_EQ(wamr.tier, Tier::kInterpreter)
       << "WAMR interprets; a compile stage would break the Fig 8 shape";
+  EXPECT_FALSE(wamr.shared_compile_cache)
+      << "nothing to cache when no artifact is produced by default";
   for (EngineKind k : {EngineKind::kWasmtime, EngineKind::kWasmer,
                        EngineKind::kWasmEdge}) {
     const EngineProfile& p = crun_engine_profile(k);
-    EXPECT_GT(p.cached_compile_cpu_s, 0.0) << engine_name(k);
-    EXPECT_GT(p.cached_compile_cpu_s, p.cache_load_cpu_s * 10)
-        << engine_name(k) << ": compile must dwarf a cache hit";
+    EXPECT_EQ(p.tier, Tier::kBaseline) << engine_name(k);
+    EXPECT_TRUE(p.shared_compile_cache) << engine_name(k);
+    EXPECT_GT(p.compile_cpu_s_per_kop, 0.0) << engine_name(k);
+  }
+}
+
+TEST(CalibrationTest, MeasuredCompileReproducesCalibratedTotals) {
+  // The per-kop rates were fitted so the standard microservice module
+  // (the image every figure bench deploys) costs what the original
+  // calibrated constants said: 1.20 / 1.80 / 1.50 s for the crun JIT
+  // engines. A drift here silently reshapes Fig 8/9.
+  const std::vector<uint8_t> wasm = wasm::build_minimal_microservice();
+  const struct {
+    EngineKind kind;
+    double expect_s;
+  } kFits[] = {{EngineKind::kWasmtime, 1.20},
+               {EngineKind::kWasmer, 1.80},
+               {EngineKind::kWasmEdge, 1.50}};
+  for (const auto& fit : kFits) {
+    const Engine engine = make_crun_engine(fit.kind);
+    auto m = engine.measure_compile(wasm);
+    ASSERT_TRUE(m.is_ok()) << engine_name(fit.kind);
+    const double compile_s = engine.compile_cpu_s(*m);
+    EXPECT_NEAR(compile_s, fit.expect_s, fit.expect_s * 0.02)
+        << engine_name(fit.kind);
+    EXPECT_GT(compile_s, engine.profile().cache_load_cpu_s * 10)
+        << engine_name(fit.kind) << ": compile must dwarf a cache hit";
   }
 }
 

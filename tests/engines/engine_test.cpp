@@ -65,11 +65,57 @@ TEST(EngineTest, ModeledInstanceAppliesMultiplier) {
   auto jit = wasmtime.run_module(bytes, opts, fs);
   ASSERT_TRUE(interp.is_ok());
   ASSERT_TRUE(jit.is_ok());
-  EXPECT_EQ(interp->measured_instance, jit->measured_instance)
-      << "same real execution underneath";
-  EXPECT_EQ(jit->modeled_instance.value, interp->measured_instance.value * 3)
+  EXPECT_EQ(interp->tier, Tier::kInterpreter);
+  EXPECT_EQ(jit->tier, Tier::kBaseline);
+  EXPECT_EQ(interp->instructions, jit->instructions)
+      << "tiers are observationally identical (differential suite)";
+  EXPECT_EQ(jit->modeled_instance.value, jit->measured_instance.value * 3)
       << "wasmtime profile holds 3x (compiled code)";
   EXPECT_EQ(interp->modeled_instance, interp->measured_instance);
+  // Baseline execution reports the real compile of this module.
+  EXPECT_GT(jit->compile.wasm_ops, 0u);
+  EXPECT_GT(jit->compile.bytecode_bytes, 0u);
+  EXPECT_GE(jit->compile.code_pages, 1u);
+  EXPECT_GE(jit->compile.meta_pages, 1u);
+  EXPECT_EQ(interp->compile.wasm_ops, 0u) << "no compile at interp tier";
+}
+
+TEST(EngineTest, TierOverrideFlipsBothDirections) {
+  const Engine wamr = make_crun_engine(EngineKind::kWamr);
+  const Engine wasmtime = make_crun_engine(EngineKind::kWasmtime);
+  EXPECT_EQ(wamr.tier(), Tier::kInterpreter);
+  EXPECT_EQ(wasmtime.tier(), Tier::kBaseline);
+  {
+    ScopedTierOverride force_baseline(Tier::kBaseline);
+    EXPECT_EQ(wamr.tier(), Tier::kBaseline);
+    EXPECT_EQ(wasmtime.tier(), Tier::kBaseline);
+    {
+      ScopedTierOverride force_interp(Tier::kInterpreter);
+      EXPECT_EQ(wamr.tier(), Tier::kInterpreter);
+      EXPECT_EQ(wasmtime.tier(), Tier::kInterpreter);
+    }
+    EXPECT_EQ(wamr.tier(), Tier::kBaseline) << "nested override restores";
+  }
+  EXPECT_EQ(wamr.tier(), Tier::kInterpreter);
+  EXPECT_EQ(wasmtime.tier(), Tier::kBaseline);
+  EXPECT_FALSE(tier_override().has_value());
+}
+
+TEST(EngineTest, MeasureCompileIsMemoizedAndMeasured) {
+  const Engine wasmtime = make_crun_engine(EngineKind::kWasmtime);
+  const auto bytes = wasm::build_minimal_microservice();
+  auto a = wasmtime.measure_compile(bytes);
+  auto b = wasmtime.measure_compile(bytes);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a->content_hash, b->content_hash);
+  EXPECT_EQ(a->wasm_ops, b->wasm_ops);
+  EXPECT_EQ(a->wasm_bytes, bytes.size());
+  auto ca = wasmtime.compiled_module(bytes);
+  auto cb = wasmtime.compiled_module(bytes);
+  ASSERT_TRUE(ca.is_ok() && cb.is_ok());
+  EXPECT_EQ(ca->get(), cb->get()) << "second compile hits the artifact cache";
+  EXPECT_GT(wasmtime.compile_cpu_s(*a), 0.0);
 }
 
 TEST(EngineTest, RejectsMalformedModule) {
@@ -109,13 +155,43 @@ TEST(EngineTest, GenuineTrapIsAnError) {
 
 TEST(StartupCostTest, CacheSplitsCompileFromLoad) {
   const Engine wasmtime = make_crun_engine(EngineKind::kWasmtime);
-  const StartupCost cold = wasmtime.startup_cost(3000, false);
-  const StartupCost warm = wasmtime.startup_cost(3000, true);
+  const auto bytes = wasm::build_minimal_microservice();
+  auto meas = wasmtime.measure_compile(bytes);
+  ASSERT_TRUE(meas.is_ok());
+  const StartupCost cold = wasmtime.startup_cost(bytes.size(), false, &*meas);
+  const StartupCost warm = wasmtime.startup_cost(bytes.size(), true, &*meas);
   EXPECT_GT(cold.shared_compile_cpu_s, 1.0);
   EXPECT_EQ(cold.cache_load_cpu_s, 0.0);
+  EXPECT_EQ(cold.compile_cpu_s, 0.0) << "shared-cache engines compile once";
   EXPECT_EQ(warm.shared_compile_cpu_s, 0.0);
   EXPECT_GT(warm.cache_load_cpu_s, 0.0);
   EXPECT_LT(warm.cache_load_cpu_s, cold.shared_compile_cpu_s);
+}
+
+TEST(StartupCostTest, InterpreterTierChargesNoCompile) {
+  const Engine wasmtime = make_crun_engine(EngineKind::kWasmtime);
+  const auto bytes = wasm::build_minimal_microservice();
+  auto meas = wasmtime.measure_compile(bytes);
+  ASSERT_TRUE(meas.is_ok());
+  ScopedTierOverride interp(Tier::kInterpreter);
+  const StartupCost cost = wasmtime.startup_cost(bytes.size(), false, &*meas);
+  EXPECT_EQ(cost.shared_compile_cpu_s, 0.0);
+  EXPECT_EQ(cost.compile_cpu_s, 0.0);
+  EXPECT_EQ(cost.cache_load_cpu_s, 0.0);
+  EXPECT_GT(cost.init_cpu_s, 0.0);
+}
+
+TEST(StartupCostTest, ShimPaysPerPodCompile) {
+  // No shared artifact cache: the compile lands in the per-container
+  // field regardless of what the "node cache" claims.
+  const Engine shim = make_shim_engine(EngineKind::kWasmtime);
+  const auto bytes = wasm::build_minimal_microservice();
+  auto meas = shim.measure_compile(bytes);
+  ASSERT_TRUE(meas.is_ok());
+  const StartupCost cost = shim.startup_cost(bytes.size(), true, &*meas);
+  EXPECT_GT(cost.compile_cpu_s, 0.0);
+  EXPECT_EQ(cost.shared_compile_cpu_s, 0.0);
+  EXPECT_EQ(cost.cache_load_cpu_s, 0.0);
 }
 
 TEST(StartupCostTest, WamrHasNoCompileStage) {
@@ -146,6 +222,53 @@ TEST(CompileCacheTest, MissThenHit) {
   EXPECT_EQ(ready_calls, 2) << "both waiters released";
   EXPECT_TRUE(cache.is_ready("m"));
   EXPECT_EQ(cache.lookup("m", [] {}), CompileCache::Outcome::kHit);
+}
+
+TEST(CompileCacheTest, PublishFiresEveryWaiterExactlyOnce) {
+  CompileCache cache;
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  ASSERT_EQ(cache.lookup("m", [&] { ++a; }), CompileCache::Outcome::kMiss);
+  ASSERT_EQ(cache.lookup("m", [&] { ++a; }), CompileCache::Outcome::kWait);
+  ASSERT_EQ(cache.lookup("m", [&] { ++b; }), CompileCache::Outcome::kWait);
+  ASSERT_EQ(cache.lookup("m", [&] { ++c; }), CompileCache::Outcome::kWait);
+  EXPECT_EQ(a + b + c, 0) << "nothing fires before publish";
+  cache.publish("m");
+  EXPECT_EQ(a, 1) << "the kMiss caller's callback must NOT fire";
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 1);
+  // A second publish on the same key must not re-fire drained waiters.
+  cache.publish("m");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 1);
+}
+
+TEST(CompileCacheTest, PublishOnUnknownKeyIsNoOp) {
+  CompileCache cache;
+  cache.publish("never-looked-up");
+  EXPECT_FALSE(cache.is_ready("never-looked-up"))
+      << "publish must not conjure an entry nobody compiled";
+  // The key is still virgin: the next lookup becomes the compiler.
+  EXPECT_EQ(cache.lookup("never-looked-up", [] {}),
+            CompileCache::Outcome::kMiss);
+}
+
+TEST(CompileCacheTest, HitAfterPublishPaysOnlyArtifactLoad) {
+  CompileCache cache;
+  ASSERT_EQ(cache.lookup("m", [] {}), CompileCache::Outcome::kMiss);
+  cache.publish("m");
+  // Every later starter sees kHit — synchronously, its queued callback
+  // never enters the waiter list — so the caller charges only
+  // cache_load_cpu_s, never a second compile.
+  int stray = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cache.lookup("m", [&] { ++stray; }),
+              CompileCache::Outcome::kHit);
+  }
+  cache.publish("m");
+  EXPECT_EQ(stray, 0) << "kHit callers are never enqueued as waiters";
 }
 
 TEST(CompileCacheTest, KeysAreIndependent) {

@@ -82,10 +82,14 @@ TEST_F(CacheTest, ConcurrentStartersShareOneCompile) {
   // Total CPU consumed stays near one compile + N cheap starts.
   const double cpu = node_.cpu().consumed_cpu_seconds();
   const auto& p = engines::crun_engine_profile(engines::EngineKind::kWasmtime);
+  const engines::Engine engine =
+      engines::make_crun_engine(engines::EngineKind::kWasmtime);
+  auto measured = engine.measure_compile(wasm::build_minimal_microservice());
+  ASSERT_TRUE(measured.is_ok());
   const double upper_bound =
       kContainers * (engines::kInfra.crun_exec_cpu_s + p.init_cpu_s +
                      p.cache_load_cpu_s + 0.1) +
-      p.cached_compile_cpu_s + 1.0;
+      engine.compile_cpu_s(*measured) + 1.0;
   EXPECT_LT(cpu, upper_bound) << "no duplicated compiles";
 }
 

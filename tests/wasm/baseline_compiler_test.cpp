@@ -1,0 +1,198 @@
+#include "wasm/baseline/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "wasm/baseline/bytecode.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/exec/instance.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::wasm::baseline {
+namespace {
+
+std::vector<std::vector<uint8_t>> all_workloads() {
+  return {build_minimal_microservice(), build_compute_kernel(),
+          build_memory_stress(),        build_table_dispatch(),
+          build_file_logger(),          build_request_microservice(),
+          build_memory_thrasher(),      build_fuel_burner()};
+}
+
+Result<std::shared_ptr<const CompiledModule>> compile(
+    const std::vector<uint8_t>& bytes) {
+  auto m = decode_module(bytes);
+  EXPECT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_TRUE(validate_module(*m).is_ok());
+  return compile_module(*m, bytes);
+}
+
+TEST(BaselineCompilerTest, CompilesEveryWorkload) {
+  for (const auto& bytes : all_workloads()) {
+    auto cm = compile(bytes);
+    ASSERT_TRUE(cm.is_ok()) << cm.status().to_string();
+    const CompileStats& s = (*cm)->stats();
+    EXPECT_EQ(s.wasm_bytes, bytes.size());
+    EXPECT_GT(s.wasm_ops, 0u);
+    EXPECT_GT(s.bytecode_bytes, 0u);
+    EXPECT_GT(s.meta_bytes, 0u);
+    EXPECT_EQ(s.content_hash, content_hash(bytes));
+    EXPECT_GE((*cm)->code_pages(), 1u);
+    EXPECT_GE((*cm)->meta_pages(), 1u);
+    EXPECT_EQ((*cm)->code_pages(),
+              (s.bytecode_bytes + 4095) / 4096);
+  }
+}
+
+TEST(BaselineCompilerTest, CompilationIsDeterministic) {
+  const auto bytes = build_compute_kernel();
+  auto a = compile(bytes);
+  auto b = compile(bytes);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  ASSERT_EQ((*a)->code_size(), (*b)->code_size());
+  EXPECT_EQ(0, std::memcmp((*a)->code(), (*b)->code(), (*a)->code_size()));
+  EXPECT_EQ((*a)->stats().fused, (*b)->stats().fused);
+}
+
+TEST(BaselineCompilerTest, ContentHashesAreStableAndDistinct) {
+  const auto a = build_compute_kernel();
+  const auto b = build_table_dispatch();
+  EXPECT_EQ(content_hash(a), content_hash(a));
+  EXPECT_NE(content_hash(a), content_hash(b));
+}
+
+TEST(BaselineCompilerTest, ImportedFunctionsHaveEmptyCodeRange) {
+  auto cm = compile(build_minimal_microservice());
+  ASSERT_TRUE(cm.is_ok());
+  ASSERT_GT((*cm)->num_imported(), 0u);
+  for (uint32_t i = 0; i < (*cm)->num_imported(); ++i) {
+    const FuncMeta fm = (*cm)->func_meta(i);
+    EXPECT_EQ(fm.code_begin, fm.code_end);
+  }
+  for (uint32_t i = (*cm)->num_imported(); i < (*cm)->num_funcs(); ++i) {
+    const FuncMeta fm = (*cm)->func_meta(i);
+    EXPECT_LT(fm.code_begin, fm.code_end);
+    EXPECT_GE(fm.frame_slots, fm.num_locals);
+  }
+}
+
+TEST(BaselineCompilerTest, SuperinstructionsFuseAcrossWorkloads) {
+  uint64_t fused = 0;
+  for (const auto& bytes : all_workloads()) {
+    auto cm = compile(bytes);
+    ASSERT_TRUE(cm.is_ok());
+    fused += (*cm)->stats().fused;
+  }
+  EXPECT_GT(fused, 0u) << "hot local.get/i32.const pairs must fuse";
+}
+
+TEST(BaselineCompilerTest, BytecodeIsDenserThanWasmPerOp) {
+  // Not a strict invariant in bytes (fixed-width immediates can beat LEB)
+  // but fusion must make ops-in strictly greater than instructions-out
+  // for the loop-heavy kernel.
+  auto cm = compile(build_compute_kernel());
+  ASSERT_TRUE(cm.is_ok());
+  EXPECT_GT((*cm)->stats().fused, 0u);
+  EXPECT_GT((*cm)->stats().wasm_ops, 0u);
+}
+
+// Builds a module exercising every superinstruction plus structural
+// control flow, then sweeps the fuel budget one unit at a time comparing
+// both tiers' retired-instruction counts, remaining fuel, trap status and
+// results. This pins the tier-boundary fuel-clamping rule documented in
+// wasm/opcodes.hpp.
+std::vector<uint8_t> build_fuel_probe() {
+  ModuleBuilder b;
+  b.add_memory(1, 4, true);
+  FnBuilder& f = b.add_function("work", {ValType::kI32}, {ValType::kI32});
+  const uint32_t acc = f.add_local(ValType::kI32);
+  f.block();
+  f.local_get(0).i32_eqz().br_if(0);
+  f.loop();
+  f.local_get(acc).i32_const(3).i32_add().local_set(acc);  // inc-set fusion
+  f.i32_const(0).i32_const(42).i32_store(8);               // const-store fusion
+  f.local_get(0).i32_const(-1).i32_add().local_set(0);     // dec fusion
+  f.local_get(0).br_if(0);
+  f.end();
+  f.local_get(acc).local_get(acc).i32_add().local_set(acc);  // get-get-add
+  f.end();
+  f.local_get(acc).end();
+  return b.build();
+}
+
+struct ProbeOutcome {
+  bool ok = false;
+  std::string message;
+  uint64_t retired = 0;
+  uint64_t fuel_left = 0;
+  int32_t result = 0;
+};
+
+ProbeOutcome run_probe(const std::vector<uint8_t>& bytes, bool baseline,
+                       uint64_t fuel, int32_t arg) {
+  auto m = decode_module(bytes);
+  EXPECT_TRUE(m.is_ok());
+  EXPECT_TRUE(validate_module(*m).is_ok());
+  std::shared_ptr<const CompiledModule> cm;
+  if (baseline) {
+    auto c = compile_module(*m, bytes);
+    EXPECT_TRUE(c.is_ok()) << c.status().to_string();
+    cm = *c;
+  }
+  ImportResolver empty;
+  ExecLimits limits;
+  limits.fuel = fuel;
+  auto inst = Instance::instantiate(std::move(*m), empty, limits, cm);
+  EXPECT_TRUE(inst.is_ok()) << inst.status().to_string();
+  const Value a = Value::from_i32(arg);
+  auto r = (*inst)->invoke("work", std::span<const Value>(&a, 1));
+  ProbeOutcome out;
+  out.ok = r.is_ok();
+  out.message = r.status().message();
+  out.retired = (*inst)->instructions_retired();
+  out.fuel_left = (*inst)->fuel_remaining();
+  if (r.is_ok() && r->has_value()) out.result = (**r).i32();
+  return out;
+}
+
+TEST(BaselineCompilerTest, FuelParitySweepAcrossEveryBudget) {
+  const auto bytes = build_fuel_probe();
+  // Unmetered run to learn the full cost, and to check value parity.
+  const ProbeOutcome interp_full = run_probe(bytes, false, 0, 5);
+  const ProbeOutcome base_full = run_probe(bytes, true, 0, 5);
+  ASSERT_TRUE(interp_full.ok) << interp_full.message;
+  ASSERT_TRUE(base_full.ok) << base_full.message;
+  EXPECT_EQ(interp_full.result, base_full.result);
+  EXPECT_EQ(interp_full.retired, base_full.retired)
+      << "unmetered retired counts must match exactly";
+
+  // Every budget from 1 to full-cost+2 must behave identically: same
+  // trap/no-trap decision, same retired count, same remaining fuel.
+  for (uint64_t fuel = 1; fuel <= interp_full.retired + 2; ++fuel) {
+    const ProbeOutcome i = run_probe(bytes, false, fuel, 5);
+    const ProbeOutcome b = run_probe(bytes, true, fuel, 5);
+    ASSERT_EQ(i.ok, b.ok) << "fuel=" << fuel << " interp=" << i.message
+                          << " baseline=" << b.message;
+    EXPECT_EQ(i.retired, b.retired) << "fuel=" << fuel;
+    EXPECT_EQ(i.fuel_left, b.fuel_left) << "fuel=" << fuel;
+    if (!i.ok) {
+      EXPECT_EQ(i.message, "all fuel consumed") << "fuel=" << fuel;
+      EXPECT_EQ(b.message, "all fuel consumed") << "fuel=" << fuel;
+    } else {
+      EXPECT_EQ(i.result, b.result) << "fuel=" << fuel;
+    }
+  }
+}
+
+TEST(BaselineCompilerTest, FuelProbeActuallyFuses) {
+  const auto bytes = build_fuel_probe();
+  auto cm = compile(bytes);
+  ASSERT_TRUE(cm.is_ok());
+  EXPECT_GE((*cm)->stats().fused, 3u)
+      << "probe is built around inc-set, const-store and get-get-add fusions";
+}
+
+}  // namespace
+}  // namespace wasmctr::wasm::baseline

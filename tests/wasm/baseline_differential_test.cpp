@@ -1,0 +1,209 @@
+// Differential suite: every workload module runs under both execution
+// tiers (interpreter and baseline bytecode) and must be observationally
+// identical — results, trap codes and messages, memory.grow behaviour,
+// retired-instruction counts and remaining fuel.
+#include <gtest/gtest.h>
+
+#include "wasi/wasi.hpp"
+#include "wasm/baseline/compiler.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/exec/instance.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/workloads.hpp"
+
+namespace wasmctr::wasm {
+namespace {
+
+struct TierRun {
+  std::unique_ptr<wasi::VirtualFs> fs;
+  std::unique_ptr<wasi::WasiContext> ctx;
+  std::unique_ptr<Instance> inst;
+};
+
+TierRun make_run(const std::vector<uint8_t>& bytes, bool baseline, bool with_wasi,
+             uint64_t fuel = 0, bool data_preopen = false) {
+  TierRun run;
+  auto m = decode_module(bytes);
+  EXPECT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_TRUE(validate_module(*m).is_ok());
+  ImportResolver resolver;
+  if (with_wasi) {
+    run.fs = std::make_unique<wasi::VirtualFs>();
+    wasi::WasiOptions opts;
+    opts.args = {"app.wasm"};
+    if (data_preopen) {
+      EXPECT_TRUE(run.fs->mkdirs("bundle/data").is_ok());
+      opts.preopens = {{"/data", "bundle/data"}};
+    }
+    run.ctx = std::make_unique<wasi::WasiContext>(std::move(opts), *run.fs);
+    run.ctx->register_imports(resolver);
+  }
+  std::shared_ptr<const baseline::CompiledModule> cm;
+  if (baseline) {
+    auto c = baseline::compile_module(*m, bytes);
+    EXPECT_TRUE(c.is_ok()) << c.status().to_string();
+    cm = *c;
+  }
+  ExecLimits limits;
+  limits.fuel = fuel;
+  auto inst = Instance::instantiate(std::move(*m), resolver, limits, cm);
+  EXPECT_TRUE(inst.is_ok()) << inst.status().to_string();
+  run.inst = std::move(*inst);
+  if (baseline) {
+    EXPECT_NE(run.inst->compiled(), nullptr);
+  } else {
+    EXPECT_EQ(run.inst->compiled(), nullptr);
+  }
+  return run;
+}
+
+void expect_same_result(const InvokeResult& a, const InvokeResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.is_ok(), b.is_ok())
+      << what << ": interp=" << a.status().to_string()
+      << " baseline=" << b.status().to_string();
+  if (a.is_ok()) {
+    ASSERT_EQ(a->has_value(), b->has_value()) << what;
+    if (a->has_value()) {
+      EXPECT_TRUE(**a == **b) << what << ": " << (**a).to_string() << " vs "
+                              << (**b).to_string();
+    }
+  } else {
+    EXPECT_EQ(a.status().code(), b.status().code()) << what;
+    EXPECT_EQ(a.status().message(), b.status().message()) << what;
+  }
+}
+
+/// Invoke the same export with the same args on both runs and compare the
+/// result plus all observable instance state.
+void step_both(TierRun& interp, TierRun& base, std::string_view export_name,
+               std::span<const Value> args, const std::string& what) {
+  auto a = interp.inst->invoke(export_name, args);
+  auto b = base.inst->invoke(export_name, args);
+  expect_same_result(a, b, what);
+  EXPECT_EQ(interp.inst->instructions_retired(),
+            base.inst->instructions_retired())
+      << what << ": retired-instruction divergence";
+  EXPECT_EQ(interp.inst->fuel_remaining(), base.inst->fuel_remaining())
+      << what;
+  const LinearMemory* ma = interp.inst->memory();
+  const LinearMemory* mb = base.inst->memory();
+  ASSERT_EQ(ma == nullptr, mb == nullptr) << what;
+  if (ma != nullptr) {
+    EXPECT_EQ(ma->pages(), mb->pages()) << what << ": memory.grow divergence";
+  }
+}
+
+TEST(BaselineDifferentialTest, MinimalMicroservice) {
+  TierRun interp = make_run(build_minimal_microservice(), false, true);
+  TierRun base = make_run(build_minimal_microservice(), true, true);
+  step_both(interp, base, "_start", {}, "_start");
+  EXPECT_TRUE(interp.ctx->exited() && base.ctx->exited());
+  EXPECT_EQ(interp.ctx->exit_code(), base.ctx->exit_code());
+  EXPECT_EQ(interp.ctx->stdout_data(), base.ctx->stdout_data());
+  EXPECT_EQ(base.ctx->stdout_data(), "hello from wasm microservice\n");
+}
+
+TEST(BaselineDifferentialTest, ComputeKernel) {
+  TierRun interp = make_run(build_compute_kernel(), false, false);
+  TierRun base = make_run(build_compute_kernel(), true, false);
+  for (int32_t n : {0, 1, 100, 2000}) {
+    const Value arg = Value::from_i32(n);
+    step_both(interp, base, "run", std::span<const Value>(&arg, 1),
+              "run(" + std::to_string(n) + ")");
+  }
+}
+
+TEST(BaselineDifferentialTest, MemoryStressGrow) {
+  TierRun interp = make_run(build_memory_stress(), false, false);
+  TierRun base = make_run(build_memory_stress(), true, false);
+  const Value arg = Value::from_i32(16);
+  step_both(interp, base, "touch", std::span<const Value>(&arg, 1),
+            "touch(16)");
+  EXPECT_EQ(interp.inst->memory()->pages(), 16u);
+}
+
+TEST(BaselineDifferentialTest, TableDispatchIncludingTraps) {
+  TierRun interp = make_run(build_table_dispatch(), false, false);
+  TierRun base = make_run(build_table_dispatch(), true, false);
+  for (int32_t i = 0; i <= 4; ++i) {  // 4 is out of range -> trap parity
+    const Value args[] = {Value::from_i32(i), Value::from_i32(5)};
+    step_both(interp, base, "dispatch", args,
+              "dispatch(" + std::to_string(i) + ",5)");
+  }
+}
+
+TEST(BaselineDifferentialTest, FileLoggerThroughWasi) {
+  TierRun interp = make_run(build_file_logger(), false, true, 0, true);
+  TierRun base = make_run(build_file_logger(), true, true, 0, true);
+  step_both(interp, base, "_start", {}, "_start");
+  auto fa = interp.fs->read_file("bundle/data/out.log");
+  auto fb = base.fs->read_file("bundle/data/out.log");
+  ASSERT_TRUE(fa.is_ok() && fb.is_ok());
+  EXPECT_EQ(*fa, *fb);
+  EXPECT_EQ(*fb, "status=ok\n");
+}
+
+TEST(BaselineDifferentialTest, RequestMicroserviceServing) {
+  TierRun interp = make_run(build_request_microservice(), false, true);
+  TierRun base = make_run(build_request_microservice(), true, true);
+  step_both(interp, base, "_start", {}, "_start");
+  for (int req = 0; req < 3; ++req) {
+    const Value arg = Value::from_i32(50);
+    step_both(interp, base, "handle", std::span<const Value>(&arg, 1),
+              "handle#" + std::to_string(req));
+  }
+  EXPECT_EQ(interp.ctx->stdout_data(), base.ctx->stdout_data());
+}
+
+// Adversarial tenant #1: the memory thrasher ratchets linear memory up to
+// the module max; grow results (including failures at the brink) must
+// match across tiers request by request.
+TEST(BaselineDifferentialTest, MemoryThrasherGrowRatchet) {
+  TierRun interp = make_run(build_memory_thrasher(), false, true);
+  TierRun base = make_run(build_memory_thrasher(), true, true);
+  for (int req = 0; req < 20; ++req) {
+    const Value arg = Value::from_i32(8);
+    step_both(interp, base, "handle", std::span<const Value>(&arg, 1),
+              "thrash#" + std::to_string(req));
+  }
+  EXPECT_EQ(base.inst->memory()->pages(), 64u) << "saturated at module max";
+}
+
+// Adversarial tenant #2: the fuel burner's per-request instruction burn
+// must be identical (ServeSlot charges CPU from these counts).
+TEST(BaselineDifferentialTest, FuelBurnerRetiredParity) {
+  TierRun interp = make_run(build_fuel_burner(), false, true);
+  TierRun base = make_run(build_fuel_burner(), true, true);
+  for (int32_t n : {10, 1000, 10000}) {
+    const Value arg = Value::from_i32(n);
+    step_both(interp, base, "handle", std::span<const Value>(&arg, 1),
+              "burn(" + std::to_string(n) + ")");
+  }
+}
+
+// Adversarial tenant #3: a metered workload that runs out of fuel
+// mid-request must trap at the same instruction with the same partial
+// memory growth under both tiers.
+TEST(BaselineDifferentialTest, FuelExhaustionMidRequest) {
+  for (uint64_t fuel : {50u, 500u, 5000u}) {
+    TierRun interp = make_run(build_memory_thrasher(), false, true, fuel);
+    TierRun base = make_run(build_memory_thrasher(), true, true, fuel);
+    const Value arg = Value::from_i32(32);
+    step_both(interp, base, "handle", std::span<const Value>(&arg, 1),
+              "fuel=" + std::to_string(fuel));
+  }
+}
+
+TEST(BaselineDifferentialTest, FuelTrapBoundarySweepOnKernel) {
+  for (uint64_t fuel : {1u, 7u, 23u, 101u, 997u, 4096u}) {
+    TierRun interp = make_run(build_compute_kernel(), false, false, fuel);
+    TierRun base = make_run(build_compute_kernel(), true, false, fuel);
+    const Value arg = Value::from_i32(100);
+    step_both(interp, base, "run", std::span<const Value>(&arg, 1),
+              "fuel=" + std::to_string(fuel));
+  }
+}
+
+}  // namespace
+}  // namespace wasmctr::wasm
