@@ -61,6 +61,7 @@ struct ScaleResult {
   std::size_t max_pending = 0;
   uint64_t compactions = 0;
   bool heap_bounded = true;
+  bool exposition_ok = false;  // lean-mode registry still renders fully
   std::string bundle;  // filled only for the determinism cell
 };
 
@@ -77,6 +78,10 @@ ScaleResult run_cell(uint32_t pods, uint32_t nodes, bool want_bundle) {
   // Scale mode: pod_end() still yields exact startup durations for the
   // histogram, but no span objects accumulate across 100k startups.
   cluster.obs().tracer.set_span_capture(false);
+  // Likewise for metrics: lean mode drops raw histogram samples (100k
+  // startups would hoard one double each); buckets/sum/count still
+  // aggregate, so the exposition stays complete.
+  cluster.obs().metrics.set_sample_retention(false);
 
   ScaleResult r;
   r.pods = pods;
@@ -117,6 +122,10 @@ ScaleResult run_cell(uint32_t pods, uint32_t nodes, bool want_bundle) {
     r.records += cluster.kubelet(i).record_count();
   }
   r.compactions = kernel.compactions();
+  const std::string expo = cluster.obs().metrics.prometheus_text();
+  r.exposition_ok = expo.find("_bucket{") != std::string::npos &&
+                    expo.find("_count") != std::string::npos &&
+                    expo.find("wasmctr_") != std::string::npos;
 
   if (want_bundle) {
     // Everything here is virtual-time state: byte-identical across
@@ -172,6 +181,8 @@ int check_cells(const std::vector<ScaleResult>& results) {
     checks.check(r.heap_bounded,
                  cell + " kernel heap bounded by 2x pending (tombstone "
                         "compaction)");
+    checks.check(r.exposition_ok,
+                 cell + " lean-mode exposition renders buckets/sum/count");
   }
   return checks.summarize("scale");
 }

@@ -17,6 +17,7 @@
 #include "k8s/metrics_server.hpp"
 #include "k8s/node_lifecycle.hpp"
 #include "k8s/scheduler.hpp"
+#include "obs/tsdb/scraper.hpp"
 #include "serve/deployment.hpp"
 #include "serve/endpoints.hpp"
 
@@ -80,6 +81,25 @@ struct ClusterOptions {
   /// Restart failed containers inside their existing sandbox (stock
   /// kubelet behavior); off recreates the full sandbox per attempt.
   bool in_place_restart = true;
+};
+
+/// Configuration for the cluster's time-series pipeline (DESIGN.md §14):
+/// a virtual-time Scraper samples the shared Registry into a ring-buffer
+/// TimeSeriesStore, with a memory-attribution collector refreshing
+/// per-node/per-tenant gauges before every scrape.
+struct TimeSeriesOptions {
+  obs::tsdb::Scraper::Options scrape;
+  /// Ring capacity per series (512 × 12 B ≈ 6 KiB; ~42 min of history at
+  /// the 5 s cadence).
+  std::size_t capacity_per_series = 512;
+  /// Export wasmctr_pod_working_set_bytes/wasmctr_pod_usage_bytes per
+  /// running pod — the series the MetricsServer's windowed mode reads.
+  /// Cardinality O(pods); turn off for 100k-pod sweeps.
+  bool per_pod_gauges = true;
+  /// MetricsServer lookback in virtual seconds: >0 answers top_pods from
+  /// windowed maxima over the TSDB (cgroup fallback for unscraped pods);
+  /// 0 keeps the instantaneous read path byte-identical to before.
+  double metrics_window_s = 0;
 };
 
 class Cluster {
@@ -173,6 +193,28 @@ class Cluster {
     return endpoints_;
   }
 
+  // --- time-series pipeline (DESIGN.md §14) ---
+
+  /// Construct store + alert evaluator + scraper and start scraping.
+  /// Idempotent. The scraper self-reschedules forever: drive the cluster
+  /// with run_for()/run_until() and call stop_timeseries() before a final
+  /// run-to-quiescence drain (same contract as node lifecycle).
+  void enable_timeseries(TimeSeriesOptions options = {});
+
+  /// Cancel the pending scrape so run() can drain. The store, evaluator
+  /// and scrape history stay readable.
+  void stop_timeseries();
+
+  [[nodiscard]] bool timeseries_enabled() const noexcept {
+    return ts_scraper_ != nullptr;
+  }
+  /// Valid only after enable_timeseries().
+  [[nodiscard]] obs::tsdb::TimeSeriesStore& timeseries() {
+    return *ts_store_;
+  }
+  [[nodiscard]] obs::tsdb::Scraper& scraper() { return *ts_scraper_; }
+  [[nodiscard]] obs::tsdb::AlertEvaluator& alerts() { return *ts_alerts_; }
+
  private:
   /// One worker = fault domain: node resources + containerd + kubelet.
   struct Worker {
@@ -188,6 +230,9 @@ class Cluster {
   Worker& worker(uint32_t i) { return workers_.at(i); }
   void register_handlers_and_classes();
   void register_images();
+  /// The scraper's pre-scrape collector: refresh per-node mapping-kind,
+  /// per-tenant and (optionally) per-pod memory gauges.
+  void collect_memory_attribution(bool per_pod_gauges);
 
   // Cluster-wide infrastructure shared by every worker (declaration order
   // is construction order: workers reference all three).
@@ -210,6 +255,10 @@ class Cluster {
   bool lifecycle_enabled_ = false;
   serve::DeploymentController deployments_;
   serve::EndpointsController endpoints_;
+  // Time-series pipeline, constructed lazily by enable_timeseries().
+  std::unique_ptr<obs::tsdb::TimeSeriesStore> ts_store_;
+  std::unique_ptr<obs::tsdb::AlertEvaluator> ts_alerts_;
+  std::unique_ptr<obs::tsdb::Scraper> ts_scraper_;
 };
 
 }  // namespace wasmctr::k8s

@@ -4,8 +4,33 @@ namespace wasmctr::k8s {
 
 std::vector<PodMetrics> MetricsServer::top_pods() const {
   std::vector<PodMetrics> out;
+  const SimTime now = node_.kernel().now();
+  const SimDuration window = sim_s(window_s_);
   for (const Pod* pod : api_.pods()) {
     if (pod->status.phase != PodPhase::kRunning) continue;
+    if (store_ != nullptr) {
+      const std::string pod_label = obs::label("pod", pod->spec.name);
+      const obs::tsdb::Series* ws =
+          store_->find("wasmctr_pod_working_set_bytes", pod_label);
+      const obs::tsdb::Series* us =
+          store_->find("wasmctr_pod_usage_bytes", pod_label);
+      if (ws != nullptr) {
+        const auto ws_max = obs::tsdb::max_over_window(*ws, now, window);
+        if (ws_max.has_value()) {
+          double usage = *ws_max;
+          if (us != nullptr) {
+            usage = obs::tsdb::max_over_window(*us, now, window)
+                        .value_or(usage);
+          }
+          out.push_back({pod->spec.name,
+                         Bytes(static_cast<uint64_t>(*ws_max)),
+                         Bytes(static_cast<uint64_t>(usage))});
+          continue;
+        }
+      }
+      // No samples in the window (pod newer than the last scrape, or
+      // per-pod gauges off): fall through to the live cgroup read.
+    }
     mem::Cgroup* cg =
         node_.cgroups().find("kubepods/pod-" + pod->spec.name);
     if (cg == nullptr) continue;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "k8s/api_server.hpp"
+#include "obs/tsdb/query.hpp"
 #include "sim/node.hpp"
 
 namespace wasmctr::k8s {
@@ -21,6 +22,19 @@ class MetricsServer {
  public:
   MetricsServer(ApiServer& api, sim::Node& node) : api_(api), node_(node) {}
 
+  /// Windowed mode (DESIGN.md §14): answer top_pods from the TSDB — the
+  /// max of each pod's scraped working-set series over the trailing
+  /// `window_s` virtual seconds, the way the real metrics server serves
+  /// its scrape-cached values rather than re-reading cgroups per query.
+  /// Pods with no samples in the window fall back to the instantaneous
+  /// cgroup read. `window_s` <= 0 or a null store restores the
+  /// byte-identical legacy path.
+  void set_window(const obs::tsdb::TimeSeriesStore* store, double window_s) {
+    store_ = window_s > 0 ? store : nullptr;
+    window_s_ = window_s;
+  }
+  [[nodiscard]] double window_s() const noexcept { return window_s_; }
+
   /// Per-pod metrics for every Running pod (kubectl top pods analogue).
   [[nodiscard]] std::vector<PodMetrics> top_pods() const;
 
@@ -30,6 +44,8 @@ class MetricsServer {
  private:
   ApiServer& api_;
   sim::Node& node_;
+  const obs::tsdb::TimeSeriesStore* store_ = nullptr;
+  double window_s_ = 0;
 };
 
 /// The `free(1)` methodology: snapshot used memory before deployment, read

@@ -4,9 +4,29 @@
 
 namespace wasmctr::mem {
 
+const char* mapping_kind_name(MappingKind k) {
+  switch (k) {
+    case MappingKind::kWasmCode: return "wasmcode";
+    case MappingKind::kWasmMeta: return "wasmmeta";
+    case MappingKind::kLib: return "lib";
+    case MappingKind::kImage: return "image";
+    case MappingKind::kOther: return "other";
+  }
+  return "other";
+}
+
 NodeMemory::NodeMemory(Bytes total_ram, Bytes base_used)
     : total_(total_ram), base_used_(base_used) {
   assert(base_used <= total_ram);
+}
+
+void NodeMemory::register_file_kind(FileId f, MappingKind kind) {
+  file_kinds_.emplace(f.value, kind);
+}
+
+MappingKind NodeMemory::file_kind(FileId f) const {
+  const auto it = file_kinds_.find(f.value);
+  return it == file_kinds_.end() ? MappingKind::kOther : it->second;
 }
 
 Status NodeMemory::check_physical(Bytes delta) const {
@@ -28,6 +48,7 @@ Status NodeMemory::map_shared(FileId f, Bytes size, Cgroup* charge_to) {
     WASMCTR_RETURN_IF_ERROR(charge_to->charge_file_active(size));
   }
   shared_ += size;
+  shared_by_kind_[static_cast<std::size_t>(file_kind(f))] += size;
   shared_maps_.emplace(f.value, SharedEntry{size, 1, charge_to});
   return Status::ok();
 }
@@ -41,6 +62,7 @@ void NodeMemory::unmap_shared(FileId f) {
   }
   assert(shared_ >= it->second.size);
   shared_ -= it->second.size;
+  shared_by_kind_[static_cast<std::size_t>(file_kind(f))] -= it->second.size;
   shared_maps_.erase(it);
 }
 
@@ -70,6 +92,7 @@ Status NodeMemory::cache_file(FileId f, Bytes size, Cgroup* charge_to) {
     WASMCTR_RETURN_IF_ERROR(charge_to->charge_file_inactive(size));
   }
   cache_ += size;
+  cache_by_kind_[static_cast<std::size_t>(file_kind(f))] += size;
   cache_entries_.emplace(f.value, SharedEntry{size, 1, charge_to});
   return Status::ok();
 }
@@ -83,6 +106,7 @@ void NodeMemory::uncache_file(FileId f) {
   }
   assert(cache_ >= it->second.size);
   cache_ -= it->second.size;
+  cache_by_kind_[static_cast<std::size_t>(file_kind(f))] -= it->second.size;
   cache_entries_.erase(it);
 }
 

@@ -13,6 +13,7 @@
 // FreeReport here reproduces the latter view.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 
@@ -28,6 +29,24 @@ struct FileId {
   uint64_t value = 0;
   friend auto operator<=>(FileId, FileId) = default;
 };
+
+/// What kind of mapping a shared file backs — the attribution axis the
+/// observability pipeline exports per node (DESIGN.md §14). Matches
+/// /proc/PID/maps pathname classes on a real node: compiled Wasm code
+/// pages, compiler metadata, engine/runtime .so text, image layers, and
+/// everything else.
+enum class MappingKind : uint8_t {
+  kWasmCode,  ///< "wasmcode:*" — compiled module code caches
+  kWasmMeta,  ///< "wasmmeta:*" — compiler metadata mapped shared
+  kLib,       ///< engine/shim .so text, pause binaries
+  kImage,     ///< "image:*" — container image layers
+  kOther,     ///< unclassified shared files
+};
+
+inline constexpr std::size_t kMappingKindCount = 5;
+
+/// Stable lowercase name for exposition labels ("wasmcode", ...).
+[[nodiscard]] const char* mapping_kind_name(MappingKind k);
 
 /// Output of the `free` model, in bytes (mirrors `free -b` columns).
 struct FreeReport {
@@ -49,6 +68,11 @@ class NodeMemory {
   NodeMemory& operator=(const NodeMemory&) = delete;
 
   [[nodiscard]] FileId new_file_id() noexcept { return FileId{next_file_++}; }
+
+  /// Classify file `f` for attribution; unregistered files count as
+  /// kOther. Idempotent; called by Node::file_id at FileId creation.
+  void register_file_kind(FileId f, MappingKind kind);
+  [[nodiscard]] MappingKind file_kind(FileId f) const;
 
   /// Map `size` bytes of file `f` shared. Physical residency is charged only
   /// on the first mapping; the cgroup of the first toucher is charged with
@@ -76,6 +100,17 @@ class NodeMemory {
   [[nodiscard]] Bytes page_cache() const noexcept { return cache_; }
   [[nodiscard]] uint64_t shared_mappers(FileId f) const;
 
+  /// Resident shared-mapping bytes attributed to one mapping kind; the
+  /// kinds partition shared_resident() exactly.
+  [[nodiscard]] Bytes shared_by_kind(MappingKind k) const noexcept {
+    return shared_by_kind_[static_cast<std::size_t>(k)];
+  }
+  /// Page-cache bytes attributed to one mapping kind (image layers in
+  /// practice); partitions page_cache() exactly.
+  [[nodiscard]] Bytes cache_by_kind(MappingKind k) const noexcept {
+    return cache_by_kind_[static_cast<std::size_t>(k)];
+  }
+
  private:
   struct SharedEntry {
     Bytes size;
@@ -90,9 +125,12 @@ class NodeMemory {
   Bytes anon_{0};
   Bytes shared_{0};
   Bytes cache_{0};
+  Bytes shared_by_kind_[kMappingKindCount] = {};
+  Bytes cache_by_kind_[kMappingKindCount] = {};
   uint64_t next_file_ = 1;
   std::map<uint64_t, SharedEntry> shared_maps_;
   std::map<uint64_t, SharedEntry> cache_entries_;
+  std::map<uint64_t, MappingKind> file_kinds_;
 };
 
 }  // namespace wasmctr::mem

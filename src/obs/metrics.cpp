@@ -14,6 +14,24 @@ double nearest_rank(const std::vector<double>& sorted, double q) {
   return sorted[idx];
 }
 
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string label(const std::string& key, const std::string& value) {
+  return key + "=\"" + escape_label_value(value) + "\"";
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   buckets_.assign(bounds_.size() + 1, 0);
 }
@@ -22,19 +40,47 @@ void Histogram::observe(double v) {
   std::size_t i = 0;
   while (i < bounds_.size() && v > bounds_[i]) ++i;
   ++buckets_[i];
-  samples_.push_back(v);
-  sorted_valid_ = false;
+  if (retain_) {
+    samples_.push_back(v);
+    sorted_valid_ = false;
+  }
+  ++count_;
   sum_ += v;
   if (v > max_) max_ = v;
 }
 
-double Histogram::quantile(double q) const {
-  if (!sorted_valid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
+void Histogram::set_sample_retention(bool retain) {
+  retain_ = retain;
+  if (!retain_) {
+    samples_.clear();
+    samples_.shrink_to_fit();
+    sorted_.clear();
+    sorted_.shrink_to_fit();
     sorted_valid_ = true;
   }
-  return nearest_rank(sorted_, q);
+}
+
+double Histogram::quantile(double q) const {
+  if (retain_) {
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    return nearest_rank(sorted_, q);
+  }
+  // Lean mode: nearest rank over the bucket counts, reported as the
+  // containing bucket's upper bound (max() for the +Inf bucket) — same
+  // one-bucket-width error bound as the TSDB's windowed quantiles.
+  if (count_ == 0) return 0.0;
+  const double total = static_cast<double>(count_);
+  const double rank = std::clamp(std::ceil(q * total), 1.0, total);
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= rank) return bounds_[i];
+  }
+  return max_;
 }
 
 const std::vector<double>& default_latency_buckets_ms() {
@@ -63,8 +109,34 @@ Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds,
                                const std::string& labels) {
   auto& slot = histograms_[{name, labels}];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+    slot->set_sample_retention(retain_);
+  }
   return *slot;
+}
+
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const std::string&,
+                             const Counter&)>& cb) const {
+  for (const auto& [key, c] : counters_) cb(key.first, key.second, c);
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const std::string&, const std::string&,
+                             const Gauge&)>& cb) const {
+  for (const auto& [key, g] : gauges_) cb(key.first, key.second, g);
+}
+
+void Registry::for_each_histogram(
+    const std::function<void(const std::string&, const std::string&,
+                             const Histogram&)>& cb) const {
+  for (const auto& [key, h] : histograms_) cb(key.first, key.second, *h);
+}
+
+void Registry::set_sample_retention(bool retain) {
+  retain_ = retain;
+  for (auto& [key, h] : histograms_) h->set_sample_retention(retain);
 }
 
 const Counter* Registry::find_counter(const std::string& name,
@@ -83,8 +155,24 @@ namespace {
 
 /// Fixed numeric formatting: integral values render without a decimal
 /// point, everything else with %.6g — stable across platforms for the
-/// magnitudes the simulation produces.
+/// magnitudes the simulation produces. Non-finite values use the
+/// canonical Prometheus spellings ("NaN", "+Inf", "-Inf") rather than
+/// whatever the libc prints, and -0 renders as 0 — the golden exposition
+/// test pins all of these. The guards also keep the long-long cast below
+/// away from values it cannot represent (UB on ±Inf/NaN).
 void append_value(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (v == 0.0) {  // covers -0.0: one canonical zero
+    out += '0';
+    return;
+  }
   char buf[64];
   if (v == static_cast<double>(static_cast<long long>(v)) &&
       std::abs(v) < 1e15) {

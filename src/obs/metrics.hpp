@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +23,16 @@ namespace wasmctr::obs {
 /// regression test in tests/obs/metrics_test.cpp pins it.)
 [[nodiscard]] double nearest_rank(const std::vector<double>& sorted,
                                   double q);
+
+/// Prometheus label-value escaping: `\` → `\\`, `"` → `\"`, newline →
+/// `\n`. Callers building rendered label lists from external strings
+/// (service names, tenant ids) must pass them through here or the
+/// exposition stops round-tripping.
+[[nodiscard]] std::string escape_label_value(const std::string& value);
+
+/// `key="escaped-value"` — one rendered label pair.
+[[nodiscard]] std::string label(const std::string& key,
+                                const std::string& value);
 
 class Counter {
  public:
@@ -44,7 +55,10 @@ class Gauge {
 
 /// Fixed-bucket histogram that also retains raw samples so quantiles are
 /// exact nearest-rank values, not bucket upper bounds. Simulation scale
-/// (thousands of samples) makes retention cheap.
+/// (thousands of samples) makes retention cheap; scale sweeps can turn it
+/// off (set_sample_retention) and keep buckets/sum/count/max only —
+/// quantiles then degrade to bucket upper bounds, the same resolution the
+/// TSDB's windowed quantiles have.
 class Histogram {
  public:
   /// `bounds` are ascending inclusive upper bounds; +Inf is implicit.
@@ -52,15 +66,22 @@ class Histogram {
 
   void observe(double v);
 
-  [[nodiscard]] uint64_t count() const noexcept { return samples_.size(); }
+  /// Lean mode: stop retaining raw samples and free the ones held (the
+  /// bucket counts, sum, count and max survive). Quantiles fall back to
+  /// the containing bucket's upper bound (max() for the +Inf bucket) —
+  /// at most one bucket width above the exact nearest-rank value.
+  void set_sample_retention(bool retain);
+  [[nodiscard]] bool sample_retention() const noexcept { return retain_; }
+
+  [[nodiscard]] uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double mean() const noexcept {
-    return samples_.empty() ? 0.0
-                            : sum_ / static_cast<double>(samples_.size());
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
   [[nodiscard]] double max() const noexcept { return max_; }
 
-  /// Nearest-rank quantile over the raw samples (q in [0, 1]).
+  /// Nearest-rank quantile over the raw samples (q in [0, 1]); bucket
+  /// upper bound when sample retention is off.
   [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
@@ -77,6 +98,8 @@ class Histogram {
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;  // lazily rebuilt for quantiles
   mutable bool sorted_valid_ = true;
+  bool retain_ = true;
+  uint64_t count_ = 0;
   double sum_ = 0;
   double max_ = 0;
 };
@@ -102,6 +125,26 @@ class Registry {
   [[nodiscard]] const Histogram* find_histogram(
       const std::string& name, const std::string& labels = "") const;
 
+  /// Deterministic iteration in (name, labels) order — the scraper's read
+  /// path into the TSDB.
+  void for_each_counter(
+      const std::function<void(const std::string& name,
+                               const std::string& labels, const Counter&)>&
+          cb) const;
+  void for_each_gauge(
+      const std::function<void(const std::string& name,
+                               const std::string& labels, const Gauge&)>& cb)
+      const;
+  void for_each_histogram(
+      const std::function<void(const std::string& name,
+                               const std::string& labels, const Histogram&)>&
+          cb) const;
+
+  /// Registry-wide lean mode: applies to every existing histogram and
+  /// every one created afterwards (see Histogram::set_sample_retention).
+  void set_sample_retention(bool retain);
+  [[nodiscard]] bool sample_retention() const noexcept { return retain_; }
+
   /// Prometheus text exposition, deterministically ordered by
   /// (name, labels). Byte-identical across same-seed runs.
   [[nodiscard]] std::string prometheus_text() const;
@@ -113,6 +156,7 @@ class Registry {
   std::map<Key, Counter> counters_;
   std::map<Key, Gauge> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  bool retain_ = true;
 };
 
 }  // namespace wasmctr::obs

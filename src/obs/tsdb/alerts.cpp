@@ -1,0 +1,118 @@
+#include "obs/tsdb/alerts.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wasmctr::obs::tsdb {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+void AlertEvaluator::add_rule(AlertRule rule) {
+  // Pre-register the counters/gauge at zero so the exposition shows the
+  // rule existing before it ever fires.
+  const std::string label = "alert=\"" + rule.name + "\"";
+  metrics_.counter("wasmctr_alerts_fired_total", label);
+  metrics_.counter("wasmctr_alerts_resolved_total", label);
+  metrics_.gauge("wasmctr_alert_active", label).set(0);
+  rules_.push_back(RuleState{std::move(rule), 0, false});
+}
+
+std::optional<double> AlertEvaluator::evaluate_rule(const AlertRule& rule,
+                                                    SimTime now) const {
+  switch (rule.kind) {
+    case AlertRule::Kind::kQuantileAbove:
+      return quantile_over_window(store_, rule.metric, rule.labels, rule.q,
+                                  now, rule.window);
+    case AlertRule::Kind::kRateAbove: {
+      const Series* s = store_.find(rule.metric, rule.labels);
+      if (s == nullptr) return std::nullopt;
+      return rate(*s, now, rule.window);
+    }
+    case AlertRule::Kind::kGaugeAbove: {
+      const Series* s = store_.find(rule.metric, rule.labels);
+      if (s == nullptr) return std::nullopt;
+      return max_over_window(*s, now, rule.window);
+    }
+    case AlertRule::Kind::kBurnRateAbove: {
+      const Series* total = store_.find(rule.metric, rule.labels);
+      const Series* failed = store_.find(rule.failed_metric, rule.labels);
+      if (total == nullptr || failed == nullptr) return std::nullopt;
+      return burn_rate(*total, *failed, rule.objective, now, rule.window);
+    }
+  }
+  return std::nullopt;
+}
+
+void AlertEvaluator::evaluate(SimTime now) {
+  for (RuleState& st : rules_) {
+    const std::optional<double> value = evaluate_rule(st.rule, now);
+    const bool breaching = value.has_value() && *value > st.rule.threshold;
+    if (breaching) {
+      ++st.breaches;
+      if (!st.firing && st.breaches >= st.rule.for_windows) {
+        transition(st, /*fire=*/true, *value, now);
+      }
+    } else {
+      st.breaches = 0;
+      if (st.firing) {
+        transition(st, /*fire=*/false, value.value_or(0), now);
+      }
+    }
+  }
+}
+
+void AlertEvaluator::transition(RuleState& st, bool fire, double value,
+                                SimTime now) {
+  st.firing = fire;
+  const std::string label = "alert=\"" + st.rule.name + "\"";
+  const char* verb = fire ? "fire" : "resolve";
+  if (fire) {
+    ++fired_;
+    metrics_.counter("wasmctr_alerts_fired_total", label).inc();
+  } else {
+    ++resolved_;
+    metrics_.counter("wasmctr_alerts_resolved_total", label).inc();
+  }
+  metrics_.gauge("wasmctr_alert_active", label).set(fire ? 1 : 0);
+  const SpanId span = tracer_.instant(std::string("alert.") + verb, "obs");
+  tracer_.set_attr(span, "alert", st.rule.name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  tracer_.set_attr(span, "value", buf);
+  std::snprintf(buf, sizeof(buf), "%.6g", st.rule.threshold);
+  tracer_.set_attr(span, "threshold", buf);
+
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "t=%.6f ", to_seconds(now));
+  trace_ += ts;
+  trace_ += verb;
+  trace_ += ' ';
+  trace_ += st.rule.name;
+  trace_ += " value=";
+  append_number(trace_, value);
+  trace_ += " threshold=";
+  append_number(trace_, st.rule.threshold);
+  trace_ += '\n';
+}
+
+bool AlertEvaluator::active(const std::string& rule_name) const {
+  for (const RuleState& st : rules_) {
+    if (st.rule.name == rule_name) return st.firing;
+  }
+  return false;
+}
+
+}  // namespace wasmctr::obs::tsdb

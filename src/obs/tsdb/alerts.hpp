@@ -1,0 +1,99 @@
+// Alert/SLO rules evaluated on every scrape (DESIGN.md §14).
+//
+// Rules are windowed predicates over the TimeSeriesStore. A rule *fires*
+// after `for_windows` consecutive breaching evaluations (Prometheus `for:`
+// semantics on the scrape cadence) and *resolves* on the first
+// non-breaching one. An evaluation whose window holds no data is
+// non-breaching — absence of signal never pages. Every transition emits a
+// zero-duration trace instant (`alert.fire` / `alert.resolve`, layer
+// "obs", attrs alert/value/threshold), bumps
+// wasmctr_alerts_{fired,resolved}_total{alert=...}, mirrors state into
+// the wasmctr_alert_active{alert=...} gauge (the condition surface the
+// HPA will consume), and appends one line to a deterministic text log —
+// same-seed runs produce byte-identical alert histories.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/tsdb/query.hpp"
+
+namespace wasmctr::obs::tsdb {
+
+struct AlertRule {
+  enum class Kind {
+    /// quantile_over_window(metric{labels}, q, window) > threshold.
+    kQuantileAbove,
+    /// rate(metric{labels}, window) > threshold (per second).
+    kRateAbove,
+    /// Latest gauge sample in the window > threshold.
+    kGaugeAbove,
+    /// burn_rate(metric, failed_metric, objective, window) > threshold.
+    kBurnRateAbove,
+  };
+
+  std::string name;  ///< unique rule id, rendered into labels/traces
+  Kind kind = Kind::kQuantileAbove;
+  std::string metric;  ///< histogram base / counter / gauge series name
+  std::string labels;  ///< rendered label list of the target series
+  double q = 0.99;     ///< kQuantileAbove only
+  /// kBurnRateAbove: the failure counter (same labels as `metric`).
+  std::string failed_metric;
+  double objective = 0.99;  ///< kBurnRateAbove only
+  SimDuration window = sim_s(15.0);
+  double threshold = 0;
+  /// Consecutive breaching evaluations before the alert fires.
+  uint32_t for_windows = 3;
+};
+
+class AlertEvaluator {
+ public:
+  AlertEvaluator(const TimeSeriesStore& store, Tracer& tracer,
+                 Registry& metrics)
+      : store_(store), tracer_(tracer), metrics_(metrics) {}
+
+  AlertEvaluator(const AlertEvaluator&) = delete;
+  AlertEvaluator& operator=(const AlertEvaluator&) = delete;
+
+  void add_rule(AlertRule rule);
+
+  /// Evaluate every rule against windows ending at `now`. Called by the
+  /// Scraper after each scrape; callable directly in tests.
+  void evaluate(SimTime now);
+
+  [[nodiscard]] bool active(const std::string& rule_name) const;
+  [[nodiscard]] uint64_t fired_total() const noexcept { return fired_; }
+  [[nodiscard]] uint64_t resolved_total() const noexcept {
+    return resolved_;
+  }
+
+  /// One line per transition ("t=12.000000 fire p99-high value=412.5
+  /// threshold=250"), byte-identical across same-seed runs.
+  [[nodiscard]] const std::string& trace_string() const noexcept {
+    return trace_;
+  }
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    uint32_t breaches = 0;  ///< consecutive breaching evaluations
+    bool firing = false;
+  };
+
+  [[nodiscard]] std::optional<double> evaluate_rule(const AlertRule& rule,
+                                                    SimTime now) const;
+  void transition(RuleState& st, bool fire, double value, SimTime now);
+
+  const TimeSeriesStore& store_;
+  Tracer& tracer_;
+  Registry& metrics_;
+  std::vector<RuleState> rules_;  // insertion order: evaluation order
+  uint64_t fired_ = 0;
+  uint64_t resolved_ = 0;
+  std::string trace_;
+};
+
+}  // namespace wasmctr::obs::tsdb

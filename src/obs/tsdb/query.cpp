@@ -1,0 +1,106 @@
+#include "obs/tsdb/query.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wasmctr::obs::tsdb {
+
+std::optional<double> increase(const Series& s, SimTime end,
+                               SimDuration window) {
+  const SimTime start = end - window;
+  // Baseline: the newest sample at or before the window start. When the
+  // series begins inside the window there is no baseline — the first
+  // in-window sample seeds it (its own value is unattributable: the
+  // counter may have been born long before the store saw it).
+  std::optional<SamplePoint> prev = s.latest_at_or_before(start);
+  bool any = false;
+  double total = 0;
+  s.visit(start, end, [&](SimTime, double v) {
+    if (prev.has_value()) {
+      // Reset-aware delta: a drop means the target restarted from zero.
+      total += v >= prev->value ? v - prev->value : v;
+    }
+    prev = SamplePoint{SimTime{0}, v};
+    any = true;
+  });
+  if (!any) return std::nullopt;
+  return total;
+}
+
+std::optional<double> rate(const Series& s, SimTime end, SimDuration window) {
+  const std::optional<double> inc = increase(s, end, window);
+  if (!inc.has_value()) return std::nullopt;
+  const double seconds = to_seconds(window);
+  if (seconds <= 0) return std::nullopt;
+  return *inc / seconds;
+}
+
+std::optional<double> max_over_window(const Series& s, SimTime end,
+                                      SimDuration window) {
+  std::optional<double> best;
+  s.visit(end - window, end, [&best](SimTime, double v) {
+    if (!best.has_value() || v > *best) best = v;
+  });
+  return best;
+}
+
+std::optional<double> avg_over_window(const Series& s, SimTime end,
+                                      SimDuration window) {
+  double sum = 0;
+  uint64_t n = 0;
+  s.visit(end - window, end, [&](SimTime, double v) {
+    sum += v;
+    ++n;
+  });
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+std::optional<double> quantile_over_window(const TimeSeriesStore& store,
+                                           const std::string& name,
+                                           const std::string& labels,
+                                           double q, SimTime end,
+                                           SimDuration window) {
+  const auto buckets = store.buckets_of(name, labels);
+  if (buckets.empty()) return std::nullopt;
+  // Bucket series are cumulative across bounds (Prometheus `le`
+  // semantics), so each increase is the window-local count of
+  // observations ≤ that bound and the +Inf increase is the window total.
+  std::vector<double> deltas;
+  deltas.reserve(buckets.size());
+  double total = 0;
+  for (const auto& b : buckets) {
+    const double inc = increase(*b.series, end, window).value_or(0);
+    deltas.push_back(inc);
+    total = inc;  // cumulative: the last (+Inf) bucket holds the total
+  }
+  if (total <= 0) return std::nullopt;
+  // Nearest-rank ordinal, exactly obs::nearest_rank's clamping: the
+  // smallest observation whose rank r satisfies r >= ceil(q * n).
+  const double rank = std::clamp(std::ceil(q * total), 1.0, total);
+  double highest_finite = 0;
+  bool have_finite = false;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (std::isinf(buckets[i].bound)) break;
+    highest_finite = buckets[i].bound;
+    have_finite = true;
+    if (deltas[i] >= rank) return buckets[i].bound;
+  }
+  // Rank lands in the +Inf bucket: report the highest finite bound
+  // (Prometheus convention) — or the rank bucket when no finite bounds
+  // exist at all.
+  return have_finite ? std::optional<double>(highest_finite) : std::nullopt;
+}
+
+std::optional<double> burn_rate(const Series& total, const Series& failed,
+                                double objective, SimTime end,
+                                SimDuration window) {
+  const std::optional<double> req = increase(total, end, window);
+  if (!req.has_value() || *req <= 0) return std::nullopt;
+  const double bad = increase(failed, end, window).value_or(0);
+  const double budget = 1.0 - objective;
+  if (budget <= 0) return std::nullopt;
+  return (bad / *req) / budget;
+}
+
+}  // namespace wasmctr::obs::tsdb

@@ -1,0 +1,66 @@
+// Windowed queries over the TimeSeriesStore (DESIGN.md §14).
+//
+// All windows are half-open lookbacks (end − window, end]: a sample
+// sitting exactly on the window start belongs to the previous window, the
+// Prometheus convention. Queries over a window containing no sample
+// return nullopt — the caller (alert rules, the MetricsServer) decides
+// whether "no data" means "not breaching" or "fall back to an
+// instantaneous read"; nothing here invents a zero.
+//
+// quantile_over_window computes quantiles from per-scrape *bucket deltas*
+// of a scraped histogram: the increase of each cumulative bucket counter
+// over the window is the count of window-local observations in that
+// bucket, and the reported quantile is the upper bound of the bucket
+// holding the nearest-rank observation. Error bound vs the registry's raw
+// nearest-rank quantile: the true sample lies in the same bucket, so the
+// reported value is the smallest bound ≥ the exact value — off by at most
+// one bucket width, never below. Observations beyond the highest finite
+// bound report that highest finite bound (the Prometheus convention for
+// the +Inf bucket); the regression suite pins both properties.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/tsdb/store.hpp"
+
+namespace wasmctr::obs::tsdb {
+
+/// Counter increase over (end − window, end], adjusted for resets: a
+/// sample below its predecessor restarts the counter from zero (target
+/// restart), so its full value counts as increase. The sample at or
+/// before the window start seeds the baseline; a window whose only
+/// history starts inside it counts from the first in-window sample.
+[[nodiscard]] std::optional<double> increase(const Series& s, SimTime end,
+                                             SimDuration window);
+
+/// increase / window seconds (per-second rate).
+[[nodiscard]] std::optional<double> rate(const Series& s, SimTime end,
+                                         SimDuration window);
+
+/// Max / mean of the samples in (end − window, end].
+[[nodiscard]] std::optional<double> max_over_window(const Series& s,
+                                                    SimTime end,
+                                                    SimDuration window);
+[[nodiscard]] std::optional<double> avg_over_window(const Series& s,
+                                                    SimTime end,
+                                                    SimDuration window);
+
+/// Nearest-rank quantile of a scraped histogram's window-local
+/// observations, via bucket deltas. Returns the containing bucket's upper
+/// bound (highest finite bound for +Inf-bucket ranks); nullopt when the
+/// histogram was never scraped or the window saw no observations.
+[[nodiscard]] std::optional<double> quantile_over_window(
+    const TimeSeriesStore& store, const std::string& name,
+    const std::string& labels, double q, SimTime end, SimDuration window);
+
+/// Error-budget burn rate of a served/failed counter pair over the
+/// window: (failed increase / total increase) / (1 − objective). 1.0
+/// burns the budget exactly at the objective's rate; >1 is over-budget.
+/// nullopt when the window saw no requests.
+[[nodiscard]] std::optional<double> burn_rate(const Series& total,
+                                              const Series& failed,
+                                              double objective, SimTime end,
+                                              SimDuration window);
+
+}  // namespace wasmctr::obs::tsdb

@@ -1,0 +1,75 @@
+#include "obs/tsdb/scraper.hpp"
+
+namespace wasmctr::obs::tsdb {
+
+Scraper::Scraper(sim::Kernel& kernel, Registry& registry,
+                 TimeSeriesStore& store, Options options)
+    : kernel_(kernel), registry_(registry), store_(store),
+      options_(options) {}
+
+void Scraper::start() {
+  if (running_) return;
+  running_ = true;
+  if (options_.scrape_on_start) {
+    // Scheduled (not inline) so the first sample lands in event order
+    // with everything else at now() — determinism over immediacy.
+    pending_ = kernel_.schedule_after(SimDuration{0}, [this] {
+      scrape(kernel_.now());
+      arm();
+    });
+  } else {
+    arm();
+  }
+}
+
+void Scraper::stop() {
+  if (!running_) return;
+  running_ = false;
+  kernel_.cancel(pending_);
+}
+
+void Scraper::arm() {
+  if (!running_) return;
+  pending_ = kernel_.schedule_after(options_.cadence, [this] {
+    scrape(kernel_.now());
+    arm();
+  });
+}
+
+void Scraper::scrape(SimTime now) {
+  for (const auto& collector : collectors_) collector(now);
+  registry_.for_each_counter(
+      [&](const std::string& name, const std::string& labels,
+          const Counter& c) {
+        store_.append(name, labels, SeriesKind::kCounter, now, c.value());
+      });
+  registry_.for_each_gauge([&](const std::string& name,
+                               const std::string& labels, const Gauge& g) {
+    store_.append(name, labels, SeriesKind::kGauge, now, g.value());
+  });
+  registry_.for_each_histogram([&](const std::string& name,
+                                   const std::string& labels,
+                                   const Histogram& h) {
+    // Cumulative per-bucket counts, Prometheus `le` semantics; the last
+    // entry (+Inf) equals count().
+    const auto& per_bucket = h.bucket_counts();
+    std::vector<uint64_t> cumulative(per_bucket.size());
+    uint64_t running = 0;
+    for (std::size_t i = 0; i < per_bucket.size(); ++i) {
+      running += per_bucket[i];
+      cumulative[i] = running;
+    }
+    store_.append_histogram(name, labels, now, h.bounds(), cumulative,
+                            h.sum(), h.count());
+  });
+  // The store's own cost, visible from the *next* scrape onward in the
+  // store itself but current in the registry immediately.
+  registry_.gauge("wasmctr_tsdb_store_bytes")
+      .set(static_cast<double>(store_.footprint().value));
+  store_.append("wasmctr_tsdb_store_bytes", "", SeriesKind::kGauge, now,
+                static_cast<double>(store_.footprint().value));
+  ++scrapes_;
+  if (evaluator_ != nullptr) evaluator_->evaluate(now);
+}
+
+}  // namespace wasmctr::obs::tsdb

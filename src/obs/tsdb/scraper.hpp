@@ -1,0 +1,92 @@
+// Virtual-time scraper: samples a Registry into the TimeSeriesStore on a
+// fixed cadence (DESIGN.md §14).
+//
+// Each scrape, in order: (1) registered collectors run — they refresh
+// gauges that have no push path, e.g. per-node memory attribution read
+// from mem::NodeMemory; (2) every counter, gauge and histogram in the
+// registry is appended to the store at the current virtual instant,
+// histograms decomposed into cumulative bucket counters; (3) the store's
+// own footprint is re-exported as wasmctr_tsdb_store_bytes (the observer
+// is part of its own next sample); (4) the alert evaluator, if attached,
+// evaluates every rule against windows ending now.
+//
+// The scraper is a self-rescheduling kernel event, so a started scraper
+// keeps the event queue non-empty forever: drivers must run the kernel
+// with run_until/run_for ticks and call stop() before a final
+// run-to-quiescence drain (the same contract as node lifecycle churn).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/tsdb/alerts.hpp"
+#include "obs/tsdb/store.hpp"
+#include "sim/kernel.hpp"
+
+namespace wasmctr::obs::tsdb {
+
+class Scraper {
+ public:
+  struct Options {
+    /// Virtual time between scrapes. 5 s mirrors a tight Prometheus
+    /// scrape_interval; DESIGN.md §14 derives the ring-capacity math
+    /// from it.
+    SimDuration cadence = sim_s(5.0);
+    /// Take the first sample at start() time rather than one cadence in.
+    bool scrape_on_start = true;
+  };
+
+  /// Run before every scrape, at the scrape instant.
+  using Collector = std::function<void(SimTime)>;
+
+  Scraper(sim::Kernel& kernel, Registry& registry, TimeSeriesStore& store)
+      : Scraper(kernel, registry, store, Options()) {}
+  Scraper(sim::Kernel& kernel, Registry& registry, TimeSeriesStore& store,
+          Options options);
+  ~Scraper() { stop(); }
+
+  Scraper(const Scraper&) = delete;
+  Scraper& operator=(const Scraper&) = delete;
+
+  void add_collector(Collector fn) {
+    collectors_.push_back(std::move(fn));
+  }
+
+  /// Attach an alert evaluator, run after every scrape. Not owned; must
+  /// outlive the scraper (or be detached with nullptr).
+  void set_alert_evaluator(AlertEvaluator* evaluator) {
+    evaluator_ = evaluator;
+  }
+
+  /// Begin the cadence. Idempotent.
+  void start();
+
+  /// Cancel the pending scrape event. Idempotent; safe mid-run — the
+  /// standard pre-drain step.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] uint64_t scrapes() const noexcept { return scrapes_; }
+
+  /// One immediate scrape at kernel.now(), independent of the cadence
+  /// (tests; final flush after stop()).
+  void scrape_now() { scrape(kernel_.now()); }
+
+ private:
+  void arm();
+  void scrape(SimTime now);
+
+  sim::Kernel& kernel_;
+  Registry& registry_;
+  TimeSeriesStore& store_;
+  Options options_;
+  std::vector<Collector> collectors_;
+  AlertEvaluator* evaluator_ = nullptr;
+  bool running_ = false;
+  sim::EventId pending_{};
+  uint64_t scrapes_ = 0;
+};
+
+}  // namespace wasmctr::obs::tsdb

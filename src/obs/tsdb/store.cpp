@@ -1,0 +1,191 @@
+#include "obs/tsdb/store.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace wasmctr::obs::tsdb {
+
+namespace {
+
+// A sample's value in 1e-6 units. Saturates at ±9.2e12 (int64 / 1e6) —
+// far above anything the simulation measures (node RSS tops out around
+// 2.7e11 bytes) — so encoding never silently wraps.
+int64_t encode_value(double v) {
+  constexpr double kMax = 9.2e18;
+  const double scaled = v * 1e6;
+  if (scaled >= kMax) return static_cast<int64_t>(kMax);
+  if (scaled <= -kMax) return -static_cast<int64_t>(kMax);
+  return std::llround(scaled);
+}
+
+}  // namespace
+
+Series::Series(SeriesKind kind, std::size_t capacity)
+    : kind_(kind), capacity_(capacity == 0 ? 1 : capacity) {
+  dt_us_.resize(capacity_);
+  dv_.resize(capacity_);
+}
+
+void Series::append(SimTime t, double v) {
+  const int64_t t_us = t.count() / 1000;  // µs resolution, like the traces
+  const int64_t v_enc = encode_value(v);
+  if (size_ > 0 && t_us == tail_t_us_) {
+    // Same-instant re-append: overwrite the tail in place (one scrape,
+    // one sample per series).
+    const std::size_t tail = (head_ + size_ - 1) % capacity_;
+    dv_[tail] += v_enc - tail_v_;
+    tail_v_ = v_enc;
+    return;
+  }
+  assert(size_ == 0 || t_us > tail_t_us_);
+  if (size_ == capacity_) {
+    // Evict the oldest sample: fold its deltas into the anchor.
+    anchor_t_us_ += dt_us_[head_];
+    anchor_v_ += dv_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    ++dropped_;
+  }
+  const int64_t prev_t = size_ == 0 ? anchor_t_us_ : tail_t_us_;
+  const int64_t prev_v = size_ == 0 ? anchor_v_ : tail_v_;
+  const int64_t dt = t_us - prev_t;
+  assert(dt >= 0 && dt <= std::numeric_limits<uint32_t>::max());
+  const std::size_t slot = (head_ + size_) % capacity_;
+  dt_us_[slot] = static_cast<uint32_t>(dt);
+  dv_[slot] = v_enc - prev_v;
+  tail_t_us_ = t_us;
+  tail_v_ = v_enc;
+  ++size_;
+  ++appended_;
+}
+
+void Series::visit(SimTime from, SimTime to,
+                   const std::function<void(SimTime, double)>& cb) const {
+  int64_t t_us = anchor_t_us_;
+  int64_t v = anchor_v_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t slot = (head_ + i) % capacity_;
+    t_us += dt_us_[slot];
+    v += dv_[slot];
+    const SimTime t{t_us * 1000};
+    if (t > to) break;
+    if (t > from) cb(t, static_cast<double>(v) / kValueScale);
+  }
+}
+
+std::vector<SamplePoint> Series::samples() const {
+  std::vector<SamplePoint> out;
+  out.reserve(size_);
+  visit(SimTime{std::numeric_limits<int64_t>::min()},
+        SimTime{std::numeric_limits<int64_t>::max()},
+        [&out](SimTime t, double v) { out.push_back({t, v}); });
+  return out;
+}
+
+std::optional<SamplePoint> Series::latest() const {
+  if (size_ == 0) return std::nullopt;
+  return SamplePoint{SimTime{tail_t_us_ * 1000},
+                     static_cast<double>(tail_v_) / kValueScale};
+}
+
+std::optional<SamplePoint> Series::latest_at_or_before(SimTime at) const {
+  std::optional<SamplePoint> found;
+  // Decode is oldest-first; keep the last sample not after `at`. Ring
+  // capacities are a few hundred entries, so the linear scan is cheap.
+  visit(SimTime{std::numeric_limits<int64_t>::min()}, at,
+        [&found](SimTime t, double v) { found = SamplePoint{t, v}; });
+  return found;
+}
+
+Series& TimeSeriesStore::ensure(const std::string& name,
+                                const std::string& labels, SeriesKind kind) {
+  const auto it = series_.find(std::pair(name, labels));
+  if (it != series_.end()) return *it->second;
+  auto series =
+      std::make_unique<Series>(kind, options_.capacity_per_series);
+  // Footprint: ring arrays + both key strings (stored once in the map
+  // key) + a fixed estimate of node/Series bookkeeping.
+  footprint_ += series->ring_bytes() + name.size() + labels.size() +
+                sizeof(Series) + 96;
+  Series& ref = *series;
+  series_.emplace(std::pair(name, labels), std::move(series));
+  return ref;
+}
+
+void TimeSeriesStore::append(const std::string& name,
+                             const std::string& labels, SeriesKind kind,
+                             SimTime t, double v) {
+  ensure(name, labels, kind).append(t, v);
+}
+
+void TimeSeriesStore::append_histogram(
+    const std::string& name, const std::string& labels, SimTime t,
+    const std::vector<double>& bounds,
+    const std::vector<uint64_t>& cumulative_counts, double sum,
+    uint64_t count) {
+  assert(cumulative_counts.size() == bounds.size() + 1);
+  const Key base{name, labels};
+  auto idx = histograms_.find(base);
+  if (idx == histograms_.end()) {
+    // First scrape: build the bucket key index in bound order (+Inf last),
+    // rendering `le` exactly like the Prometheus exposition does.
+    std::vector<std::pair<double, Key>> buckets;
+    buckets.reserve(bounds.size() + 1);
+    for (const double b : bounds) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", b);
+      std::string le = "le=\"" + std::string(buf) + "\"";
+      if (!labels.empty()) le = labels + "," + le;
+      buckets.emplace_back(b, Key{name + "_bucket", std::move(le)});
+    }
+    std::string inf = "le=\"+Inf\"";
+    if (!labels.empty()) inf = labels + "," + inf;
+    buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                         Key{name + "_bucket", std::move(inf)});
+    uint64_t index_bytes = 64;
+    for (const auto& [bound, key] : buckets) {
+      index_bytes += key.first.size() + key.second.size() + 32;
+    }
+    footprint_ += index_bytes;
+    idx = histograms_.emplace(base, std::move(buckets)).first;
+  }
+  for (std::size_t i = 0; i < idx->second.size(); ++i) {
+    const Key& key = idx->second[i].second;
+    ensure(key.first, key.second, SeriesKind::kCounter)
+        .append(t, static_cast<double>(cumulative_counts[i]));
+  }
+  ensure(name + "_sum", labels, SeriesKind::kCounter).append(t, sum);
+  ensure(name + "_count", labels, SeriesKind::kCounter)
+      .append(t, static_cast<double>(count));
+}
+
+const Series* TimeSeriesStore::find(const std::string& name,
+                                    const std::string& labels) const {
+  const auto it = series_.find(std::pair(name, labels));
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+std::vector<TimeSeriesStore::BucketSeries> TimeSeriesStore::buckets_of(
+    const std::string& name, const std::string& labels) const {
+  std::vector<BucketSeries> out;
+  const auto idx = histograms_.find(std::pair(name, labels));
+  if (idx == histograms_.end()) return out;
+  out.reserve(idx->second.size());
+  for (const auto& [bound, key] : idx->second) {
+    const auto it = series_.find(key);
+    if (it != series_.end()) out.push_back({bound, it->second.get()});
+  }
+  return out;
+}
+
+void TimeSeriesStore::for_each(
+    const std::function<void(const std::string&, const std::string&,
+                             const Series&)>& cb) const {
+  for (const auto& [key, series] : series_) {
+    cb(key.first, key.second, *series);
+  }
+}
+
+}  // namespace wasmctr::obs::tsdb

@@ -1,0 +1,167 @@
+// Fixed-capacity time-series store fed by the Scraper (DESIGN.md §14).
+//
+// Every series is a ring buffer of delta-encoded samples keyed by
+// (name, labels): timestamps are stored as µs deltas from the previous
+// sample (uint32) and values as 1e-6-unit deltas (int64), 12 bytes per
+// sample in two parallel arrays. The encoding is lossless for every value
+// the simulation produces — integral counters/gauges and `to_millis`
+// latencies (ns / 1e6, exactly recovered by the ×1e6 scaling) — and the
+// ring keeps memory O(capacity) per series however long a run gets: once
+// full, the oldest sample folds into the series anchor and is gone.
+//
+// Histograms are decomposed Prometheus-style into one counter series per
+// bucket (`name_bucket{...,le="b"}`, cumulative count) plus `name_sum` /
+// `name_count`, registered through append_histogram so the query layer
+// can find a histogram's buckets in bound order without parsing labels.
+//
+// The store accounts for itself: footprint() is the exact byte cost of
+// rings + keys + indexes, exported each scrape as a gauge — the observer
+// appears in its own data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace wasmctr::obs::tsdb {
+
+enum class SeriesKind : uint8_t {
+  kGauge,    ///< point-in-time value (RSS, queue depth)
+  kCounter,  ///< monotone within one target lifetime; resets allowed
+};
+
+struct SamplePoint {
+  SimTime t{0};
+  double value = 0;
+};
+
+/// One (name, labels) ring. Append-only, timestamps strictly increasing
+/// (same-timestamp re-appends overwrite the tail sample — one scrape, one
+/// sample).
+class Series {
+ public:
+  Series(SeriesKind kind, std::size_t capacity);
+
+  void append(SimTime t, double v);
+
+  [[nodiscard]] SeriesKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Samples ever appended / evicted by ring wraparound.
+  [[nodiscard]] uint64_t appended() const noexcept { return appended_; }
+  [[nodiscard]] uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Decode every live sample with t in (from, to], oldest first.
+  void visit(SimTime from, SimTime to,
+             const std::function<void(SimTime, double)>& cb) const;
+
+  /// All live samples (tests, exports), oldest first.
+  [[nodiscard]] std::vector<SamplePoint> samples() const;
+
+  /// Newest sample, if any.
+  [[nodiscard]] std::optional<SamplePoint> latest() const;
+
+  /// Newest sample with t <= at, if any (query lookback).
+  [[nodiscard]] std::optional<SamplePoint> latest_at_or_before(
+      SimTime at) const;
+
+  /// Ring storage bytes (the two parallel delta arrays).
+  [[nodiscard]] std::size_t ring_bytes() const noexcept {
+    return capacity_ * (sizeof(uint32_t) + sizeof(int64_t));
+  }
+
+ private:
+  // Encoding resolution: 1 µs for time, 1e-6 units for values. llround
+  // keeps integral values and ns-derived millisecond latencies exact.
+  static constexpr double kValueScale = 1e6;
+
+  SeriesKind kind_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of the oldest sample
+  std::size_t size_ = 0;
+  uint64_t appended_ = 0;
+  uint64_t dropped_ = 0;
+  // Anchor: absolute (t µs, value·1e6) of the sample *preceding* the ring
+  // head; each record stores deltas against its predecessor.
+  int64_t anchor_t_us_ = 0;
+  int64_t anchor_v_ = 0;
+  // Encoder state: absolutes of the newest sample.
+  int64_t tail_t_us_ = 0;
+  int64_t tail_v_ = 0;
+  std::vector<uint32_t> dt_us_;
+  std::vector<int64_t> dv_;
+};
+
+/// All series, deterministically ordered by (name, labels).
+class TimeSeriesStore {
+ public:
+  struct Options {
+    /// Ring capacity per series. 512 samples × 12 B ≈ 6 KiB per series;
+    /// at the default 5 s cadence that is ~42 min of virtual history.
+    std::size_t capacity_per_series = 512;
+  };
+
+  TimeSeriesStore() = default;
+  explicit TimeSeriesStore(Options options) : options_(options) {}
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Append one sample, creating the series on first use.
+  void append(const std::string& name, const std::string& labels,
+              SeriesKind kind, SimTime t, double v);
+
+  /// Append one histogram scrape: cumulative per-bucket counts (the +Inf
+  /// bucket is `count`), sum and count. `bounds` must be the histogram's
+  /// fixed bounds; bucket series are indexed for quantile_over_window.
+  void append_histogram(const std::string& name, const std::string& labels,
+                        SimTime t, const std::vector<double>& bounds,
+                        const std::vector<uint64_t>& cumulative_counts,
+                        double sum, uint64_t count);
+
+  [[nodiscard]] const Series* find(const std::string& name,
+                                   const std::string& labels = "") const;
+
+  /// Bucket series of a scraped histogram in ascending-bound order, +Inf
+  /// last. Empty when the histogram was never scraped.
+  struct BucketSeries {
+    double bound;  ///< inclusive upper bound; +Inf for the last
+    const Series* series;
+  };
+  [[nodiscard]] std::vector<BucketSeries> buckets_of(
+      const std::string& name, const std::string& labels = "") const;
+
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return series_.size();
+  }
+
+  /// Deterministic iteration over every series in (name, labels) order.
+  void for_each(const std::function<void(const std::string& name,
+                                         const std::string& labels,
+                                         const Series&)>& cb) const;
+
+  /// Exact own footprint: rings + key strings + per-series/index overhead.
+  /// The scraper exports this as wasmctr_tsdb_store_bytes — the store's
+  /// byte budget is part of the measurement, not outside it.
+  [[nodiscard]] Bytes footprint() const noexcept { return Bytes(footprint_); }
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  Series& ensure(const std::string& name, const std::string& labels,
+                 SeriesKind kind);
+
+  Options options_;
+  std::map<Key, std::unique_ptr<Series>> series_;
+  // Histogram index: (base name, labels) → bucket keys in bound order.
+  std::map<Key, std::vector<std::pair<double, Key>>> histograms_;
+  uint64_t footprint_ = 0;
+};
+
+}  // namespace wasmctr::obs::tsdb

@@ -153,7 +153,7 @@ void TrafficDriver::finish(uint32_t id) {
   if (!options_.tenant.empty()) {
     obs.metrics
         .counter("wasmctr_tenant_requests_total",
-                 "tenant=\"" + options_.tenant + "\"")
+                 obs::label("tenant", options_.tenant))
         .inc();
   }
   if (out.ok) {

@@ -17,6 +17,7 @@
 
 #include "containerd/containerd.hpp"
 #include "k8s/api_server.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/endpoints.hpp"
 #include "sim/kernel.hpp"
@@ -107,9 +108,10 @@ class TrafficDriver {
   }
 
  private:
-  /// Prometheus label set shared by every driver metric.
+  /// Prometheus label set shared by every driver metric. Escaped: a
+  /// service name containing `"` or `\` must not corrupt the exposition.
   [[nodiscard]] std::string service_label() const {
-    return "service=\"" + options_.service + "\"";
+    return obs::label("service", options_.service);
   }
 
   void attempt(uint32_t id);

@@ -111,6 +111,11 @@ void Kernel::run_until(SimTime deadline) {
     if (heap_.front().time > deadline) break;
     step();
   }
+  // Advance to the deadline even when no event sits on it, so repeated
+  // run_until(now() + tick) ticks accumulate real virtual time. Without
+  // this, a driver ticking in 1 s steps toward a 5 s periodic event
+  // (scraper, heartbeat) would stall at the last executed event forever.
+  if (deadline > now_) now_ = deadline;
 }
 
 }  // namespace wasmctr::sim

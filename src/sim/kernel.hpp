@@ -56,7 +56,8 @@ class Kernel {
   void run();
 
   /// Run events with time ≤ deadline; leaves later events queued. Virtual
-  /// time ends at min(deadline, last event time ≤ deadline).
+  /// time ends at the deadline (even when no event sits on it), so
+  /// repeated run_until(now() + tick) calls accumulate wall-tick time.
   void run_until(SimTime deadline);
 
   /// Number of pending (non-cancelled) events.

@@ -75,13 +75,27 @@ class Node {
   [[nodiscard]] obs::Observability& obs() noexcept { return obs_; }
 
   /// Stable FileId per named file (shared libraries, images): every mapper
-  /// of "libwamr.so" shares one set of physical pages.
+  /// of "libwamr.so" shares one set of physical pages. The name prefix
+  /// classifies the file for per-kind memory attribution (DESIGN.md §14) —
+  /// the same role the pathname plays in /proc/PID/maps.
   mem::FileId file_id(const std::string& name) {
     auto it = files_.find(name);
     if (it != files_.end()) return it->second;
     const mem::FileId id = memory_.new_file_id();
+    memory_.register_file_kind(id, classify_file(name));
     files_.emplace(name, id);
     return id;
+  }
+
+  static mem::MappingKind classify_file(const std::string& name) {
+    if (name.rfind("wasmcode:", 0) == 0) return mem::MappingKind::kWasmCode;
+    if (name.rfind("wasmmeta:", 0) == 0) return mem::MappingKind::kWasmMeta;
+    if (name.rfind("image:", 0) == 0) return mem::MappingKind::kImage;
+    if (name.find(".so") != std::string::npos || name == "pause" ||
+        name == "shim-runc-v2") {
+      return mem::MappingKind::kLib;
+    }
+    return mem::MappingKind::kOther;
   }
 
   /// Submit a CPU burst in seconds; convenience over cpu().submit.

@@ -101,6 +101,41 @@ TEST(NodeMemoryTest, PhysicalExhaustionRejected) {
             ErrorCode::kResourceExhausted);
 }
 
+TEST(NodeMemoryTest, MappingKindsPartitionSharedAndCacheResidency) {
+  NodeMemory node(kRam, kBase);
+  const FileId code = node.new_file_id();
+  const FileId lib = node.new_file_id();
+  const FileId img = node.new_file_id();
+  node.register_file_kind(code, MappingKind::kWasmCode);
+  node.register_file_kind(lib, MappingKind::kLib);
+  node.register_file_kind(img, MappingKind::kImage);
+  ASSERT_TRUE(node.map_shared(code, Bytes(2_MiB), nullptr).is_ok());
+  ASSERT_TRUE(node.map_shared(lib, Bytes(8_MiB), nullptr).is_ok());
+  ASSERT_TRUE(node.map_shared(lib, Bytes(8_MiB), nullptr).is_ok());  // ref 2
+  ASSERT_TRUE(node.cache_file(img, Bytes(4_MiB), nullptr).is_ok());
+
+  EXPECT_EQ(node.shared_by_kind(MappingKind::kWasmCode).value, 2_MiB);
+  EXPECT_EQ(node.shared_by_kind(MappingKind::kLib).value, 8_MiB)
+      << "second mapper shares the same pages";
+  EXPECT_EQ(node.cache_by_kind(MappingKind::kImage).value, 4_MiB);
+  // Unregistered files attribute to kOther.
+  const FileId anon_file = node.new_file_id();
+  ASSERT_TRUE(node.map_shared(anon_file, Bytes(1_MiB), nullptr).is_ok());
+  EXPECT_EQ(node.file_kind(anon_file), MappingKind::kOther);
+  EXPECT_EQ(node.shared_by_kind(MappingKind::kOther).value, 1_MiB);
+
+  // The kinds partition shared_resident() exactly.
+  Bytes sum{0};
+  for (std::size_t k = 0; k < kMappingKindCount; ++k) {
+    sum += node.shared_by_kind(static_cast<MappingKind>(k));
+  }
+  EXPECT_EQ(sum.value, node.shared_resident().value);
+
+  node.unmap_shared(lib);
+  node.unmap_shared(lib);  // last ref releases the kind total too
+  EXPECT_EQ(node.shared_by_kind(MappingKind::kLib).value, 0u);
+}
+
 TEST(NodeMemoryTest, CgroupLimitBlocksNodeCharge) {
   NodeMemory node(kRam, kBase);
   CgroupTree tree;

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace wasmctr::obs {
 namespace {
 
@@ -129,6 +132,61 @@ TEST(RegistryTest, PrometheusTextIsDeterministicAndWellFormed) {
             std::string::npos);
   EXPECT_NE(text.find("wasmctr_request_latency_ms_count{service=\"svc\"} 3\n"),
             std::string::npos);
+}
+
+TEST(ExpositionTest, LabelValuesAreEscaped) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(label("service", "svc\"x\\y"), "service=\"svc\\\"x\\\\y\"");
+}
+
+TEST(ExpositionTest, GoldenOutputWithEdgeCaseValues) {
+  Registry reg;
+  reg.gauge("g_negzero").set(-0.0);
+  reg.gauge("g_nan").set(std::nan(""));
+  reg.gauge("g_posinf").set(std::numeric_limits<double>::infinity());
+  reg.gauge("g_neginf").set(-std::numeric_limits<double>::infinity());
+  reg.gauge("g_frac").set(1.5);
+  reg.counter("c_escaped", label("service", "a\"b\\c")).inc(2);
+  // Golden: fixed ordering, canonical NaN/Inf spellings, -0 normalised,
+  // escaped label values.
+  EXPECT_EQ(reg.prometheus_text(),
+            "c_escaped{service=\"a\\\"b\\\\c\"} 2\n"
+            "g_frac 1.5\n"
+            "g_nan NaN\n"
+            "g_neginf -Inf\n"
+            "g_negzero 0\n"
+            "g_posinf +Inf\n");
+}
+
+TEST(HistogramTest, SampleRetentionOffKeepsAggregatesAndBuckets) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat_ms", {1.0, 5.0, 10.0});
+  for (const double v : {0.5, 2.0, 7.0, 20.0}) h.observe(v);
+  const std::string before = reg.prometheus_text();
+
+  reg.set_sample_retention(false);
+  // Aggregates and buckets survive the sample drop; the exposition is
+  // unchanged (it never depended on raw samples).
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 29.5);
+  EXPECT_DOUBLE_EQ(h.max(), 20.0);
+  EXPECT_EQ(reg.prometheus_text(), before);
+
+  // Quantiles degrade to bucket upper bounds: p50 of {0.5,2,7,20} is 2
+  // exactly, bucket bound 5 in lean mode; the +Inf bucket reports max().
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.00), 20.0);
+
+  // New observations keep counting without retaining samples.
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+
+  // Histograms created after the registry-wide switch inherit it.
+  EXPECT_FALSE(reg.histogram("other", {1.0}).sample_retention());
 }
 
 TEST(RegistryTest, ClearEmptiesTheRegistry) {

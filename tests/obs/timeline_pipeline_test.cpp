@@ -1,0 +1,140 @@
+// End-to-end pipeline: Cluster::enable_timeseries drives the scraper +
+// memory-attribution collector against real pods, and the MetricsServer's
+// windowed mode answers from the store.
+#include <gtest/gtest.h>
+
+#include "engines/engine.hpp"
+#include "k8s/cluster.hpp"
+#include "obs/tsdb/query.hpp"
+
+namespace wasmctr::k8s {
+namespace {
+
+void drive(Cluster& cluster, double seconds) {
+  // The scraper self-reschedules: tick the kernel rather than run().
+  const int ticks = static_cast<int>(seconds);
+  for (int i = 0; i < ticks; ++i) cluster.run_for(sim_s(1.0));
+}
+
+TEST(TimelinePipelineTest, AttributesNodeMemoryByMappingKind) {
+  engines::ScopedTierOverride tier(engines::Tier::kBaseline);
+  Cluster cluster;
+  TimeSeriesOptions ts;
+  ts.scrape.cadence = sim_s(5.0);
+  cluster.enable_timeseries(ts);
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 4).is_ok());
+  drive(cluster, 30.0);
+  cluster.stop_timeseries();
+  cluster.run();
+
+  const auto& store = cluster.timeseries();
+  const auto latest = [&](const char* kind) {
+    const obs::tsdb::Series* s = store.find(
+        "wasmctr_node_mem_bytes",
+        obs::label("node", "node-0") + "," + obs::label("kind", kind));
+    if (s == nullptr || !s->latest().has_value()) return -1.0;
+    return s->latest()->value;
+  };
+  // Baseline tier maps compiled code + metadata as shared pages; running
+  // pods hold anon memory; image layers sit in the page cache.
+  EXPECT_GT(latest("wasmcode"), 0.0);
+  EXPECT_GT(latest("wasmmeta"), 0.0);
+  EXPECT_GT(latest("lib"), 0.0);
+  EXPECT_GT(latest("anon"), 0.0);
+  EXPECT_GT(latest("cache"), 0.0);
+
+  // The exported kinds partition the node's non-base residency exactly:
+  // anon + shared kinds + cache == free-used-over-base + buffcache.
+  double sum = 0;
+  for (const char* kind :
+       {"anon", "wasmcode", "wasmmeta", "lib", "image", "other", "cache"}) {
+    const double v = latest(kind);
+    ASSERT_GE(v, 0.0) << kind;
+    sum += v;
+  }
+  const mem::FreeReport report = cluster.node().memory().free_report();
+  const double expected =
+      static_cast<double>((report.used + report.buffcache).value) -
+      static_cast<double>(cluster.node().config().base_used.value);
+  EXPECT_DOUBLE_EQ(sum, expected);
+}
+
+TEST(TimelinePipelineTest, InterpreterTierHasNoWasmCodePages) {
+  engines::ScopedTierOverride tier(engines::Tier::kInterpreter);
+  Cluster cluster;
+  cluster.enable_timeseries();
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 2).is_ok());
+  drive(cluster, 20.0);
+  cluster.stop_timeseries();
+  cluster.run();
+  const obs::tsdb::Series* s = cluster.timeseries().find(
+      "wasmctr_node_mem_bytes",
+      obs::label("node", "node-0") + "," + obs::label("kind", "wasmcode"));
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->latest()->value, 0.0);
+}
+
+TEST(TimelinePipelineTest, TenantRssGaugeTracksTenantedPods) {
+  Cluster cluster;
+  cluster.enable_timeseries();
+  PodSpec spec;
+  spec.name = "tenant-pod";
+  spec.image = "microservice:wasm";
+  spec.runtime_class = "crun-wamr";
+  spec.tenant = "acme";
+  ASSERT_TRUE(cluster.deploy_pod(std::move(spec)).is_ok());
+  drive(cluster, 20.0);
+  cluster.stop_timeseries();
+  cluster.run();
+  const obs::tsdb::Series* s = cluster.timeseries().find(
+      "wasmctr_tenant_rss_bytes", obs::label("tenant", "acme"));
+  ASSERT_NE(s, nullptr);
+  EXPECT_GT(s->latest()->value, 0.0);
+}
+
+TEST(TimelinePipelineTest, MetricsServerWindowedModeReadsTheStore) {
+  Cluster cluster;
+  TimeSeriesOptions ts;
+  ts.metrics_window_s = 30.0;
+  cluster.enable_timeseries(ts);
+  ASSERT_TRUE(cluster.deploy(DeployConfig::kCrunWamr, 2).is_ok());
+  drive(cluster, 30.0);
+
+  EXPECT_DOUBLE_EQ(cluster.metrics().window_s(), 30.0);
+  const auto pods = cluster.metrics().top_pods();
+  ASSERT_EQ(pods.size(), 2u);
+  for (const PodMetrics& m : pods) {
+    EXPECT_GT(m.working_set.value, 0u);
+    // The windowed answer is the max of the pod's scraped series.
+    const obs::tsdb::Series* s = cluster.timeseries().find(
+        "wasmctr_pod_working_set_bytes", obs::label("pod", m.pod_name));
+    ASSERT_NE(s, nullptr) << m.pod_name;
+    const auto expected = obs::tsdb::max_over_window(
+        *s, cluster.kernel().now(), sim_s(30.0));
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_DOUBLE_EQ(static_cast<double>(m.working_set.value), *expected);
+  }
+  cluster.stop_timeseries();
+  cluster.run();
+}
+
+TEST(TimelinePipelineTest, WindowZeroPreservesInstantaneousReads) {
+  // Two identical clusters, one with the pipeline on (window 0): the
+  // MetricsServer must answer byte-identically from live cgroups.
+  Cluster plain;
+  ASSERT_TRUE(plain.deploy(DeployConfig::kCrunWamr, 2).is_ok());
+  plain.run();
+
+  Cluster piped;
+  piped.enable_timeseries();
+  ASSERT_TRUE(piped.deploy(DeployConfig::kCrunWamr, 2).is_ok());
+  drive(piped, 30.0);
+  piped.stop_timeseries();
+  piped.run();
+
+  EXPECT_EQ(plain.metrics_avg_per_container().value,
+            piped.metrics_avg_per_container().value);
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

@@ -1,0 +1,200 @@
+// Alert/SLO evaluator suite: `for`-window semantics, fire/resolve trace
+// instants, counters, burn rate, and no-data behaviour.
+#include "obs/tsdb/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/observability.hpp"
+#include "obs/tsdb/scraper.hpp"
+#include "sim/kernel.hpp"
+
+namespace wasmctr::obs::tsdb {
+namespace {
+
+struct Pipeline {
+  sim::Kernel kernel;
+  Observability obs{kernel};
+  TimeSeriesStore store;
+  AlertEvaluator alerts{store, obs.tracer, obs.metrics};
+  Scraper scraper{kernel, obs.metrics, store,
+                  Scraper::Options{sim_s(5.0), true}};
+
+  Pipeline() { scraper.set_alert_evaluator(&alerts); }
+
+  void run_windows(int n) {
+    const SimTime until = kernel.now() + sim_s(5.0) * n;
+    kernel.run_until(until);
+  }
+
+  std::size_t instants(const std::string& name) const {
+    std::size_t n = 0;
+    for (const Span& s : obs.tracer.spans()) {
+      if (s.instant && s.name == name) ++n;
+    }
+    return n;
+  }
+};
+
+AlertRule gauge_rule() {
+  AlertRule rule;
+  rule.name = "queue-deep";
+  rule.kind = AlertRule::Kind::kGaugeAbove;
+  rule.metric = "queue_depth";
+  rule.window = sim_s(5.0);
+  rule.threshold = 10;
+  rule.for_windows = 3;
+  return rule;
+}
+
+TEST(AlertEvaluatorTest, FiresAfterForWindowsConsecutiveBreaches) {
+  Pipeline p;
+  p.alerts.add_rule(gauge_rule());
+  p.obs.metrics.gauge("queue_depth").set(50);
+  p.scraper.start();
+
+  // Scrapes at t=0 and t=5: two breaches — not firing yet.
+  p.run_windows(1);
+  EXPECT_FALSE(p.alerts.active("queue-deep"));
+  EXPECT_EQ(p.alerts.fired_total(), 0u);
+
+  // Third consecutive breach at t=10 fires.
+  p.run_windows(1);
+  EXPECT_TRUE(p.alerts.active("queue-deep"));
+  EXPECT_EQ(p.alerts.fired_total(), 1u);
+  EXPECT_EQ(p.instants("alert.fire"), 1u);
+  EXPECT_DOUBLE_EQ(p.obs.metrics.gauge("wasmctr_alert_active",
+                                       "alert=\"queue-deep\"")
+                       .value(),
+                   1.0);
+
+  // Staying breached does not re-fire.
+  p.run_windows(3);
+  EXPECT_EQ(p.alerts.fired_total(), 1u);
+
+  // First clear window resolves.
+  p.obs.metrics.gauge("queue_depth").set(0);
+  p.run_windows(1);
+  EXPECT_FALSE(p.alerts.active("queue-deep"));
+  EXPECT_EQ(p.alerts.resolved_total(), 1u);
+  EXPECT_EQ(p.instants("alert.resolve"), 1u);
+  EXPECT_DOUBLE_EQ(p.obs.metrics.gauge("wasmctr_alert_active",
+                                       "alert=\"queue-deep\"")
+                       .value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(p.obs.metrics.counter("wasmctr_alerts_fired_total",
+                                         "alert=\"queue-deep\"")
+                       .value(),
+                   1.0);
+  p.scraper.stop();
+}
+
+TEST(AlertEvaluatorTest, BreachStreakResetsOnClearWindow) {
+  Pipeline p;
+  p.alerts.add_rule(gauge_rule());
+  Gauge& g = p.obs.metrics.gauge("queue_depth");
+  g.set(50);
+  p.scraper.start();
+  p.run_windows(1);  // two breaches (t=0, t=5)
+  g.set(0);
+  p.run_windows(1);  // clear at t=10: streak resets
+  g.set(50);
+  p.run_windows(1);  // breach #1 again at t=15: streak restarted
+  EXPECT_FALSE(p.alerts.active("queue-deep"));
+  p.run_windows(2);  // t=20 and t=25 complete three consecutive
+  EXPECT_TRUE(p.alerts.active("queue-deep"));
+  p.scraper.stop();
+}
+
+TEST(AlertEvaluatorTest, QuantileRuleFiresOnLatencyRegression) {
+  Pipeline p;
+  AlertRule rule;
+  rule.name = "p99-high";
+  rule.kind = AlertRule::Kind::kQuantileAbove;
+  rule.metric = "lat_ms";
+  rule.q = 0.99;
+  rule.window = sim_s(10.0);
+  rule.threshold = 250;
+  rule.for_windows = 1;
+  p.alerts.add_rule(rule);
+  Histogram& h =
+      p.obs.metrics.histogram("lat_ms", default_latency_buckets_ms());
+  p.scraper.start();
+  p.run_windows(1);  // baseline scrapes at t=0 and t=5
+  // Observations landing *between* scrapes become window increases; the
+  // pre-first-scrape history is unattributable baseline by design.
+  for (int i = 0; i < 100; ++i) h.observe(400.0);
+  p.run_windows(1);  // t=10 scrape: 100 window-local obs at 400 ms → p99 500
+  EXPECT_TRUE(p.alerts.active("p99-high"));
+  // Fast traffic clears the window once the slow burst ages out.
+  for (int i = 0; i < 1000; ++i) h.observe(1.0);
+  p.run_windows(3);
+  EXPECT_FALSE(p.alerts.active("p99-high"));
+  EXPECT_EQ(p.alerts.resolved_total(), 1u);
+  p.scraper.stop();
+}
+
+TEST(AlertEvaluatorTest, BurnRateRule) {
+  Pipeline p;
+  AlertRule rule;
+  rule.name = "slo-burn";
+  rule.kind = AlertRule::Kind::kBurnRateAbove;
+  rule.metric = "served_total";
+  rule.failed_metric = "failed_total";
+  rule.objective = 0.99;
+  rule.window = sim_s(10.0);
+  rule.threshold = 1.0;  // burning faster than the error budget
+  rule.for_windows = 1;
+  p.alerts.add_rule(rule);
+  Counter& served = p.obs.metrics.counter("served_total");
+  Counter& failed = p.obs.metrics.counter("failed_total");
+  p.scraper.start();
+  p.run_windows(1);
+  EXPECT_FALSE(p.alerts.active("slo-burn"));
+  served.inc(1000);
+  failed.inc(50);  // 5% failures vs a 1% budget → burn rate 5
+  p.run_windows(1);
+  EXPECT_TRUE(p.alerts.active("slo-burn"));
+  served.inc(1000);  // clean window → resolves
+  p.run_windows(2);
+  EXPECT_FALSE(p.alerts.active("slo-burn"));
+  p.scraper.stop();
+}
+
+TEST(AlertEvaluatorTest, MissingDataNeverBreaches) {
+  Pipeline p;
+  AlertRule rule = gauge_rule();
+  rule.metric = "does_not_exist";
+  rule.for_windows = 1;
+  p.alerts.add_rule(rule);
+  p.scraper.start();
+  p.run_windows(4);
+  EXPECT_FALSE(p.alerts.active(rule.name));
+  EXPECT_EQ(p.alerts.fired_total(), 0u);
+  p.scraper.stop();
+}
+
+TEST(AlertEvaluatorTest, TraceStringIsDeterministic) {
+  const auto run = [] {
+    Pipeline p;
+    AlertRule rule = gauge_rule();
+    rule.for_windows = 2;
+    p.alerts.add_rule(rule);
+    Gauge& g = p.obs.metrics.gauge("queue_depth");
+    g.set(42);
+    p.scraper.start();
+    p.run_windows(2);
+    g.set(1);
+    p.run_windows(1);
+    p.scraper.stop();
+    return std::string(p.alerts.trace_string());
+  };
+  const std::string a = run();
+  EXPECT_EQ(a, run());
+  EXPECT_NE(a.find("fire queue-deep value=42 threshold=10"),
+            std::string::npos)
+      << a;
+  EXPECT_NE(a.find("resolve queue-deep"), std::string::npos) << a;
+}
+
+}  // namespace
+}  // namespace wasmctr::obs::tsdb

@@ -1,0 +1,153 @@
+// Windowed-query regression suite: counter resets, empty windows, the
+// bucket-bound quantile error contract, and scraper cadence.
+#include "obs/tsdb/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/tsdb/scraper.hpp"
+#include "sim/kernel.hpp"
+#include "support/rng.hpp"
+
+namespace wasmctr::obs::tsdb {
+namespace {
+
+Series make_counter(const std::vector<std::pair<double, double>>& points) {
+  Series s(SeriesKind::kCounter, 64);
+  for (const auto& [t_s, v] : points) s.append(sim_s(t_s), v);
+  return s;
+}
+
+TEST(IncreaseTest, SimpleMonotoneIncrease) {
+  const Series s = make_counter({{5, 10}, {10, 30}, {15, 45}});
+  // Baseline is the sample at the window start (excluded from the window,
+  // used as the reference): increase over (5, 15] = 45 − 10.
+  EXPECT_DOUBLE_EQ(increase(s, sim_s(15.0), sim_s(10.0)).value_or(-1), 35.0);
+  EXPECT_DOUBLE_EQ(rate(s, sim_s(15.0), sim_s(10.0)).value_or(-1), 3.5);
+}
+
+TEST(IncreaseTest, CounterResetCountsPostResetValueAsIncrease) {
+  // Counter climbs to 100, target restarts (drops to 5), climbs to 20:
+  // true increase across the window is (100−80) + 5 + (20−5) = 40.
+  const Series s = make_counter({{5, 80}, {10, 100}, {15, 5}, {20, 20}});
+  EXPECT_DOUBLE_EQ(increase(s, sim_s(20.0), sim_s(15.0)).value_or(-1), 40.0);
+}
+
+TEST(IncreaseTest, WindowStartingBeforeSeriesSeedsFromFirstSample) {
+  // No baseline before the window: the first in-window sample seeds the
+  // reference (its own value is unattributable).
+  const Series s = make_counter({{10, 50}, {15, 70}});
+  EXPECT_DOUBLE_EQ(increase(s, sim_s(20.0), sim_s(20.0)).value_or(-1), 20.0);
+}
+
+TEST(IncreaseTest, EmptyWindowIsNullopt) {
+  const Series s = make_counter({{5, 10}});
+  EXPECT_FALSE(increase(s, sim_s(100.0), sim_s(10.0)).has_value());
+  EXPECT_FALSE(rate(s, sim_s(100.0), sim_s(10.0)).has_value());
+  const Series empty(SeriesKind::kCounter, 8);
+  EXPECT_FALSE(increase(empty, sim_s(10.0), sim_s(10.0)).has_value());
+}
+
+TEST(WindowAggregateTest, MaxAndAvg) {
+  Series s(SeriesKind::kGauge, 16);
+  s.append(sim_s(5.0), 10);
+  s.append(sim_s(10.0), 40);
+  s.append(sim_s(15.0), 20);
+  EXPECT_DOUBLE_EQ(max_over_window(s, sim_s(15.0), sim_s(10.0)).value_or(-1),
+                   40.0);
+  EXPECT_DOUBLE_EQ(avg_over_window(s, sim_s(15.0), sim_s(10.0)).value_or(-1),
+                   30.0);
+  EXPECT_FALSE(max_over_window(s, sim_s(4.0), sim_s(2.0)).has_value());
+}
+
+TEST(BurnRateTest, RatioOverErrorBudget) {
+  const Series total = make_counter({{5, 0}, {10, 1000}});
+  const Series failed = make_counter({{5, 0}, {10, 30}});
+  // 3% failures against a 99% objective burns 3× the 1% budget.
+  EXPECT_NEAR(
+      burn_rate(total, failed, 0.99, sim_s(10.0), sim_s(10.0)).value_or(-1),
+      3.0, 1e-9);
+  // No requests in the window → no signal.
+  EXPECT_FALSE(
+      burn_rate(total, failed, 0.99, sim_s(100.0), sim_s(5.0)).has_value());
+}
+
+// Scrape a registry histogram via the real Scraper and compare the
+// windowed quantile (bucket-bound resolution) against the registry's raw
+// nearest-rank quantile: the windowed value must be the upper bound of
+// the bucket containing the exact value — never below it, at most one
+// bucket width above.
+TEST(QuantileOverWindowTest, MatchesNearestRankWithinOneBucketBound) {
+  sim::Kernel kernel;
+  Registry registry;
+  TimeSeriesStore store;
+  Scraper scraper(kernel, registry, store,
+                  Scraper::Options{sim_s(5.0), true});
+  Histogram& h = registry.histogram("lat_ms", default_latency_buckets_ms());
+  Rng rng(7);
+  scraper.start();
+  for (int tick = 0; tick < 20; ++tick) {
+    for (int i = 0; i < 50; ++i) h.observe(rng.uniform(0.5, 900.0));
+    kernel.run_until(sim_s(5.0 * (tick + 1)));
+  }
+  scraper.stop();
+  kernel.run();
+
+  const auto& bounds = h.bounds();
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = h.quantile(q);
+    const auto windowed =
+        quantile_over_window(store, "lat_ms", "", q, kernel.now(),
+                             kernel.now() + sim_s(1.0));
+    ASSERT_TRUE(windowed.has_value()) << "q=" << q;
+    EXPECT_GE(*windowed, exact) << "bucket bound reports never below";
+    // The reported bound is the first bound >= the exact sample: the
+    // previous bound must lie strictly below it.
+    double prev = 0;
+    for (const double b : bounds) {
+      if (b == *windowed) break;
+      prev = b;
+    }
+    EXPECT_LT(prev, exact) << "q=" << q << " reported=" << *windowed;
+  }
+}
+
+TEST(QuantileOverWindowTest, UnscrapedHistogramAndEmptyWindowAreNullopt) {
+  TimeSeriesStore store;
+  EXPECT_FALSE(quantile_over_window(store, "nope", "", 0.99, sim_s(10.0),
+                                    sim_s(10.0))
+                   .has_value());
+  store.append_histogram("lat_ms", "", sim_s(5.0), {1.0, 5.0}, {1, 2, 3},
+                         10.0, 3);
+  // Window after the only scrape: no increase anywhere → nullopt.
+  EXPECT_FALSE(quantile_over_window(store, "lat_ms", "", 0.99, sim_s(50.0),
+                                    sim_s(10.0))
+                   .has_value());
+}
+
+TEST(ScraperTest, CadenceAndStopContract) {
+  sim::Kernel kernel;
+  Registry registry;
+  TimeSeriesStore store;
+  Scraper scraper(kernel, registry, store,
+                  Scraper::Options{sim_s(5.0), true});
+  registry.gauge("g").set(42);
+  scraper.start();
+  kernel.run_until(sim_s(30.0));
+  // Scrapes at t = 0, 5, ..., 30.
+  EXPECT_EQ(scraper.scrapes(), 7u);
+  const Series* g = store.find("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->size(), 7u);
+  // The store's own footprint is a scraped gauge.
+  const Series* self = store.find("wasmctr_tsdb_store_bytes");
+  ASSERT_NE(self, nullptr);
+  EXPECT_GT(self->latest()->value, 0.0);
+  // stop() cancels the pending event: the kernel drains to quiescence.
+  scraper.stop();
+  kernel.run();
+  EXPECT_EQ(scraper.scrapes(), 7u);
+  EXPECT_EQ(kernel.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace wasmctr::obs::tsdb

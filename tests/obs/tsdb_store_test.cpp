@@ -1,0 +1,145 @@
+// Ring-buffer TSDB regression suite: delta-encoding exactness, ring
+// wraparound, footprint accounting, histogram decomposition.
+#include "obs/tsdb/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wasmctr::obs::tsdb {
+namespace {
+
+TEST(SeriesTest, DeltaEncodingIsLosslessForSimValues) {
+  Series s(SeriesKind::kGauge, 16);
+  // Integral byte counts and to_millis latencies (ns / 1e6) — the values
+  // the simulation actually produces — must round-trip exactly.
+  const double values[] = {0.0, 4096.0, 268435456.0, to_millis(sim_us(1234)),
+                           to_millis(SimDuration(987654321)), 0.25};
+  SimTime t = sim_s(5.0);
+  for (const double v : values) {
+    s.append(t, v);
+    t += sim_s(5.0);
+  }
+  const auto samples = s.samples();
+  ASSERT_EQ(samples.size(), 6u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].value, values[i]) << "sample " << i;
+    EXPECT_EQ(samples[i].t, sim_s(5.0) * static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(SeriesTest, RingWraparoundFoldsOldestIntoAnchor) {
+  Series s(SeriesKind::kCounter, 4);
+  for (int i = 1; i <= 10; ++i) {
+    s.append(sim_s(static_cast<double>(i)), 100.0 * i);
+  }
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.appended(), 10u);
+  EXPECT_EQ(s.dropped(), 6u);
+  const auto samples = s.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // The surviving window is the newest 4 samples, decoded exactly even
+  // though their deltas now chain off the folded anchor.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(samples[i].t, sim_s(static_cast<double>(7 + i)));
+    EXPECT_DOUBLE_EQ(samples[i].value, 100.0 * (7 + i));
+  }
+}
+
+TEST(SeriesTest, SameTimestampOverwritesTail) {
+  Series s(SeriesKind::kGauge, 8);
+  s.append(sim_s(1.0), 10);
+  s.append(sim_s(2.0), 20);
+  s.append(sim_s(2.0), 25);  // re-append within one scrape instant
+  const auto samples = s.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[1].value, 25.0);
+  ASSERT_TRUE(s.latest().has_value());
+  EXPECT_DOUBLE_EQ(s.latest()->value, 25.0);
+}
+
+TEST(SeriesTest, VisitWindowIsHalfOpenLookback) {
+  Series s(SeriesKind::kGauge, 8);
+  s.append(sim_s(5.0), 1);
+  s.append(sim_s(10.0), 2);
+  s.append(sim_s(15.0), 3);
+  std::vector<double> got;
+  // (5, 15]: the sample sitting exactly on the window start is excluded,
+  // the one on the end is included.
+  s.visit(sim_s(5.0), sim_s(15.0),
+          [&got](SimTime, double v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<double>{2, 3}));
+}
+
+TEST(SeriesTest, LatestAtOrBefore) {
+  Series s(SeriesKind::kGauge, 8);
+  s.append(sim_s(5.0), 1);
+  s.append(sim_s(10.0), 2);
+  EXPECT_FALSE(s.latest_at_or_before(sim_s(4.0)).has_value());
+  ASSERT_TRUE(s.latest_at_or_before(sim_s(5.0)).has_value());
+  EXPECT_DOUBLE_EQ(s.latest_at_or_before(sim_s(5.0))->value, 1.0);
+  EXPECT_DOUBLE_EQ(s.latest_at_or_before(sim_s(99.0))->value, 2.0);
+}
+
+TEST(TimeSeriesStoreTest, FootprintAccountsRingsAndGrowsOnlyOnNewSeries) {
+  TimeSeriesStore store(TimeSeriesStore::Options{.capacity_per_series = 64});
+  EXPECT_EQ(store.footprint().value, 0u);
+  store.append("m", "a=\"1\"", SeriesKind::kGauge, sim_s(1.0), 1);
+  const Bytes after_one = store.footprint();
+  // 64 samples × 12 B of ring plus key/bookkeeping overhead.
+  EXPECT_GE(after_one.value, 64u * 12u);
+  // Appending to the same series never grows the footprint: rings are
+  // preallocated, eviction folds in place.
+  for (int i = 2; i < 200; ++i) {
+    store.append("m", "a=\"1\"", SeriesKind::kGauge,
+                 sim_s(static_cast<double>(i)), i);
+  }
+  EXPECT_EQ(store.footprint().value, after_one.value);
+  store.append("m", "a=\"2\"", SeriesKind::kGauge, sim_s(1.0), 1);
+  EXPECT_GT(store.footprint().value, after_one.value);
+  EXPECT_EQ(store.series_count(), 2u);
+}
+
+TEST(TimeSeriesStoreTest, HistogramDecomposesIntoBucketSeries) {
+  TimeSeriesStore store;
+  const std::vector<double> bounds = {1.0, 5.0};
+  // Cumulative counts (le=1, le=5, +Inf), sum, count — as scraped.
+  store.append_histogram("lat_ms", "service=\"svc\"", sim_s(5.0), bounds,
+                         {1, 2, 3}, 104.5, 3);
+  store.append_histogram("lat_ms", "service=\"svc\"", sim_s(10.0), bounds,
+                         {2, 4, 6}, 209.0, 6);
+
+  const auto buckets = store.buckets_of("lat_ms", "service=\"svc\"");
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].bound, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].bound, 5.0);
+  EXPECT_TRUE(std::isinf(buckets[2].bound));
+  EXPECT_EQ(buckets[2].series->size(), 2u);
+  ASSERT_TRUE(buckets[2].series->latest().has_value());
+  EXPECT_DOUBLE_EQ(buckets[2].series->latest()->value, 6.0);
+
+  // Bucket series are findable under the exact exposition label rendering.
+  EXPECT_NE(store.find("lat_ms_bucket", "service=\"svc\",le=\"1\""), nullptr);
+  EXPECT_NE(store.find("lat_ms_bucket", "service=\"svc\",le=\"+Inf\""),
+            nullptr);
+  ASSERT_NE(store.find("lat_ms_sum", "service=\"svc\""), nullptr);
+  EXPECT_DOUBLE_EQ(
+      store.find("lat_ms_sum", "service=\"svc\"")->latest()->value, 209.0);
+  EXPECT_NE(store.find("lat_ms_count", "service=\"svc\""), nullptr);
+  EXPECT_EQ(store.buckets_of("lat_ms", "other=\"x\"").size(), 0u);
+}
+
+TEST(TimeSeriesStoreTest, ForEachIteratesDeterministically) {
+  TimeSeriesStore store;
+  store.append("b", "", SeriesKind::kGauge, sim_s(1.0), 1);
+  store.append("a", "x=\"2\"", SeriesKind::kGauge, sim_s(1.0), 2);
+  store.append("a", "x=\"1\"", SeriesKind::kGauge, sim_s(1.0), 3);
+  std::vector<std::string> keys;
+  store.for_each([&](const std::string& name, const std::string& labels,
+                     const Series&) { keys.push_back(name + "|" + labels); });
+  EXPECT_EQ(keys,
+            (std::vector<std::string>{"a|x=\"1\"", "a|x=\"2\"", "b|"}));
+}
+
+}  // namespace
+}  // namespace wasmctr::obs::tsdb
