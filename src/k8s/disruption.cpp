@@ -64,9 +64,13 @@ bool DisruptionGate::allow_eviction(const Pod& pod, const char* reason) {
           << "deferred eviction of " << pod.spec.name << " (" << reason
           << "): pdb " << pdb->name << " at minAvailable ("
           << avail << "/" << pdb->min_available << ")";
+      // emplace: the first deferring path keeps ownership of the retry.
+      pending_.emplace(pod.spec.name, reason);
       return false;
     }
   }
+  pending_.erase(pod.spec.name);
+  if (probe_) probe_(pod, reason);
   return true;
 }
 

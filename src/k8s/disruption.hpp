@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 
 #include "k8s/api_server.hpp"
@@ -32,7 +34,12 @@ class DisruptionGate {
   /// `obs` (optional) records the per-reason deferral counter and a
   /// pod.eviction-deferred trace instant.
   DisruptionGate(sim::Kernel& kernel, ApiServer& api, obs::Observability* obs)
-      : kernel_(kernel), api_(api), obs_(obs) {}
+      : kernel_(kernel), api_(api), obs_(obs) {
+    // A deleted pod can never be retried: drop its pending-deferral mark
+    // so a later pod reusing the name starts clean.
+    api_.watch_deleted(
+        [this](const Pod& pod) { pending_.erase(pod.spec.name); });
+  }
 
   DisruptionGate(const DisruptionGate&) = delete;
   DisruptionGate& operator=(const DisruptionGate&) = delete;
@@ -46,10 +53,41 @@ class DisruptionGate {
   /// Evictions deferred so far (across all reasons).
   [[nodiscard]] uint32_t deferrals() const noexcept { return deferrals_; }
 
+  /// True while `pod` has a deferral outstanding: the gate denied its
+  /// eviction and has not admitted one since. Cleared when a later
+  /// allow_eviction() for the pod passes (or the pod leaves the store).
+  [[nodiscard]] bool deferral_pending(const std::string& pod) const {
+    return pending_.count(pod) != 0;
+  }
+
+  /// The reason of the deny that *first* marked `pod` pending — that
+  /// path's retry mechanism owns the pod until its eviction is admitted.
+  /// A retry path consults this before arming its own retry: a pod
+  /// already owned by the *other* path (e.g. NodeLost, retried by the
+  /// lifecycle controller's monitor tick) must not get a second,
+  /// duplicate retry enqueued by the pressure backoff — the deferral
+  /// pile-up fix — while a pod the path itself deferred keeps its retry
+  /// loop alive until pressure relents or the budget frees. Empty when
+  /// no deferral is pending.
+  [[nodiscard]] const std::string& deferral_owner(
+      const std::string& pod) const {
+    static const std::string kNone;
+    const auto it = pending_.find(pod);
+    return it == pending_.end() ? kNone : it->second;
+  }
+
   /// Canonical deferral log, for determinism comparisons.
   [[nodiscard]] const std::string& trace_string() const noexcept {
     return trace_;
   }
+
+  /// Invariant probe: fires for every eviction the gate *admits*, with the
+  /// pod and the caller's reason, synchronously with the decision (pod
+  /// phases are exactly what the gate saw — no watcher lag). The chaos
+  /// InvariantChecker uses this to independently re-verify that admitting
+  /// the eviction keeps every covering PDB at or above minAvailable.
+  using EvictionProbe = std::function<void(const Pod&, const char* reason)>;
+  void set_eviction_probe(EvictionProbe probe) { probe_ = std::move(probe); }
 
  private:
   /// Pods in phase Running matching `pdb.selector` right now.
@@ -59,6 +97,10 @@ class DisruptionGate {
   ApiServer& api_;
   obs::Observability* obs_;
   uint32_t deferrals_ = 0;
+  /// Pods with an outstanding deferral → the reason that first deferred
+  /// them (see deferral_pending() / deferral_owner()).
+  std::map<std::string, std::string> pending_;
+  EvictionProbe probe_;
   std::string trace_;
 };
 

@@ -190,9 +190,19 @@ void Kubelet::maybe_evict_for_pressure() {
     const Pod* victim = nullptr;
     for (const auto& [usage, p] : candidates) {
       (void)usage;
-      if (gate_ != nullptr && !gate_->allow_eviction(*p, "NodePressure")) {
-        deferred = true;
-        continue;  // budget-protected: try the next-largest pod
+      if (gate_ != nullptr) {
+        // Dedup against the other eviction path: a pod the gate already
+        // holds a *NodeLost* deferral for is retried by the lifecycle
+        // controller's monitor tick — arming our backoff retry for it
+        // too would double-enqueue the retry. A pod this path deferred
+        // itself stays ours: the backoff loop must keep retrying until
+        // pressure relents or the budget frees.
+        const std::string& owner = gate_->deferral_owner(p->spec.name);
+        const bool foreign_pending = !owner.empty() && owner != "NodePressure";
+        if (!gate_->allow_eviction(*p, "NodePressure")) {
+          if (!foreign_pending) deferred = true;
+          continue;  // budget-protected: try the next-largest pod
+        }
       }
       victim = p;
       break;
@@ -211,8 +221,15 @@ void Kubelet::schedule_eviction_retry() {
   const uint32_t epoch = epoch_;
   node_.kernel().schedule_after(config_.eviction_retry_period,
                                 [this, epoch] {
+                                  // Epoch check before touching the flag:
+                                  // a stale pre-crash retry must not clear
+                                  // a pending bit owned by a retry armed
+                                  // after recover() — clearing it would
+                                  // let a second retry be enqueued while
+                                  // the fresh one is still in flight.
+                                  if (epoch != epoch_) return;
                                   eviction_retry_pending_ = false;
-                                  if (down_ || epoch != epoch_) return;
+                                  if (down_) return;
                                   maybe_evict_for_pressure();
                                 });
 }
@@ -339,6 +356,10 @@ void Kubelet::crash() {
   active_pods_ = 0;
   stale_.clear();
   pending_binds_.clear();
+  // Any in-flight pressure-eviction retry carries the old epoch and will
+  // be a no-op; without this reset a post-recover deferral would see the
+  // flag still set and never arm a fresh, current-epoch retry.
+  eviction_retry_pending_ = false;
   node_.obs().metrics.counter("wasmctr_node_crashes_total").inc();
   {
     const obs::SpanId ev = node_.obs().tracer.instant("node.crash", "k8s");
@@ -394,6 +415,10 @@ void Kubelet::recover() {
     if (!admit_pod(*p)) continue;
     p->status.phase = PodPhase::kCreating;
     p->status.restart_count += 1;
+    // The demotion must be visible to the control plane: a pod that was
+    // Running when the node died is restarting now, and the endpoints
+    // controller has to drop it from the ready set until it comes back.
+    api_.notify_status(name);
     ++pods_recovered_;
     ++restarts_total_;
     start_pod(name);

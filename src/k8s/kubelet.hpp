@@ -153,6 +153,12 @@ class Kubelet {
   /// (the default) evicts unconditionally — the pre-PDB behavior.
   void set_disruption_gate(DisruptionGate* gate) noexcept { gate_ = gate; }
 
+  /// True while a deferred pressure-eviction retry is armed (regression
+  /// tests for the deferral dedup / crash-epoch interactions).
+  [[nodiscard]] bool eviction_retry_pending() const noexcept {
+    return eviction_retry_pending_;
+  }
+
  private:
   struct PodRecord {
     std::string handler;

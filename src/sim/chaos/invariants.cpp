@@ -1,0 +1,374 @@
+#include "sim/chaos/invariants.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/log.hpp"
+
+namespace wasmctr::chaos {
+
+namespace {
+
+/// Every selector pair must appear in the pod's labels (the same matching
+/// rule the endpoints controller and the disruption gate apply; the
+/// checker re-implements it so a matching bug in either shows up as a
+/// disagreement rather than being mirrored).
+[[nodiscard]] bool selector_matches(
+    const std::vector<std::pair<std::string, std::string>>& selector,
+    const k8s::Pod& pod) {
+  for (const auto& want : selector) {
+    const auto& labels = pod.spec.labels;
+    if (std::find(labels.begin(), labels.end(), want) == labels.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] bool phase_is_terminal(k8s::PodPhase p) {
+  return p == k8s::PodPhase::kFailed || p == k8s::PodPhase::kEvicted;
+}
+
+}  // namespace
+
+bool phase_transition_legal(k8s::PodPhase from, k8s::PodPhase to) {
+  if (from == to) return true;  // re-notification
+  if (phase_is_terminal(from)) return false;  // terminal states absorb
+  // kPending is the creation state: nothing transitions back into it.
+  if (to == k8s::PodPhase::kPending) return false;
+  // kScheduled is only reachable from kPending (the binding step).
+  if (to == k8s::PodPhase::kScheduled) {
+    return from == k8s::PodPhase::kPending;
+  }
+  // Closure of the remaining machine: every non-terminal state reaches
+  // every state in {Creating, Running, CrashLoopBackOff, Failed, Evicted}.
+  return true;
+}
+
+InvariantChecker::InvariantChecker(k8s::Cluster& cluster, Options options)
+    : cluster_(cluster), options_(options) {
+  cluster_.api().watch_created([this](const k8s::Pod& pod) {
+    last_phase_[pod.spec.name] = pod.status.phase;
+  });
+  cluster_.api().watch_status([this](const k8s::Pod& pod) {
+    const auto it = last_phase_.find(pod.spec.name);
+    if (it != last_phase_.end()) {
+      if (!phase_transition_legal(it->second, pod.status.phase)) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "pod=%s %s->%s",
+                      pod.spec.name.c_str(), k8s::pod_phase_name(it->second),
+                      k8s::pod_phase_name(pod.status.phase));
+        fail("phase-legal", buf);
+      }
+      it->second = pod.status.phase;
+    } else {
+      last_phase_[pod.spec.name] = pod.status.phase;
+    }
+  });
+  cluster_.api().watch_deleted(
+      [this](const k8s::Pod& pod) { last_phase_.erase(pod.spec.name); });
+
+  // PDB floor, checked synchronously with each *admitted* eviction: the
+  // gate saw exactly these phases, so there is no watcher lag to excuse a
+  // breach. Evicting a Running pod must leave every covering budget with
+  // at least minAvailable Running pods — i.e. the pre-eviction count must
+  // strictly exceed the floor.
+  cluster_.disruption_gate().set_eviction_probe(
+      [this](const k8s::Pod& pod, const char* reason) {
+        if (pod.status.phase != k8s::PodPhase::kRunning) return;
+        for (const k8s::PodDisruptionBudget* pdb :
+             cluster_.api().pod_disruption_budgets()) {
+          if (pdb->min_available == 0) continue;
+          if (!selector_matches(pdb->selector, pod)) continue;
+          uint32_t running = 0;
+          for (const k8s::Pod* p : cluster_.api().pods()) {
+            if (p->status.phase != k8s::PodPhase::kRunning) continue;
+            if (selector_matches(pdb->selector, *p)) ++running;
+          }
+          if (running <= pdb->min_available) {
+            char buf[192];
+            std::snprintf(buf, sizeof buf,
+                          "pdb=%s pod=%s reason=%s running=%u min=%u",
+                          pdb->name.c_str(), pod.spec.name.c_str(), reason,
+                          running, pdb->min_available);
+            fail("pdb-floor", buf);
+          }
+        }
+      });
+}
+
+void InvariantChecker::snapshot_baseline() {
+  baseline_anon_.clear();
+  baseline_base_.clear();
+  for (uint32_t i = 0; i < cluster_.worker_count(); ++i) {
+    mem::NodeMemory& memory = cluster_.node(i).memory();
+    const mem::FreeReport report = memory.free_report();
+    baseline_anon_.push_back(memory.anon_total());
+    baseline_base_.push_back(report.used - memory.anon_total() -
+                             memory.shared_resident());
+  }
+  have_baseline_ = true;
+}
+
+void InvariantChecker::start() {
+  if (running_) return;
+  running_ = true;
+  tick_event_ = cluster_.kernel().schedule_after(options_.period,
+                                                [this] { tick(); });
+}
+
+void InvariantChecker::stop() {
+  if (!running_) return;
+  running_ = false;
+  cluster_.kernel().cancel(tick_event_);
+}
+
+void InvariantChecker::tick() {
+  check_now("periodic");
+  if (running_) {
+    tick_event_ = cluster_.kernel().schedule_after(options_.period,
+                                                  [this] { tick(); });
+  }
+}
+
+void InvariantChecker::fail(const char* oracle, const std::string& detail) {
+  Violation v;
+  v.at = cluster_.kernel().now();
+  v.oracle = oracle;
+  v.detail = detail;
+  char head[64];
+  std::snprintf(head, sizeof head, "t=%.6fs ORACLE %s ",
+                to_seconds(v.at), oracle);
+  trace_ += head;
+  trace_ += detail;
+  trace_ += '\n';
+  cluster_.obs()
+      .metrics
+      .counter("wasmctr_chaos_violations_total",
+               "oracle=\"" + std::string(oracle) + "\"")
+      .inc();
+  const obs::SpanId ev = cluster_.obs().tracer.instant("chaos.violation",
+                                                       "chaos");
+  cluster_.obs().tracer.set_attr(ev, "oracle", oracle);
+  WASMCTR_LOG(kWarn, "chaos") << "invariant violation [" << oracle << "] "
+                              << detail;
+  violations_.push_back(std::move(v));
+}
+
+uint32_t InvariantChecker::check_now(const char* phase) {
+  (void)phase;
+  const std::size_t before = violations_.size();
+  ++checks_;
+  check_slots();
+  check_memory_partition();
+  check_endpoints();
+  check_kernel_heap();
+  return static_cast<uint32_t>(violations_.size() - before);
+}
+
+void InvariantChecker::check_slots() {
+  for (uint32_t i = 0; i < cluster_.worker_count(); ++i) {
+    k8s::Kubelet& kubelet = cluster_.kubelet(i);
+    const std::string& name = kubelet.config().node_name;
+    uint32_t api_nonterminal = 0;  // Scheduled/Creating/Running/CLBO
+    uint32_t api_active = 0;       // Creating/Running/CLBO (kubelet-owned)
+    for (const k8s::Pod* p : cluster_.api().pods()) {
+      if (p->status.node != name) continue;
+      switch (p->status.phase) {
+        case k8s::PodPhase::kScheduled:
+          ++api_nonterminal;
+          break;
+        case k8s::PodPhase::kCreating:
+        case k8s::PodPhase::kRunning:
+        case k8s::PodPhase::kCrashLoopBackOff:
+          ++api_nonterminal;
+          ++api_active;
+          break;
+        default:
+          break;
+      }
+    }
+    const uint32_t bound = cluster_.scheduler().node_bound(name);
+    if (bound != api_nonterminal) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "node=%s scheduler bound=%u != api non-terminal=%u",
+                    name.c_str(), bound, api_nonterminal);
+      fail("slots", buf);
+    }
+    // The kubelet's slot count is only comparable when it can see the API:
+    // while down its records are gone but pod statuses are stale, and
+    // while partitioned deletions/evictions queue until the rejoin
+    // reconcile. Both states are excluded, not excused — the post-drain
+    // quiescence sweep still requires every kubelet to end at zero.
+    if (kubelet.down() || kubelet.partitioned()) continue;
+    if (kubelet.active_pods() != api_active) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "node=%s kubelet active=%u != api active=%u",
+                    name.c_str(), kubelet.active_pods(), api_active);
+      fail("slots", buf);
+    }
+  }
+}
+
+void InvariantChecker::check_memory_partition() {
+  for (uint32_t i = 0; i < cluster_.worker_count(); ++i) {
+    mem::NodeMemory& memory = cluster_.node(i).memory();
+    char buf[192];
+    Bytes shared_sum{0};
+    Bytes cache_sum{0};
+    for (std::size_t k = 0; k < mem::kMappingKindCount; ++k) {
+      shared_sum += memory.shared_by_kind(static_cast<mem::MappingKind>(k));
+      cache_sum += memory.cache_by_kind(static_cast<mem::MappingKind>(k));
+    }
+    if (shared_sum != memory.shared_resident()) {
+      std::snprintf(buf, sizeof buf,
+                    "node=%u shared kinds sum=%llu != shared_resident=%llu", i,
+                    static_cast<unsigned long long>(shared_sum.value),
+                    static_cast<unsigned long long>(
+                        memory.shared_resident().value));
+      fail("mem-partition", buf);
+    }
+    if (cache_sum != memory.page_cache()) {
+      std::snprintf(buf, sizeof buf,
+                    "node=%u cache kinds sum=%llu != page_cache=%llu", i,
+                    static_cast<unsigned long long>(cache_sum.value),
+                    static_cast<unsigned long long>(memory.page_cache().value));
+      fail("mem-partition", buf);
+    }
+    const mem::FreeReport report = memory.free_report();
+    // Bytes is unsigned: a "negative" component shows up as a wrapped
+    // value larger than physical RAM.
+    const Bytes components[] = {report.used, report.free_mem,
+                                report.buffcache, report.available};
+    for (const Bytes c : components) {
+      if (c > report.total) {
+        std::snprintf(buf, sizeof buf,
+                      "node=%u free-report component %llu > total %llu "
+                      "(unsigned underflow)",
+                      i, static_cast<unsigned long long>(c.value),
+                      static_cast<unsigned long long>(report.total.value));
+        fail("mem-partition", buf);
+        break;
+      }
+    }
+    if (report.used + report.free_mem + report.buffcache != report.total) {
+      std::snprintf(buf, sizeof buf,
+                    "node=%u used+free+buffcache=%llu != total=%llu", i,
+                    static_cast<unsigned long long>(
+                        (report.used + report.free_mem + report.buffcache)
+                            .value),
+                    static_cast<unsigned long long>(report.total.value));
+      fail("mem-partition", buf);
+    }
+    if (have_baseline_ && i < baseline_base_.size()) {
+      // Non-base residency must equal what the kinds account for: used
+      // minus the OS base is exactly anon + shared.
+      const Bytes expected =
+          baseline_base_[i] + memory.anon_total() + memory.shared_resident();
+      if (expected != report.used) {
+        std::snprintf(buf, sizeof buf,
+                      "node=%u base+anon+shared=%llu != used=%llu", i,
+                      static_cast<unsigned long long>(expected.value),
+                      static_cast<unsigned long long>(report.used.value));
+        fail("mem-partition", buf);
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_endpoints() {
+  for (const k8s::Service* svc : cluster_.api().services()) {
+    const k8s::Endpoints* eps = cluster_.endpoints().endpoints(svc->name);
+    if (eps == nullptr) continue;
+    std::vector<std::string> expected;
+    for (const k8s::Pod* p : cluster_.api().pods()) {
+      if (p->status.phase != k8s::PodPhase::kRunning) continue;
+      if (selector_matches(svc->selector, *p)) expected.push_back(p->spec.name);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::string> ready = eps->ready;
+    std::sort(ready.begin(), ready.end());
+    if (ready == expected) continue;
+    char buf[192];
+    for (const std::string& pod : ready) {
+      if (!std::binary_search(expected.begin(), expected.end(), pod)) {
+        std::snprintf(buf, sizeof buf,
+                      "service=%s endpoint %s is not a Running matching pod",
+                      svc->name.c_str(), pod.c_str());
+        fail("endpoints", buf);
+      }
+    }
+    for (const std::string& pod : expected) {
+      if (!std::binary_search(ready.begin(), ready.end(), pod)) {
+        std::snprintf(buf, sizeof buf,
+                      "service=%s Running pod %s missing from endpoints",
+                      svc->name.c_str(), pod.c_str());
+        fail("endpoints", buf);
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_kernel_heap() {
+  sim::Kernel& kernel = cluster_.kernel();
+  const uint64_t heap = kernel.heap_size();
+  const uint64_t bound = 2 * kernel.pending() + options_.heap_epsilon;
+  if (heap > bound) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "heap_size=%llu > 2*pending+eps=%llu (pending=%llu)",
+                  static_cast<unsigned long long>(heap),
+                  static_cast<unsigned long long>(bound),
+                  static_cast<unsigned long long>(kernel.pending()));
+    fail("kernel-heap", buf);
+  }
+}
+
+uint32_t InvariantChecker::check_quiescent(const char* phase) {
+  const std::size_t before = violations_.size();
+  check_now(phase);
+  char buf[160];
+  if (cluster_.api().pod_count() != 0) {
+    std::snprintf(buf, sizeof buf, "%zu pods still in the API store",
+                  cluster_.api().pod_count());
+    fail("quiescence", buf);
+  }
+  for (uint32_t i = 0; i < cluster_.worker_count(); ++i) {
+    k8s::Kubelet& kubelet = cluster_.kubelet(i);
+    const std::string& name = kubelet.config().node_name;
+    if (cluster_.scheduler().node_bound(name) != 0) {
+      std::snprintf(buf, sizeof buf, "node=%s leaked %u scheduler slots",
+                    name.c_str(), cluster_.scheduler().node_bound(name));
+      fail("quiescence", buf);
+    }
+    if (kubelet.active_pods() != 0 || kubelet.record_count() != 0) {
+      std::snprintf(buf, sizeof buf,
+                    "node=%s kubelet leaked active=%u records=%zu",
+                    name.c_str(), kubelet.active_pods(),
+                    kubelet.record_count());
+      fail("quiescence", buf);
+    }
+    if (cluster_.cri(i).sandbox_count() != 0) {
+      std::snprintf(buf, sizeof buf, "node=%s leaked %zu sandboxes",
+                    name.c_str(), cluster_.cri(i).sandbox_count());
+      fail("quiescence", buf);
+    }
+    if (have_baseline_ && i < baseline_anon_.size()) {
+      const Bytes anon = cluster_.node(i).memory().anon_total();
+      if (anon != baseline_anon_[i]) {
+        std::snprintf(buf, sizeof buf,
+                      "node=%s anon=%llu != baseline=%llu (leaked charges)",
+                      name.c_str(),
+                      static_cast<unsigned long long>(anon.value),
+                      static_cast<unsigned long long>(
+                          baseline_anon_[i].value));
+        fail("quiescence", buf);
+      }
+    }
+  }
+  return static_cast<uint32_t>(violations_.size() - before);
+}
+
+}  // namespace wasmctr::chaos

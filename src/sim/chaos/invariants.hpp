@@ -1,0 +1,123 @@
+// Always-on invariant oracles over a running Cluster (DESIGN.md §15).
+//
+// The checker attaches to a cluster's probe surfaces — API-server watchers
+// for pod phase transitions, the DisruptionGate's eviction probe for PDB
+// floors — and additionally runs a periodic kernel event that sweeps the
+// global oracles: scheduler/kubelet slot conservation, NodeMemory
+// kind-partition arithmetic, Endpoints ⊆/⊇ Ready pods, and the kernel's
+// tombstone-heap bound. At quiescence (after a full drain) a stricter
+// sweep verifies zero leaked slots, records, sandboxes, and anonymous
+// memory. Violations are recorded with virtual timestamps, appended to a
+// canonical trace (so same-seed runs stay byte-identical even when they
+// fail), counted in `wasmctr_chaos_violations_total{oracle=...}`, and
+// marked with a `chaos.violation` tracer instant.
+//
+// The checker only *reads* cluster state; attaching it never perturbs the
+// schedule of the run under test (watcher callbacks do no scheduling, and
+// the periodic sweep event only observes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "k8s/cluster.hpp"
+
+namespace wasmctr::chaos {
+
+/// One oracle failure. `oracle` is the stable oracle id ("slots",
+/// "mem-partition", "endpoints", "pdb-floor", "phase-legal",
+/// "kernel-heap", "quiescence"); `detail` is human-oriented.
+struct Violation {
+  SimTime at{0};
+  std::string oracle;
+  std::string detail;
+};
+
+/// Was a pod phase transition `from` → `to` produced by a legal walk of
+/// the pod phase machine? Watcher-observed transitions may skip states
+/// (not every internal phase write notifies — node recovery re-admits
+/// silently), so this is the *transitive closure* of the direct edges:
+/// Pending→{Scheduled,Failed}, Scheduled→{Creating,Evicted,Failed},
+/// Creating→{Running,CrashLoopBackOff,Failed,Evicted},
+/// Running→{CrashLoopBackOff,Failed,Evicted,Creating},
+/// CrashLoopBackOff→{Creating,Failed,Evicted}; terminal states absorb.
+/// Self-transitions (re-notification) are always legal.
+[[nodiscard]] bool phase_transition_legal(k8s::PodPhase from,
+                                          k8s::PodPhase to);
+
+class InvariantChecker {
+ public:
+  struct Options {
+    /// Periodic sweep cadence once start() is called.
+    SimDuration period = sim_s(5.0);
+    /// Slack term in the kernel tombstone bound
+    /// heap_size ≤ 2·pending + epsilon (matches the kernel's own tests).
+    uint64_t heap_epsilon = 64;
+  };
+
+  /// Registers the API watchers and the gate probe immediately — attach
+  /// before creating pods so every pod's phase history is observed.
+  explicit InvariantChecker(k8s::Cluster& cluster)
+      : InvariantChecker(cluster, Options{}) {}
+  InvariantChecker(k8s::Cluster& cluster, Options options);
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Record the per-node residency baseline the quiescence oracle compares
+  /// against. Call after cluster construction, before deploying anything.
+  void snapshot_baseline();
+
+  /// Begin the periodic sweep (self-rescheduling kernel event).
+  void start();
+  /// Cancel the pending sweep so the kernel can drain.
+  void stop();
+
+  /// Run every continuous oracle now. `phase` labels the sweep in traces
+  /// ("periodic", "post-storm", ...). Returns violations found this call.
+  uint32_t check_now(const char* phase);
+
+  /// check_now() plus the quiescence oracles (zero pods/slots/records/
+  /// sandboxes, residency back to baseline). Call only after a full drain.
+  uint32_t check_quiescent(const char* phase);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] uint32_t checks_run() const noexcept { return checks_; }
+  /// Canonical violation log ("t=... ORACLE <id> <detail>" lines), for
+  /// determinism comparisons; empty when every oracle held.
+  [[nodiscard]] const std::string& trace_string() const noexcept {
+    return trace_;
+  }
+
+ private:
+  void fail(const char* oracle, const std::string& detail);
+  void tick();
+
+  void check_slots();
+  void check_memory_partition();
+  void check_endpoints();
+  void check_kernel_heap();
+
+  k8s::Cluster& cluster_;
+  Options options_;
+  bool running_ = false;
+  sim::EventId tick_event_{};
+  uint32_t checks_ = 0;
+  /// Last phase observed per live pod (phase-legality oracle).
+  std::map<std::string, k8s::PodPhase> last_phase_;
+  /// Per-node anon residency right after construction (quiescence oracle).
+  std::vector<Bytes> baseline_anon_;
+  /// Per-node `used − anon − shared` at baseline: the OS base footprint,
+  /// derived rather than read from config so the memory-partition oracle
+  /// is independent of how the node was configured.
+  std::vector<Bytes> baseline_base_;
+  bool have_baseline_ = false;
+  std::vector<Violation> violations_;
+  std::string trace_;
+};
+
+}  // namespace wasmctr::chaos

@@ -1,0 +1,269 @@
+#include "sim/chaos/orchestrator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "serve/traffic.hpp"
+
+namespace wasmctr::chaos {
+
+namespace {
+
+/// Pressure floor matched to the bulk density (the isolation bench's
+/// calibration): evict when `available` drops below ram minus a fixed
+/// overhead plus a per-pod allowance, so only growth beyond the expected
+/// footprint trips node-pressure eviction.
+[[nodiscard]] Bytes pressure_floor(uint64_t ram, uint32_t density) {
+  const uint64_t allowance =
+      (2090ull << 20) + density * ((1ull << 20) * 7 / 4);
+  return Bytes(ram - allowance);
+}
+
+}  // namespace
+
+StormReport ChaosOrchestrator::run(const StormSchedule& schedule) {
+  StormReport report;
+  report.seed = schedule.seed;
+  report.density = schedule.density;
+
+  k8s::ClusterOptions copts;
+  copts.workers = options_.workers;
+  copts.node = options_.node;
+  copts.node.seed = schedule.seed;
+  copts.restart_policy = k8s::RestartPolicy::kOnFailure;
+  copts.eviction_min_available =
+      pressure_floor(copts.node.ram.value, schedule.density);
+  k8s::Cluster cluster(copts);
+  cluster.obs().tracer.set_span_capture(false);
+  cluster.faults().set_max_faults_per_target(options_.max_faults_per_target);
+
+  // Attach the oracles before any pod exists so every phase history is
+  // observed from creation, and snapshot the residency baseline the
+  // quiescence sweep compares against.
+  InvariantChecker checker(cluster, options_.checker);
+  checker.snapshot_baseline();
+  checker.start();
+
+  // Victim deployment: PDB-covered serving workload.
+  k8s::Service web_svc;
+  web_svc.name = "web-svc";
+  web_svc.selector = {{"app", "web"}};
+  (void)cluster.api().create_service(web_svc);
+  k8s::PodDisruptionBudget pdb;
+  pdb.name = "web-pdb";
+  pdb.selector = {{"app", "web"}};
+  pdb.min_available = options_.pdb_min_available;
+  (void)cluster.api().create_pod_disruption_budget(pdb);
+  serve::DeploymentSpec web;
+  web.name = "web";
+  web.replicas = options_.victim_replicas;
+  web.pod_template.image = "request-service:wasm";
+  web.pod_template.runtime_class = "crun-wamr";
+  web.pod_template.restart_policy = k8s::RestartPolicy::kOnFailure;
+  web.pod_template.tenant = "web";
+  (void)cluster.deployments().create(web);
+
+  // Bulk deployment: the density axis the storm scales/deletes against.
+  k8s::Service bulk_svc;
+  bulk_svc.name = "bulk-svc";
+  bulk_svc.selector = {{"app", "bulk"}};
+  (void)cluster.api().create_service(bulk_svc);
+  serve::DeploymentSpec bulk;
+  bulk.name = "bulk";
+  bulk.replicas = schedule.density;
+  bulk.pod_template.image = "request-service:wasm";
+  bulk.pod_template.runtime_class = "crun-wamr";
+  bulk.pod_template.restart_policy = k8s::RestartPolicy::kOnFailure;
+  bulk.pod_template.tenant = "bulk";
+  (void)cluster.deployments().create(bulk);
+
+  cluster.run_for(options_.warmup);
+
+  // --- storm ---
+  const SimTime storm_start = cluster.kernel().now();
+  for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+    cluster.faults().set_rate(static_cast<sim::FaultKind>(k),
+                              schedule.rates[k]);
+  }
+  for (const ChaosEvent& ev : schedule.events) {
+    const SimTime at = storm_start + sim_s(ev.at_s);
+    if (ev.kind == ChaosEventKind::kFaultOnce) {
+      // One-shots are armed up front: they fire at the target's first
+      // fault-decision point at or after their time.
+      if (cluster.faults().schedule_once(ev.fault, ev.target, at).is_ok()) {
+        ++report.events_executed;
+      }
+      continue;
+    }
+    cluster.kernel().schedule_at(at, [this, &cluster, &report, ev] {
+      switch (ev.kind) {
+        case ChaosEventKind::kKillNode:
+          if (ev.node < cluster.worker_count()) cluster.crash_node(ev.node);
+          break;
+        case ChaosEventKind::kRecoverNode:
+          if (ev.node < cluster.worker_count() &&
+              cluster.kubelet(ev.node).down()) {
+            cluster.recover_node(ev.node);
+          }
+          break;
+        case ChaosEventKind::kPartitionNode:
+          if (ev.node < cluster.worker_count()) {
+            cluster.partition_node(ev.node, sim_s(ev.window_s));
+          }
+          break;
+        case ChaosEventKind::kTightenPodLimit: {
+          const k8s::Pod* pod = cluster.api().pod(ev.target);
+          if (pod != nullptr && !pod->status.node.empty()) {
+            for (uint32_t i = 0; i < cluster.worker_count(); ++i) {
+              if (cluster.kubelet(i).config().node_name != pod->status.node) {
+                continue;
+              }
+              mem::Cgroup* cg = cluster.node(i).cgroups().find(
+                  "kubepods/pod-" + ev.target);
+              if (cg != nullptr) cg->set_limit(Bytes(ev.value));
+              break;
+            }
+          }
+          if (options_.test_bug_leak_on_tighten) {
+            (void)cluster.node(0).memory().charge_anon(Bytes(1ull << 20),
+                                                       nullptr);
+          }
+          break;
+        }
+        case ChaosEventKind::kDeletePod:
+          (void)cluster.api().delete_pod(ev.target);
+          break;
+        case ChaosEventKind::kScaleDeployment:
+          (void)cluster.deployments().scale(
+              ev.target, static_cast<uint32_t>(ev.value));
+          break;
+        case ChaosEventKind::kFaultOnce:
+          break;  // armed above, never scheduled here
+      }
+      ++report.events_executed;
+    });
+  }
+
+  std::unique_ptr<serve::TrafficDriver> web_traffic;
+  std::unique_ptr<serve::TrafficDriver> bulk_traffic;
+  if (options_.traffic) {
+    const auto resolver = [&cluster](const std::string& node) {
+      return cluster.cri_for(node);
+    };
+    // Spread arrivals over ~60 % of the storm so churn events land both
+    // under and after load.
+    const double span_s = std::max(schedule.storm_s * 0.6, 1.0);
+    serve::TrafficOptions wt;
+    wt.service = "web-svc";
+    wt.total_requests = options_.victim_requests;
+    wt.rate_rps = std::max(2.0, options_.victim_requests / span_s);
+    wt.seed = 0x7001;
+    wt.tenant = "web";
+    web_traffic = std::make_unique<serve::TrafficDriver>(
+        cluster.kernel(), cluster.api(), cluster.cri(), cluster.endpoints(),
+        wt);
+    web_traffic->set_cri_resolver(resolver);
+    web_traffic->start();
+    serve::TrafficOptions bt;
+    bt.service = "bulk-svc";
+    bt.total_requests = options_.bulk_requests;
+    bt.rate_rps = std::max(2.0, options_.bulk_requests / span_s);
+    bt.seed = 0x9001;
+    bt.tenant = "bulk";
+    bulk_traffic = std::make_unique<serve::TrafficDriver>(
+        cluster.kernel(), cluster.api(), cluster.cri(), cluster.endpoints(),
+        bt);
+    bulk_traffic->set_cri_resolver(resolver);
+    bulk_traffic->start();
+  }
+
+  cluster.run_until(storm_start + sim_s(schedule.storm_s));
+
+  // --- settle: rates off, partitions/backoffs complete, nodes rebooted ---
+  for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+    cluster.faults().set_rate(static_cast<sim::FaultKind>(k), 0.0);
+  }
+  cluster.run_for(options_.settle);
+  for (uint32_t i = 0; i < cluster.worker_count(); ++i) {
+    if (cluster.kubelet(i).down()) cluster.recover_node(i);
+  }
+  cluster.run_for(sim_s(10.0));
+  checker.check_now("post-storm");
+
+  // --- drain to quiescence ---
+  (void)cluster.deployments().scale("web", 0);
+  (void)cluster.deployments().scale("bulk", 0);
+  cluster.run_for(options_.drain);
+  for (uint32_t i = 0; i < cluster.worker_count(); ++i) {
+    cluster.kubelet(i).stop_heartbeats();
+  }
+  if (cluster.lifecycle_enabled()) cluster.lifecycle().stop();
+  cluster.stop_timeseries();
+  checker.stop();
+  cluster.run();  // no self-rescheduling loops remain: drains fully
+  checker.check_quiescent("quiescent");
+
+  // --- report ---
+  report.violations = static_cast<uint32_t>(checker.violations().size());
+  report.violation_trace = checker.trace_string();
+  report.checks_run = checker.checks_run();
+  report.faults_injected = cluster.faults().faults_injected();
+  report.kernel_events = cluster.kernel().executed();
+  for (uint32_t i = 0; i < cluster.worker_count(); ++i) {
+    report.node_crashes += cluster.kubelet(i).crashes();
+    report.pods_evicted += cluster.kubelet(i).pods_evicted();
+  }
+  report.pods_evicted += cluster.lifecycle().pods_evicted();
+  report.eviction_deferrals = cluster.disruption_gate().deferrals();
+  if (web_traffic != nullptr) {
+    report.victim_served = web_traffic->served();
+    report.victim_failed = web_traffic->failed();
+  }
+  if (bulk_traffic != nullptr) {
+    report.bulk_served = bulk_traffic->served();
+    report.bulk_failed = bulk_traffic->failed();
+  }
+  report.quiesced = cluster.api().pod_count() == 0 &&
+                    cluster.scheduler().bound_count() == 0;
+
+  std::string bundle;
+  bundle += "== schedule\n";
+  bundle += schedule.to_text();
+  bundle += "== faults\n";
+  bundle += cluster.faults().trace_string();
+  bundle += "== gate\n";
+  bundle += cluster.disruption_gate().trace_string();
+  bundle += "== lifecycle\n";
+  bundle += cluster.lifecycle().trace_string();
+  bundle += "== deployments\n";
+  bundle += cluster.deployments().trace_string();
+  bundle += "== endpoints\n";
+  bundle += cluster.endpoints().trace_string();
+  if (web_traffic != nullptr) {
+    bundle += "== traffic web\n";
+    bundle += web_traffic->trace_string();
+  }
+  if (bulk_traffic != nullptr) {
+    bundle += "== traffic bulk\n";
+    bundle += bulk_traffic->trace_string();
+  }
+  bundle += "== violations\n";
+  bundle += checker.trace_string();
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "== summary seed=%llu density=%u events=%u faults=%llu "
+                "crashes=%u evicted=%u deferrals=%u violations=%u "
+                "quiesced=%d\n",
+                static_cast<unsigned long long>(report.seed), report.density,
+                report.events_executed,
+                static_cast<unsigned long long>(report.faults_injected),
+                report.node_crashes, report.pods_evicted,
+                report.eviction_deferrals, report.violations,
+                report.quiesced ? 1 : 0);
+  bundle += line;
+  report.bundle = std::move(bundle);
+  return report;
+}
+
+}  // namespace wasmctr::chaos

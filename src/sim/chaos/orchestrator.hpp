@@ -1,0 +1,91 @@
+// ChaosOrchestrator: runs one StormSchedule against a fresh multi-node
+// cluster carrying the serving + isolation workloads, with the
+// InvariantChecker attached for the whole run (DESIGN.md §15).
+//
+// Phases of one storm:
+//   1. build   — fresh Cluster seeded from the schedule, victim deployment
+//                ("web", 4 replicas, Service + PDB minAvailable=2) and a
+//                bulk deployment ("bulk", `density` replicas, Service).
+//   2. warmup  — replicas reach Running; baselines settle.
+//   3. storm   — background fault rates on, scripted events fire at their
+//                offsets, request traffic runs against both services.
+//   4. settle  — rates back to zero; paired recovers and partition windows
+//                complete; downed nodes are explicitly rebooted.
+//   5. drain   — both deployments scale to 0, loops stop, the kernel runs
+//                to quiescence, and the checker's quiescence sweep runs.
+//
+// The report carries a composite determinism bundle (fault + gate +
+// lifecycle + deployment + endpoints + traffic + violation traces plus a
+// summary line): two same-seed runs of the same schedule must produce
+// byte-identical bundles, which is also how the ScheduleShrinker decides
+// whether a rerun "still fails".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/chaos/invariants.hpp"
+#include "sim/chaos/schedule.hpp"
+
+namespace wasmctr::chaos {
+
+struct StormOptions {
+  uint32_t workers = 4;
+  /// Victim deployment size and its PDB floor.
+  uint32_t victim_replicas = 4;
+  uint32_t pdb_min_available = 2;
+  SimDuration warmup = sim_s(30.0);
+  SimDuration settle = sim_s(30.0);
+  SimDuration drain = sim_s(60.0);
+  /// Drive request traffic during the storm (off for shrink reruns, where
+  /// only the invariant verdict matters and speed does).
+  bool traffic = true;
+  uint32_t victim_requests = 200;
+  uint32_t bulk_requests = 200;
+  /// Per-worker node template; `seed` is overwritten from the schedule.
+  sim::NodeConfig node;
+  InvariantChecker::Options checker;
+  /// Transient-fault cap so every restartable pod eventually recovers.
+  uint32_t max_faults_per_target = 3;
+  /// Deliberately seeded bug (tests only): every executed tighten-pod
+  /// event leaks 1 MiB of anonymous memory on worker 0 and never
+  /// uncharges it, so the quiescence residency oracle fires iff the
+  /// schedule contains ≥1 tighten event. The shrink test uses this as a
+  /// known-minimal target the ScheduleShrinker must reduce to.
+  bool test_bug_leak_on_tighten = false;
+};
+
+struct StormReport {
+  uint64_t seed = 0;
+  uint32_t density = 0;
+  uint32_t events_executed = 0;
+  uint32_t violations = 0;
+  std::string violation_trace;
+  uint64_t faults_injected = 0;
+  uint32_t node_crashes = 0;
+  uint32_t pods_evicted = 0;
+  uint32_t eviction_deferrals = 0;
+  uint32_t victim_served = 0;
+  uint32_t victim_failed = 0;
+  uint32_t bulk_served = 0;
+  uint32_t bulk_failed = 0;
+  uint32_t checks_run = 0;
+  uint64_t kernel_events = 0;
+  bool quiesced = false;  ///< drain reached zero pods/slots/records
+  /// Composite canonical trace; byte-identical across same-seed runs.
+  std::string bundle;
+};
+
+class ChaosOrchestrator {
+ public:
+  explicit ChaosOrchestrator(StormOptions options = {}) : options_(options) {}
+
+  /// Run one storm start-to-quiescence. Each call builds a fresh cluster;
+  /// the orchestrator itself is stateless between runs.
+  [[nodiscard]] StormReport run(const StormSchedule& schedule);
+
+ private:
+  StormOptions options_;
+};
+
+}  // namespace wasmctr::chaos

@@ -1,0 +1,336 @@
+#include "sim/chaos/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/rng.hpp"
+
+namespace wasmctr::chaos {
+
+const char* chaos_event_kind_name(ChaosEventKind k) {
+  switch (k) {
+    case ChaosEventKind::kKillNode: return "kill-node";
+    case ChaosEventKind::kRecoverNode: return "recover-node";
+    case ChaosEventKind::kPartitionNode: return "partition-node";
+    case ChaosEventKind::kTightenPodLimit: return "tighten-pod";
+    case ChaosEventKind::kDeletePod: return "delete-pod";
+    case ChaosEventKind::kScaleDeployment: return "scale-deployment";
+    case ChaosEventKind::kFaultOnce: return "fault-once";
+  }
+  return "?";
+}
+
+Result<ChaosEventKind> parse_chaos_event_kind(std::string_view name) {
+  for (std::size_t k = 0; k < kChaosEventKindCount; ++k) {
+    const auto kind = static_cast<ChaosEventKind>(k);
+    if (name == chaos_event_kind_name(kind)) return kind;
+  }
+  return invalid_argument("unknown chaos event kind: " + std::string(name));
+}
+
+namespace {
+
+[[nodiscard]] Result<sim::FaultKind> parse_fault_kind(std::string_view name) {
+  for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+    const auto kind = static_cast<sim::FaultKind>(k);
+    if (name == sim::fault_kind_name(kind)) return kind;
+  }
+  return invalid_argument("unknown fault kind: " + std::string(name));
+}
+
+}  // namespace
+
+std::string ChaosEvent::to_line() const {
+  char buf[256];
+  switch (kind) {
+    case ChaosEventKind::kKillNode:
+    case ChaosEventKind::kRecoverNode:
+      std::snprintf(buf, sizeof buf, "event t=%.6f %s node=%u", at_s,
+                    chaos_event_kind_name(kind), node);
+      break;
+    case ChaosEventKind::kPartitionNode:
+      std::snprintf(buf, sizeof buf, "event t=%.6f %s node=%u window=%.6f",
+                    at_s, chaos_event_kind_name(kind), node, window_s);
+      break;
+    case ChaosEventKind::kTightenPodLimit:
+      std::snprintf(buf, sizeof buf, "event t=%.6f %s pod=%s bytes=%llu",
+                    at_s, chaos_event_kind_name(kind), target.c_str(),
+                    static_cast<unsigned long long>(value));
+      break;
+    case ChaosEventKind::kDeletePod:
+      std::snprintf(buf, sizeof buf, "event t=%.6f %s pod=%s", at_s,
+                    chaos_event_kind_name(kind), target.c_str());
+      break;
+    case ChaosEventKind::kScaleDeployment:
+      std::snprintf(buf, sizeof buf,
+                    "event t=%.6f %s deployment=%s replicas=%llu", at_s,
+                    chaos_event_kind_name(kind), target.c_str(),
+                    static_cast<unsigned long long>(value));
+      break;
+    case ChaosEventKind::kFaultOnce:
+      std::snprintf(buf, sizeof buf, "event t=%.6f %s kind=%s target=%s",
+                    at_s, chaos_event_kind_name(kind),
+                    sim::fault_kind_name(fault), target.c_str());
+      break;
+  }
+  return buf;
+}
+
+std::string StormSchedule::to_text() const {
+  std::string out = "# wasmctr chaos schedule v1\n";
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "seed %llu\n",
+                static_cast<unsigned long long>(seed));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "density %u\n", density);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "storm_s %.6f\n", storm_s);
+  out += buf;
+  for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+    if (rates[k] <= 0.0) continue;
+    std::snprintf(buf, sizeof buf, "rate %s %.6f\n",
+                  sim::fault_kind_name(static_cast<sim::FaultKind>(k)),
+                  rates[k]);
+    out += buf;
+  }
+  for (const ChaosEvent& ev : events) {
+    out += ev.to_line();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Tokenize one line on single spaces (the canonical writer never emits
+/// doubled separators; names cannot contain spaces).
+[[nodiscard]] std::vector<std::string_view> split_tokens(
+    std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t sp = line.find(' ', pos);
+    const std::size_t end = (sp == std::string_view::npos) ? line.size() : sp;
+    if (end > pos) out.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// "key=value" → value when the key matches, nullopt-style empty view plus
+/// false otherwise.
+[[nodiscard]] bool take_param(std::string_view token, std::string_view key,
+                              std::string_view& value) {
+  if (token.size() <= key.size() + 1) return false;
+  if (token.substr(0, key.size()) != key) return false;
+  if (token[key.size()] != '=') return false;
+  value = token.substr(key.size() + 1);
+  return true;
+}
+
+[[nodiscard]] Status parse_error(std::size_t line_no, const std::string& why) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "schedule line %zu: ", line_no);
+  return invalid_argument(buf + why);
+}
+
+[[nodiscard]] double to_double(std::string_view v) {
+  return std::strtod(std::string(v).c_str(), nullptr);
+}
+[[nodiscard]] uint64_t to_u64(std::string_view v) {
+  return std::strtoull(std::string(v).c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Result<StormSchedule> parse_schedule(const std::string& text) {
+  StormSchedule s;
+  s.storm_s = 0.0;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = (nl == std::string::npos) ? text.size() : nl;
+    const std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (nl == std::string::npos && line.empty()) break;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != "# wasmctr chaos schedule v1") {
+        return parse_error(line_no,
+                           "expected header '# wasmctr chaos schedule v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    const std::vector<std::string_view> tok = split_tokens(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "seed" && tok.size() == 2) {
+      s.seed = to_u64(tok[1]);
+    } else if (tok[0] == "density" && tok.size() == 2) {
+      s.density = static_cast<uint32_t>(to_u64(tok[1]));
+    } else if (tok[0] == "storm_s" && tok.size() == 2) {
+      s.storm_s = to_double(tok[1]);
+    } else if (tok[0] == "rate" && tok.size() == 3) {
+      auto kind = parse_fault_kind(tok[1]);
+      if (!kind.is_ok()) return parse_error(line_no, kind.status().message());
+      s.rates[static_cast<std::size_t>(kind.value())] = to_double(tok[2]);
+    } else if (tok[0] == "event") {
+      if (tok.size() < 3) return parse_error(line_no, "truncated event");
+      std::string_view t_str;
+      if (!take_param(tok[1], "t", t_str)) {
+        return parse_error(line_no, "event missing t=");
+      }
+      auto kind = parse_chaos_event_kind(tok[2]);
+      if (!kind.is_ok()) return parse_error(line_no, kind.status().message());
+      ChaosEvent ev;
+      ev.at_s = to_double(t_str);
+      ev.kind = kind.value();
+      std::string_view v;
+      for (std::size_t i = 3; i < tok.size(); ++i) {
+        if (take_param(tok[i], "node", v)) {
+          ev.node = static_cast<uint32_t>(to_u64(v));
+        } else if (take_param(tok[i], "window", v)) {
+          ev.window_s = to_double(v);
+        } else if (take_param(tok[i], "pod", v) ||
+                   take_param(tok[i], "deployment", v) ||
+                   take_param(tok[i], "target", v)) {
+          ev.target = std::string(v);
+        } else if (take_param(tok[i], "bytes", v) ||
+                   take_param(tok[i], "replicas", v)) {
+          ev.value = to_u64(v);
+        } else if (take_param(tok[i], "kind", v)) {
+          auto fk = parse_fault_kind(v);
+          if (!fk.is_ok()) return parse_error(line_no, fk.status().message());
+          ev.fault = fk.value();
+        } else {
+          return parse_error(line_no,
+                             "unknown event parameter: " + std::string(tok[i]));
+        }
+      }
+      s.events.push_back(std::move(ev));
+    } else {
+      return parse_error(line_no,
+                         "unknown directive: " + std::string(tok[0]));
+    }
+  }
+  if (!saw_header) return invalid_argument("empty schedule: missing header");
+  return s;
+}
+
+StormSchedule generate_storm(uint64_t seed, uint32_t density,
+                             const GenerateOptions& options) {
+  StormSchedule s;
+  s.seed = seed;
+  s.density = density;
+  s.storm_s = options.storm_s;
+  for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+    if (sim::fault_kind_is_node_scoped(static_cast<sim::FaultKind>(k))) {
+      continue;
+    }
+    s.rates[k] = options.background_rate;
+  }
+
+  // All draws come from one forked stream, consumed in a fixed order, so
+  // the schedule is a pure function of (seed, density, options).
+  Rng rng = Rng(seed).fork("chaos-storm");
+  char name[64];
+  const auto bulk_pod = [&](uint32_t ordinal) {
+    std::snprintf(name, sizeof name, "%s-%05u", options.bulk.c_str(),
+                  ordinal);
+    return std::string(name);
+  };
+
+  // Node kill/recover pairs: every kill is matched by an explicit recover
+  // 20–40 s later, so the storm itself cannot leave the cluster dead.
+  const uint32_t kills = 1 + static_cast<uint32_t>(rng.next_below(2));
+  for (uint32_t i = 0; i < kills; ++i) {
+    ChaosEvent kill;
+    kill.kind = ChaosEventKind::kKillNode;
+    kill.node = static_cast<uint32_t>(rng.next_below(options.workers));
+    kill.at_s = rng.uniform(0.10, 0.55) * s.storm_s;
+    ChaosEvent rec;
+    rec.kind = ChaosEventKind::kRecoverNode;
+    rec.node = kill.node;
+    rec.at_s = kill.at_s + rng.uniform(20.0, 40.0);
+    s.events.push_back(kill);
+    s.events.push_back(rec);
+  }
+
+  const uint32_t partitions = 1 + static_cast<uint32_t>(rng.next_below(2));
+  for (uint32_t i = 0; i < partitions; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosEventKind::kPartitionNode;
+    ev.node = static_cast<uint32_t>(rng.next_below(options.workers));
+    ev.at_s = rng.uniform(0.10, 0.70) * s.storm_s;
+    ev.window_s = rng.uniform(5.0, 30.0);
+    s.events.push_back(ev);
+  }
+
+  const uint32_t tightens = 1 + static_cast<uint32_t>(rng.next_below(3));
+  for (uint32_t i = 0; i < tightens; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosEventKind::kTightenPodLimit;
+    std::snprintf(name, sizeof name, "%s-%05u", options.victim.c_str(),
+                  static_cast<uint32_t>(rng.next_below(4)));
+    ev.target = name;
+    ev.at_s = rng.uniform(0.20, 0.80) * s.storm_s;
+    ev.value = (6 + rng.next_below(5)) * (1ull << 20);  // 6–10 MiB
+    s.events.push_back(ev);
+  }
+
+  const uint32_t deletes = 1 + static_cast<uint32_t>(rng.next_below(3));
+  for (uint32_t i = 0; i < deletes; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosEventKind::kDeletePod;
+    ev.target =
+        bulk_pod(static_cast<uint32_t>(rng.next_below(std::max(density, 1u))));
+    ev.at_s = rng.uniform(0.15, 0.85) * s.storm_s;
+    s.events.push_back(ev);
+  }
+
+  // Scale bounce: halve the bulk deployment mid-storm, restore later.
+  {
+    ChaosEvent down;
+    down.kind = ChaosEventKind::kScaleDeployment;
+    down.target = options.bulk;
+    down.value = std::max(1u, density / 2);
+    down.at_s = rng.uniform(0.25, 0.45) * s.storm_s;
+    ChaosEvent up;
+    up.kind = ChaosEventKind::kScaleDeployment;
+    up.target = options.bulk;
+    up.value = density;
+    up.at_s = rng.uniform(0.60, 0.85) * s.storm_s;
+    s.events.push_back(down);
+    s.events.push_back(up);
+  }
+
+  // Armed one-shots on container-scoped kinds: each fires at the target
+  // pod's first start-path decision at or after its time.
+  static constexpr sim::FaultKind kOneShotKinds[] = {
+      sim::FaultKind::kCriTransient, sim::FaultKind::kSandboxCreate,
+      sim::FaultKind::kShimCrash, sim::FaultKind::kEngineInstantiate,
+      sim::FaultKind::kOomKill,
+  };
+  const uint32_t one_shots = 2 + static_cast<uint32_t>(rng.next_below(3));
+  for (uint32_t i = 0; i < one_shots; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosEventKind::kFaultOnce;
+    ev.fault = kOneShotKinds[rng.next_below(std::size(kOneShotKinds))];
+    ev.target =
+        bulk_pod(static_cast<uint32_t>(rng.next_below(std::max(density, 1u))));
+    ev.at_s = rng.uniform(0.10, 0.90) * s.storm_s;
+    s.events.push_back(ev);
+  }
+
+  std::stable_sort(
+      s.events.begin(), s.events.end(),
+      [](const ChaosEvent& a, const ChaosEvent& b) { return a.at_s < b.at_s; });
+  return s;
+}
+
+}  // namespace wasmctr::chaos

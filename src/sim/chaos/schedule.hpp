@@ -1,0 +1,95 @@
+// Storm schedules: the replayable unit of chaos (DESIGN.md §15).
+//
+// A StormSchedule is everything the ChaosOrchestrator needs to reproduce
+// one fault storm bit-for-bit: the seed (workload + fault-plan RNG), the
+// bulk-deployment density, the storm length, background fault rates, and
+// a sorted list of scripted one-shot events (kill node N at t, tighten
+// pod P's limit, partition for a window, delete/scale mid-traffic, arm a
+// FaultInjector one-shot). Schedules round-trip through a line-oriented
+// text format so a minimized reproducer can be saved to disk and replayed
+// with `bench_chaos --replay <file>`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "support/status.hpp"
+
+namespace wasmctr::chaos {
+
+/// Scripted one-shot actions a storm can contain, beyond the background
+/// fault rates. Node events address workers by index; pod/deployment
+/// events address API objects by name.
+enum class ChaosEventKind : uint8_t {
+  kKillNode = 0,      ///< crash worker `node` (cluster.crash_node)
+  kRecoverNode,       ///< reboot worker `node` if it is down
+  kPartitionNode,     ///< partition worker `node` for `window_s`
+  kTightenPodLimit,   ///< set pod `target`'s cgroup memory.max to `value`
+  kDeletePod,         ///< api.delete_pod(target) mid-traffic
+  kScaleDeployment,   ///< scale deployment `target` to `value` replicas
+  kFaultOnce,         ///< faults().schedule_once(fault, target, t)
+};
+inline constexpr std::size_t kChaosEventKindCount = 7;
+
+[[nodiscard]] const char* chaos_event_kind_name(ChaosEventKind k);
+/// Name → kind; kInvalidArgument for an unknown name.
+[[nodiscard]] Result<ChaosEventKind> parse_chaos_event_kind(
+    std::string_view name);
+
+/// One scripted event. `at_s` is seconds after storm start (schedules are
+/// position-independent: the orchestrator anchors them after warmup).
+struct ChaosEvent {
+  double at_s = 0.0;
+  ChaosEventKind kind = ChaosEventKind::kKillNode;
+  uint32_t node = 0;       ///< worker index (node-scoped kinds)
+  std::string target;      ///< pod / deployment / fault-target name
+  uint64_t value = 0;      ///< bytes (tighten) or replicas (scale)
+  double window_s = 0.0;   ///< partition length
+  sim::FaultKind fault = sim::FaultKind::kCriTransient;  ///< kFaultOnce
+
+  /// Canonical one-line form ("event t=12.345678 kill-node node=1").
+  [[nodiscard]] std::string to_line() const;
+};
+
+struct StormSchedule {
+  uint64_t seed = 0;
+  /// Bulk-deployment replica count — the load axis the storm runs under.
+  uint32_t density = 0;
+  double storm_s = 120.0;
+  /// Background probabilistic rates, indexed by sim::FaultKind.
+  std::array<double, sim::kFaultKindCount> rates{};
+  /// Scripted events, sorted ascending by at_s (ties keep file order).
+  std::vector<ChaosEvent> events;
+
+  /// Canonical text form; parse_schedule() round-trips it exactly
+  /// (to_text(parse(to_text(s))) == to_text(s)).
+  [[nodiscard]] std::string to_text() const;
+};
+
+struct GenerateOptions {
+  uint32_t workers = 4;
+  double storm_s = 120.0;
+  /// Background rate applied to every container-scoped fault kind.
+  double background_rate = 0.02;
+  /// Victim deployment (replicas fixed at 4, PDB-covered) and bulk
+  /// deployment names — targets for tighten/delete/scale events.
+  std::string victim = "web";
+  std::string bulk = "bulk";
+};
+
+/// Deterministically derive a storm from (seed, density): node kill/recover
+/// pairs, partition windows, pod-limit tightenings, mid-traffic deletes, a
+/// scale-down/up bounce of the bulk deployment, and armed fault one-shots.
+/// Pure function of its arguments — same inputs, same schedule.
+[[nodiscard]] StormSchedule generate_storm(uint64_t seed, uint32_t density,
+                                           const GenerateOptions& options = {});
+
+/// Parse the text form written by StormSchedule::to_text(). Errors carry
+/// the offending line number.
+[[nodiscard]] Result<StormSchedule> parse_schedule(const std::string& text);
+
+}  // namespace wasmctr::chaos

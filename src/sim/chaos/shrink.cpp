@@ -1,0 +1,113 @@
+#include "sim/chaos/shrink.hpp"
+
+#include <algorithm>
+
+namespace wasmctr::chaos {
+
+bool ScheduleShrinker::check(const StormSchedule& candidate,
+                             ShrinkResult& result) {
+  if (result.oracle_runs >= max_runs_) {
+    result.budget_exhausted = true;
+    return false;
+  }
+  ++result.oracle_runs;
+  return oracle_(candidate);
+}
+
+ShrinkResult ScheduleShrinker::shrink(const StormSchedule& failing) {
+  ShrinkResult result;
+  result.original_events = static_cast<uint32_t>(failing.events.size());
+  StormSchedule best = failing;
+
+  // 1. ddmin over the event list. Try the empty list first (the failure
+  // may come from the background rates alone), then complement reduction
+  // with doubling granularity.
+  {
+    StormSchedule cand = best;
+    cand.events.clear();
+    if (!best.events.empty() && check(cand, result)) best = cand;
+  }
+  std::size_t n = 2;
+  while (best.events.size() >= 2 && n <= best.events.size()) {
+    const std::size_t chunk = (best.events.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t i = 0; i < n && !reduced; ++i) {
+      StormSchedule cand = best;
+      cand.events.clear();
+      for (std::size_t j = 0; j < best.events.size(); ++j) {
+        if (j / chunk == i) continue;  // drop chunk i
+        cand.events.push_back(best.events[j]);
+      }
+      if (cand.events.size() == best.events.size()) continue;
+      if (check(cand, result)) {
+        best = std::move(cand);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (n >= best.events.size()) break;
+      n = std::min(best.events.size(), n * 2);
+    }
+  }
+
+  // 2. Halve partition windows while the failure survives.
+  for (std::size_t i = 0; i < best.events.size(); ++i) {
+    if (best.events[i].kind != ChaosEventKind::kPartitionNode) continue;
+    while (best.events[i].window_s > 2.0) {
+      StormSchedule cand = best;
+      cand.events[i].window_s = best.events[i].window_s / 2.0;
+      if (!check(cand, result)) break;
+      best = std::move(cand);
+    }
+  }
+
+  // 3. Shorten the storm. The storm must still contain every remaining
+  // event, so the floor is the latest event time plus a second.
+  {
+    double floor_s = 1.0;
+    for (const ChaosEvent& ev : best.events) {
+      floor_s = std::max(floor_s, ev.at_s + 1.0);
+    }
+    while (best.storm_s / 2.0 >= floor_s) {
+      StormSchedule cand = best;
+      cand.storm_s = best.storm_s / 2.0;
+      if (!check(cand, result)) break;
+      best = std::move(cand);
+    }
+  }
+
+  // 4. Halve the bulk density (the load axis) down to a single replica.
+  while (best.density > 1) {
+    StormSchedule cand = best;
+    cand.density = std::max(1u, best.density / 2);
+    if (!check(cand, result)) break;
+    best = std::move(cand);
+  }
+
+  // 5. Zero the background rates — all at once, then kind by kind.
+  {
+    StormSchedule cand = best;
+    bool any = false;
+    for (double& r : cand.rates) {
+      any = any || r > 0.0;
+      r = 0.0;
+    }
+    if (any && check(cand, result)) {
+      best = std::move(cand);
+    } else if (any) {
+      for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+        if (best.rates[k] <= 0.0) continue;
+        StormSchedule one = best;
+        one.rates[k] = 0.0;
+        if (check(one, result)) best = std::move(one);
+      }
+    }
+  }
+
+  result.minimal = std::move(best);
+  result.minimal_events = static_cast<uint32_t>(result.minimal.events.size());
+  return result;
+}
+
+}  // namespace wasmctr::chaos

@@ -1,0 +1,53 @@
+// ScheduleShrinker: reduce a failing StormSchedule to a minimal
+// reproducer (DESIGN.md §15).
+//
+// Given a schedule whose run violated an invariant (or diverged from its
+// same-seed rerun) and an oracle that reruns a candidate and reports
+// whether the failure still reproduces, the shrinker applies delta
+// debugging (ddmin) over the event list, then tries cheaper dimensional
+// reductions: halving partition windows, shortening the storm, halving
+// the bulk density, and zeroing background fault rates. The result is the
+// smallest schedule the budgeted number of reruns could confirm — written
+// out via StormSchedule::to_text() it becomes the `--schedule` file that
+// `bench_chaos --replay` reproduces exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/chaos/schedule.hpp"
+
+namespace wasmctr::chaos {
+
+struct ShrinkResult {
+  StormSchedule minimal;
+  uint32_t oracle_runs = 0;      ///< reruns actually performed
+  uint32_t original_events = 0;
+  uint32_t minimal_events = 0;
+  bool budget_exhausted = false; ///< stopped on max_runs, not convergence
+};
+
+class ScheduleShrinker {
+ public:
+  /// Rerun `candidate` and report whether the failure reproduces. Must be
+  /// deterministic (the orchestrator's same-seed guarantee makes it so).
+  using Oracle = std::function<bool(const StormSchedule&)>;
+
+  explicit ScheduleShrinker(Oracle still_fails, uint32_t max_runs = 300)
+      : oracle_(std::move(still_fails)), max_runs_(max_runs) {}
+
+  /// `failing` must already reproduce (the shrinker does not re-verify the
+  /// input). Returns a schedule that still fails, with as many events and
+  /// as much magnitude removed as the rerun budget allowed.
+  [[nodiscard]] ShrinkResult shrink(const StormSchedule& failing);
+
+ private:
+  /// Budgeted oracle call; false once max_runs is exhausted.
+  [[nodiscard]] bool check(const StormSchedule& candidate,
+                           ShrinkResult& result);
+
+  Oracle oracle_;
+  uint32_t max_runs_;
+};
+
+}  // namespace wasmctr::chaos

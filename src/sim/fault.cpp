@@ -55,13 +55,63 @@ double FaultInjector::rate(FaultKind kind) const noexcept {
   return rates_[static_cast<std::size_t>(kind)];
 }
 
+Status FaultInjector::schedule_once(FaultKind kind, std::string_view target,
+                                    SimTime t) {
+  if (t < kernel_.now()) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "schedule_once(%s): t=%.6fs is before now=%.6fs",
+                  fault_kind_name(kind), to_seconds(t),
+                  to_seconds(kernel_.now()));
+    return invalid_argument(msg);
+  }
+  const TargetKeyLess::View key{static_cast<uint8_t>(kind), target};
+  auto it = armed_.find(key);
+  if (it == armed_.end()) {
+    it = armed_
+             .emplace(TargetKey{key.first, std::string(target)},
+                      std::vector<SimTime>{})
+             .first;
+  }
+  std::vector<SimTime>& times = it->second;
+  times.insert(std::upper_bound(times.begin(), times.end(), t), t);
+  ++armed_count_;
+  return Status::ok();
+}
+
 bool FaultInjector::should_fault(FaultKind kind, std::string_view target) {
+  const TargetKeyLess::View key{static_cast<uint8_t>(kind), target};
+
+  // Armed one-shots fire first (and bypass the rate/cap machinery): the
+  // earliest arming at or before now is consumed by this decision.
+  if (armed_count_ > 0) {
+    const auto ait = armed_.find(key);
+    if (ait != armed_.end() && !ait->second.empty() &&
+        ait->second.front() <= kernel_.now()) {
+      ait->second.erase(ait->second.begin());
+      if (ait->second.empty()) armed_.erase(ait);
+      --armed_count_;
+      auto cit = counters_.find(key);
+      if (cit == counters_.end()) {
+        cit = counters_
+                  .emplace(TargetKey{key.first, std::string(target)},
+                           TargetState{})
+                  .first;
+      }
+      TargetState& state = cit->second;
+      const uint32_t occurrence = state.decisions++;
+      ++state.injected;
+      trace_.push_back(
+          {kernel_.now(), kind, std::string(target), occurrence});
+      return true;
+    }
+  }
+
   const double rate = rates_[static_cast<std::size_t>(kind)];
   if (rate <= 0.0) return false;
 
   // Heterogeneous lookup: no string is built unless this is the first
   // decision ever made for (kind, target).
-  const TargetKeyLess::View key{static_cast<uint8_t>(kind), target};
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     it = counters_

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/kernel.hpp"
+#include "support/status.hpp"
 #include "support/units.hpp"
 
 namespace wasmctr::sim {
@@ -84,10 +85,41 @@ class FaultInjector {
   /// nonsense probability.
   void set_rate(FaultKind kind, double rate);
   /// Set every *container-scoped* kind to `rate`. Node-scoped kinds
-  /// (crash/partition) are left untouched: a "10 % lifecycle faults" sweep
-  /// should not also start killing whole nodes at that rate.
+  /// (crash/partition) are deliberately excluded, for two reasons. First,
+  /// scale: container kinds are consulted once per container-start attempt,
+  /// but node kinds are consulted at *every kubelet heartbeat* (10 s
+  /// cadence, forever), so a "10 % lifecycle faults" sweep would also kill
+  /// each node with p=0.1 every 10 s — the whole cluster would be dead in
+  /// about a virtual minute, drowning the effect being swept. Second,
+  /// blast radius: one container fault costs one restart, one node fault
+  /// costs every pod on the node; mixing the two under a single knob makes
+  /// blast radius a hidden function of the sweep parameter. Node faults
+  /// are therefore opt-in only, via set_rate(kNodeCrash/kNodePartition, r)
+  /// or a scheduled schedule_once() one-shot.
   void set_rate_all(double rate);
   [[nodiscard]] double rate(FaultKind kind) const noexcept;
+
+  /// Arm a one-shot fault: the first should_fault(kind, target) decision
+  /// at or after `t` fires unconditionally (and consumes the arming).
+  /// This is how scripted chaos schedules express "kill node N at t" /
+  /// "OOM pod P at t" without touching the probabilistic rates — the
+  /// one-shot rides the kind's natural decision point (a node kind fires
+  /// at the target kubelet's next heartbeat ≥ t, a container kind at the
+  /// target's next start attempt ≥ t), so determinism is preserved.
+  /// Validation mirrors set_rate's sanitizing: a `t` earlier than now()
+  /// is rejected (kInvalidArgument) rather than silently clamped, since a
+  /// past one-shot would fire at an interleaving-dependent "next decision".
+  /// Multiple one-shots for the same (kind, target) queue up and fire one
+  /// per decision, earliest arming first. One-shots bypass
+  /// max_faults_per_target (an explicit instruction is not a random
+  /// transient) but advance the same occurrence counters and land in the
+  /// same trace as rate-drawn faults.
+  Status schedule_once(FaultKind kind, std::string_view target, SimTime t);
+
+  /// One-shots armed and not yet fired (all kinds/targets).
+  [[nodiscard]] std::size_t one_shots_pending() const noexcept {
+    return armed_count_;
+  }
 
   /// Faults are transient: after this many injections for one
   /// (kind, target) pair, further decisions pass. A finite cap guarantees
@@ -96,8 +128,12 @@ class FaultInjector {
     max_faults_per_target_ = n;
   }
 
-  /// Fast path guard: true when any rate is non-zero.
-  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  /// Fast path guard: true when any rate is non-zero or a one-shot is
+  /// armed. Callers gate every should_fault() on this, so an armed
+  /// one-shot must flip it even with all rates at zero.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_ || armed_count_ > 0;
+  }
 
   /// The decision point. Deterministic in (seed, kind, target, occurrence);
   /// records injected faults in the trace.
@@ -151,6 +187,10 @@ class FaultInjector {
   std::array<double, kFaultKindCount> rates_{};
   uint32_t max_faults_per_target_ = std::numeric_limits<uint32_t>::max();
   std::map<TargetKey, TargetState, TargetKeyLess> counters_;
+  /// Armed one-shot fire times per (kind, target), kept sorted ascending;
+  /// armed_count_ mirrors the total so enabled() stays O(1).
+  std::map<TargetKey, std::vector<SimTime>, TargetKeyLess> armed_;
+  std::size_t armed_count_ = 0;
   std::vector<FaultRecord> trace_;
 };
 

@@ -1,0 +1,92 @@
+// CrashLoopBackOff reset-boundary tests: pins the stock kubelet constants
+// (10 s base, ×2 growth, 300 s cap, reset after 600 s of healthy running)
+// and the exact boundary semantics — healthy for 599 s keeps the backoff
+// curve, healthy for 600 s resets it.
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+
+namespace wasmctr::k8s {
+namespace {
+
+TEST(CrashLoopBoundaryTest, StockConstantsArePinned) {
+  Cluster cluster;
+  const KubeletConfig& config = cluster.kubelet().config();
+  EXPECT_EQ(config.backoff_base, sim_s(10.0));
+  EXPECT_EQ(config.backoff_cap, sim_s(300.0));
+  EXPECT_EQ(config.backoff_reset_after, sim_s(600.0));
+
+  // delay(k) = min(10 · 2^(k−1), 300) s.
+  EXPECT_EQ(cluster.kubelet().backoff_delay(0), SimDuration{0});
+  EXPECT_EQ(cluster.kubelet().backoff_delay(1), sim_s(10.0));
+  EXPECT_EQ(cluster.kubelet().backoff_delay(2), sim_s(20.0));
+  EXPECT_EQ(cluster.kubelet().backoff_delay(3), sim_s(40.0));
+  EXPECT_EQ(cluster.kubelet().backoff_delay(4), sim_s(80.0));
+  EXPECT_EQ(cluster.kubelet().backoff_delay(5), sim_s(160.0));
+  EXPECT_EQ(cluster.kubelet().backoff_delay(6), sim_s(300.0)) << "the cap";
+  EXPECT_EQ(cluster.kubelet().backoff_delay(7), sim_s(300.0))
+      << "the curve must saturate, not keep doubling";
+}
+
+TEST(CrashLoopBoundaryTest, HealthyFor599sKeepsCurve600sResetsIt) {
+  ClusterOptions opts;
+  opts.restart_policy = RestartPolicy::kOnFailure;
+  Cluster cluster(opts);
+  PodSpec spec;
+  spec.name = "leaky";
+  spec.image = "microservice:wasm";
+  spec.runtime_class = "crun-wamr";
+  spec.memory_limit = 32ull << 20;  // enough to start, not to spike
+  spec.restart_policy = RestartPolicy::kOnFailure;
+  ASSERT_TRUE(cluster.deploy_pod(std::move(spec)).is_ok());
+  cluster.run();
+
+  // Kernel OOM kill (exit 137) through the CRI exit watch — the same
+  // post-Running failure path a real memory spike takes.
+  const auto oom_now = [&cluster] {
+    const Pod* pod = cluster.api().pod("leaky");
+    ASSERT_NE(pod, nullptr);
+    ASSERT_EQ(pod->status.phase, PodPhase::kRunning);
+    EXPECT_EQ(cluster.cri()
+                  .grow_container_memory(pod->status.container_id,
+                                         Bytes(64ull << 20))
+                  .code(),
+              ErrorCode::kResourceExhausted);
+  };
+
+  // Failure #1 right after the first Running: attempt 1, 10 s delay.
+  oom_now();
+  cluster.run();
+
+  // Healthy for exactly 599 s — one second short of the reset window:
+  // the counter must keep the curve and double to 20 s.
+  const SimTime healthy_599 = cluster.api().pod("leaky")->status.running_at;
+  cluster.run_until(healthy_599 + sim_s(599.0));
+  oom_now();
+  cluster.run();
+
+  // Healthy for exactly 600 s — the boundary is inclusive (stock kubelet:
+  // "ran successfully for at least backoff_reset_after"): the counter
+  // resets and the next failure starts the curve over at 10 s.
+  const SimTime healthy_600 = cluster.api().pod("leaky")->status.running_at;
+  cluster.run_until(healthy_600 + sim_s(600.0));
+  oom_now();
+  cluster.run();
+
+  const auto& trace = cluster.kubelet().backoff_trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].attempt, 1u);
+  EXPECT_EQ(trace[0].delay, sim_s(10.0));
+  EXPECT_EQ(trace[1].attempt, 2u) << "599 s of healthy running must NOT "
+                                     "reset the consecutive-failure count";
+  EXPECT_EQ(trace[1].delay, sim_s(20.0));
+  EXPECT_EQ(trace[2].attempt, 1u)
+      << "600 s of healthy running must reset the count";
+  EXPECT_EQ(trace[2].delay, sim_s(10.0));
+
+  EXPECT_EQ(cluster.api().pod("leaky")->status.phase, PodPhase::kRunning);
+  EXPECT_EQ(cluster.api().pod("leaky")->status.restart_count, 3u);
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

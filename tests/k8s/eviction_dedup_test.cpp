@@ -1,0 +1,178 @@
+// Regression tests for the deferral pile-up fix: the DisruptionGate's
+// pending-deferral registry, and the kubelet rule that only a *fresh*
+// deferral arms the pressure-eviction backoff retry — a pod already
+// deferred on the NodeLost path (retried by the lifecycle controller's
+// monitor tick) must not get a second, duplicate retry enqueued.
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+#include "k8s/disruption.hpp"
+
+namespace wasmctr::k8s {
+namespace {
+
+[[nodiscard]] PodSpec service_pod(const std::string& name,
+                                  uint64_t memory_limit = 0) {
+  PodSpec spec;
+  spec.name = name;
+  spec.image = "request-service:wasm";
+  spec.runtime_class = "crun-wamr";
+  spec.labels = {{"app", "guarded"}};
+  spec.memory_limit = memory_limit;
+  return spec;
+}
+
+// A pod that drives an admission-time pressure scan without becoming an
+// eviction candidate (it has a memory limit) and without matching the
+// guard PDB (going Running must not top up the victim's budget).
+[[nodiscard]] PodSpec trigger_pod(const std::string& name) {
+  PodSpec spec = service_pod(name, 64ull << 20);
+  spec.labels = {{"app", "trigger"}};
+  return spec;
+}
+
+[[nodiscard]] ClusterOptions pressured_options() {
+  ClusterOptions opts;
+  // Floor at physical RAM: `available` can never satisfy it, so every
+  // admission-triggered scan sees pressure and walks the candidate list.
+  opts.eviction_min_available = opts.node.ram;
+  return opts;
+}
+
+void install_guard_pdb(Cluster& cluster, uint32_t min_available) {
+  PodDisruptionBudget pdb;
+  pdb.name = "guard";
+  pdb.selector = {{"app", "guarded"}};
+  pdb.min_available = min_available;
+  ASSERT_TRUE(cluster.api().create_pod_disruption_budget(pdb).is_ok());
+}
+
+TEST(EvictionDedupTest, GateTracksPendingDeferralsPerPod) {
+  Cluster cluster;
+  install_guard_pdb(cluster, 2);
+  ASSERT_TRUE(cluster.deploy_pod(service_pod("pa")).is_ok());
+  ASSERT_TRUE(cluster.deploy_pod(service_pod("pb")).is_ok());
+  cluster.run();
+  DisruptionGate& gate = cluster.disruption_gate();
+  EXPECT_FALSE(gate.deferral_pending("pa"));
+
+  // Two Running matching pods at minAvailable 2: any eviction is denied
+  // and leaves a pending-deferral mark.
+  EXPECT_FALSE(gate.allow_eviction(*cluster.api().pod("pa"), "NodeLost"));
+  EXPECT_TRUE(gate.deferral_pending("pa"));
+  EXPECT_FALSE(gate.deferral_pending("pb"));
+  EXPECT_EQ(gate.deferrals(), 1u);
+
+  // A third Running pod restores the budget: the retried eviction is
+  // admitted and the mark clears.
+  ASSERT_TRUE(cluster.deploy_pod(service_pod("pc")).is_ok());
+  cluster.run();
+  EXPECT_TRUE(gate.allow_eviction(*cluster.api().pod("pa"), "NodeLost"));
+  EXPECT_FALSE(gate.deferral_pending("pa"));
+}
+
+TEST(EvictionDedupTest, DeletingADeferredPodClearsItsMark) {
+  Cluster cluster;
+  install_guard_pdb(cluster, 1);
+  ASSERT_TRUE(cluster.deploy_pod(service_pod("lone")).is_ok());
+  cluster.run();
+  DisruptionGate& gate = cluster.disruption_gate();
+  ASSERT_FALSE(gate.allow_eviction(*cluster.api().pod("lone"), "NodeLost"));
+  ASSERT_TRUE(gate.deferral_pending("lone"));
+
+  ASSERT_TRUE(cluster.api().delete_pod("lone").is_ok());
+  EXPECT_FALSE(gate.deferral_pending("lone"))
+      << "a deleted pod can never be retried; a later pod reusing the "
+         "name must start clean";
+}
+
+TEST(EvictionDedupTest, FreshPressureDeferralArmsExactlyOneRetry) {
+  Cluster cluster(pressured_options());
+  install_guard_pdb(cluster, 1);
+  // The only matching no-limit Running pod: pressure wants it, the PDB
+  // denies it (1 running == minAvailable 1), so the scan defers.
+  ASSERT_TRUE(cluster.deploy_pod(service_pod("victim")).is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.api().pod("victim")->status.phase, PodPhase::kRunning);
+  ASSERT_FALSE(cluster.kubelet().eviction_retry_pending());
+
+  // An admission triggers the pressure scan. The trigger pod carries a
+  // memory limit so it never becomes an eviction candidate itself. One
+  // second covers bind + sync while staying under the 10 s retry period.
+  ASSERT_TRUE(
+      cluster.deploy_pod(trigger_pod("trigger")).is_ok());
+  cluster.run_for(sim_s(1.0));
+  EXPECT_TRUE(cluster.kubelet().eviction_retry_pending())
+      << "a fresh deferral must arm the backoff retry";
+  EXPECT_TRUE(cluster.disruption_gate().deferral_pending("victim"));
+  const uint32_t deferrals = cluster.disruption_gate().deferrals();
+  EXPECT_GE(deferrals, 1u);
+
+  // This path owns the deferral, so the loop stays alive: the retry
+  // fires after eviction_retry_period, re-scans, defers again, and
+  // re-arms exactly one successor — at most one retry in flight at any
+  // time (the pending flag gates schedule_eviction_retry), never a
+  // second parallel chain.
+  EXPECT_EQ(cluster.disruption_gate().deferral_owner("victim"),
+            "NodePressure");
+  cluster.run_for(cluster.kubelet().config().eviction_retry_period +
+                  sim_s(1.0));
+  EXPECT_TRUE(cluster.kubelet().eviction_retry_pending())
+      << "an own-path deferral must keep the backoff loop alive until "
+         "pressure relents or the budget frees";
+  EXPECT_GT(cluster.disruption_gate().deferrals(), deferrals)
+      << "the armed retry itself must have re-run the scan once";
+  EXPECT_EQ(cluster.kubelet().pods_evicted(), 0u);
+  EXPECT_EQ(cluster.api().pod("victim")->status.phase, PodPhase::kRunning);
+}
+
+TEST(EvictionDedupTest, NodeLostDeferralSuppressesPressureRetry) {
+  // The cross-path pile-up regression: the pod is already deferred via
+  // the NodeLost path (lifecycle controller retries it every monitor
+  // tick) when the kubelet's pressure scan hits it. The scan must still
+  // count the deferral but must NOT arm its own duplicate backoff retry.
+  Cluster cluster(pressured_options());
+  install_guard_pdb(cluster, 1);
+  ASSERT_TRUE(cluster.deploy_pod(service_pod("victim")).is_ok());
+  cluster.run();
+  ASSERT_EQ(cluster.api().pod("victim")->status.phase, PodPhase::kRunning);
+
+  // The NodeLost path defers first (exactly the call the lifecycle
+  // controller makes on its tick).
+  ASSERT_FALSE(cluster.disruption_gate().allow_eviction(
+      *cluster.api().pod("victim"), "NodeLost"));
+  ASSERT_TRUE(cluster.disruption_gate().deferral_pending("victim"));
+  ASSERT_FALSE(cluster.kubelet().eviction_retry_pending());
+
+  ASSERT_TRUE(
+      cluster.deploy_pod(trigger_pod("trigger")).is_ok());
+  cluster.run_for(sim_s(1.0));
+  EXPECT_FALSE(cluster.kubelet().eviction_retry_pending())
+      << "a pod deferred on the NodeLost path must not also arm the "
+         "kubelet's pressure retry (double-enqueue)";
+  EXPECT_GE(cluster.disruption_gate().deferrals(), 2u)
+      << "the pressure scan still records its deferral";
+}
+
+TEST(EvictionDedupTest, NodeCrashClearsTheRetryFlag) {
+  Cluster cluster(pressured_options());
+  install_guard_pdb(cluster, 1);
+  ASSERT_TRUE(cluster.deploy_pod(service_pod("victim")).is_ok());
+  cluster.run();
+  ASSERT_TRUE(
+      cluster.deploy_pod(trigger_pod("trigger")).is_ok());
+  cluster.run_for(sim_s(1.0));
+  ASSERT_TRUE(cluster.kubelet().eviction_retry_pending());
+
+  // The in-flight retry carries the old epoch; crash() must reset the
+  // flag so a post-recover deferral can arm a fresh, current-epoch retry
+  // (the stale one is a no-op and must not clear the fresh one's flag).
+  cluster.kubelet().crash();
+  EXPECT_FALSE(cluster.kubelet().eviction_retry_pending());
+  cluster.run();
+  EXPECT_FALSE(cluster.kubelet().eviction_retry_pending())
+      << "the stale pre-crash retry must not touch the flag when it fires";
+}
+
+}  // namespace
+}  // namespace wasmctr::k8s

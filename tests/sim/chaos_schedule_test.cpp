@@ -1,0 +1,170 @@
+// StormSchedule tests: deterministic generation, the canonical text form,
+// and the parser that round-trips minimized reproducers for --replay.
+#include "sim/chaos/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wasmctr::chaos {
+namespace {
+
+TEST(ChaosScheduleTest, GenerateIsAPureFunctionOfItsArguments) {
+  const StormSchedule a = generate_storm(1234, 10);
+  const StormSchedule b = generate_storm(1234, 10);
+  EXPECT_EQ(a.to_text(), b.to_text());
+  EXPECT_NE(a.to_text(), generate_storm(1235, 10).to_text())
+      << "a different seed must draw a different storm";
+  EXPECT_NE(a.to_text(), generate_storm(1234, 20).to_text())
+      << "density is part of the schedule identity";
+}
+
+TEST(ChaosScheduleTest, GeneratedStormsAreWellFormed) {
+  for (const uint64_t seed : {1ull, 7ull, 404ull, 9999ull}) {
+    const StormSchedule s = generate_storm(seed, 12);
+    EXPECT_EQ(s.seed, seed);
+    EXPECT_EQ(s.density, 12u);
+    EXPECT_FALSE(s.events.empty());
+    uint32_t kills = 0;
+    uint32_t recovers = 0;
+    for (std::size_t i = 0; i < s.events.size(); ++i) {
+      const ChaosEvent& ev = s.events[i];
+      EXPECT_GE(ev.at_s, 0.0);
+      EXPECT_LE(ev.at_s, s.storm_s + 40.0);  // recovers trail their kill
+      if (i > 0) {
+        EXPECT_LE(s.events[i - 1].at_s, ev.at_s) << "events must be sorted";
+      }
+      if (ev.kind == ChaosEventKind::kKillNode) ++kills;
+      if (ev.kind == ChaosEventKind::kRecoverNode) ++recovers;
+      if (ev.kind == ChaosEventKind::kPartitionNode) {
+        EXPECT_GT(ev.window_s, 0.0);
+      }
+    }
+    EXPECT_GT(kills, 0u) << "every storm exercises the node fault domain";
+    EXPECT_EQ(kills, recovers)
+        << "every kill must carry a matching scripted recover";
+    // Background rates cover the container-scoped kinds and only those:
+    // node kinds are reached through scripted events, never via rates.
+    for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+      const auto kind = static_cast<sim::FaultKind>(k);
+      if (sim::fault_kind_is_node_scoped(kind)) {
+        EXPECT_EQ(s.rates[k], 0.0) << sim::fault_kind_name(kind);
+      } else {
+        EXPECT_GT(s.rates[k], 0.0) << sim::fault_kind_name(kind);
+      }
+    }
+  }
+}
+
+TEST(ChaosScheduleTest, TextFormRoundTripsExactly) {
+  const StormSchedule s = generate_storm(42, 8);
+  const std::string text = s.to_text();
+  const Result<StormSchedule> parsed = parse_schedule(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().to_text(), text)
+      << "to_text(parse(to_text(s))) must be byte-identical";
+  EXPECT_EQ(parsed.value().seed, s.seed);
+  EXPECT_EQ(parsed.value().density, s.density);
+  EXPECT_EQ(parsed.value().storm_s, s.storm_s);
+  EXPECT_EQ(parsed.value().rates, s.rates);
+  ASSERT_EQ(parsed.value().events.size(), s.events.size());
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(parsed.value().events[i].to_line(), s.events[i].to_line());
+  }
+}
+
+TEST(ChaosScheduleTest, EveryEventKindRoundTrips) {
+  StormSchedule s;
+  s.seed = 7;
+  s.density = 3;
+  s.storm_s = 30.0;
+  s.rates[static_cast<std::size_t>(sim::FaultKind::kOomKill)] = 0.25;
+  ChaosEvent ev;
+  ev.at_s = 1.0;
+  ev.kind = ChaosEventKind::kKillNode;
+  ev.node = 2;
+  s.events.push_back(ev);
+  ev.at_s = 2.0;
+  ev.kind = ChaosEventKind::kRecoverNode;
+  s.events.push_back(ev);
+  ev.at_s = 3.0;
+  ev.kind = ChaosEventKind::kPartitionNode;
+  ev.node = 1;
+  ev.window_s = 12.5;
+  s.events.push_back(ev);
+  ev = ChaosEvent{};
+  ev.at_s = 4.0;
+  ev.kind = ChaosEventKind::kTightenPodLimit;
+  ev.target = "web-00001";
+  ev.value = 8ull << 20;
+  s.events.push_back(ev);
+  ev = ChaosEvent{};
+  ev.at_s = 5.0;
+  ev.kind = ChaosEventKind::kDeletePod;
+  ev.target = "bulk-00002";
+  s.events.push_back(ev);
+  ev = ChaosEvent{};
+  ev.at_s = 6.0;
+  ev.kind = ChaosEventKind::kScaleDeployment;
+  ev.target = "bulk";
+  ev.value = 1;
+  s.events.push_back(ev);
+  ev = ChaosEvent{};
+  ev.at_s = 7.0;
+  ev.kind = ChaosEventKind::kFaultOnce;
+  ev.fault = sim::FaultKind::kShimCrash;
+  ev.target = "bulk-00000";
+  s.events.push_back(ev);
+
+  const Result<StormSchedule> parsed = parse_schedule(s.to_text());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().to_text(), s.to_text());
+  ASSERT_EQ(parsed.value().events.size(), 7u);
+  EXPECT_EQ(parsed.value().events[2].window_s, 12.5);
+  EXPECT_EQ(parsed.value().events[3].value, 8ull << 20);
+  EXPECT_EQ(parsed.value().events[6].fault, sim::FaultKind::kShimCrash);
+}
+
+TEST(ChaosScheduleTest, ParseErrorsCarryLineNumbers) {
+  const auto expect_bad = [](const std::string& text,
+                             const std::string& fragment) {
+    const Result<StormSchedule> r = parse_schedule(text);
+    ASSERT_FALSE(r.is_ok()) << text;
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find(fragment), std::string::npos)
+        << r.status().to_string();
+  };
+  expect_bad("", "missing header");
+  expect_bad("seed 1\n", "expected header");
+  expect_bad("# wasmctr chaos schedule v1\nbogus 1\n",
+             "line 2: unknown directive");
+  expect_bad("# wasmctr chaos schedule v1\nrate not-a-kind 0.5\n",
+             "unknown fault kind");
+  expect_bad("# wasmctr chaos schedule v1\nevent t=1.0\n", "truncated event");
+  expect_bad("# wasmctr chaos schedule v1\nevent t=1.0 explode-node node=0\n",
+             "unknown chaos event kind");
+  expect_bad(
+      "# wasmctr chaos schedule v1\n\nevent t=1.0 kill-node reactor=4\n",
+      "line 3: unknown event parameter");
+  expect_bad("# wasmctr chaos schedule v1\nevent kill-node t=1.0\n",
+             "missing t=");
+}
+
+TEST(ChaosScheduleTest, ParserAcceptsCommentsAndBlankLines) {
+  const std::string text =
+      "# wasmctr chaos schedule v1\n"
+      "# minimized by ScheduleShrinker\n"
+      "seed 99\n"
+      "\n"
+      "density 4\n"
+      "storm_s 15.000000\n"
+      "event t=3.500000 delete-pod pod=bulk-00001\n";
+  const Result<StormSchedule> r = parse_schedule(text);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().seed, 99u);
+  EXPECT_EQ(r.value().density, 4u);
+  EXPECT_EQ(r.value().storm_s, 15.0);
+  ASSERT_EQ(r.value().events.size(), 1u);
+  EXPECT_EQ(r.value().events[0].target, "bulk-00001");
+}
+
+}  // namespace
+}  // namespace wasmctr::chaos

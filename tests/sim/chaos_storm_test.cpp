@@ -1,0 +1,120 @@
+// Chaos engine integration tests: a full storm against the serving +
+// isolation workloads with every oracle attached, same-schedule rerun
+// determinism, and the catch-then-shrink loop on a deliberately seeded
+// bug (ISSUE 10 acceptance).
+#include <gtest/gtest.h>
+
+#include "sim/chaos/orchestrator.hpp"
+#include "sim/chaos/shrink.hpp"
+
+namespace wasmctr::chaos {
+namespace {
+
+[[nodiscard]] GenerateOptions small_gen() {
+  GenerateOptions gen;
+  gen.workers = 2;
+  gen.storm_s = 60.0;
+  return gen;
+}
+
+[[nodiscard]] StormOptions small_opts() {
+  StormOptions opts;
+  opts.workers = 2;
+  opts.victim_requests = 60;
+  opts.bulk_requests = 60;
+  return opts;
+}
+
+TEST(ChaosStormTest, CleanStormHoldsEveryInvariant) {
+  const StormSchedule schedule = generate_storm(2024, 6, small_gen());
+  ChaosOrchestrator orch(small_opts());
+  const StormReport report = orch.run(schedule);
+
+  EXPECT_EQ(report.violations, 0u) << report.violation_trace;
+  EXPECT_TRUE(report.quiesced)
+      << "the drain must reach zero pods and zero bound slots";
+  EXPECT_EQ(report.events_executed, schedule.events.size())
+      << "every scripted event must execute (or arm) exactly once";
+  EXPECT_GT(report.checks_run, 10u)
+      << "the periodic sweep must actually have been running";
+  EXPECT_GT(report.kernel_events, 0u);
+  EXPECT_GT(report.victim_served + report.bulk_served, 0u)
+      << "traffic must flow through the storm";
+}
+
+TEST(ChaosStormTest, SameScheduleRerunIsByteIdentical) {
+  const StormSchedule schedule = generate_storm(7, 4, small_gen());
+  ChaosOrchestrator orch(small_opts());
+  const StormReport first = orch.run(schedule);
+  const StormReport second = orch.run(schedule);
+  EXPECT_EQ(first.violations, 0u) << first.violation_trace;
+  EXPECT_FALSE(first.bundle.empty());
+  EXPECT_EQ(first.bundle, second.bundle)
+      << "same schedule, same seed: the composite trace bundle must be "
+         "byte-identical";
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
+  EXPECT_EQ(first.victim_served, second.victim_served);
+
+  // A different seed over the same density must not produce the same run.
+  const StormSchedule other = generate_storm(8, 4, small_gen());
+  const StormReport third = orch.run(other);
+  EXPECT_NE(first.bundle, third.bundle);
+}
+
+TEST(ChaosStormTest, SeededBugIsCaughtAndShrunkToMinimalSchedule) {
+  const StormSchedule failing = generate_storm(404, 6, small_gen());
+  uint32_t tightens = 0;
+  for (const ChaosEvent& ev : failing.events) {
+    if (ev.kind == ChaosEventKind::kTightenPodLimit) ++tightens;
+  }
+  ASSERT_GE(tightens, 1u) << "the generator always draws a tighten event";
+
+  // Seeded bug: every executed tighten-pod event leaks 1 MiB of anon on
+  // worker 0, so the quiescence residency oracle fails iff the schedule
+  // still contains at least one tighten. Traffic off: only the invariant
+  // verdict matters to the shrinker, and reruns dominate its cost.
+  StormOptions opts = small_opts();
+  opts.traffic = false;
+  opts.test_bug_leak_on_tighten = true;
+  ChaosOrchestrator orch(opts);
+  const StormReport broken = orch.run(failing);
+  ASSERT_GT(broken.violations, 0u) << "the oracles must catch the bug";
+  EXPECT_NE(broken.violation_trace.find("ORACLE quiescence"),
+            std::string::npos)
+      << broken.violation_trace;
+
+  ScheduleShrinker shrinker(
+      [&opts](const StormSchedule& candidate) {
+        ChaosOrchestrator rerun(opts);
+        return rerun.run(candidate).violations > 0;
+      },
+      /*max_runs=*/80);
+  const ShrinkResult result = shrinker.shrink(failing);
+
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_GT(result.oracle_runs, 0u);
+  EXPECT_LT(result.minimal_events, result.original_events);
+  ASSERT_EQ(result.minimal.events.size(), 1u)
+      << "exactly the one tighten event can remain:\n"
+      << result.minimal.to_text();
+  EXPECT_EQ(result.minimal.events[0].kind, ChaosEventKind::kTightenPodLimit);
+  EXPECT_EQ(result.minimal.density, 1u)
+      << "the load axis must shrink to a single bulk replica";
+  for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+    EXPECT_EQ(result.minimal.rates[k], 0.0)
+        << "background rates are irrelevant to this bug and must be zeroed";
+  }
+
+  // The minimized reproducer round-trips through the --schedule text form
+  // and still fails when replayed — exactly what bench_chaos --replay does.
+  const std::string text = result.minimal.to_text();
+  const Result<StormSchedule> replay = parse_schedule(text);
+  ASSERT_TRUE(replay.is_ok()) << replay.status().to_string();
+  EXPECT_EQ(replay.value().to_text(), text);
+  ChaosOrchestrator replayer(opts);
+  EXPECT_GT(replayer.run(replay.value()).violations, 0u)
+      << "replaying the minimal schedule must reproduce the violation";
+}
+
+}  // namespace
+}  // namespace wasmctr::chaos

@@ -158,5 +158,93 @@ TEST(FaultInjectorTest, EveryKindHasAName) {
   }
 }
 
+TEST(FaultInjectorTest, ScheduleOnceRejectsPastTimes) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  kernel.run_until(sim_s(10.0));
+  const Status past =
+      faults.schedule_once(FaultKind::kOomKill, "pod-1", sim_s(5.0));
+  EXPECT_EQ(past.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(faults.one_shots_pending(), 0u);
+  EXPECT_FALSE(faults.enabled());
+  // Arming at exactly now() is fine — "the next decision from here on".
+  EXPECT_TRUE(
+      faults.schedule_once(FaultKind::kOomKill, "pod-1", sim_s(10.0)).is_ok());
+  EXPECT_EQ(faults.one_shots_pending(), 1u);
+}
+
+TEST(FaultInjectorTest, ScheduleOnceFiresAtFirstDecisionAtOrAfterT) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  ASSERT_TRUE(
+      faults.schedule_once(FaultKind::kOomKill, "pod-1", sim_s(5.0)).is_ok());
+  // An armed one-shot must flip enabled() even with every rate at zero,
+  // or the callers' fast-path guard would skip the decision point.
+  EXPECT_TRUE(faults.enabled());
+  EXPECT_EQ(faults.one_shots_pending(), 1u);
+
+  EXPECT_FALSE(faults.should_fault(FaultKind::kOomKill, "pod-1"))
+      << "must not fire before t";
+  kernel.run_until(sim_s(4.0));
+  EXPECT_FALSE(faults.should_fault(FaultKind::kOomKill, "pod-1"));
+
+  kernel.run_until(sim_s(7.0));
+  // Other kinds / targets do not consume the arming.
+  EXPECT_FALSE(faults.should_fault(FaultKind::kWasmTrap, "pod-1"));
+  EXPECT_FALSE(faults.should_fault(FaultKind::kOomKill, "pod-2"));
+  EXPECT_TRUE(faults.should_fault(FaultKind::kOomKill, "pod-1"))
+      << "first matching decision at or after t fires";
+  EXPECT_EQ(faults.faults_injected(), 1u);
+
+  // Consumed: the injector goes quiet again.
+  EXPECT_EQ(faults.one_shots_pending(), 0u);
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.should_fault(FaultKind::kOomKill, "pod-1"));
+}
+
+TEST(FaultInjectorTest, ScheduleOnceQueuesFireOnePerDecision) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  ASSERT_TRUE(
+      faults.schedule_once(FaultKind::kShimCrash, "pod-1", sim_s(20.0))
+          .is_ok());
+  ASSERT_TRUE(
+      faults.schedule_once(FaultKind::kShimCrash, "pod-1", sim_s(10.0))
+          .is_ok());
+  EXPECT_EQ(faults.one_shots_pending(), 2u);
+  kernel.run_until(sim_s(30.0));
+  // Both armings are due; each decision consumes exactly one.
+  EXPECT_TRUE(faults.should_fault(FaultKind::kShimCrash, "pod-1"));
+  EXPECT_EQ(faults.one_shots_pending(), 1u);
+  EXPECT_TRUE(faults.should_fault(FaultKind::kShimCrash, "pod-1"));
+  EXPECT_EQ(faults.one_shots_pending(), 0u);
+  EXPECT_FALSE(faults.should_fault(FaultKind::kShimCrash, "pod-1"));
+  EXPECT_EQ(faults.faults_injected(), 2u);
+}
+
+TEST(FaultInjectorTest, ScheduleOnceBypassesPerTargetCapAndSharesTrace) {
+  Kernel kernel;
+  FaultInjector faults(kernel, 42);
+  faults.set_rate(FaultKind::kCriTransient, 1.0);
+  faults.set_max_faults_per_target(1);
+  EXPECT_TRUE(faults.should_fault(FaultKind::kCriTransient, "pod-1"));
+  EXPECT_FALSE(faults.should_fault(FaultKind::kCriTransient, "pod-1"))
+      << "the cap must stop rate-drawn faults";
+
+  // An explicit instruction is not a random transient: it fires past the
+  // cap, advances the shared occurrence counter, and lands in the trace.
+  ASSERT_TRUE(
+      faults.schedule_once(FaultKind::kCriTransient, "pod-1", kernel.now())
+          .is_ok());
+  EXPECT_TRUE(faults.should_fault(FaultKind::kCriTransient, "pod-1"));
+  EXPECT_EQ(faults.faults_injected(), 2u);
+  ASSERT_EQ(faults.trace().size(), 2u);
+  EXPECT_EQ(faults.trace()[0].occurrence, 0u);
+  EXPECT_EQ(faults.trace()[1].occurrence, 2u)
+      << "one-shots advance the same per-(kind,target) occurrence counter";
+  EXPECT_NE(faults.trace_string().find("cri-transient pod-1 #2"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace wasmctr::sim
